@@ -1,0 +1,307 @@
+// Package megamimo's benchmark harness regenerates every figure of the
+// paper's evaluation (§11) as a testing.B benchmark, reporting the
+// figure's headline quantity as a custom metric. Run with
+//
+//	go test -bench=. -benchmem
+//
+// Larger, slower sweeps (the full 20-topology methodology) live in
+// cmd/megamimo-bench.
+package megamimo
+
+import (
+	"math"
+	"testing"
+
+	"megamimo/internal/core"
+	"megamimo/internal/experiment"
+	"megamimo/internal/phy"
+	"megamimo/internal/stats"
+)
+
+// BenchmarkFig6Misalignment regenerates the SNR-reduction-vs-misalignment
+// curves and reports the paper's anchor point (0.35 rad at 20 dB ≈ 8 dB).
+func BenchmarkFig6Misalignment(b *testing.B) {
+	var anchor float64
+	for i := 0; i < b.N; i++ {
+		r := experiment.RunFig6(100, int64(i)+1)
+		for _, p := range r.Points {
+			if math.Abs(p.MisalignmentRad-0.35) < 0.026 && p.SNRdB == 20 {
+				anchor = p.ReductionDB
+			}
+		}
+	}
+	b.ReportMetric(anchor, "dB-loss@0.35rad,20dB")
+}
+
+// BenchmarkFig7PhaseSync measures the distributed phase-sync misalignment
+// distribution (paper: median 0.017 rad, p95 0.05 rad).
+func BenchmarkFig7PhaseSync(b *testing.B) {
+	var median, p95 float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiment.RunFig7(2, 20, int64(i)+3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		median, p95 = r.MedianRad, r.P95Rad
+	}
+	b.ReportMetric(median, "median-rad")
+	b.ReportMetric(p95, "p95-rad")
+}
+
+// BenchmarkFig8INR measures the interference-to-noise ratio at a nulled
+// client (paper: ≤1.5 dB at 10 pairs, ≈0.13 dB growth per pair).
+func BenchmarkFig8INR(b *testing.B) {
+	var inr10, slope float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiment.RunFig8(6, 1, int64(i)+5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range r.Points {
+			if p.Bin == experiment.HighSNR.Name && p.Receivers == 6 {
+				inr10 = p.INRdB
+			}
+		}
+		slope = r.SlopePerPair(experiment.HighSNR.Name)
+	}
+	b.ReportMetric(inr10, "INR-dB@6")
+	b.ReportMetric(slope, "dB-per-pair")
+}
+
+// BenchmarkFig9Scaling measures total-throughput scaling (paper: linear,
+// 8.1–9.4× at 10 APs).
+func BenchmarkFig9Scaling(b *testing.B) {
+	var gain float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiment.RunFig9([]int{2, 6}, 2, 2, int64(i)+7)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range r.Points {
+			if p.Bin == experiment.HighSNR.Name && p.APs == 6 {
+				gain = p.MegaMIMObps / p.Dot11bps
+			}
+		}
+	}
+	b.ReportMetric(gain, "gain-x@6APs")
+}
+
+// BenchmarkFig10Fairness measures the spread of per-client gains (paper:
+// all clients see roughly the same gain).
+func BenchmarkFig10Fairness(b *testing.B) {
+	var spread float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiment.RunFig9([]int{4}, 2, 2, int64(i)+11)
+		if err != nil {
+			b.Fatal(err)
+		}
+		f10 := experiment.Fig10From(r)
+		g := f10.Gains[experiment.HighSNR.Name][4]
+		if len(g) > 1 {
+			spread = stats.Percentile(g, 90) - stats.Percentile(g, 10)
+		}
+	}
+	b.ReportMetric(spread, "gain-p90-p10")
+}
+
+// BenchmarkFig11Diversity measures coherent-combining throughput at a 0 dB
+// client (paper: ≈21 Mb/s with 10 APs where 802.11 delivers nothing).
+func BenchmarkFig11Diversity(b *testing.B) {
+	var at0 float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiment.RunFig11([]int{8}, 1, int64(i)+13)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range r.Points {
+			if p.LinkSNRdB == 0 {
+				at0 = p.MegaMIMO / 1e6
+			}
+		}
+	}
+	b.ReportMetric(at0, "Mbps@0dB-8APs")
+}
+
+// BenchmarkFig12Dot11n measures the off-the-shelf 802.11n gain (paper:
+// 1.67–1.83× mean).
+func BenchmarkFig12Dot11n(b *testing.B) {
+	var gain float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiment.RunFig12(2, 2, int64(i)+17)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var acc float64
+		for _, p := range r.Points {
+			acc += p.MeanGain
+		}
+		gain = acc / float64(len(r.Points))
+	}
+	b.ReportMetric(gain, "gain-x")
+}
+
+// BenchmarkFig13Dot11nFairness measures the 802.11n gain CDF median
+// (paper: 1.8×).
+func BenchmarkFig13Dot11nFairness(b *testing.B) {
+	var median float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiment.RunFig12(3, 2, int64(i)+19)
+		if err != nil {
+			b.Fatal(err)
+		}
+		f13 := experiment.Fig13From(r)
+		if len(f13.Gains) > 0 {
+			median = stats.Median(f13.Gains)
+		}
+	}
+	b.ReportMetric(median, "median-gain-x")
+}
+
+// BenchmarkAblationPredictVsMeasure contrasts the paper's direct
+// per-packet phase measurement against frequency-offset extrapolation
+// (§1's motivating example): the INR at a nulled client after ~50 ms of
+// extrapolation versus with the real protocol.
+func BenchmarkAblationPredictVsMeasure(b *testing.B) {
+	run := func(extrapolate bool, seed int64) float64 {
+		cfg := core.DefaultConfig(3, 3, 18, 24)
+		cfg.Seed = seed
+		cfg.WellConditioned = true
+		cfg.ExtrapolatePhase = extrapolate
+		n, err := core.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := n.Measure(); err != nil {
+			b.Fatal(err)
+		}
+		p, err := core.ComputeZF(n.Msmt, cfg.NoiseVar)
+		if err != nil {
+			b.Fatal(err)
+		}
+		n.SetPrecoder(p)
+		// Let 50 ms pass (500k samples at 10 MHz) before transmitting —
+		// well inside the channel coherence time, far beyond what offset
+		// extrapolation tolerates.
+		n.AdvanceTime(500000)
+		inr, err := n.NullingINR(0, 700, phy.MCS0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return 10 * math.Log10(inr)
+	}
+	var measured, extrapolated float64
+	for i := 0; i < b.N; i++ {
+		measured = run(false, int64(i)+23)
+		extrapolated = run(true, int64(i)+23)
+	}
+	b.ReportMetric(measured, "INR-dB-measured")
+	b.ReportMetric(extrapolated, "INR-dB-extrapolated")
+}
+
+// BenchmarkAblationZFRegularization contrasts pure zero-forcing with the
+// MMSE-regularized inverse on the simulated channel ensemble (DESIGN.md
+// §4: the regularizer recovers the conditioning the paper's physical
+// channels had).
+func BenchmarkAblationZFRegularization(b *testing.B) {
+	run := func(lambda float64, seed int64) float64 {
+		cfg := core.DefaultConfig(6, 6, 18, 24)
+		cfg.Seed = seed
+		n, err := core.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := n.Measure(); err != nil {
+			b.Fatal(err)
+		}
+		p, err := core.ComputeZF(n.Msmt, lambda)
+		if err != nil {
+			return 0
+		}
+		n.SetPrecoder(p)
+		mcs, ok, err := n.ProbeAndSelectRate(256)
+		if err != nil || !ok {
+			return 0
+		}
+		payloads := make([][]byte, 6)
+		for j := range payloads {
+			payloads[j] = make([]byte, 1500)
+		}
+		res, err := n.JointTransmit(payloads, mcs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return res.GoodputBits() / (float64(res.AirtimeSamples) / cfg.SampleRate) / 1e6
+	}
+	var pure, mmse float64
+	for i := 0; i < b.N; i++ {
+		pure = run(0, int64(i)+29)
+		mmse = run(1e-3*6, int64(i)+29)
+	}
+	b.ReportMetric(pure, "Mbps-pureZF")
+	b.ReportMetric(mmse, "Mbps-MMSE")
+}
+
+// BenchmarkAblationMeasurementRounds contrasts 2 vs 8 interleaved
+// measurement rounds (§5.1's noise averaging) via the nulling INR.
+func BenchmarkAblationMeasurementRounds(b *testing.B) {
+	run := func(rounds int, seed int64) float64 {
+		cfg := core.DefaultConfig(4, 4, 18, 24)
+		cfg.Seed = seed
+		cfg.WellConditioned = true
+		cfg.MeasurementRounds = rounds
+		n, err := core.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := n.Measure(); err != nil {
+			b.Fatal(err)
+		}
+		p, err := core.ComputeZF(n.Msmt, cfg.NoiseVar)
+		if err != nil {
+			b.Fatal(err)
+		}
+		n.SetPrecoder(p)
+		inr, err := n.NullingINR(0, 700, phy.MCS0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return 10 * math.Log10(inr)
+	}
+	var r2, r8 float64
+	for i := 0; i < b.N; i++ {
+		r2 = run(2, int64(i)+31)
+		r8 = run(8, int64(i)+31)
+	}
+	b.ReportMetric(r2, "INR-dB-2rounds")
+	b.ReportMetric(r8, "INR-dB-8rounds")
+}
+
+// BenchmarkJointTransmit4x4 is a plain performance benchmark of the whole
+// signal path (measurement excluded): four streams, 1500-byte frames.
+func BenchmarkJointTransmit4x4(b *testing.B) {
+	cfg := core.DefaultConfig(4, 4, 18, 24)
+	cfg.WellConditioned = true
+	n, err := core.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := n.Measure(); err != nil {
+		b.Fatal(err)
+	}
+	p, err := core.ComputeZF(n.Msmt, cfg.NoiseVar)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n.SetPrecoder(p)
+	payloads := make([][]byte, 4)
+	for j := range payloads {
+		payloads[j] = make([]byte, 1500)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := n.JointTransmit(payloads, phy.MCS2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

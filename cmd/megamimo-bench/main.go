@@ -1,0 +1,148 @@
+// Command megamimo-bench regenerates every table and figure of the
+// paper's evaluation section (§11). Each subcommand prints the same rows
+// or series the corresponding figure plots.
+//
+// Usage:
+//
+//	megamimo-bench [flags] fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|ablations|robustness|amortization|all
+//
+// Flags scale the experiment size; the defaults approximate the paper's
+// methodology (20 topologies per point, 10 APs max) and take minutes.
+// Use -quick for a fast smoke run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"megamimo/internal/experiment"
+)
+
+func main() {
+	var (
+		seed   = flag.Int64("seed", 1, "random seed")
+		topos  = flag.Int("topologies", 20, "random topologies per point (paper: 20)")
+		rounds = flag.Int("rounds", 4, "joint transmissions per topology")
+		maxAPs = flag.Int("max-aps", 10, "largest AP count for scaling figures")
+		quick  = flag.Bool("quick", false, "small fast run (2 topologies, 6 APs max)")
+	)
+	flag.Parse()
+	if *quick {
+		*topos, *rounds, *maxAPs = 2, 2, 6
+	}
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: megamimo-bench [flags] fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|ablations|robustness|amortization|all")
+		os.Exit(2)
+	}
+	which := flag.Arg(0)
+	run := func(name string, f func() error) {
+		if which != name && which != "all" &&
+			!(name == "fig9" && which == "fig10") &&
+			!(name == "fig12" && which == "fig13") {
+			return
+		}
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+
+	run("fig5", func() error {
+		fmt.Println(experiment.RunFig5(*seed))
+		return nil
+	})
+	run("fig6", func() error {
+		fmt.Println(experiment.RunFig6(100, *seed))
+		return nil
+	})
+	run("fig7", func() error {
+		r, err := experiment.RunFig7(max(2, *topos/2), 40, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r)
+		return nil
+	})
+	run("fig8", func() error {
+		r, err := experiment.RunFig8(*maxAPs, maxInt(1, *topos/4), *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r)
+		fmt.Printf("high-SNR INR slope: %.3f dB per AP-client pair (paper: ~0.13)\n\n",
+			r.SlopePerPair(experiment.HighSNR.Name))
+		return nil
+	})
+	run("fig9", func() error {
+		counts := apCounts(*maxAPs)
+		r, err := experiment.RunFig9(counts, *topos, *rounds, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r)
+		if which == "fig10" || which == "all" {
+			fmt.Println(experiment.Fig10From(r))
+		}
+		return nil
+	})
+	run("fig11", func() error {
+		r, err := experiment.RunFig11([]int{2, 4, 6, 8, 10}, maxInt(1, *topos/4), *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r)
+		return nil
+	})
+	run("ablations", func() error {
+		r, err := experiment.RunAblations(maxInt(2, *topos/5), *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r)
+		return nil
+	})
+	run("amortization", func() error {
+		r, err := experiment.RunAmortization([]int{1, 2, 4, 8, 16}, maxInt(2, *topos/5), *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r)
+		return nil
+	})
+	run("robustness", func() error {
+		r, err := experiment.RunRobustness([]float64{0.5, 2, 5, 10, 20}, maxInt(2, *topos/5), *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r)
+		return nil
+	})
+	run("fig12", func() error {
+		r, err := experiment.RunFig12(*topos, *rounds, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r)
+		if which == "fig13" || which == "all" {
+			fmt.Println(experiment.Fig13From(r))
+		}
+		return nil
+	})
+}
+
+func apCounts(maxAPs int) []int {
+	var out []int
+	for n := 2; n <= maxAPs; n++ {
+		out = append(out, n)
+	}
+	return out
+}
+
+func max(a, b int) int { return maxInt(a, b) }
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,3 @@
+module megamimo
+
+go 1.22

@@ -1,0 +1,206 @@
+// Package air is the shared wireless medium: transmit antennas post
+// emissions (sample streams anchored at an "ether" time), and receive
+// antennas observe the superposition of every emission after each link's
+// multipath convolution, propagation delay, the transmitter/receiver
+// oscillator rotation, optional sampling-frequency-offset resampling, and
+// additive white Gaussian noise.
+//
+// The ether clock is the nominal sample rate; every impairment that makes
+// distributed MIMO hard (CFO between independent oscillators, SFO, noise)
+// is applied at observation time, so the same emission looks different to
+// every receiver — exactly like the real channel.
+package air
+
+import (
+	"fmt"
+
+	"megamimo/internal/channel"
+	"megamimo/internal/cmplxs"
+	"megamimo/internal/dsp"
+	"megamimo/internal/radio"
+	"megamimo/internal/rng"
+)
+
+// Config parameterizes the medium.
+type Config struct {
+	// SampleRate is the nominal ether rate, Hz.
+	SampleRate float64
+	// NoiseVar is the per-sample complex noise variance at every receive
+	// antenna (the noise floor in linear units; signal scales are relative
+	// to it).
+	NoiseVar float64
+	// ModelSFO applies sampling-frequency-offset resampling from the
+	// transmit and receive oscillators.
+	ModelSFO bool
+	// Seed makes the noise reproducible.
+	Seed int64
+}
+
+type linkKey struct{ tx, rx int }
+
+type emission struct {
+	tx      int
+	osc     *radio.Oscillator
+	start   int64
+	samples []complex128
+}
+
+// Air is the medium. It is not safe for concurrent use; the simulator is
+// single-threaded per medium by design (time is global).
+type Air struct {
+	cfg       Config
+	links     map[linkKey]*channel.Link
+	emissions []emission
+	noise     *rng.Source
+}
+
+// New returns an empty medium.
+func New(cfg Config) *Air {
+	if cfg.SampleRate <= 0 {
+		panic("air: sample rate must be positive")
+	}
+	return &Air{
+		cfg:   cfg,
+		links: make(map[linkKey]*channel.Link),
+		noise: rng.New(cfg.Seed).Split(0xA12),
+	}
+}
+
+// Config returns the medium configuration.
+func (a *Air) Config() Config { return a.cfg }
+
+// SetLink installs the channel from transmit antenna tx to receive antenna
+// rx. Antennas with no link are not connected (infinite path loss).
+func (a *Air) SetLink(tx, rx int, l *channel.Link) {
+	a.links[linkKey{tx, rx}] = l
+}
+
+// Link returns the installed link or nil.
+func (a *Air) Link(tx, rx int) *channel.Link {
+	return a.links[linkKey{tx, rx}]
+}
+
+// Transmit posts an emission from antenna tx starting at ether sample
+// start. The oscillator provides the carrier phase trajectory; samples are
+// the baseband waveform at nominal rate in the transmitter's own clock.
+func (a *Air) Transmit(tx int, osc *radio.Oscillator, start int64, samples []complex128) {
+	if osc == nil {
+		panic("air: Transmit requires an oscillator")
+	}
+	if len(samples) == 0 {
+		return
+	}
+	a.emissions = append(a.emissions, emission{tx: tx, osc: osc, start: start, samples: samples})
+}
+
+// Observe returns n samples of what receive antenna rx hears starting at
+// ether sample start, through the receiver's own oscillator, with noise.
+func (a *Air) Observe(rx int, osc *radio.Oscillator, start int64, n int) []complex128 {
+	out := a.observe(rx, osc, start, n)
+	for i := range out {
+		out[i] += a.noise.ComplexNormal(a.cfg.NoiseVar)
+	}
+	return out
+}
+
+// ObserveClean is Observe without the noise term; the experiment harness
+// uses it to measure interference power directly (the paper's INR metric
+// compares received interference against a known noise floor).
+func (a *Air) ObserveClean(rx int, osc *radio.Oscillator, start int64, n int) []complex128 {
+	return a.observe(rx, osc, start, n)
+}
+
+func (a *Air) observe(rx int, osc *radio.Oscillator, start int64, n int) []complex128 {
+	if osc == nil {
+		panic("air: Observe requires an oscillator")
+	}
+	if n <= 0 {
+		return nil
+	}
+	// Build at ether rate with a small tail so receiver SFO resampling has
+	// material to interpolate into.
+	tail := 2
+	ether := make([]complex128, n+tail)
+	for _, e := range a.emissions {
+		l := a.links[linkKey{e.tx, rx}]
+		if l == nil {
+			continue
+		}
+		a.addEmission(ether, start, e, l, osc)
+	}
+	if a.cfg.ModelSFO {
+		r := dsp.Resample(ether, 1/osc.SFORatio())
+		if len(r) >= n {
+			return r[:n]
+		}
+		out := make([]complex128, n)
+		copy(out, r)
+		return out
+	}
+	return ether[:n]
+}
+
+// addEmission accumulates one emission into the ether window [start,
+// start+len(dst)).
+func (a *Air) addEmission(dst []complex128, start int64, e emission, l *channel.Link, rxOsc *radio.Oscillator) {
+	samples := e.samples
+	if a.cfg.ModelSFO {
+		samples = dsp.Resample(samples, e.osc.SFORatio())
+	}
+	conv := dsp.Convolve(samples, l.Taps)
+	arrive := e.start + int64(l.Delay)
+	lo := max64(arrive, start)
+	hi := min64(arrive+int64(len(conv)), start+int64(len(dst)))
+	if lo >= hi {
+		return
+	}
+	// Carrier rotation e^{j(φ_tx(t)−φ_rx(t))}, advanced incrementally.
+	dPhase := e.osc.CFORadPerSample() - rxOsc.CFORadPerSample()
+	phase0 := e.osc.PhaseAt(lo) - rxOsc.PhaseAt(lo)
+	rot := cmplxs.Expi(phase0)
+	step := cmplxs.Expi(dPhase)
+	for t := lo; t < hi; t++ {
+		dst[t-start] += conv[t-arrive] * rot
+		rot *= step
+	}
+}
+
+// ClearBefore drops emissions that end before ether sample t, bounding
+// memory in long simulations. The margin accounts for the longest link
+// delay plus tap spread.
+func (a *Air) ClearBefore(t int64) {
+	const margin = 256
+	kept := a.emissions[:0]
+	for _, e := range a.emissions {
+		if e.start+int64(len(e.samples))+margin >= t {
+			kept = append(kept, e)
+		}
+	}
+	a.emissions = kept
+}
+
+// Reset drops all emissions.
+func (a *Air) Reset() { a.emissions = a.emissions[:0] }
+
+// NumEmissions reports the pending emission count (diagnostics).
+func (a *Air) NumEmissions() int { return len(a.emissions) }
+
+// String summarizes the medium.
+func (a *Air) String() string {
+	return fmt.Sprintf("air{rate=%.0f links=%d emissions=%d noiseVar=%.3g}",
+		a.cfg.SampleRate, len(a.links), len(a.emissions), a.cfg.NoiseVar)
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,296 @@
+package air
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"megamimo/internal/channel"
+	"megamimo/internal/cmplxs"
+	"megamimo/internal/radio"
+	"megamimo/internal/rng"
+)
+
+func testOsc(ppm float64) *radio.Oscillator {
+	return &radio.Oscillator{PPM: ppm, CarrierHz: 2.4e9, SampleRate: 10e6}
+}
+
+func flatLink(gain complex128) *channel.Link {
+	return &channel.Link{Taps: []complex128{gain}}
+}
+
+func newTestAir(noiseVar float64) *Air {
+	return New(Config{SampleRate: 10e6, NoiseVar: noiseVar, Seed: 1})
+}
+
+func ramp(n int) []complex128 {
+	out := make([]complex128, n)
+	for i := range out {
+		out[i] = complex(float64(i+1), 0)
+	}
+	return out
+}
+
+func TestFlatLinkPassthrough(t *testing.T) {
+	a := newTestAir(0)
+	a.SetLink(0, 1, flatLink(0.5))
+	osc := testOsc(0)
+	x := ramp(100)
+	a.Transmit(0, osc, 0, x)
+	y := a.ObserveClean(1, testOsc(0), 0, 100)
+	for i := range x {
+		if cmplx.Abs(y[i]-0.5*x[i]) > 1e-9 {
+			t.Fatalf("sample %d: %v != %v", i, y[i], 0.5*x[i])
+		}
+	}
+}
+
+func TestNoLinkMeansSilence(t *testing.T) {
+	a := newTestAir(0)
+	a.Transmit(0, testOsc(0), 0, ramp(50))
+	y := a.ObserveClean(1, testOsc(0), 0, 50)
+	for _, v := range y {
+		if v != 0 {
+			t.Fatal("unconnected antennas leaked signal")
+		}
+	}
+}
+
+func TestDelayShiftsArrival(t *testing.T) {
+	a := newTestAir(0)
+	a.SetLink(0, 1, &channel.Link{Taps: []complex128{1}, Delay: 7})
+	a.Transmit(0, testOsc(0), 10, ramp(20))
+	y := a.ObserveClean(1, testOsc(0), 0, 40)
+	for i := 0; i < 17; i++ {
+		if y[i] != 0 {
+			t.Fatalf("energy before arrival at %d", i)
+		}
+	}
+	if cmplx.Abs(y[17]-1) > 1e-12 {
+		t.Fatalf("first sample %v at 17", y[17])
+	}
+}
+
+func TestObserveWindowing(t *testing.T) {
+	a := newTestAir(0)
+	a.SetLink(0, 1, flatLink(1))
+	a.Transmit(0, testOsc(0), 100, ramp(50))
+	// Window starting mid-emission.
+	y := a.ObserveClean(1, testOsc(0), 120, 10)
+	for i := range y {
+		want := complex(float64(20+i+1), 0)
+		if cmplx.Abs(y[i]-want) > 1e-9 {
+			t.Fatalf("windowed sample %d = %v, want %v", i, y[i], want)
+		}
+	}
+}
+
+func TestMultipathConvolution(t *testing.T) {
+	a := newTestAir(0)
+	taps := []complex128{1, 0.5i}
+	a.SetLink(0, 1, &channel.Link{Taps: taps})
+	x := []complex128{1, 2}
+	a.Transmit(0, testOsc(0), 0, x)
+	y := a.ObserveClean(1, testOsc(0), 0, 3)
+	want := []complex128{1, 2 + 0.5i, 1i}
+	for i := range want {
+		if cmplx.Abs(y[i]-want[i]) > 1e-12 {
+			t.Fatalf("conv sample %d = %v, want %v", i, y[i], want[i])
+		}
+	}
+}
+
+func TestTwoTransmittersSuperpose(t *testing.T) {
+	a := newTestAir(0)
+	a.SetLink(0, 2, flatLink(1))
+	a.SetLink(1, 2, flatLink(1))
+	osc := testOsc(0)
+	a.Transmit(0, osc, 0, []complex128{1, 1, 1})
+	a.Transmit(1, osc, 1, []complex128{2i, 2i})
+	y := a.ObserveClean(2, testOsc(0), 0, 4)
+	want := []complex128{1, 1 + 2i, 1 + 2i, 0}
+	for i := range want {
+		if cmplx.Abs(y[i]-want[i]) > 1e-12 {
+			t.Fatalf("superposition sample %d = %v, want %v", i, y[i], want[i])
+		}
+	}
+}
+
+func TestCFORotatesReceivedSignal(t *testing.T) {
+	a := newTestAir(0)
+	a.SetLink(0, 1, flatLink(1))
+	tx := testOsc(2) // +2 ppm of 2.4 GHz = 4.8 kHz
+	rx := testOsc(0)
+	n := 1000
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = 1
+	}
+	a.Transmit(0, tx, 0, x)
+	y := a.ObserveClean(1, rx, 0, n)
+	w := tx.CFORadPerSample()
+	for _, i := range []int{0, 100, 999} {
+		want := cmplxs.Expi(w * float64(i))
+		if cmplx.Abs(y[i]-want) > 1e-6 {
+			t.Fatalf("CFO rotation at %d: %v, want %v", i, y[i], want)
+		}
+	}
+}
+
+func TestRelativeCFOIsDifferenceOfOffsets(t *testing.T) {
+	a := newTestAir(0)
+	a.SetLink(0, 1, flatLink(1))
+	tx, rx := testOsc(3), testOsc(3) // identical ppm ⇒ no relative rotation
+	n := 2000
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = 1
+	}
+	a.Transmit(0, tx, 0, x)
+	y := a.ObserveClean(1, rx, 0, n)
+	if cmplxs.PhaseDiff(y[n-1], y[0]) > 1e-9 {
+		t.Fatal("matched oscillators still rotated")
+	}
+}
+
+func TestPhaseContinuityAcrossObservations(t *testing.T) {
+	// Observing the same emission in two windows must be phase-consistent
+	// (slaves measure the lead's phase at different times — continuity is
+	// what makes that meaningful).
+	a := newTestAir(0)
+	a.SetLink(0, 1, flatLink(1))
+	tx, rx := testOsc(1.5), testOsc(-0.5)
+	n := 4000
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = 1
+	}
+	a.Transmit(0, tx, 0, x)
+	full := a.ObserveClean(1, rx, 0, n)
+	part1 := a.ObserveClean(1, rx, 0, n/2)
+	part2 := a.ObserveClean(1, rx, int64(n/2), n/2)
+	for i := 0; i < n/2; i++ {
+		if cmplx.Abs(part1[i]-full[i]) > 1e-9 || cmplx.Abs(part2[i]-full[n/2+i]) > 1e-9 {
+			t.Fatalf("windowed observation diverges at %d", i)
+		}
+	}
+}
+
+func TestNoiseStatistics(t *testing.T) {
+	a := newTestAir(0.04)
+	y := a.Observe(1, testOsc(0), 0, 100000)
+	var p float64
+	for _, v := range y {
+		p += real(v)*real(v) + imag(v)*imag(v)
+	}
+	p /= float64(len(y))
+	if math.Abs(p-0.04) > 0.003 {
+		t.Fatalf("noise power %v, want 0.04", p)
+	}
+}
+
+func TestObserveCleanIsNoiseless(t *testing.T) {
+	a := newTestAir(1)
+	y := a.ObserveClean(1, testOsc(0), 0, 100)
+	for _, v := range y {
+		if v != 0 {
+			t.Fatal("ObserveClean added noise")
+		}
+	}
+}
+
+func TestSFOStretchesWaveform(t *testing.T) {
+	cfg := Config{SampleRate: 10e6, NoiseVar: 0, ModelSFO: true, Seed: 1}
+	a := New(cfg)
+	a.SetLink(0, 1, flatLink(1))
+	// 100 ppm fast TX clock: emission plays ~1 ether sample longer per 10k.
+	tx := testOsc(0)
+	tx.PPM = 100
+	n := 20000
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = 1
+	}
+	a.Transmit(0, tx, 0, x)
+	y := a.ObserveClean(1, testOsc(0), 0, n+5)
+	// Count nonzero span.
+	span := 0
+	for _, v := range y {
+		if cmplx.Abs(v) > 0.5 {
+			span++
+		}
+	}
+	if span <= n {
+		t.Fatalf("fast TX clock did not stretch emission: span %d", span)
+	}
+}
+
+func TestClearBeforeDropsOldEmissions(t *testing.T) {
+	a := newTestAir(0)
+	a.SetLink(0, 1, flatLink(1))
+	a.Transmit(0, testOsc(0), 0, ramp(10))
+	a.Transmit(0, testOsc(0), 100000, ramp(10))
+	if a.NumEmissions() != 2 {
+		t.Fatal("setup")
+	}
+	a.ClearBefore(50000)
+	if a.NumEmissions() != 1 {
+		t.Fatalf("%d emissions after ClearBefore", a.NumEmissions())
+	}
+	a.Reset()
+	if a.NumEmissions() != 0 {
+		t.Fatal("Reset left emissions")
+	}
+}
+
+func TestTransmitValidation(t *testing.T) {
+	a := newTestAir(0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil oscillator accepted")
+		}
+	}()
+	a.Transmit(0, nil, 0, ramp(1))
+}
+
+func TestRayleighLinkEndToEndSNR(t *testing.T) {
+	// End-to-end budget: unit-power signal through a link with power gain
+	// g over noise var nv should observe SNR ≈ g/nv.
+	src := rng.New(5)
+	gain := 0.01 // −20 dB link
+	nv := 1e-4   // ⇒ 20 dB SNR
+	a := New(Config{SampleRate: 10e6, NoiseVar: nv, Seed: 2})
+	l := channel.NewLink(src, channel.Params{NTaps: 1, DecaySamples: 1}, gain, 0)
+	a.SetLink(0, 1, l)
+	n := 50000
+	x := src.ComplexNormalVec(make([]complex128, n), 1)
+	a.Transmit(0, testOsc(1), 0, x)
+	y := a.Observe(1, testOsc(-1), 0, n)
+	var p float64
+	for _, v := range y {
+		p += real(v)*real(v) + imag(v)*imag(v)
+	}
+	p /= float64(n)
+	wantP := l.PowerGain() + nv
+	if math.Abs(p-wantP)/wantP > 0.05 {
+		t.Fatalf("received power %v, want %v", p, wantP)
+	}
+}
+
+func BenchmarkObserveJointTransmission(b *testing.B) {
+	src := rng.New(1)
+	a := New(Config{SampleRate: 10e6, NoiseVar: 1e-4, Seed: 3})
+	nAPs := 10
+	oscs := make([]*radio.Oscillator, nAPs)
+	x := src.ComplexNormalVec(make([]complex128, 4000), 1)
+	for i := 0; i < nAPs; i++ {
+		oscs[i] = testOsc(float64(i) - 5)
+		a.SetLink(i, 100, channel.NewLink(src.Split(uint64(i)), channel.DefaultIndoor, 0.01, 0))
+		a.Transmit(i, oscs[i], 0, x)
+	}
+	rx := testOsc(0.3)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		a.Observe(100, rx, 0, 4100)
+	}
+}

@@ -1,0 +1,84 @@
+// Package backend simulates the wired Ethernet backbone connecting
+// MegaMIMO APs (§5.2a): every downlink packet is distributed to every AP,
+// and the lead AP's control decisions (which packets join a transmission,
+// when to fire) travel the same bus. The model is a deterministic
+// message-passing fabric with a configurable delivery latency expressed in
+// ether samples, so backend latency and air time share one clock.
+package backend
+
+import "sort"
+
+// Broadcast is the destination for messages to every node.
+const Broadcast = -1
+
+// Message is one bus datagram.
+type Message struct {
+	From, To int
+	SentAt   int64 // ether sample time of transmission
+	Payload  any
+}
+
+// Bus is the shared backbone. Not safe for concurrent use — the simulator
+// is single-threaded per network.
+type Bus struct {
+	// LatencySamples is the delivery latency in ether samples (a GigE hop
+	// is tens of microseconds including kernel time; at 10 Msample/s the
+	// default 500 samples = 50 µs).
+	LatencySamples int64
+	nodes          map[int]bool
+	pending        []Message
+}
+
+// New returns a bus with the given node IDs attached.
+func New(latencySamples int64, nodeIDs ...int) *Bus {
+	b := &Bus{LatencySamples: latencySamples, nodes: make(map[int]bool)}
+	for _, id := range nodeIDs {
+		b.nodes[id] = true
+	}
+	return b
+}
+
+// Attach registers an additional node.
+func (b *Bus) Attach(id int) { b.nodes[id] = true }
+
+// Send queues a message; To may be Broadcast, which fans out one directed
+// copy to every other attached node at send time.
+func (b *Bus) Send(from, to int, at int64, payload any) {
+	if to != Broadcast {
+		b.pending = append(b.pending, Message{From: from, To: to, SentAt: at, Payload: payload})
+		return
+	}
+	ids := make([]int, 0, len(b.nodes))
+	for id := range b.nodes {
+		if id != from {
+			ids = append(ids, id)
+		}
+	}
+	sort.Ints(ids) // deterministic fan-out order
+	for _, id := range ids {
+		b.pending = append(b.pending, Message{From: from, To: id, SentAt: at, Payload: payload})
+	}
+}
+
+// Receive returns, in send order, every message addressed to node that has
+// been delivered by ether time now, removing them from the bus.
+func (b *Bus) Receive(node int, now int64) []Message {
+	if !b.nodes[node] {
+		return nil
+	}
+	var out []Message
+	kept := b.pending[:0]
+	for _, m := range b.pending {
+		if m.To == node && m.SentAt+b.LatencySamples <= now {
+			out = append(out, m)
+			continue
+		}
+		kept = append(kept, m)
+	}
+	b.pending = kept
+	sort.SliceStable(out, func(i, j int) bool { return out[i].SentAt < out[j].SentAt })
+	return out
+}
+
+// Pending reports the undelivered message count (diagnostics).
+func (b *Bus) Pending() int { return len(b.pending) }

@@ -1,0 +1,84 @@
+package backend
+
+import "testing"
+
+func TestDirectedDelivery(t *testing.T) {
+	b := New(100, 1, 2, 3)
+	b.Send(1, 2, 1000, "hello")
+	if got := b.Receive(2, 1050); len(got) != 0 {
+		t.Fatal("delivered before latency elapsed")
+	}
+	got := b.Receive(2, 1100)
+	if len(got) != 1 || got[0].Payload != "hello" || got[0].From != 1 {
+		t.Fatalf("Receive = %+v", got)
+	}
+	if len(b.Receive(2, 2000)) != 0 {
+		t.Fatal("message delivered twice")
+	}
+}
+
+func TestWrongRecipientSeesNothing(t *testing.T) {
+	b := New(0, 1, 2, 3)
+	b.Send(1, 2, 0, "x")
+	if len(b.Receive(3, 10)) != 0 {
+		t.Fatal("message leaked to wrong node")
+	}
+	if b.Pending() != 1 {
+		t.Fatal("message vanished")
+	}
+}
+
+func TestBroadcastFansOut(t *testing.T) {
+	b := New(10, 1, 2, 3, 4)
+	b.Send(1, Broadcast, 0, 42)
+	for _, node := range []int{2, 3, 4} {
+		got := b.Receive(node, 10)
+		if len(got) != 1 || got[0].Payload != 42 {
+			t.Fatalf("node %d: %+v", node, got)
+		}
+	}
+	// Sender does not hear its own broadcast.
+	if len(b.Receive(1, 100)) != 0 {
+		t.Fatal("sender received own broadcast")
+	}
+	if b.Pending() != 0 {
+		t.Fatalf("%d pending after full fan-out", b.Pending())
+	}
+}
+
+func TestDeliveryOrder(t *testing.T) {
+	b := New(0, 1, 2)
+	b.Send(1, 2, 30, "c")
+	b.Send(1, 2, 10, "a")
+	b.Send(1, 2, 20, "b")
+	got := b.Receive(2, 100)
+	if len(got) != 3 || got[0].Payload != "a" || got[1].Payload != "b" || got[2].Payload != "c" {
+		t.Fatalf("order: %+v", got)
+	}
+}
+
+func TestUnattachedNode(t *testing.T) {
+	b := New(0, 1)
+	b.Send(1, 9, 0, "x")
+	if b.Receive(9, 10) != nil {
+		t.Fatal("unattached node received")
+	}
+	b.Attach(9)
+	if len(b.Receive(9, 10)) != 1 {
+		t.Fatal("attached node did not receive")
+	}
+}
+
+func TestPartialDelivery(t *testing.T) {
+	b := New(100, 1, 2)
+	b.Send(1, 2, 0, "early")
+	b.Send(1, 2, 500, "late")
+	got := b.Receive(2, 150)
+	if len(got) != 1 || got[0].Payload != "early" {
+		t.Fatalf("partial delivery: %+v", got)
+	}
+	got = b.Receive(2, 650)
+	if len(got) != 1 || got[0].Payload != "late" {
+		t.Fatalf("second delivery: %+v", got)
+	}
+}

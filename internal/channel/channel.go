@@ -1,0 +1,134 @@
+// Package channel models the wireless propagation between one transmit
+// antenna and one receive antenna: a tapped-delay-line with Rayleigh or
+// Rician taps and an exponential power-delay profile, an integer-sample
+// propagation delay, and Gauss-Markov evolution across the coherence time.
+//
+// The conference-room scenario the paper evaluates (§10) is frequency
+// selective but quasi-static: coherence times are hundreds of
+// milliseconds, so a channel snapshot stays valid across many packets —
+// exactly the property MegaMIMO's measurement amortization depends on.
+package channel
+
+import (
+	"math"
+	"math/cmplx"
+
+	"megamimo/internal/rng"
+)
+
+// Link is the channel from one transmit antenna to one receive antenna.
+type Link struct {
+	// Taps are the baseband FIR coefficients at sample spacing, including
+	// the overall path gain.
+	Taps []complex128
+	// Delay is the integer propagation delay in samples (line-of-sight
+	// distance / c at the sample rate; tens of ns in a conference room,
+	// usually 0–1 samples at 10–20 Msample/s).
+	Delay int
+}
+
+// Params configures link generation.
+type Params struct {
+	// NTaps is the number of multipath taps (≥ 1).
+	NTaps int
+	// DecaySamples is the exponential power-delay-profile constant in
+	// samples; tap m has mean power ∝ e^{−m/DecaySamples}.
+	DecaySamples float64
+	// RicianK is the K-factor (linear) of the first tap; 0 means pure
+	// Rayleigh, large K approaches a pure LOS channel.
+	RicianK float64
+}
+
+// DefaultIndoor is a conference-room-like profile: short delay spread
+// (well inside the 16-sample cyclic prefix) and a moderate LOS component.
+var DefaultIndoor = Params{NTaps: 4, DecaySamples: 1.2, RicianK: 2}
+
+// NewLink draws a link with the given average power gain (linear). The tap
+// powers are normalized so E[Σ|tap|²] = powerGain.
+func NewLink(src *rng.Source, p Params, powerGain float64, delay int) *Link {
+	if p.NTaps < 1 {
+		p.NTaps = 1
+	}
+	weights := make([]float64, p.NTaps)
+	var sum float64
+	for m := range weights {
+		w := math.Exp(-float64(m) / math.Max(p.DecaySamples, 1e-9))
+		weights[m] = w
+		sum += w
+	}
+	taps := make([]complex128, p.NTaps)
+	for m := range taps {
+		pw := powerGain * weights[m] / sum
+		if m == 0 && p.RicianK > 0 {
+			// Rician first tap: fixed LOS component + scattered part.
+			los := math.Sqrt(pw * p.RicianK / (1 + p.RicianK))
+			nlos := pw / (1 + p.RicianK)
+			taps[m] = complex(los, 0)*cmplx.Exp(complex(0, src.PhaseUniform())) + src.ComplexNormal(nlos)
+		} else {
+			taps[m] = src.ComplexNormal(pw)
+		}
+	}
+	return &Link{Taps: taps, Delay: delay}
+}
+
+// PowerGain returns Σ|tap|², the average wideband power gain.
+func (l *Link) PowerGain() float64 {
+	var acc float64
+	for _, t := range l.Taps {
+		acc += real(t)*real(t) + imag(t)*imag(t)
+	}
+	return acc
+}
+
+// FreqResponse returns the channel frequency response on an nfft-bin grid:
+// H[k] = Σ_m taps[m]·e^{−j2πkm/nfft}. The integer Delay is not included —
+// it appears as a timing offset, which OFDM absorbs into the cyclic
+// prefix and the estimated per-bin phase slope.
+func (l *Link) FreqResponse(nfft int) []complex128 {
+	out := make([]complex128, nfft)
+	for k := 0; k < nfft; k++ {
+		var acc complex128
+		for m, tap := range l.Taps {
+			ang := -2 * math.Pi * float64(k*m) / float64(nfft)
+			acc += tap * cmplx.Exp(complex(0, ang))
+		}
+		out[k] = acc
+	}
+	return out
+}
+
+// Clone returns an independent copy of the link.
+func (l *Link) Clone() *Link {
+	return &Link{Taps: append([]complex128(nil), l.Taps...), Delay: l.Delay}
+}
+
+// Evolve advances the link one coherence step using a Gauss-Markov
+// innovation: taps ← ρ·taps + √(1−ρ²)·fresh, preserving each tap's mean
+// power. ρ = 1 freezes the channel; ρ = J₀(2πf_D·Δt) matches a Doppler
+// spectrum to first order.
+func (l *Link) Evolve(src *rng.Source, rho float64) {
+	if rho >= 1 {
+		return
+	}
+	if rho < 0 {
+		rho = 0
+	}
+	innoVar := 1 - rho*rho
+	for m := range l.Taps {
+		t := l.Taps[m]
+		// The tap's mean power is approximated by its current power; for
+		// the slow evolution rates in the experiments the approximation
+		// error is negligible against the shadowing variance.
+		pw := real(t)*real(t) + imag(t)*imag(t)
+		l.Taps[m] = complex(rho, 0)*t + src.ComplexNormal(pw*innoVar)
+	}
+}
+
+// CoherenceRho converts a coherence time and elapsed time into the
+// Gauss-Markov ρ: ρ = e^{−Δt/T_c}.
+func CoherenceRho(elapsed, coherence float64) float64 {
+	if coherence <= 0 {
+		return 0
+	}
+	return math.Exp(-elapsed / coherence)
+}

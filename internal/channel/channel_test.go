@@ -1,0 +1,163 @@
+package channel
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"megamimo/internal/rng"
+)
+
+func TestNewLinkPowerNormalization(t *testing.T) {
+	src := rng.New(1)
+	const want = 0.25
+	var acc float64
+	const n = 3000
+	for i := 0; i < n; i++ {
+		l := NewLink(src.Split(uint64(i)), DefaultIndoor, want, 0)
+		acc += l.PowerGain()
+	}
+	got := acc / n
+	if math.Abs(got-want) > 0.02*want {
+		t.Fatalf("mean power gain %v, want %v", got, want)
+	}
+}
+
+func TestNewLinkTapCountAndDelay(t *testing.T) {
+	src := rng.New(2)
+	l := NewLink(src, Params{NTaps: 6, DecaySamples: 2}, 1, 3)
+	if len(l.Taps) != 6 || l.Delay != 3 {
+		t.Fatalf("taps %d delay %d", len(l.Taps), l.Delay)
+	}
+	// Degenerate NTaps is repaired.
+	l2 := NewLink(src, Params{NTaps: 0}, 1, 0)
+	if len(l2.Taps) != 1 {
+		t.Fatalf("NTaps 0 produced %d taps", len(l2.Taps))
+	}
+}
+
+func TestExponentialProfileDecays(t *testing.T) {
+	src := rng.New(3)
+	p := Params{NTaps: 5, DecaySamples: 1.0}
+	sums := make([]float64, p.NTaps)
+	const n = 4000
+	for i := 0; i < n; i++ {
+		l := NewLink(src.Split(uint64(i)), p, 1, 0)
+		for m, tap := range l.Taps {
+			sums[m] += real(tap)*real(tap) + imag(tap)*imag(tap)
+		}
+	}
+	for m := 1; m < p.NTaps; m++ {
+		if sums[m] >= sums[m-1] {
+			t.Fatalf("tap %d power %v ≥ tap %d power %v", m, sums[m], m-1, sums[m-1])
+		}
+	}
+}
+
+func TestRicianFirstTapHasLOSBias(t *testing.T) {
+	src := rng.New(4)
+	// With large K the first tap magnitude barely varies.
+	p := Params{NTaps: 1, DecaySamples: 1, RicianK: 100}
+	var min, max float64 = math.Inf(1), 0
+	for i := 0; i < 500; i++ {
+		l := NewLink(src.Split(uint64(i)), p, 1, 0)
+		m := cmplx.Abs(l.Taps[0])
+		if m < min {
+			min = m
+		}
+		if m > max {
+			max = m
+		}
+	}
+	if max/min > 2 {
+		t.Fatalf("K=100 magnitude spread too wide: [%v, %v]", min, max)
+	}
+}
+
+func TestFreqResponseSingleTapIsFlat(t *testing.T) {
+	l := &Link{Taps: []complex128{0.5 - 0.5i}}
+	h := l.FreqResponse(64)
+	for k, v := range h {
+		if cmplx.Abs(v-(0.5-0.5i)) > 1e-12 {
+			t.Fatalf("bin %d = %v", k, v)
+		}
+	}
+}
+
+func TestFreqResponseMatchesDFTOfTaps(t *testing.T) {
+	src := rng.New(5)
+	l := NewLink(src, Params{NTaps: 4, DecaySamples: 1.5}, 1, 0)
+	h := l.FreqResponse(64)
+	for k := 0; k < 64; k += 7 {
+		var want complex128
+		for m, tap := range l.Taps {
+			want += tap * cmplx.Exp(complex(0, -2*math.Pi*float64(k*m)/64))
+		}
+		if cmplx.Abs(h[k]-want) > 1e-9 {
+			t.Fatalf("bin %d: %v vs %v", k, h[k], want)
+		}
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	l := &Link{Taps: []complex128{1, 2}, Delay: 1}
+	c := l.Clone()
+	c.Taps[0] = 9
+	if l.Taps[0] != 1 {
+		t.Fatal("Clone shares taps")
+	}
+}
+
+func TestEvolveRhoOneFreezes(t *testing.T) {
+	src := rng.New(6)
+	l := NewLink(src, DefaultIndoor, 1, 0)
+	before := append([]complex128(nil), l.Taps...)
+	l.Evolve(src, 1)
+	for i := range before {
+		if l.Taps[i] != before[i] {
+			t.Fatal("rho=1 changed the channel")
+		}
+	}
+}
+
+func TestEvolvePreservesMeanPower(t *testing.T) {
+	src := rng.New(7)
+	var before, after float64
+	for i := 0; i < 2000; i++ {
+		l := NewLink(src.Split(uint64(i)), Params{NTaps: 3, DecaySamples: 1}, 1, 0)
+		before += l.PowerGain()
+		l.Evolve(src, 0.9)
+		after += l.PowerGain()
+	}
+	if math.Abs(after/before-1) > 0.05 {
+		t.Fatalf("Evolve changed mean power by %v×", after/before)
+	}
+}
+
+func TestEvolveDecorrelatesAtRhoZero(t *testing.T) {
+	src := rng.New(8)
+	var corr complex128
+	var norm float64
+	for i := 0; i < 2000; i++ {
+		l := NewLink(src.Split(uint64(i)), Params{NTaps: 1, DecaySamples: 1}, 1, 0)
+		old := l.Taps[0]
+		l.Evolve(src, 0)
+		corr += old * cmplx.Conj(l.Taps[0])
+		norm += cmplx.Abs(old) * cmplx.Abs(l.Taps[0])
+	}
+	if cmplx.Abs(corr)/norm > 0.1 {
+		t.Fatalf("rho=0 left correlation %v", cmplx.Abs(corr)/norm)
+	}
+}
+
+func TestCoherenceRho(t *testing.T) {
+	if got := CoherenceRho(0, 0.25); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("rho(0) = %v", got)
+	}
+	if got := CoherenceRho(0.25, 0.25); math.Abs(got-math.Exp(-1)) > 1e-12 {
+		t.Fatalf("rho(Tc) = %v", got)
+	}
+	if CoherenceRho(1, 0) != 0 {
+		t.Fatal("zero coherence should return 0")
+	}
+}

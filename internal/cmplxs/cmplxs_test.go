@@ -1,0 +1,265 @@
+package cmplxs
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+const eps = 1e-12
+
+func approx(a, b complex128) bool { return cmplx.Abs(a-b) < 1e-9 }
+
+func TestAddSubMul(t *testing.T) {
+	a := []complex128{1 + 2i, 3 - 1i}
+	b := []complex128{2 - 2i, -1 + 4i}
+	dst := make([]complex128, 2)
+	Add(dst, a, b)
+	if !approx(dst[0], 3+0i) || !approx(dst[1], 2+3i) {
+		t.Fatalf("Add = %v", dst)
+	}
+	Sub(dst, a, b)
+	if !approx(dst[0], -1+4i) || !approx(dst[1], 4-5i) {
+		t.Fatalf("Sub = %v", dst)
+	}
+	Mul(dst, a, b)
+	if !approx(dst[0], (1+2i)*(2-2i)) || !approx(dst[1], (3-1i)*(-1+4i)) {
+		t.Fatalf("Mul = %v", dst)
+	}
+}
+
+func TestAddAliasesDestination(t *testing.T) {
+	a := []complex128{1, 2, 3}
+	b := []complex128{10, 20, 30}
+	Add(a, a, b)
+	if a[2] != 33 {
+		t.Fatalf("aliased Add = %v", a)
+	}
+}
+
+func TestMulConjAndDot(t *testing.T) {
+	a := []complex128{1 + 1i, 2i}
+	b := []complex128{1 - 1i, 3}
+	dst := make([]complex128, 2)
+	MulConj(dst, a, b)
+	if !approx(dst[0], (1+1i)*(1+1i)) || !approx(dst[1], 6i) {
+		t.Fatalf("MulConj = %v", dst)
+	}
+	if got := Dot(a, a); math.Abs(real(got)-6) > eps || math.Abs(imag(got)) > eps {
+		t.Fatalf("Dot(a,a) = %v, want 6", got)
+	}
+}
+
+func TestDivInvertsMul(t *testing.T) {
+	a := []complex128{1 + 2i, -3 + 0.5i, 0.25i}
+	b := []complex128{2 - 1i, 1 + 1i, -4}
+	prod := make([]complex128, 3)
+	Mul(prod, a, b)
+	back := make([]complex128, 3)
+	Div(back, prod, b)
+	for i := range a {
+		if !approx(back[i], a[i]) {
+			t.Fatalf("Div(Mul(a,b),b)[%d] = %v, want %v", i, back[i], a[i])
+		}
+	}
+}
+
+func TestScaleAXPY(t *testing.T) {
+	a := []complex128{1, 1i}
+	dst := make([]complex128, 2)
+	Scale(dst, a, 2i)
+	if !approx(dst[0], 2i) || !approx(dst[1], -2) {
+		t.Fatalf("Scale = %v", dst)
+	}
+	AXPY(dst, 1i, a)
+	if !approx(dst[0], 3i) || !approx(dst[1], -3) {
+		t.Fatalf("AXPY = %v", dst)
+	}
+}
+
+func TestEnergyPower(t *testing.T) {
+	a := []complex128{3 + 4i, 0, 1}
+	if got := Energy(a); math.Abs(got-26) > eps {
+		t.Fatalf("Energy = %v", got)
+	}
+	if got := Power(a); math.Abs(got-26.0/3) > eps {
+		t.Fatalf("Power = %v", got)
+	}
+	if Power(nil) != 0 {
+		t.Fatal("Power(nil) != 0")
+	}
+}
+
+func TestRotateMatchesExplicitExponential(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	n := 4096
+	a := make([]complex128, n)
+	for i := range a {
+		a[i] = complex(r.NormFloat64(), r.NormFloat64())
+	}
+	phase0, step := 0.3, 0.001
+	dst := make([]complex128, n)
+	Rotate(dst, a, phase0, step)
+	for i := 0; i < n; i += 257 {
+		want := a[i] * cmplx.Exp(complex(0, phase0+float64(i)*step))
+		if cmplx.Abs(dst[i]-want) > 1e-8 {
+			t.Fatalf("Rotate[%d] = %v, want %v", i, dst[i], want)
+		}
+	}
+}
+
+func TestRotatePreservesEnergy(t *testing.T) {
+	a := []complex128{1 + 2i, -1i, 3, 0.5 + 0.5i}
+	dst := make([]complex128, len(a))
+	Rotate(dst, a, 1.234, 0.777)
+	if math.Abs(Energy(dst)-Energy(a)) > 1e-9 {
+		t.Fatalf("Rotate changed energy: %v -> %v", Energy(a), Energy(dst))
+	}
+}
+
+func TestWrapPhase(t *testing.T) {
+	cases := []struct{ in, want float64 }{
+		{0, 0},
+		{math.Pi, math.Pi},
+		{-math.Pi, math.Pi},
+		{3 * math.Pi, math.Pi},
+		{2 * math.Pi, 0},
+		{-2.5 * math.Pi, -0.5 * math.Pi},
+	}
+	for _, c := range cases {
+		if got := WrapPhase(c.in); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("WrapPhase(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestPhaseDiff(t *testing.T) {
+	a := Expi(2.0)
+	b := Expi(1.5)
+	if got := PhaseDiff(a, b); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("PhaseDiff = %v, want 0.5", got)
+	}
+	// Wraps across the branch cut.
+	a, b = Expi(3.0), Expi(-3.0)
+	if got := PhaseDiff(a, b); math.Abs(got-(6.0-2*math.Pi)) > 1e-12 {
+		t.Fatalf("PhaseDiff wrap = %v", got)
+	}
+}
+
+func TestMeanPhaseWeightsByMagnitude(t *testing.T) {
+	// A huge element at phase 0 dominates a tiny one at phase π/2.
+	a := []complex128{100, 1e-6 * Expi(math.Pi/2)}
+	if got := MeanPhase(a); math.Abs(got) > 1e-6 {
+		t.Fatalf("MeanPhase = %v, want ~0", got)
+	}
+}
+
+func TestDBRoundTrip(t *testing.T) {
+	for _, db := range []float64{-30, -3, 0, 10, 25.7} {
+		if got := DB(FromDB(db)); math.Abs(got-db) > 1e-9 {
+			t.Fatalf("DB(FromDB(%v)) = %v", db, got)
+		}
+	}
+}
+
+func TestMaxAbs(t *testing.T) {
+	if MaxAbs(nil) != 0 {
+		t.Fatal("MaxAbs(nil) != 0")
+	}
+	if got := MaxAbs([]complex128{1i, 3 + 4i, -2}); math.Abs(got-5) > eps {
+		t.Fatalf("MaxAbs = %v", got)
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	a := []complex128{1, 2}
+	b := Clone(a)
+	b[0] = 99
+	if a[0] != 1 {
+		t.Fatal("Clone shares backing array")
+	}
+}
+
+func TestZero(t *testing.T) {
+	a := []complex128{1, 2, 3}
+	Zero(a)
+	for _, v := range a {
+		if v != 0 {
+			t.Fatalf("Zero left %v", a)
+		}
+	}
+}
+
+func TestLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on length mismatch")
+		}
+	}()
+	Add(make([]complex128, 1), make([]complex128, 2), make([]complex128, 2))
+}
+
+// Property: energy is invariant under conjugation and rotation, additive
+// under orthogonal concatenation.
+func TestQuickEnergyInvariants(t *testing.T) {
+	f := func(re, im []float64) bool {
+		n := len(re)
+		if len(im) < n {
+			n = len(im)
+		}
+		if n == 0 {
+			return true
+		}
+		a := make([]complex128, n)
+		for i := 0; i < n; i++ {
+			// Clamp to keep float error bounded.
+			a[i] = complex(math.Mod(re[i], 1e3), math.Mod(im[i], 1e3))
+		}
+		e := Energy(a)
+		c := make([]complex128, n)
+		Conj(c, a)
+		r := make([]complex128, n)
+		Rotate(r, a, 0.7, 0.1)
+		return math.Abs(Energy(c)-e) < 1e-6*(1+e) && math.Abs(Energy(r)-e) < 1e-6*(1+e)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: WrapPhase is idempotent and stays in (-π, π].
+func TestQuickWrapPhase(t *testing.T) {
+	f := func(p float64) bool {
+		if math.IsNaN(p) || math.IsInf(p, 0) || math.Abs(p) > 1e6 {
+			return true
+		}
+		w := WrapPhase(p)
+		return w > -math.Pi-1e-12 && w <= math.Pi+1e-12 && math.Abs(WrapPhase(w)-w) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkRotate(b *testing.B) {
+	a := make([]complex128, 8192)
+	for i := range a {
+		a[i] = complex(float64(i), 1)
+	}
+	dst := make([]complex128, len(a))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Rotate(dst, a, 0.1, 0.001)
+	}
+}
+
+func BenchmarkAXPY(b *testing.B) {
+	a := make([]complex128, 8192)
+	dst := make([]complex128, len(a))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		AXPY(dst, 0.5+0.5i, a)
+	}
+}

@@ -1,0 +1,493 @@
+// Package core implements MegaMIMO itself: the distributed phase
+// synchronization protocol (§4–5), joint zero-forcing multi-user
+// beamforming across independent APs, the diversity mode (§8), decoupled
+// per-receiver channel measurement (§7 and the appendix), and the 802.11n
+// compatibility path (§6).
+//
+// The package drives real signal paths end to end: every channel estimate
+// the protocol uses is measured from samples observed on the shared air
+// medium (internal/air) by the node that owns it, with that node's own
+// oscillator impairments — no genie state crosses between nodes except
+// over the modeled Ethernet backend, exactly as in the paper's testbed.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"megamimo/internal/air"
+	"megamimo/internal/backend"
+	"megamimo/internal/channel"
+	"megamimo/internal/matrix"
+	"megamimo/internal/ofdm"
+	"megamimo/internal/phy"
+	"megamimo/internal/radio"
+	"megamimo/internal/rng"
+)
+
+// Config assembles a MegaMIMO network.
+type Config struct {
+	// NumAPs and NumClients size the network; the paper's headline
+	// experiments use NumAPs == NumClients.
+	NumAPs, NumClients int
+	// AntennasPerAP / AntennasPerClient: 1 for the USRP testbed, 2 for the
+	// 802.11n testbed.
+	AntennasPerAP, AntennasPerClient int
+	// SampleRate: 10 MHz (USRP testbed) or 20 MHz (802.11n testbed).
+	SampleRate float64
+	// CarrierHz is the RF carrier, default 2.437 GHz (channel 6).
+	CarrierHz float64
+	// PPMBudget bounds each node's crystal error (uniform ±budget).
+	// Real deployed radios sit near ±2 ppm; 802.11 allows 20.
+	PPMBudget float64
+	// NoiseVar is the per-sample noise variance at every receiver.
+	NoiseVar float64
+	// SNRRangeDB is the target client SNR band [lo, hi] (the paper's
+	// low 6–12, medium 12–18, high 18–25); per-client mean SNR is drawn
+	// uniformly inside it and per-AP link gains vary ±LinkSpreadDB around
+	// that mean.
+	SNRRangeDB [2]float64
+	// LinkSpreadDB is the per-link gain variation around the client mean.
+	LinkSpreadDB float64
+	// APLinkSNRdB is the lead→slave link SNR (APs are infrastructure on
+	// ledges with strong mutual links).
+	APLinkSNRdB float64
+	// ChannelParams shapes the multipath profile.
+	ChannelParams channel.Params
+	// WellConditioned draws the AP→client matrix from a Haar-unitary
+	// mixing ensemble (scaled by per-client gains, plus mild extra
+	// multipath) instead of iid Rayleigh links. The paper's conference
+	// room measured channels it calls "random and well conditioned"
+	// (§11.2) — a property iid Rayleigh draws lack at N×N, where
+	// zero-forcing pays a heavy-tailed inversion penalty the testbed did
+	// not observe. The experiment harness enables this for the throughput
+	// figures; microbenchmarks run both ways.
+	WellConditioned bool
+	// TriggerDelaySamples is t∆, the fixed turnaround between the lead's
+	// sync header and the joint data transmission (§10: 150 µs).
+	TriggerDelaySamples int
+	// MeasurementRounds is the number of interleaved channel-measurement
+	// repetitions averaged by the clients (§5.1: "repeated ... to reduce
+	// the impact of noise").
+	MeasurementRounds int
+	// RateMarginDB backs the idealized zero-forcing SNR prediction (k²/N)
+	// off before the MCS table lookup, covering receiver implementation
+	// loss (channel-estimation noise, pilot jitter, residual CFO).
+	RateMarginDB float64
+	// ExtrapolatePhase is the ablation switch for the paper's central
+	// design decision (§1, §5.2): when set, slaves skip the per-packet
+	// direct phase measurement and predict their correction as Δω̂·t from
+	// the measurement-time reference alone. Frequency-offset estimation
+	// error then accumulates without bound across packets — the failure
+	// mode MegaMIMO exists to avoid.
+	ExtrapolatePhase bool
+	// CSIQuantBits, when positive, quantizes every client CSI report to a
+	// signed fixed-point format with this many magnitude bits before it is
+	// fed back — the Intel 5300's firmware behavior (§6: the 802.11n
+	// testbed obtains CSI from the card's quantized reports).
+	CSIQuantBits int
+	// WirelessFeedback carries CSI reports over the real wireless uplink
+	// (serialized into base-rate frames decoded by the lead AP, with
+	// retransmissions) instead of the modeled Ethernet shortcut. §5.1b:
+	// "the receivers then communicate these estimated channels back to
+	// the transmitters over the wireless channel."
+	WirelessFeedback bool
+	// ModelSFO enables sampling-frequency-offset simulation in the medium.
+	ModelSFO bool
+	// WanderStd adds Wiener oscillator phase noise (rad/√sample).
+	WanderStd float64
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// DefaultConfig mirrors the paper's USRP testbed at a given size and SNR
+// band.
+func DefaultConfig(nAPs, nClients int, snrLo, snrHi float64) Config {
+	return Config{
+		NumAPs:              nAPs,
+		NumClients:          nClients,
+		AntennasPerAP:       1,
+		AntennasPerClient:   1,
+		SampleRate:          10e6,
+		CarrierHz:           2.437e9,
+		PPMBudget:           2,
+		NoiseVar:            1e-3,
+		SNRRangeDB:          [2]float64{snrLo, snrHi},
+		LinkSpreadDB:        3,
+		APLinkSNRdB:         32,
+		ChannelParams:       channel.DefaultIndoor,
+		TriggerDelaySamples: 1500, // 150 µs at 10 MHz
+		MeasurementRounds:   4,
+		RateMarginDB:        3.0,
+		Seed:                1,
+	}
+}
+
+// AP is one access point.
+type AP struct {
+	Index int
+	Node  *radio.Node
+	// IsLead marks the elected lead AP (§4: "declare one transmitter the
+	// lead").
+	IsLead bool
+
+	// syncs holds this AP's phase-synchronization state toward every
+	// other AP that might lead a transmission (§9 nominates the
+	// head-of-queue packet's designated AP as lead, so every AP keeps a
+	// reference to every potential lead, captured from the same
+	// measurement packet).
+	syncs map[int]*peerSync
+
+	// weights hold this AP's precoder rows after the lead distributes the
+	// beamforming matrix: weights[ownAnt][stream][bin].
+	weights [][][]complex128
+}
+
+// peerSync is one AP's synchronization state toward one potential lead.
+type peerSync struct {
+	// ref is the reference channel ĥᵢ^peer(0), one complex gain per FFT
+	// bin (§5.1c).
+	ref []complex128
+	// refAt is the ether time of the reference estimate's phase-reference
+	// sample: phase ratios against ref measure the oscillator advance
+	// since exactly this instant.
+	refAt int64
+	// cfo is the long-term estimate of ω_peer − ω_self in rad/sample
+	// (§5.3: averaged for intra-packet tracking), fused
+	// precision-weighted (cfoWeight ∝ baseline²).
+	cfo       float64
+	cfoWeight float64
+	// lastPhase/lastAt snapshot the latest ratio phase for cross-packet
+	// CFO refinement: two phase snapshots a known (long) time apart give
+	// a far more precise frequency estimate than any single header.
+	lastPhase float64
+	lastAt    int64
+	hasPhase  bool
+	// srate is the long-term sampling-offset slope rate in rad/bin/sample
+	// (§5.2: "the MegaMIMO slave APs correct for the effect of sampling
+	// frequency offset during the packet by using a long-term averaged
+	// estimate, similar to the carrier frequency offset"). A single
+	// packet's slope estimate is noisy enough to swing the correction by
+	// ~0.1 rad on asymmetric fading; the averaged rate is not.
+	srate       float64
+	srateWeight float64
+}
+
+// syncTo returns (allocating if needed) the AP's sync state toward peer.
+func (ap *AP) syncTo(peer int) *peerSync {
+	if ap.syncs == nil {
+		ap.syncs = make(map[int]*peerSync)
+	}
+	s := ap.syncs[peer]
+	if s == nil {
+		s = &peerSync{}
+		ap.syncs[peer] = s
+	}
+	return s
+}
+
+// Client is one receiver.
+type Client struct {
+	Index int
+	Node  *radio.Node
+	rx    *phy.RX
+	// NoiseVarEst is the client's own noise estimate, reported with CSI.
+	NoiseVarEst float64
+}
+
+// Network owns the medium, the nodes and the global clock.
+type Network struct {
+	Cfg     Config
+	Air     *air.Air
+	Bus     *backend.Bus
+	APs     []*AP
+	Clients []*Client
+
+	now    int64
+	rng    *rng.Source
+	tracer *Tracer
+
+	// Msmt is the latest channel-measurement state (H estimate and the
+	// reference time); nil until Measure runs.
+	Msmt *Measurement
+}
+
+const clientAntBase = 10000
+
+// APAntennaID returns the air antenna ID for AP ap, antenna m.
+func (n *Network) APAntennaID(ap, m int) int { return ap*n.Cfg.AntennasPerAP + m }
+
+// ClientAntennaID returns the air antenna ID for client c, antenna m.
+func (n *Network) ClientAntennaID(c, m int) int {
+	return clientAntBase + c*n.Cfg.AntennasPerClient + m
+}
+
+// NumStreams returns the total concurrent streams (client antennas).
+func (n *Network) NumStreams() int { return n.Cfg.NumClients * n.Cfg.AntennasPerClient }
+
+// NumTxAntennas returns the total AP antennas.
+func (n *Network) NumTxAntennas() int { return n.Cfg.NumAPs * n.Cfg.AntennasPerAP }
+
+// Now returns the current ether time in samples.
+func (n *Network) Now() int64 { return n.now }
+
+// AdvanceTime moves the clock forward (test hook / idle periods).
+func (n *Network) AdvanceTime(samples int64) { n.now += samples }
+
+// New builds a network: nodes with independent oscillators, Rayleigh/Rician
+// links sized to the configured SNR band, and an Ethernet bus.
+func New(cfg Config) (*Network, error) {
+	if cfg.NumAPs < 1 || cfg.NumClients < 1 {
+		return nil, fmt.Errorf("core: need at least one AP and one client")
+	}
+	if cfg.AntennasPerAP < 1 {
+		cfg.AntennasPerAP = 1
+	}
+	if cfg.AntennasPerClient < 1 {
+		cfg.AntennasPerClient = 1
+	}
+	if cfg.MeasurementRounds < 2 {
+		cfg.MeasurementRounds = 2
+	}
+	src := rng.New(cfg.Seed)
+	n := &Network{
+		Cfg: cfg,
+		Air: air.New(air.Config{
+			SampleRate: cfg.SampleRate,
+			NoiseVar:   cfg.NoiseVar,
+			ModelSFO:   cfg.ModelSFO,
+			Seed:       cfg.Seed + 7,
+		}),
+		rng: src,
+	}
+	busIDs := make([]int, 0, cfg.NumAPs)
+	for a := 0; a < cfg.NumAPs; a++ {
+		ants := make([]int, cfg.AntennasPerAP)
+		for m := range ants {
+			ants[m] = n.APAntennaID(a, m)
+		}
+		node := radio.NewNode(a, src.Split(uint64(a)+100), cfg.PPMBudget, cfg.CarrierHz, cfg.SampleRate, ants...)
+		node.Osc.WanderStd = cfg.WanderStd
+		n.APs = append(n.APs, &AP{Index: a, Node: node, IsLead: a == 0})
+		busIDs = append(busIDs, a)
+	}
+	for c := 0; c < cfg.NumClients; c++ {
+		ants := make([]int, cfg.AntennasPerClient)
+		for m := range ants {
+			ants[m] = n.ClientAntennaID(c, m)
+		}
+		node := radio.NewNode(1000+c, src.Split(uint64(c)+500), cfg.PPMBudget, cfg.CarrierHz, cfg.SampleRate, ants...)
+		node.Osc.WanderStd = cfg.WanderStd
+		n.Clients = append(n.Clients, &Client{Index: c, Node: node, rx: phy.NewRX()})
+		busIDs = append(busIDs, 1000+c)
+	}
+	n.Bus = backend.New(int64(cfg.SampleRate*50e-6), busIDs...) // 50 µs backbone hop
+	n.buildLinks(src.Split(0xC4A))
+	return n, nil
+}
+
+// buildLinks draws every AP→client link inside the SNR band and the
+// lead→slave reference links.
+func (n *Network) buildLinks(src *rng.Source) {
+	cfg := n.Cfg
+	var mix *matrix.M
+	if cfg.WellConditioned {
+		mix = haarMixing(src.Split(0x4AA2), n.NumStreams(), n.NumTxAntennas())
+	}
+	for c := 0; c < cfg.NumClients; c++ {
+		meanSNR := src.Uniform(cfg.SNRRangeDB[0], cfg.SNRRangeDB[1])
+		for a := 0; a < cfg.NumAPs; a++ {
+			for am := 0; am < cfg.AntennasPerAP; am++ {
+				for cm := 0; cm < cfg.AntennasPerClient; cm++ {
+					var l *channel.Link
+					if mix != nil {
+						gain := cfg.NoiseVar * pow10(meanSNR/10)
+						row := c*cfg.AntennasPerClient + cm
+						col := a*cfg.AntennasPerAP + am
+						l = mixedLink(src.Split(linkSeed(a, am, c, cm)), gain, mix.At(row, col), n.NumTxAntennas())
+					} else {
+						snr := meanSNR + src.Uniform(-cfg.LinkSpreadDB, cfg.LinkSpreadDB)
+						gain := cfg.NoiseVar * pow10(snr/10)
+						l = channel.NewLink(src.Split(linkSeed(a, am, c, cm)), cfg.ChannelParams, gain, 0)
+					}
+					n.Air.SetLink(n.APAntennaID(a, am), n.ClientAntennaID(c, cm), l)
+				}
+			}
+		}
+	}
+	// Lead (and any AP that may become lead) to every other AP: strong
+	// infrastructure links, reciprocal.
+	for a := 0; a < cfg.NumAPs; a++ {
+		for b := 0; b < cfg.NumAPs; b++ {
+			if a == b {
+				continue
+			}
+			gain := cfg.NoiseVar * pow10(cfg.APLinkSNRdB/10)
+			l := channel.NewLink(src.Split(0xAB0000+uint64(a*64+b)), cfg.ChannelParams, gain, 0)
+			n.Air.SetLink(n.APAntennaID(a, 0), n.APAntennaID(b, 0), l)
+		}
+	}
+	// Uplink reciprocity: the client→AP channel is the same physical link
+	// object as the downlink, so fading and evolution stay consistent.
+	for c := 0; c < cfg.NumClients; c++ {
+		for a := 0; a < cfg.NumAPs; a++ {
+			for am := 0; am < cfg.AntennasPerAP; am++ {
+				for cm := 0; cm < cfg.AntennasPerClient; cm++ {
+					if l := n.Air.Link(n.APAntennaID(a, am), n.ClientAntennaID(c, cm)); l != nil {
+						n.Air.SetLink(n.ClientAntennaID(c, cm), n.APAntennaID(a, am), l)
+					}
+				}
+			}
+		}
+	}
+}
+
+// haarMixing draws an approximately Haar-distributed unitary (via
+// Gram-Schmidt on an iid Gaussian matrix) and returns its top-left
+// rows×cols block, the conditioning-friendly spatial mixing structure.
+func haarMixing(src *rng.Source, rows, cols int) *matrix.M {
+	n := rows
+	if cols > n {
+		n = cols
+	}
+	g := matrix.New(n, n)
+	for i := range g.Data {
+		g.Data[i] = src.ComplexNormal(1)
+	}
+	// Modified Gram-Schmidt over columns.
+	for c := 0; c < n; c++ {
+		col := g.Col(c)
+		for p := 0; p < c; p++ {
+			prev := g.Col(p)
+			var dot complex128
+			for i := range col {
+				dot += col[i] * complex(real(prev[i]), -imag(prev[i]))
+			}
+			for i := range col {
+				col[i] -= dot * prev[i]
+			}
+		}
+		var norm float64
+		for _, v := range col {
+			norm += real(v)*real(v) + imag(v)*imag(v)
+		}
+		norm = math.Sqrt(norm)
+		for i := range col {
+			col[i] /= complex(norm, 0)
+		}
+		for r := 0; r < n; r++ {
+			g.Set(r, c, col[r])
+		}
+	}
+	out := matrix.New(rows, cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			out.Set(r, c, g.At(r, c))
+		}
+	}
+	return out
+}
+
+// mixedLink builds a link whose dominant tap realizes one entry of the
+// scaled mixing matrix (so the per-bin network matrix is well conditioned)
+// plus two weak scattered taps (−13 dB total) for realistic mild frequency
+// selectivity.
+func mixedLink(src *rng.Source, clientGain float64, mixEntry complex128, txAnts int) *channel.Link {
+	// A unitary's entries carry power 1/dim; scale so the link's average
+	// power gain is clientGain (each AP contributes clientGain; the array
+	// sums to N·clientGain, the joint transmission's power advantage).
+	main := complex(math.Sqrt(clientGain*float64(txAnts)*0.95), 0) * mixEntry
+	taps := []complex128{
+		main,
+		src.ComplexNormal(clientGain * 0.03),
+		src.ComplexNormal(clientGain * 0.02),
+	}
+	return &channel.Link{Taps: taps}
+}
+
+func linkSeed(a, am, c, cm int) uint64 {
+	return uint64(a)<<24 | uint64(am)<<16 | uint64(c)<<8 | uint64(cm)
+}
+
+func pow10(x float64) float64 { return math.Pow(10, x) }
+
+// Lead returns the lead AP.
+func (n *Network) Lead() *AP {
+	for _, ap := range n.APs {
+		if ap.IsLead {
+			return ap
+		}
+	}
+	return n.APs[0]
+}
+
+// Slaves returns all non-lead APs.
+func (n *Network) Slaves() []*AP {
+	out := make([]*AP, 0, len(n.APs)-1)
+	for _, ap := range n.APs {
+		if !ap.IsLead {
+			out = append(out, ap)
+		}
+	}
+	return out
+}
+
+// SetLead re-elects the lead AP (§9: the designated AP of the head-of-queue
+// packet leads each transmission).
+func (n *Network) SetLead(index int) {
+	for _, ap := range n.APs {
+		ap.IsLead = ap.Index == index
+	}
+}
+
+// EvolveClientLinks ages every AP→client link of one client with the
+// Gauss-Markov coherence model (ρ = 1 freezes; channel.CoherenceRho maps
+// elapsed time to ρ). Used to study measurement staleness: §9 notes stale
+// channel state to one client corrupts only that client's packets.
+func (n *Network) EvolveClientLinks(client int, rho float64) {
+	src := n.rng.Split(0xE701 + uint64(client)<<8 + uint64(n.now))
+	for a := 0; a < n.Cfg.NumAPs; a++ {
+		for am := 0; am < n.Cfg.AntennasPerAP; am++ {
+			for cm := 0; cm < n.Cfg.AntennasPerClient; cm++ {
+				if l := n.Air.Link(n.APAntennaID(a, am), n.ClientAntennaID(client, cm)); l != nil {
+					l.Evolve(src, rho)
+				}
+			}
+		}
+	}
+}
+
+// StrongestAP returns the AP with the highest measured wideband gain to
+// the given stream (the packet's "designated AP", §9). It falls back to
+// AP 0 when no measurement exists.
+func (n *Network) StrongestAP(stream int) int {
+	if n.Msmt == nil {
+		return 0
+	}
+	best, bestPow := 0, -1.0
+	for a := 0; a < n.Cfg.NumAPs; a++ {
+		var pow float64
+		for m := 0; m < n.Cfg.AntennasPerAP; m++ {
+			g := a*n.Cfg.AntennasPerAP + m
+			for _, hm := range n.Msmt.H {
+				v := hm.At(stream, g)
+				pow += real(v)*real(v) + imag(v)*imag(v)
+			}
+		}
+		if pow > bestPow {
+			best, bestPow = a, pow
+		}
+	}
+	return best
+}
+
+// symbolWave synthesizes one known OFDM training symbol (the LTF sequence
+// on its 52 bins) used for CFO blocks and interleaved measurement.
+func symbolWave() []complex128 {
+	mod := ofdm.NewModulator()
+	sym, err := mod.RawSymbol(ofdm.LTFFreq())
+	if err != nil {
+		panic(err)
+	}
+	return sym
+}

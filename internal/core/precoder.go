@@ -1,0 +1,146 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"megamimo/internal/matrix"
+	"megamimo/internal/ofdm"
+)
+
+// Precoder holds per-subcarrier transmit weights for the joint
+// transmission: W maps stream symbols to AP-antenna signals on each
+// occupied bin, already scaled by the per-antenna power constraint (the
+// paper's k in "APs multiply the signals by kH⁻¹", §9).
+type Precoder struct {
+	// Bins are the occupied FFT bins (same order as the Measurement).
+	Bins []int
+	// W[i] is the txAnts × streams weight matrix on Bins[i], including
+	// PowerScale.
+	W []*matrix.M
+	// PowerScale is the scalar k; each client's effective per-bin signal
+	// amplitude after zero-forcing is exactly k.
+	PowerScale float64
+	// Streams and TxAnts record the dimensions.
+	Streams, TxAnts int
+}
+
+// ComputeZF builds the zero-forcing precoder W = k·H⁻¹ (pseudo-inverse
+// when H is not square) from a channel measurement. lambda regularizes the
+// inverse (0 = pure ZF; the stream noise variance yields an MMSE-flavored
+// precoder useful at low SNR).
+func ComputeZF(m *Measurement, lambda float64) (*Precoder, error) {
+	if m == nil || len(m.H) == 0 {
+		return nil, fmt.Errorf("core: no measurement to precode from")
+	}
+	streams, txAnts := m.H[0].Rows, m.H[0].Cols
+	if txAnts < streams {
+		return nil, fmt.Errorf("core: %d tx antennas cannot serve %d streams", txAnts, streams)
+	}
+	p := &Precoder{Bins: m.Bins, W: make([]*matrix.M, len(m.H)), Streams: streams, TxAnts: txAnts}
+	// Per-antenna average transmit power before scaling.
+	perAnt := make([]float64, txAnts)
+	for i, h := range m.H {
+		w, err := h.PseudoInverse(lambda)
+		if err != nil {
+			return nil, fmt.Errorf("core: bin %d: %w", m.Bins[i], err)
+		}
+		p.W[i] = w
+		for a := 0; a < txAnts; a++ {
+			row := w.Row(a)
+			var pw float64
+			for _, v := range row {
+				pw += real(v)*real(v) + imag(v)*imag(v)
+			}
+			perAnt[a] += pw
+		}
+	}
+	maxP := 0.0
+	for a := range perAnt {
+		perAnt[a] /= float64(len(m.H))
+		if perAnt[a] > maxP {
+			maxP = perAnt[a]
+		}
+	}
+	if maxP <= 0 {
+		return nil, fmt.Errorf("core: degenerate precoder (zero channel)")
+	}
+	p.PowerScale = 1 / math.Sqrt(maxP)
+	s := complex(p.PowerScale, 0)
+	for _, w := range p.W {
+		for i := range w.Data {
+			w.Data[i] *= s
+		}
+	}
+	return p, nil
+}
+
+// ComputeDiversity builds the coherent-combining precoder of §8: every AP
+// antenna transmits the single stream with weight h*/|h| per bin — full
+// per-antenna power, phases aligned at the chosen stream's receiver.
+func ComputeDiversity(m *Measurement, stream int) (*Precoder, error) {
+	if m == nil || len(m.H) == 0 {
+		return nil, fmt.Errorf("core: no measurement to precode from")
+	}
+	streams, txAnts := m.H[0].Rows, m.H[0].Cols
+	if stream < 0 || stream >= streams {
+		return nil, fmt.Errorf("core: diversity stream %d out of range", stream)
+	}
+	p := &Precoder{Bins: m.Bins, W: make([]*matrix.M, len(m.H)), Streams: 1, TxAnts: txAnts, PowerScale: 1}
+	for i, h := range m.H {
+		w := matrix.New(txAnts, 1)
+		for a := 0; a < txAnts; a++ {
+			g := h.At(stream, a)
+			if ab := cmplx.Abs(g); ab > 1e-12 {
+				w.Set(a, 0, cmplx.Conj(g)/complex(ab, 0))
+			}
+		}
+		p.W[i] = w
+	}
+	return p, nil
+}
+
+// GainColumn returns the 64-bin per-subcarrier gain vector that transmit
+// antenna txAnt applies to stream's frame (zeros outside occupied bins) —
+// the argument to phy.SynthesizeWithGain.
+func (p *Precoder) GainColumn(txAnt, stream int) []complex128 {
+	gain := make([]complex128, ofdm.NFFT)
+	for i, b := range p.Bins {
+		gain[b] = p.W[i].At(txAnt, stream)
+	}
+	return gain
+}
+
+// EffectiveSubcarrierSNR predicts each stream's per-bin SNR after
+// zero-forcing: |k|²/noiseVar on every occupied bin (§9's rate selection:
+// "the effective channel is kH⁻¹H = kI, giving signal strength k² at each
+// client").
+func (p *Precoder) EffectiveSubcarrierSNR(noiseVar float64) []float64 {
+	if noiseVar <= 0 {
+		noiseVar = 1e-12
+	}
+	out := make([]float64, len(p.Bins))
+	snr := p.PowerScale * p.PowerScale / noiseVar
+	for i := range out {
+		out[i] = snr
+	}
+	return out
+}
+
+// DiversitySubcarrierSNR predicts the per-bin SNR of the diversity mode
+// for the given measurement and stream: (Σ_a |h_a|)² / noiseVar per bin.
+func DiversitySubcarrierSNR(m *Measurement, stream int, noiseVar float64) []float64 {
+	if noiseVar <= 0 {
+		noiseVar = 1e-12
+	}
+	out := make([]float64, len(m.H))
+	for i, h := range m.H {
+		var amp float64
+		for a := 0; a < h.Cols; a++ {
+			amp += cmplx.Abs(h.At(stream, a))
+		}
+		out[i] = amp * amp / noiseVar
+	}
+	return out
+}

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"megamimo/internal/channel"
+	"megamimo/internal/geom"
+	"megamimo/internal/rng"
+)
+
+// TopologyConfig builds a network from physical geometry instead of target
+// SNR bands: AP and client positions come from the paper's conference-room
+// layout (Fig. 5), link gains from log-distance path loss with shadowing,
+// and propagation delays from the actual distances.
+type TopologyConfig struct {
+	// Base carries everything except the link budget (SNRRangeDB,
+	// LinkSpreadDB and WellConditioned are ignored).
+	Base Config
+	// Room is the deployment area; zero value uses geom.ConferenceRoom.
+	Room geom.Room
+	// PathLoss is the propagation model; zero value uses geom.DefaultIndoor.
+	PathLoss geom.PathLoss
+	// TxPowerDBm and NoiseFloorDBm set the link budget ends.
+	TxPowerDBm, NoiseFloorDBm float64
+}
+
+// NewFromTopology samples a placement and builds the network with
+// geometry-derived links. The returned topology reports the positions and
+// per-link SNRs actually drawn.
+func NewFromTopology(tc TopologyConfig) (*Network, *geom.Topology, error) {
+	cfg := tc.Base
+	if cfg.NumAPs < 1 || cfg.NumClients < 1 {
+		return nil, nil, fmt.Errorf("core: need at least one AP and one client")
+	}
+	room := tc.Room
+	if room.Width == 0 {
+		room = geom.ConferenceRoom
+	}
+	pl := tc.PathLoss
+	if pl.RefLossDB == 0 {
+		pl = geom.DefaultIndoor
+	}
+	if tc.TxPowerDBm == 0 {
+		tc.TxPowerDBm = 20
+	}
+	if tc.NoiseFloorDBm == 0 {
+		tc.NoiseFloorDBm = -90
+	}
+	// Build the network with a placeholder band; then overwrite every
+	// AP→client link with the geometry-derived one.
+	cfg.SNRRangeDB = [2]float64{15, 16}
+	cfg.WellConditioned = false
+	n, err := New(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	src := rng.New(n.Cfg.Seed).Split(0x6E01)
+	top := geom.SampleTopology(src, room, pl, n.Cfg.NumAPs, n.Cfg.NumClients)
+	for c := 0; c < n.Cfg.NumClients; c++ {
+		for a := 0; a < n.Cfg.NumAPs; a++ {
+			snr := top.SNRdB(pl, c, a, tc.TxPowerDBm, tc.NoiseFloorDBm)
+			gain := n.Cfg.NoiseVar * math.Pow(10, snr/10)
+			delay := int(math.Round(top.PropagationDelaySamples(c, a, n.Cfg.SampleRate)))
+			for am := 0; am < n.Cfg.AntennasPerAP; am++ {
+				for cm := 0; cm < n.Cfg.AntennasPerClient; cm++ {
+					l := channel.NewLink(src.Split(linkSeed(a, am, c, cm)^0xF00), n.Cfg.ChannelParams, gain, delay)
+					n.Air.SetLink(n.APAntennaID(a, am), n.ClientAntennaID(c, cm), l)
+				}
+			}
+		}
+	}
+	return n, top, nil
+}

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"testing"
+
+	"megamimo/internal/geom"
+	"megamimo/internal/phy"
+	"megamimo/internal/rng"
+)
+
+func TestNewFromTopologyBuildsWorkingNetwork(t *testing.T) {
+	tc := TopologyConfig{Base: DefaultConfig(3, 3, 0, 0)}
+	tc.Base.Seed = 82
+	n, top, err := NewFromTopology(tc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top.APs) != 3 || len(top.Clients) != 3 {
+		t.Fatalf("topology %d/%d", len(top.APs), len(top.Clients))
+	}
+	// Links must reflect geometry: every AP→client link installed.
+	for c := 0; c < 3; c++ {
+		for a := 0; a < 3; a++ {
+			l := n.Air.Link(n.APAntennaID(a, 0), n.ClientAntennaID(c, 0))
+			if l == nil || l.PowerGain() <= 0 {
+				t.Fatalf("missing link %d→%d", a, c)
+			}
+		}
+	}
+	// Full protocol runs end to end over geometric links.
+	if err := n.Measure(); err != nil {
+		t.Fatal(err)
+	}
+	p, err := ComputeZF(n.Msmt, tc.Base.NoiseVar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.SetPrecoder(p)
+	mcs, ok, err := n.ProbeAndSelectRate(300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Skip("this placement has no deliverable joint rate (acceptable draw)")
+	}
+	src := rng.New(1)
+	payloads := [][]byte{src.Bytes(make([]byte, 300)), src.Bytes(make([]byte, 300)), src.Bytes(make([]byte, 300))}
+	res, err := n.JointTransmit(payloads, mcs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delivered := 0
+	for _, okj := range res.OK {
+		if okj {
+			delivered++
+		}
+	}
+	if delivered == 0 {
+		t.Fatal("nothing delivered over geometric topology")
+	}
+}
+
+func TestNewFromTopologyCloserIsStronger(t *testing.T) {
+	// Statistically, the closest AP should usually be the strongest.
+	agree := 0
+	const trials = 10
+	for i := 0; i < trials; i++ {
+		tc := TopologyConfig{Base: DefaultConfig(4, 1, 0, 0)}
+		tc.Base.Seed = 90 + int64(i)
+		tc.PathLoss = geom.PathLoss{RefLossDB: 40, Exponent: 2.8, ShadowSigmaDB: 0.5}
+		n, top, err := NewFromTopology(tc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := n.Measure(); err != nil {
+			t.Fatal(err)
+		}
+		best := n.StrongestAP(0)
+		closest, d := 0, top.Clients[0].Distance(top.APs[0])
+		for a := 1; a < 4; a++ {
+			if dd := top.Clients[0].Distance(top.APs[a]); dd < d {
+				closest, d = a, dd
+			}
+		}
+		if best == closest {
+			agree++
+		}
+	}
+	if agree < trials*6/10 {
+		t.Fatalf("strongest AP agreed with closest only %d/%d times", agree, trials)
+	}
+}
+
+func TestNewFromTopologyDefaults(t *testing.T) {
+	tc := TopologyConfig{Base: DefaultConfig(2, 1, 0, 0)}
+	tc.Base.Seed = 99
+	n, _, err := NewFromTopology(tc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Cfg.NumAPs != 2 {
+		t.Fatal("config lost")
+	}
+	if _, _, err := NewFromTopology(TopologyConfig{}); err == nil {
+		t.Fatal("empty topology config accepted")
+	}
+	_ = phy.MCS0
+}

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+)
+
+// TraceEvent is one protocol event for diagnostics.
+type TraceEvent struct {
+	// At is the ether sample time the event refers to.
+	At int64
+	// Kind is a stable short identifier ("measure", "sync-header",
+	// "slave-ratio", "joint-tx", "decode", "feedback").
+	Kind string
+	// Msg is the human-readable detail.
+	Msg string
+}
+
+// Tracer collects protocol events. The zero value discards everything;
+// call Enable to start recording. Network methods emit events through it,
+// so a simulation run can be replayed as a timeline (megamimo-sim -trace).
+type Tracer struct {
+	mu      sync.Mutex
+	enabled bool
+	events  []TraceEvent
+	limit   int
+}
+
+// Enable starts recording up to limit events (0 = 4096).
+func (t *Tracer) Enable(limit int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if limit <= 0 {
+		limit = 4096
+	}
+	t.enabled = true
+	t.limit = limit
+	t.events = t.events[:0]
+}
+
+// Events returns a copy of the recorded timeline.
+func (t *Tracer) Events() []TraceEvent {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]TraceEvent, len(t.events))
+	copy(out, t.events)
+	return out
+}
+
+func (t *Tracer) emit(at int64, kind, format string, args ...any) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.enabled || len(t.events) >= t.limit {
+		return
+	}
+	t.events = append(t.events, TraceEvent{At: at, Kind: kind, Msg: fmt.Sprintf(format, args...)})
+}
+
+// String renders the timeline.
+func (e TraceEvent) String() string {
+	return fmt.Sprintf("t=%-12d %-12s %s", e.At, e.Kind, e.Msg)
+}
+
+// Trace returns the network's tracer (always non-nil).
+func (n *Network) Trace() *Tracer {
+	if n.tracer == nil {
+		n.tracer = &Tracer{}
+	}
+	return n.tracer
+}
+
+func (n *Network) tracef(at int64, kind, format string, args ...any) {
+	if n.tracer != nil {
+		n.tracer.emit(at, kind, format, args...)
+	}
+}

@@ -1,0 +1,60 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTracerRecordsProtocolTimeline(t *testing.T) {
+	n := buildNet(t, 2, 2, 20, 25, 140)
+	n.Trace().Enable(100)
+	if _, err := n.MeasureAndPrecode(); err != nil {
+		t.Fatal(err)
+	}
+	payloads := [][]byte{make([]byte, 200), make([]byte, 200)}
+	if _, err := n.JointTransmit(payloads, 0); err != nil {
+		t.Fatal(err)
+	}
+	evs := n.Trace().Events()
+	if len(evs) == 0 {
+		t.Fatal("no events recorded")
+	}
+	kinds := map[string]bool{}
+	var prev int64 = -1
+	for _, e := range evs {
+		kinds[e.Kind] = true
+		if e.At < prev {
+			t.Fatalf("timeline not monotone: %v", e)
+		}
+		prev = e.At
+		if !strings.Contains(e.String(), e.Kind) {
+			t.Fatalf("String missing kind: %q", e.String())
+		}
+	}
+	for _, want := range []string{"measure", "sync-header", "slave-ratio", "joint-tx"} {
+		if !kinds[want] {
+			t.Fatalf("missing %q events (got %v)", want, kinds)
+		}
+	}
+}
+
+func TestTracerDisabledIsFree(t *testing.T) {
+	n := buildNet(t, 2, 2, 20, 25, 141)
+	if _, err := n.MeasureAndPrecode(); err != nil {
+		t.Fatal(err)
+	}
+	if evs := n.Trace().Events(); len(evs) != 0 {
+		t.Fatalf("disabled tracer recorded %d events", len(evs))
+	}
+}
+
+func TestTracerLimit(t *testing.T) {
+	n := buildNet(t, 2, 2, 20, 25, 142)
+	n.Trace().Enable(2)
+	if _, err := n.MeasureAndPrecode(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(n.Trace().Events()); got > 2 {
+		t.Fatalf("limit ignored: %d events", got)
+	}
+}

@@ -1,0 +1,605 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"megamimo/internal/cmplxs"
+	"megamimo/internal/ofdm"
+	"megamimo/internal/phy"
+	"megamimo/internal/rate"
+)
+
+// winLead is the observation-window lead-in used consistently by slaves and
+// clients so every phase reference lines up (see measurement.go).
+const winLead = 128
+
+// TxResult reports one joint transmission.
+type TxResult struct {
+	// Frames holds each stream's decoded frame (nil when that stream was
+	// silent or decoding failed entirely).
+	Frames []*phy.RxFrame
+	// OK marks streams whose frame decoded with a valid FCS.
+	OK []bool
+	// AirtimeSamples covers the sync header and the frame (the software
+	// trigger turnaround is excluded; see JointTransmit).
+	AirtimeSamples int64
+	// MCS is the rate used.
+	MCS phy.MCS
+	// PayloadBytes is the per-stream payload size.
+	PayloadBytes int
+}
+
+// GoodputBits returns the successfully delivered payload bits.
+func (r *TxResult) GoodputBits() float64 {
+	var bits float64
+	for i, ok := range r.OK {
+		if ok && r.Frames[i] != nil {
+			bits += float64(8 * len(r.Frames[i].Payload))
+		}
+	}
+	return bits
+}
+
+// SetPrecoder distributes precoder rows to every AP over the backbone
+// (logical distribution — the lead computes W and each AP keeps its rows).
+func (n *Network) SetPrecoder(p *Precoder) {
+	for _, ap := range n.APs {
+		ap.weights = make([][][]complex128, n.Cfg.AntennasPerAP)
+		for m := 0; m < n.Cfg.AntennasPerAP; m++ {
+			g := ap.Index*n.Cfg.AntennasPerAP + m
+			ap.weights[m] = make([][]complex128, p.Streams)
+			for j := 0; j < p.Streams; j++ {
+				ap.weights[m][j] = p.GainColumn(g, j)
+			}
+		}
+	}
+}
+
+// MeasureAndPrecode runs the measurement phase and installs the ZF
+// precoder, the normal setup sequence for multiplexed transmission.
+func (n *Network) MeasureAndPrecode() (*Precoder, error) {
+	if err := n.Measure(); err != nil {
+		return nil, err
+	}
+	p, err := ComputeZF(n.Msmt, 0)
+	if err != nil {
+		return nil, err
+	}
+	n.SetPrecoder(p)
+	return p, nil
+}
+
+// JointTransmit delivers one payload per stream concurrently from all APs
+// (§5.2). A nil payload silences that stream while its nulls remain
+// enforced (used by the INR experiments). All non-nil payloads must have
+// equal length so the frames stay time aligned.
+func (n *Network) JointTransmit(payloads [][]byte, mcs phy.MCS) (*TxResult, error) {
+	streams := n.NumStreams()
+	if len(payloads) != streams {
+		return nil, fmt.Errorf("core: %d payloads for %d streams", len(payloads), streams)
+	}
+	if n.Msmt == nil {
+		return nil, fmt.Errorf("core: JointTransmit before Measure")
+	}
+	for _, ap := range n.APs {
+		if ap.weights == nil {
+			return nil, fmt.Errorf("core: AP %d has no precoder rows", ap.Index)
+		}
+	}
+	// Build the per-stream frames (every AP has every payload via the
+	// backbone, §5.2a).
+	tx := phy.NewTX()
+	frames := make([]*phy.FrameSymbols, streams)
+	frameLen := -1
+	for j, p := range payloads {
+		if p == nil {
+			continue
+		}
+		f, err := tx.FrameSymbols(p, mcs)
+		if err != nil {
+			return nil, err
+		}
+		if frameLen >= 0 && f.SampleLen() != frameLen {
+			return nil, fmt.Errorf("core: stream %d frame length %d != %d (pad payloads equal)", j, f.SampleLen(), frameLen)
+		}
+		frameLen = f.SampleLen()
+		frames[j] = f
+	}
+	if frameLen < 0 {
+		return nil, fmt.Errorf("core: all streams silent")
+	}
+
+	_, tD, err := n.postJointFrames(tx, frames)
+	if err != nil {
+		return nil, err
+	}
+
+	// 4. Clients decode their streams.
+	res := &TxResult{
+		Frames:       make([]*phy.RxFrame, streams),
+		OK:           make([]bool, streams),
+		MCS:          mcs,
+		PayloadBytes: payloadLen(payloads),
+		// Airtime charges the sync header plus the frame. The trigger
+		// turnaround t∆ is a software-radio artifact (§10: "based on the
+		// maximum delay of our software implementation") excluded from
+		// throughput accounting, as the paper's measured ≈0.9N gains
+		// imply; in the 802.11n design the sync header is the packet's
+		// own legacy preamble (§6.1), so this is the hardware cost.
+		AirtimeSamples: int64(ofdm.PreambleLen) + int64(frameLen),
+	}
+	for _, cl := range n.Clients {
+		for cm := 0; cm < n.Cfg.AntennasPerClient; cm++ {
+			j := cl.Index*n.Cfg.AntennasPerClient + cm
+			if frames[j] == nil {
+				continue
+			}
+			win := n.Air.Observe(n.ClientAntennaID(cl.Index, cm), cl.Node.Osc, tD-winLead, frameLen+winLead+128)
+			f, err := cl.rx.Decode(win)
+			if err != nil {
+				continue
+			}
+			res.Frames[j] = f
+			res.OK[j] = f.FCSOK
+		}
+	}
+	okCount := 0
+	for _, o := range res.OK {
+		if o {
+			okCount++
+		}
+	}
+	n.tracef(tD, "joint-tx", "%d streams at %v, %d delivered, airtime %d samples",
+		streams, mcs, okCount, res.AirtimeSamples)
+	n.now = tD + int64(frameLen) + 256
+	n.Air.ClearBefore(n.now)
+	return res, nil
+}
+
+// postJointFrames runs the transmission side of a joint frame: lead sync
+// header (1), slave phase-correction measurement (2), and the precoded,
+// phase-corrected emission from every AP antenna at the trigger time (3).
+// frames[j] pairs with ap.weights[m][j]; nil frames are silent streams.
+// It returns the header time t1 and data start tD.
+func (n *Network) postJointFrames(tx *phy.TX, frames []*phy.FrameSymbols) (t1, tD int64, err error) {
+	// 1. Lead sync header.
+	t1 = n.now + 64
+	lead := n.Lead()
+	n.Air.Transmit(n.APAntennaID(lead.Index, 0), lead.Node.Osc, t1, ofdm.Preamble())
+	n.tracef(t1, "sync-header", "lead AP %d", lead.Index)
+
+	// 2. Slaves measure the lead's current channel and derive their phase
+	//    correction (§5.2b).
+	type correction struct {
+		ratio []complex128 // per-bin ĥ(t)/ĥ(0)
+		curAt int64        // phase-reference time of the new measurement
+		refAt int64        // phase-reference time of the stored reference
+		cfo   float64      // averaged ω_lead − ω_self
+	}
+	corr := make(map[int]*correction, len(n.APs))
+	for _, ap := range n.Slaves() {
+		ratio, curAt, err := n.slaveMeasureRatio(ap, t1)
+		if err != nil {
+			return 0, 0, fmt.Errorf("slave %d ratio: %w", ap.Index, err)
+		}
+		ps := ap.syncTo(n.Lead().Index)
+		corr[ap.Index] = &correction{ratio: ratio, curAt: curAt, refAt: ps.refAt, cfo: ps.cfo}
+		n.tracef(curAt, "slave-ratio", "AP %d: Δφ measured over %d samples, cfo %.3e rad/sample",
+			ap.Index, curAt-ps.refAt, ps.cfo)
+	}
+
+	// 3. Joint data transmission after the fixed turnaround t∆ (§10).
+	tD = t1 + int64(ofdm.PreambleLen) + int64(n.Cfg.TriggerDelaySamples)
+	gain := make([]complex128, ofdm.NFFT)
+	for _, ap := range n.APs {
+		c := corr[ap.Index]
+		for m := 0; m < n.Cfg.AntennasPerAP; m++ {
+			if len(ap.weights) <= m {
+				return 0, 0, fmt.Errorf("core: AP %d antenna %d has no weights", ap.Index, m)
+			}
+			if len(ap.weights[m]) != len(frames) {
+				return 0, 0, fmt.Errorf("core: AP %d has %d weight columns for %d frames", ap.Index, len(ap.weights[m]), len(frames))
+			}
+			var wave []complex128
+			for j := range frames {
+				if frames[j] == nil {
+					continue
+				}
+				copy(gain, ap.weights[m][j])
+				if c != nil {
+					for i := range gain {
+						gain[i] *= c.ratio[i]
+					}
+				}
+				w := tx.SynthesizeWithGain(frames[j], gain)
+				if wave == nil {
+					wave = w
+				} else {
+					cmplxs.Add(wave, wave, w)
+				}
+			}
+			if wave == nil {
+				continue
+			}
+			if c != nil {
+				// Intra-packet tracking with the long-term averaged CFO
+				// (§5.3): extrapolate the measured phase from the ratio's
+				// reference window to every data sample, including the
+				// constant offset between the slave's reference window and
+				// the H estimates' reference time (the interleaved-block
+				// center).
+				phase0 := c.cfo * float64((tD-c.curAt)+(c.refAt-n.Msmt.RefMid))
+				cmplxs.Rotate(wave, wave, phase0, c.cfo)
+			}
+			n.Air.Transmit(n.APAntennaID(ap.Index, m), ap.Node.Osc, tD, wave)
+		}
+	}
+	return t1, tD, nil
+}
+
+// DiversityTransmit has every AP transmit the same payload coherently to
+// one stream's receiver (§8): each antenna weights the signal by h*/|h|
+// per subcarrier, so the received amplitudes add — an N² SNR gain that
+// rescues clients no single AP can reach. It installs the diversity
+// precoder, so call SetPrecoder (or MeasureAndPrecode) before returning to
+// multiplexed transmission.
+func (n *Network) DiversityTransmit(stream int, payload []byte, mcs phy.MCS) (*TxResult, error) {
+	if n.Msmt == nil {
+		return nil, fmt.Errorf("core: DiversityTransmit before Measure")
+	}
+	p, err := ComputeDiversity(n.Msmt, stream)
+	if err != nil {
+		return nil, err
+	}
+	n.SetPrecoder(p)
+	tx := phy.NewTX()
+	f, err := tx.FrameSymbols(payload, mcs)
+	if err != nil {
+		return nil, err
+	}
+	frames := []*phy.FrameSymbols{f}
+	_, tD, err := n.postJointFrames(tx, frames)
+	if err != nil {
+		return nil, err
+	}
+	frameLen := f.SampleLen()
+	res := &TxResult{
+		Frames:         make([]*phy.RxFrame, 1),
+		OK:             make([]bool, 1),
+		MCS:            mcs,
+		PayloadBytes:   len(payload),
+		AirtimeSamples: int64(ofdm.PreambleLen) + int64(frameLen), // see JointTransmit
+	}
+	cl := n.Clients[stream/n.Cfg.AntennasPerClient]
+	ant := stream % n.Cfg.AntennasPerClient
+	win := n.Air.Observe(n.ClientAntennaID(cl.Index, ant), cl.Node.Osc, tD-winLead, frameLen+winLead+128)
+	if fr, err := cl.rx.Decode(win); err == nil {
+		res.Frames[0] = fr
+		res.OK[0] = fr.FCSOK
+	}
+	n.now = tD + int64(frameLen) + 256
+	n.Air.ClearBefore(n.now)
+	return res, nil
+}
+
+// slaveMeasureRatio observes the lead's sync header at t1 and returns the
+// per-bin ratio ĥ(t1)/ĥ(0) — the direct phase-offset measurement that
+// avoids accumulating error (§5.2b) — plus the window reference time.
+func (n *Network) slaveMeasureRatio(ap *AP, t1 int64) ([]complex128, int64, error) {
+	ps := ap.syncTo(n.Lead().Index)
+	if ps.ref == nil {
+		return nil, 0, fmt.Errorf("no reference channel toward AP %d (run Measure first)", n.Lead().Index)
+	}
+	winStart := t1 - winLead
+	curAt := winStart + ltfPhaseOffset
+	if n.Cfg.ExtrapolatePhase {
+		// Ablation: predict Δφ = Δω̂·Δt instead of measuring it. Any error
+		// in Δω̂ accumulates linearly with time since the measurement
+		// phase (§5.2's "large accumulated errors over time").
+		ratio := make([]complex128, ofdm.NFFT)
+		phase := ps.cfo * float64(curAt-ps.refAt)
+		for _, b := range occupiedBins() {
+			ratio[b] = cmplxs.Expi(phase)
+		}
+		return ratio, curAt, nil
+	}
+	win := n.Air.Observe(n.APAntennaID(ap.Index, 0), ap.Node.Osc, winStart, ofdm.PreambleLen+winLead+192)
+	sync, err := ofdm.Detect(win, 0.5)
+	if err != nil {
+		return nil, 0, err
+	}
+	// The schedule is trigger-synchronized (SourceSync-grade timing), so
+	// pin the LTF position; correlation peaks a sample off between the two
+	// measurements would otherwise alias into per-bin phase slope errors.
+	sync.LTFStart = winLead + ofdm.STFLen
+	sync.PayloadStart = winLead + ofdm.PreambleLen
+	cur, err := ofdm.EstimateChannelLTF(win, sync)
+	if err != nil {
+		return nil, 0, err
+	}
+	slopeMeas, q := ratioComponents(cur, ps.ref)
+	slope := ps.trackSlope(slopeMeas, float64(curAt-ps.refAt))
+	ratio := composeRatio(q, slope)
+	ps.trackCFO(ratio, curAt)
+	return ratio, curAt, nil
+}
+
+// trackSlope fuses a per-packet slope measurement into the long-term
+// sampling-offset rate (precision weighted by baseline, like trackCFO) and
+// returns the slope to apply for this packet.
+func (ps *peerSync) trackSlope(meas, dt float64) float64 {
+	if dt <= 0 {
+		return meas
+	}
+	rateMeas := meas / dt
+	w := dt * dt
+	const weightCap = 1e11
+	total := ps.srateWeight + w
+	ps.srate = (ps.srateWeight*ps.srate + w*rateMeas) / total
+	ps.srateWeight = math.Min(total, weightCap)
+	return ps.srate * dt
+}
+
+// ratioComponents extracts the slave correction's parts from two channel
+// snapshots. The true ratio ĥ(t)/ĥ(0) is the same pure phase on every
+// subcarrier (§5.2 — the lead→slave channel is static; only the
+// oscillators moved) plus a linear phase slope across subcarriers
+// contributed by the sampling offset (§5.2: "any offset in the sampling
+// frequency just adds to the phase error in each OFDM subcarrier").
+// Fitting scalar-plus-slope instead of taking per-bin ratios averages the
+// estimation noise across all 52 occupied bins and keeps faded bins from
+// poisoning the correction. It returns the measured slope and the per-bin
+// product vector for composeRatio.
+func ratioComponents(cur, ref []complex128) (float64, []complex128) {
+	bins := occupiedBins()
+	q := make([]complex128, ofdm.NFFT)
+	for _, b := range bins {
+		q[b] = cur[b] * cmplx.Conj(ref[b])
+	}
+	// Slope across subcarriers: a coarse lag-1 estimate resolves the 2π
+	// ambiguity of a much lower-noise lag-13 estimate (averaging over many
+	// well-separated pairs instead of effectively differencing the band
+	// edges).
+	ks := ofdm.OccupiedCarriers()
+	inBand := make(map[int]bool, len(ks))
+	for _, k := range ks {
+		inBand[k] = true
+	}
+	var lag1 complex128
+	for i := 0; i+1 < len(ks); i++ {
+		if ks[i+1] != ks[i]+1 {
+			continue // skip the DC gap
+		}
+		lag1 += q[ofdm.Bin(ks[i+1])] * cmplx.Conj(q[ofdm.Bin(ks[i])])
+	}
+	coarse := cmplx.Phase(lag1)
+	const lag = 13
+	var lagAcc complex128
+	for _, k := range ks {
+		if !inBand[k+lag] {
+			continue
+		}
+		lagAcc += q[ofdm.Bin(k+lag)] * cmplx.Conj(q[ofdm.Bin(k)])
+	}
+	slope := coarse
+	if lagAcc != 0 {
+		resid := cmplxs.WrapPhase(cmplx.Phase(lagAcc) - coarse*lag)
+		slope = (coarse*lag + resid) / lag
+	}
+	return slope, q
+}
+
+// composeRatio builds the per-bin unit-magnitude correction from the
+// product vector and a slope: the common phase is fit after removing the
+// slope, then re-applied per carrier.
+func composeRatio(q []complex128, slope float64) []complex128 {
+	ks := ofdm.OccupiedCarriers()
+	var acc complex128
+	for _, k := range ks {
+		acc += q[ofdm.Bin(k)] * cmplxs.Expi(-slope*float64(k))
+	}
+	phase := cmplx.Phase(acc)
+	ratio := make([]complex128, ofdm.NFFT)
+	for _, k := range ks {
+		ratio[ofdm.Bin(k)] = cmplxs.Expi(phase + slope*float64(k))
+	}
+	return ratio
+}
+
+// fitRatio is the single-shot form: per-packet slope, no tracking (used
+// where no long-term state exists, e.g. the client side of the §6.2
+// reference-antenna trick).
+func fitRatio(cur, ref []complex128) []complex128 {
+	slope, q := ratioComponents(cur, ref)
+	return composeRatio(q, slope)
+}
+
+// trackCFO refines the slave's long-term CFO with the phase advance of the
+// ratio between consecutive packets: Δφ/Δt over a baseline of thousands of
+// samples, which is how "a simple long term average for the frequency
+// offset" (§1) reaches intra-packet accuracy. The current estimate
+// resolves the 2π ambiguity; measurements fuse precision-weighted
+// (variance ∝ 1/Δt²), and the total weight is capped so slow oscillator
+// wander is still tracked. Very long idle gaps (where ambiguity
+// resolution would be unsafe) only reset the phase snapshot.
+func (ps *peerSync) trackCFO(ratio []complex128, at int64) {
+	var sum complex128
+	for _, v := range ratio {
+		sum += v
+	}
+	phase := cmplx.Phase(sum)
+	defer func() {
+		ps.lastPhase = phase
+		ps.lastAt = at
+		ps.hasPhase = true
+	}()
+	if !ps.hasPhase {
+		return
+	}
+	dt := float64(at - ps.lastAt)
+	if dt <= 0 || dt > 2e5 {
+		return
+	}
+	predicted := ps.cfo * dt
+	resid := cmplxs.WrapPhase(phase - ps.lastPhase - predicted)
+	meas := (predicted + resid) / dt
+	wMeas := dt * dt
+	const weightCap = 1e11 // forget beyond ~(300k samples)² so wander tracks
+	total := ps.cfoWeight + wMeas
+	ps.cfo = (ps.cfoWeight*ps.cfo + wMeas*meas) / total
+	ps.cfoWeight = math.Min(total, weightCap)
+}
+
+func payloadLen(payloads [][]byte) int {
+	for _, p := range payloads {
+		if p != nil {
+			return len(p)
+		}
+	}
+	return 0
+}
+
+// SelectJointMCS picks the common MCS for a joint transmission from the
+// zero-forcing effective SNR of every stream (§9), returning ok=false when
+// even the lowest rate is undeliverable for some stream.
+func (n *Network) SelectJointMCS(p *Precoder) (phy.MCS, bool) {
+	best := phy.MCS7
+	ok := true
+	margin := math.Pow(10, -n.Cfg.RateMarginDB/10)
+	for s := 0; s < p.Streams; s++ {
+		nv := n.Cfg.NoiseVar
+		if n.Msmt != nil && s < len(n.Msmt.NoiseVar) && n.Msmt.NoiseVar[s] > 0 {
+			nv = n.Msmt.NoiseVar[s]
+		}
+		sub := p.EffectiveSubcarrierSNR(nv)
+		for i := range sub {
+			sub[i] *= margin
+		}
+		mcs, o := rate.Select(sub)
+		if !o {
+			ok = false
+			continue
+		}
+		if mcs < best {
+			best = mcs
+		}
+	}
+	return best, ok
+}
+
+// SelectRateFromResult performs closed-loop rate adaptation: each decoded
+// frame's per-subcarrier error-vector SNR — which already includes
+// residual inter-stream interference and receiver implementation loss —
+// feeds the effective-SNR selector (§9: clients report channels and noise;
+// the APs map per-subcarrier SNR to a rate). A stream whose probe produced
+// no frame at all vetoes (ok = false).
+func (n *Network) SelectRateFromResult(res *TxResult) (phy.MCS, bool) {
+	best := phy.MCS7
+	ok := true
+	marginLin := math.Pow(10, -2.0/10) // 2 dB safety on measured SNR
+	for _, f := range res.Frames {
+		if f == nil {
+			ok = false
+			continue
+		}
+		sub := make([]float64, len(f.SubcarrierSNR))
+		for i, s := range f.SubcarrierSNR {
+			sub[i] = s * marginLin
+		}
+		mcs, o := rate.Select(sub)
+		if !o {
+			// Margin pushed a marginal link just under the base rate; the
+			// probe itself decoded (f != nil), so BPSK 1/2 demonstrably
+			// works — accept it when the unmargined SNR clears it.
+			if _, o2 := rate.Select(f.SubcarrierSNR); o2 && f.FCSOK {
+				mcs = phy.MCS0
+			} else {
+				ok = false
+				continue
+			}
+		}
+		if mcs < best {
+			best = mcs
+		}
+	}
+	return best, ok
+}
+
+// ProbeAndSelectRate sends one low-rate probe transmission to every stream
+// and adapts the joint MCS from the realized quality.
+func (n *Network) ProbeAndSelectRate(payloadBytes int) (phy.MCS, bool, error) {
+	streams := n.NumStreams()
+	payloads := make([][]byte, streams)
+	src := n.rng.Split(uint64(n.now) ^ 0x9E0B)
+	for j := range payloads {
+		payloads[j] = src.Bytes(make([]byte, payloadBytes))
+	}
+	res, err := n.JointTransmit(payloads, phy.MCS0)
+	if err != nil {
+		return 0, false, err
+	}
+	mcs, ok := n.SelectRateFromResult(res)
+	return mcs, ok, nil
+}
+
+// NullingINR runs a joint transmission with the victim stream silenced and
+// returns the interference-to-noise ratio measured at the victim (linear):
+// the §11.1c metric. Phase misalignment is the only thing that leaks
+// power into the null.
+func (n *Network) NullingINR(victim int, payloadBytes int, mcs phy.MCS) (float64, error) {
+	streams := n.NumStreams()
+	if streams < 2 {
+		return 0, fmt.Errorf("core: INR needs ≥ 2 streams")
+	}
+	payloads := make([][]byte, streams)
+	src := n.rng.Split(uint64(n.now))
+	for j := range payloads {
+		if j == victim {
+			continue
+		}
+		payloads[j] = src.Bytes(make([]byte, payloadBytes))
+	}
+	// Stash the data-transmission window before running (the transmission
+	// advances the clock).
+	startBefore := n.now
+	res, err := n.JointTransmit(payloads, mcs)
+	if err != nil {
+		return 0, err
+	}
+	// Re-observe the data region cleanly at the victim and measure the
+	// interference the way an OFDM receiver experiences it: per-symbol FFT
+	// with the cyclic prefix stripped, averaged over the occupied bins.
+	// (The CP splice carries an un-nulled linear-convolution transient —
+	// real beamforming hardware has it too — but no receiver ever looks at
+	// those samples.)
+	tD := startBefore + 64 + int64(ofdm.PreambleLen) + int64(n.Cfg.TriggerDelaySamples)
+	frameLen := int(res.AirtimeSamples) - int(ofdm.PreambleLen)
+	cl := n.Clients[victim/n.Cfg.AntennasPerClient]
+	ant := victim % n.Cfg.AntennasPerClient
+	obs := n.Air.ObserveClean(n.ClientAntennaID(cl.Index, ant), cl.Node.Osc, tD+int64(ofdm.PreambleLen), frameLen-ofdm.PreambleLen)
+	dem := ofdm.NewDemodulator()
+	bins := occupiedBins()
+	var acc float64
+	var cnt int
+	for s := 0; (s+1)*ofdm.SymbolLen <= len(obs); s++ {
+		freq, err := dem.Freq(obs[s*ofdm.SymbolLen:])
+		if err != nil {
+			break
+		}
+		for _, b := range bins {
+			v := freq[b]
+			acc += real(v)*real(v) + imag(v)*imag(v)
+			cnt++
+		}
+	}
+	if cnt == 0 {
+		return 0, fmt.Errorf("core: INR window empty")
+	}
+	// The demodulator's unitary scaling makes per-bin noise power equal
+	// the per-sample noise variance, so this is interference-per-bin over
+	// noise-per-bin — the receiver's own SNR-reduction view.
+	inr := acc / float64(cnt) / n.Cfg.NoiseVar
+	return inr, nil
+}

@@ -1,0 +1,92 @@
+// Package csi defines the channel-state-information reports clients feed
+// back to the APs. The 802.11n testbed path (§6) obtains CSI from the
+// Intel 5300's firmware, which quantizes each complex entry; the software
+// radio path reports full-precision estimates. Quantize models the
+// firmware's fixed-point format so experiments can study feedback
+// precision.
+package csi
+
+import (
+	"math"
+	"math/cmplx"
+)
+
+// Report is one client's measurement of the channel from a set of transmit
+// antennas, all referenced to a single measurement time.
+type Report struct {
+	// Client is the reporting client ID; RxAnt its antenna index.
+	Client, RxAnt int
+	// TxAnts lists the transmit antenna IDs the rows of H correspond to.
+	TxAnts []int
+	// H holds one 64-bin frequency response per transmit antenna,
+	// H[a][bin], rotated to the common reference time.
+	H [][]complex128
+	// NoiseVar is the client's estimated noise variance (the paper's
+	// clients "send the noise N to APs along with the measured channels").
+	NoiseVar float64
+	// MeasuredAt is the reference ether time of the snapshot.
+	MeasuredAt int64
+}
+
+// Clone deep-copies the report.
+func (r *Report) Clone() *Report {
+	out := *r
+	out.TxAnts = append([]int(nil), r.TxAnts...)
+	out.H = make([][]complex128, len(r.H))
+	for i, h := range r.H {
+		out.H[i] = append([]complex128(nil), h...)
+	}
+	return &out
+}
+
+// Quantize rounds each complex component to the given number of bits over
+// a symmetric full-scale range equal to the largest component magnitude in
+// h, mimicking the Intel 5300's signed fixed-point CSI format. bits counts
+// magnitude bits excluding sign; bits ≤ 0 returns an unmodified copy.
+func Quantize(h []complex128, bits int) []complex128 {
+	out := append([]complex128(nil), h...)
+	if bits <= 0 {
+		return out
+	}
+	var fs float64
+	for _, v := range h {
+		if a := math.Abs(real(v)); a > fs {
+			fs = a
+		}
+		if a := math.Abs(imag(v)); a > fs {
+			fs = a
+		}
+	}
+	if fs == 0 {
+		return out
+	}
+	levels := float64(int(1) << bits)
+	step := fs / levels
+	q := func(x float64) float64 {
+		return math.Round(x/step) * step
+	}
+	for i, v := range out {
+		out[i] = complex(q(real(v)), q(imag(v)))
+	}
+	return out
+}
+
+// QuantizeReport applies Quantize to every row of the report in place.
+func QuantizeReport(r *Report, bits int) {
+	for i := range r.H {
+		r.H[i] = Quantize(r.H[i], bits)
+	}
+}
+
+// MaxQuantError returns the largest per-entry error magnitude between a
+// report row and its quantized form — a diagnostic for feedback-precision
+// experiments.
+func MaxQuantError(orig, quant []complex128) float64 {
+	var m float64
+	for i := range orig {
+		if d := cmplx.Abs(orig[i] - quant[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}

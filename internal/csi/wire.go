@@ -1,0 +1,181 @@
+package csi
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Wire format for CSI feedback frames (the paper's clients report channels
+// over the wireless uplink, so reports must fit in PSDUs):
+//
+//	header:  magic(2) version(1) client(1) rxAnt(1) chunk(1) chunks(1)
+//	         antsInChunk(1) binsPerAnt(2) firstAnt(2) measuredAt(8)
+//	         noiseVar(8)
+//	per ant: antennaID(2), then binsPerAnt × (binIdx(1), re(4), im(4))
+//
+// Channel values travel as float32 — more precision than any over-the-air
+// estimate carries. A report with many transmit antennas is split into
+// chunks that each fit a single frame.
+const (
+	wireMagic   = 0xC51F
+	wireVersion = 1
+	headerLen   = 2 + 1 + 1 + 1 + 1 + 1 + 1 + 2 + 2 + 8 + 8
+	perBinLen   = 1 + 4 + 4
+)
+
+// MaxAntennasPerChunk returns how many antenna rows (each with nBins
+// occupied bins) fit in a frame of maxPSDU payload bytes.
+func MaxAntennasPerChunk(nBins, maxPayload int) int {
+	perAnt := 2 + nBins*perBinLen
+	n := (maxPayload - headerLen) / perAnt
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// MarshalChunks serializes the report into one or more payloads, each at
+// most maxPayload bytes, covering the occupied bins listed in bins.
+func (r *Report) MarshalChunks(bins []int, maxPayload int) ([][]byte, error) {
+	if len(r.H) == 0 {
+		return nil, fmt.Errorf("csi: empty report")
+	}
+	if len(bins) == 0 || len(bins) > 255 {
+		return nil, fmt.Errorf("csi: %d bins unsupported", len(bins))
+	}
+	perChunk := MaxAntennasPerChunk(len(bins), maxPayload)
+	nAnts := len(r.H)
+	chunks := (nAnts + perChunk - 1) / perChunk
+	if chunks > 255 {
+		return nil, fmt.Errorf("csi: report too large (%d chunks)", chunks)
+	}
+	var out [][]byte
+	for c := 0; c < chunks; c++ {
+		first := c * perChunk
+		last := first + perChunk
+		if last > nAnts {
+			last = nAnts
+		}
+		buf := make([]byte, 0, headerLen+(last-first)*(2+len(bins)*perBinLen))
+		buf = binary.LittleEndian.AppendUint16(buf, wireMagic)
+		buf = append(buf, wireVersion, byte(r.Client), byte(r.RxAnt), byte(c), byte(chunks), byte(last-first))
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(bins)))
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(first))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(r.MeasuredAt))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(r.NoiseVar))
+		for a := first; a < last; a++ {
+			id := 0
+			if a < len(r.TxAnts) {
+				id = r.TxAnts[a]
+			}
+			buf = binary.LittleEndian.AppendUint16(buf, uint16(id))
+			row := r.H[a]
+			for _, b := range bins {
+				buf = append(buf, byte(b))
+				var v complex128
+				if b < len(row) {
+					v = row[b]
+				}
+				buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(float32(real(v))))
+				buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(float32(imag(v))))
+			}
+		}
+		out = append(out, buf)
+	}
+	return out, nil
+}
+
+// Assembler reassembles chunked reports arriving in any order.
+type Assembler struct {
+	partial map[[2]int]*pending
+}
+
+type pending struct {
+	report *Report
+	seen   []bool
+	nBins  int
+}
+
+// NewAssembler returns an empty assembler.
+func NewAssembler() *Assembler {
+	return &Assembler{partial: make(map[[2]int]*pending)}
+}
+
+// Feed parses one payload. It returns a completed report when the payload
+// finishes its report, or nil while chunks are still missing.
+func (a *Assembler) Feed(payload []byte, totalAnts, nfft int) (*Report, error) {
+	if len(payload) < headerLen {
+		return nil, fmt.Errorf("csi: payload too short")
+	}
+	if binary.LittleEndian.Uint16(payload) != wireMagic || payload[2] != wireVersion {
+		return nil, fmt.Errorf("csi: bad magic/version")
+	}
+	client := int(payload[3])
+	rxAnt := int(payload[4])
+	chunk := int(payload[5])
+	chunks := int(payload[6])
+	antsIn := int(payload[7])
+	nBins := int(binary.LittleEndian.Uint16(payload[8:]))
+	first := int(binary.LittleEndian.Uint16(payload[10:]))
+	measuredAt := int64(binary.LittleEndian.Uint64(payload[12:]))
+	noiseVar := math.Float64frombits(binary.LittleEndian.Uint64(payload[20:]))
+	if chunk >= chunks || chunks == 0 {
+		return nil, fmt.Errorf("csi: chunk %d/%d", chunk, chunks)
+	}
+	need := headerLen + antsIn*(2+nBins*perBinLen)
+	if len(payload) < need {
+		return nil, fmt.Errorf("csi: truncated chunk (%d < %d)", len(payload), need)
+	}
+
+	key := [2]int{client, rxAnt}
+	p := a.partial[key]
+	if p == nil {
+		p = &pending{
+			report: &Report{
+				Client:     client,
+				RxAnt:      rxAnt,
+				TxAnts:     make([]int, totalAnts),
+				H:          make([][]complex128, totalAnts),
+				NoiseVar:   noiseVar,
+				MeasuredAt: measuredAt,
+			},
+			seen:  make([]bool, chunks),
+			nBins: nBins,
+		}
+		a.partial[key] = p
+	}
+	if chunk < len(p.seen) && p.seen[chunk] {
+		return nil, nil // duplicate
+	}
+	off := headerLen
+	for i := 0; i < antsIn; i++ {
+		ant := first + i
+		if ant >= totalAnts {
+			return nil, fmt.Errorf("csi: antenna index %d out of range", ant)
+		}
+		p.report.TxAnts[ant] = int(binary.LittleEndian.Uint16(payload[off:]))
+		off += 2
+		row := make([]complex128, nfft)
+		for b := 0; b < nBins; b++ {
+			bin := int(payload[off])
+			re := math.Float32frombits(binary.LittleEndian.Uint32(payload[off+1:]))
+			im := math.Float32frombits(binary.LittleEndian.Uint32(payload[off+5:]))
+			if bin < nfft {
+				row[bin] = complex(float64(re), float64(im))
+			}
+			off += perBinLen
+		}
+		p.report.H[ant] = row
+	}
+	if chunk < len(p.seen) {
+		p.seen[chunk] = true
+	}
+	for _, s := range p.seen {
+		if !s {
+			return nil, nil
+		}
+	}
+	delete(a.partial, key)
+	return p.report, nil
+}

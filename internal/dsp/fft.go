@@ -1,0 +1,121 @@
+// Package dsp supplies the signal-processing primitives beneath the OFDM
+// PHY: power-of-two FFT/IFFT, correlation and convolution kernels, and a
+// fractional-delay resampler used to model sampling-frequency offset.
+package dsp
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// FFTPlan caches twiddle factors and the bit-reversal permutation for a
+// fixed power-of-two transform size, so per-symbol transforms allocate
+// nothing.
+type FFTPlan struct {
+	n       int
+	logn    int
+	rev     []int        // bit-reversal permutation
+	twiddle []complex128 // e^{-j2πk/n} for k < n/2
+}
+
+// NewFFTPlan returns a plan for size n, which must be a power of two ≥ 2.
+func NewFFTPlan(n int) (*FFTPlan, error) {
+	if n < 2 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("dsp: FFT size %d is not a power of two ≥ 2", n)
+	}
+	p := &FFTPlan{n: n, logn: bits.TrailingZeros(uint(n))}
+	p.rev = make([]int, n)
+	for i := 0; i < n; i++ {
+		p.rev[i] = int(bits.Reverse(uint(i)) >> (bits.UintSize - p.logn))
+	}
+	p.twiddle = make([]complex128, n/2)
+	for k := 0; k < n/2; k++ {
+		s, c := math.Sincos(-2 * math.Pi * float64(k) / float64(n))
+		p.twiddle[k] = complex(c, s)
+	}
+	return p, nil
+}
+
+// MustFFTPlan is NewFFTPlan that panics on error; for compile-time-constant
+// sizes such as the 64-point OFDM transform.
+func MustFFTPlan(n int) *FFTPlan {
+	p, err := NewFFTPlan(n)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Size returns the transform size.
+func (p *FFTPlan) Size() int { return p.n }
+
+// Forward computes the DFT of src into dst (both length n). dst and src may
+// alias. The transform is unnormalized: Forward∘Inverse = identity because
+// Inverse divides by n.
+func (p *FFTPlan) Forward(dst, src []complex128) {
+	p.transform(dst, src, false)
+}
+
+// Inverse computes the inverse DFT of src into dst, scaled by 1/n.
+func (p *FFTPlan) Inverse(dst, src []complex128) {
+	p.transform(dst, src, true)
+	scale := complex(1/float64(p.n), 0)
+	for i := range dst {
+		dst[i] *= scale
+	}
+}
+
+func (p *FFTPlan) transform(dst, src []complex128, inverse bool) {
+	n := p.n
+	if len(src) != n || len(dst) < n {
+		panic("dsp: FFT buffer length mismatch")
+	}
+	// Bit-reversed copy (handles aliasing because rev is an involution set
+	// of swaps when dst == src; when distinct we copy directly).
+	if &dst[0] == &src[0] {
+		for i, j := range p.rev {
+			if i < j {
+				dst[i], dst[j] = dst[j], dst[i]
+			}
+		}
+	} else {
+		for i, j := range p.rev {
+			dst[i] = src[j]
+		}
+	}
+	// Iterative Cooley-Tukey.
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		step := n / size
+		for start := 0; start < n; start += size {
+			for k := 0; k < half; k++ {
+				w := p.twiddle[k*step]
+				if inverse {
+					w = complex(real(w), -imag(w))
+				}
+				a := dst[start+k]
+				b := dst[start+k+half] * w
+				dst[start+k] = a + b
+				dst[start+k+half] = a - b
+			}
+		}
+	}
+}
+
+// FFT is a convenience wrapper that allocates a result and a plan for
+// one-off transforms (tests, setup paths).
+func FFT(src []complex128) []complex128 {
+	p := MustFFTPlan(len(src))
+	dst := make([]complex128, len(src))
+	p.Forward(dst, src)
+	return dst
+}
+
+// IFFT is the inverse convenience wrapper for FFT.
+func IFFT(src []complex128) []complex128 {
+	p := MustFFTPlan(len(src))
+	dst := make([]complex128, len(src))
+	p.Inverse(dst, src)
+	return dst
+}

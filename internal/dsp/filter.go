@@ -1,0 +1,151 @@
+package dsp
+
+import "math/cmplx"
+
+// Convolve returns the full linear convolution of x and h
+// (length len(x)+len(h)-1). This is the multipath-channel kernel: x is the
+// transmitted sample stream and h the tap vector.
+func Convolve(x, h []complex128) []complex128 {
+	if len(x) == 0 || len(h) == 0 {
+		return nil
+	}
+	out := make([]complex128, len(x)+len(h)-1)
+	for i, hv := range h {
+		if hv == 0 {
+			continue
+		}
+		for j, xv := range x {
+			out[i+j] += hv * xv
+		}
+	}
+	return out
+}
+
+// ConvolveInto writes the convolution of x and h into dst, which must have
+// length ≥ len(x)+len(h)-1, accumulating into existing contents (so several
+// transmitters can be summed onto one receive buffer). It returns the
+// number of samples touched.
+func ConvolveInto(dst, x, h []complex128) int {
+	n := len(x) + len(h) - 1
+	if len(x) == 0 || len(h) == 0 {
+		return 0
+	}
+	if len(dst) < n {
+		panic("dsp: ConvolveInto destination too short")
+	}
+	for i, hv := range h {
+		if hv == 0 {
+			continue
+		}
+		for j, xv := range x {
+			dst[i+j] += hv * xv
+		}
+	}
+	return n
+}
+
+// CrossCorrelate returns c[k] = Σ_i x[i+k]·conj(ref[i]) for
+// k in [0, len(x)-len(ref)], the sliding correlation used for packet
+// detection against a known preamble.
+func CrossCorrelate(x, ref []complex128) []complex128 {
+	if len(ref) == 0 || len(x) < len(ref) {
+		return nil
+	}
+	out := make([]complex128, len(x)-len(ref)+1)
+	for k := range out {
+		var acc complex128
+		win := x[k : k+len(ref)]
+		for i, r := range ref {
+			acc += win[i] * cmplx.Conj(r)
+		}
+		out[k] = acc
+	}
+	return out
+}
+
+// AutoCorrelateLag returns a[k] = Σ_{i=k..k+win-1} x[i]·conj(x[i+lag]) for
+// each window start k — the Schmidl-Cox style metric behind coarse timing
+// and CFO estimation on a periodic preamble.
+func AutoCorrelateLag(x []complex128, lag, win int) []complex128 {
+	if lag <= 0 || win <= 0 || len(x) < lag+win {
+		return nil
+	}
+	out := make([]complex128, len(x)-lag-win+1)
+	// Sliding update: each step adds one product and removes another.
+	var acc complex128
+	for i := 0; i < win; i++ {
+		acc += x[i] * cmplx.Conj(x[i+lag])
+	}
+	out[0] = acc
+	for k := 1; k < len(out); k++ {
+		acc -= x[k-1] * cmplx.Conj(x[k-1+lag])
+		acc += x[k+win-1] * cmplx.Conj(x[k+win-1+lag])
+		out[k] = acc
+	}
+	return out
+}
+
+// MovingAverage returns the win-point moving average of the real signal x
+// (length len(x)-win+1), used for normalizing detection metrics.
+func MovingAverage(x []float64, win int) []float64 {
+	if win <= 0 || len(x) < win {
+		return nil
+	}
+	out := make([]float64, len(x)-win+1)
+	var acc float64
+	for i := 0; i < win; i++ {
+		acc += x[i]
+	}
+	out[0] = acc / float64(win)
+	for k := 1; k < len(out); k++ {
+		acc += x[k+win-1] - x[k-1]
+		out[k] = acc / float64(win)
+	}
+	return out
+}
+
+// Resample performs linear-interpolation resampling of x at a rate ratio
+// r = Fs_out/Fs_in, producing floor((len(x)-1)*r)+1 samples. A ratio just
+// below or above 1 models a sampling-frequency offset between transmitter
+// and receiver clocks; linear interpolation is accurate to well below the
+// noise floor for the sub-ppm-per-packet drifts the simulator injects.
+func Resample(x []complex128, ratio float64) []complex128 {
+	if len(x) < 2 || ratio <= 0 {
+		return nil
+	}
+	n := int(float64(len(x)-1)*ratio) + 1
+	out := make([]complex128, n)
+	step := 1 / ratio
+	for i := 0; i < n; i++ {
+		pos := float64(i) * step
+		k := int(pos)
+		if k >= len(x)-1 {
+			out[i] = x[len(x)-1]
+			continue
+		}
+		frac := complex(pos-float64(k), 0)
+		out[i] = x[k]*(1-frac) + x[k+1]*frac
+	}
+	return out
+}
+
+// FractionalDelay delays x by d samples (0 ≤ d < 1) using linear
+// interpolation; integer delays are the caller's job (slice offsets).
+func FractionalDelay(x []complex128, d float64) []complex128 {
+	if d == 0 {
+		out := make([]complex128, len(x))
+		copy(out, x)
+		return out
+	}
+	if d < 0 || d >= 1 {
+		panic("dsp: FractionalDelay wants 0 ≤ d < 1")
+	}
+	out := make([]complex128, len(x))
+	fd := complex(d, 0)
+	prev := complex128(0)
+	for i, v := range x {
+		out[i] = prev*fd + v*(1-fd)
+		prev = v
+	}
+	return out
+}

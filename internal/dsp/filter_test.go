@@ -1,0 +1,216 @@
+package dsp
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+func TestConvolveKnown(t *testing.T) {
+	x := []complex128{1, 2, 3}
+	h := []complex128{1, -1}
+	got := Convolve(x, h)
+	want := []complex128{1, 1, 1, -3}
+	if len(got) != len(want) {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i := range want {
+		if cmplx.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("Convolve[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestConvolveIdentity(t *testing.T) {
+	x := []complex128{1 + 1i, 2, -3i}
+	got := Convolve(x, []complex128{1})
+	for i := range x {
+		if got[i] != x[i] {
+			t.Fatalf("identity convolution altered signal")
+		}
+	}
+}
+
+func TestConvolveEmpty(t *testing.T) {
+	if Convolve(nil, []complex128{1}) != nil || Convolve([]complex128{1}, nil) != nil {
+		t.Fatal("empty convolution should be nil")
+	}
+}
+
+func TestConvolveIntoAccumulates(t *testing.T) {
+	dst := make([]complex128, 4)
+	x := []complex128{1, 1, 1}
+	h := []complex128{2, 0}
+	ConvolveInto(dst, x, h)
+	ConvolveInto(dst, x, h)
+	for i := 0; i < 3; i++ {
+		if dst[i] != 4 {
+			t.Fatalf("dst = %v", dst)
+		}
+	}
+}
+
+func TestConvolveCommutes(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	x := randSignal(r, 37)
+	h := randSignal(r, 9)
+	a, b := Convolve(x, h), Convolve(h, x)
+	for i := range a {
+		if cmplx.Abs(a[i]-b[i]) > 1e-9 {
+			t.Fatal("convolution does not commute")
+		}
+	}
+}
+
+func TestCrossCorrelatePeakAtOffset(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	ref := randSignal(r, 32)
+	x := make([]complex128, 200)
+	off := 77
+	copy(x[off:], ref)
+	c := CrossCorrelate(x, ref)
+	best, bestAbs := -1, 0.0
+	for k, v := range c {
+		if a := cmplx.Abs(v); a > bestAbs {
+			best, bestAbs = k, a
+		}
+	}
+	if best != off {
+		t.Fatalf("correlation peak at %d, want %d", best, off)
+	}
+}
+
+func TestAutoCorrelateLagDetectsPeriodicity(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	period := randSignal(r, 16)
+	// Periodic region [64, 64+4*16) inside noise.
+	x := randSignal(r, 192)
+	for rep := 0; rep < 4; rep++ {
+		copy(x[64+rep*16:64+(rep+1)*16], period)
+	}
+	m := AutoCorrelateLag(x, 16, 32)
+	best, bestAbs := -1, 0.0
+	for k, v := range m {
+		if a := cmplx.Abs(v); a > bestAbs {
+			best, bestAbs = k, a
+		}
+	}
+	if best < 60 || best > 84 {
+		t.Fatalf("periodicity metric peak at %d, want near 64", best)
+	}
+}
+
+func TestAutoCorrelateLagPhaseEncodesCFO(t *testing.T) {
+	// A pure rotation applied to a periodic signal shows up as the phase
+	// of the lag-autocorrelation: phase = -lag·2πΔf/Fs.
+	n, lag := 128, 16
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = cmplx.Exp(complex(0, 2*math.Pi*float64(i%lag)/float64(lag)))
+	}
+	step := 0.01 // rad/sample
+	for i := range x {
+		x[i] *= cmplx.Exp(complex(0, step*float64(i)))
+	}
+	m := AutoCorrelateLag(x, lag, 64)
+	got := cmplx.Phase(m[0])
+	want := -step * float64(lag)
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("lag-corr phase = %v, want %v", got, want)
+	}
+}
+
+func TestMovingAverage(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	got := MovingAverage(x, 3)
+	want := []float64{2, 3, 4}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("MovingAverage = %v", got)
+		}
+	}
+	if MovingAverage(x, 6) != nil {
+		t.Fatal("window larger than input should be nil")
+	}
+}
+
+func TestResampleUnitRatio(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	x := randSignal(r, 100)
+	y := Resample(x, 1.0)
+	if len(y) != len(x) {
+		t.Fatalf("len = %d", len(y))
+	}
+	for i := range x {
+		if cmplx.Abs(y[i]-x[i]) > 1e-12 {
+			t.Fatalf("unit resample altered sample %d", i)
+		}
+	}
+}
+
+func TestResampleLinearRamp(t *testing.T) {
+	// A linear ramp is reproduced exactly by linear interpolation.
+	x := make([]complex128, 50)
+	for i := range x {
+		x[i] = complex(float64(i), 0)
+	}
+	y := Resample(x, 2.0)
+	for i := range y {
+		want := float64(i) / 2
+		if math.Abs(real(y[i])-want) > 1e-9 {
+			t.Fatalf("Resample ramp [%d] = %v, want %v", i, real(y[i]), want)
+		}
+	}
+}
+
+func TestResamplePPMDrift(t *testing.T) {
+	// 100 ppm over 10k samples ⇒ ~1 extra sample.
+	x := make([]complex128, 10000)
+	y := Resample(x, 1+100e-6)
+	if len(y)-len(x) < 0 || len(y)-len(x) > 2 {
+		t.Fatalf("drift sample count: %d -> %d", len(x), len(y))
+	}
+}
+
+func TestFractionalDelayRamp(t *testing.T) {
+	x := make([]complex128, 20)
+	for i := range x {
+		x[i] = complex(float64(i), 0)
+	}
+	y := FractionalDelay(x, 0.25)
+	// After warmup, y[i] = i - 0.25.
+	for i := 2; i < len(y); i++ {
+		if math.Abs(real(y[i])-(float64(i)-0.25)) > 1e-9 {
+			t.Fatalf("FractionalDelay[%d] = %v", i, real(y[i]))
+		}
+	}
+}
+
+func TestFractionalDelayZero(t *testing.T) {
+	x := []complex128{1, 2, 3}
+	y := FractionalDelay(x, 0)
+	y[0] = 99
+	if x[0] != 1 {
+		t.Fatal("FractionalDelay(0) must copy")
+	}
+}
+
+func BenchmarkConvolve(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	x := randSignal(r, 4096)
+	h := randSignal(r, 8)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Convolve(x, h)
+	}
+}
+
+func BenchmarkAutoCorrelateLag(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	x := randSignal(r, 4096)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		AutoCorrelateLag(x, 16, 64)
+	}
+}

@@ -1,0 +1,84 @@
+package dsp
+
+import "math"
+
+// Spectrum computes a Welch-style averaged power spectral density of x:
+// the signal is cut into half-overlapping Hann-windowed segments of length
+// fftSize (a power of two), each segment's periodogram is computed, and
+// the results are averaged. The output has fftSize bins ordered like the
+// FFT (DC first, negative frequencies in the upper half) with units of
+// power per bin. It is the diagnostic behind waveform inspection in the
+// simulator (occupied bandwidth, spectral leakage, interference spotting).
+func Spectrum(x []complex128, fftSize int) ([]float64, error) {
+	plan, err := NewFFTPlan(fftSize)
+	if err != nil {
+		return nil, err
+	}
+	if len(x) < fftSize {
+		padded := make([]complex128, fftSize)
+		copy(padded, x)
+		x = padded
+	}
+	window := hann(fftSize)
+	var winPow float64
+	for _, w := range window {
+		winPow += w * w
+	}
+	out := make([]float64, fftSize)
+	buf := make([]complex128, fftSize)
+	freq := make([]complex128, fftSize)
+	hop := fftSize / 2
+	segments := 0
+	for start := 0; start+fftSize <= len(x); start += hop {
+		for i := 0; i < fftSize; i++ {
+			buf[i] = x[start+i] * complex(window[i], 0)
+		}
+		plan.Forward(freq, buf)
+		for i, v := range freq {
+			out[i] += real(v)*real(v) + imag(v)*imag(v)
+		}
+		segments++
+	}
+	if segments == 0 {
+		segments = 1
+	}
+	scale := 1 / (float64(segments) * winPow)
+	for i := range out {
+		out[i] *= scale
+	}
+	return out, nil
+}
+
+// hann returns the n-point Hann window.
+func hann(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = 0.5 * (1 - math.Cos(2*math.Pi*float64(i)/float64(n-1)))
+	}
+	return out
+}
+
+// OccupiedBandwidth returns the fraction of total spectral power inside
+// the logical bin range [-k, k] of a Spectrum result (99%-style occupancy
+// checks for the OFDM mask).
+func OccupiedBandwidth(psd []float64, k int) float64 {
+	n := len(psd)
+	if n == 0 {
+		return 0
+	}
+	var inside, total float64
+	for i, p := range psd {
+		total += p
+		logical := i
+		if logical >= n/2 {
+			logical -= n
+		}
+		if logical >= -k && logical <= k {
+			inside += p
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return inside / total
+}

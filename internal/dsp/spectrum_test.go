@@ -1,0 +1,120 @@
+package dsp
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+func TestSpectrumSingleTone(t *testing.T) {
+	n := 4096
+	x := make([]complex128, n)
+	k0 := 10
+	for i := range x {
+		x[i] = cmplx.Exp(complex(0, 2*math.Pi*float64(k0*i)/64))
+	}
+	psd, err := Spectrum(x, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, bestP := -1, 0.0
+	for i, p := range psd {
+		if p > bestP {
+			best, bestP = i, p
+		}
+	}
+	if best != k0 {
+		t.Fatalf("tone peak at bin %d, want %d", best, k0)
+	}
+	// Hann leakage: bins far away must be tens of dB down.
+	if psd[32] > bestP*1e-4 {
+		t.Fatalf("far-bin leakage too high: %v vs peak %v", psd[32], bestP)
+	}
+}
+
+func TestSpectrumWhiteNoiseIsFlat(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	x := make([]complex128, 1<<15)
+	for i := range x {
+		x[i] = complex(r.NormFloat64(), r.NormFloat64())
+	}
+	psd, err := Spectrum(x, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mean float64
+	for _, p := range psd {
+		mean += p
+	}
+	mean /= float64(len(psd))
+	for i, p := range psd {
+		if p < mean*0.6 || p > mean*1.6 {
+			t.Fatalf("noise PSD bin %d = %v vs mean %v", i, p, mean)
+		}
+	}
+}
+
+func TestSpectrumRejectsBadSize(t *testing.T) {
+	if _, err := Spectrum(make([]complex128, 100), 63); err == nil {
+		t.Fatal("non-power-of-two size accepted")
+	}
+}
+
+func TestSpectrumShortInputPadded(t *testing.T) {
+	psd, err := Spectrum(make([]complex128, 10), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(psd) != 64 {
+		t.Fatalf("len %d", len(psd))
+	}
+}
+
+func TestOccupiedBandwidth(t *testing.T) {
+	// All power at logical bin +3.
+	psd := make([]float64, 64)
+	psd[3] = 1
+	if got := OccupiedBandwidth(psd, 2); got != 0 {
+		t.Fatalf("OBW(2) = %v", got)
+	}
+	if got := OccupiedBandwidth(psd, 3); got != 1 {
+		t.Fatalf("OBW(3) = %v", got)
+	}
+	// Negative logical bin −5 lives at index 64−5.
+	psd2 := make([]float64, 64)
+	psd2[59] = 1
+	if got := OccupiedBandwidth(psd2, 5); got != 1 {
+		t.Fatalf("OBW negative bin = %v", got)
+	}
+	if OccupiedBandwidth(nil, 3) != 0 {
+		t.Fatal("empty PSD")
+	}
+}
+
+func TestOFDMSignalOccupiesExpectedBand(t *testing.T) {
+	// An OFDM frame's energy must live inside ±26 subcarriers — the
+	// diagnostic this function exists for.
+	r := rand.New(rand.NewSource(2))
+	x := randSignal(r, 64)
+	// Synthesize a crude multicarrier signal on bins ±1..±20.
+	n := 8192
+	sig := make([]complex128, n)
+	for k := -20; k <= 20; k++ {
+		if k == 0 {
+			continue
+		}
+		amp := complex(r.NormFloat64(), r.NormFloat64())
+		for i := 0; i < n; i++ {
+			sig[i] += amp * cmplx.Exp(complex(0, 2*math.Pi*float64(k*i)/64))
+		}
+	}
+	_ = x
+	psd, err := Spectrum(sig, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := OccupiedBandwidth(psd, 22); got < 0.98 {
+		t.Fatalf("in-band fraction %v", got)
+	}
+}

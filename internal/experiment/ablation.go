@@ -1,0 +1,142 @@
+package experiment
+
+import (
+	"fmt"
+
+	"megamimo/internal/cmplxs"
+	"megamimo/internal/core"
+	"megamimo/internal/phy"
+	"megamimo/internal/stats"
+)
+
+// AblationResult compares design variants on the nulling INR after a
+// configurable staleness interval.
+type AblationResult struct {
+	Rows [][2]string // label, value
+}
+
+// RunAblations exercises the design decisions DESIGN.md calls out:
+//
+//  1. direct per-packet phase measurement vs frequency-offset
+//     extrapolation (the paper's core claim), at two staleness horizons;
+//  2. interleaved-measurement averaging depth (2 vs 8 rounds);
+//  3. pure zero-forcing vs MMSE regularization on iid Rayleigh channels.
+func RunAblations(draws int, seed int64) (*AblationResult, error) {
+	res := &AblationResult{}
+
+	inrRun := func(mod func(*core.Config), wait int64) (float64, error) {
+		var vals []float64
+		for d := 0; d < draws; d++ {
+			cfg := core.DefaultConfig(3, 3, 18, 24)
+			cfg.Seed = seed + int64(d)*211
+			cfg.WellConditioned = true
+			if mod != nil {
+				mod(&cfg)
+			}
+			n, err := core.New(cfg)
+			if err != nil {
+				return 0, err
+			}
+			if err := n.Measure(); err != nil {
+				return 0, err
+			}
+			p, err := core.ComputeZF(n.Msmt, cfg.NoiseVar)
+			if err != nil {
+				continue
+			}
+			n.SetPrecoder(p)
+			if wait > 0 {
+				n.AdvanceTime(wait)
+			}
+			inr, err := n.NullingINR(0, 700, phy.MCS0)
+			if err != nil {
+				return 0, err
+			}
+			vals = append(vals, cmplxs.DB(inr))
+		}
+		return stats.Mean(vals), nil
+	}
+
+	type cell struct {
+		label string
+		mod   func(*core.Config)
+		wait  int64
+	}
+	cells := []cell{
+		{"measure, 5 ms stale", nil, 50000},
+		{"extrapolate, 5 ms stale", func(c *core.Config) { c.ExtrapolatePhase = true }, 50000},
+		{"measure, 50 ms stale", nil, 500000},
+		{"extrapolate, 50 ms stale", func(c *core.Config) { c.ExtrapolatePhase = true }, 500000},
+		{"2 measurement rounds", func(c *core.Config) { c.MeasurementRounds = 2 }, 0},
+		{"8 measurement rounds", func(c *core.Config) { c.MeasurementRounds = 8 }, 0},
+	}
+	for _, c := range cells {
+		v, err := inrRun(c.mod, c.wait)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, [2]string{"INR: " + c.label, fmt.Sprintf("%.1f dB", v)})
+	}
+
+	// ZF vs MMSE on iid Rayleigh (WellConditioned off): adapted-rate joint
+	// throughput.
+	tput := func(lambdaTimesNv float64) (float64, error) {
+		var vals []float64
+		for d := 0; d < draws; d++ {
+			cfg := core.DefaultConfig(5, 5, 18, 24)
+			cfg.Seed = seed + int64(d)*431
+			n, err := core.New(cfg)
+			if err != nil {
+				return 0, err
+			}
+			if err := n.Measure(); err != nil {
+				return 0, err
+			}
+			p, err := core.ComputeZF(n.Msmt, lambdaTimesNv*cfg.NoiseVar)
+			if err != nil {
+				continue
+			}
+			n.SetPrecoder(p)
+			mcs, ok, err := n.ProbeAndSelectRate(256)
+			if err != nil {
+				return 0, err
+			}
+			if !ok {
+				vals = append(vals, 0)
+				continue
+			}
+			payloads := make([][]byte, 5)
+			for j := range payloads {
+				payloads[j] = make([]byte, PayloadBytes)
+			}
+			r, err := n.JointTransmit(payloads, mcs)
+			if err != nil {
+				return 0, err
+			}
+			vals = append(vals, r.GoodputBits()/(float64(r.AirtimeSamples)/cfg.SampleRate)/1e6)
+		}
+		return stats.Mean(vals), nil
+	}
+	for _, lam := range []float64{0, 4} {
+		v, err := tput(lam)
+		if err != nil {
+			return nil, err
+		}
+		label := "pure ZF"
+		if lam > 0 {
+			label = fmt.Sprintf("MMSE λ=%.0f·nv", lam)
+		}
+		res.Rows = append(res.Rows, [2]string{"iid-Rayleigh 5x5 throughput, " + label, fmt.Sprintf("%.1f Mb/s", v)})
+	}
+	return res, nil
+}
+
+// String renders the ablation table.
+func (r *AblationResult) String() string {
+	header := []string{"ablation", "result"}
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rows = append(rows, []string{row[0], row[1]})
+	}
+	return "Ablations — design-choice comparisons\n" + Table(header, rows)
+}

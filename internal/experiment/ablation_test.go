@@ -1,0 +1,45 @@
+package experiment
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestAblationsSmallScale(t *testing.T) {
+	r, err := RunAblations(2, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 8 {
+		t.Fatalf("%d ablation rows", len(r.Rows))
+	}
+	get := func(prefix string) float64 {
+		for _, row := range r.Rows {
+			if strings.HasPrefix(row[0], prefix) {
+				f := strings.Fields(row[1])[0]
+				v, err := strconv.ParseFloat(f, 64)
+				if err != nil {
+					t.Fatalf("parse %q: %v", row[1], err)
+				}
+				return v
+			}
+		}
+		t.Fatalf("row %q missing", prefix)
+		return 0
+	}
+	// The paper's core claim: direct measurement beats extrapolation, and
+	// the advantage explodes as the channel state ages.
+	m50 := get("INR: measure, 50 ms")
+	e50 := get("INR: extrapolate, 50 ms")
+	if e50 < m50+6 {
+		t.Fatalf("extrapolation at 50 ms (%v dB) not clearly worse than measurement (%v dB)", e50, m50)
+	}
+	e5 := get("INR: extrapolate, 5 ms")
+	if e50 < e5 {
+		t.Fatalf("extrapolation error did not grow with staleness: %v → %v dB", e5, e50)
+	}
+	if !strings.Contains(r.String(), "Ablations") {
+		t.Fatal("String broken")
+	}
+}

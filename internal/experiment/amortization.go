@@ -1,0 +1,113 @@
+package experiment
+
+import (
+	"fmt"
+
+	"megamimo/internal/core"
+	"megamimo/internal/phy"
+	"megamimo/internal/stats"
+)
+
+// AmortizationPoint is one re-measurement cadence.
+type AmortizationPoint struct {
+	// PacketsPerMeasure is how many joint transmissions share one channel
+	// measurement phase.
+	PacketsPerMeasure int
+	// OverheadFraction is measurement airtime / total airtime.
+	OverheadFraction float64
+	// ThroughputBps is delivered goodput over total airtime (measurement
+	// included).
+	ThroughputBps float64
+}
+
+// AmortizationResult quantifies §5's overhead claim: "a single channel
+// measurement phase can be followed by multiple data transmissions",
+// amortizing its cost over the channel coherence time (hundreds of
+// milliseconds indoors ≈ hundreds of packets).
+type AmortizationResult struct {
+	Points []AmortizationPoint
+}
+
+// RunAmortization measures total throughput when re-measuring every
+// `period` packets, for each period, on a static channel.
+func RunAmortization(periods []int, draws int, seed int64) (*AmortizationResult, error) {
+	res := &AmortizationResult{}
+	for _, period := range periods {
+		var tputs, overheads []float64
+		for d := 0; d < draws; d++ {
+			cfg := core.DefaultConfig(4, 4, 18, 24)
+			cfg.Seed = seed + int64(d)*617
+			cfg.WellConditioned = true
+			n, err := core.New(cfg)
+			if err != nil {
+				return nil, err
+			}
+			var dataAir, msmtAir int64
+			var bits float64
+			const totalPackets = 16
+			sent := 0
+			var mcs int = -1
+			for sent < totalPackets {
+				before := n.Now()
+				if err := n.Measure(); err != nil {
+					return nil, err
+				}
+				p, err := core.ComputeZF(n.Msmt, cfg.NoiseVar)
+				if err != nil {
+					return nil, err
+				}
+				n.SetPrecoder(p)
+				msmtAir += n.Now() - before
+				if mcs < 0 {
+					m, ok, err := n.ProbeAndSelectRate(256)
+					if err != nil {
+						return nil, err
+					}
+					if !ok {
+						break
+					}
+					mcs = int(m)
+				}
+				for k := 0; k < period && sent < totalPackets; k++ {
+					payloads := make([][]byte, 4)
+					for j := range payloads {
+						payloads[j] = make([]byte, PayloadBytes)
+					}
+					r, err := n.JointTransmit(payloads, phy.MCS(mcs))
+					if err != nil {
+						return nil, err
+					}
+					dataAir += r.AirtimeSamples
+					bits += r.GoodputBits()
+					sent++
+				}
+			}
+			total := dataAir + msmtAir
+			if total == 0 {
+				continue
+			}
+			overheads = append(overheads, float64(msmtAir)/float64(total))
+			tputs = append(tputs, bits/(float64(total)/cfg.SampleRate))
+		}
+		res.Points = append(res.Points, AmortizationPoint{
+			PacketsPerMeasure: period,
+			OverheadFraction:  stats.Mean(overheads),
+			ThroughputBps:     stats.Mean(tputs),
+		})
+	}
+	return res, nil
+}
+
+// String renders the amortization table.
+func (r *AmortizationResult) String() string {
+	header := []string{"packets per measurement", "measurement overhead", "throughput (Mb/s)"}
+	var rows [][]string
+	for _, p := range r.Points {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", p.PacketsPerMeasure),
+			fmt.Sprintf("%.1f%%", 100*p.OverheadFraction),
+			fmt.Sprintf("%.1f", p.ThroughputBps/1e6),
+		})
+	}
+	return "Amortization — measurement overhead vs re-measurement cadence (§5)\n" + Table(header, rows)
+}

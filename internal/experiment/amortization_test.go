@@ -1,0 +1,32 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAmortizationOverheadShrinks(t *testing.T) {
+	r, err := RunAmortization([]int{1, 8}, 2, 51)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) != 2 {
+		t.Fatalf("%d points", len(r.Points))
+	}
+	every, amortized := r.Points[0], r.Points[1]
+	if every.OverheadFraction <= amortized.OverheadFraction {
+		t.Fatalf("overhead did not shrink: %.2f → %.2f", every.OverheadFraction, amortized.OverheadFraction)
+	}
+	if amortized.ThroughputBps <= every.ThroughputBps {
+		t.Fatalf("amortization did not raise throughput: %.1f → %.1f Mb/s",
+			every.ThroughputBps/1e6, amortized.ThroughputBps/1e6)
+	}
+	// §5's qualitative claim: with many packets per measurement the
+	// overhead becomes small.
+	if amortized.OverheadFraction > 0.25 {
+		t.Fatalf("amortized overhead still %.0f%%", 100*amortized.OverheadFraction)
+	}
+	if !strings.Contains(r.String(), "Amortization") {
+		t.Fatal("String broken")
+	}
+}

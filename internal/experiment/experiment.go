@@ -1,0 +1,92 @@
+// Package experiment reproduces every figure of the paper's evaluation
+// (§11): each RunFigN function regenerates the corresponding plot's series
+// from full protocol simulations and returns printable rows. The harness
+// conventions follow §11's methodology — random topologies per point, SNR
+// binned low (6–12 dB), medium (12–18 dB), high (>18 dB), 1500-byte
+// packets, and medians across runs.
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"megamimo/internal/core"
+)
+
+// SNRBin is one of the paper's three evaluation bands.
+type SNRBin struct {
+	Name   string
+	Lo, Hi float64
+}
+
+// The paper's bands (§11.1c): low 6–12 dB, medium 12–18 dB, high >18 dB.
+var (
+	LowSNR    = SNRBin{"Low SNR (6-12 dB)", 6, 12}
+	MediumSNR = SNRBin{"Medium SNR (12-18 dB)", 12, 18}
+	HighSNR   = SNRBin{"High SNR (>18 dB)", 18, 24}
+	AllBins   = []SNRBin{HighSNR, MediumSNR, LowSNR}
+)
+
+// Defaults shared by the runners.
+const (
+	// PayloadBytes matches §10: "APs transmit 1500 byte packets".
+	PayloadBytes = 1500
+	// USRPSampleRate is the software-radio testbed's 10 MHz channel.
+	USRPSampleRate = 10e6
+	// Dot11nSampleRate is the 802.11n testbed's 20 MHz channel.
+	Dot11nSampleRate = 20e6
+)
+
+// networkForBin builds a measured MegaMIMO network with clients inside the
+// SNR bin. ZF regularization follows the MMSE rule (λ = noise), which
+// recovers on Rayleigh-ish simulated channels the conditioning the paper's
+// LOS-heavy conference room gave physically (see DESIGN.md §4).
+func networkForBin(nAPs, nClients int, bin SNRBin, seed int64) (*core.Network, error) {
+	cfg := core.DefaultConfig(nAPs, nClients, bin.Lo, bin.Hi)
+	cfg.Seed = seed
+	n, err := core.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := n.Measure(); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// Table renders aligned rows for terminal output.
+func Table(header []string, rows [][]string) string {
+	width := make([]int, len(header))
+	for i, h := range header {
+		width[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(width) && len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", width[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(header)
+	for i, w := range width {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, r := range rows {
+		writeRow(r)
+	}
+	return b.String()
+}

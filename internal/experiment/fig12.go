@@ -1,0 +1,152 @@
+package experiment
+
+import (
+	"fmt"
+
+	"megamimo/internal/baseline"
+	"megamimo/internal/core"
+	"megamimo/internal/stats"
+)
+
+// Fig12Point is one SNR bin's 802.11n-testbed comparison.
+type Fig12Point struct {
+	Bin         string
+	Dot11nBps   float64
+	MegaMIMOBps float64
+	MeanGain    float64
+}
+
+// Fig12Result reproduces "Throughput achieved using MegaMIMO on
+// off-the-shelf 802.11n cards" (§11.5): two 2-antenna APs jointly serve
+// two 2-antenna clients (4 concurrent streams) against an 802.11n TDMA
+// baseline, using the §6 reference-antenna channel-measurement trick.
+type Fig12Result struct {
+	Points []Fig12Point
+	// Gains pools every run's total-throughput gain for Fig 13's CDF.
+	Gains []float64
+}
+
+// RunFig12 runs `topologies` random placements per bin on the 20 MHz
+// 802.11n configuration.
+func RunFig12(topologies, txRounds int, seed int64) (*Fig12Result, error) {
+	res := &Fig12Result{}
+	for _, bin := range AllBins {
+		var mms, bls, gains []float64
+		for topo := 0; topo < topologies; topo++ {
+			cfg := core.DefaultConfig(2, 2, bin.Lo, bin.Hi)
+			cfg.AntennasPerAP = 2
+			cfg.AntennasPerClient = 2
+			cfg.SampleRate = Dot11nSampleRate
+			cfg.Seed = seed + int64(topo)*577 + int64(len(res.Points))*3
+			cfg.WellConditioned = true
+			// The Intel 5300 reports CSI in a signed fixed-point format.
+			cfg.CSIQuantBits = 7
+			n, err := core.New(cfg)
+			if err != nil {
+				return nil, err
+			}
+			// §6: off-the-shelf clients are measured with the
+			// reference-antenna trick, not the interleaved packet.
+			if err := n.MeasureDot11n(); err != nil {
+				return nil, err
+			}
+			p, err := core.ComputeZF(n.Msmt, cfg.NoiseVar)
+			if err != nil {
+				continue
+			}
+			n.SetPrecoder(p)
+
+			// Baseline: each 2-antenna client served in turn by its
+			// strongest AP with single-AP 2-stream beamforming.
+			sap := &baseline.SingleAPMIMO{Net: n}
+			bl, _, err := sap.Throughput(PayloadBytes)
+			if err != nil {
+				return nil, err
+			}
+
+			mcs, ok, err := n.ProbeAndSelectRate(256)
+			if err != nil {
+				return nil, err
+			}
+			var mm float64
+			if ok {
+				var airtime int64
+				var bits float64
+				for round := 0; round < txRounds; round++ {
+					payloads := make([][]byte, 4)
+					for j := range payloads {
+						payloads[j] = make([]byte, PayloadBytes)
+					}
+					r, err := n.JointTransmit(payloads, mcs)
+					if err != nil {
+						return nil, err
+					}
+					airtime += r.AirtimeSamples
+					bits += r.GoodputBits()
+				}
+				if airtime > 0 {
+					mm = bits / (float64(airtime) / cfg.SampleRate)
+				}
+			}
+			mms = append(mms, mm)
+			bls = append(bls, bl)
+			if bl > 0 {
+				gains = append(gains, mm/bl)
+			}
+		}
+		if len(mms) == 0 {
+			continue
+		}
+		pt := Fig12Point{
+			Bin:         bin.Name,
+			Dot11nBps:   stats.Mean(bls),
+			MegaMIMOBps: stats.Mean(mms),
+		}
+		if len(gains) > 0 {
+			pt.MeanGain = stats.Mean(gains)
+			res.Gains = append(res.Gains, gains...)
+		}
+		res.Points = append(res.Points, pt)
+	}
+	return res, nil
+}
+
+// String prints the grouped-bar data of Fig 12.
+func (r *Fig12Result) String() string {
+	header := []string{"SNR bin", "802.11n (Mb/s)", "MegaMIMO (Mb/s)", "mean gain"}
+	var rows [][]string
+	for _, p := range r.Points {
+		rows = append(rows, []string{
+			p.Bin,
+			fmt.Sprintf("%.1f", p.Dot11nBps/1e6),
+			fmt.Sprintf("%.1f", p.MegaMIMOBps/1e6),
+			fmt.Sprintf("%.2f x", p.MeanGain),
+		})
+	}
+	return "Fig 12 — 802.11n testbed throughput (2x 2-antenna APs → 2x 2-antenna clients)\n" +
+		Table(header, rows)
+}
+
+// Fig13Result is the CDF of the 802.11n throughput gain (§11.5's fairness
+// check: 1.65–2× across all runs, median 1.8×).
+type Fig13Result struct {
+	Gains []float64
+}
+
+// Fig13From reuses the Fig 12 runs.
+func Fig13From(r *Fig12Result) *Fig13Result { return &Fig13Result{Gains: r.Gains} }
+
+// String prints the gain CDF summary.
+func (r *Fig13Result) String() string {
+	if len(r.Gains) == 0 {
+		return "Fig 13 — no data"
+	}
+	c := stats.NewCDF(r.Gains)
+	header := []string{"throughput gain", "fraction of runs"}
+	var rows [][]string
+	for _, pt := range c.Points(9) {
+		rows = append(rows, []string{fmt.Sprintf("%.2f x", pt[0]), fmt.Sprintf("%.2f", pt[1])})
+	}
+	return fmt.Sprintf("Fig 13 — CDF of 802.11n throughput gain\nmedian %.2fx (paper: 1.8x), range %.2f-%.2fx (paper: 1.65-2x)\n%s",
+		stats.Median(r.Gains), c.Quantile(0), c.Quantile(1), Table(header, rows))
+}

@@ -1,0 +1,56 @@
+package experiment
+
+import (
+	"fmt"
+
+	"megamimo/internal/geom"
+	"megamimo/internal/rng"
+)
+
+// Fig5Result reproduces "Testbed Topology": the conference-room floor plan
+// with AP locations on the perimeter ledges and client locations scattered
+// across the room, from which every run samples a random subset.
+type Fig5Result struct {
+	Topology *geom.Topology
+	Room     geom.Room
+}
+
+// RunFig5 samples a placement at the paper's scale (10 AP candidates,
+// 10 client locations).
+func RunFig5(seed int64) *Fig5Result {
+	src := rng.New(seed)
+	room := geom.ConferenceRoom
+	top := geom.SampleTopology(src, room, geom.DefaultIndoor, 10, 10)
+	return &Fig5Result{Topology: top, Room: room}
+}
+
+// String renders the floor plan plus the link-budget summary.
+func (r *Fig5Result) String() string {
+	out := "Fig 5 — Testbed topology (A = AP on perimeter ledge, c = client)\n"
+	out += r.Topology.Map(r.Room, 64, 18)
+	header := []string{"client", "closest AP (m)", "farthest AP (m)", "best-link SNR (dB)"}
+	var rows [][]string
+	for c := range r.Topology.Clients {
+		minD, maxD := 1e9, 0.0
+		bestSNR := -1e9
+		for a := range r.Topology.APs {
+			d := r.Topology.Clients[c].Distance(r.Topology.APs[a])
+			if d < minD {
+				minD = d
+			}
+			if d > maxD {
+				maxD = d
+			}
+			if snr := r.Topology.SNRdB(geom.DefaultIndoor, c, a, 20, -90); snr > bestSNR {
+				bestSNR = snr
+			}
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", c),
+			fmt.Sprintf("%.1f", minD),
+			fmt.Sprintf("%.1f", maxD),
+			fmt.Sprintf("%.1f", bestSNR),
+		})
+	}
+	return out + Table(header, rows)
+}

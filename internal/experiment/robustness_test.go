@@ -1,0 +1,32 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRobustnessSweepSmall(t *testing.T) {
+	r, err := RunRobustness([]float64{2, 20}, 2, 41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) != 2 {
+		t.Fatalf("%d points", len(r.Points))
+	}
+	for _, p := range r.Points {
+		// §1: the system must hold phase alignment well inside the 802.11
+		// ±20 ppm mandate.
+		if p.MisalignMedian > 0.05 {
+			t.Fatalf("±%v ppm: misalignment %.4f rad", p.PPMBudget, p.MisalignMedian)
+		}
+		if p.INRdB > 2 {
+			t.Fatalf("±%v ppm: INR %.1f dB", p.PPMBudget, p.INRdB)
+		}
+		if p.DeliveryRate < 0.6 {
+			t.Fatalf("±%v ppm: delivery %.0f%%", p.PPMBudget, 100*p.DeliveryRate)
+		}
+	}
+	if !strings.Contains(r.String(), "Robustness") {
+		t.Fatal("String broken")
+	}
+}

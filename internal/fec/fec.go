@@ -1,0 +1,223 @@
+// Package fec implements 802.11's forward error correction: the rate-1/2
+// constraint-length-7 convolutional code (generators 133/171 octal), the
+// standard puncturing patterns for rates 2/3 and 3/4, and a Viterbi decoder
+// that accepts either hard bits or soft log-likelihood ratios.
+package fec
+
+import (
+	"fmt"
+	"math"
+)
+
+// Rate is a coding rate.
+type Rate int
+
+const (
+	Rate12 Rate = iota // 1/2
+	Rate23             // 2/3
+	Rate34             // 3/4
+)
+
+// String returns "1/2" etc.
+func (r Rate) String() string {
+	switch r {
+	case Rate12:
+		return "1/2"
+	case Rate23:
+		return "2/3"
+	case Rate34:
+		return "3/4"
+	}
+	return fmt.Sprintf("Rate(%d)", int(r))
+}
+
+// Fraction returns the numeric coding rate.
+func (r Rate) Fraction() float64 {
+	switch r {
+	case Rate12:
+		return 0.5
+	case Rate23:
+		return 2.0 / 3.0
+	case Rate34:
+		return 0.75
+	}
+	panic("fec: unknown rate")
+}
+
+// puncture patterns over the mother-code output stream (pairs A,B per input
+// bit): true = transmit, false = puncture. Patterns follow 802.11-1999 §17.
+func (r Rate) pattern() []bool {
+	switch r {
+	case Rate12:
+		return []bool{true, true}
+	case Rate23:
+		// A1 B1 A2 (B2 punctured), period 2 input bits.
+		return []bool{true, true, true, false}
+	case Rate34:
+		// A1 B1 A2 (B2) (A3) B3, period 3 input bits.
+		return []bool{true, true, true, false, false, true}
+	}
+	panic("fec: unknown rate")
+}
+
+const (
+	constraintLen = 7
+	numStates     = 1 << (constraintLen - 1) // 64
+	genA          = 0o133
+	genB          = 0o171
+)
+
+// outputs[state][input] packs the two mother-code output bits (A<<1 | B).
+var outputs [numStates][2]byte
+
+func init() {
+	for s := 0; s < numStates; s++ {
+		for in := 0; in < 2; in++ {
+			reg := (in << (constraintLen - 1)) | s
+			a := parity(reg & genA)
+			b := parity(reg & genB)
+			outputs[s][in] = a<<1 | b
+		}
+	}
+}
+
+func parity(x int) byte {
+	var p byte
+	for x != 0 {
+		p ^= byte(x & 1)
+		x >>= 1
+	}
+	return p
+}
+
+// Encode convolutionally encodes data bits (0/1 values) at the given rate.
+// The encoder appends constraintLen-1 zero tail bits to terminate the
+// trellis, matching what Decode assumes. Output length is
+// ceil(2*(len(data)+6) * kept/patternLen) after puncturing.
+func Encode(data []byte, rate Rate) []byte {
+	pat := rate.pattern()
+	mother := make([]byte, 0, 2*(len(data)+constraintLen-1))
+	state := 0
+	emit := func(bit byte) {
+		out := outputs[state][bit]
+		mother = append(mother, out>>1, out&1)
+		state = (state >> 1) | (int(bit) << (constraintLen - 2))
+	}
+	for _, b := range data {
+		emit(b & 1)
+	}
+	for i := 0; i < constraintLen-1; i++ {
+		emit(0)
+	}
+	// Puncture.
+	out := make([]byte, 0, len(mother))
+	for i, b := range mother {
+		if pat[i%len(pat)] {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// EncodedLen returns the number of coded bits Encode produces for n data
+// bits at the given rate.
+func EncodedLen(n int, rate Rate) int {
+	motherLen := 2 * (n + constraintLen - 1)
+	pat := rate.pattern()
+	kept := 0
+	for i := 0; i < motherLen; i++ {
+		if pat[i%len(pat)] {
+			kept++
+		}
+	}
+	return kept
+}
+
+// DecodeHard runs Viterbi over hard-decision coded bits and returns the
+// decoded data (without the tail). codedLen must equal EncodedLen(n, rate)
+// for the n the caller expects.
+func DecodeHard(coded []byte, n int, rate Rate) ([]byte, error) {
+	llr := make([]float64, len(coded))
+	for i, b := range coded {
+		if b&1 == 0 {
+			llr[i] = 1 // bit 0 likely
+		} else {
+			llr[i] = -1
+		}
+	}
+	return DecodeSoft(llr, n, rate)
+}
+
+// DecodeSoft runs Viterbi over per-bit LLRs (positive = bit 0) and returns
+// the n decoded data bits. Punctured positions are reinserted as zero-LLR
+// erasures before trellis traversal.
+func DecodeSoft(llr []float64, n int, rate Rate) ([]byte, error) {
+	if want := EncodedLen(n, rate); len(llr) != want {
+		return nil, fmt.Errorf("fec: got %d coded LLRs, want %d for %d bits at rate %s", len(llr), want, n, rate)
+	}
+	total := n + constraintLen - 1 // trellis steps including tail
+	// Depuncture into per-step (A, B) LLRs.
+	pat := rate.pattern()
+	full := make([]float64, 2*total)
+	src := 0
+	for i := range full {
+		if pat[i%len(pat)] {
+			full[i] = llr[src]
+			src++
+		}
+	}
+	// Viterbi with full traceback (packet-scale trellises are small).
+	const inf = math.MaxFloat64 / 4
+	metric := make([]float64, numStates)
+	next := make([]float64, numStates)
+	for s := 1; s < numStates; s++ {
+		metric[s] = inf
+	}
+	backptr := make([][numStates]uint8, total) // input bit chosen per state per step... need predecessor too
+	// We store, for each step and each *next state*, the input bit and
+	// implicit predecessor: nextState = (prev >> 1) | (bit << 5) means the
+	// predecessors of state t are (t<<1)&63 | 0 and |1 with input bit t>>5.
+	for step := 0; step < total; step++ {
+		la, lb := full[2*step], full[2*step+1]
+		for s := range next {
+			next[s] = inf
+		}
+		for prev := 0; prev < numStates; prev++ {
+			pm := metric[prev]
+			if pm >= inf {
+				continue
+			}
+			for in := 0; in < 2; in++ {
+				out := outputs[prev][in]
+				// Branch metric: negative log-likelihood; LLR>0 favors 0.
+				var bm float64
+				if out>>1 == 1 {
+					bm += la
+				} else {
+					bm -= la
+				}
+				if out&1 == 1 {
+					bm += lb
+				} else {
+					bm -= lb
+				}
+				ns := (prev >> 1) | (in << (constraintLen - 2))
+				if m := pm + bm; m < next[ns] {
+					next[ns] = m
+					backptr[step][ns] = uint8(prev)
+				}
+			}
+		}
+		metric, next = next, metric
+	}
+	// Trellis is terminated: trace back from state 0.
+	state := 0
+	bits := make([]byte, total)
+	for step := total - 1; step >= 0; step-- {
+		prev := int(backptr[step][state])
+		// Input bit that moved prev→state is the MSB of state.
+		bits[step] = byte(state >> (constraintLen - 2))
+		state = prev
+	}
+	return bits[:n], nil
+}

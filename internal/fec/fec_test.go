@@ -1,0 +1,240 @@
+package fec
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+var allRates = []Rate{Rate12, Rate23, Rate34}
+
+func randBits(r *rand.Rand, n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(r.Intn(2))
+	}
+	return b
+}
+
+func TestEncodedLenMatchesEncode(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for _, rate := range allRates {
+		for _, n := range []int{1, 7, 48, 100, 333} {
+			data := randBits(r, n)
+			if got, want := len(Encode(data, rate)), EncodedLen(n, rate); got != want {
+				t.Fatalf("rate %s n=%d: Encode len %d, EncodedLen %d", rate, n, got, want)
+			}
+		}
+	}
+}
+
+func TestRateFraction(t *testing.T) {
+	// Coded length should approach n/rate for large n.
+	n := 3000
+	for _, rate := range allRates {
+		got := float64(EncodedLen(n, rate))
+		want := float64(n) / rate.Fraction()
+		if got < want || got > want+24 {
+			t.Fatalf("rate %s: coded len %v for %d bits (expected ≈%v)", rate, got, n, want)
+		}
+	}
+}
+
+func TestNoiselessRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for _, rate := range allRates {
+		for _, n := range []int{1, 2, 10, 96, 500} {
+			data := randBits(r, n)
+			coded := Encode(data, rate)
+			dec, err := DecodeHard(coded, n, rate)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range data {
+				if dec[i] != data[i] {
+					t.Fatalf("rate %s n=%d: bit %d wrong", rate, n, i)
+				}
+			}
+		}
+	}
+}
+
+func TestKnownEncoderOutput(t *testing.T) {
+	// First input bit 1 from zero state: register = 1000000 (input in MSB);
+	// A = parity(reg & 133o), B = parity(reg & 171o). 133o=1011011b,
+	// 171o=1111001b; both have the MSB set, so output is 11.
+	coded := Encode([]byte{1}, Rate12)
+	if coded[0] != 1 || coded[1] != 1 {
+		t.Fatalf("first coded pair = %d%d, want 11", coded[0], coded[1])
+	}
+	// All-zero input must give all-zero output.
+	for i, b := range Encode(make([]byte, 20), Rate12) {
+		if b != 0 {
+			t.Fatalf("zero input produced 1 at %d", i)
+		}
+	}
+}
+
+func TestHardDecodingCorrectsBitErrors(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	n := 400
+	data := randBits(r, n)
+	coded := Encode(data, Rate12)
+	// Flip ~2% of coded bits, spread out (free distance 10 corrects dense
+	// errors poorly, sparse well).
+	for i := 0; i < len(coded); i += 53 {
+		coded[i] ^= 1
+	}
+	dec, err := DecodeHard(coded, n, Rate12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errs := 0
+	for i := range data {
+		if dec[i] != data[i] {
+			errs++
+		}
+	}
+	if errs != 0 {
+		t.Fatalf("%d residual errors after sparse flips", errs)
+	}
+}
+
+func TestSoftBeatsHardAtModerateNoise(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	n := 300
+	trials := 40
+	hardErrs, softErrs := 0, 0
+	sigma := 0.95 // BPSK noise sd at ~0.4 dB Eb/N0: plenty of raw errors
+	for trial := 0; trial < trials; trial++ {
+		data := randBits(r, n)
+		coded := Encode(data, Rate12)
+		rx := make([]float64, len(coded)) // received BPSK: 0→+1, 1→-1
+		for i, b := range coded {
+			v := 1.0
+			if b == 1 {
+				v = -1.0
+			}
+			rx[i] = v + sigma*r.NormFloat64()
+		}
+		hard := make([]byte, len(coded))
+		soft := make([]float64, len(coded))
+		for i, v := range rx {
+			if v < 0 {
+				hard[i] = 1
+			}
+			soft[i] = 2 * v / (sigma * sigma)
+		}
+		hd, err := DecodeHard(hard, n, Rate12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sd, err := DecodeSoft(soft, n, Rate12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range data {
+			if hd[i] != data[i] {
+				hardErrs++
+			}
+			if sd[i] != data[i] {
+				softErrs++
+			}
+		}
+	}
+	if softErrs >= hardErrs {
+		t.Fatalf("soft decoding (%d errors) not better than hard (%d)", softErrs, hardErrs)
+	}
+}
+
+func TestPuncturedRatesDecodeUnderLightNoise(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	n := 300
+	for _, rate := range []Rate{Rate23, Rate34} {
+		data := randBits(r, n)
+		coded := Encode(data, rate)
+		llr := make([]float64, len(coded))
+		for i, b := range coded {
+			v := 1.0
+			if b == 1 {
+				v = -1.0
+			}
+			llr[i] = 4 * (v + 0.45*r.NormFloat64())
+		}
+		dec, err := DecodeSoft(llr, n, rate)
+		if err != nil {
+			t.Fatal(err)
+		}
+		errs := 0
+		for i := range data {
+			if dec[i] != data[i] {
+				errs++
+			}
+		}
+		if errs > 0 {
+			t.Fatalf("rate %s: %d errors under light noise", rate, errs)
+		}
+	}
+}
+
+func TestDecodeLengthValidation(t *testing.T) {
+	if _, err := DecodeHard(make([]byte, 10), 100, Rate12); err == nil {
+		t.Fatal("no error for wrong coded length")
+	}
+}
+
+// Property: encode/decode is the identity without noise for random inputs.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(raw []byte, rateIdx uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		rate := allRates[int(rateIdx)%len(allRates)]
+		data := make([]byte, len(raw))
+		for i := range raw {
+			data[i] = raw[i] & 1
+		}
+		dec, err := DecodeHard(Encode(data, rate), len(data), rate)
+		if err != nil {
+			return false
+		}
+		for i := range data {
+			if dec[i] != data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkEncodeRate12(b *testing.B) {
+	data := randBits(rand.New(rand.NewSource(1)), 12000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Encode(data, Rate12)
+	}
+}
+
+func BenchmarkViterbi1500ByteFrame(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	n := 1500 * 8
+	data := randBits(r, n)
+	coded := Encode(data, Rate34)
+	llr := make([]float64, len(coded))
+	for i, bit := range coded {
+		if bit == 0 {
+			llr[i] = 1
+		} else {
+			llr[i] = -1
+		}
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeSoft(llr, n, Rate34); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+// Package interleave implements the 802.11 per-OFDM-symbol block
+// interleaver. The two-permutation design separates adjacent coded bits
+// onto non-adjacent subcarriers (first permutation) and alternates them
+// between high- and low-reliability constellation bit positions (second),
+// so a frequency-selective fade or a weak QAM bit does not wipe out a run
+// of consecutive coded bits.
+package interleave
+
+import "fmt"
+
+// Interleaver holds the precomputed permutation for one (Ncbps, Nbpsc)
+// pair: coded bits per symbol and bits per subcarrier.
+type Interleaver struct {
+	ncbps int
+	perm  []int // perm[k] = position after interleaving
+	inv   []int
+}
+
+// New builds the interleaver for ncbps coded bits per symbol carried on
+// subcarriers with nbpsc bits each. ncbps must be a multiple of 16·nbpsc
+// is NOT required by the math; only divisibility used below is enforced.
+func New(ncbps, nbpsc int) (*Interleaver, error) {
+	if ncbps <= 0 || nbpsc <= 0 || ncbps%nbpsc != 0 {
+		return nil, fmt.Errorf("interleave: bad parameters ncbps=%d nbpsc=%d", ncbps, nbpsc)
+	}
+	if ncbps%16 != 0 {
+		return nil, fmt.Errorf("interleave: ncbps=%d not a multiple of 16", ncbps)
+	}
+	s := nbpsc / 2
+	if s < 1 {
+		s = 1
+	}
+	it := &Interleaver{ncbps: ncbps, perm: make([]int, ncbps), inv: make([]int, ncbps)}
+	for k := 0; k < ncbps; k++ {
+		// First permutation (802.11-1999 17.3.5.6).
+		i := (ncbps/16)*(k%16) + k/16
+		// Second permutation.
+		j := s*(i/s) + (i+ncbps-(16*i)/ncbps)%s
+		it.perm[k] = j
+		it.inv[j] = k
+	}
+	return it, nil
+}
+
+// MustNew panics on error; for table-driven setup with constant parameters.
+func MustNew(ncbps, nbpsc int) *Interleaver {
+	it, err := New(ncbps, nbpsc)
+	if err != nil {
+		panic(err)
+	}
+	return it
+}
+
+// BlockSize returns the interleaver block length in bits.
+func (it *Interleaver) BlockSize() int { return it.ncbps }
+
+// Interleave permutes one block of exactly BlockSize bits.
+func (it *Interleaver) Interleave(bits []byte) ([]byte, error) {
+	if len(bits) != it.ncbps {
+		return nil, fmt.Errorf("interleave: block of %d bits, want %d", len(bits), it.ncbps)
+	}
+	out := make([]byte, len(bits))
+	for k, b := range bits {
+		out[it.perm[k]] = b
+	}
+	return out, nil
+}
+
+// Deinterleave inverts Interleave on one block.
+func (it *Interleaver) Deinterleave(bits []byte) ([]byte, error) {
+	if len(bits) != it.ncbps {
+		return nil, fmt.Errorf("interleave: block of %d bits, want %d", len(bits), it.ncbps)
+	}
+	out := make([]byte, len(bits))
+	for j, b := range bits {
+		out[it.inv[j]] = b
+	}
+	return out, nil
+}
+
+// DeinterleaveLLR inverts the permutation on soft values.
+func (it *Interleaver) DeinterleaveLLR(llr []float64) ([]float64, error) {
+	if len(llr) != it.ncbps {
+		return nil, fmt.Errorf("interleave: block of %d LLRs, want %d", len(llr), it.ncbps)
+	}
+	out := make([]float64, len(llr))
+	for j, v := range llr {
+		out[it.inv[j]] = v
+	}
+	return out, nil
+}

@@ -1,0 +1,155 @@
+package mac
+
+import (
+	"fmt"
+
+	"megamimo/internal/rng"
+)
+
+// CSMA is a slotted CSMA/CA medium simulator: stations with pending frames
+// draw a backoff from their contention window, count down on idle slots,
+// transmit at zero, and double their window on collision (binary
+// exponential backoff). It grounds two §9 design points: the 802.11
+// baseline's equal medium share among contenders, and the MegaMIMO lead's
+// weighted contention window ("contends on behalf of all slave APs, with
+// its contention window weighted by the number of packets in the joint
+// transmission"), which makes one joint transmission win the medium as
+// often as N queued stations would.
+type CSMA struct {
+	// SlotSamples is the backoff slot in ether samples.
+	SlotSamples int
+	// DIFSSamples is the idle sensing time before backoff resumes.
+	DIFSSamples int
+	// CWMin / CWMax bound the contention window (slots).
+	CWMin, CWMax int
+
+	src *rng.Source
+}
+
+// NewCSMA returns the 802.11-flavored defaults at the given sample rate.
+func NewCSMA(sampleRate float64, seed int64) *CSMA {
+	return &CSMA{
+		SlotSamples: int(9e-6 * sampleRate),
+		DIFSSamples: int(34e-6 * sampleRate),
+		CWMin:       15,
+		CWMax:       1023,
+		src:         rng.New(seed),
+	}
+}
+
+// Station is one contender.
+type Station struct {
+	// Pending is the number of frames the station wants to send.
+	Pending int
+	// Weight divides the station's contention window: a MegaMIMO lead
+	// carrying W packets contends with CW/W (weight 1 = plain 802.11).
+	Weight int
+
+	cw      int
+	backoff int
+}
+
+// CSMAStats summarizes one run.
+type CSMAStats struct {
+	// Delivered counts frames per station.
+	Delivered []int
+	// AirtimeSamples counts each station's successful transmit airtime.
+	AirtimeSamples []int64
+	// Collisions is the number of collision events.
+	Collisions int
+	// TotalSamples is the elapsed medium time.
+	TotalSamples int64
+}
+
+// Share returns station i's fraction of successful airtime.
+func (s *CSMAStats) Share(i int) float64 {
+	var total int64
+	for _, a := range s.AirtimeSamples {
+		total += a
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(s.AirtimeSamples[i]) / float64(total)
+}
+
+// Run simulates until every station drains or maxEvents transmissions
+// occur. frameSamples is the fixed frame airtime.
+func (c *CSMA) Run(stations []*Station, frameSamples int, maxEvents int) (*CSMAStats, error) {
+	if len(stations) == 0 {
+		return nil, fmt.Errorf("mac: no stations")
+	}
+	st := &CSMAStats{
+		Delivered:      make([]int, len(stations)),
+		AirtimeSamples: make([]int64, len(stations)),
+	}
+	for _, s := range stations {
+		if s.Weight < 1 {
+			s.Weight = 1
+		}
+		s.cw = c.CWMin
+		s.backoff = c.draw(s)
+	}
+	for ev := 0; ev < maxEvents; ev++ {
+		active := 0
+		for _, s := range stations {
+			if s.Pending > 0 {
+				active++
+			}
+		}
+		if active == 0 {
+			break
+		}
+		// Advance to the next transmission: the minimum backoff among
+		// active stations elapses in idle slots.
+		min := 1 << 30
+		for _, s := range stations {
+			if s.Pending > 0 && s.backoff < min {
+				min = s.backoff
+			}
+		}
+		st.TotalSamples += int64(c.DIFSSamples + min*c.SlotSamples)
+		var txs []int
+		for i, s := range stations {
+			if s.Pending == 0 {
+				continue
+			}
+			s.backoff -= min
+			if s.backoff == 0 {
+				txs = append(txs, i)
+			}
+		}
+		st.TotalSamples += int64(frameSamples)
+		if len(txs) == 1 {
+			i := txs[0]
+			s := stations[i]
+			s.Pending--
+			st.Delivered[i]++
+			st.AirtimeSamples[i] += int64(frameSamples)
+			s.cw = c.CWMin
+			s.backoff = c.draw(s)
+			continue
+		}
+		// Collision: everyone who transmitted doubles its window.
+		st.Collisions++
+		for _, i := range txs {
+			s := stations[i]
+			s.cw = s.cw*2 + 1
+			if s.cw > c.CWMax {
+				s.cw = c.CWMax
+			}
+			s.backoff = c.draw(s)
+		}
+	}
+	return st, nil
+}
+
+// draw samples a fresh backoff for the station, window divided by its
+// weight.
+func (c *CSMA) draw(s *Station) int {
+	w := s.cw / s.Weight
+	if w < 1 {
+		w = 1
+	}
+	return 1 + c.src.Intn(w+1)
+}

@@ -1,0 +1,122 @@
+package mac
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCSMAEqualContendersShareEqually(t *testing.T) {
+	c := NewCSMA(10e6, 1)
+	stations := make([]*Station, 4)
+	for i := range stations {
+		stations[i] = &Station{Pending: 500, Weight: 1}
+	}
+	st, err := c.Run(stations, 5000, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range stations {
+		if s := st.Share(i); math.Abs(s-0.25) > 0.04 {
+			t.Fatalf("station %d share %.3f, want ≈0.25", i, s)
+		}
+	}
+	if st.Collisions == 0 {
+		t.Fatal("four contenders never collided — model suspicious")
+	}
+}
+
+func TestCSMAWeightedLeadWinsProportionally(t *testing.T) {
+	// §9 / [29]: a lead carrying 4 packets contends with CW/4 and should
+	// win roughly 4x as often as each single-packet station.
+	c := NewCSMA(10e6, 2)
+	lead := &Station{Pending: 4000, Weight: 4}
+	others := []*Station{
+		{Pending: 4000, Weight: 1},
+		{Pending: 4000, Weight: 1},
+	}
+	st, err := c.Run(append([]*Station{lead}, others...), 5000, 6000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leadWins := float64(st.Delivered[0])
+	otherWins := float64(st.Delivered[1]+st.Delivered[2]) / 2
+	ratio := leadWins / otherWins
+	if ratio < 2.5 || ratio > 6 {
+		t.Fatalf("weighted lead won %.1fx as often (want ≈4x)", ratio)
+	}
+}
+
+func TestCSMADrainsAndStops(t *testing.T) {
+	c := NewCSMA(10e6, 3)
+	stations := []*Station{{Pending: 5, Weight: 1}, {Pending: 3, Weight: 1}}
+	st, err := c.Run(stations, 1000, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Delivered[0] != 5 || st.Delivered[1] != 3 {
+		t.Fatalf("delivered %v", st.Delivered)
+	}
+	if stations[0].Pending != 0 || stations[1].Pending != 0 {
+		t.Fatal("queues not drained")
+	}
+	if st.TotalSamples <= int64(8*1000) {
+		t.Fatal("airtime accounting missing overheads")
+	}
+}
+
+func TestCSMACollisionsGrowWithContention(t *testing.T) {
+	rate := func(n int) float64 {
+		c := NewCSMA(10e6, 4)
+		stations := make([]*Station, n)
+		for i := range stations {
+			stations[i] = &Station{Pending: 300, Weight: 1}
+		}
+		st, err := c.Run(stations, 2000, 100000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := 0
+		for _, d := range st.Delivered {
+			total += d
+		}
+		return float64(st.Collisions) / float64(total+st.Collisions)
+	}
+	if r2, r16 := rate(2), rate(16); r16 <= r2 {
+		t.Fatalf("collision rate did not grow: %0.3f → %0.3f", r2, r16)
+	}
+}
+
+func TestCSMAValidation(t *testing.T) {
+	c := NewCSMA(10e6, 5)
+	if _, err := c.Run(nil, 100, 10); err == nil {
+		t.Fatal("no stations accepted")
+	}
+}
+
+// TestCSMAJointBeatsSequentialAirtime ties the model to the paper's story:
+// one weighted joint transmission moving N packets uses less medium time
+// than N sequential unicasts of the same frames.
+func TestCSMAJointBeatsSequentialAirtime(t *testing.T) {
+	const frame = 5000
+	// Sequential: 4 stations × 100 frames each.
+	c1 := NewCSMA(10e6, 6)
+	seq := make([]*Station, 4)
+	for i := range seq {
+		seq[i] = &Station{Pending: 100, Weight: 1}
+	}
+	s1, err := c1.Run(seq, frame, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Joint: one lead delivers the same 400 frames as 100 4-packet joint
+	// transmissions (each one frame of airtime).
+	c2 := NewCSMA(10e6, 7)
+	joint := []*Station{{Pending: 100, Weight: 4}}
+	s2, err := c2.Run(joint, frame, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.TotalSamples*3 > s1.TotalSamples {
+		t.Fatalf("joint airtime %d not ≪ sequential %d", s2.TotalSamples, s1.TotalSamples)
+	}
+}

@@ -1,0 +1,270 @@
+// Package mac implements MegaMIMO's link layer (§9): the shared downlink
+// queue distributed to every AP over the backbone, designated-AP
+// bookkeeping, lead contention with a weighted contention window,
+// joint-transmission grouping, asynchronous acknowledgments and
+// retransmissions, plus the TDMA round-robin scheduler used to model the
+// 802.11 baseline's equal medium share.
+package mac
+
+import (
+	"fmt"
+
+	"megamimo/internal/core"
+	"megamimo/internal/phy"
+	"megamimo/internal/rng"
+)
+
+// Packet is one downlink MAC frame.
+type Packet struct {
+	// Stream is the destination stream (client antenna) index.
+	Stream int
+	// Payload is the MSDU.
+	Payload []byte
+	// DesignatedAP is the AP with the strongest link to the destination
+	// (§9: every packet has one; the head packet's designated AP leads).
+	DesignatedAP int
+	// Attempts counts transmissions so far.
+	Attempts int
+	// Delivered is set once an acknowledgment arrives.
+	Delivered bool
+}
+
+// Queue is the shared downlink queue. Every AP sees the same queue because
+// every payload rides the Ethernet backbone to every AP.
+type Queue struct {
+	packets []*Packet
+}
+
+// Push appends a packet.
+func (q *Queue) Push(p *Packet) { q.packets = append(q.packets, p) }
+
+// Len returns the queue length.
+func (q *Queue) Len() int { return len(q.packets) }
+
+// Head returns the head-of-line packet or nil.
+func (q *Queue) Head() *Packet {
+	if len(q.packets) == 0 {
+		return nil
+	}
+	return q.packets[0]
+}
+
+// NextForStream returns the first queued packet for the given stream, or
+// nil.
+func (q *Queue) NextForStream(stream int) *Packet {
+	for _, p := range q.packets {
+		if p.Stream == stream {
+			return p
+		}
+	}
+	return nil
+}
+
+// Remove deletes a specific packet (after its async ACK).
+func (q *Queue) Remove(p *Packet) {
+	for i, x := range q.packets {
+		if x == p {
+			q.packets = append(q.packets[:i], q.packets[i+1:]...)
+			return
+		}
+	}
+}
+
+// Requeue moves a packet to the back after a failed attempt, keeping it
+// eligible for future joint transmissions ("if a packet is not ACKed ...
+// combined with other packets in the queue for future concurrent
+// transmissions").
+func (q *Queue) Requeue(p *Packet) {
+	q.Remove(p)
+	q.packets = append(q.packets, p)
+}
+
+// Contention models the lead AP's CSMA access: the lead contends on behalf
+// of all slaves with its contention window weighted by the number of
+// packets in the joint transmission (§9, following [29]).
+type Contention struct {
+	// CWMinSlots is the base contention window in slots.
+	CWMinSlots int
+	// SlotSamples is the slot duration in ether samples (9 µs × rate).
+	SlotSamples int
+	src         *rng.Source
+}
+
+// NewContention builds the contention model for the given sample rate.
+func NewContention(sampleRate float64, seed int64) *Contention {
+	return &Contention{
+		CWMinSlots:  15,
+		SlotSamples: int(9e-6 * sampleRate),
+		src:         rng.New(seed),
+	}
+}
+
+// BackoffSamples draws the backoff airtime for a joint transmission
+// carrying nPackets frames: the window shrinks ∝ 1/nPackets so a joint
+// transmission delivering N packets contends like N queued stations.
+func (c *Contention) BackoffSamples(nPackets int) int64 {
+	if nPackets < 1 {
+		nPackets = 1
+	}
+	w := c.CWMinSlots / nPackets
+	if w < 1 {
+		w = 1
+	}
+	return int64(c.src.Intn(w+1) * c.SlotSamples)
+}
+
+// Scheduler drives a core.Network from the shared queue.
+type Scheduler struct {
+	Net   *core.Network
+	Queue Queue
+	Cont  *Contention
+	// MaxAttempts bounds retransmissions per packet.
+	MaxAttempts int
+	// MCS overrides rate adaptation when ≥ 0.
+	MCS phy.MCS
+
+	adapted   phy.MCS
+	adaptedOK bool
+}
+
+// NewScheduler wires a scheduler to a network whose measurement phase has
+// already run.
+func NewScheduler(net *core.Network, seed int64) *Scheduler {
+	return &Scheduler{
+		Net:         net,
+		Cont:        NewContention(net.Cfg.SampleRate, seed),
+		MaxAttempts: 4,
+		MCS:         -1,
+	}
+}
+
+// Stats accumulates scheduler outcomes.
+type Stats struct {
+	DeliveredPackets int
+	DeliveredBits    float64
+	FailedPackets    int
+	Transmissions    int
+	AirtimeSamples   int64
+	// PerStreamBits tracks goodput per stream for fairness analysis.
+	PerStreamBits map[int]float64
+}
+
+// ThroughputBps returns delivered goodput over total airtime.
+func (s *Stats) ThroughputBps(sampleRate float64) float64 {
+	if s.AirtimeSamples == 0 {
+		return 0
+	}
+	return s.DeliveredBits / (float64(s.AirtimeSamples) / sampleRate)
+}
+
+// Run drains the queue with joint transmissions until it is empty or every
+// remaining packet has exhausted its attempts. Rate comes from one probe
+// unless MCS pins it.
+func (s *Scheduler) Run() (*Stats, error) {
+	st := &Stats{PerStreamBits: make(map[int]float64)}
+	if s.MCS >= 0 {
+		s.adapted, s.adaptedOK = s.MCS, true
+	} else if !s.adaptedOK {
+		mcs, ok, err := s.Net.ProbeAndSelectRate(256)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return nil, fmt.Errorf("mac: no deliverable rate")
+		}
+		s.adapted, s.adaptedOK = mcs, true
+	}
+	streams := s.Net.NumStreams()
+	for s.Queue.Len() > 0 {
+		// Group: head packet plus one queued packet per other stream.
+		head := s.Queue.Head()
+		group := make([]*Packet, streams)
+		group[head.Stream] = head
+		size := len(head.Payload)
+		for j := 0; j < streams; j++ {
+			if j == head.Stream {
+				continue
+			}
+			if p := s.Queue.NextForStream(j); p != nil && len(p.Payload) == size {
+				group[j] = p
+			}
+		}
+		payloads := make([][]byte, streams)
+		nPkts := 0
+		for j, p := range group {
+			if p != nil {
+				payloads[j] = p.Payload
+				nPkts++
+			}
+		}
+		// §9: the head packet's designated AP is nominated lead for this
+		// transmission (every AP holds sync state toward every potential
+		// lead from the measurement phase).
+		s.Net.SetLead(head.DesignatedAP)
+		st.AirtimeSamples += s.Cont.BackoffSamples(nPkts)
+		res, err := s.Net.JointTransmit(payloads, s.adapted)
+		if err != nil {
+			return nil, err
+		}
+		st.Transmissions++
+		st.AirtimeSamples += res.AirtimeSamples
+
+		// Asynchronous acknowledgments (§9, after MRD/ZipTx): each client
+		// that decoded its frame posts an ACK on the backbone; the lead
+		// reads them after the backbone latency and updates the shared
+		// queue. Frames without an ACK stay queued for future joint
+		// transmissions.
+		ackAt := s.Net.Now()
+		for j, okj := range res.OK {
+			if okj && group[j] != nil {
+				s.Net.Bus.Send(1000+j/s.Net.Cfg.AntennasPerClient, s.Net.Lead().Index, ackAt, ack{Stream: j})
+			}
+		}
+		s.Net.AdvanceTime(s.Net.Bus.LatencySamples + 1)
+		acked := make(map[int]bool)
+		for _, m := range s.Net.Bus.Receive(s.Net.Lead().Index, s.Net.Now()) {
+			if a, ok := m.Payload.(ack); ok {
+				acked[a.Stream] = true
+			}
+		}
+		for j, p := range group {
+			if p == nil {
+				continue
+			}
+			p.Attempts++
+			if acked[j] {
+				p.Delivered = true
+				st.DeliveredPackets++
+				bits := float64(8 * len(p.Payload))
+				st.DeliveredBits += bits
+				st.PerStreamBits[j] += bits
+				s.Queue.Remove(p)
+			} else if p.Attempts >= s.MaxAttempts {
+				st.FailedPackets++
+				s.Queue.Remove(p)
+			} else {
+				s.Queue.Requeue(p)
+			}
+		}
+	}
+	return st, nil
+}
+
+// ack is the backbone acknowledgment datagram.
+type ack struct{ Stream int }
+
+// FillQueue enqueues count packets of size bytes per stream, round-robin,
+// with designated APs assigned (the strongest measured link).
+func (s *Scheduler) FillQueue(count, size int, seed int64) {
+	src := rng.New(seed)
+	streams := s.Net.NumStreams()
+	for i := 0; i < count; i++ {
+		for j := 0; j < streams; j++ {
+			s.Queue.Push(&Packet{
+				Stream:       j,
+				Payload:      src.Bytes(make([]byte, size)),
+				DesignatedAP: s.Net.StrongestAP(j),
+			})
+		}
+	}
+}

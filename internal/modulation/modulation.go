@@ -1,0 +1,255 @@
+// Package modulation implements the 802.11 constellation mappings — BPSK,
+// QPSK, 16-QAM and 64-QAM with Gray labeling — plus hard-decision and
+// soft (log-likelihood ratio) demapping.
+//
+// All constellations are normalized to unit average symbol energy so rate
+// selection can reason about SNR without per-modulation fudge factors.
+package modulation
+
+import (
+	"fmt"
+	"math"
+)
+
+// Scheme identifies a constellation.
+type Scheme int
+
+const (
+	BPSK Scheme = iota
+	QPSK
+	QAM16
+	QAM64
+)
+
+// String returns the conventional name of the scheme.
+func (s Scheme) String() string {
+	switch s {
+	case BPSK:
+		return "BPSK"
+	case QPSK:
+		return "QPSK"
+	case QAM16:
+		return "16-QAM"
+	case QAM64:
+		return "64-QAM"
+	}
+	return fmt.Sprintf("Scheme(%d)", int(s))
+}
+
+// BitsPerSymbol returns the number of coded bits carried per symbol.
+func (s Scheme) BitsPerSymbol() int {
+	switch s {
+	case BPSK:
+		return 1
+	case QPSK:
+		return 2
+	case QAM16:
+		return 4
+	case QAM64:
+		return 6
+	}
+	panic("modulation: unknown scheme")
+}
+
+// Normalization factors: divide the integer lattice by these so E|x|² = 1.
+var (
+	norm16 = math.Sqrt(10)
+	norm64 = math.Sqrt(42)
+	sqrt2  = math.Sqrt(2)
+)
+
+// pamGray maps b bits (MSB first) to a Gray-coded PAM level in
+// {-(2^b - 1), ..., -1, 1, ..., 2^b - 1} following the 802.11 tables.
+func pamGray(bits []byte) float64 {
+	switch len(bits) {
+	case 1:
+		return float64(2*int(bits[0]) - 1) // 0→-1, 1→+1
+	case 2:
+		// 802.11: 00→-3, 01→-1, 11→+1, 10→+3
+		switch bits[0]<<1 | bits[1] {
+		case 0b00:
+			return -3
+		case 0b01:
+			return -1
+		case 0b11:
+			return 1
+		default:
+			return 3
+		}
+	case 3:
+		// 802.11 64-QAM: 000→-7, 001→-5, 011→-3, 010→-1, 110→+1, 111→+3, 101→+5, 100→+7
+		switch bits[0]<<2 | bits[1]<<1 | bits[2] {
+		case 0b000:
+			return -7
+		case 0b001:
+			return -5
+		case 0b011:
+			return -3
+		case 0b010:
+			return -1
+		case 0b110:
+			return 1
+		case 0b111:
+			return 3
+		case 0b101:
+			return 5
+		default:
+			return 7
+		}
+	}
+	panic("modulation: bad PAM width")
+}
+
+// pamDeGray inverts pamGray by nearest-level slicing.
+func pamDeGray(v float64, width int) []byte {
+	switch width {
+	case 1:
+		if v >= 0 {
+			return []byte{1}
+		}
+		return []byte{0}
+	case 2:
+		switch {
+		case v < -2:
+			return []byte{0, 0}
+		case v < 0:
+			return []byte{0, 1}
+		case v < 2:
+			return []byte{1, 1}
+		default:
+			return []byte{1, 0}
+		}
+	case 3:
+		switch {
+		case v < -6:
+			return []byte{0, 0, 0}
+		case v < -4:
+			return []byte{0, 0, 1}
+		case v < -2:
+			return []byte{0, 1, 1}
+		case v < 0:
+			return []byte{0, 1, 0}
+		case v < 2:
+			return []byte{1, 1, 0}
+		case v < 4:
+			return []byte{1, 1, 1}
+		case v < 6:
+			return []byte{1, 0, 1}
+		default:
+			return []byte{1, 0, 0}
+		}
+	}
+	panic("modulation: bad PAM width")
+}
+
+// Map modulates bits (values 0/1, MSB-first per symbol) into complex
+// symbols. len(bits) must be a multiple of BitsPerSymbol.
+func Map(s Scheme, bits []byte) ([]complex128, error) {
+	bps := s.BitsPerSymbol()
+	if len(bits)%bps != 0 {
+		return nil, fmt.Errorf("modulation: %d bits not a multiple of %d", len(bits), bps)
+	}
+	out := make([]complex128, len(bits)/bps)
+	for i := range out {
+		chunk := bits[i*bps : (i+1)*bps]
+		switch s {
+		case BPSK:
+			out[i] = complex(pamGray(chunk[:1]), 0)
+		case QPSK:
+			out[i] = complex(pamGray(chunk[:1])/sqrt2, pamGray(chunk[1:])/sqrt2)
+		case QAM16:
+			out[i] = complex(pamGray(chunk[:2])/norm16, pamGray(chunk[2:])/norm16)
+		case QAM64:
+			out[i] = complex(pamGray(chunk[:3])/norm64, pamGray(chunk[3:])/norm64)
+		default:
+			return nil, fmt.Errorf("modulation: unknown scheme %v", s)
+		}
+	}
+	return out, nil
+}
+
+// HardDemap slices symbols back to bits by nearest constellation point.
+func HardDemap(s Scheme, syms []complex128) []byte {
+	bps := s.BitsPerSymbol()
+	out := make([]byte, 0, len(syms)*bps)
+	for _, v := range syms {
+		switch s {
+		case BPSK:
+			out = append(out, pamDeGray(real(v), 1)...)
+		case QPSK:
+			out = append(out, pamDeGray(real(v)*sqrt2, 1)...)
+			out = append(out, pamDeGray(imag(v)*sqrt2, 1)...)
+		case QAM16:
+			out = append(out, pamDeGray(real(v)*norm16, 2)...)
+			out = append(out, pamDeGray(imag(v)*norm16, 2)...)
+		case QAM64:
+			out = append(out, pamDeGray(real(v)*norm64, 3)...)
+			out = append(out, pamDeGray(imag(v)*norm64, 3)...)
+		default:
+			panic("modulation: unknown scheme")
+		}
+	}
+	return out
+}
+
+// SoftDemap produces one LLR per coded bit (positive = bit 0 more likely,
+// the convention the Viterbi decoder in internal/fec expects). noiseVar is
+// the per-symbol complex noise variance; it scales LLR confidence.
+//
+// LLRs use the max-log approximation over per-axis PAM sets, which is exact
+// for BPSK/QPSK and within a fraction of a dB for 16/64-QAM.
+func SoftDemap(s Scheme, syms []complex128, noiseVar float64) []float64 {
+	if noiseVar <= 0 {
+		noiseVar = 1e-9
+	}
+	out := make([]float64, 0, len(syms)*s.BitsPerSymbol())
+	for _, v := range syms {
+		switch s {
+		case BPSK:
+			out = append(out, -4*real(v)/noiseVar)
+		case QPSK:
+			out = append(out, -4*real(v)/(sqrt2*noiseVar), -4*imag(v)/(sqrt2*noiseVar))
+		case QAM16:
+			out = append(out, pamLLR(real(v)*norm16, 2, noiseVar*10)...)
+			out = append(out, pamLLR(imag(v)*norm16, 2, noiseVar*10)...)
+		case QAM64:
+			out = append(out, pamLLR(real(v)*norm64, 3, noiseVar*42)...)
+			out = append(out, pamLLR(imag(v)*norm64, 3, noiseVar*42)...)
+		default:
+			panic("modulation: unknown scheme")
+		}
+	}
+	return out
+}
+
+// pamLLR returns max-log LLRs for one Gray-coded PAM axis with levels at
+// odd integers; y is the received value on the integer lattice and nv the
+// noise variance on that lattice.
+func pamLLR(y float64, width int, nv float64) []float64 {
+	nLevels := 1 << width
+	llr := make([]float64, width)
+	for b := 0; b < width; b++ {
+		best0, best1 := math.Inf(1), math.Inf(1)
+		for lv := 0; lv < nLevels; lv++ {
+			bits := grayBitsForLevel(lv, width)
+			x := float64(2*lv + 1 - nLevels)
+			d := (y - x) * (y - x)
+			if bits[b] == 0 {
+				if d < best0 {
+					best0 = d
+				}
+			} else if d < best1 {
+				best1 = d
+			}
+		}
+		llr[b] = (best1 - best0) / nv
+	}
+	return llr
+}
+
+// grayBitsForLevel returns the bit label of the PAM level with index lv
+// (ascending amplitude order), consistent with pamGray.
+func grayBitsForLevel(lv, width int) []byte {
+	x := float64(2*lv + 1 - (1 << width))
+	return pamDeGray(x, width)
+}

@@ -1,0 +1,221 @@
+package modulation
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+var allSchemes = []Scheme{BPSK, QPSK, QAM16, QAM64}
+
+func TestBitsPerSymbol(t *testing.T) {
+	want := map[Scheme]int{BPSK: 1, QPSK: 2, QAM16: 4, QAM64: 6}
+	for s, w := range want {
+		if got := s.BitsPerSymbol(); got != w {
+			t.Errorf("%v BitsPerSymbol = %d, want %d", s, got, w)
+		}
+	}
+}
+
+func TestMapRejectsRaggedInput(t *testing.T) {
+	if _, err := Map(QAM16, []byte{1, 0, 1}); err == nil {
+		t.Fatal("Map accepted non-multiple bit count")
+	}
+}
+
+func TestMapHardDemapRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for _, s := range allSchemes {
+		bits := make([]byte, 240*s.BitsPerSymbol()/s.BitsPerSymbol()*s.BitsPerSymbol())
+		for i := range bits {
+			bits[i] = byte(r.Intn(2))
+		}
+		syms, err := Map(s, bits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back := HardDemap(s, syms)
+		if len(back) != len(bits) {
+			t.Fatalf("%v: length %d != %d", s, len(back), len(bits))
+		}
+		for i := range bits {
+			if bits[i] != back[i] {
+				t.Fatalf("%v: bit %d flipped without noise", s, i)
+			}
+		}
+	}
+}
+
+func TestUnitAveragePower(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for _, s := range allSchemes {
+		n := 6000 * s.BitsPerSymbol()
+		bits := make([]byte, n)
+		for i := range bits {
+			bits[i] = byte(r.Intn(2))
+		}
+		syms, err := Map(s, bits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var p float64
+		for _, v := range syms {
+			p += real(v)*real(v) + imag(v)*imag(v)
+		}
+		p /= float64(len(syms))
+		if math.Abs(p-1) > 0.03 {
+			t.Errorf("%v: average power %v, want 1", s, p)
+		}
+	}
+}
+
+func TestBPSKKnownPoints(t *testing.T) {
+	syms, err := Map(BPSK, []byte{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if syms[0] != -1 || syms[1] != 1 {
+		t.Fatalf("BPSK map = %v", syms)
+	}
+}
+
+func TestQAM16GrayAdjacency(t *testing.T) {
+	// Adjacent PAM levels must differ in exactly one bit (Gray property).
+	for lv := 0; lv < 3; lv++ {
+		a := grayBitsForLevel(lv, 2)
+		b := grayBitsForLevel(lv+1, 2)
+		diff := 0
+		for i := range a {
+			if a[i] != b[i] {
+				diff++
+			}
+		}
+		if diff != 1 {
+			t.Fatalf("levels %d,%d differ in %d bits", lv, lv+1, diff)
+		}
+	}
+}
+
+func TestQAM64GrayAdjacency(t *testing.T) {
+	for lv := 0; lv < 7; lv++ {
+		a := grayBitsForLevel(lv, 3)
+		b := grayBitsForLevel(lv+1, 3)
+		diff := 0
+		for i := range a {
+			if a[i] != b[i] {
+				diff++
+			}
+		}
+		if diff != 1 {
+			t.Fatalf("levels %d,%d differ in %d bits", lv, lv+1, diff)
+		}
+	}
+}
+
+func TestHardDemapWithSmallNoise(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for _, s := range allSchemes {
+		bits := make([]byte, 1200)
+		for i := range bits {
+			bits[i] = byte(r.Intn(2))
+		}
+		bits = bits[:len(bits)/s.BitsPerSymbol()*s.BitsPerSymbol()]
+		syms, _ := Map(s, bits)
+		// Noise well inside half the minimum constellation distance.
+		for i := range syms {
+			syms[i] += complex(r.NormFloat64()*0.02, r.NormFloat64()*0.02)
+		}
+		back := HardDemap(s, syms)
+		for i := range bits {
+			if bits[i] != back[i] {
+				t.Fatalf("%v: flipped under tiny noise", s)
+			}
+		}
+	}
+}
+
+func TestSoftDemapSignsMatchHardDecisions(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	for _, s := range allSchemes {
+		bits := make([]byte, 1200/s.BitsPerSymbol()*s.BitsPerSymbol())
+		for i := range bits {
+			bits[i] = byte(r.Intn(2))
+		}
+		syms, _ := Map(s, bits)
+		llr := SoftDemap(s, syms, 0.01)
+		if len(llr) != len(bits) {
+			t.Fatalf("%v: %d LLRs for %d bits", s, len(llr), len(bits))
+		}
+		for i, b := range bits {
+			// Positive LLR ⇒ bit 0; negative ⇒ bit 1.
+			if b == 0 && llr[i] < 0 || b == 1 && llr[i] > 0 {
+				t.Fatalf("%v: LLR sign disagrees with clean bit %d (llr %v, bit %d)", s, i, llr[i], b)
+			}
+		}
+	}
+}
+
+func TestSoftDemapConfidenceScalesWithNoise(t *testing.T) {
+	syms, _ := Map(QAM16, []byte{1, 0, 1, 1})
+	lowNoise := SoftDemap(QAM16, syms, 0.01)
+	highNoise := SoftDemap(QAM16, syms, 1.0)
+	for i := range lowNoise {
+		if math.Abs(lowNoise[i]) <= math.Abs(highNoise[i]) {
+			t.Fatalf("LLR %d did not grow with SNR", i)
+		}
+	}
+}
+
+// Property: round trip holds for random bits across all schemes.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(seed int64, raw []byte) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := allSchemes[r.Intn(len(allSchemes))]
+		bits := make([]byte, len(raw)/s.BitsPerSymbol()*s.BitsPerSymbol())
+		for i := range bits {
+			bits[i] = raw[i] & 1
+		}
+		syms, err := Map(s, bits)
+		if err != nil {
+			return false
+		}
+		back := HardDemap(s, syms)
+		for i := range bits {
+			if back[i] != bits[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkMapQAM64(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	bits := make([]byte, 6*48*100)
+	for i := range bits {
+		bits[i] = byte(r.Intn(2))
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Map(QAM64, bits); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSoftDemapQAM64(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	bits := make([]byte, 6*48*20)
+	for i := range bits {
+		bits[i] = byte(r.Intn(2))
+	}
+	syms, _ := Map(QAM64, bits)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		SoftDemap(QAM64, syms, 0.1)
+	}
+}

@@ -1,0 +1,212 @@
+package ofdm
+
+import (
+	"errors"
+	"math"
+	"math/cmplx"
+
+	"megamimo/internal/cmplxs"
+	"megamimo/internal/dsp"
+)
+
+// ErrNoPacket is returned when no preamble is detected in the sample
+// stream.
+var ErrNoPacket = errors.New("ofdm: no packet detected")
+
+// Sync is the result of preamble acquisition on a received stream.
+type Sync struct {
+	// PayloadStart is the index of the first sample after the preamble
+	// (the first data-symbol cyclic prefix).
+	PayloadStart int
+	// CFO is the estimated carrier frequency offset in radians per sample.
+	CFO float64
+	// LTFStart is the index where the LTF guard interval begins.
+	LTFStart int
+	// Metric is the peak normalized detection metric in [0, 1].
+	Metric float64
+}
+
+// Detect locates a legacy preamble in rx. It uses the classic two-stage
+// approach: a normalized lag-16 autocorrelation plateau finds the STF and
+// yields the coarse CFO; cross-correlation with the known LTF refines
+// timing; the lag-64 correlation across the two LTF repetitions refines the
+// CFO. threshold is the minimum normalized plateau metric (0.5 is a robust
+// default at SNR ≥ 0 dB).
+func Detect(rx []complex128, threshold float64) (*Sync, error) {
+	if len(rx) < PreambleLen+SymbolLen {
+		return nil, ErrNoPacket
+	}
+	const win = 64
+	auto := dsp.AutoCorrelateLag(rx, STFPeriod, win)
+	if auto == nil {
+		return nil, ErrNoPacket
+	}
+	// Normalize by windowed energy to get a scale-free metric.
+	energy := make([]float64, len(rx))
+	for i, v := range rx {
+		energy[i] = real(v)*real(v) + imag(v)*imag(v)
+	}
+	eAvg := dsp.MovingAverage(energy, win+STFPeriod)
+	// Take the FIRST plateau that clears the threshold (scanning to its
+	// local maximum within one STF length), not the global best — a later
+	// frame in the same stream may correlate more strongly, but acquisition
+	// must lock to the earliest packet.
+	coarse, best := -1, 0.0
+	metric := func(i int) float64 {
+		e := eAvg[i] * float64(win+STFPeriod)
+		if e <= 0 {
+			return 0
+		}
+		return cmplx.Abs(auto[i]) / (e * float64(win) / float64(win+STFPeriod))
+	}
+	limit := len(auto)
+	if len(eAvg) < limit {
+		limit = len(eAvg)
+	}
+	for i := 0; i < limit; i++ {
+		m := metric(i)
+		if m <= threshold {
+			continue
+		}
+		best, coarse = m, i
+		for j := i + 1; j < limit && j < i+STFLen; j++ {
+			if mj := metric(j); mj > best {
+				best, coarse = mj, j
+			}
+		}
+		break
+	}
+	if coarse < 0 {
+		return nil, ErrNoPacket
+	}
+	// Coarse CFO from the STF plateau: phase of lag-16 correlation.
+	coarseCFO := -cmplx.Phase(auto[coarse]) / float64(STFPeriod)
+
+	// Fine timing: cross-correlate a derotated window with the known LTF
+	// long symbol. Search around the expected LTF location.
+	ltfRef := LTF()[LTFGuard : LTFGuard+NFFT]
+	searchLo := coarse
+	searchHi := coarse + STFLen + LTFGuard + 3*NFFT
+	if searchHi+NFFT > len(rx) {
+		searchHi = len(rx) - NFFT
+	}
+	if searchHi <= searchLo {
+		return nil, ErrNoPacket
+	}
+	win2 := cmplxs.Clone(rx[searchLo:min(searchHi+NFFT, len(rx))])
+	cmplxs.Rotate(win2, win2, 0, -coarseCFO)
+	xc := dsp.CrossCorrelate(win2, ltfRef)
+	// The LTF long symbol appears twice, 64 samples apart; find the pair
+	// with the largest combined magnitude.
+	bestPos, bestVal := -1, 0.0
+	for i := 0; i+NFFT < len(xc); i++ {
+		v := cmplx.Abs(xc[i]) + cmplx.Abs(xc[i+NFFT])
+		if v > bestVal {
+			bestVal, bestPos = v, i
+		}
+	}
+	if bestPos < 0 {
+		return nil, ErrNoPacket
+	}
+	ltf1 := searchLo + bestPos // start of first long symbol
+	ltfStart := ltf1 - LTFGuard
+	payload := ltf1 + 2*NFFT
+	if payload+SymbolLen > len(rx) {
+		return nil, ErrNoPacket
+	}
+	// Fine CFO: lag-64 correlation between the two long symbols (on the
+	// raw, un-derotated samples so it measures total CFO).
+	var acc complex128
+	for i := 0; i < NFFT; i++ {
+		acc += rx[ltf1+i] * cmplx.Conj(rx[ltf1+NFFT+i])
+	}
+	fineCFO := -cmplx.Phase(acc) / float64(NFFT)
+	// fineCFO is unambiguous only within ±π/64 rad/sample; fold the coarse
+	// estimate's integer part in.
+	k := math.Round((coarseCFO - fineCFO) * float64(NFFT) / (2 * math.Pi))
+	cfo := fineCFO + 2*math.Pi*k/float64(NFFT)
+
+	return &Sync{
+		PayloadStart: payload,
+		CFO:          cfo,
+		LTFStart:     ltfStart,
+		Metric:       best,
+	}, nil
+}
+
+// EstimateChannelLTF produces a least-squares channel estimate from the two
+// long training symbols. rx must contain the stream, sync the acquisition
+// result; the returned slice has one complex gain per FFT bin (zero outside
+// the occupied carriers). The estimate averages both LTF repetitions after
+// CFO derotation.
+func EstimateChannelLTF(rx []complex128, sync *Sync) ([]complex128, error) {
+	ltf1 := sync.LTFStart + LTFGuard
+	if ltf1+2*NFFT > len(rx) {
+		return nil, ErrNoPacket
+	}
+	plan := dsp.MustFFTPlan(NFFT)
+	ref := LTFFreq()
+	h := make([]complex128, NFFT)
+	buf := make([]complex128, NFFT)
+	freq := make([]complex128, NFFT)
+	for rep := 0; rep < 2; rep++ {
+		start := ltf1 + rep*NFFT
+		copy(buf, rx[start:start+NFFT])
+		// Derotate CFO with the phase referenced at the first LTF sample
+		// (not the window origin): the reference lever arm multiplying the
+		// CFO estimation error is then ≤ one symbol, which is what lets
+		// repeated channel snapshots (MegaMIMO's slave ratio) compare
+		// phases to millirad accuracy.
+		cmplxs.Rotate(buf, buf, -sync.CFO*float64(start-ltf1), -sync.CFO)
+		plan.Forward(freq, buf)
+		scale := complex(1/math.Sqrt(NFFT), 0)
+		for k := range freq {
+			if ref[k] == 0 {
+				continue
+			}
+			h[k] += freq[k] * scale / ref[k]
+		}
+	}
+	for k := range h {
+		h[k] /= 2
+	}
+	SmoothChannel(h)
+	return h, nil
+}
+
+// SmoothChannel applies a [1 2 1]/4 kernel across adjacent occupied
+// carriers of a 64-bin channel estimate, in place. An indoor channel a few
+// taps long varies slowly across subcarriers (coherence ≳ 16 bins), so the
+// smoothing removes ~4 dB of estimation noise while the curvature bias
+// stays 30+ dB below the channel — a standard 802.11 receiver denoiser.
+// MegaMIMO clients apply it to their per-AP measurement-phase estimates
+// too, which deepens the zero-forcing nulls on ill-conditioned bins.
+func SmoothChannel(h []complex128) {
+	ks := OccupiedCarriers()
+	orig := make([]complex128, len(h))
+	copy(orig, h)
+	occupied := make(map[int]bool, len(ks))
+	for _, k := range ks {
+		occupied[k] = true
+	}
+	for _, k := range ks {
+		acc := 2 * orig[Bin(k)]
+		w := 2.0
+		if occupied[k-1] {
+			acc += orig[Bin(k-1)]
+			w++
+		}
+		if occupied[k+1] {
+			acc += orig[Bin(k+1)]
+			w++
+		}
+		h[Bin(k)] = acc / complex(w, 0)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

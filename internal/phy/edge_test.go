@@ -1,0 +1,129 @@
+package phy
+
+import (
+	"bytes"
+	"testing"
+
+	"megamimo/internal/rng"
+)
+
+// TestPayloadSizeExtremes covers the smallest and largest frames.
+func TestPayloadSizeExtremes(t *testing.T) {
+	tx, rx := NewTX(), NewRX()
+	for _, size := range []int{0, 1, 2, 37, MaxPSDU} {
+		src := rng.New(int64(size) + 1)
+		payload := src.Bytes(make([]byte, size))
+		wave, err := tx.Frame(payload, MCS4)
+		if err != nil {
+			t.Fatalf("size %d: %v", size, err)
+		}
+		stream := make([]complex128, 200+len(wave)+50)
+		copy(stream[200:], wave)
+		n := rng.New(int64(size) + 2)
+		for i := range stream {
+			stream[i] += n.ComplexNormal(1e-5)
+		}
+		f, err := rx.Decode(stream)
+		if err != nil {
+			t.Fatalf("size %d: %v", size, err)
+		}
+		if !f.FCSOK || !bytes.Equal(f.Payload, payload) {
+			t.Fatalf("size %d: round trip failed", size)
+		}
+	}
+}
+
+// TestAllMCSAllOddSizes matrix-tests frames whose bit counts hit every
+// padding branch of every MCS.
+func TestAllMCSAllOddSizes(t *testing.T) {
+	tx, rx := NewTX(), NewRX()
+	src := rng.New(7)
+	for m := MCS0; m < NumMCS; m++ {
+		for _, size := range []int{1, 26, 27, 28, 29} {
+			payload := src.Bytes(make([]byte, size))
+			wave, err := tx.Frame(payload, m)
+			if err != nil {
+				t.Fatalf("%v size %d: %v", m, size, err)
+			}
+			stream := make([]complex128, 150+len(wave)+30)
+			copy(stream[150:], wave)
+			noise := rng.New(int64(int(m)*100 + size))
+			for i := range stream {
+				stream[i] += noise.ComplexNormal(1e-6)
+			}
+			f, err := rx.Decode(stream)
+			if err != nil {
+				t.Fatalf("%v size %d: %v", m, size, err)
+			}
+			if !f.FCSOK || !bytes.Equal(f.Payload, payload) {
+				t.Fatalf("%v size %d: corrupted", m, size)
+			}
+		}
+	}
+}
+
+// TestDecodeTruncatedStream must fail cleanly, not panic.
+func TestDecodeTruncatedStream(t *testing.T) {
+	tx, rx := NewTX(), NewRX()
+	payload := rng.New(1).Bytes(make([]byte, 500))
+	wave, _ := tx.Frame(payload, MCS2)
+	// Cut the stream in the middle of the data field.
+	stream := make([]complex128, 100+len(wave)/2)
+	copy(stream[100:], wave[:len(wave)/2])
+	if f, err := rx.Decode(stream); err == nil && f.FCSOK {
+		t.Fatal("truncated frame decoded with valid FCS")
+	}
+}
+
+// TestDecodeBackToBackFrames: the receiver must decode the first frame
+// from a stream containing two.
+func TestDecodeBackToBackFrames(t *testing.T) {
+	tx, rx := NewTX(), NewRX()
+	src := rng.New(3)
+	p1 := src.Bytes(make([]byte, 300))
+	p2 := src.Bytes(make([]byte, 300))
+	w1, _ := tx.Frame(p1, MCS2)
+	w2, _ := tx.Frame(p2, MCS2)
+	stream := make([]complex128, 100+len(w1)+40+len(w2)+40)
+	copy(stream[100:], w1)
+	copy(stream[100+len(w1)+40:], w2)
+	n := rng.New(4)
+	for i := range stream {
+		stream[i] += n.ComplexNormal(1e-6)
+	}
+	f, err := rx.Decode(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.FCSOK || !bytes.Equal(f.Payload, p1) {
+		t.Fatal("first of two frames not decoded")
+	}
+}
+
+// TestSignalFieldRejectsGarbageLength: a corrupted SIGNAL should error or
+// fail FCS, never panic or return garbage as valid.
+func TestSignalFieldRobustness(t *testing.T) {
+	tx, rx := NewTX(), NewRX()
+	payload := rng.New(5).Bytes(make([]byte, 200))
+	wave, _ := tx.Frame(payload, MCS2)
+	// Heavily corrupt the SIGNAL symbol region (just after the preamble).
+	n := rng.New(6)
+	for i := 320; i < 400; i++ {
+		wave[i] = n.ComplexNormal(1)
+	}
+	stream := make([]complex128, 100+len(wave)+40)
+	copy(stream[100:], wave)
+	if f, err := rx.Decode(stream); err == nil && f.FCSOK && !bytes.Equal(f.Payload, payload) {
+		t.Fatal("corrupted SIGNAL produced a confidently wrong frame")
+	}
+}
+
+// TestBitRateLadderAt10MHz pins the USRP testbed rates (half of 20 MHz).
+func TestBitRateLadderAt10MHz(t *testing.T) {
+	want := []float64{3e6, 4.5e6, 6e6, 9e6, 12e6, 18e6, 24e6, 27e6}
+	for m := MCS0; m < NumMCS; m++ {
+		if got := m.BitRate(10e6); got != want[m] {
+			t.Fatalf("%v at 10 MHz = %v, want %v", m, got, want[m])
+		}
+	}
+}

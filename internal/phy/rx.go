@@ -1,0 +1,240 @@
+package phy
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"math/cmplx"
+
+	"megamimo/internal/cmplxs"
+	"megamimo/internal/fec"
+	"megamimo/internal/interleave"
+	"megamimo/internal/modulation"
+	"megamimo/internal/ofdm"
+	"megamimo/internal/scramble"
+)
+
+// Frame decode errors.
+var (
+	ErrBadSignal = errors.New("phy: SIGNAL field failed parity or rate check")
+	ErrTruncated = errors.New("phy: sample stream ends before frame does")
+)
+
+// RxFrame is the result of decoding one PPDU.
+type RxFrame struct {
+	Payload []byte // PSDU minus FCS (valid content only when FCSOK)
+	MCS     MCS
+	FCSOK   bool
+	// SNRdB is the post-equalization error-vector SNR averaged over the
+	// data field — the "effective channel" quality the client reports.
+	SNRdB float64
+	// SubcarrierSNR holds the per-data-subcarrier linear SNR estimate
+	// (48 entries) for effective-SNR rate selection feedback.
+	SubcarrierSNR []float64
+	// Channel is the 64-bin channel estimate from the LTF.
+	Channel []complex128
+	// Sync carries acquisition details (timing, CFO).
+	Sync *ofdm.Sync
+	// CommonPhases records the pilot-tracked common phase per data symbol,
+	// used by the phase-alignment experiments.
+	CommonPhases []float64
+}
+
+// RX decodes PPDUs from sample streams.
+type RX struct {
+	dem *ofdm.Demodulator
+	// DetectThreshold is the normalized preamble metric cutoff (default 0.5).
+	DetectThreshold float64
+}
+
+// NewRX returns a receiver pipeline.
+func NewRX() *RX {
+	return &RX{dem: ofdm.NewDemodulator(), DetectThreshold: 0.5}
+}
+
+// Decode acquires and decodes the first frame in rx.
+func (r *RX) Decode(rx []complex128) (*RxFrame, error) {
+	sync, err := ofdm.Detect(rx, r.DetectThreshold)
+	if err != nil {
+		return nil, err
+	}
+	return r.DecodeAt(rx, sync)
+}
+
+// DecodeAt decodes a frame whose preamble has already been acquired.
+func (r *RX) DecodeAt(rx []complex128, sync *ofdm.Sync) (*RxFrame, error) {
+	h, err := ofdm.EstimateChannelLTF(rx, sync)
+	if err != nil {
+		return nil, err
+	}
+	eq, err := ofdm.NewEqualizer(h)
+	if err != nil {
+		return nil, err
+	}
+	noiseVar := estimateNoiseFromLTF(rx, sync)
+
+	// Derotate the whole payload once with the estimated CFO, phase
+	// referenced consistently with the channel estimate (at the first LTF
+	// sample).
+	ltf1 := sync.LTFStart + ofdm.LTFGuard
+	payload := cmplxs.Clone(rx[sync.PayloadStart:])
+	cmplxs.Rotate(payload, payload, -sync.CFO*float64(sync.PayloadStart-ltf1), -sync.CFO)
+
+	// SIGNAL symbol.
+	if len(payload) < ofdm.SymbolLen {
+		return nil, ErrTruncated
+	}
+	freq, err := r.dem.Freq(payload)
+	if err != nil {
+		return nil, err
+	}
+	eqd, err := eq.Symbol(freq)
+	if err != nil {
+		return nil, err
+	}
+	mcs, psduLen, err := parseSignal(eqd)
+	if err != nil {
+		return nil, err
+	}
+	out := &RxFrame{MCS: mcs, Channel: h, Sync: sync}
+	out.CommonPhases = append(out.CommonPhases, eq.CommonPhase())
+
+	info := mcs.info()
+	nInfoBits := 16 + 8*psduLen
+	nsym := (nInfoBits + 6 + info.ndbps - 1) / info.ndbps
+	if len(payload) < (1+nsym)*ofdm.SymbolLen {
+		return nil, ErrTruncated
+	}
+
+	il := interleave.MustNew(info.ncbps, info.scheme.BitsPerSymbol())
+	llr := make([]float64, 0, nsym*info.ncbps)
+	var evmAcc float64
+	var evmN int
+	scSNRNum := make([]float64, ofdm.NData)
+	scSNRCnt := make([]float64, ofdm.NData)
+	for s := 0; s < nsym; s++ {
+		freq, err := r.dem.Freq(payload[(1+s)*ofdm.SymbolLen:])
+		if err != nil {
+			return nil, err
+		}
+		eqd, err := eq.Symbol(freq)
+		if err != nil {
+			return nil, err
+		}
+		out.CommonPhases = append(out.CommonPhases, eq.CommonPhase())
+		// Per-subcarrier soft demap with channel-weighted noise.
+		symLLR := make([]float64, 0, info.ncbps)
+		for i, v := range eqd {
+			b := ofdm.Bin(ofdm.DataCarriers[i])
+			g2 := real(h[b])*real(h[b]) + imag(h[b])*imag(h[b])
+			nv := noiseVar
+			if g2 > 1e-12 {
+				nv = noiseVar / g2
+			}
+			symLLR = append(symLLR, modulation.SoftDemap(info.scheme, []complex128{v}, nv)...)
+			// EVM against the hard decision.
+			hd := modulation.HardDemap(info.scheme, []complex128{v})
+			ds, _ := modulation.Map(info.scheme, hd)
+			e := v - ds[0]
+			ep := real(e)*real(e) + imag(e)*imag(e)
+			evmAcc += ep
+			evmN++
+			scSNRNum[i] += ep
+			scSNRCnt[i]++
+		}
+		deil, err := il.DeinterleaveLLR(symLLR)
+		if err != nil {
+			return nil, err
+		}
+		llr = append(llr, deil...)
+	}
+
+	padded := nsym*info.ndbps - 6
+	bits, err := fec.DecodeSoft(llr, padded, info.rate)
+	if err != nil {
+		return nil, err
+	}
+	scramble.New(scramblerSeed).Apply(bits)
+	psdu := make([]byte, psduLen)
+	for i := 0; i < 8*psduLen; i++ {
+		psdu[i/8] |= (bits[16+i] & 1) << (i % 8)
+	}
+	body := psdu[:psduLen-4]
+	gotFCS := binary.LittleEndian.Uint32(psdu[psduLen-4:])
+	out.FCSOK = gotFCS == crc32.ChecksumIEEE(body)
+	out.Payload = body
+
+	if evmN > 0 && evmAcc > 0 {
+		out.SNRdB = 10 * math.Log10(float64(evmN)/evmAcc)
+	} else {
+		out.SNRdB = 60
+	}
+	out.SubcarrierSNR = make([]float64, ofdm.NData)
+	for i := range out.SubcarrierSNR {
+		if scSNRNum[i] > 0 && scSNRCnt[i] > 0 {
+			out.SubcarrierSNR[i] = scSNRCnt[i] / scSNRNum[i]
+		} else {
+			out.SubcarrierSNR[i] = 1e6
+		}
+	}
+	return out, nil
+}
+
+// parseSignal decodes the already-equalized SIGNAL symbol.
+func parseSignal(eqd []complex128) (MCS, int, error) {
+	hard := modulation.HardDemap(modulation.BPSK, eqd)
+	il := interleave.MustNew(48, 1)
+	coded, err := il.Deinterleave(hard)
+	if err != nil {
+		return 0, 0, err
+	}
+	bits, err := fec.DecodeHard(coded, 18, fec.Rate12)
+	if err != nil {
+		return 0, 0, err
+	}
+	var par byte
+	for _, b := range bits {
+		par ^= b
+	}
+	if par != 0 {
+		return 0, 0, ErrBadSignal
+	}
+	var rateBits byte
+	for i := 0; i < 4; i++ {
+		rateBits = rateBits<<1 | bits[i]
+	}
+	mcs, err := mcsFromSignalBits(rateBits)
+	if err != nil {
+		return 0, 0, ErrBadSignal
+	}
+	length := 0
+	for i := 0; i < 12; i++ {
+		length |= int(bits[5+i]) << i
+	}
+	if length < 4 || length > MaxPSDU+4 {
+		return 0, 0, fmt.Errorf("%w: length %d", ErrBadSignal, length)
+	}
+	return mcs, length, nil
+}
+
+// estimateNoiseFromLTF measures noise variance from the difference of the
+// two identical long-training symbols: Var(n) = E|L1-L2|²/2 per sample.
+func estimateNoiseFromLTF(rx []complex128, sync *ofdm.Sync) float64 {
+	l1 := sync.LTFStart + ofdm.LTFGuard
+	if l1+2*ofdm.NFFT > len(rx) {
+		return 1e-6
+	}
+	var acc float64
+	for i := 0; i < ofdm.NFFT; i++ {
+		// Derotate the CFO between the repetitions before differencing.
+		d := rx[l1+i] - rx[l1+ofdm.NFFT+i]*cmplx.Exp(complex(0, -sync.CFO*float64(ofdm.NFFT)))
+		acc += real(d)*real(d) + imag(d)*imag(d)
+	}
+	nv := acc / (2 * ofdm.NFFT)
+	if nv < 1e-12 {
+		nv = 1e-12
+	}
+	return nv
+}

@@ -1,0 +1,253 @@
+package phy
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"megamimo/internal/dsp"
+	"megamimo/internal/fec"
+	"megamimo/internal/interleave"
+	"megamimo/internal/modulation"
+	"megamimo/internal/ofdm"
+	"megamimo/internal/scramble"
+)
+
+// MaxPSDU is the largest payload (before FCS) a frame can carry; the
+// 12-bit LENGTH field covers payload+FCS.
+const MaxPSDU = 4095 - 4
+
+// scramblerSeed is the fixed initial scrambler state. 802.11 randomizes it
+// per frame and carries it in the SERVICE field; a fixed seed keeps the
+// simulation deterministic and is announced in SERVICE the same way.
+const scramblerSeed = 0x5d
+
+// FrameSymbols is the frequency-domain representation of a complete PPDU:
+// the known preamble bins plus one 64-bin vector per OFDM symbol (SIGNAL
+// first). A joint beamformer applies per-subcarrier complex gains to this
+// representation and synthesizes per-transmitter waveforms from it.
+type FrameSymbols struct {
+	Symbols [][]complex128 // per-symbol 64-bin frequency vectors
+	MCS     MCS
+	PSDULen int // bytes, including FCS
+}
+
+// NumSymbols returns the data-field symbol count including SIGNAL.
+func (f *FrameSymbols) NumSymbols() int { return len(f.Symbols) }
+
+// SampleLen returns the time-domain frame length in samples.
+func (f *FrameSymbols) SampleLen() int {
+	return ofdm.PreambleLen + len(f.Symbols)*ofdm.SymbolLen
+}
+
+// AirtimeSeconds returns the frame duration at the given sample rate.
+func (f *FrameSymbols) AirtimeSeconds(sampleRate float64) float64 {
+	return float64(f.SampleLen()) / sampleRate
+}
+
+// TX encodes payloads into PPDUs.
+type TX struct {
+	mod *ofdm.Modulator
+}
+
+// NewTX returns a transmitter pipeline.
+func NewTX() *TX { return &TX{mod: ofdm.NewModulator()} }
+
+// FrameSymbols encodes payload (with a CRC-32 FCS appended) at the given
+// MCS and returns the frequency-domain frame.
+func (tx *TX) FrameSymbols(payload []byte, mcs MCS) (*FrameSymbols, error) {
+	if !mcs.Valid() {
+		return nil, fmt.Errorf("phy: invalid MCS %d", int(mcs))
+	}
+	if len(payload) > MaxPSDU {
+		return nil, fmt.Errorf("phy: payload %d bytes exceeds %d", len(payload), MaxPSDU)
+	}
+	psdu := make([]byte, len(payload)+4)
+	copy(psdu, payload)
+	binary.LittleEndian.PutUint32(psdu[len(payload):], crc32.ChecksumIEEE(payload))
+
+	info := mcs.info()
+	// SIGNAL: RATE(4) + R(1) + LENGTH(12) + PARITY(1) = 18 info bits; the
+	// convolutional tail forms the remaining 6 of the 24-bit field.
+	sigBits := make([]byte, 0, 18)
+	for i := 3; i >= 0; i-- {
+		sigBits = append(sigBits, (info.signal>>i)&1)
+	}
+	sigBits = append(sigBits, 0) // reserved
+	length := len(psdu)
+	for i := 0; i < 12; i++ { // LSB first per the standard
+		sigBits = append(sigBits, byte((length>>i)&1))
+	}
+	var par byte
+	for _, b := range sigBits {
+		par ^= b
+	}
+	sigBits = append(sigBits, par)
+	sigCoded := fec.Encode(sigBits, fec.Rate12)
+	if len(sigCoded) != 48 {
+		panic("phy: SIGNAL encoding produced wrong length")
+	}
+	sigIl := interleave.MustNew(48, 1)
+	sigInter, err := sigIl.Interleave(sigCoded)
+	if err != nil {
+		return nil, err
+	}
+	sigSyms, err := modulation.Map(modulation.BPSK, sigInter)
+	if err != nil {
+		return nil, err
+	}
+
+	// DATA field: SERVICE(16 zeros) + PSDU bits + pad to symbol boundary,
+	// scrambled; the encoder's zero tail plays the standard's tail bits.
+	nInfoBits := 16 + 8*len(psdu)
+	nsym := (nInfoBits + 6 + info.ndbps - 1) / info.ndbps
+	padded := nsym*info.ndbps - 6
+	bits := make([]byte, padded)
+	for i := 0; i < 8*len(psdu); i++ {
+		bits[16+i] = (psdu[i/8] >> (i % 8)) & 1 // LSB-first per octet
+	}
+	scramble.New(scramblerSeed).Apply(bits)
+	coded := fec.Encode(bits, info.rate)
+	if len(coded) != nsym*info.ncbps {
+		panic(fmt.Sprintf("phy: coded length %d != %d symbols × %d", len(coded), nsym, info.ncbps))
+	}
+
+	il := interleave.MustNew(info.ncbps, info.scheme.BitsPerSymbol())
+	out := &FrameSymbols{MCS: mcs, PSDULen: len(psdu)}
+	// SIGNAL symbol (pilot polarity index 0; data symbols continue from 1).
+	freq, err := dataSymbolFreq(sigSyms, 0)
+	if err != nil {
+		return nil, err
+	}
+	out.Symbols = append(out.Symbols, freq)
+	for s := 0; s < nsym; s++ {
+		block, err := il.Interleave(coded[s*info.ncbps : (s+1)*info.ncbps])
+		if err != nil {
+			return nil, err
+		}
+		syms, err := modulation.Map(info.scheme, block)
+		if err != nil {
+			return nil, err
+		}
+		freq, err := dataSymbolFreq(syms, s+1)
+		if err != nil {
+			return nil, err
+		}
+		out.Symbols = append(out.Symbols, freq)
+	}
+	return out, nil
+}
+
+// dataSymbolFreq places 48 data values and the pilots for symbol index n
+// onto a 64-bin grid.
+func dataSymbolFreq(data []complex128, n int) ([]complex128, error) {
+	if len(data) != ofdm.NData {
+		return nil, fmt.Errorf("phy: %d data subcarriers", len(data))
+	}
+	freq := make([]complex128, ofdm.NFFT)
+	for i, k := range ofdm.DataCarriers {
+		freq[ofdm.Bin(k)] = data[i]
+	}
+	ref := ofdm.PilotReference(n)
+	for i, k := range ofdm.PilotCarriers {
+		freq[ofdm.Bin(k)] = ref[i]
+	}
+	return freq, nil
+}
+
+// Synthesize converts a frequency-domain frame to time-domain samples with
+// unit spatial gain.
+func (tx *TX) Synthesize(f *FrameSymbols) []complex128 {
+	return tx.SynthesizeWithGain(f, nil)
+}
+
+// SynthesizeWithGain builds the transmit waveform, applying an optional
+// per-FFT-bin complex gain to every symbol including the preamble. This is
+// the beamforming hook: passing the precoder column for one (AP, client)
+// pair yields that AP's contribution to that client's frame. Passing nil
+// applies unit gain.
+func (tx *TX) SynthesizeWithGain(f *FrameSymbols, gain []complex128) []complex128 {
+	if gain != nil && len(gain) != ofdm.NFFT {
+		panic("phy: gain must have one entry per FFT bin")
+	}
+	out := make([]complex128, 0, f.SampleLen())
+	out = append(out, synthPreambleWithGain(gain)...)
+	scratch := make([]complex128, ofdm.NFFT)
+	for _, freq := range f.Symbols {
+		src := freq
+		if gain != nil {
+			for i := range scratch {
+				scratch[i] = freq[i] * gain[i]
+			}
+			src = scratch
+		}
+		sym, err := tx.mod.RawSymbol(src)
+		if err != nil {
+			panic(err) // length is ours by construction
+		}
+		out = append(out, sym...)
+	}
+	return out
+}
+
+// synthPreambleWithGain reproduces the STF/LTF time structure from their
+// frequency definitions with a per-bin gain applied.
+func synthPreambleWithGain(gain []complex128) []complex128 {
+	stfF := stfFreqWithGain(gain)
+	ltfF := ltfFreqWithGain(gain)
+	plan := dsp.MustFFTPlan(ofdm.NFFT)
+	scale := complex(math.Sqrt(ofdm.NFFT), 0)
+	stfT := make([]complex128, ofdm.NFFT)
+	plan.Inverse(stfT, stfF)
+	ltfT := make([]complex128, ofdm.NFFT)
+	plan.Inverse(ltfT, ltfF)
+	for i := 0; i < ofdm.NFFT; i++ {
+		stfT[i] *= scale
+		ltfT[i] *= scale
+	}
+	out := make([]complex128, 0, ofdm.PreambleLen)
+	for i := 0; i < ofdm.STFLen; i++ {
+		out = append(out, stfT[i%ofdm.NFFT])
+	}
+	out = append(out, ltfT[ofdm.NFFT-ofdm.LTFGuard:]...)
+	out = append(out, ltfT...)
+	out = append(out, ltfT...)
+	return out
+}
+
+func stfFreqWithGain(gain []complex128) []complex128 {
+	// Reconstruct the STF bins from the reference preamble: FFT of one
+	// period-64 window of the STF.
+	stf := ofdm.STF()
+	plan := dsp.MustFFTPlan(ofdm.NFFT)
+	f := make([]complex128, ofdm.NFFT)
+	plan.Forward(f, stf[:ofdm.NFFT])
+	scale := complex(1/math.Sqrt(ofdm.NFFT), 0)
+	for i := range f {
+		f[i] *= scale
+		if gain != nil {
+			f[i] *= gain[i]
+		}
+	}
+	return f
+}
+
+func ltfFreqWithGain(gain []complex128) []complex128 {
+	f := ofdm.LTFFreq()
+	if gain != nil {
+		for i := range f {
+			f[i] *= gain[i]
+		}
+	}
+	return f
+}
+
+// Frame is the one-call TX path: payload → waveform at unit gain.
+func (tx *TX) Frame(payload []byte, mcs MCS) ([]complex128, error) {
+	f, err := tx.FrameSymbols(payload, mcs)
+	if err != nil {
+		return nil, err
+	}
+	return tx.Synthesize(f), nil
+}

@@ -1,0 +1,114 @@
+// Package radio models the analog front end the paper's USRP2 nodes
+// provide: a free-running oscillator per node (carrier-frequency offset,
+// sampling-frequency offset tied to the same crystal, optional phase
+// wander) and transmit-power/noise-figure bookkeeping.
+//
+// The oscillator is the root cause MegaMIMO exists: every node's carrier
+// rotates at its own rate, so distributed transmitters drift apart unless
+// the protocol re-synchronizes them. All phases here are expressed in
+// radians at the shared simulation ("ether") sample clock.
+package radio
+
+import (
+	"math"
+
+	"megamimo/internal/rng"
+)
+
+// Oscillator is one node's frequency reference. CFO and SFO both derive
+// from the same crystal ppm error, as they do in real radios.
+type Oscillator struct {
+	// PPM is the crystal error in parts per million. 802.11 mandates
+	// ±20 ppm; the paper's USRP2s are well within that.
+	PPM float64
+	// CarrierHz is the RF carrier (2.4 GHz class).
+	CarrierHz float64
+	// SampleRate is the nominal baseband sample rate in Hz.
+	SampleRate float64
+	// Phase0 is the oscillator phase at ether time zero, radians.
+	Phase0 float64
+	// WanderStd, when non-zero, adds a Wiener phase-noise walk with this
+	// per-sample standard deviation (radians/√sample).
+	WanderStd float64
+
+	wander     *rng.Source
+	wanderAcc  float64
+	wanderTime int64
+}
+
+// NewOscillator draws an oscillator with ppm uniform in ±ppmBudget and a
+// random initial phase.
+func NewOscillator(src *rng.Source, ppmBudget, carrierHz, sampleRate float64) *Oscillator {
+	return &Oscillator{
+		PPM:        src.Uniform(-ppmBudget, ppmBudget),
+		CarrierHz:  carrierHz,
+		SampleRate: sampleRate,
+		Phase0:     src.PhaseUniform(),
+		wander:     src.Split(0x05C1),
+	}
+}
+
+// FreqOffsetHz returns the carrier frequency offset in Hz.
+func (o *Oscillator) FreqOffsetHz() float64 { return o.CarrierHz * o.PPM * 1e-6 }
+
+// CFORadPerSample returns the carrier offset in radians per ether sample.
+func (o *Oscillator) CFORadPerSample() float64 {
+	return 2 * math.Pi * o.FreqOffsetHz() / o.SampleRate
+}
+
+// SFORatio returns the sample-clock ratio actual/nominal (1 + ppm·1e-6).
+func (o *Oscillator) SFORatio() float64 { return 1 + o.PPM*1e-6 }
+
+// PhaseAt returns the oscillator phase at ether sample t: ω·t + θ₀ plus
+// any accumulated wander. Wander is evaluated lazily and monotonically;
+// calling PhaseAt with decreasing t reuses the last wander value, which is
+// accurate to one packet length for the protocols simulated here.
+func (o *Oscillator) PhaseAt(t int64) float64 {
+	p := o.CFORadPerSample()*float64(t) + o.Phase0
+	if o.WanderStd > 0 && o.wander != nil {
+		if t > o.wanderTime {
+			dt := float64(t - o.wanderTime)
+			o.wanderAcc += o.WanderStd * math.Sqrt(dt) * o.wander.Norm()
+			o.wanderTime = t
+		}
+		p += o.wanderAcc
+	}
+	return p
+}
+
+// Frontend carries the power bookkeeping for one radio chain.
+type Frontend struct {
+	// TxPowerDBm is the transmit power delivered to the antenna.
+	TxPowerDBm float64
+	// NoiseFigureDB inflates the thermal noise floor.
+	NoiseFigureDB float64
+	// BandwidthHz is the occupied bandwidth used for the noise floor.
+	BandwidthHz float64
+}
+
+// NoiseFloorDBm returns the receiver noise floor: −174 dBm/Hz + 10·log₁₀(B)
+// + NF.
+func (f *Frontend) NoiseFloorDBm() float64 {
+	return -174 + 10*math.Log10(f.BandwidthHz) + f.NoiseFigureDB
+}
+
+// Node is one radio device: an oscillator shared by one or more antenna
+// chains (a 2-antenna 802.11n AP is one Node with two antennas, exactly
+// like the paper's two externally clocked USRP2s).
+type Node struct {
+	ID       int
+	Osc      *Oscillator
+	Front    Frontend
+	Antennas []int // antenna IDs registered with the air medium
+}
+
+// NewNode builds a node with the given antenna IDs and a freshly drawn
+// oscillator.
+func NewNode(id int, src *rng.Source, ppmBudget, carrierHz, sampleRate float64, antennas ...int) *Node {
+	return &Node{
+		ID:       id,
+		Osc:      NewOscillator(src.Split(uint64(id)+1), ppmBudget, carrierHz, sampleRate),
+		Front:    Frontend{TxPowerDBm: 20, NoiseFigureDB: 6, BandwidthHz: sampleRate},
+		Antennas: antennas,
+	}
+}

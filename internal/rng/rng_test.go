@@ -1,0 +1,157 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestSplitDeterministicAndIndependent(t *testing.T) {
+	a1 := New(7).Split(1)
+	a2 := New(7).Split(1)
+	b := New(7).Split(2)
+	same, diff := 0, 0
+	for i := 0; i < 50; i++ {
+		x1, x2, y := a1.Float64(), a2.Float64(), b.Float64()
+		if x1 == x2 {
+			same++
+		}
+		if x1 != y {
+			diff++
+		}
+	}
+	if same != 50 {
+		t.Fatalf("Split(1) not deterministic: %d/50 equal", same)
+	}
+	if diff < 45 {
+		t.Fatalf("Split(1) and Split(2) look correlated: only %d/50 differ", diff)
+	}
+}
+
+func TestSplitDoesNotPerturbParent(t *testing.T) {
+	a, b := New(9), New(9)
+	_ = a.Split(3) // b never splits
+	// First Split consumes the hidden base draw, so compare a fresh pair
+	// that both split.
+	_ = b.Split(4)
+	for i := 0; i < 20; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("Split changed parent stream inconsistently")
+		}
+	}
+}
+
+func TestComplexNormalStats(t *testing.T) {
+	s := New(1)
+	const n = 200000
+	var sumRe, sumIm, sumP float64
+	for i := 0; i < n; i++ {
+		v := s.ComplexNormal(2.0)
+		sumRe += real(v)
+		sumIm += imag(v)
+		sumP += real(v)*real(v) + imag(v)*imag(v)
+	}
+	if m := sumRe / n; math.Abs(m) > 0.02 {
+		t.Fatalf("mean(re) = %v", m)
+	}
+	if m := sumIm / n; math.Abs(m) > 0.02 {
+		t.Fatalf("mean(im) = %v", m)
+	}
+	if p := sumP / n; math.Abs(p-2.0) > 0.05 {
+		t.Fatalf("E|x|² = %v, want 2.0", p)
+	}
+}
+
+func TestComplexNormalVec(t *testing.T) {
+	s := New(2)
+	v := s.ComplexNormalVec(make([]complex128, 50000), 1.0)
+	var p float64
+	for _, x := range v {
+		p += real(x)*real(x) + imag(x)*imag(x)
+	}
+	if got := p / float64(len(v)); math.Abs(got-1.0) > 0.05 {
+		t.Fatalf("vec power = %v", got)
+	}
+}
+
+func TestRayleighMean(t *testing.T) {
+	s := New(3)
+	const n = 100000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += s.Rayleigh(1.0)
+	}
+	want := math.Sqrt(math.Pi / 2)
+	if got := sum / n; math.Abs(got-want) > 0.02 {
+		t.Fatalf("Rayleigh mean = %v, want %v", got, want)
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	s := New(4)
+	for i := 0; i < 1000; i++ {
+		v := s.Uniform(-3, 5)
+		if v < -3 || v >= 5 {
+			t.Fatalf("Uniform out of range: %v", v)
+		}
+	}
+}
+
+func TestPhaseUniformRange(t *testing.T) {
+	s := New(5)
+	for i := 0; i < 1000; i++ {
+		p := s.PhaseUniform()
+		if p < -math.Pi || p >= math.Pi {
+			t.Fatalf("phase out of range: %v", p)
+		}
+	}
+}
+
+func TestBits(t *testing.T) {
+	s := New(6)
+	b := s.Bits(make([]byte, 10000))
+	ones := 0
+	for _, v := range b {
+		if v > 1 {
+			t.Fatalf("Bits produced %d", v)
+		}
+		ones += int(v)
+	}
+	if ones < 4700 || ones > 5300 {
+		t.Fatalf("Bits bias: %d/10000 ones", ones)
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	s := New(8)
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if s.Bool(0.25) {
+			hits++
+		}
+	}
+	if f := float64(hits) / n; math.Abs(f-0.25) > 0.01 {
+		t.Fatalf("Bool(0.25) rate = %v", f)
+	}
+}
+
+func TestPerm(t *testing.T) {
+	s := New(10)
+	p := s.Perm(16)
+	seen := make([]bool, 16)
+	for _, v := range p {
+		if v < 0 || v >= 16 || seen[v] {
+			t.Fatalf("bad perm %v", p)
+		}
+		seen[v] = true
+	}
+}

@@ -1,0 +1,50 @@
+// Package scramble implements the 802.11 length-127 frame-synchronous
+// scrambler (polynomial x^7 + x^4 + 1). Scrambling whitens the data so the
+// OFDM waveform has no pathological peak-to-average patterns; it is its own
+// inverse for a given initial state.
+package scramble
+
+// Scrambler is the 7-bit LFSR state machine.
+type Scrambler struct {
+	state byte // 7-bit state, never zero
+}
+
+// New returns a scrambler with the given 7-bit initial state; state 0 is
+// remapped to the conventional all-ones seed because a zero LFSR never
+// leaves zero.
+func New(state byte) *Scrambler {
+	state &= 0x7f
+	if state == 0 {
+		state = 0x7f
+	}
+	return &Scrambler{state: state}
+}
+
+// NextBit advances the LFSR and returns the next scrambling bit.
+func (s *Scrambler) NextBit() byte {
+	// Feedback: x^7 + x^4 + 1 → bit = s[6] ^ s[3] (0-indexed from LSB).
+	b := ((s.state >> 6) ^ (s.state >> 3)) & 1
+	s.state = ((s.state << 1) | b) & 0x7f
+	return b
+}
+
+// Apply XORs the scrambler sequence onto bits in place and returns bits.
+// Calling Apply twice with scramblers in the same initial state restores
+// the original data.
+func (s *Scrambler) Apply(bits []byte) []byte {
+	for i := range bits {
+		bits[i] = (bits[i] & 1) ^ s.NextBit()
+	}
+	return bits
+}
+
+// Sequence returns the first n scrambler bits without consuming shared
+// state (it operates on a copy).
+func (s *Scrambler) Sequence(n int) []byte {
+	cp := *s
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = cp.NextBit()
+	}
+	return out
+}

@@ -1,0 +1,167 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanStd(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(xs); math.Abs(got-5) > 1e-12 {
+		t.Fatalf("Mean = %v", got)
+	}
+	if got := StdDev(xs); math.Abs(got-2.1380899) > 1e-6 {
+		t.Fatalf("StdDev = %v", got)
+	}
+	if Mean(nil) != 0 || StdDev([]float64{1}) != 0 {
+		t.Fatal("degenerate cases wrong")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {100, 5}, {50, 3}, {25, 2}, {75, 4}, {10, 1.4},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("P%v = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if got := Median([]float64{7}); got != 7 {
+		t.Fatalf("Median single = %v", got)
+	}
+}
+
+func TestPercentileUnsortedInputUnmodified(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if got := Percentile(xs, 50); got != 2 {
+		t.Fatalf("P50 = %v", got)
+	}
+	if xs[0] != 3 {
+		t.Fatal("Percentile mutated input")
+	}
+}
+
+func TestCDF(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 2, 3})
+	if got := c.At(0); got != 0 {
+		t.Fatalf("At(0) = %v", got)
+	}
+	if got := c.At(2); math.Abs(got-0.75) > 1e-12 {
+		t.Fatalf("At(2) = %v", got)
+	}
+	if got := c.At(10); got != 1 {
+		t.Fatalf("At(10) = %v", got)
+	}
+	if got := c.Quantile(0.5); got != 2 {
+		t.Fatalf("Quantile(0.5) = %v", got)
+	}
+	if c.N() != 4 {
+		t.Fatalf("N = %d", c.N())
+	}
+	if !strings.Contains(c.String(), "n=4") {
+		t.Fatalf("String = %q", c.String())
+	}
+}
+
+func TestCDFPoints(t *testing.T) {
+	c := NewCDF([]float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9})
+	pts := c.Points(5)
+	if len(pts) != 5 {
+		t.Fatalf("%d points", len(pts))
+	}
+	if pts[0][1] != 0 || pts[4][1] != 1 {
+		t.Fatalf("fraction endpoints: %v", pts)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i][0] < pts[i-1][0] {
+			t.Fatal("points not monotone")
+		}
+	}
+}
+
+func TestConfidenceInterval(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	xs := make([]float64, 4000)
+	for i := range xs {
+		xs[i] = 10 + r.NormFloat64()
+	}
+	mean, half := ConfidenceInterval95(xs)
+	if math.Abs(mean-10) > 0.1 {
+		t.Fatalf("mean = %v", mean)
+	}
+	want := 1.96 / math.Sqrt(4000)
+	if math.Abs(half-want) > 0.3*want {
+		t.Fatalf("half-width = %v, want ≈%v", half, want)
+	}
+}
+
+func TestHistogramRenders(t *testing.T) {
+	h := Histogram([]float64{1, 1, 2, 3, 3, 3}, 3)
+	if !strings.Contains(h, "#") {
+		t.Fatalf("histogram missing bars:\n%s", h)
+	}
+	if Histogram(nil, 3) != "(no data)" {
+		t.Fatal("empty histogram")
+	}
+}
+
+// Property: quantiles are monotone and bounded by the sample range.
+func TestQuickQuantileMonotone(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		c := NewCDF(xs)
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.1 {
+			v := c.Quantile(q)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: CDF.At is a valid CDF (monotone, 0→1).
+func TestQuickCDFMonotone(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		c := NewCDF(xs)
+		prev := -1.0
+		for q := -1e6; q <= 1e6; q += 2e5 {
+			v := c.At(q)
+			if v < prev || v < 0 || v > 1 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
