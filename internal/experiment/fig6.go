@@ -112,6 +112,7 @@ func (r *Fig6Result) String() string {
 	var order []float64
 	for _, p := range r.Points {
 		v := byMis[p.MisalignmentRad]
+		//lint:ignore float-eq SNRdB is copied verbatim from the configured {10, 20} dB grid, never computed
 		if p.SNRdB == 10 {
 			v[0] = p.ReductionDB
 		} else {

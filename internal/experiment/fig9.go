@@ -2,6 +2,7 @@ package experiment
 
 import (
 	"fmt"
+	"sort"
 
 	"megamimo/internal/baseline"
 	"megamimo/internal/core"
@@ -209,12 +210,6 @@ func sortedKeys(m map[int][]float64) []int {
 	for k := range m {
 		out = append(out, k)
 	}
-	for i := 0; i < len(out); i++ {
-		for j := i + 1; j < len(out); j++ {
-			if out[j] < out[i] {
-				out[i], out[j] = out[j], out[i]
-			}
-		}
-	}
+	sort.Ints(out)
 	return out
 }

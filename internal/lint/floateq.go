@@ -1,0 +1,68 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// FloatEqAnalyzer flags == and != between floating-point or complex
+// operands in non-test code. Exact float equality silently fails after any
+// rounding — in this codebase that reads as a precoder that "almost" nulls
+// interference. Comparisons against an exact-zero constant are allowed
+// (they are well-defined guards before division or log), as are
+// constant-only comparisons.
+var FloatEqAnalyzer = &Analyzer{
+	Name: "float-eq",
+	Doc:  "==/!= on float64 or complex128 values outside tests",
+	Run:  runFloatEq,
+}
+
+func runFloatEq(p *Pass) {
+	info := p.Pkg.Info
+	eachFile(p, func(f *ast.File, isTest bool) {
+		if isTest {
+			return
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			xt, yt := info.Types[be.X], info.Types[be.Y]
+			if !isFloatOrComplex(xt.Type) && !isFloatOrComplex(yt.Type) {
+				return true
+			}
+			if xt.Value != nil && yt.Value != nil {
+				return true // constant folding, exact by definition
+			}
+			if isExactZero(xt.Value) || isExactZero(yt.Value) {
+				return true
+			}
+			kind := "float"
+			if t := xt.Type; t != nil {
+				if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsComplex != 0 {
+					kind = "complex"
+				}
+			}
+			p.Reportf(be.OpPos,
+				"%s %s on %s values compares exact bits; use a tolerance (math.Abs(a-b) <= eps) or restructure",
+				types.ExprString(be.X), be.Op, kind)
+			return true
+		})
+	})
+}
+
+func isExactZero(v constant.Value) bool {
+	if v == nil {
+		return false
+	}
+	switch v.Kind() {
+	case constant.Int, constant.Float:
+		return constant.Sign(v) == 0
+	case constant.Complex:
+		return constant.Sign(constant.Real(v)) == 0 && constant.Sign(constant.Imag(v)) == 0
+	}
+	return false
+}

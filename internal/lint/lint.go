@@ -1,0 +1,202 @@
+// Package lint is megamimo's project-specific static-analysis suite: five
+// analyzers tuned to the failure modes that corrupt a distributed-MIMO
+// signal path — buffer aliasing in DSP kernels, nondeterministic inputs,
+// exact float comparison, panicking APIs, and dropped errors. It is built
+// entirely on the standard library (go/ast, go/parser, go/types) so the
+// module stays dependency-free.
+//
+// Diagnostics are suppressed by a trailing or preceding comment of the form
+//
+//	//lint:ignore reason why this is safe
+//	//lint:ignore analyzer-name reason why this is safe
+//
+// The first word names an analyzer to scope the suppression; otherwise the
+// directive silences every analyzer on that line. A reason is mandatory:
+// directives without one are themselves reported.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding, positioned in the analyzed source.
+type Diagnostic struct {
+	Pos      token.Position `json:"-"`
+	File     string         `json:"file"`
+	Line     int            `json:"line"`
+	Col      int            `json:"col"`
+	Analyzer string         `json:"analyzer"`
+	Message  string         `json:"message"`
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.File, d.Line, d.Col, d.Analyzer, d.Message)
+}
+
+// Analyzer is one named check run over a type-checked package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// Pass carries one package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+	report   func(Diagnostic)
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Pkg.Fset.Position(pos)
+	p.report(Diagnostic{
+		Pos:      position,
+		File:     position.Filename,
+		Line:     position.Line,
+		Col:      position.Column,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// All returns the full analyzer suite in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		AliasingAnalyzer,
+		DeterminismAnalyzer,
+		FloatEqAnalyzer,
+		PanicPolicyAnalyzer,
+		UncheckedErrorAnalyzer,
+	}
+}
+
+// analyzerNames returns the set of valid analyzer names, for scoped
+// //lint:ignore directives.
+func analyzerNames(analyzers []*Analyzer) map[string]bool {
+	names := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		names[a.Name] = true
+	}
+	return names
+}
+
+// ignoreDirective is one parsed //lint:ignore comment.
+type ignoreDirective struct {
+	line     int
+	analyzer string // empty = all analyzers
+	reason   string
+	used     bool
+}
+
+// Run applies the analyzers to each package and returns the surviving
+// diagnostics sorted by position. Suppressed findings are dropped;
+// malformed or scoped-to-unknown-analyzer directives are reported under
+// the "directive" pseudo-analyzer.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	known := analyzerNames(analyzers)
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		if pkg.Types == nil {
+			continue
+		}
+		directives, bad := collectDirectives(pkg, known)
+		var raw []Diagnostic
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Pkg:      pkg,
+				report:   func(d Diagnostic) { raw = append(raw, d) },
+			}
+			a.Run(pass)
+		}
+		for _, d := range raw {
+			if !suppressed(directives, d) {
+				out = append(out, d)
+			}
+		}
+		out = append(out, bad...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out
+}
+
+const ignorePrefix = "//lint:ignore"
+
+// collectDirectives gathers //lint:ignore comments per file and reports
+// malformed ones (no reason) as diagnostics.
+func collectDirectives(pkg *Package, known map[string]bool) (map[string][]*ignoreDirective, []Diagnostic) {
+	directives := make(map[string][]*ignoreDirective)
+	var bad []Diagnostic
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, ignorePrefix)
+				if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				dir := &ignoreDirective{line: pos.Line}
+				fields := strings.Fields(rest)
+				if len(fields) > 0 && known[fields[0]] {
+					dir.analyzer = fields[0]
+					fields = fields[1:]
+				}
+				dir.reason = strings.Join(fields, " ")
+				if dir.reason == "" {
+					bad = append(bad, Diagnostic{
+						Pos:      pos,
+						File:     pos.Filename,
+						Line:     pos.Line,
+						Col:      pos.Column,
+						Analyzer: "directive",
+						Message:  "lint:ignore directive needs a reason (//lint:ignore [analyzer] reason)",
+					})
+					continue
+				}
+				directives[pos.Filename] = append(directives[pos.Filename], dir)
+			}
+		}
+	}
+	return directives, bad
+}
+
+// suppressed reports whether a directive in d's file covers d: a directive
+// applies to diagnostics on its own line (trailing comment) and on the
+// following line (comment above the statement).
+func suppressed(directives map[string][]*ignoreDirective, d Diagnostic) bool {
+	for _, dir := range directives[d.File] {
+		if dir.analyzer != "" && dir.analyzer != d.Analyzer {
+			continue
+		}
+		if d.Line == dir.line || d.Line == dir.line+1 {
+			dir.used = true
+			return true
+		}
+	}
+	return false
+}
+
+// eachFile walks every file of the package, telling the callback whether
+// the file is a test file.
+func eachFile(p *Pass, fn func(f *ast.File, isTest bool)) {
+	for _, f := range p.Pkg.Files {
+		fn(f, p.Pkg.IsTestFile(f))
+	}
+}

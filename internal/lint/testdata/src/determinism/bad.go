@@ -1,0 +1,36 @@
+// Package determinism seeds nondeterminism violations for the determinism
+// analyzer's golden test.
+package determinism
+
+import (
+	"math/rand" // want "route randomness through internal/rng"
+	"time"
+)
+
+// jitter draws from the process-global generator.
+func jitter() float64 {
+	return rand.Float64() // want "process-global source"
+}
+
+// stamp consults the wall clock inside the signal path.
+func stamp() int64 {
+	return time.Now().UnixNano() // want "unreproducible"
+}
+
+// reduce accumulates floats in map-iteration order.
+func reduce(m map[int]float64) float64 {
+	var acc float64
+	for _, v := range m {
+		acc += v // want "float accumulation"
+	}
+	return acc
+}
+
+// collect leaks map-iteration order into a slice.
+func collect(m map[int]float64) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k) // want "append"
+	}
+	return keys
+}

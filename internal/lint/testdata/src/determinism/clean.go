@@ -1,0 +1,23 @@
+package determinism
+
+import "sort"
+
+// sortedCollect is the collect-then-sort idiom: the append order is erased
+// by the sort, so the analyzer stays quiet.
+func sortedCollect(m map[int]float64) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// countValues is order-insensitive (integer counting commutes exactly).
+func countValues(m map[int]float64) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,10 @@
+package determinism
+
+import "time"
+
+// logStamp's wall-clock read never feeds the signal path, so the directive
+// on the line above the call suppresses the finding.
+func logStamp() int64 {
+	//lint:ignore determinism timestamp only labels a log line, never feeds the signal path
+	return time.Now().UnixNano()
+}

@@ -1,0 +1,10 @@
+// Package directive seeds a reasonless lint:ignore, which the framework
+// itself reports instead of honoring.
+package directive
+
+// missingReason carries a directive with no justification, so the float
+// comparison below it still fires and the directive is reported too.
+func missingReason(a, b float64) bool {
+	//lint:ignore
+	return a == b
+}

@@ -1,0 +1,18 @@
+// Package floateq seeds exact float comparisons for the float-eq
+// analyzer's golden test.
+package floateq
+
+// equalGain compares measured gains bit-for-bit.
+func equalGain(a, b float64) bool {
+	return a == b // want "compares exact bits"
+}
+
+// driftStopped compares complex channel taps bit-for-bit.
+func driftStopped(h, prev complex128) bool {
+	return h != prev // want "compares exact bits"
+}
+
+// converged compares against a non-zero constant, which rounding can miss.
+func converged(snr float64) bool {
+	return snr == 12.5 // want "compares exact bits"
+}

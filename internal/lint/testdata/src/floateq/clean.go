@@ -1,0 +1,27 @@
+package floateq
+
+import "math"
+
+// zeroGuard is the allowed exact-zero comparison before division.
+func zeroGuard(h complex128, x complex128) complex128 {
+	if h == 0 {
+		return 0
+	}
+	return x / h
+}
+
+// tolerant is the recommended comparison shape.
+func tolerant(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-9
+}
+
+// constFold compares two constants, exact by definition.
+func constFold() bool {
+	const eps = 1e-9
+	return eps == 1e-9
+}
+
+// intCompare is not a float comparison at all.
+func intCompare(a, b int) bool {
+	return a == b
+}

@@ -1,0 +1,7 @@
+package floateq
+
+// gridPoint compares a value copied verbatim from a configured grid; the
+// trailing directive documents why exact equality is sound here.
+func gridPoint(snrDB float64) bool {
+	return snrDB == 10 //lint:ignore float-eq snrDB is copied verbatim from the configured grid, never computed
+}

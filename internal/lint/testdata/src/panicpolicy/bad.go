@@ -1,0 +1,24 @@
+// Package panicpolicy seeds exported-API panics for the panic-policy
+// analyzer's golden test.
+package panicpolicy
+
+import "fmt"
+
+// Decode is an exported entry point that panics on bad input.
+func Decode(v int) int {
+	if v < 0 {
+		panic("panicpolicy: negative input") // want "exported Decode panics"
+	}
+	return v * 2
+}
+
+// Widget is an exported type with a panicking exported method.
+type Widget struct{ n int }
+
+// Scale panics instead of returning an error.
+func (w *Widget) Scale(f int) int {
+	if f == 0 {
+		panic(fmt.Sprintf("panicpolicy: zero factor for %d", w.n)) // want "exported Scale panics"
+	}
+	return w.n * f
+}

@@ -1,0 +1,19 @@
+package panicpolicy
+
+import "errors"
+
+// DecodeChecked is the error-returning shape the policy wants.
+func DecodeChecked(v int) (int, error) {
+	if v < 0 {
+		return 0, errors.New("panicpolicy: negative input")
+	}
+	return v * 2, nil
+}
+
+// helper is unexported: invariant panics are allowed here.
+func helper(v int) int {
+	if v < 0 {
+		panic("panicpolicy: helper invariant")
+	}
+	return v
+}

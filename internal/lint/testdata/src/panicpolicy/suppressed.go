@@ -1,0 +1,10 @@
+package panicpolicy
+
+// Checked documents its invariant panic with a scoped directive.
+func Checked(v int) int {
+	if v&1 == 1 {
+		//lint:ignore panic-policy internal invariant: v is always even by construction upstream
+		panic("panicpolicy: odd value")
+	}
+	return v / 2
+}

@@ -1,0 +1,26 @@
+// Package uncheckederr seeds dropped error returns for the unchecked-error
+// analyzer's golden test.
+package uncheckederr
+
+import "errors"
+
+func fail() error { return errors.New("uncheckederr: boom") }
+
+func pair() (int, error) { return 0, errors.New("uncheckederr: boom") }
+
+// Bad drops errors on the floor.
+func Bad() {
+	fail()   // want "silently dropped"
+	pair()   // want "silently dropped"
+	helper() // want "silently dropped"
+}
+
+type t struct{}
+
+func (t) apply() error { return nil }
+
+func helper() error {
+	var x t
+	x.apply() // want "silently dropped"
+	return nil
+}

@@ -1,0 +1,21 @@
+package uncheckederr
+
+import (
+	"fmt"
+	"os"
+)
+
+// Clean handles, explicitly discards, or calls exempt printers.
+func Clean() {
+	_ = fail()
+	if err := fail(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+	}
+	if _, err := pair(); err != nil {
+		fmt.Println(err)
+	}
+	fmt.Println("done")
+	noError()
+}
+
+func noError() {}

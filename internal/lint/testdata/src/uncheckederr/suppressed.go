@@ -1,0 +1,7 @@
+package uncheckederr
+
+// Suppressed documents a benign drop with a scoped directive.
+func Suppressed() {
+	//lint:ignore unchecked-error best-effort cleanup, failure is benign here
+	fail()
+}

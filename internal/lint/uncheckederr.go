@@ -1,0 +1,94 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// UncheckedErrorAnalyzer flags call statements that silently drop a
+// returned error in the command-line drivers and the protocol engine
+// (internal/core) — the layers where a swallowed error turns into a wrong
+// experiment result instead of a crash. Assigning to _ is an explicit,
+// visible discard and is allowed.
+var UncheckedErrorAnalyzer = &Analyzer{
+	Name: "unchecked-error",
+	Doc:  "dropped error returns in cmd/ and internal/core",
+	Run:  runUncheckedError,
+}
+
+// uncheckedErrExempt lists callees whose error return is noise in
+// practice (fmt printing to std streams; bytes/strings writers never fail).
+var uncheckedErrExempt = map[string]bool{
+	"fmt.Print": true, "fmt.Printf": true, "fmt.Println": true,
+	"fmt.Fprint": true, "fmt.Fprintf": true, "fmt.Fprintln": true,
+}
+
+func uncheckedErrScope(path string) bool {
+	return strings.HasPrefix(path, "megamimo/cmd/") ||
+		path == "megamimo/internal/core" ||
+		strings.HasSuffix(path, "testdata/src/uncheckederr")
+}
+
+func runUncheckedError(p *Pass) {
+	if !uncheckedErrScope(p.Pkg.Path) {
+		return
+	}
+	info := p.Pkg.Info
+	eachFile(p, func(f *ast.File, isTest bool) {
+		if isTest {
+			return
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := ast.Unparen(stmt.X).(*ast.CallExpr)
+			if !ok || !returnsError(info, call) {
+				return true
+			}
+			name := "call"
+			if fn := calleeFunc(info, call); fn != nil {
+				if uncheckedErrExempt[fn.FullName()] || exemptWriter(fn) {
+					return true
+				}
+				name = fn.Name()
+			}
+			p.Reportf(call.Pos(),
+				"%s returns an error that is silently dropped; handle it or assign to _ explicitly", name)
+			return true
+		})
+	})
+}
+
+// exemptWriter reports methods of bytes.Buffer / strings.Builder, whose
+// Write* methods are documented to always return a nil error.
+func exemptWriter(fn *types.Func) bool {
+	full := fn.FullName()
+	return strings.HasPrefix(full, "(*bytes.Buffer).") ||
+		strings.HasPrefix(full, "(*strings.Builder).")
+}
+
+// returnsError reports whether the call's result includes an error value.
+func returnsError(info *types.Info, call *ast.CallExpr) bool {
+	t := info.TypeOf(call)
+	if t == nil {
+		return false
+	}
+	switch t := t.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErrorType(t.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	default:
+		return isErrorType(t)
+	}
+}
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}

@@ -21,6 +21,27 @@ const (
 	QAM64
 )
 
+// Valid reports whether s is one of the defined constellations. Scheme
+// values normally come from phy.MCS.Modulation or ParseScheme, both of
+// which only produce valid values; Valid guards the remaining paths.
+func (s Scheme) Valid() bool { return s >= BPSK && s <= QAM64 }
+
+// ParseScheme is the validated constructor from a conventional name
+// ("BPSK", "QPSK", "16-QAM"/"QAM16", "64-QAM"/"QAM64").
+func ParseScheme(name string) (Scheme, error) {
+	switch name {
+	case "BPSK":
+		return BPSK, nil
+	case "QPSK":
+		return QPSK, nil
+	case "16-QAM", "QAM16":
+		return QAM16, nil
+	case "64-QAM", "QAM64":
+		return QAM64, nil
+	}
+	return 0, fmt.Errorf("modulation: unknown scheme %q", name)
+}
+
 // String returns the conventional name of the scheme.
 func (s Scheme) String() string {
 	switch s {
@@ -36,7 +57,9 @@ func (s Scheme) String() string {
 	return fmt.Sprintf("Scheme(%d)", int(s))
 }
 
-// BitsPerSymbol returns the number of coded bits carried per symbol.
+// BitsPerSymbol returns the number of coded bits carried per symbol, or 0
+// for an invalid Scheme (the mapping entry points reject invalid schemes
+// with an error before this can matter).
 func (s Scheme) BitsPerSymbol() int {
 	switch s {
 	case BPSK:
@@ -48,7 +71,7 @@ func (s Scheme) BitsPerSymbol() int {
 	case QAM64:
 		return 6
 	}
-	panic("modulation: unknown scheme")
+	return 0
 }
 
 // Normalization factors: divide the integer lattice by these so E|x|² = 1.
@@ -145,6 +168,9 @@ func pamDeGray(v float64, width int) []byte {
 // Map modulates bits (values 0/1, MSB-first per symbol) into complex
 // symbols. len(bits) must be a multiple of BitsPerSymbol.
 func Map(s Scheme, bits []byte) ([]complex128, error) {
+	if !s.Valid() {
+		return nil, fmt.Errorf("modulation: unknown scheme %v", s)
+	}
 	bps := s.BitsPerSymbol()
 	if len(bits)%bps != 0 {
 		return nil, fmt.Errorf("modulation: %d bits not a multiple of %d", len(bits), bps)
@@ -168,8 +194,12 @@ func Map(s Scheme, bits []byte) ([]complex128, error) {
 	return out, nil
 }
 
-// HardDemap slices symbols back to bits by nearest constellation point.
-func HardDemap(s Scheme, syms []complex128) []byte {
+// HardDemap slices symbols back to bits by nearest constellation point. It
+// errors on an invalid scheme.
+func HardDemap(s Scheme, syms []complex128) ([]byte, error) {
+	if !s.Valid() {
+		return nil, fmt.Errorf("modulation: unknown scheme %v", s)
+	}
 	bps := s.BitsPerSymbol()
 	out := make([]byte, 0, len(syms)*bps)
 	for _, v := range syms {
@@ -185,11 +215,9 @@ func HardDemap(s Scheme, syms []complex128) []byte {
 		case QAM64:
 			out = append(out, pamDeGray(real(v)*norm64, 3)...)
 			out = append(out, pamDeGray(imag(v)*norm64, 3)...)
-		default:
-			panic("modulation: unknown scheme")
 		}
 	}
-	return out
+	return out, nil
 }
 
 // SoftDemap produces one LLR per coded bit (positive = bit 0 more likely,
@@ -197,8 +225,12 @@ func HardDemap(s Scheme, syms []complex128) []byte {
 // the per-symbol complex noise variance; it scales LLR confidence.
 //
 // LLRs use the max-log approximation over per-axis PAM sets, which is exact
-// for BPSK/QPSK and within a fraction of a dB for 16/64-QAM.
-func SoftDemap(s Scheme, syms []complex128, noiseVar float64) []float64 {
+// for BPSK/QPSK and within a fraction of a dB for 16/64-QAM. It errors on
+// an invalid scheme.
+func SoftDemap(s Scheme, syms []complex128, noiseVar float64) ([]float64, error) {
+	if !s.Valid() {
+		return nil, fmt.Errorf("modulation: unknown scheme %v", s)
+	}
 	if noiseVar <= 0 {
 		noiseVar = 1e-9
 	}
@@ -215,11 +247,9 @@ func SoftDemap(s Scheme, syms []complex128, noiseVar float64) []float64 {
 		case QAM64:
 			out = append(out, pamLLR(real(v)*norm64, 3, noiseVar*42)...)
 			out = append(out, pamLLR(imag(v)*norm64, 3, noiseVar*42)...)
-		default:
-			panic("modulation: unknown scheme")
 		}
 	}
-	return out
+	return out, nil
 }
 
 // pamLLR returns max-log LLRs for one Gray-coded PAM axis with levels at

@@ -35,7 +35,10 @@ func TestMapHardDemapRoundTrip(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		back := HardDemap(s, syms)
+		back, err := HardDemap(s, syms)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if len(back) != len(bits) {
 			t.Fatalf("%v: length %d != %d", s, len(back), len(bits))
 		}
@@ -126,7 +129,10 @@ func TestHardDemapWithSmallNoise(t *testing.T) {
 		for i := range syms {
 			syms[i] += complex(r.NormFloat64()*0.02, r.NormFloat64()*0.02)
 		}
-		back := HardDemap(s, syms)
+		back, err := HardDemap(s, syms)
+		if err != nil {
+			t.Fatal(err)
+		}
 		for i := range bits {
 			if bits[i] != back[i] {
 				t.Fatalf("%v: flipped under tiny noise", s)
@@ -143,7 +149,10 @@ func TestSoftDemapSignsMatchHardDecisions(t *testing.T) {
 			bits[i] = byte(r.Intn(2))
 		}
 		syms, _ := Map(s, bits)
-		llr := SoftDemap(s, syms, 0.01)
+		llr, err := SoftDemap(s, syms, 0.01)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if len(llr) != len(bits) {
 			t.Fatalf("%v: %d LLRs for %d bits", s, len(llr), len(bits))
 		}
@@ -158,8 +167,14 @@ func TestSoftDemapSignsMatchHardDecisions(t *testing.T) {
 
 func TestSoftDemapConfidenceScalesWithNoise(t *testing.T) {
 	syms, _ := Map(QAM16, []byte{1, 0, 1, 1})
-	lowNoise := SoftDemap(QAM16, syms, 0.01)
-	highNoise := SoftDemap(QAM16, syms, 1.0)
+	lowNoise, err := SoftDemap(QAM16, syms, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	highNoise, err := SoftDemap(QAM16, syms, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i := range lowNoise {
 		if math.Abs(lowNoise[i]) <= math.Abs(highNoise[i]) {
 			t.Fatalf("LLR %d did not grow with SNR", i)
@@ -180,7 +195,10 @@ func TestQuickRoundTrip(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		back := HardDemap(s, syms)
+		back, err := HardDemap(s, syms)
+		if err != nil {
+			return false
+		}
 		for i := range bits {
 			if back[i] != bits[i] {
 				return false
@@ -216,6 +234,8 @@ func BenchmarkSoftDemapQAM64(b *testing.B) {
 	syms, _ := Map(QAM64, bits)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		SoftDemap(QAM64, syms, 0.1)
+		if _, err := SoftDemap(QAM64, syms, 0.1); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

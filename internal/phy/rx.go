@@ -133,9 +133,16 @@ func (r *RX) DecodeAt(rx []complex128, sync *ofdm.Sync) (*RxFrame, error) {
 			if g2 > 1e-12 {
 				nv = noiseVar / g2
 			}
-			symLLR = append(symLLR, modulation.SoftDemap(info.scheme, []complex128{v}, nv)...)
+			llrs, err := modulation.SoftDemap(info.scheme, []complex128{v}, nv)
+			if err != nil {
+				return nil, err
+			}
+			symLLR = append(symLLR, llrs...)
 			// EVM against the hard decision.
-			hd := modulation.HardDemap(info.scheme, []complex128{v})
+			hd, err := modulation.HardDemap(info.scheme, []complex128{v})
+			if err != nil {
+				return nil, err
+			}
 			ds, _ := modulation.Map(info.scheme, hd)
 			e := v - ds[0]
 			ep := real(e)*real(e) + imag(e)*imag(e)
@@ -184,7 +191,10 @@ func (r *RX) DecodeAt(rx []complex128, sync *ofdm.Sync) (*RxFrame, error) {
 
 // parseSignal decodes the already-equalized SIGNAL symbol.
 func parseSignal(eqd []complex128) (MCS, int, error) {
-	hard := modulation.HardDemap(modulation.BPSK, eqd)
+	hard, err := modulation.HardDemap(modulation.BPSK, eqd)
+	if err != nil {
+		return 0, 0, err
+	}
 	il := interleave.MustNew(48, 1)
 	coded, err := il.Deinterleave(hard)
 	if err != nil {

@@ -86,6 +86,7 @@ func (tx *TX) FrameSymbols(payload []byte, mcs MCS) (*FrameSymbols, error) {
 	sigBits = append(sigBits, par)
 	sigCoded := fec.Encode(sigBits, fec.Rate12)
 	if len(sigCoded) != 48 {
+		//lint:ignore panic-policy internal invariant: 18 info bits + tail always code to 48 bits
 		panic("phy: SIGNAL encoding produced wrong length")
 	}
 	sigIl := interleave.MustNew(48, 1)
@@ -110,6 +111,7 @@ func (tx *TX) FrameSymbols(payload []byte, mcs MCS) (*FrameSymbols, error) {
 	scramble.New(scramblerSeed).Apply(bits)
 	coded := fec.Encode(bits, info.rate)
 	if len(coded) != nsym*info.ncbps {
+		//lint:ignore panic-policy internal invariant: the pad computation above sizes bits to fill nsym symbols exactly
 		panic(fmt.Sprintf("phy: coded length %d != %d symbols × %d", len(coded), nsym, info.ncbps))
 	}
 
@@ -169,6 +171,7 @@ func (tx *TX) Synthesize(f *FrameSymbols) []complex128 {
 // applies unit gain.
 func (tx *TX) SynthesizeWithGain(f *FrameSymbols, gain []complex128) []complex128 {
 	if gain != nil && len(gain) != ofdm.NFFT {
+		//lint:ignore panic-policy documented precondition, a caller bug rather than bad input; silent truncation would masquerade as an RF impairment
 		panic("phy: gain must have one entry per FFT bin")
 	}
 	out := make([]complex128, 0, f.SampleLen())
@@ -184,7 +187,8 @@ func (tx *TX) SynthesizeWithGain(f *FrameSymbols, gain []complex128) []complex12
 		}
 		sym, err := tx.mod.RawSymbol(src)
 		if err != nil {
-			panic(err) // length is ours by construction
+			//lint:ignore panic-policy internal invariant: src is always an NFFT-length vector built above
+			panic(err)
 		}
 		out = append(out, sym...)
 	}

@@ -39,7 +39,9 @@ func invQ(p float64) float64 {
 }
 
 // BER returns the uncoded bit error rate of the scheme at symbol SNR γ
-// (linear), using the standard Gray-mapped approximations.
+// (linear), using the standard Gray-mapped approximations. An invalid
+// scheme reports 0.5 — coin-flip bits — so rate selection degrades to
+// "undecodable" instead of crashing on corrupt feedback.
 func BER(s modulation.Scheme, snr float64) float64 {
 	if snr <= 0 {
 		return 0.5
@@ -54,10 +56,11 @@ func BER(s modulation.Scheme, snr float64) float64 {
 	case modulation.QAM64:
 		return (7.0 / 12.0) * Q(math.Sqrt(snr/21))
 	}
-	panic("rate: unknown scheme")
+	return 0.5
 }
 
-// invBER returns the symbol SNR at which the scheme reaches the given BER.
+// invBER returns the symbol SNR at which the scheme reaches the given BER,
+// or +Inf for an invalid scheme (no finite SNR delivers it).
 func invBER(s modulation.Scheme, ber float64) float64 {
 	switch s {
 	case modulation.BPSK:
@@ -73,7 +76,7 @@ func invBER(s modulation.Scheme, ber float64) float64 {
 		x := invQ(ber * 12 / 7)
 		return 21 * x * x
 	}
-	panic("rate: unknown scheme")
+	return math.Inf(1)
 }
 
 // EffectiveSNRdB collapses per-subcarrier linear SNRs into the effective

@@ -36,10 +36,12 @@ func StdDev(xs []float64) float64 {
 }
 
 // Percentile returns the p-th percentile (0 ≤ p ≤ 100) using linear
-// interpolation between order statistics. It panics on empty input.
+// interpolation between order statistics. It returns NaN on empty input:
+// there is no order statistic to report, and NaN propagates visibly
+// instead of crashing an experiment run.
 func Percentile(xs []float64, p float64) float64 {
 	if len(xs) == 0 {
-		panic("stats: Percentile of empty slice")
+		return math.NaN()
 	}
 	s := append([]float64(nil), xs...)
 	sort.Float64s(s)
@@ -88,10 +90,10 @@ func (c *CDF) At(x float64) float64 {
 	return float64(i) / float64(len(c.sorted))
 }
 
-// Quantile returns the q-quantile (0–1).
+// Quantile returns the q-quantile (0–1), or NaN for an empty CDF.
 func (c *CDF) Quantile(q float64) float64 {
 	if len(c.sorted) == 0 {
-		panic("stats: Quantile of empty CDF")
+		return math.NaN()
 	}
 	return Percentile(c.sorted, q*100)
 }
@@ -143,6 +145,7 @@ func Histogram(xs []float64, n int) string {
 		lo = math.Min(lo, x)
 		hi = math.Max(hi, x)
 	}
+	//lint:ignore float-eq exact compare detects the all-identical-samples degenerate bin range
 	if hi == lo {
 		hi = lo + 1
 	}
