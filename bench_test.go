@@ -21,6 +21,7 @@ import (
 // BenchmarkFig6Misalignment regenerates the SNR-reduction-vs-misalignment
 // curves and reports the paper's anchor point (0.35 rad at 20 dB ≈ 8 dB).
 func BenchmarkFig6Misalignment(b *testing.B) {
+	b.ReportAllocs()
 	var anchor float64
 	for i := 0; i < b.N; i++ {
 		r := experiment.RunFig6(100, int64(i)+1)
@@ -36,6 +37,7 @@ func BenchmarkFig6Misalignment(b *testing.B) {
 // BenchmarkFig7PhaseSync measures the distributed phase-sync misalignment
 // distribution (paper: median 0.017 rad, p95 0.05 rad).
 func BenchmarkFig7PhaseSync(b *testing.B) {
+	b.ReportAllocs()
 	var median, p95 float64
 	for i := 0; i < b.N; i++ {
 		r, err := experiment.RunFig7(2, 20, int64(i)+3)
@@ -51,6 +53,7 @@ func BenchmarkFig7PhaseSync(b *testing.B) {
 // BenchmarkFig8INR measures the interference-to-noise ratio at a nulled
 // client (paper: ≤1.5 dB at 10 pairs, ≈0.13 dB growth per pair).
 func BenchmarkFig8INR(b *testing.B) {
+	b.ReportAllocs()
 	var inr10, slope float64
 	for i := 0; i < b.N; i++ {
 		r, err := experiment.RunFig8(6, 1, int64(i)+5)
@@ -71,6 +74,7 @@ func BenchmarkFig8INR(b *testing.B) {
 // BenchmarkFig9Scaling measures total-throughput scaling (paper: linear,
 // 8.1–9.4× at 10 APs).
 func BenchmarkFig9Scaling(b *testing.B) {
+	b.ReportAllocs()
 	var gain float64
 	for i := 0; i < b.N; i++ {
 		r, err := experiment.RunFig9([]int{2, 6}, 2, 2, int64(i)+7)
@@ -89,6 +93,7 @@ func BenchmarkFig9Scaling(b *testing.B) {
 // BenchmarkFig10Fairness measures the spread of per-client gains (paper:
 // all clients see roughly the same gain).
 func BenchmarkFig10Fairness(b *testing.B) {
+	b.ReportAllocs()
 	var spread float64
 	for i := 0; i < b.N; i++ {
 		r, err := experiment.RunFig9([]int{4}, 2, 2, int64(i)+11)
@@ -107,6 +112,7 @@ func BenchmarkFig10Fairness(b *testing.B) {
 // BenchmarkFig11Diversity measures coherent-combining throughput at a 0 dB
 // client (paper: ≈21 Mb/s with 10 APs where 802.11 delivers nothing).
 func BenchmarkFig11Diversity(b *testing.B) {
+	b.ReportAllocs()
 	var at0 float64
 	for i := 0; i < b.N; i++ {
 		r, err := experiment.RunFig11([]int{8}, 1, int64(i)+13)
@@ -125,6 +131,7 @@ func BenchmarkFig11Diversity(b *testing.B) {
 // BenchmarkFig12Dot11n measures the off-the-shelf 802.11n gain (paper:
 // 1.67–1.83× mean).
 func BenchmarkFig12Dot11n(b *testing.B) {
+	b.ReportAllocs()
 	var gain float64
 	for i := 0; i < b.N; i++ {
 		r, err := experiment.RunFig12(2, 2, int64(i)+17)
@@ -143,6 +150,7 @@ func BenchmarkFig12Dot11n(b *testing.B) {
 // BenchmarkFig13Dot11nFairness measures the 802.11n gain CDF median
 // (paper: 1.8×).
 func BenchmarkFig13Dot11nFairness(b *testing.B) {
+	b.ReportAllocs()
 	var median float64
 	for i := 0; i < b.N; i++ {
 		r, err := experiment.RunFig12(3, 2, int64(i)+19)
@@ -162,6 +170,7 @@ func BenchmarkFig13Dot11nFairness(b *testing.B) {
 // (§1's motivating example): the INR at a nulled client after ~50 ms of
 // extrapolation versus with the real protocol.
 func BenchmarkAblationPredictVsMeasure(b *testing.B) {
+	b.ReportAllocs()
 	run := func(extrapolate bool, seed int64) float64 {
 		cfg := core.DefaultConfig(3, 3, 18, 24)
 		cfg.Seed = seed
@@ -203,6 +212,7 @@ func BenchmarkAblationPredictVsMeasure(b *testing.B) {
 // §4: the regularizer recovers the conditioning the paper's physical
 // channels had).
 func BenchmarkAblationZFRegularization(b *testing.B) {
+	b.ReportAllocs()
 	run := func(lambda float64, seed int64) float64 {
 		cfg := core.DefaultConfig(6, 6, 18, 24)
 		cfg.Seed = seed
@@ -244,6 +254,7 @@ func BenchmarkAblationZFRegularization(b *testing.B) {
 // BenchmarkAblationMeasurementRounds contrasts 2 vs 8 interleaved
 // measurement rounds (§5.1's noise averaging) via the nulling INR.
 func BenchmarkAblationMeasurementRounds(b *testing.B) {
+	b.ReportAllocs()
 	run := func(rounds int, seed int64) float64 {
 		cfg := core.DefaultConfig(4, 4, 18, 24)
 		cfg.Seed = seed
@@ -303,5 +314,51 @@ func BenchmarkJointTransmit4x4(b *testing.B) {
 		if _, err := n.JointTransmit(payloads, phy.MCS2); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// TestJointTransmitAllocBudget is the allocation regression gate for the
+// zero-alloc signal path. Before the scratch-arena refactor a 4x4 joint
+// transmission cost 253,951 allocations; the arena path costs ~1,500. The
+// budget is set loosely above today's number so incidental churn passes,
+// while still proving a >60x reduction (the acceptance bar was 5x) — a
+// regression back to per-symbol buffer churn trips it immediately.
+func TestJointTransmitAllocBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full measurement pipeline")
+	}
+	cfg := core.DefaultConfig(4, 4, 18, 24)
+	cfg.WellConditioned = true
+	n, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Measure(); err != nil {
+		t.Fatal(err)
+	}
+	p, err := core.ComputeZF(n.Msmt, cfg.NoiseVar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.SetPrecoder(p)
+	payloads := make([][]byte, 4)
+	for j := range payloads {
+		payloads[j] = make([]byte, 1500)
+	}
+	// Warm the grow-only scratch so the measurement sees steady state.
+	for i := 0; i < 3; i++ {
+		if _, err := n.JointTransmit(payloads, phy.MCS2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(5, func() {
+		if _, err := n.JointTransmit(payloads, phy.MCS2); err != nil {
+			t.Fatal(err)
+		}
+	})
+	const budget = 4000
+	if allocs > budget {
+		t.Errorf("JointTransmit allocates %.0f objects per 4x4 transmission, budget is %d; "+
+			"a hot-path buffer is being reallocated per symbol or per frame", allocs, budget)
 	}
 }

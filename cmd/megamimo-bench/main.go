@@ -8,127 +8,190 @@
 //
 // Flags scale the experiment size; the defaults approximate the paper's
 // methodology (20 topologies per point, 10 APs max) and take minutes.
-// Use -quick for a fast smoke run.
+// Use -quick for a fast smoke run. Experiments fan their independent cells
+// across -workers goroutines; the output is byte-identical at any worker
+// count.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"time"
 
 	"megamimo/internal/experiment"
 )
 
+// figMetrics is one figure's machine-readable record for -json mode.
+type figMetrics struct {
+	Figure  string  `json:"figure"`
+	Seconds float64 `json:"seconds"`
+	Workers int     `json:"workers"`
+	Output  string  `json:"output"`
+}
+
 func main() {
 	var (
-		seed   = flag.Int64("seed", 1, "random seed")
-		topos  = flag.Int("topologies", 20, "random topologies per point (paper: 20)")
-		rounds = flag.Int("rounds", 4, "joint transmissions per topology")
-		maxAPs = flag.Int("max-aps", 10, "largest AP count for scaling figures")
-		quick  = flag.Bool("quick", false, "small fast run (2 topologies, 6 APs max)")
+		seed       = flag.Int64("seed", 1, "random seed")
+		topos      = flag.Int("topologies", 20, "random topologies per point (paper: 20)")
+		rounds     = flag.Int("rounds", 4, "joint transmissions per topology")
+		maxAPs     = flag.Int("max-aps", 10, "largest AP count for scaling figures")
+		quick      = flag.Bool("quick", false, "small fast run (2 topologies, 6 APs max)")
+		workers    = flag.Int("workers", 0, "parallel experiment cells (0 = GOMAXPROCS)")
+		jsonOut    = flag.Bool("json", false, "emit per-figure metrics as JSON instead of tables")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 	if *quick {
 		*topos, *rounds, *maxAPs = 2, 2, 6
 	}
+	experiment.SetWorkers(*workers)
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: megamimo-bench [flags] fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|ablations|robustness|amortization|all")
 		os.Exit(2)
 	}
 	which := flag.Arg(0)
-	run := func(name string, f func() error) {
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	var metrics []figMetrics
+	run := func(name string, f func() (string, error)) {
 		if which != name && which != "all" &&
 			!(name == "fig9" && which == "fig10") &&
 			!(name == "fig12" && which == "fig13") {
 			return
 		}
-		if err := f(); err != nil {
+		start := time.Now()
+		out, err := f()
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
 			os.Exit(1)
 		}
+		if *jsonOut {
+			metrics = append(metrics, figMetrics{
+				Figure:  name,
+				Seconds: time.Since(start).Seconds(),
+				Workers: experiment.Workers(),
+				Output:  out,
+			})
+			return
+		}
+		fmt.Print(out)
 	}
 
-	run("fig5", func() error {
-		fmt.Println(experiment.RunFig5(*seed))
-		return nil
+	run("fig5", func() (string, error) {
+		return fmt.Sprintln(experiment.RunFig5(*seed)), nil
 	})
-	run("fig6", func() error {
-		fmt.Println(experiment.RunFig6(100, *seed))
-		return nil
+	run("fig6", func() (string, error) {
+		return fmt.Sprintln(experiment.RunFig6(100, *seed)), nil
 	})
-	run("fig7", func() error {
+	run("fig7", func() (string, error) {
 		r, err := experiment.RunFig7(max(2, *topos/2), 40, *seed)
 		if err != nil {
-			return err
+			return "", err
 		}
-		fmt.Println(r)
-		return nil
+		return fmt.Sprintln(r), nil
 	})
-	run("fig8", func() error {
+	run("fig8", func() (string, error) {
 		r, err := experiment.RunFig8(*maxAPs, maxInt(1, *topos/4), *seed)
 		if err != nil {
-			return err
+			return "", err
 		}
-		fmt.Println(r)
-		fmt.Printf("high-SNR INR slope: %.3f dB per AP-client pair (paper: ~0.13)\n\n",
-			r.SlopePerPair(experiment.HighSNR.Name))
-		return nil
+		return fmt.Sprintln(r) +
+			fmt.Sprintf("high-SNR INR slope: %.3f dB per AP-client pair (paper: ~0.13)\n\n",
+				r.SlopePerPair(experiment.HighSNR.Name)), nil
 	})
-	run("fig9", func() error {
+	run("fig9", func() (string, error) {
 		counts := apCounts(*maxAPs)
 		r, err := experiment.RunFig9(counts, *topos, *rounds, *seed)
 		if err != nil {
-			return err
+			return "", err
 		}
-		fmt.Println(r)
+		out := fmt.Sprintln(r)
 		if which == "fig10" || which == "all" {
-			fmt.Println(experiment.Fig10From(r))
+			out += fmt.Sprintln(experiment.Fig10From(r))
 		}
-		return nil
+		return out, nil
 	})
-	run("fig11", func() error {
+	run("fig11", func() (string, error) {
 		r, err := experiment.RunFig11([]int{2, 4, 6, 8, 10}, maxInt(1, *topos/4), *seed)
 		if err != nil {
-			return err
+			return "", err
 		}
-		fmt.Println(r)
-		return nil
+		return fmt.Sprintln(r), nil
 	})
-	run("ablations", func() error {
+	run("ablations", func() (string, error) {
 		r, err := experiment.RunAblations(maxInt(2, *topos/5), *seed)
 		if err != nil {
-			return err
+			return "", err
 		}
-		fmt.Println(r)
-		return nil
+		return fmt.Sprintln(r), nil
 	})
-	run("amortization", func() error {
+	run("amortization", func() (string, error) {
 		r, err := experiment.RunAmortization([]int{1, 2, 4, 8, 16}, maxInt(2, *topos/5), *seed)
 		if err != nil {
-			return err
+			return "", err
 		}
-		fmt.Println(r)
-		return nil
+		return fmt.Sprintln(r), nil
 	})
-	run("robustness", func() error {
+	run("robustness", func() (string, error) {
 		r, err := experiment.RunRobustness([]float64{0.5, 2, 5, 10, 20}, maxInt(2, *topos/5), *seed)
 		if err != nil {
-			return err
+			return "", err
 		}
-		fmt.Println(r)
-		return nil
+		return fmt.Sprintln(r), nil
 	})
-	run("fig12", func() error {
+	run("fig12", func() (string, error) {
 		r, err := experiment.RunFig12(*topos, *rounds, *seed)
 		if err != nil {
-			return err
+			return "", err
 		}
-		fmt.Println(r)
+		out := fmt.Sprintln(r)
 		if which == "fig13" || which == "all" {
-			fmt.Println(experiment.Fig13From(r))
+			out += fmt.Sprintln(experiment.Fig13From(r))
 		}
-		return nil
+		return out, nil
 	})
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(metrics); err != nil {
+			fmt.Fprintf(os.Stderr, "json: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			os.Exit(1)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			os.Exit(1)
+		}
+	}
 }
 
 func apCounts(maxAPs int) []int {

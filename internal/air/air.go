@@ -52,6 +52,11 @@ type Air struct {
 	links     map[linkKey]*channel.Link
 	emissions []emission
 	noise     *rng.Source
+	// pool recycles emission sample buffers (Transmit copies the caller's
+	// waveform, so callers may reuse their buffers immediately); conv is the
+	// grow-only per-observation convolution scratch.
+	pool [][]complex128
+	conv []complex128
 }
 
 // New returns an empty medium.
@@ -90,7 +95,25 @@ func (a *Air) Transmit(tx int, osc *radio.Oscillator, start int64, samples []com
 	if len(samples) == 0 {
 		return
 	}
-	a.emissions = append(a.emissions, emission{tx: tx, osc: osc, start: start, samples: samples})
+	buf := a.emissionBuf(len(samples))
+	copy(buf, samples)
+	a.emissions = append(a.emissions, emission{tx: tx, osc: osc, start: start, samples: buf})
+}
+
+// emissionBuf returns a buffer of length n, reusing a pooled one when
+// possible. Buffer identity never affects observed values, so pool order is
+// irrelevant to determinism.
+func (a *Air) emissionBuf(n int) []complex128 {
+	for i := len(a.pool) - 1; i >= 0; i-- {
+		if cap(a.pool[i]) >= n {
+			b := a.pool[i][:n]
+			a.pool[i] = a.pool[len(a.pool)-1]
+			a.pool[len(a.pool)-1] = nil
+			a.pool = a.pool[:len(a.pool)-1]
+			return b
+		}
+	}
+	return make([]complex128, n)
 }
 
 // Observe returns n samples of what receive antenna rx hears starting at
@@ -147,7 +170,15 @@ func (a *Air) addEmission(dst []complex128, start int64, e emission, l *channel.
 	if a.cfg.ModelSFO {
 		samples = dsp.Resample(samples, e.osc.SFORatio())
 	}
-	conv := dsp.Convolve(samples, l.Taps)
+	need := len(samples) + len(l.Taps) - 1
+	if cap(a.conv) < need {
+		a.conv = make([]complex128, need)
+	}
+	conv := a.conv[:need]
+	for i := range conv {
+		conv[i] = 0
+	}
+	dsp.ConvolveInto(conv, samples, l.Taps)
 	arrive := e.start + int64(l.Delay)
 	lo := max64(arrive, start)
 	hi := min64(arrive+int64(len(conv)), start+int64(len(dst)))
@@ -166,21 +197,32 @@ func (a *Air) addEmission(dst []complex128, start int64, e emission, l *channel.
 }
 
 // ClearBefore drops emissions that end before ether sample t, bounding
-// memory in long simulations. The margin accounts for the longest link
-// delay plus tap spread.
+// memory in long simulations; their sample buffers return to the pool. The
+// margin accounts for the longest link delay plus tap spread.
 func (a *Air) ClearBefore(t int64) {
 	const margin = 256
 	kept := a.emissions[:0]
 	for _, e := range a.emissions {
 		if e.start+int64(len(e.samples))+margin >= t {
 			kept = append(kept, e)
+		} else {
+			a.pool = append(a.pool, e.samples)
 		}
+	}
+	for i := len(kept); i < len(a.emissions); i++ {
+		a.emissions[i] = emission{}
 	}
 	a.emissions = kept
 }
 
-// Reset drops all emissions.
-func (a *Air) Reset() { a.emissions = a.emissions[:0] }
+// Reset drops all emissions, returning their buffers to the pool.
+func (a *Air) Reset() {
+	for i := range a.emissions {
+		a.pool = append(a.pool, a.emissions[i].samples)
+		a.emissions[i] = emission{}
+	}
+	a.emissions = a.emissions[:0]
+}
 
 // NumEmissions reports the pending emission count (diagnostics).
 func (a *Air) NumEmissions() int { return len(a.emissions) }

@@ -36,9 +36,8 @@ func (n *Network) MeasureDot11n() error {
 	}
 	train := symbolWave()
 	trainNeg := cmplxs.Scale(make([]complex128, len(train)), train, -1)
-	ref := ofdm.LTFFreq()
+	ref := ltfRef()
 	bins := occupiedBins()
-	dem := ofdm.NewDemodulator()
 
 	// Sounding slots: slot 0 pairs L1 with the next lead antenna (or, for
 	// single-antenna leads, with the first slave antenna), later slots
@@ -120,15 +119,17 @@ func (n *Network) MeasureDot11n() error {
 					cfo = lag64CFO(win, winLead+ofdm.STFLen+ofdm.LTFGuard)
 				}
 				symIdx := int(tS - winStart)
-				h1, err := estimateSymbolChannel(dem, win, symIdx, symIdx, cfo, ref, bins)
+				h1, err := n.estimateSymbolChannel(win, symIdx, symIdx, cfo, ref, bins)
 				if err != nil {
 					return err
 				}
-				h2, err := estimateSymbolChannel(dem, win, symIdx+ofdm.SymbolLen, symIdx, cfo, ref, bins)
+				h2, err := n.estimateSymbolChannel(win, symIdx+ofdm.SymbolLen, symIdx, cfo, ref, bins)
 				if err != nil {
 					return err
 				}
+				//lint:ignore hotalloc retained in per-slot state (hRef0/est) across the measurement
 				hRef := make([]complex128, ofdm.NFFT)
+				//lint:ignore hotalloc retained in per-slot state (hRef0/est) across the measurement
 				hOther := make([]complex128, ofdm.NFFT)
 				for _, b := range bins {
 					hRef[b] = (h1[b] + h2[b]) / 2
@@ -147,6 +148,7 @@ func (n *Network) MeasureDot11n() error {
 				// Rotate the new antenna's channel back:
 				// corrected = est · conj(ΔL1R) · ΔL1S (ΔL1S = 1 for lead
 				// antennas — same oscillator as the reference).
+				//lint:ignore hotalloc the corrected estimate is retained in st.est for the report
 				corr := make([]complex128, ofdm.NFFT)
 				var ds []complex128
 				if apOwner != lead.Index {

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math/cmplx"
+	"sync"
 
 	"megamimo/internal/cmplxs"
 	"megamimo/internal/csi"
@@ -185,6 +186,7 @@ func (n *Network) MeasureDecoupled(groups [][]int, gapSamples int64) error {
 				// (X_i = e^{j(ω_lead−ω_i)Δ}; X_lead = 1).
 				lever := float64(sched.refMid()-mid0) - float64(curAt-ps.refAt)
 				factor := cmplxs.Expi(ps.cfo * lever)
+				//lint:ignore hotalloc the re-referenced column correction is retained in corr for the caller
 				c := make([]complex128, ofdm.NFFT)
 				for b, v := range ratio {
 					c[b] = v * factor
@@ -296,8 +298,8 @@ func (n *Network) slaveCaptureReference(ap *AP, sched schedule) error {
 		s.PayloadStart = winLead + ofdm.PreambleLen
 		sync = s
 	}
-	dem := ofdm.NewDemodulator()
-	ref := ofdm.LTFFreq()
+	dem := n.dem
+	ref := ltfRef()
 	bins := occupiedBins()
 	total := sched.nAPs * sched.antsPer
 
@@ -331,7 +333,7 @@ func (n *Network) slaveCaptureReference(ap *AP, sched schedule) error {
 			ests = make([][]complex128, sched.rounds)
 			for r := 0; r < sched.rounds; r++ {
 				idx := int(sched.csSymbolAt(r, g) - winStart)
-				e, err := estimateSymbolChannel(dem, win, idx, base, cfo, ref, bins)
+				e, err := n.estimateSymbolChannel(win, idx, base, cfo, ref, bins)
 				if err != nil {
 					return err
 				}
@@ -358,6 +360,7 @@ func (n *Network) slaveCaptureReference(ap *AP, sched schedule) error {
 		} else {
 			// The per-round estimates share the common reference already;
 			// average and denoise.
+			//lint:ignore hotalloc the averaged estimate is retained as ps.ref across rounds
 			avg := make([]complex128, ofdm.NFFT)
 			for _, e := range ests {
 				for _, b := range bins {
@@ -404,8 +407,8 @@ func (n *Network) clientEstimate(cl *Client, rxAnt int, sched schedule) (*csi.Re
 		t0Idx = sync.PayloadStart - ofdm.PreambleLen
 	}
 
-	dem := ofdm.NewDemodulator()
-	ref := ofdm.LTFFreq()
+	dem := n.dem
+	ref := ltfRef()
 	bins := occupiedBins()
 	total := sched.nAPs * sched.antsPer
 
@@ -438,7 +441,7 @@ func (n *Network) clientEstimate(cl *Client, rxAnt int, sched schedule) (*csi.Re
 				ests[m] = make([][]complex128, sched.rounds)
 				for r := 0; r < sched.rounds; r++ {
 					idx := t0Idx + int(sched.csSymbolAt(r, g)-sched.t0)
-					h, err := estimateSymbolChannel(dem, win, idx, midIdx, cfo, ref, bins)
+					h, err := n.estimateSymbolChannel(win, idx, midIdx, cfo, ref, bins)
 					if err != nil {
 						return nil, err
 					}
@@ -463,6 +466,7 @@ func (n *Network) clientEstimate(cl *Client, rxAnt int, sched schedule) (*csi.Re
 		// estimate; denoise across bins.
 		for m := 0; m < sched.antsPer; m++ {
 			g := a*sched.antsPer + m
+			//lint:ignore hotalloc the averaged estimate is retained in report.H
 			avg := make([]complex128, ofdm.NFFT)
 			for _, h := range ests[m] {
 				cmplxs.Add(avg, avg, h)
@@ -499,23 +503,39 @@ func symbolFreq(dem *ofdm.Demodulator, win []complex128, idx int) ([]complex128,
 	return dem.Freq(win[idx : idx+symLen])
 }
 
+// ltfRef caches the immutable LTF frequency reference used by every
+// channel estimate.
+var ltfRefOnce struct {
+	sync.Once
+	f []complex128
+}
+
+func ltfRef() []complex128 {
+	ltfRefOnce.Do(func() { ltfRefOnce.f = ofdm.LTFFreq() })
+	return ltfRefOnce.f
+}
+
 // estimateSymbolChannel derotates the symbol at window index idx by cfo —
 // phase referenced to window index refIdx, so every symbol shares one
 // reference and residual CFO error is multiplied only by (idx − refIdx) —
-// demodulates it and divides by the known training values.
-func estimateSymbolChannel(dem *ofdm.Demodulator, win []complex128, idx, refIdx int, cfo float64, ref []complex128, bins []int) ([]complex128, error) {
+// demodulates it and divides by the known training values. The returned
+// estimate is freshly allocated (callers retain it across rounds); the
+// rotate/demod scratch lives on the network.
+func (n *Network) estimateSymbolChannel(win []complex128, idx, refIdx int, cfo float64, ref []complex128, bins []int) ([]complex128, error) {
 	if idx < 0 || idx+symLen > len(win) {
 		return nil, fmt.Errorf("core: symbol window [%d, %d) out of range", idx, idx+symLen)
 	}
-	buf := make([]complex128, symLen)
-	cmplxs.Rotate(buf, win[idx:idx+symLen], -cfo*float64(idx-refIdx), -cfo)
-	freq, err := dem.Freq(buf)
-	if err != nil {
+	if n.estBuf == nil {
+		n.estBuf = make([]complex128, symLen)
+		n.estFreq = make([]complex128, ofdm.NFFT)
+	}
+	cmplxs.Rotate(n.estBuf, win[idx:idx+symLen], -cfo*float64(idx-refIdx), -cfo)
+	if err := n.dem.FreqInto(n.estFreq, n.estBuf); err != nil {
 		return nil, err
 	}
 	h := make([]complex128, ofdm.NFFT)
 	for _, b := range bins {
-		h[b] = freq[b] / ref[b]
+		h[b] = n.estFreq[b] / ref[b]
 	}
 	return h, nil
 }
@@ -555,20 +575,34 @@ func (n *Network) assembleMeasurement(t0 int64, reports []*csi.Report) (*Measure
 	return m, nil
 }
 
-// occupiedBins returns the FFT bins carrying data or pilots.
-func occupiedBins() []int {
+// occBins caches the FFT bins carrying data or pilots; the layout is
+// static, so one read-only slice serves every network and goroutine.
+var occBins = func() []int {
 	ks := ofdm.OccupiedCarriers()
 	out := make([]int, len(ks))
 	for i, k := range ks {
 		out[i] = ofdm.Bin(k)
 	}
 	return out
-}
+}()
+
+// occupiedBins returns the FFT bins carrying data or pilots. The returned
+// slice is shared and must not be modified.
+func occupiedBins() []int { return occBins }
 
 // acquisitionWave is the 80-sample 16-periodic coarse-CFO segment each AP
-// prepends to its CFO block.
+// prepends to its CFO block. The wave is immutable and computed once;
+// Air.Transmit copies it, so sharing across networks is safe.
+var acquisitionWaveOnce struct {
+	sync.Once
+	w []complex128
+}
+
 func acquisitionWave() []complex128 {
-	return ofdm.STF()[:symLen]
+	acquisitionWaveOnce.Do(func() {
+		acquisitionWaveOnce.w = ofdm.STF()[:symLen]
+	})
+	return acquisitionWaveOnce.w
 }
 
 // cfoFromBlock estimates AP a's carrier offset from its CFO block inside a

@@ -34,6 +34,11 @@ func (n *Network) MeasureMisalignment(rounds int, gapSamples int64) ([]float64, 
 	var refProd []complex128
 	haveRef := false
 	var out []float64
+	// Round-loop scratch, fully rewritten every round.
+	mod := ofdm.NewModulator()
+	g := make([]complex128, ofdm.NFFT)
+	sw := make([]complex128, ofdm.SymbolLen)
+	slaveWave := make([]complex128, ofdm.SymbolLen)
 	for r := 0; r < rounds; r++ {
 		// Lead sync header; slave derives its correction exactly as it
 		// would for a data transmission.
@@ -52,14 +57,11 @@ func (n *Network) MeasureMisalignment(rounds int, gapSamples int64) ([]float64, 
 		const pairs = 4
 		tA := t1 + int64(ofdm.PreambleLen) + int64(n.Cfg.TriggerDelaySamples)
 		// Slave symbol with the per-bin ratio applied in frequency domain.
-		freq := ofdm.LTFFreq()
-		g := make([]complex128, ofdm.NFFT)
+		freq := ltfRef()
 		for i := range g {
 			g[i] = freq[i] * ratio[i]
 		}
-		mod := ofdm.NewModulator()
-		sw, err := mod.RawSymbol(g)
-		if err != nil {
+		if err := mod.RawSymbolInto(sw, g); err != nil {
 			return nil, err
 		}
 		ps := slave.syncTo(lead.Index)
@@ -67,8 +69,8 @@ func (n *Network) MeasureMisalignment(rounds int, gapSamples int64) ([]float64, 
 			tL := tA + int64(2*k*ofdm.SymbolLen)
 			tS := tL + int64(ofdm.SymbolLen)
 			n.Air.Transmit(n.APAntennaID(lead.Index, 0), lead.Node.Osc, tL, train)
-			slaveWave := make([]complex128, len(sw))
 			phase0 := ps.cfo * float64((tS-curAt)+(ps.refAt-n.Msmt.RefMid))
+			// Air.Transmit copies, so the rotated wave can reuse one buffer.
 			cmplxs.Rotate(slaveWave, sw, phase0, ps.cfo)
 			n.Air.Transmit(n.APAntennaID(slave.Index, 0), slave.Node.Osc, tS, slaveWave)
 		}
@@ -80,6 +82,7 @@ func (n *Network) MeasureMisalignment(rounds int, gapSamples int64) ([]float64, 
 		// lose accuracy whenever the two channels' delay difference sweeps
 		// the product phase across the band and the sum nearly cancels.
 		win := n.Air.Observe(n.ClientAntennaID(cl.Index, 0), cl.Node.Osc, tA, 2*pairs*ofdm.SymbolLen+32)
+		//lint:ignore hotalloc round 0's product is retained as refProd across all later rounds
 		prod := make([]complex128, ofdm.NFFT)
 		for k := 0; k < pairs; k++ {
 			fLead, err := dem.Freq(win[2*k*ofdm.SymbolLen:])

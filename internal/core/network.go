@@ -14,10 +14,12 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"megamimo/internal/air"
 	"megamimo/internal/backend"
 	"megamimo/internal/channel"
+	"megamimo/internal/dsp"
 	"megamimo/internal/matrix"
 	"megamimo/internal/ofdm"
 	"megamimo/internal/phy"
@@ -207,6 +209,18 @@ type Network struct {
 	rng    *rng.Source
 	tracer *Tracer
 
+	// tx and dem are the network's reusable PHY pipelines, and arena the
+	// per-network scratch for hot-path buffers. A Network is single-threaded,
+	// so owning them here keeps independent networks goroutine-independent
+	// while eliminating per-transmission churn.
+	tx    *phy.TX
+	dem   *ofdm.Demodulator
+	arena dsp.Scratch
+	// estBuf/estFreq are the symbol-channel-estimation scratch pair
+	// (lazily sized in estimateSymbolChannel).
+	estBuf  []complex128
+	estFreq []complex128
+
 	// Msmt is the latest channel-measurement state (H estimate and the
 	// reference time); nil until Measure runs.
 	Msmt *Measurement
@@ -259,6 +273,8 @@ func New(cfg Config) (*Network, error) {
 			Seed:       cfg.Seed + 7,
 		}),
 		rng: src,
+		tx:  phy.NewTX(),
+		dem: ofdm.NewDemodulator(),
 	}
 	busIDs := make([]int, 0, cfg.NumAPs)
 	for a := 0; a < cfg.NumAPs; a++ {
@@ -481,13 +497,23 @@ func (n *Network) StrongestAP(stream int) int {
 	return best
 }
 
-// symbolWave synthesizes one known OFDM training symbol (the LTF sequence
-// on its 52 bins) used for CFO blocks and interleaved measurement.
+// symbolWave returns one known OFDM training symbol (the LTF sequence on
+// its 52 bins) used for CFO blocks and interleaved measurement. The wave is
+// immutable and computed once; Air.Transmit copies it, so sharing across
+// networks (and goroutines) is safe.
+var symbolWaveOnce struct {
+	sync.Once
+	w []complex128
+}
+
 func symbolWave() []complex128 {
-	mod := ofdm.NewModulator()
-	sym, err := mod.RawSymbol(ofdm.LTFFreq())
-	if err != nil {
-		panic(err)
-	}
-	return sym
+	symbolWaveOnce.Do(func() {
+		mod := ofdm.NewModulator()
+		sym, err := mod.RawSymbol(ofdm.LTFFreq())
+		if err != nil {
+			panic(err)
+		}
+		symbolWaveOnce.w = sym
+	})
+	return symbolWaveOnce.w
 }

@@ -90,7 +90,7 @@ func (n *Network) JointTransmit(payloads [][]byte, mcs phy.MCS) (*TxResult, erro
 	}
 	// Build the per-stream frames (every AP has every payload via the
 	// backbone, §5.2a).
-	tx := phy.NewTX()
+	tx := n.tx
 	frames := make([]*phy.FrameSymbols, streams)
 	frameLen := -1
 	for j, p := range payloads {
@@ -192,7 +192,20 @@ func (n *Network) postJointFrames(tx *phy.TX, frames []*phy.FrameSymbols) (t1, t
 
 	// 3. Joint data transmission after the fixed turnaround t∆ (§10).
 	tD = t1 + int64(ofdm.PreambleLen) + int64(n.Cfg.TriggerDelaySamples)
-	gain := make([]complex128, ofdm.NFFT)
+	frameLen := 0
+	for _, f := range frames {
+		if f != nil {
+			frameLen = f.SampleLen()
+			break
+		}
+	}
+	// Arena-backed waveform buffers: Air.Transmit copies its input, so one
+	// synthesis buffer and one accumulation buffer serve every antenna, and
+	// the whole block is recycled on the next cycle's Reset.
+	n.arena.Reset()
+	gain := n.arena.Complex(ofdm.NFFT)
+	synth := n.arena.Complex(frameLen)
+	wave := n.arena.Complex(frameLen)
 	for _, ap := range n.APs {
 		c := corr[ap.Index]
 		for m := 0; m < n.Cfg.AntennasPerAP; m++ {
@@ -202,7 +215,7 @@ func (n *Network) postJointFrames(tx *phy.TX, frames []*phy.FrameSymbols) (t1, t
 			if len(ap.weights[m]) != len(frames) {
 				return 0, 0, fmt.Errorf("core: AP %d has %d weight columns for %d frames", ap.Index, len(ap.weights[m]), len(frames))
 			}
-			var wave []complex128
+			active := false
 			for j := range frames {
 				if frames[j] == nil {
 					continue
@@ -213,14 +226,15 @@ func (n *Network) postJointFrames(tx *phy.TX, frames []*phy.FrameSymbols) (t1, t
 						gain[i] *= c.ratio[i]
 					}
 				}
-				w := tx.SynthesizeWithGain(frames[j], gain)
-				if wave == nil {
-					wave = w
+				tx.SynthesizeWithGainInto(synth, frames[j], gain)
+				if !active {
+					copy(wave, synth)
+					active = true
 				} else {
-					cmplxs.Add(wave, wave, w)
+					cmplxs.Add(wave, wave, synth)
 				}
 			}
-			if wave == nil {
+			if !active {
 				continue
 			}
 			if c != nil {
@@ -254,7 +268,7 @@ func (n *Network) DiversityTransmit(stream int, payload []byte, mcs phy.MCS) (*T
 		return nil, err
 	}
 	n.SetPrecoder(p)
-	tx := phy.NewTX()
+	tx := n.tx
 	f, err := tx.FrameSymbols(payload, mcs)
 	if err != nil {
 		return nil, err
@@ -362,11 +376,8 @@ func ratioComponents(cur, ref []complex128) (float64, []complex128) {
 	// ambiguity of a much lower-noise lag-13 estimate (averaging over many
 	// well-separated pairs instead of effectively differencing the band
 	// edges).
-	ks := ofdm.OccupiedCarriers()
-	inBand := make(map[int]bool, len(ks))
-	for _, k := range ks {
-		inBand[k] = true
-	}
+	ks := occCarriers
+	inBand := occCarrierSet
 	var lag1 complex128
 	for i := 0; i+1 < len(ks); i++ {
 		if ks[i+1] != ks[i]+1 {
@@ -391,11 +402,22 @@ func ratioComponents(cur, ref []complex128) (float64, []complex128) {
 	return slope, q
 }
 
+// occCarriers and occCarrierSet cache the static occupied-carrier layout so
+// per-packet ratio fits don't rebuild it. Both are read-only after init.
+var occCarriers = ofdm.OccupiedCarriers()
+var occCarrierSet = func() map[int]bool {
+	m := make(map[int]bool, len(occCarriers))
+	for _, k := range occCarriers {
+		m[k] = true
+	}
+	return m
+}()
+
 // composeRatio builds the per-bin unit-magnitude correction from the
 // product vector and a slope: the common phase is fit after removing the
 // slope, then re-applied per carrier.
 func composeRatio(q []complex128, slope float64) []complex128 {
-	ks := ofdm.OccupiedCarriers()
+	ks := occCarriers
 	var acc complex128
 	for _, k := range ks {
 		acc += q[ofdm.Bin(k)] * cmplxs.Expi(-slope*float64(k))
@@ -579,13 +601,12 @@ func (n *Network) NullingINR(victim int, payloadBytes int, mcs phy.MCS) (float64
 	cl := n.Clients[victim/n.Cfg.AntennasPerClient]
 	ant := victim % n.Cfg.AntennasPerClient
 	obs := n.Air.ObserveClean(n.ClientAntennaID(cl.Index, ant), cl.Node.Osc, tD+int64(ofdm.PreambleLen), frameLen-ofdm.PreambleLen)
-	dem := ofdm.NewDemodulator()
 	bins := occupiedBins()
+	freq := make([]complex128, ofdm.NFFT)
 	var acc float64
 	var cnt int
 	for s := 0; (s+1)*ofdm.SymbolLen <= len(obs); s++ {
-		freq, err := dem.Freq(obs[s*ofdm.SymbolLen:])
-		if err != nil {
+		if err := n.dem.FreqInto(freq, obs[s*ofdm.SymbolLen:]); err != nil {
 			break
 		}
 		for _, b := range bins {

@@ -1,0 +1,82 @@
+package dsp
+
+import "sync"
+
+// planCache holds one immutable FFTPlan per transform size. An FFTPlan is
+// read-only after construction (Forward/Inverse only read its tables), so a
+// cached plan may be shared by any number of goroutines; the cache itself is
+// guarded by a mutex. PlanFor exists so per-symbol code paths never rebuild
+// twiddle tables: plan construction allocates, transforms do not.
+var planCache = struct {
+	sync.Mutex
+	m map[int]*FFTPlan
+}{m: make(map[int]*FFTPlan)}
+
+// PlanFor returns the shared FFT plan for size n (a power of two ≥ 2),
+// building and caching it on first use. The returned plan must be treated
+// as read-only; it is safe for concurrent use.
+func PlanFor(n int) (*FFTPlan, error) {
+	planCache.Lock()
+	defer planCache.Unlock()
+	if p := planCache.m[n]; p != nil {
+		return p, nil
+	}
+	p, err := NewFFTPlan(n)
+	if err != nil {
+		return nil, err
+	}
+	planCache.m[n] = p
+	return p, nil
+}
+
+// MustPlanFor is PlanFor for compile-time-constant sizes.
+func MustPlanFor(n int) *FFTPlan {
+	p, err := PlanFor(n)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Scratch is a grow-only arena of complex128 buffers for hot signal paths.
+// Complex hands out zeroed buffers in call order; Reset recycles every
+// buffer at once. After the first cycle with a given call pattern the arena
+// allocates nothing: each Complex call reuses the block the same call got
+// last cycle (blocks grow monotonically when a cycle asks for more).
+//
+// Buffers are only valid until the next Reset — callers must copy anything
+// that outlives the cycle. A Scratch is not safe for concurrent use; the
+// intended ownership is one Scratch per simulated network, which keeps
+// independent networks goroutine-independent.
+type Scratch struct {
+	blocks [][]complex128
+	next   int
+}
+
+// Complex returns a zeroed buffer of length n, valid until Reset.
+func (s *Scratch) Complex(n int) []complex128 {
+	if s.next < len(s.blocks) && cap(s.blocks[s.next]) >= n {
+		b := s.blocks[s.next][:n]
+		s.next++
+		for i := range b {
+			b[i] = 0
+		}
+		return b
+	}
+	b := make([]complex128, n)
+	if s.next < len(s.blocks) {
+		s.blocks[s.next] = b
+	} else {
+		s.blocks = append(s.blocks, b)
+	}
+	s.next++
+	return b
+}
+
+// Reset recycles every buffer handed out since the last Reset. All slices
+// previously returned by Complex become invalid.
+func (s *Scratch) Reset() { s.next = 0 }
+
+// Live reports how many buffers are checked out in the current cycle
+// (diagnostics and tests).
+func (s *Scratch) Live() int { return s.next }

@@ -1,0 +1,87 @@
+package dsp
+
+import "testing"
+
+func TestPlanForCachesAndTransforms(t *testing.T) {
+	p1, err := PlanFor(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := PlanFor(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 {
+		t.Error("PlanFor(64) did not return the cached plan")
+	}
+	if _, err := PlanFor(63); err == nil {
+		t.Error("PlanFor(63) should reject a non-power-of-two size")
+	}
+	// The cached plan must round-trip like a fresh one.
+	src := make([]complex128, 64)
+	src[3] = 2 + 1i
+	freq := make([]complex128, 64)
+	p1.Forward(freq, src)
+	back := make([]complex128, 64)
+	p1.Inverse(back, freq)
+	for i := range src {
+		if d := back[i] - src[i]; real(d)*real(d)+imag(d)*imag(d) > 1e-20 {
+			t.Fatalf("round trip differs at %d: %v != %v", i, back[i], src[i])
+		}
+	}
+}
+
+func TestScratchReusesAndZeroes(t *testing.T) {
+	var s Scratch
+	a := s.Complex(8)
+	b := s.Complex(16)
+	if len(a) != 8 || len(b) != 16 {
+		t.Fatalf("lengths %d, %d", len(a), len(b))
+	}
+	a[0], b[15] = 1, 2
+	s.Reset()
+	if s.Live() != 0 {
+		t.Fatalf("Live() = %d after Reset", s.Live())
+	}
+	a2 := s.Complex(8)
+	if &a2[0] != &a[0] {
+		t.Error("same-size buffer was not reused after Reset")
+	}
+	if a2[0] != 0 {
+		t.Error("reused buffer was not zeroed")
+	}
+	b2 := s.Complex(16)
+	if b2[15] != 0 {
+		t.Error("second reused buffer was not zeroed")
+	}
+}
+
+func TestScratchGrowsWithinCycle(t *testing.T) {
+	var s Scratch
+	s.Complex(4)
+	s.Reset()
+	// A bigger request in the same slot must reallocate, not truncate.
+	big := s.Complex(32)
+	if len(big) != 32 {
+		t.Fatalf("len = %d, want 32", len(big))
+	}
+	s.Reset()
+	again := s.Complex(32)
+	if &again[0] != &big[0] {
+		t.Error("grown buffer was not kept for reuse")
+	}
+}
+
+func TestScratchAllocFreeSteadyState(t *testing.T) {
+	var s Scratch
+	warm := func() {
+		s.Reset()
+		s.Complex(64)
+		s.Complex(80)
+	}
+	warm()
+	n := testing.AllocsPerRun(100, warm)
+	if n > 0 {
+		t.Errorf("steady-state Scratch cycle allocates %.1f times", n)
+	}
+}

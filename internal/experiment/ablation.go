@@ -2,6 +2,7 @@ package experiment
 
 import (
 	"fmt"
+	"math"
 
 	"megamimo/internal/cmplxs"
 	"megamimo/internal/core"
@@ -24,9 +25,9 @@ type AblationResult struct {
 func RunAblations(draws int, seed int64) (*AblationResult, error) {
 	res := &AblationResult{}
 
+	// Each draw is one engine cell; a NaN marks a singular draw to skip.
 	inrRun := func(mod func(*core.Config), wait int64) (float64, error) {
-		var vals []float64
-		for d := 0; d < draws; d++ {
+		cells, err := Map(draws, func(d int) (float64, error) {
 			cfg := core.DefaultConfig(3, 3, 18, 24)
 			cfg.Seed = seed + int64(d)*211
 			cfg.WellConditioned = true
@@ -42,7 +43,7 @@ func RunAblations(draws int, seed int64) (*AblationResult, error) {
 			}
 			p, err := core.ComputeZF(n.Msmt, cfg.NoiseVar)
 			if err != nil {
-				continue
+				return math.NaN(), nil
 			}
 			n.SetPrecoder(p)
 			if wait > 0 {
@@ -52,7 +53,16 @@ func RunAblations(draws int, seed int64) (*AblationResult, error) {
 			if err != nil {
 				return 0, err
 			}
-			vals = append(vals, cmplxs.DB(inr))
+			return cmplxs.DB(inr), nil
+		})
+		if err != nil {
+			return 0, err
+		}
+		var vals []float64
+		for _, v := range cells {
+			if !math.IsNaN(v) {
+				vals = append(vals, v)
+			}
 		}
 		return stats.Mean(vals), nil
 	}
@@ -81,8 +91,7 @@ func RunAblations(draws int, seed int64) (*AblationResult, error) {
 	// ZF vs MMSE on iid Rayleigh (WellConditioned off): adapted-rate joint
 	// throughput.
 	tput := func(lambdaTimesNv float64) (float64, error) {
-		var vals []float64
-		for d := 0; d < draws; d++ {
+		cells, err := Map(draws, func(d int) (float64, error) {
 			cfg := core.DefaultConfig(5, 5, 18, 24)
 			cfg.Seed = seed + int64(d)*431
 			n, err := core.New(cfg)
@@ -94,7 +103,7 @@ func RunAblations(draws int, seed int64) (*AblationResult, error) {
 			}
 			p, err := core.ComputeZF(n.Msmt, lambdaTimesNv*cfg.NoiseVar)
 			if err != nil {
-				continue
+				return math.NaN(), nil
 			}
 			n.SetPrecoder(p)
 			mcs, ok, err := n.ProbeAndSelectRate(256)
@@ -102,8 +111,7 @@ func RunAblations(draws int, seed int64) (*AblationResult, error) {
 				return 0, err
 			}
 			if !ok {
-				vals = append(vals, 0)
-				continue
+				return 0, nil
 			}
 			payloads := make([][]byte, 5)
 			for j := range payloads {
@@ -113,7 +121,16 @@ func RunAblations(draws int, seed int64) (*AblationResult, error) {
 			if err != nil {
 				return 0, err
 			}
-			vals = append(vals, r.GoodputBits()/(float64(r.AirtimeSamples)/cfg.SampleRate)/1e6)
+			return r.GoodputBits() / (float64(r.AirtimeSamples) / cfg.SampleRate) / 1e6, nil
+		})
+		if err != nil {
+			return 0, err
+		}
+		var vals []float64
+		for _, v := range cells {
+			if !math.IsNaN(v) {
+				vals = append(vals, v)
+			}
 		}
 		return stats.Mean(vals), nil
 	}

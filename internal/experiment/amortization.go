@@ -28,66 +28,91 @@ type AmortizationResult struct {
 	Points []AmortizationPoint
 }
 
+// amortCell is one (period, draw) run; ok is false when no packet went out
+// (the draw contributes nothing to the averages).
+type amortCell struct {
+	overhead, tput float64
+	ok             bool
+}
+
 // RunAmortization measures total throughput when re-measuring every
-// `period` packets, for each period, on a static channel.
+// `period` packets, for each period, on a static channel. One engine cell
+// runs one (period, draw) pair; the seed repeats across periods so every
+// cadence is timed on the same channel draws.
 func RunAmortization(periods []int, draws int, seed int64) (*AmortizationResult, error) {
+	cells, err := Map(len(periods)*draws, func(i int) (amortCell, error) {
+		period := periods[i/draws]
+		d := i % draws
+		cfg := core.DefaultConfig(4, 4, 18, 24)
+		cfg.Seed = seed + int64(d)*617
+		cfg.WellConditioned = true
+		n, err := core.New(cfg)
+		if err != nil {
+			return amortCell{}, err
+		}
+		var dataAir, msmtAir int64
+		var bits float64
+		const totalPackets = 16
+		sent := 0
+		var mcs int = -1
+		for sent < totalPackets {
+			before := n.Now()
+			if err := n.Measure(); err != nil {
+				return amortCell{}, err
+			}
+			p, err := core.ComputeZF(n.Msmt, cfg.NoiseVar)
+			if err != nil {
+				return amortCell{}, err
+			}
+			n.SetPrecoder(p)
+			msmtAir += n.Now() - before
+			if mcs < 0 {
+				m, ok, err := n.ProbeAndSelectRate(256)
+				if err != nil {
+					return amortCell{}, err
+				}
+				if !ok {
+					break
+				}
+				mcs = int(m)
+			}
+			for k := 0; k < period && sent < totalPackets; k++ {
+				payloads := make([][]byte, 4)
+				for j := range payloads {
+					payloads[j] = make([]byte, PayloadBytes)
+				}
+				r, err := n.JointTransmit(payloads, phy.MCS(mcs))
+				if err != nil {
+					return amortCell{}, err
+				}
+				dataAir += r.AirtimeSamples
+				bits += r.GoodputBits()
+				sent++
+			}
+		}
+		total := dataAir + msmtAir
+		if total == 0 {
+			return amortCell{}, nil
+		}
+		return amortCell{
+			overhead: float64(msmtAir) / float64(total),
+			tput:     bits / (float64(total) / cfg.SampleRate),
+			ok:       true,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	res := &AmortizationResult{}
-	for _, period := range periods {
+	for p, period := range periods {
 		var tputs, overheads []float64
 		for d := 0; d < draws; d++ {
-			cfg := core.DefaultConfig(4, 4, 18, 24)
-			cfg.Seed = seed + int64(d)*617
-			cfg.WellConditioned = true
-			n, err := core.New(cfg)
-			if err != nil {
-				return nil, err
-			}
-			var dataAir, msmtAir int64
-			var bits float64
-			const totalPackets = 16
-			sent := 0
-			var mcs int = -1
-			for sent < totalPackets {
-				before := n.Now()
-				if err := n.Measure(); err != nil {
-					return nil, err
-				}
-				p, err := core.ComputeZF(n.Msmt, cfg.NoiseVar)
-				if err != nil {
-					return nil, err
-				}
-				n.SetPrecoder(p)
-				msmtAir += n.Now() - before
-				if mcs < 0 {
-					m, ok, err := n.ProbeAndSelectRate(256)
-					if err != nil {
-						return nil, err
-					}
-					if !ok {
-						break
-					}
-					mcs = int(m)
-				}
-				for k := 0; k < period && sent < totalPackets; k++ {
-					payloads := make([][]byte, 4)
-					for j := range payloads {
-						payloads[j] = make([]byte, PayloadBytes)
-					}
-					r, err := n.JointTransmit(payloads, phy.MCS(mcs))
-					if err != nil {
-						return nil, err
-					}
-					dataAir += r.AirtimeSamples
-					bits += r.GoodputBits()
-					sent++
-				}
-			}
-			total := dataAir + msmtAir
-			if total == 0 {
+			c := cells[p*draws+d]
+			if !c.ok {
 				continue
 			}
-			overheads = append(overheads, float64(msmtAir)/float64(total))
-			tputs = append(tputs, bits/(float64(total)/cfg.SampleRate))
+			overheads = append(overheads, c.overhead)
+			tputs = append(tputs, c.tput)
 		}
 		res.Points = append(res.Points, AmortizationPoint{
 			PacketsPerMeasure: period,

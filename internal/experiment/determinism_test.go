@@ -1,0 +1,103 @@
+package experiment
+
+import (
+	"reflect"
+	"testing"
+)
+
+// The parallel engine must be invisible in the output: every figure runner
+// produces deep-equal results (and identical rendered tables) on one worker
+// and on many. Configs here are the smallest that exercise every cell
+// boundary (multiple bins, AP counts, topologies), so the whole file stays
+// fast enough for the -race CI run.
+
+// runBoth runs fn at one and at four workers and compares the results.
+func runBoth[T any](t *testing.T, name string, fn func() (T, error)) {
+	t.Helper()
+	defer SetWorkers(0)
+	SetWorkers(1)
+	serial, err := fn()
+	if err != nil {
+		t.Fatalf("%s serial: %v", name, err)
+	}
+	SetWorkers(4)
+	parallel, err := fn()
+	if err != nil {
+		t.Fatalf("%s parallel: %v", name, err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Errorf("%s: parallel result differs from serial\nserial:   %+v\nparallel: %+v", name, serial, parallel)
+	}
+	if s, p := render(serial), render(parallel); s != p {
+		t.Errorf("%s: rendered output differs\nserial:\n%s\nparallel:\n%s", name, s, p)
+	}
+}
+
+// render calls String() when the result has one.
+func render(v any) string {
+	if s, ok := v.(interface{ String() string }); ok {
+		return s.String()
+	}
+	return ""
+}
+
+func TestFig6Deterministic(t *testing.T) {
+	runBoth(t, "fig6", func() (*Fig6Result, error) { return RunFig6(8, 1), nil })
+}
+
+func TestFig7Deterministic(t *testing.T) {
+	runBoth(t, "fig7", func() (*Fig7Result, error) { return RunFig7(3, 4, 1) })
+}
+
+func TestFig8Deterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full measurement pipeline")
+	}
+	runBoth(t, "fig8", func() (*Fig8Result, error) { return RunFig8(3, 2, 1) })
+}
+
+func TestFig9Deterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full measurement pipeline")
+	}
+	runBoth(t, "fig9", func() (*Fig9Result, error) { return RunFig9([]int{2, 3}, 2, 1, 1) })
+}
+
+func TestFig11Deterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full measurement pipeline")
+	}
+	runBoth(t, "fig11", func() (*Fig11Result, error) { return RunFig11([]int{2}, 1, 1) })
+}
+
+func TestFig12Deterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full measurement pipeline")
+	}
+	runBoth(t, "fig12", func() (*Fig12Result, error) { return RunFig12(2, 1, 1) })
+}
+
+func TestAblationsDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full measurement pipeline")
+	}
+	runBoth(t, "ablations", func() (*AblationResult, error) { return RunAblations(2, 1) })
+}
+
+func TestRobustnessDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full measurement pipeline")
+	}
+	runBoth(t, "robustness", func() (*RobustnessResult, error) {
+		return RunRobustness([]float64{2, 20}, 2, 1)
+	})
+}
+
+func TestAmortizationDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full measurement pipeline")
+	}
+	runBoth(t, "amortization", func() (*AmortizationResult, error) {
+		return RunAmortization([]int{1, 4}, 2, 1)
+	})
+}

@@ -1,0 +1,105 @@
+package experiment
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// The experiment engine fans the independent cells of each figure runner —
+// one (topology, seed, SNR bin, AP count) combination per cell — across a
+// worker pool. Every cell derives its randomness from a seed that is a pure
+// function of the cell's static coordinates (never of earlier results), and
+// results are collected by cell index, so the assembled output is
+// byte-identical whether the grid runs on one worker or sixteen.
+
+// workerCount is the configured fan-out; 0 means "use GOMAXPROCS".
+var workerCount atomic.Int32
+
+// SetWorkers fixes the number of concurrent cells the engine evaluates.
+// n <= 0 restores the default (GOMAXPROCS at call time). Safe to call
+// concurrently with running experiments; in-flight Map calls keep the
+// worker count they started with.
+func SetWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	workerCount.Store(int32(n))
+}
+
+// Workers reports the effective fan-out Map will use.
+func Workers() int {
+	if n := workerCount.Load(); n > 0 {
+		return int(n)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Map evaluates f(0), …, f(n-1) across Workers() goroutines and returns the
+// results in index order. f must be safe to call concurrently and must
+// depend only on its index (cells own their networks, RNGs and scratch).
+//
+// Error semantics match a serial loop that stops at the first failure: Map
+// returns the error from the lowest-indexed failing cell, so a parallel run
+// fails with the same error a one-worker run does. On error the results are
+// discarded.
+func Map[T any](n int, f func(i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	w := Workers()
+	if w > n {
+		w = n
+	}
+	out := make([]T, n)
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			v, err := f(i)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+
+	var (
+		next    atomic.Int64 // next unclaimed cell
+		errIdx  atomic.Int64 // lowest failing cell index, n = none
+		errOnce sync.Mutex
+		firstEr error
+		wg      sync.WaitGroup
+	)
+	errIdx.Store(int64(n))
+	for g := 0; g < w; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				// Cells are claimed in index order, so once a failure is
+				// recorded every cell below it is already claimed; stopping
+				// here cannot hide a lower-indexed error.
+				if i >= n || int64(i) > errIdx.Load() {
+					return
+				}
+				v, err := f(i)
+				if err != nil {
+					errOnce.Lock()
+					if int64(i) < errIdx.Load() {
+						errIdx.Store(int64(i))
+						firstEr = err
+					}
+					errOnce.Unlock()
+					continue
+				}
+				out[i] = v
+			}
+		}()
+	}
+	wg.Wait()
+	if errIdx.Load() < int64(n) {
+		return nil, firstEr
+	}
+	return out, nil
+}

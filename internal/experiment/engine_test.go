@@ -1,0 +1,97 @@
+package experiment
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+// TestMapOrdersResults checks results land at their cell index regardless
+// of worker count.
+func TestMapOrdersResults(t *testing.T) {
+	defer SetWorkers(0)
+	for _, w := range []int{1, 2, 7, 64} {
+		SetWorkers(w)
+		out, err := Map(100, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if len(out) != 100 {
+			t.Fatalf("workers=%d: got %d results", w, len(out))
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Errorf("workers=%d: out[%d] = %d, want %d", w, i, v, i*i)
+			}
+		}
+	}
+}
+
+// TestMapReturnsLowestIndexedError checks the parallel error matches what a
+// serial stop-at-first-failure loop reports.
+func TestMapReturnsLowestIndexedError(t *testing.T) {
+	defer SetWorkers(0)
+	errLow := errors.New("cell 3 failed")
+	errHigh := errors.New("cell 40 failed")
+	f := func(i int) (int, error) {
+		switch i {
+		case 3:
+			return 0, errLow
+		case 40:
+			return 0, errHigh
+		}
+		return i, nil
+	}
+	for _, w := range []int{1, 8} {
+		SetWorkers(w)
+		out, err := Map(64, f)
+		if !errors.Is(err, errLow) {
+			t.Errorf("workers=%d: err = %v, want %v", w, err, errLow)
+		}
+		if out != nil {
+			t.Errorf("workers=%d: results not discarded on error", w)
+		}
+	}
+}
+
+// TestMapEmpty checks the degenerate grids.
+func TestMapEmpty(t *testing.T) {
+	for _, n := range []int{0, -3} {
+		out, err := Map(n, func(i int) (int, error) { return i, nil })
+		if err != nil || out != nil {
+			t.Errorf("Map(%d) = %v, %v; want nil, nil", n, out, err)
+		}
+	}
+}
+
+// TestMapRunsEveryCellOnce checks no cell is skipped or duplicated under
+// contention.
+func TestMapRunsEveryCellOnce(t *testing.T) {
+	defer SetWorkers(0)
+	SetWorkers(16)
+	var calls [512]atomic.Int32
+	if _, err := Map(len(calls), func(i int) (struct{}, error) {
+		calls[i].Add(1)
+		return struct{}{}, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range calls {
+		if n := calls[i].Load(); n != 1 {
+			t.Errorf("cell %d ran %d times", i, n)
+		}
+	}
+}
+
+// TestSetWorkersClamps checks the accessor semantics.
+func TestSetWorkersClamps(t *testing.T) {
+	defer SetWorkers(0)
+	SetWorkers(3)
+	if w := Workers(); w != 3 {
+		t.Errorf("Workers() = %d, want 3", w)
+	}
+	SetWorkers(-5)
+	if w := Workers(); w < 1 {
+		t.Errorf("Workers() = %d after reset, want >= 1", w)
+	}
+}

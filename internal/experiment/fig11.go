@@ -25,29 +25,46 @@ type Fig11Result struct {
 }
 
 // RunFig11 sweeps the per-AP link SNR from 0 to 25 dB for the given AP
-// counts, averaging over several channel draws per point.
+// counts, averaging over several channel draws per point. Each channel
+// draw is one engine cell with a seed derived from its (AP count, SNR,
+// draw) coordinates.
 func RunFig11(apCounts []int, draws int, seed int64) (*Fig11Result, error) {
+	var snrGrid []float64
+	for snr := 0.0; snr <= 25.01; snr += 2.5 {
+		snrGrid = append(snrGrid, snr)
+	}
+	type cell struct{ mm, bl float64 }
+	cells, err := Map(len(apCounts)*len(snrGrid)*draws, func(i int) (cell, error) {
+		nAPs := apCounts[i/(len(snrGrid)*draws)]
+		snr := snrGrid[(i/draws)%len(snrGrid)]
+		d := i % draws
+		cfg := core.DefaultConfig(nAPs, 1, snr, snr+0.5)
+		cfg.Seed = seed + int64(d)*733 + int64(nAPs)*17 + int64(snr*10)
+		cfg.LinkSpreadDB = 0.5 // "roughly similar SNRs to all APs"
+		n, err := core.New(cfg)
+		if err != nil {
+			return cell{}, err
+		}
+		if err := n.Measure(); err != nil {
+			return cell{}, err
+		}
+		mmT, blT, err := diversityThroughput(n, snr)
+		if err != nil {
+			return cell{}, err
+		}
+		return cell{mm: mmT, bl: blT}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	res := &Fig11Result{}
-	for _, nAPs := range apCounts {
-		for snr := 0.0; snr <= 25.01; snr += 2.5 {
+	for a, nAPs := range apCounts {
+		for s, snr := range snrGrid {
 			var mm, bl []float64
+			base := (a*len(snrGrid) + s) * draws
 			for d := 0; d < draws; d++ {
-				cfg := core.DefaultConfig(nAPs, 1, snr, snr+0.5)
-				cfg.Seed = seed + int64(d)*733 + int64(nAPs)*17 + int64(snr*10)
-				cfg.LinkSpreadDB = 0.5 // "roughly similar SNRs to all APs"
-				n, err := core.New(cfg)
-				if err != nil {
-					return nil, err
-				}
-				if err := n.Measure(); err != nil {
-					return nil, err
-				}
-				mmT, blT, err := diversityThroughput(n, snr)
-				if err != nil {
-					return nil, err
-				}
-				mm = append(mm, mmT)
-				bl = append(bl, blT)
+				mm = append(mm, cells[base+d].mm)
+				bl = append(bl, cells[base+d].bl)
 			}
 			res.Points = append(res.Points, Fig11Point{
 				APs:       nAPs,

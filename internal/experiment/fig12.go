@@ -26,72 +26,93 @@ type Fig12Result struct {
 	Gains []float64
 }
 
+// fig12Cell is one measured placement; skipped marks a singular draw that
+// contributes nothing to the bin's averages.
+type fig12Cell struct {
+	mm, bl  float64
+	skipped bool
+}
+
 // RunFig12 runs `topologies` random placements per bin on the 20 MHz
-// 802.11n configuration.
+// 802.11n configuration. Each placement is one engine cell seeded from its
+// (bin, topology) coordinates.
 func RunFig12(topologies, txRounds int, seed int64) (*Fig12Result, error) {
+	cells, err := Map(len(AllBins)*topologies, func(i int) (fig12Cell, error) {
+		binIdx := i / topologies
+		topo := i % topologies
+		bin := AllBins[binIdx]
+		cfg := core.DefaultConfig(2, 2, bin.Lo, bin.Hi)
+		cfg.AntennasPerAP = 2
+		cfg.AntennasPerClient = 2
+		cfg.SampleRate = Dot11nSampleRate
+		cfg.Seed = seed + int64(topo)*577 + int64(binIdx)*3
+		cfg.WellConditioned = true
+		// The Intel 5300 reports CSI in a signed fixed-point format.
+		cfg.CSIQuantBits = 7
+		n, err := core.New(cfg)
+		if err != nil {
+			return fig12Cell{}, err
+		}
+		// §6: off-the-shelf clients are measured with the
+		// reference-antenna trick, not the interleaved packet.
+		if err := n.MeasureDot11n(); err != nil {
+			return fig12Cell{}, err
+		}
+		p, err := core.ComputeZF(n.Msmt, cfg.NoiseVar)
+		if err != nil {
+			return fig12Cell{skipped: true}, nil
+		}
+		n.SetPrecoder(p)
+
+		// Baseline: each 2-antenna client served in turn by its
+		// strongest AP with single-AP 2-stream beamforming.
+		sap := &baseline.SingleAPMIMO{Net: n}
+		bl, _, err := sap.Throughput(PayloadBytes)
+		if err != nil {
+			return fig12Cell{}, err
+		}
+
+		mcs, ok, err := n.ProbeAndSelectRate(256)
+		if err != nil {
+			return fig12Cell{}, err
+		}
+		var mm float64
+		if ok {
+			var airtime int64
+			var bits float64
+			for round := 0; round < txRounds; round++ {
+				payloads := make([][]byte, 4)
+				for j := range payloads {
+					payloads[j] = make([]byte, PayloadBytes)
+				}
+				r, err := n.JointTransmit(payloads, mcs)
+				if err != nil {
+					return fig12Cell{}, err
+				}
+				airtime += r.AirtimeSamples
+				bits += r.GoodputBits()
+			}
+			if airtime > 0 {
+				mm = bits / (float64(airtime) / cfg.SampleRate)
+			}
+		}
+		return fig12Cell{mm: mm, bl: bl}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	res := &Fig12Result{}
-	for _, bin := range AllBins {
+	for b, bin := range AllBins {
 		var mms, bls, gains []float64
 		for topo := 0; topo < topologies; topo++ {
-			cfg := core.DefaultConfig(2, 2, bin.Lo, bin.Hi)
-			cfg.AntennasPerAP = 2
-			cfg.AntennasPerClient = 2
-			cfg.SampleRate = Dot11nSampleRate
-			cfg.Seed = seed + int64(topo)*577 + int64(len(res.Points))*3
-			cfg.WellConditioned = true
-			// The Intel 5300 reports CSI in a signed fixed-point format.
-			cfg.CSIQuantBits = 7
-			n, err := core.New(cfg)
-			if err != nil {
-				return nil, err
-			}
-			// §6: off-the-shelf clients are measured with the
-			// reference-antenna trick, not the interleaved packet.
-			if err := n.MeasureDot11n(); err != nil {
-				return nil, err
-			}
-			p, err := core.ComputeZF(n.Msmt, cfg.NoiseVar)
-			if err != nil {
+			c := cells[b*topologies+topo]
+			if c.skipped {
 				continue
 			}
-			n.SetPrecoder(p)
-
-			// Baseline: each 2-antenna client served in turn by its
-			// strongest AP with single-AP 2-stream beamforming.
-			sap := &baseline.SingleAPMIMO{Net: n}
-			bl, _, err := sap.Throughput(PayloadBytes)
-			if err != nil {
-				return nil, err
-			}
-
-			mcs, ok, err := n.ProbeAndSelectRate(256)
-			if err != nil {
-				return nil, err
-			}
-			var mm float64
-			if ok {
-				var airtime int64
-				var bits float64
-				for round := 0; round < txRounds; round++ {
-					payloads := make([][]byte, 4)
-					for j := range payloads {
-						payloads[j] = make([]byte, PayloadBytes)
-					}
-					r, err := n.JointTransmit(payloads, mcs)
-					if err != nil {
-						return nil, err
-					}
-					airtime += r.AirtimeSamples
-					bits += r.GoodputBits()
-				}
-				if airtime > 0 {
-					mm = bits / (float64(airtime) / cfg.SampleRate)
-				}
-			}
-			mms = append(mms, mm)
-			bls = append(bls, bl)
-			if bl > 0 {
-				gains = append(gains, mm/bl)
+			mms = append(mms, c.mm)
+			bls = append(bls, c.bl)
+			if c.bl > 0 {
+				gains = append(gains, c.mm/c.bl)
 			}
 		}
 		if len(mms) == 0 {

@@ -25,7 +25,10 @@ type Fig6Result struct {
 }
 
 // RunFig6 mirrors §11.1(a): 100 random channel matrices, misalignment
-// swept 0–0.5 rad, at average SNRs of 10 and 20 dB.
+// swept 0–0.5 rad, at average SNRs of 10 and 20 dB. The matrix ensemble is
+// drawn serially from one stream; the (SNR, misalignment) grid cells are
+// pure functions of the shared read-only ensemble and fan out through the
+// engine.
 func RunFig6(matrices int, seed int64) *Fig6Result {
 	src := rng.New(seed)
 	hs := make([]*matrix.M, matrices)
@@ -36,24 +39,28 @@ func RunFig6(matrices int, seed int64) *Fig6Result {
 		}
 		hs[i] = h
 	}
-	res := &Fig6Result{}
-	for _, snrDB := range []float64{10, 20} {
-		for mis := 0.0; mis <= 0.501; mis += 0.05 {
-			var reductions []float64
-			for _, h := range hs {
-				r, ok := snrReduction(h, mis, snrDB)
-				if ok {
-					reductions = append(reductions, r)
-				}
-			}
-			res.Points = append(res.Points, Fig6Point{
-				MisalignmentRad: mis,
-				SNRdB:           snrDB,
-				ReductionDB:     stats.Mean(reductions),
-			})
-		}
+	snrs := []float64{10, 20}
+	var misGrid []float64
+	for mis := 0.0; mis <= 0.501; mis += 0.05 {
+		misGrid = append(misGrid, mis)
 	}
-	return res
+	points, _ := Map(len(snrs)*len(misGrid), func(i int) (Fig6Point, error) {
+		snrDB := snrs[i/len(misGrid)]
+		mis := misGrid[i%len(misGrid)]
+		var reductions []float64
+		for _, h := range hs {
+			r, ok := snrReduction(h, mis, snrDB)
+			if ok {
+				reductions = append(reductions, r)
+			}
+		}
+		return Fig6Point{
+			MisalignmentRad: mis,
+			SNRdB:           snrDB,
+			ReductionDB:     stats.Mean(reductions),
+		}, nil
+	})
+	return &Fig6Result{Points: points}
 }
 
 // snrReduction computes the per-receiver SINR loss when transmitter 2's

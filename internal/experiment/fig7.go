@@ -18,10 +18,10 @@ type Fig7Result struct {
 }
 
 // RunFig7 gathers rounds of alternating-symbol measurements across several
-// lead/slave placements.
+// lead/slave placements; each placement is one engine cell with its own
+// seeded network.
 func RunFig7(placements, roundsPerPlacement int, seed int64) (*Fig7Result, error) {
-	res := &Fig7Result{}
-	for p := 0; p < placements; p++ {
+	cells, err := Map(placements, func(p int) ([]float64, error) {
 		cfg := core.DefaultConfig(2, 1, 24, 30)
 		cfg.Seed = seed + int64(p)*97
 		// Real oscillators wander: a modest Wiener phase-noise process
@@ -37,10 +37,13 @@ func RunFig7(placements, roundsPerPlacement int, seed int64) (*Fig7Result, error
 		if err := n.Measure(); err != nil {
 			return nil, err
 		}
-		devs, err := n.MeasureMisalignment(roundsPerPlacement, 20000)
-		if err != nil {
-			return nil, err
-		}
+		return n.MeasureMisalignment(roundsPerPlacement, 20000)
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig7Result{}
+	for _, devs := range cells {
 		res.DeviationsRad = append(res.DeviationsRad, devs...)
 	}
 	if len(res.DeviationsRad) > 0 {

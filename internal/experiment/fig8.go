@@ -26,35 +26,54 @@ type Fig8Result struct {
 // RunFig8 sweeps 2–maxN AP/receiver counts across the three SNR bins,
 // averaging the per-victim INR across topologies and victims (§11.1c
 // "for each topology, we null at each client, and compute the average
-// interference to noise ratio across clients").
+// interference to noise ratio across clients"). One engine cell measures
+// one topology; its seed is a pure function of the (bin, #APs, topology)
+// coordinates so the grid parallelizes deterministically.
 func RunFig8(maxN, topologies int, seed int64) (*Fig8Result, error) {
+	if maxN < 2 {
+		return &Fig8Result{}, nil
+	}
+	nCounts := maxN - 1 // AP counts 2..maxN
+	cells, err := Map(len(AllBins)*nCounts*topologies, func(i int) ([]float64, error) {
+		binIdx := i / (nCounts * topologies)
+		nAPs := 2 + (i/topologies)%nCounts
+		topo := i % topologies
+		bin := AllBins[binIdx]
+		cfg := core.DefaultConfig(nAPs, nAPs, bin.Lo, bin.Hi)
+		cfg.Seed = seed + int64(topo)*131 + int64(nAPs)*7 + int64(binIdx)
+		cfg.WellConditioned = true
+		n, err := core.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		if err := n.Measure(); err != nil {
+			return nil, err
+		}
+		p, err := core.ComputeZF(n.Msmt, cfg.NoiseVar)
+		if err != nil {
+			return nil, nil // singular draw
+		}
+		n.SetPrecoder(p)
+		inrs := make([]float64, 0, nAPs)
+		for victim := 0; victim < nAPs; victim++ {
+			inr, err := n.NullingINR(victim, 700, phy.MCS0)
+			if err != nil {
+				return nil, err
+			}
+			inrs = append(inrs, inr)
+		}
+		return inrs, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	res := &Fig8Result{}
-	for _, bin := range AllBins {
+	for b, bin := range AllBins {
 		for nAPs := 2; nAPs <= maxN; nAPs++ {
 			var inrs []float64
+			base := (b*nCounts + nAPs - 2) * topologies
 			for topo := 0; topo < topologies; topo++ {
-				cfg := core.DefaultConfig(nAPs, nAPs, bin.Lo, bin.Hi)
-				cfg.Seed = seed + int64(topo)*131 + int64(nAPs)*7 + int64(len(res.Points))
-				cfg.WellConditioned = true
-				n, err := core.New(cfg)
-				if err != nil {
-					return nil, err
-				}
-				if err := n.Measure(); err != nil {
-					return nil, err
-				}
-				p, err := core.ComputeZF(n.Msmt, cfg.NoiseVar)
-				if err != nil {
-					continue // singular draw
-				}
-				n.SetPrecoder(p)
-				for victim := 0; victim < nAPs; victim++ {
-					inr, err := n.NullingINR(victim, 700, phy.MCS0)
-					if err != nil {
-						return nil, err
-					}
-					inrs = append(inrs, inr)
-				}
+				inrs = append(inrs, cells[base+topo]...)
 			}
 			if len(inrs) == 0 {
 				continue

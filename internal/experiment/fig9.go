@@ -97,25 +97,44 @@ func topologyRun(nAPs int, bin SNRBin, seed int64, txRounds int) (mm float64, mm
 	return mm, mmPer, bl, blPer, nil
 }
 
+// fig9Cell is one measured topology: totals and per-stream throughputs for
+// both systems.
+type fig9Cell struct {
+	mm, bl       float64
+	mmPer, blPer []float64
+}
+
 // RunFig9 sweeps #APs = #clients across the bins (§11.2), with the given
 // number of random topologies per point and joint transmissions per
-// topology.
+// topology. Each topology is one engine cell; the per-cell seed depends
+// only on the (AP count, topology) coordinates.
 func RunFig9(apCounts []int, topologies, txRounds int, seed int64) (*Fig9Result, error) {
+	cells, err := Map(len(AllBins)*len(apCounts)*topologies, func(i int) (fig9Cell, error) {
+		bin := AllBins[i/(len(apCounts)*topologies)]
+		nAPs := apCounts[(i/topologies)%len(apCounts)]
+		topo := i % topologies
+		s := seed + int64(topo)*1009 + int64(nAPs)*13
+		mm, mmPer, bl, blPer, err := topologyRun(nAPs, bin, s, txRounds)
+		if err != nil {
+			return fig9Cell{}, err
+		}
+		return fig9Cell{mm: mm, bl: bl, mmPer: mmPer, blPer: blPer}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	res := &Fig9Result{SampleRate: USRPSampleRate}
-	for _, bin := range AllBins {
-		for _, nAPs := range apCounts {
+	for b, bin := range AllBins {
+		for a, nAPs := range apCounts {
 			var mmTotals, blTotals, gains []float64
+			base := (b*len(apCounts) + a) * topologies
 			for topo := 0; topo < topologies; topo++ {
-				s := seed + int64(topo)*1009 + int64(nAPs)*13
-				mm, mmPer, bl, blPer, err := topologyRun(nAPs, bin, s, txRounds)
-				if err != nil {
-					return nil, err
-				}
-				mmTotals = append(mmTotals, mm)
-				blTotals = append(blTotals, bl)
-				for j := range mmPer {
-					if j < len(blPer) && blPer[j] > 0 {
-						gains = append(gains, mmPer[j]/blPer[j])
+				c := cells[base+topo]
+				mmTotals = append(mmTotals, c.mm)
+				blTotals = append(blTotals, c.bl)
+				for j := range c.mmPer {
+					if j < len(c.blPer) && c.blPer[j] > 0 {
+						gains = append(gains, c.mmPer[j]/c.blPer[j])
 					}
 				}
 			}

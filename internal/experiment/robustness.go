@@ -25,75 +25,105 @@ type RobustnessResult struct {
 	Points []RobustnessPoint
 }
 
+// robustnessCell is one (ppm budget, draw) measurement; hasINR/hasOK mark
+// which aggregates this draw contributes to (a singular precoder draw
+// contributes only misalignment).
+type robustnessCell struct {
+	mis    []float64
+	inr    float64
+	hasINR bool
+	okRate float64
+	hasOK  bool
+}
+
 // RunRobustness measures misalignment, nulling INR and joint delivery at
-// each ppm budget.
+// each ppm budget. One engine cell covers one (budget, draw) pair; the
+// seed intentionally repeats across budgets so the sweep is a paired
+// comparison over the same channel draws.
 func RunRobustness(budgets []float64, draws int, seed int64) (*RobustnessResult, error) {
+	cells, err := Map(len(budgets)*draws, func(i int) (robustnessCell, error) {
+		ppm := budgets[i/draws]
+		d := i % draws
+		var out robustnessCell
+		// Misalignment (Fig. 7 machinery, 2 APs, 1 client).
+		mcfg := core.DefaultConfig(2, 1, 24, 30)
+		mcfg.Seed = seed + int64(d)*353
+		mcfg.PPMBudget = ppm
+		mn, err := core.New(mcfg)
+		if err != nil {
+			return out, err
+		}
+		if err := mn.Measure(); err != nil {
+			return out, err
+		}
+		devs, err := mn.MeasureMisalignment(12, 20000)
+		if err != nil {
+			return out, err
+		}
+		out.mis = devs
+
+		// INR + delivery (3×3 joint).
+		cfg := core.DefaultConfig(3, 3, 18, 24)
+		cfg.Seed = seed + int64(d)*353 + 7
+		cfg.PPMBudget = ppm
+		cfg.WellConditioned = true
+		n, err := core.New(cfg)
+		if err != nil {
+			return out, err
+		}
+		if err := n.Measure(); err != nil {
+			return out, err
+		}
+		p, err := core.ComputeZF(n.Msmt, cfg.NoiseVar)
+		if err != nil {
+			return out, nil // singular draw
+		}
+		n.SetPrecoder(p)
+		inr, err := n.NullingINR(0, 700, phy.MCS0)
+		if err != nil {
+			return out, err
+		}
+		out.inr, out.hasINR = cmplxs.DB(inr), true
+		mcs, ok, err := n.ProbeAndSelectRate(256)
+		if err != nil {
+			return out, err
+		}
+		if !ok {
+			out.hasOK = true
+			return out, nil
+		}
+		payloads := make([][]byte, 3)
+		for j := range payloads {
+			payloads[j] = make([]byte, PayloadBytes)
+		}
+		r, err := n.JointTransmit(payloads, mcs)
+		if err != nil {
+			return out, err
+		}
+		delivered := 0
+		for _, o := range r.OK {
+			if o {
+				delivered++
+			}
+		}
+		out.okRate, out.hasOK = float64(delivered)/3, true
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	res := &RobustnessResult{}
-	for _, ppm := range budgets {
+	for b, ppm := range budgets {
 		var mis, inrs, okRates []float64
 		for d := 0; d < draws; d++ {
-			// Misalignment (Fig. 7 machinery, 2 APs, 1 client).
-			mcfg := core.DefaultConfig(2, 1, 24, 30)
-			mcfg.Seed = seed + int64(d)*353
-			mcfg.PPMBudget = ppm
-			mn, err := core.New(mcfg)
-			if err != nil {
-				return nil, err
+			c := cells[b*draws+d]
+			mis = append(mis, c.mis...)
+			if c.hasINR {
+				inrs = append(inrs, c.inr)
 			}
-			if err := mn.Measure(); err != nil {
-				return nil, err
+			if c.hasOK {
+				okRates = append(okRates, c.okRate)
 			}
-			devs, err := mn.MeasureMisalignment(12, 20000)
-			if err != nil {
-				return nil, err
-			}
-			mis = append(mis, devs...)
-
-			// INR + delivery (3×3 joint).
-			cfg := core.DefaultConfig(3, 3, 18, 24)
-			cfg.Seed = seed + int64(d)*353 + 7
-			cfg.PPMBudget = ppm
-			cfg.WellConditioned = true
-			n, err := core.New(cfg)
-			if err != nil {
-				return nil, err
-			}
-			if err := n.Measure(); err != nil {
-				return nil, err
-			}
-			p, err := core.ComputeZF(n.Msmt, cfg.NoiseVar)
-			if err != nil {
-				continue
-			}
-			n.SetPrecoder(p)
-			inr, err := n.NullingINR(0, 700, phy.MCS0)
-			if err != nil {
-				return nil, err
-			}
-			inrs = append(inrs, cmplxs.DB(inr))
-			mcs, ok, err := n.ProbeAndSelectRate(256)
-			if err != nil {
-				return nil, err
-			}
-			if !ok {
-				okRates = append(okRates, 0)
-				continue
-			}
-			payloads := make([][]byte, 3)
-			for j := range payloads {
-				payloads[j] = make([]byte, PayloadBytes)
-			}
-			r, err := n.JointTransmit(payloads, mcs)
-			if err != nil {
-				return nil, err
-			}
-			delivered := 0
-			for _, o := range r.OK {
-				if o {
-					delivered++
-				}
-			}
-			okRates = append(okRates, float64(delivered)/3)
 		}
 		pt := RobustnessPoint{PPMBudget: ppm}
 		if len(mis) > 0 {

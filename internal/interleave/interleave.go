@@ -6,7 +6,10 @@
 // of consecutive coded bits.
 package interleave
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // Interleaver holds the precomputed permutation for one (Ncbps, Nbpsc)
 // pair: coded bits per symbol and bits per subcarrier.
@@ -51,19 +54,66 @@ func MustNew(ncbps, nbpsc int) *Interleaver {
 	return it
 }
 
+// cache holds one shared Interleaver per parameter pair. An Interleaver is
+// read-only after construction, so cached instances are safe for concurrent
+// use by any number of goroutines.
+var cache = struct {
+	sync.Mutex
+	m map[[2]int]*Interleaver
+}{m: make(map[[2]int]*Interleaver)}
+
+// Cached returns the shared interleaver for (ncbps, nbpsc), building it on
+// first use. Per-frame PHY paths use this so the permutation tables are not
+// rebuilt for every frame.
+func Cached(ncbps, nbpsc int) (*Interleaver, error) {
+	key := [2]int{ncbps, nbpsc}
+	cache.Lock()
+	defer cache.Unlock()
+	if it := cache.m[key]; it != nil {
+		return it, nil
+	}
+	it, err := New(ncbps, nbpsc)
+	if err != nil {
+		return nil, err
+	}
+	cache.m[key] = it
+	return it, nil
+}
+
+// MustCached is Cached for compile-time-constant parameters.
+func MustCached(ncbps, nbpsc int) *Interleaver {
+	it, err := Cached(ncbps, nbpsc)
+	if err != nil {
+		panic(err)
+	}
+	return it
+}
+
 // BlockSize returns the interleaver block length in bits.
 func (it *Interleaver) BlockSize() int { return it.ncbps }
 
 // Interleave permutes one block of exactly BlockSize bits.
 func (it *Interleaver) Interleave(bits []byte) ([]byte, error) {
-	if len(bits) != it.ncbps {
-		return nil, fmt.Errorf("interleave: block of %d bits, want %d", len(bits), it.ncbps)
-	}
 	out := make([]byte, len(bits))
-	for k, b := range bits {
-		out[it.perm[k]] = b
+	if err := it.InterleaveInto(out, bits); err != nil {
+		return nil, err
 	}
 	return out, nil
+}
+
+// InterleaveInto is Interleave with a caller-supplied destination of exactly
+// BlockSize bits; it allocates nothing. dst must not alias bits.
+func (it *Interleaver) InterleaveInto(dst, bits []byte) error {
+	if len(bits) != it.ncbps {
+		return fmt.Errorf("interleave: block of %d bits, want %d", len(bits), it.ncbps)
+	}
+	if len(dst) != it.ncbps {
+		return fmt.Errorf("interleave: destination of %d bits, want %d", len(dst), it.ncbps)
+	}
+	for k, b := range bits {
+		dst[it.perm[k]] = b
+	}
+	return nil
 }
 
 // Deinterleave inverts Interleave on one block.
@@ -80,12 +130,24 @@ func (it *Interleaver) Deinterleave(bits []byte) ([]byte, error) {
 
 // DeinterleaveLLR inverts the permutation on soft values.
 func (it *Interleaver) DeinterleaveLLR(llr []float64) ([]float64, error) {
-	if len(llr) != it.ncbps {
-		return nil, fmt.Errorf("interleave: block of %d LLRs, want %d", len(llr), it.ncbps)
-	}
 	out := make([]float64, len(llr))
-	for j, v := range llr {
-		out[it.inv[j]] = v
+	if err := it.DeinterleaveLLRInto(out, llr); err != nil {
+		return nil, err
 	}
 	return out, nil
+}
+
+// DeinterleaveLLRInto is DeinterleaveLLR with a caller-supplied destination
+// of exactly BlockSize values; it allocates nothing. dst must not alias llr.
+func (it *Interleaver) DeinterleaveLLRInto(dst, llr []float64) error {
+	if len(llr) != it.ncbps {
+		return fmt.Errorf("interleave: block of %d LLRs, want %d", len(llr), it.ncbps)
+	}
+	if len(dst) != it.ncbps {
+		return fmt.Errorf("interleave: destination of %d LLRs, want %d", len(dst), it.ncbps)
+	}
+	for j, v := range llr {
+		dst[it.inv[j]] = v
+	}
+	return nil
 }

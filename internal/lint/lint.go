@@ -1,7 +1,8 @@
-// Package lint is megamimo's project-specific static-analysis suite: five
-// analyzers tuned to the failure modes that corrupt a distributed-MIMO
-// signal path — buffer aliasing in DSP kernels, nondeterministic inputs,
-// exact float comparison, panicking APIs, and dropped errors. It is built
+// Package lint is megamimo's project-specific static-analysis suite: six
+// analyzers tuned to the failure modes that corrupt or slow a
+// distributed-MIMO signal path — buffer aliasing in DSP kernels,
+// nondeterministic inputs, exact float comparison, per-iteration hot-path
+// allocation, panicking APIs, and dropped errors. It is built
 // entirely on the standard library (go/ast, go/parser, go/types) so the
 // module stays dependency-free.
 //
@@ -70,6 +71,7 @@ func All() []*Analyzer {
 		AliasingAnalyzer,
 		DeterminismAnalyzer,
 		FloatEqAnalyzer,
+		HotAllocAnalyzer,
 		PanicPolicyAnalyzer,
 		UncheckedErrorAnalyzer,
 	}

@@ -1,0 +1,39 @@
+// Package hotalloc seeds per-iteration allocation violations for the
+// hotalloc analyzer's golden test.
+package hotalloc
+
+// samples is a named complex-sample slice; the analyzer sees through it.
+type samples []complex128
+
+// perSymbol allocates a fresh buffer every loop iteration.
+func perSymbol(nsym int) []complex128 {
+	var last []complex128
+	for s := 0; s < nsym; s++ {
+		buf := make([]complex128, 64) // want "inside a loop"
+		buf[0] = complex(float64(s), 0)
+		last = buf
+	}
+	return last
+}
+
+// perElement allocates through a named slice type inside a range loop.
+func perElement(xs []int) []samples {
+	var out []samples
+	for _, x := range xs {
+		b := make(samples, x) // want "inside a loop"
+		out = append(out, b)
+	}
+	return out
+}
+
+// nested allocates in an inner loop; the finding is reported once.
+func nested(n int) complex128 {
+	var acc complex128
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			w := make([]complex128, 8) // want "inside a loop"
+			acc += w[0]
+		}
+	}
+	return acc
+}

@@ -1,0 +1,29 @@
+package hotalloc
+
+// hoisted allocates once before the loop and reuses the buffer — the
+// pattern the analyzer pushes code toward.
+func hoisted(nsym int) complex128 {
+	buf := make([]complex128, 64)
+	var acc complex128
+	for s := 0; s < nsym; s++ {
+		buf[0] = complex(float64(s), 0)
+		acc += buf[0]
+	}
+	return acc
+}
+
+// otherTypes stay quiet: only complex-sample buffers are on the per-sample
+// signal path budget.
+func otherTypes(n int) []float64 {
+	var last []float64
+	for i := 0; i < n; i++ {
+		last = make([]float64, 16)
+		_ = make([]byte, 32)
+	}
+	return last
+}
+
+// outsideLoop is an ordinary one-shot allocation.
+func outsideLoop() []complex128 {
+	return make([]complex128, 64)
+}

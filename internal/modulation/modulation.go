@@ -283,3 +283,153 @@ func grayBitsForLevel(lv, width int) []byte {
 	x := float64(2*lv + 1 - (1 << width))
 	return pamDeGray(x, width)
 }
+
+// grayTables[width][lv] is grayBitsForLevel(lv, width) precomputed, so the
+// scalar demap paths never allocate label slices.
+var grayTables = buildGrayTables()
+
+func buildGrayTables() [4][][]byte {
+	var out [4][][]byte
+	for width := 1; width <= 3; width++ {
+		levels := make([][]byte, 1<<width)
+		for lv := range levels {
+			levels[lv] = grayBitsForLevel(lv, width)
+		}
+		out[width] = levels
+	}
+	return out
+}
+
+// MapInto is Map with a caller-supplied destination of exactly
+// len(bits)/BitsPerSymbol symbols; it allocates nothing.
+func MapInto(dst []complex128, s Scheme, bits []byte) error {
+	if !s.Valid() {
+		return fmt.Errorf("modulation: unknown scheme %v", s)
+	}
+	bps := s.BitsPerSymbol()
+	if len(bits)%bps != 0 {
+		return fmt.Errorf("modulation: %d bits not a multiple of %d", len(bits), bps)
+	}
+	if len(dst) != len(bits)/bps {
+		return fmt.Errorf("modulation: destination holds %d symbols, want %d", len(dst), len(bits)/bps)
+	}
+	for i := range dst {
+		chunk := bits[i*bps : (i+1)*bps]
+		switch s {
+		case BPSK:
+			dst[i] = complex(pamGray(chunk[:1]), 0)
+		case QPSK:
+			dst[i] = complex(pamGray(chunk[:1])/sqrt2, pamGray(chunk[1:])/sqrt2)
+		case QAM16:
+			dst[i] = complex(pamGray(chunk[:2])/norm16, pamGray(chunk[2:])/norm16)
+		case QAM64:
+			dst[i] = complex(pamGray(chunk[:3])/norm64, pamGray(chunk[3:])/norm64)
+		}
+	}
+	return nil
+}
+
+// slicePAM returns the nearest odd-integer PAM level in ±(2^width − 1).
+func slicePAM(v float64, width int) float64 {
+	max := float64(int(1)<<width - 1)
+	// Nearest odd integer with ties resolved upward, matching pamDeGray's
+	// half-open decision intervals: 2·⌊v/2⌋+1, then clamp.
+	x := 2*math.Floor(v/2) + 1
+	if x > max {
+		x = max
+	} else if x < -max {
+		x = -max
+	}
+	return x
+}
+
+// SlicePoint returns the constellation point nearest to v — the one-symbol
+// equivalent of HardDemap followed by Map, without the intermediate bit
+// slices. The scheme must be valid (callers validate once per frame).
+func SlicePoint(s Scheme, v complex128) complex128 {
+	switch s {
+	case BPSK:
+		return complex(slicePAM(real(v), 1), 0)
+	case QPSK:
+		return complex(slicePAM(real(v)*sqrt2, 1)/sqrt2, slicePAM(imag(v)*sqrt2, 1)/sqrt2)
+	case QAM16:
+		return complex(slicePAM(real(v)*norm16, 2)/norm16, slicePAM(imag(v)*norm16, 2)/norm16)
+	case QAM64:
+		return complex(slicePAM(real(v)*norm64, 3)/norm64, slicePAM(imag(v)*norm64, 3)/norm64)
+	}
+	return v
+}
+
+// AppendHardDemap appends the hard-decision bits for one received symbol to
+// dst and returns the extended slice; it allocates nothing beyond dst growth.
+// The scheme must be valid.
+func AppendHardDemap(dst []byte, s Scheme, v complex128) []byte {
+	switch s {
+	case BPSK:
+		return appendPAMBits(dst, real(v), 1)
+	case QPSK:
+		dst = appendPAMBits(dst, real(v)*sqrt2, 1)
+		return appendPAMBits(dst, imag(v)*sqrt2, 1)
+	case QAM16:
+		dst = appendPAMBits(dst, real(v)*norm16, 2)
+		return appendPAMBits(dst, imag(v)*norm16, 2)
+	case QAM64:
+		dst = appendPAMBits(dst, real(v)*norm64, 3)
+		return appendPAMBits(dst, imag(v)*norm64, 3)
+	}
+	return dst
+}
+
+// appendPAMBits appends the Gray label of the nearest PAM level without the
+// intermediate slice pamDeGray would allocate.
+func appendPAMBits(dst []byte, v float64, width int) []byte {
+	nLevels := 1 << width
+	lv := int(math.Round((slicePAM(v, width) + float64(nLevels) - 1) / 2))
+	return append(dst, grayTables[width][lv]...)
+}
+
+// AppendSoftDemap appends the LLRs for one received symbol to dst and
+// returns the extended slice, matching SoftDemap's conventions (positive =
+// bit 0 more likely); it allocates nothing beyond dst growth. The scheme
+// must be valid.
+func AppendSoftDemap(dst []float64, s Scheme, v complex128, noiseVar float64) []float64 {
+	if noiseVar <= 0 {
+		noiseVar = 1e-9
+	}
+	switch s {
+	case BPSK:
+		return append(dst, -4*real(v)/noiseVar)
+	case QPSK:
+		return append(dst, -4*real(v)/(sqrt2*noiseVar), -4*imag(v)/(sqrt2*noiseVar))
+	case QAM16:
+		dst = appendPamLLR(dst, real(v)*norm16, 2, noiseVar*10)
+		return appendPamLLR(dst, imag(v)*norm16, 2, noiseVar*10)
+	case QAM64:
+		dst = appendPamLLR(dst, real(v)*norm64, 3, noiseVar*42)
+		return appendPamLLR(dst, imag(v)*norm64, 3, noiseVar*42)
+	}
+	return dst
+}
+
+// appendPamLLR is pamLLR appending into dst, using the precomputed Gray
+// tables so nothing allocates.
+func appendPamLLR(dst []float64, y float64, width int, nv float64) []float64 {
+	nLevels := 1 << width
+	for b := 0; b < width; b++ {
+		best0, best1 := math.Inf(1), math.Inf(1)
+		for lv := 0; lv < nLevels; lv++ {
+			bits := grayTables[width][lv]
+			x := float64(2*lv + 1 - nLevels)
+			d := (y - x) * (y - x)
+			if bits[b] == 0 {
+				if d < best0 {
+					best0 = d
+				}
+			} else if d < best1 {
+				best1 = d
+			}
+		}
+		dst = append(dst, (best1-best0)/nv)
+	}
+	return dst
+}

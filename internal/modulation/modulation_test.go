@@ -239,3 +239,89 @@ func BenchmarkSoftDemapQAM64(b *testing.B) {
 		}
 	}
 }
+
+func TestScalarPathsMatchSlicePaths(t *testing.T) {
+	schemes := []Scheme{BPSK, QPSK, QAM16, QAM64}
+	// A deterministic cloud of points covering every decision region plus
+	// off-grid noise-like offsets.
+	var pts []complex128
+	for i := -9; i <= 9; i++ {
+		for q := -9; q <= 9; q++ {
+			pts = append(pts, complex(float64(i)*0.17, float64(q)*0.17))
+		}
+	}
+	for _, s := range schemes {
+		for _, v := range pts {
+			hd, err := HardDemap(s, []complex128{v})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := AppendHardDemap(nil, s, v)
+			if len(got) != len(hd) {
+				t.Fatalf("%v AppendHardDemap len %d want %d", s, len(got), len(hd))
+			}
+			for i := range hd {
+				if got[i] != hd[i] {
+					t.Fatalf("%v AppendHardDemap(%v) = %v, want %v", s, v, got, hd)
+				}
+			}
+			mapped, err := Map(s, hd)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sp := SlicePoint(s, v); sp != mapped[0] {
+				t.Fatalf("%v SlicePoint(%v) = %v, want %v", s, v, sp, mapped[0])
+			}
+			for _, nv := range []float64{0.01, 0.3, 2} {
+				soft, err := SoftDemap(s, []complex128{v}, nv)
+				if err != nil {
+					t.Fatal(err)
+				}
+				gotSoft := AppendSoftDemap(nil, s, v, nv)
+				if len(gotSoft) != len(soft) {
+					t.Fatalf("%v AppendSoftDemap len %d want %d", s, len(gotSoft), len(soft))
+				}
+				for i := range soft {
+					if gotSoft[i] != soft[i] {
+						t.Fatalf("%v AppendSoftDemap(%v, nv=%v) = %v, want %v", s, v, nv, gotSoft, soft)
+					}
+				}
+			}
+		}
+		// MapInto must agree with Map on every label.
+		bps := s.BitsPerSymbol()
+		nSyms := 1 << bps
+		bits := make([]byte, 0, nSyms*bps)
+		for lv := 0; lv < nSyms; lv++ {
+			for b := bps - 1; b >= 0; b-- {
+				bits = append(bits, byte(lv>>b)&1)
+			}
+		}
+		want, err := Map(s, bits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make([]complex128, len(want))
+		if err := MapInto(got, s, bits); err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%v MapInto[%d] = %v, want %v", s, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestScalarDemapAllocFree(t *testing.T) {
+	llr := make([]float64, 0, 64)
+	bits := make([]byte, 0, 64)
+	n := testing.AllocsPerRun(200, func() {
+		llr = AppendSoftDemap(llr[:0], QAM64, 0.3-0.2i, 0.1)
+		bits = AppendHardDemap(bits[:0], QAM64, 0.3-0.2i)
+		_ = SlicePoint(QAM16, -0.4+0.9i)
+	})
+	if n > 0 {
+		t.Errorf("scalar demap path allocates %.1f times per run", n)
+	}
+}

@@ -40,8 +40,21 @@ func NewEqualizer(h []complex128) (*Equalizer, error) {
 // used to estimate and remove the common phase error of this symbol before
 // the data is returned.
 func (e *Equalizer) Symbol(freq []complex128) ([]complex128, error) {
+	out := make([]complex128, NData)
+	if err := e.SymbolInto(out, freq); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// SymbolInto is Symbol with a caller-supplied destination of length NData;
+// it allocates nothing. dst must not alias freq.
+func (e *Equalizer) SymbolInto(dst, freq []complex128) error {
 	if len(freq) != NFFT {
-		return nil, fmt.Errorf("ofdm: symbol has %d bins, want %d", len(freq), NFFT)
+		return fmt.Errorf("ofdm: symbol has %d bins, want %d", len(freq), NFFT)
+	}
+	if len(dst) != NData {
+		return fmt.Errorf("ofdm: destination holds %d values, want %d", len(dst), NData)
 	}
 	ref := PilotReference(e.symIdx)
 	// Pilot-based common phase estimate: sum over pilots of
@@ -68,19 +81,18 @@ func (e *Equalizer) Symbol(freq []complex128) ([]complex128, error) {
 	rot := cmplx.Exp(complex(0, -cpe))
 	e.raw = cmplx.Phase(acc)
 
-	out := make([]complex128, NData)
 	for i, k := range DataCarriers {
 		b := Bin(k)
 		h := e.h[b]
 		if h == 0 {
-			out[i] = 0
+			dst[i] = 0
 			continue
 		}
-		out[i] = freq[b] * rot / h
+		dst[i] = freq[b] * rot / h
 	}
 	e.common = cpe
 	e.symIdx++
-	return out, nil
+	return nil
 }
 
 // CommonPhase returns the smoothed common phase applied to the most recent

@@ -89,7 +89,7 @@ type Modulator struct {
 // NewModulator returns a Modulator.
 func NewModulator() *Modulator {
 	return &Modulator{
-		plan:    dsp.MustFFTPlan(NFFT),
+		plan:    dsp.MustPlanFor(NFFT),
 		freq:    make([]complex128, NFFT),
 		scratch: make([]complex128, NFFT),
 	}
@@ -119,26 +119,45 @@ func (m *Modulator) Symbol(data []complex128, symIdx int) ([]complex128, error) 
 // specification (already including pilots or training values). Used for
 // preambles and channel-measurement symbols.
 func (m *Modulator) RawSymbol(freq []complex128) ([]complex128, error) {
+	out := make([]complex128, SymbolLen)
+	if err := m.RawSymbolInto(out, freq); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// RawSymbolInto is RawSymbol with a caller-supplied destination of length ≥
+// SymbolLen; it allocates nothing, which is what the joint-transmission hot
+// path needs (one call per symbol per AP antenna per stream).
+func (m *Modulator) RawSymbolInto(dst, freq []complex128) error {
 	if len(freq) != NFFT {
-		return nil, fmt.Errorf("ofdm: %d bins, want %d", len(freq), NFFT)
+		return fmt.Errorf("ofdm: %d bins, want %d", len(freq), NFFT)
+	}
+	if len(dst) < SymbolLen {
+		return fmt.Errorf("ofdm: destination holds %d samples, want ≥ %d", len(dst), SymbolLen)
 	}
 	copy(m.freq, freq)
-	return m.symbolFromFreq(), nil
+	m.symbolFromFreqInto(dst)
+	return nil
 }
 
 func (m *Modulator) symbolFromFreq() []complex128 {
+	out := make([]complex128, SymbolLen)
+	m.symbolFromFreqInto(out)
+	return out
+}
+
+func (m *Modulator) symbolFromFreqInto(dst []complex128) {
 	m.plan.Inverse(m.scratch, m.freq)
 	// IFFT of unit-power subcarriers yields samples with power 52/64²;
 	// rescale by √NFFT so occupied-carrier power maps 1:1 to sample power
 	// (times occupancy fraction). This keeps SNR bookkeeping simple.
 	scale := complex(math.Sqrt(NFFT), 0)
-	out := make([]complex128, SymbolLen)
 	for i := 0; i < NFFT; i++ {
 		m.scratch[i] *= scale
 	}
-	copy(out[CPLen:], m.scratch)
-	copy(out[:CPLen], m.scratch[NFFT-CPLen:])
-	return out
+	copy(dst[CPLen:SymbolLen], m.scratch)
+	copy(dst[:CPLen], m.scratch[NFFT-CPLen:])
 }
 
 // Demodulator converts received 80-sample symbols back to the frequency
@@ -150,23 +169,35 @@ type Demodulator struct {
 
 // NewDemodulator returns a Demodulator.
 func NewDemodulator() *Demodulator {
-	return &Demodulator{plan: dsp.MustFFTPlan(NFFT), scratch: make([]complex128, NFFT)}
+	return &Demodulator{plan: dsp.MustPlanFor(NFFT), scratch: make([]complex128, NFFT)}
 }
 
 // Freq returns the 64 frequency bins of one received symbol (CP stripped).
 // samples must hold at least SymbolLen samples; the first CPLen are the
 // cyclic prefix.
 func (d *Demodulator) Freq(samples []complex128) ([]complex128, error) {
-	if len(samples) < SymbolLen {
-		return nil, fmt.Errorf("ofdm: %d samples, want ≥ %d", len(samples), SymbolLen)
-	}
-	d.plan.Forward(d.scratch, samples[CPLen:SymbolLen])
 	out := make([]complex128, NFFT)
-	scale := complex(1/math.Sqrt(NFFT), 0)
-	for i := range out {
-		out[i] = d.scratch[i] * scale
+	if err := d.FreqInto(out, samples); err != nil {
+		return nil, err
 	}
 	return out, nil
+}
+
+// FreqInto is Freq with a caller-supplied destination of length ≥ NFFT; it
+// allocates nothing. dst must not alias samples.
+func (d *Demodulator) FreqInto(dst, samples []complex128) error {
+	if len(samples) < SymbolLen {
+		return fmt.Errorf("ofdm: %d samples, want ≥ %d", len(samples), SymbolLen)
+	}
+	if len(dst) < NFFT {
+		return fmt.Errorf("ofdm: destination holds %d bins, want ≥ %d", len(dst), NFFT)
+	}
+	d.plan.Forward(d.scratch, samples[CPLen:SymbolLen])
+	scale := complex(1/math.Sqrt(NFFT), 0)
+	for i := 0; i < NFFT; i++ {
+		dst[i] = d.scratch[i] * scale
+	}
+	return nil
 }
 
 // DataAndPilots splits a 64-bin frequency vector into the 48 data values

@@ -55,7 +55,7 @@ func LTFFreq() []complex128 {
 
 // STF returns the 160-sample short training field.
 func STF() []complex128 {
-	plan := dsp.MustFFTPlan(NFFT)
+	plan := dsp.MustPlanFor(NFFT)
 	t := make([]complex128, NFFT)
 	plan.Inverse(t, stfFreq())
 	scale := complex(math.Sqrt(NFFT), 0)
@@ -72,7 +72,7 @@ func STF() []complex128 {
 // LTF returns the 160-sample long training field: a 32-sample guard
 // (the tail of the long symbol) followed by two full 64-sample symbols.
 func LTF() []complex128 {
-	plan := dsp.MustFFTPlan(NFFT)
+	plan := dsp.MustPlanFor(NFFT)
 	t := make([]complex128, NFFT)
 	plan.Inverse(t, LTFFreq())
 	scale := complex(math.Sqrt(NFFT), 0)

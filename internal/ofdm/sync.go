@@ -134,6 +134,10 @@ func Detect(rx []complex128, threshold float64) (*Sync, error) {
 	}, nil
 }
 
+// ltfFreqRef is the immutable LTF reference shared by every channel
+// estimate, so per-frame decodes don't rebuild it.
+var ltfFreqRef = LTFFreq()
+
 // EstimateChannelLTF produces a least-squares channel estimate from the two
 // long training symbols. rx must contain the stream, sync the acquisition
 // result; the returned slice has one complex gain per FFT bin (zero outside
@@ -144,8 +148,8 @@ func EstimateChannelLTF(rx []complex128, sync *Sync) ([]complex128, error) {
 	if ltf1+2*NFFT > len(rx) {
 		return nil, ErrNoPacket
 	}
-	plan := dsp.MustFFTPlan(NFFT)
-	ref := LTFFreq()
+	plan := dsp.MustPlanFor(NFFT)
+	ref := ltfFreqRef
 	h := make([]complex128, NFFT)
 	buf := make([]complex128, NFFT)
 	freq := make([]complex128, NFFT)

@@ -42,16 +42,34 @@ type RxFrame struct {
 	CommonPhases []float64
 }
 
-// RX decodes PPDUs from sample streams.
+// RX decodes PPDUs from sample streams. An RX owns reusable scratch
+// buffers, so it is not safe for concurrent use; each simulated receiver
+// keeps its own.
 type RX struct {
 	dem *ofdm.Demodulator
 	// DetectThreshold is the normalized preamble metric cutoff (default 0.5).
 	DetectThreshold float64
+	// Grow-only decode scratch, reused across frames.
+	freqBuf []complex128 // one demodulated symbol, 64 bins
+	eqdBuf  []complex128 // one equalized symbol, 48 values
+	payload []complex128 // CFO-derotated payload window
+	symLLR  []float64    // per-symbol LLRs before deinterleaving
+	deilBuf []float64    // per-symbol LLRs after deinterleaving
+	llrBuf  []float64    // whole-frame LLR stream
+	scNum   []float64    // per-subcarrier EVM accumulator
+	scCnt   []float64
 }
 
 // NewRX returns a receiver pipeline.
 func NewRX() *RX {
-	return &RX{dem: ofdm.NewDemodulator(), DetectThreshold: 0.5}
+	return &RX{
+		dem:             ofdm.NewDemodulator(),
+		DetectThreshold: 0.5,
+		freqBuf:         make([]complex128, ofdm.NFFT),
+		eqdBuf:          make([]complex128, ofdm.NData),
+		scNum:           make([]float64, ofdm.NData),
+		scCnt:           make([]float64, ofdm.NData),
+	}
 }
 
 // Decode acquires and decodes the first frame in rx.
@@ -79,22 +97,23 @@ func (r *RX) DecodeAt(rx []complex128, sync *ofdm.Sync) (*RxFrame, error) {
 	// referenced consistently with the channel estimate (at the first LTF
 	// sample).
 	ltf1 := sync.LTFStart + ofdm.LTFGuard
-	payload := cmplxs.Clone(rx[sync.PayloadStart:])
-	cmplxs.Rotate(payload, payload, -sync.CFO*float64(sync.PayloadStart-ltf1), -sync.CFO)
+	if cap(r.payload) < len(rx)-sync.PayloadStart {
+		r.payload = make([]complex128, len(rx)-sync.PayloadStart)
+	}
+	payload := r.payload[:len(rx)-sync.PayloadStart]
+	cmplxs.Rotate(payload, rx[sync.PayloadStart:], -sync.CFO*float64(sync.PayloadStart-ltf1), -sync.CFO)
 
 	// SIGNAL symbol.
 	if len(payload) < ofdm.SymbolLen {
 		return nil, ErrTruncated
 	}
-	freq, err := r.dem.Freq(payload)
-	if err != nil {
+	if err := r.dem.FreqInto(r.freqBuf, payload); err != nil {
 		return nil, err
 	}
-	eqd, err := eq.Symbol(freq)
-	if err != nil {
+	if err := eq.SymbolInto(r.eqdBuf, r.freqBuf); err != nil {
 		return nil, err
 	}
-	mcs, psduLen, err := parseSignal(eqd)
+	mcs, psduLen, err := parseSignal(r.eqdBuf)
 	if err != nil {
 		return nil, err
 	}
@@ -108,55 +127,55 @@ func (r *RX) DecodeAt(rx []complex128, sync *ofdm.Sync) (*RxFrame, error) {
 		return nil, ErrTruncated
 	}
 
-	il := interleave.MustNew(info.ncbps, info.scheme.BitsPerSymbol())
-	llr := make([]float64, 0, nsym*info.ncbps)
+	il := interleave.MustCached(info.ncbps, info.scheme.BitsPerSymbol())
+	if cap(r.llrBuf) < nsym*info.ncbps {
+		r.llrBuf = make([]float64, 0, nsym*info.ncbps)
+	}
+	llr := r.llrBuf[:0]
+	if cap(r.deilBuf) < info.ncbps {
+		r.deilBuf = make([]float64, info.ncbps)
+	}
+	deil := r.deilBuf[:info.ncbps]
 	var evmAcc float64
 	var evmN int
-	scSNRNum := make([]float64, ofdm.NData)
-	scSNRCnt := make([]float64, ofdm.NData)
+	scSNRNum := r.scNum
+	scSNRCnt := r.scCnt
+	for i := range scSNRNum {
+		scSNRNum[i], scSNRCnt[i] = 0, 0
+	}
 	for s := 0; s < nsym; s++ {
-		freq, err := r.dem.Freq(payload[(1+s)*ofdm.SymbolLen:])
-		if err != nil {
+		if err := r.dem.FreqInto(r.freqBuf, payload[(1+s)*ofdm.SymbolLen:]); err != nil {
 			return nil, err
 		}
-		eqd, err := eq.Symbol(freq)
-		if err != nil {
+		if err := eq.SymbolInto(r.eqdBuf, r.freqBuf); err != nil {
 			return nil, err
 		}
 		out.CommonPhases = append(out.CommonPhases, eq.CommonPhase())
 		// Per-subcarrier soft demap with channel-weighted noise.
-		symLLR := make([]float64, 0, info.ncbps)
-		for i, v := range eqd {
+		symLLR := r.symLLR[:0]
+		for i, v := range r.eqdBuf {
 			b := ofdm.Bin(ofdm.DataCarriers[i])
 			g2 := real(h[b])*real(h[b]) + imag(h[b])*imag(h[b])
 			nv := noiseVar
 			if g2 > 1e-12 {
 				nv = noiseVar / g2
 			}
-			llrs, err := modulation.SoftDemap(info.scheme, []complex128{v}, nv)
-			if err != nil {
-				return nil, err
-			}
-			symLLR = append(symLLR, llrs...)
+			symLLR = modulation.AppendSoftDemap(symLLR, info.scheme, v, nv)
 			// EVM against the hard decision.
-			hd, err := modulation.HardDemap(info.scheme, []complex128{v})
-			if err != nil {
-				return nil, err
-			}
-			ds, _ := modulation.Map(info.scheme, hd)
-			e := v - ds[0]
+			e := v - modulation.SlicePoint(info.scheme, v)
 			ep := real(e)*real(e) + imag(e)*imag(e)
 			evmAcc += ep
 			evmN++
 			scSNRNum[i] += ep
 			scSNRCnt[i]++
 		}
-		deil, err := il.DeinterleaveLLR(symLLR)
-		if err != nil {
+		r.symLLR = symLLR
+		if err := il.DeinterleaveLLRInto(deil, symLLR); err != nil {
 			return nil, err
 		}
 		llr = append(llr, deil...)
 	}
+	r.llrBuf = llr
 
 	padded := nsym*info.ndbps - 6
 	bits, err := fec.DecodeSoft(llr, padded, info.rate)
@@ -195,7 +214,7 @@ func parseSignal(eqd []complex128) (MCS, int, error) {
 	if err != nil {
 		return 0, 0, err
 	}
-	il := interleave.MustNew(48, 1)
+	il := interleave.MustCached(48, 1)
 	coded, err := il.Deinterleave(hard)
 	if err != nil {
 		return 0, 0, err

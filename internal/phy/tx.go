@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"math"
+	"sync"
 
 	"megamimo/internal/dsp"
 	"megamimo/internal/fec"
@@ -46,13 +47,32 @@ func (f *FrameSymbols) AirtimeSeconds(sampleRate float64) float64 {
 	return float64(f.SampleLen()) / sampleRate
 }
 
-// TX encodes payloads into PPDUs.
+// TX encodes payloads into PPDUs. A TX owns reusable scratch buffers, so it
+// is not safe for concurrent use; each simulated network keeps its own.
 type TX struct {
 	mod *ofdm.Modulator
+	// Per-symbol synthesis scratch (fixed OFDM sizes).
+	gainFreq []complex128 // gain-multiplied 64-bin symbol
+	stfF     []complex128 // gained STF bins
+	ltfF     []complex128 // gained LTF bins
+	stfT     []complex128 // one STF period, time domain
+	ltfT     []complex128 // one LTF period, time domain
+	mapBuf   []complex128 // 48 mapped data values per symbol
+	blockBuf []byte       // interleaved coded bits per symbol (grow-only)
 }
 
 // NewTX returns a transmitter pipeline.
-func NewTX() *TX { return &TX{mod: ofdm.NewModulator()} }
+func NewTX() *TX {
+	return &TX{
+		mod:      ofdm.NewModulator(),
+		gainFreq: make([]complex128, ofdm.NFFT),
+		stfF:     make([]complex128, ofdm.NFFT),
+		ltfF:     make([]complex128, ofdm.NFFT),
+		stfT:     make([]complex128, ofdm.NFFT),
+		ltfT:     make([]complex128, ofdm.NFFT),
+		mapBuf:   make([]complex128, ofdm.NData),
+	}
+}
 
 // FrameSymbols encodes payload (with a CRC-32 FCS appended) at the given
 // MCS and returns the frequency-domain frame.
@@ -89,7 +109,7 @@ func (tx *TX) FrameSymbols(payload []byte, mcs MCS) (*FrameSymbols, error) {
 		//lint:ignore panic-policy internal invariant: 18 info bits + tail always code to 48 bits
 		panic("phy: SIGNAL encoding produced wrong length")
 	}
-	sigIl := interleave.MustNew(48, 1)
+	sigIl := interleave.MustCached(48, 1)
 	sigInter, err := sigIl.Interleave(sigCoded)
 	if err != nil {
 		return nil, err
@@ -115,8 +135,13 @@ func (tx *TX) FrameSymbols(payload []byte, mcs MCS) (*FrameSymbols, error) {
 		panic(fmt.Sprintf("phy: coded length %d != %d symbols × %d", len(coded), nsym, info.ncbps))
 	}
 
-	il := interleave.MustNew(info.ncbps, info.scheme.BitsPerSymbol())
+	il := interleave.MustCached(info.ncbps, info.scheme.BitsPerSymbol())
+	if cap(tx.blockBuf) < info.ncbps {
+		tx.blockBuf = make([]byte, info.ncbps)
+	}
+	block := tx.blockBuf[:info.ncbps]
 	out := &FrameSymbols{MCS: mcs, PSDULen: len(psdu)}
+	out.Symbols = make([][]complex128, 0, 1+nsym)
 	// SIGNAL symbol (pilot polarity index 0; data symbols continue from 1).
 	freq, err := dataSymbolFreq(sigSyms, 0)
 	if err != nil {
@@ -124,15 +149,13 @@ func (tx *TX) FrameSymbols(payload []byte, mcs MCS) (*FrameSymbols, error) {
 	}
 	out.Symbols = append(out.Symbols, freq)
 	for s := 0; s < nsym; s++ {
-		block, err := il.Interleave(coded[s*info.ncbps : (s+1)*info.ncbps])
-		if err != nil {
+		if err := il.InterleaveInto(block, coded[s*info.ncbps:(s+1)*info.ncbps]); err != nil {
 			return nil, err
 		}
-		syms, err := modulation.Map(info.scheme, block)
-		if err != nil {
+		if err := modulation.MapInto(tx.mapBuf, info.scheme, block); err != nil {
 			return nil, err
 		}
-		freq, err := dataSymbolFreq(syms, s+1)
+		freq, err := dataSymbolFreq(tx.mapBuf, s+1)
 		if err != nil {
 			return nil, err
 		}
@@ -142,7 +165,8 @@ func (tx *TX) FrameSymbols(payload []byte, mcs MCS) (*FrameSymbols, error) {
 }
 
 // dataSymbolFreq places 48 data values and the pilots for symbol index n
-// onto a 64-bin grid.
+// onto a 64-bin grid. The returned slice is freshly allocated: it is
+// retained in FrameSymbols.Symbols for the life of the frame.
 func dataSymbolFreq(data []complex128, n int) ([]complex128, error) {
 	if len(data) != ofdm.NData {
 		return nil, fmt.Errorf("phy: %d data subcarriers", len(data))
@@ -170,81 +194,98 @@ func (tx *TX) Synthesize(f *FrameSymbols) []complex128 {
 // pair yields that AP's contribution to that client's frame. Passing nil
 // applies unit gain.
 func (tx *TX) SynthesizeWithGain(f *FrameSymbols, gain []complex128) []complex128 {
+	out := make([]complex128, f.SampleLen())
+	tx.SynthesizeWithGainInto(out, f, gain)
+	return out
+}
+
+// SynthesizeWithGainInto is SynthesizeWithGain writing into a caller-owned
+// destination of length ≥ f.SampleLen(); it allocates nothing, which is what
+// the joint-transmission hot path needs (one waveform per AP antenna per
+// client per frame). It returns the filled prefix dst[:f.SampleLen()].
+func (tx *TX) SynthesizeWithGainInto(dst []complex128, f *FrameSymbols, gain []complex128) []complex128 {
 	if gain != nil && len(gain) != ofdm.NFFT {
 		//lint:ignore panic-policy documented precondition, a caller bug rather than bad input; silent truncation would masquerade as an RF impairment
 		panic("phy: gain must have one entry per FFT bin")
 	}
-	out := make([]complex128, 0, f.SampleLen())
-	out = append(out, synthPreambleWithGain(gain)...)
-	scratch := make([]complex128, ofdm.NFFT)
+	if len(dst) < f.SampleLen() {
+		//lint:ignore panic-policy documented precondition, a caller bug rather than bad input
+		panic(fmt.Sprintf("phy: destination holds %d samples, frame needs %d", len(dst), f.SampleLen()))
+	}
+	tx.synthPreambleWithGainInto(dst[:ofdm.PreambleLen], gain)
+	off := ofdm.PreambleLen
 	for _, freq := range f.Symbols {
 		src := freq
 		if gain != nil {
-			for i := range scratch {
-				scratch[i] = freq[i] * gain[i]
+			for i := range tx.gainFreq {
+				tx.gainFreq[i] = freq[i] * gain[i]
 			}
-			src = scratch
+			src = tx.gainFreq
 		}
-		sym, err := tx.mod.RawSymbol(src)
-		if err != nil {
+		if err := tx.mod.RawSymbolInto(dst[off:off+ofdm.SymbolLen], src); err != nil {
 			//lint:ignore panic-policy internal invariant: src is always an NFFT-length vector built above
 			panic(err)
 		}
-		out = append(out, sym...)
+		off += ofdm.SymbolLen
 	}
-	return out
+	return dst[:f.SampleLen()]
 }
 
-// synthPreambleWithGain reproduces the STF/LTF time structure from their
-// frequency definitions with a per-bin gain applied.
-func synthPreambleWithGain(gain []complex128) []complex128 {
-	stfF := stfFreqWithGain(gain)
-	ltfF := ltfFreqWithGain(gain)
-	plan := dsp.MustFFTPlan(ofdm.NFFT)
-	scale := complex(math.Sqrt(ofdm.NFFT), 0)
-	stfT := make([]complex128, ofdm.NFFT)
-	plan.Inverse(stfT, stfF)
-	ltfT := make([]complex128, ofdm.NFFT)
-	plan.Inverse(ltfT, ltfF)
-	for i := 0; i < ofdm.NFFT; i++ {
-		stfT[i] *= scale
-		ltfT[i] *= scale
-	}
-	out := make([]complex128, 0, ofdm.PreambleLen)
-	for i := 0; i < ofdm.STFLen; i++ {
-		out = append(out, stfT[i%ofdm.NFFT])
-	}
-	out = append(out, ltfT[ofdm.NFFT-ofdm.LTFGuard:]...)
-	out = append(out, ltfT...)
-	out = append(out, ltfT...)
-	return out
+// basePreambleFreq lazily computes the ungained STF/LTF frequency
+// definitions once; they are immutable reference vectors shared by every TX.
+var basePreambleFreq struct {
+	once sync.Once
+	stf  []complex128
+	ltf  []complex128
 }
 
-func stfFreqWithGain(gain []complex128) []complex128 {
-	// Reconstruct the STF bins from the reference preamble: FFT of one
-	// period-64 window of the STF.
-	stf := ofdm.STF()
-	plan := dsp.MustFFTPlan(ofdm.NFFT)
-	f := make([]complex128, ofdm.NFFT)
-	plan.Forward(f, stf[:ofdm.NFFT])
-	scale := complex(1/math.Sqrt(ofdm.NFFT), 0)
-	for i := range f {
-		f[i] *= scale
-		if gain != nil {
-			f[i] *= gain[i]
-		}
-	}
-	return f
-}
-
-func ltfFreqWithGain(gain []complex128) []complex128 {
-	f := ofdm.LTFFreq()
-	if gain != nil {
+func preambleFreqBase() (stf, ltf []complex128) {
+	basePreambleFreq.once.Do(func() {
+		// Reconstruct the STF bins from the reference preamble: FFT of one
+		// period-64 window of the STF.
+		plan := dsp.MustPlanFor(ofdm.NFFT)
+		f := make([]complex128, ofdm.NFFT)
+		plan.Forward(f, ofdm.STF()[:ofdm.NFFT])
+		scale := complex(1/math.Sqrt(ofdm.NFFT), 0)
 		for i := range f {
-			f[i] *= gain[i]
+			f[i] *= scale
+		}
+		basePreambleFreq.stf = f
+		basePreambleFreq.ltf = ofdm.LTFFreq()
+	})
+	return basePreambleFreq.stf, basePreambleFreq.ltf
+}
+
+// synthPreambleWithGainInto reproduces the STF/LTF time structure from
+// their frequency definitions with a per-bin gain applied, writing the
+// ofdm.PreambleLen samples into dst without allocating.
+func (tx *TX) synthPreambleWithGainInto(dst []complex128, gain []complex128) {
+	stfBase, ltfBase := preambleFreqBase()
+	for i := 0; i < ofdm.NFFT; i++ {
+		if gain != nil {
+			tx.stfF[i] = stfBase[i] * gain[i]
+			tx.ltfF[i] = ltfBase[i] * gain[i]
+		} else {
+			tx.stfF[i] = stfBase[i]
+			tx.ltfF[i] = ltfBase[i]
 		}
 	}
-	return f
+	plan := dsp.MustPlanFor(ofdm.NFFT)
+	scale := complex(math.Sqrt(ofdm.NFFT), 0)
+	plan.Inverse(tx.stfT, tx.stfF)
+	plan.Inverse(tx.ltfT, tx.ltfF)
+	for i := 0; i < ofdm.NFFT; i++ {
+		tx.stfT[i] *= scale
+		tx.ltfT[i] *= scale
+	}
+	n := 0
+	for i := 0; i < ofdm.STFLen; i++ {
+		dst[n] = tx.stfT[i%ofdm.NFFT]
+		n++
+	}
+	n += copy(dst[n:], tx.ltfT[ofdm.NFFT-ofdm.LTFGuard:])
+	n += copy(dst[n:], tx.ltfT)
+	copy(dst[n:], tx.ltfT)
 }
 
 // Frame is the one-call TX path: payload → waveform at unit gain.
