@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	megamimo-bench [flags] fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|ablations|robustness|amortization|all
+//	megamimo-bench [flags] fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|ablations|robustness|amortization|workload|all
 //
 // Flags scale the experiment size; the defaults approximate the paper's
 // methodology (20 topologies per point, 10 APs max) and take minutes.
@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"megamimo/internal/experiment"
+	"megamimo/internal/traffic"
 )
 
 // figMetrics is one figure's machine-readable record for -json mode.
@@ -51,7 +52,7 @@ func main() {
 	}
 	experiment.SetWorkers(*workers)
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: megamimo-bench [flags] fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|ablations|robustness|amortization|all")
+		fmt.Fprintln(os.Stderr, "usage: megamimo-bench [flags] fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|ablations|robustness|amortization|workload|all")
 		os.Exit(2)
 	}
 	which := flag.Arg(0)
@@ -151,6 +152,18 @@ func main() {
 	})
 	run("robustness", func() (string, error) {
 		r, err := experiment.RunRobustness([]float64{0.5, 2, 5, 10, 20}, maxInt(2, *topos/5), *seed)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintln(r), nil
+	})
+	run("workload", func() (string, error) {
+		loads := []float64{1, 2, 4, 8, 16}
+		nAPs, seconds := 4, 0.02
+		if *quick {
+			loads, nAPs, seconds = []float64{2, 8}, 2, 0.005
+		}
+		r, err := experiment.RunWorkload(loads, nAPs, maxInt(2, *topos/5), traffic.Poisson, seconds, *seed)
 		if err != nil {
 			return "", err
 		}

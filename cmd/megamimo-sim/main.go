@@ -1,7 +1,10 @@
 // Command megamimo-sim runs one configurable MegaMIMO network end to end
 // with a verbose protocol trace: measurement, precoding, rate adaptation
 // and a batch of joint transmissions, reporting per-stream delivery and
-// throughput against the 802.11 baseline.
+// throughput against the 802.11 baseline. With -workload it instead
+// drives the network closed-loop from per-client demand profiles and
+// reports throughput, latency and fairness for MegaMIMO vs the 802.11
+// baseline; -metrics dumps the runtime telemetry registry as JSON.
 package main
 
 import (
@@ -13,19 +16,24 @@ import (
 	"megamimo/internal/baseline"
 	"megamimo/internal/core"
 	"megamimo/internal/mac"
+	"megamimo/internal/traffic"
 )
 
 func main() {
 	var (
-		nAPs    = flag.Int("aps", 4, "number of access points")
-		nCli    = flag.Int("clients", 4, "number of clients")
-		snrLo   = flag.Float64("snr-lo", 18, "client SNR band low edge (dB)")
-		snrHi   = flag.Float64("snr-hi", 24, "client SNR band high edge (dB)")
-		packets = flag.Int("packets", 8, "packets per client")
-		size    = flag.Int("size", 1500, "payload bytes")
-		seed    = flag.Int64("seed", 1, "random seed")
-		wellCnd = flag.Bool("well-conditioned", true, "use the conditioning-controlled channel ensemble")
-		trace   = flag.Bool("trace", false, "print the protocol event timeline")
+		nAPs     = flag.Int("aps", 4, "number of access points")
+		nCli     = flag.Int("clients", 4, "number of clients")
+		snrLo    = flag.Float64("snr-lo", 18, "client SNR band low edge (dB)")
+		snrHi    = flag.Float64("snr-hi", 24, "client SNR band high edge (dB)")
+		packets  = flag.Int("packets", 8, "packets per client")
+		size     = flag.Int("size", 1500, "payload bytes")
+		seed     = flag.Int64("seed", 1, "random seed")
+		wellCnd  = flag.Bool("well-conditioned", true, "use the conditioning-controlled channel ensemble")
+		trace    = flag.Bool("trace", false, "print the protocol event timeline")
+		workload = flag.String("workload", "", "drive a demand workload instead of a fixed batch: cbr|poisson|onoff|heavy")
+		load     = flag.Float64("load", 8, "workload offered load per client (Mb/s)")
+		duration = flag.Float64("duration", 0.05, "workload window (simulated seconds)")
+		metrics  = flag.Bool("metrics", false, "dump the runtime metrics registry as JSON on exit")
 	)
 	flag.Parse()
 
@@ -55,6 +63,11 @@ func main() {
 	net.SetPrecoder(p)
 	fmt.Printf("precoder: zero-forcing, power scale k=%.3f (per-client signal %.1f dB over noise)\n",
 		p.PowerScale, dB(p.PowerScale*p.PowerScale/cfg.NoiseVar))
+
+	if *workload != "" {
+		runWorkload(net, cfg, *workload, *load, *duration, *seed, *size, *trace, *metrics)
+		return
+	}
 
 	mcs, ok, err := net.ProbeAndSelectRate(256)
 	if err != nil {
@@ -95,6 +108,74 @@ func main() {
 		for _, e := range net.Trace().Events() {
 			fmt.Println("  " + e.String())
 		}
+	}
+	if *metrics {
+		fmt.Println()
+		if err := net.Metrics().WriteJSON(os.Stdout); err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+	}
+}
+
+// runWorkload drives the measured network closed-loop from per-client
+// demand profiles: MegaMIMO on the primary network, the 802.11 baseline
+// on a second network built from the same seed (identical topology and
+// channels), so both systems face the same demand.
+func runWorkload(net *core.Network, cfg core.Config, kindName string, loadMbps, seconds float64, seed int64, size int, trace, metrics bool) {
+	kind, err := traffic.ParseKind(kindName)
+	if err != nil {
+		fatal(err)
+	}
+	profiles := make([]traffic.Profile, net.NumStreams())
+	for i := range profiles {
+		profiles[i] = traffic.ProfileFor(kind, loadMbps*1e6, size)
+	}
+	tcfg := traffic.Config{System: traffic.SystemMegaMIMO, Profiles: profiles, Seed: seed + 1}
+	eng, err := traffic.New(net, tcfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("\nworkload: %s arrivals, %.1f Mb/s per client, %.3fs window\n\n", kind, loadMbps, seconds)
+	mm, err := eng.Run(seconds)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(mm)
+
+	blNet, err := core.New(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	if _, err := blNet.MeasureAndPrecode(); err != nil {
+		fatal(err)
+	}
+	tcfg.System = traffic.SystemTDMA
+	blEng, err := traffic.New(blNet, tcfg)
+	if err != nil {
+		fatal(err)
+	}
+	bl, err := blEng.Run(seconds)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println()
+	fmt.Print(bl)
+	if bl.AggregateDeliveredBps > 0 {
+		fmt.Printf("\ngain under demand: %.1fx\n", mm.AggregateDeliveredBps/bl.AggregateDeliveredBps)
+	}
+	if trace {
+		fmt.Println("\nprotocol timeline:")
+		for _, e := range net.Trace().Events() {
+			fmt.Println("  " + e.String())
+		}
+	}
+	if metrics {
+		fmt.Println()
+		if err := net.Metrics().WriteJSON(os.Stdout); err != nil {
+			fatal(err)
+		}
+		fmt.Println()
 	}
 }
 

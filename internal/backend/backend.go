@@ -15,7 +15,12 @@ const Broadcast = -1
 type Message struct {
 	From, To int
 	SentAt   int64 // ether sample time of transmission
-	Payload  any
+	// Seq is the bus-assigned send sequence number: a total order over
+	// every message the bus ever carried, used as the delivery tie-break
+	// when two messages share a SentAt (traffic bursts enqueue many ACKs
+	// on the same ether sample).
+	Seq     uint64
+	Payload any
 }
 
 // Bus is the shared backbone. Not safe for concurrent use — the simulator
@@ -27,6 +32,7 @@ type Bus struct {
 	LatencySamples int64
 	nodes          map[int]bool
 	pending        []Message
+	seq            uint64
 }
 
 // New returns a bus with the given node IDs attached.
@@ -45,7 +51,7 @@ func (b *Bus) Attach(id int) { b.nodes[id] = true }
 // copy to every other attached node at send time.
 func (b *Bus) Send(from, to int, at int64, payload any) {
 	if to != Broadcast {
-		b.pending = append(b.pending, Message{From: from, To: to, SentAt: at, Payload: payload})
+		b.pending = append(b.pending, Message{From: from, To: to, SentAt: at, Seq: b.nextSeq(), Payload: payload})
 		return
 	}
 	ids := make([]int, 0, len(b.nodes))
@@ -56,12 +62,21 @@ func (b *Bus) Send(from, to int, at int64, payload any) {
 	}
 	sort.Ints(ids) // deterministic fan-out order
 	for _, id := range ids {
-		b.pending = append(b.pending, Message{From: from, To: id, SentAt: at, Payload: payload})
+		b.pending = append(b.pending, Message{From: from, To: id, SentAt: at, Seq: b.nextSeq(), Payload: payload})
 	}
 }
 
-// Receive returns, in send order, every message addressed to node that has
-// been delivered by ether time now, removing them from the bus.
+func (b *Bus) nextSeq() uint64 {
+	b.seq++
+	return b.seq
+}
+
+// Receive returns every message addressed to node that has been delivered
+// by ether time now, removing them from the bus. Delivery order is the
+// contractual total order (SentAt, Seq): send-time first, bus sequence
+// number as the tie-break, so bursts of same-instant messages (per-stream
+// ACKs after a joint transmission) always drain in the order they were
+// sent, independent of any internal bookkeeping.
 func (b *Bus) Receive(node int, now int64) []Message {
 	if !b.nodes[node] {
 		return nil
@@ -76,7 +91,12 @@ func (b *Bus) Receive(node int, now int64) []Message {
 		kept = append(kept, m)
 	}
 	b.pending = kept
-	sort.SliceStable(out, func(i, j int) bool { return out[i].SentAt < out[j].SentAt })
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].SentAt != out[j].SentAt {
+			return out[i].SentAt < out[j].SentAt
+		}
+		return out[i].Seq < out[j].Seq
+	})
 	return out
 }
 

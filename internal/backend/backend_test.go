@@ -82,3 +82,68 @@ func TestPartialDelivery(t *testing.T) {
 		t.Fatalf("second delivery: %+v", got)
 	}
 }
+
+func TestEqualSentAtTieBreak(t *testing.T) {
+	// A burst of same-instant messages (per-stream ACKs after one joint
+	// transmission) must drain in exactly send order: the (SentAt, Seq)
+	// contract, not an accident of internal bookkeeping.
+	b := New(0, 1, 2, 3)
+	const at = 1000
+	b.Send(1, 2, at, "s0")
+	b.Send(3, 2, at, "s1")
+	b.Send(1, 2, at, "s2")
+	b.Send(3, 2, at, "s3")
+	got := b.Receive(2, at)
+	if len(got) != 4 {
+		t.Fatalf("got %d messages, want 4", len(got))
+	}
+	for i, m := range got {
+		if want := []string{"s0", "s1", "s2", "s3"}[i]; m.Payload != want {
+			t.Fatalf("position %d: %v, want %v (full order %+v)", i, m.Payload, want, got)
+		}
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Seq <= got[i-1].Seq {
+			t.Fatalf("Seq not strictly increasing: %d then %d", got[i-1].Seq, got[i].Seq)
+		}
+	}
+}
+
+func TestTieBreakSurvivesInterleavedTraffic(t *testing.T) {
+	// Messages to other nodes and partial drains in between must not
+	// perturb the equal-SentAt order seen by one receiver.
+	b := New(0, 1, 2, 3)
+	b.Send(1, 3, 5, "noise-a")
+	b.Send(1, 2, 7, "x")
+	b.Send(1, 2, 7, "y")
+	b.Send(1, 3, 6, "noise-b")
+	b.Send(1, 2, 7, "z")
+	if n := len(b.Receive(3, 100)); n != 2 {
+		t.Fatalf("noise drain got %d", n)
+	}
+	got := b.Receive(2, 100)
+	if len(got) != 3 || got[0].Payload != "x" || got[1].Payload != "y" || got[2].Payload != "z" {
+		t.Fatalf("order after interleaved traffic: %+v", got)
+	}
+	// Earlier SentAt still wins over any sequence number.
+	b.Send(1, 2, 50, "late-sent-first")
+	b.Send(1, 2, 40, "early-sent-second")
+	got = b.Receive(2, 100)
+	if len(got) != 2 || got[0].Payload != "early-sent-second" {
+		t.Fatalf("SentAt precedence: %+v", got)
+	}
+}
+
+func TestBroadcastSeqPerCopy(t *testing.T) {
+	// Broadcast fan-out assigns each directed copy its own sequence
+	// number in sorted-recipient order, keeping the global order total.
+	b := New(0, 1, 2, 3)
+	b.Send(1, Broadcast, 0, "b")
+	m2, m3 := b.Receive(2, 10), b.Receive(3, 10)
+	if len(m2) != 1 || len(m3) != 1 {
+		t.Fatal("broadcast lost a copy")
+	}
+	if m2[0].Seq >= m3[0].Seq {
+		t.Fatalf("fan-out seq order: node2=%d node3=%d", m2[0].Seq, m3[0].Seq)
+	}
+}

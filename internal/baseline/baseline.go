@@ -21,10 +21,17 @@ import (
 // strongest AP, one transmission at a time.
 type Unicast struct {
 	Net *core.Network
+
+	// tx/rx are reused across Transmit calls so per-packet workload
+	// service doesn't rebuild modulator state every frame.
+	tx *phy.TX
+	rx *phy.RX
 }
 
 // New returns a baseline driver over an already measured network.
-func New(net *core.Network) *Unicast { return &Unicast{Net: net} }
+func New(net *core.Network) *Unicast {
+	return &Unicast{Net: net, tx: phy.NewTX(), rx: phy.NewRX()}
+}
 
 // SubcarrierSNR returns the per-occupied-bin linear SNR of the unicast
 // link from AP ap (antenna 0) to the given stream, computed from the
@@ -71,8 +78,10 @@ func (u *Unicast) SelectRate(stream int) (mcs phy.MCS, ap int, ok bool, err erro
 // on the shared medium (all other APs stay silent, as CSMA forces).
 func (u *Unicast) Transmit(stream, ap int, payload []byte, mcs phy.MCS) (*phy.RxFrame, int64, error) {
 	n := u.Net
-	tx := phy.NewTX()
-	wave, err := tx.Frame(payload, mcs)
+	if u.tx == nil {
+		u.tx, u.rx = phy.NewTX(), phy.NewRX()
+	}
+	wave, err := u.tx.Frame(payload, mcs)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -82,8 +91,7 @@ func (u *Unicast) Transmit(stream, ap int, payload []byte, mcs phy.MCS) (*phy.Rx
 	cl := n.Clients[stream/n.Cfg.AntennasPerClient]
 	ant := stream % n.Cfg.AntennasPerClient
 	win := n.Air.Observe(n.ClientAntennaID(cl.Index, ant), cl.Node.Osc, start-128, len(wave)+256)
-	rx := phy.NewRX()
-	frame, err := rx.Decode(win)
+	frame, err := u.rx.Decode(win)
 	airtime := int64(len(wave))
 	n.AdvanceTime(airtime + 384)
 	n.Air.ClearBefore(n.Now())

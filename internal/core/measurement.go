@@ -124,6 +124,7 @@ func (n *Network) Measure() error {
 // phase advance between them is (ω_lead − ω_slave)·Δt, and conjugating it
 // re-references the new rows.
 func (n *Network) MeasureDecoupled(groups [][]int, gapSamples int64) error {
+	n.mMeasurements.Inc()
 	if len(groups) == 0 {
 		return fmt.Errorf("core: no measurement groups")
 	}
@@ -139,7 +140,7 @@ func (n *Network) MeasureDecoupled(groups [][]int, gapSamples int64) error {
 	for gi, group := range groups {
 		t0 := n.now + 256
 		sched := n.measurementSchedule(t0)
-		n.tracef(t0, "measure", "packet %d: header by AP %d, %d CFO blocks, %d rounds x %d antennas, clients %v",
+		n.tracef(t0, KindMeasure, "packet %d: header by AP %d, %d CFO blocks, %d rounds x %d antennas, clients %v",
 			gi, lead.Index, sched.nAPs, sched.rounds, sched.nAPs*sched.antsPer, group)
 
 		// (a) Collecting measurements: post every transmission.
@@ -259,7 +260,7 @@ func (n *Network) MeasureDecoupled(groups [][]int, gapSamples int64) error {
 	}
 	msmt.RefMid = mid0
 	n.Msmt = msmt
-	n.tracef(n.now, "measure", "H assembled: %dx%d on %d bins, reference t=%d, %d reports",
+	n.tracef(n.now, KindMeasure, "H assembled: %dx%d on %d bins, reference t=%d, %d reports",
 		msmt.H[0].Rows, msmt.H[0].Cols, len(msmt.Bins), msmt.RefMid, len(reports))
 	return nil
 }

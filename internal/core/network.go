@@ -21,6 +21,7 @@ import (
 	"megamimo/internal/channel"
 	"megamimo/internal/dsp"
 	"megamimo/internal/matrix"
+	"megamimo/internal/metrics"
 	"megamimo/internal/ofdm"
 	"megamimo/internal/phy"
 	"megamimo/internal/radio"
@@ -209,6 +210,18 @@ type Network struct {
 	rng    *rng.Source
 	tracer *Tracer
 
+	// metrics is the network's telemetry registry; the m* fields cache the
+	// boundary instruments so hot-path recording is a field increment, not
+	// a map lookup (the JointTransmit alloc budget covers this path).
+	metrics           *metrics.Registry
+	mJointTx          *metrics.Counter
+	mSyncHeaders      *metrics.Counter
+	mSyncHeaderSmpls  *metrics.Counter
+	mDecodeFailures   *metrics.Counter
+	mFCSFailures      *metrics.Counter
+	mStreamsDelivered *metrics.Counter
+	mMeasurements     *metrics.Counter
+
 	// tx and dem are the network's reusable PHY pipelines, and arena the
 	// per-network scratch for hot-path buffers. A Network is single-threaded,
 	// so owning them here keeps independent networks goroutine-independent
@@ -276,6 +289,7 @@ func New(cfg Config) (*Network, error) {
 		tx:  phy.NewTX(),
 		dem: ofdm.NewDemodulator(),
 	}
+	n.initMetrics()
 	busIDs := make([]int, 0, cfg.NumAPs)
 	for a := 0; a < cfg.NumAPs; a++ {
 		ants := make([]int, cfg.AntennasPerAP)
@@ -426,6 +440,27 @@ func linkSeed(a, am, c, cm int) uint64 {
 }
 
 func pow10(x float64) float64 { return math.Pow(10, x) }
+
+// initMetrics creates the registry and resolves the boundary instruments
+// once, so recording on the signal path never performs a name lookup.
+func (n *Network) initMetrics() {
+	n.metrics = metrics.NewRegistry()
+	n.mJointTx = n.metrics.Counter("core_joint_tx_total")
+	n.mSyncHeaders = n.metrics.Counter("core_sync_headers_total")
+	n.mSyncHeaderSmpls = n.metrics.Counter("core_sync_header_samples_total")
+	n.mDecodeFailures = n.metrics.Counter("phy_decode_failures_total")
+	n.mFCSFailures = n.metrics.Counter("phy_fcs_failures_total")
+	n.mStreamsDelivered = n.metrics.Counter("core_streams_delivered_total")
+	n.mMeasurements = n.metrics.Counter("core_measurements_total")
+}
+
+// Metrics returns the network's telemetry registry (always non-nil).
+func (n *Network) Metrics() *metrics.Registry {
+	if n.metrics == nil {
+		n.initMetrics()
+	}
+	return n.metrics
+}
 
 // Lead returns the lead AP.
 func (n *Network) Lead() *AP {

@@ -5,12 +5,50 @@ import (
 	"sync"
 )
 
+// Trace event kinds: the closed vocabulary of the protocol timeline.
+// Kind values are part of the trace format (megamimo-sim -trace filters
+// and tooling key on them), so they are exported constants rather than
+// ad-hoc strings, and the tracer rejects anything outside the set.
+const (
+	// KindMeasure marks channel-measurement protocol steps (§5.1).
+	KindMeasure = "measure"
+	// KindSyncHeader marks the lead AP's sync-header emission (§5.2).
+	KindSyncHeader = "sync-header"
+	// KindSlaveRatio marks a slave's phase-correction measurement (§5.2b).
+	KindSlaveRatio = "slave-ratio"
+	// KindJointTx marks a joint data transmission (§5.2c).
+	KindJointTx = "joint-tx"
+	// KindDecode marks client-side decode outcomes.
+	KindDecode = "decode"
+	// KindFeedback marks CSI feedback traffic (§5.1b).
+	KindFeedback = "feedback"
+	// KindTraffic marks workload-engine events (internal/traffic): run
+	// boundaries, saturation onsets, queue-cap drops.
+	KindTraffic = "traffic"
+	// KindMetrics marks telemetry snapshots (internal/metrics exports).
+	KindMetrics = "metrics"
+)
+
+// validKinds is the closed set ValidKind and emit check against.
+var validKinds = map[string]bool{
+	KindMeasure:    true,
+	KindSyncHeader: true,
+	KindSlaveRatio: true,
+	KindJointTx:    true,
+	KindDecode:     true,
+	KindFeedback:   true,
+	KindTraffic:    true,
+	KindMetrics:    true,
+}
+
+// ValidKind reports whether kind belongs to the trace vocabulary.
+func ValidKind(kind string) bool { return validKinds[kind] }
+
 // TraceEvent is one protocol event for diagnostics.
 type TraceEvent struct {
 	// At is the ether sample time the event refers to.
 	At int64
-	// Kind is a stable short identifier ("measure", "sync-header",
-	// "slave-ratio", "joint-tx", "decode", "feedback").
+	// Kind is one of the Kind* constants above.
 	Kind string
 	// Msg is the human-readable detail.
 	Msg string
@@ -47,8 +85,16 @@ func (t *Tracer) Events() []TraceEvent {
 	return out
 }
 
+// Emit records one event from outside the core package (the traffic
+// engine and the metrics exporters use it). Events with a kind outside
+// the Kind* vocabulary are rejected — silently dropped, never recorded —
+// so the timeline stays machine-parseable.
+func (t *Tracer) Emit(at int64, kind, format string, args ...any) {
+	t.emit(at, kind, format, args...)
+}
+
 func (t *Tracer) emit(at int64, kind, format string, args ...any) {
-	if t == nil {
+	if t == nil || !validKinds[kind] {
 		return
 	}
 	t.mu.Lock()

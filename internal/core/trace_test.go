@@ -58,3 +58,32 @@ func TestTracerLimit(t *testing.T) {
 		t.Fatalf("limit ignored: %d events", got)
 	}
 }
+
+func TestTraceKindConstantsAreValid(t *testing.T) {
+	for _, k := range []string{
+		KindMeasure, KindSyncHeader, KindSlaveRatio, KindJointTx,
+		KindDecode, KindFeedback, KindTraffic, KindMetrics,
+	} {
+		if !ValidKind(k) {
+			t.Errorf("exported kind constant %q not in the valid set", k)
+		}
+	}
+	if ValidKind("") || ValidKind("Joint-Tx") || ValidKind("joint_tx") {
+		t.Error("ValidKind accepted a kind outside the vocabulary")
+	}
+}
+
+func TestTracerRejectsUnknownKinds(t *testing.T) {
+	tr := &Tracer{}
+	tr.Enable(16)
+	tr.Emit(1, "bogus-kind", "must be dropped")
+	tr.Emit(2, "JOINT-TX", "case matters; must be dropped")
+	tr.Emit(3, KindTraffic, "legit workload event %d", 7)
+	evs := tr.Events()
+	if len(evs) != 1 {
+		t.Fatalf("recorded %d events, want only the valid one: %v", len(evs), evs)
+	}
+	if evs[0].Kind != KindTraffic || !strings.Contains(evs[0].Msg, "legit workload event 7") {
+		t.Fatalf("surviving event wrong: %+v", evs[0])
+	}
+}

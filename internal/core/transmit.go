@@ -139,10 +139,14 @@ func (n *Network) JointTransmit(payloads [][]byte, mcs phy.MCS) (*TxResult, erro
 			win := n.Air.Observe(n.ClientAntennaID(cl.Index, cm), cl.Node.Osc, tD-winLead, frameLen+winLead+128)
 			f, err := cl.rx.Decode(win)
 			if err != nil {
+				n.mDecodeFailures.Inc()
 				continue
 			}
 			res.Frames[j] = f
 			res.OK[j] = f.FCSOK
+			if !f.FCSOK {
+				n.mFCSFailures.Inc()
+			}
 		}
 	}
 	okCount := 0
@@ -151,7 +155,9 @@ func (n *Network) JointTransmit(payloads [][]byte, mcs phy.MCS) (*TxResult, erro
 			okCount++
 		}
 	}
-	n.tracef(tD, "joint-tx", "%d streams at %v, %d delivered, airtime %d samples",
+	n.mJointTx.Inc()
+	n.mStreamsDelivered.Add(int64(okCount))
+	n.tracef(tD, KindJointTx, "%d streams at %v, %d delivered, airtime %d samples",
 		streams, mcs, okCount, res.AirtimeSamples)
 	n.now = tD + int64(frameLen) + 256
 	n.Air.ClearBefore(n.now)
@@ -168,7 +174,9 @@ func (n *Network) postJointFrames(tx *phy.TX, frames []*phy.FrameSymbols) (t1, t
 	t1 = n.now + 64
 	lead := n.Lead()
 	n.Air.Transmit(n.APAntennaID(lead.Index, 0), lead.Node.Osc, t1, ofdm.Preamble())
-	n.tracef(t1, "sync-header", "lead AP %d", lead.Index)
+	n.mSyncHeaders.Inc()
+	n.mSyncHeaderSmpls.Add(int64(ofdm.PreambleLen))
+	n.tracef(t1, KindSyncHeader, "lead AP %d", lead.Index)
 
 	// 2. Slaves measure the lead's current channel and derive their phase
 	//    correction (§5.2b).
@@ -186,7 +194,7 @@ func (n *Network) postJointFrames(tx *phy.TX, frames []*phy.FrameSymbols) (t1, t
 		}
 		ps := ap.syncTo(n.Lead().Index)
 		corr[ap.Index] = &correction{ratio: ratio, curAt: curAt, refAt: ps.refAt, cfo: ps.cfo}
-		n.tracef(curAt, "slave-ratio", "AP %d: Δφ measured over %d samples, cfo %.3e rad/sample",
+		n.tracef(curAt, KindSlaveRatio, "AP %d: Δφ measured over %d samples, cfo %.3e rad/sample",
 			ap.Index, curAt-ps.refAt, ps.cfo)
 	}
 
@@ -292,6 +300,11 @@ func (n *Network) DiversityTransmit(stream int, payload []byte, mcs phy.MCS) (*T
 	if fr, err := cl.rx.Decode(win); err == nil {
 		res.Frames[0] = fr
 		res.OK[0] = fr.FCSOK
+		if !fr.FCSOK {
+			n.mFCSFailures.Inc()
+		}
+	} else {
+		n.mDecodeFailures.Inc()
 	}
 	n.now = tD + int64(frameLen) + 256
 	n.Air.ClearBefore(n.now)

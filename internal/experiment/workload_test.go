@@ -1,0 +1,43 @@
+package experiment
+
+import (
+	"testing"
+
+	"megamimo/internal/traffic"
+)
+
+func TestWorkloadDeterministicAcrossWorkers(t *testing.T) {
+	run := func(workers int) string {
+		old := Workers()
+		SetWorkers(workers)
+		defer SetWorkers(old)
+		r, err := RunWorkload([]float64{2, 8}, 2, 2, traffic.Poisson, 0.005, 7)
+		if err != nil {
+			t.Fatalf("RunWorkload(workers=%d): %v", workers, err)
+		}
+		return r.String()
+	}
+	serial := run(1)
+	parallel := run(4)
+	if serial != parallel {
+		t.Fatalf("workload sweep diverges across worker counts:\n-- workers=1 --\n%s\n-- workers=4 --\n%s", serial, parallel)
+	}
+}
+
+func TestWorkloadSaturationGain(t *testing.T) {
+	// At a demand far beyond one AP's unicast capacity, joint
+	// transmission must deliver more than the equal-share baseline —
+	// the paper's headline claim, restated in workload terms.
+	r, err := RunWorkload([]float64{16}, 2, 2, traffic.Poisson, 0.01, 11)
+	if err != nil {
+		t.Fatalf("RunWorkload: %v", err)
+	}
+	p := r.Points[0]
+	if p.MegaMIMOMbps <= 0 {
+		t.Fatal("MegaMIMO delivered nothing at saturation")
+	}
+	if p.MegaMIMOMbps <= p.BaselineMbps {
+		t.Fatalf("no saturation gain: MegaMIMO %.2f Mb/s vs 802.11 %.2f Mb/s",
+			p.MegaMIMOMbps, p.BaselineMbps)
+	}
+}

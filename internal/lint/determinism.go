@@ -31,10 +31,22 @@ var globalRandFuncs = map[string]bool{
 // rngPkg is the one package allowed to touch math/rand directly.
 const rngPkg = "megamimo/internal/rng"
 
+// strictMapPkgs lists packages whose outputs must be byte-identical under
+// map-iteration reshuffling with no reduction-shape analysis: workload
+// reports and metrics exports are diffed verbatim across worker counts in
+// CI, so every map range there is suspect unless it is the
+// collect-keys-then-sort idiom.
+var strictMapPkgs = map[string]bool{
+	"megamimo/internal/traffic":                     true,
+	"megamimo/internal/metrics":                     true,
+	"megamimo/internal/lint/testdata/src/strictmap": true,
+}
+
 func runDeterminism(p *Pass) {
 	info := p.Pkg.Info
 	path := p.Pkg.Path
 	inRNG := path == rngPkg
+	strict := strictMapPkgs[path]
 	eachFile(p, func(f *ast.File, isTest bool) {
 		if !isTest && !inRNG {
 			for _, imp := range f.Imports {
@@ -51,15 +63,15 @@ func runDeterminism(p *Pass) {
 				checkDeterminismCall(p, info, n, path, isTest)
 			case *ast.BlockStmt:
 				if !isTest {
-					checkMapRanges(p, info, n.List)
+					checkStmtMapRanges(p, info, n.List, strict)
 				}
 			case *ast.CaseClause:
 				if !isTest {
-					checkMapRanges(p, info, n.Body)
+					checkStmtMapRanges(p, info, n.Body, strict)
 				}
 			case *ast.CommClause:
 				if !isTest {
-					checkMapRanges(p, info, n.Body)
+					checkStmtMapRanges(p, info, n.Body, strict)
 				}
 			}
 			return true
@@ -87,6 +99,48 @@ func checkDeterminismCall(p *Pass, info *types.Info, call *ast.CallExpr, path st
 			p.Reportf(call.Pos(),
 				"time.Now in the signal path makes runs unreproducible; thread simulated time through explicitly")
 		}
+	}
+}
+
+// checkStmtMapRanges dispatches map-range checking: strict packages get
+// the all-or-nothing rule, the rest the reduction-shape analysis.
+func checkStmtMapRanges(p *Pass, info *types.Info, stmts []ast.Stmt, strict bool) {
+	if strict {
+		checkMapRangesStrict(p, info, stmts)
+	} else {
+		checkMapRanges(p, info, stmts)
+	}
+}
+
+// checkMapRangesStrict flags every `for … := range m` over a map in a
+// strict-determinism package, with one carve-out: a body that is exactly
+// one `keys = append(keys, …)` statement into a slice declared outside
+// the loop, where a later statement in the same block sorts that slice —
+// the canonical collect-keys-then-sort idiom.
+func checkMapRangesStrict(p *Pass, info *types.Info, stmts []ast.Stmt) {
+	for i, stmt := range stmts {
+		rng, ok := stmt.(*ast.RangeStmt)
+		if !ok {
+			continue
+		}
+		t := info.TypeOf(rng.X)
+		if t == nil {
+			continue
+		}
+		if _, ok := t.Underlying().(*types.Map); !ok {
+			continue
+		}
+		if len(rng.Body.List) == 1 {
+			if as, ok := rng.Body.List[0].(*ast.AssignStmt); ok {
+				kind, _, obj := mapOrderSensitiveAssign(info, rng, as)
+				if kind == "an append" && sortedAfter(info, stmts[i+1:], obj) {
+					continue
+				}
+			}
+		}
+		p.Reportf(rng.Pos(),
+			"map iteration in a strict-determinism package (%s); collect keys into a slice, sort, then index the map",
+			p.Pkg.Path)
 	}
 }
 

@@ -98,6 +98,7 @@ func runGolden(t *testing.T, a *Analyzer, dirName string) {
 func TestAliasingGolden(t *testing.T)    { runGolden(t, AliasingAnalyzer, "aliasing") }
 func TestDeterminismGolden(t *testing.T) { runGolden(t, DeterminismAnalyzer, "determinism") }
 func TestFloatEqGolden(t *testing.T)     { runGolden(t, FloatEqAnalyzer, "floateq") }
+func TestStrictMapGolden(t *testing.T)   { runGolden(t, DeterminismAnalyzer, "strictmap") }
 func TestHotAllocGolden(t *testing.T)    { runGolden(t, HotAllocAnalyzer, "hotalloc") }
 func TestPanicPolicyGolden(t *testing.T) { runGolden(t, PanicPolicyAnalyzer, "panicpolicy") }
 func TestUncheckedErrorGolden(t *testing.T) {

@@ -1,0 +1,44 @@
+// Package strictmap exercises the strict-determinism map rule applied to
+// internal/traffic and internal/metrics: any map iteration outside the
+// collect-keys-then-sort idiom is flagged, whatever its body does.
+package strictmap
+
+import (
+	"fmt"
+	"time"
+)
+
+// report prints per-stream counters straight out of a map range — exactly
+// the output shape CI diffs across worker counts, so iteration order
+// would leak into the bytes.
+func report(counts map[string]int) {
+	for name, n := range counts { // want "strict-determinism package"
+		fmt.Println(name, n)
+	}
+}
+
+// total looks harmless (integer sum commutes), but the strict rule bans
+// the shape, not the arithmetic: the next edit to the body won't re-run
+// the reviewer.
+func total(counts map[string]int) int {
+	sum := 0
+	for _, n := range counts { // want "strict-determinism package"
+		sum += n
+	}
+	return sum
+}
+
+// collectUnsorted gathers keys but never sorts them, so the carve-out
+// does not apply.
+func collectUnsorted(counts map[string]int) []string {
+	keys := make([]string, 0, len(counts))
+	for k := range counts { // want "strict-determinism package"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// stamp also checks that the wall-clock ban reaches workload code.
+func stamp() int64 {
+	return time.Now().UnixNano() // want "time.Now in the signal path"
+}

@@ -1,0 +1,29 @@
+package strictmap
+
+import (
+	"fmt"
+	"sort"
+)
+
+// reportSorted is the canonical idiom the strict rule admits: collect the
+// keys in one append statement, sort them, then index the map in slice
+// order.
+func reportSorted(counts map[string]int) {
+	keys := make([]string, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Println(k, counts[k])
+	}
+}
+
+// sliceRange shows the rule only bites maps: slice iteration is ordered.
+func sliceRange(xs []int) int {
+	sum := 0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum
+}

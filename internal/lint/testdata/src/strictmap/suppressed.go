@@ -1,0 +1,10 @@
+package strictmap
+
+// resetAll mutates every value without ever observing order; the
+// directive records why that is safe here.
+func resetAll(counts map[string]int) {
+	//lint:ignore determinism order-free mutation: every value is overwritten with the same constant
+	for k := range counts {
+		counts[k] = 0
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"megamimo/internal/core"
+	"megamimo/internal/metrics"
 	"megamimo/internal/phy"
 	"megamimo/internal/rng"
 )
@@ -27,6 +28,9 @@ type Packet struct {
 	Attempts int
 	// Delivered is set once an acknowledgment arrives.
 	Delivered bool
+	// EnqueuedAt is the ether sample time the packet entered the shared
+	// queue; the traffic layer derives per-packet latency from it.
+	EnqueuedAt int64
 }
 
 // Queue is the shared downlink queue. Every AP sees the same queue because
@@ -125,17 +129,34 @@ type Scheduler struct {
 
 	adapted   phy.MCS
 	adaptedOK bool
+
+	// Boundary telemetry, resolved once from the network registry.
+	mRetx      *metrics.Counter
+	mDelivered *metrics.Counter
+	mFailed    *metrics.Counter
+	qDepth     *metrics.Histogram
 }
 
 // NewScheduler wires a scheduler to a network whose measurement phase has
 // already run.
 func NewScheduler(net *core.Network, seed int64) *Scheduler {
+	m := net.Metrics()
 	return &Scheduler{
 		Net:         net,
 		Cont:        NewContention(net.Cfg.SampleRate, seed),
 		MaxAttempts: 4,
 		MCS:         -1,
+		mRetx:       m.Counter("mac_retransmissions_total"),
+		mDelivered:  m.Counter("mac_packets_delivered_total"),
+		mFailed:     m.Counter("mac_packets_failed_total"),
+		qDepth:      m.Histogram("mac_queue_depth", QueueDepthBuckets()),
 	}
+}
+
+// QueueDepthBuckets returns the shared queue-occupancy histogram bounds
+// (powers of two up to 512 packets).
+func QueueDepthBuckets() []float64 {
+	return []float64{0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512}
 }
 
 // Stats accumulates scheduler outcomes.
@@ -157,95 +178,154 @@ func (s *Stats) ThroughputBps(sampleRate float64) float64 {
 	return s.DeliveredBits / (float64(s.AirtimeSamples) / sampleRate)
 }
 
+// EnsureRate resolves the MCS the scheduler transmits at: the pinned MCS
+// when set, otherwise one probe transmission adapts it (cached across
+// calls).
+func (s *Scheduler) EnsureRate() error {
+	if s.MCS >= 0 {
+		s.adapted, s.adaptedOK = s.MCS, true
+		return nil
+	}
+	if s.adaptedOK {
+		return nil
+	}
+	mcs, ok, err := s.Net.ProbeAndSelectRate(256)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("mac: no deliverable rate")
+	}
+	s.adapted, s.adaptedOK = mcs, true
+	return nil
+}
+
+// StepResult reports one joint-transmission service round.
+type StepResult struct {
+	// Delivered packets were ACKed this round; Failed exhausted their
+	// attempts; Requeued stay in the queue for future joint
+	// transmissions.
+	Delivered, Failed, Requeued []*Packet
+	// AirtimeSamples covers the contention backoff, sync header and
+	// frame for this round.
+	AirtimeSamples int64
+	// DeliveredAt is the ether time the lead read the ACKs — the
+	// per-packet delivery timestamp the traffic layer's latency
+	// accounting uses.
+	DeliveredAt int64
+}
+
+// Step performs one service round: group the head-of-line packet with one
+// queued same-size packet per other stream, joint-transmit, collect the
+// asynchronous ACKs off the backbone, and update the shared queue. A
+// closed-loop workload calls Step between arrival pumps; Run loops it to
+// drain a batch. An empty queue is a no-op.
+func (s *Scheduler) Step() (*StepResult, error) {
+	res := &StepResult{DeliveredAt: s.Net.Now()}
+	if s.Queue.Len() == 0 {
+		return res, nil
+	}
+	if err := s.EnsureRate(); err != nil {
+		return nil, err
+	}
+	streams := s.Net.NumStreams()
+	// Group: head packet plus one queued packet per other stream.
+	head := s.Queue.Head()
+	group := make([]*Packet, streams)
+	group[head.Stream] = head
+	size := len(head.Payload)
+	for j := 0; j < streams; j++ {
+		if j == head.Stream {
+			continue
+		}
+		if p := s.Queue.NextForStream(j); p != nil && len(p.Payload) == size {
+			group[j] = p
+		}
+	}
+	payloads := make([][]byte, streams)
+	nPkts := 0
+	for j, p := range group {
+		if p != nil {
+			payloads[j] = p.Payload
+			nPkts++
+		}
+	}
+	// §9: the head packet's designated AP is nominated lead for this
+	// transmission (every AP holds sync state toward every potential
+	// lead from the measurement phase).
+	s.Net.SetLead(head.DesignatedAP)
+	res.AirtimeSamples += s.Cont.BackoffSamples(nPkts)
+	txr, err := s.Net.JointTransmit(payloads, s.adapted)
+	if err != nil {
+		return nil, err
+	}
+	res.AirtimeSamples += txr.AirtimeSamples
+
+	// Asynchronous acknowledgments (§9, after MRD/ZipTx): each client
+	// that decoded its frame posts an ACK on the backbone; the lead
+	// reads them after the backbone latency and updates the shared
+	// queue. Frames without an ACK stay queued for future joint
+	// transmissions.
+	ackAt := s.Net.Now()
+	for j, okj := range txr.OK {
+		if okj && group[j] != nil {
+			s.Net.Bus.Send(1000+j/s.Net.Cfg.AntennasPerClient, s.Net.Lead().Index, ackAt, ack{Stream: j})
+		}
+	}
+	s.Net.AdvanceTime(s.Net.Bus.LatencySamples + 1)
+	acked := make(map[int]bool)
+	for _, m := range s.Net.Bus.Receive(s.Net.Lead().Index, s.Net.Now()) {
+		if a, ok := m.Payload.(ack); ok {
+			acked[a.Stream] = true
+		}
+	}
+	res.DeliveredAt = s.Net.Now()
+	for j, p := range group {
+		if p == nil {
+			continue
+		}
+		p.Attempts++
+		if acked[j] {
+			p.Delivered = true
+			s.Queue.Remove(p)
+			res.Delivered = append(res.Delivered, p)
+			s.mDelivered.Inc()
+		} else if p.Attempts >= s.MaxAttempts {
+			s.Queue.Remove(p)
+			res.Failed = append(res.Failed, p)
+			s.mFailed.Inc()
+		} else {
+			s.Queue.Requeue(p)
+			res.Requeued = append(res.Requeued, p)
+			s.mRetx.Inc()
+		}
+	}
+	s.qDepth.Observe(float64(s.Queue.Len()))
+	return res, nil
+}
+
 // Run drains the queue with joint transmissions until it is empty or every
 // remaining packet has exhausted its attempts. Rate comes from one probe
 // unless MCS pins it.
 func (s *Scheduler) Run() (*Stats, error) {
 	st := &Stats{PerStreamBits: make(map[int]float64)}
-	if s.MCS >= 0 {
-		s.adapted, s.adaptedOK = s.MCS, true
-	} else if !s.adaptedOK {
-		mcs, ok, err := s.Net.ProbeAndSelectRate(256)
-		if err != nil {
-			return nil, err
-		}
-		if !ok {
-			return nil, fmt.Errorf("mac: no deliverable rate")
-		}
-		s.adapted, s.adaptedOK = mcs, true
+	if err := s.EnsureRate(); err != nil {
+		return nil, err
 	}
-	streams := s.Net.NumStreams()
 	for s.Queue.Len() > 0 {
-		// Group: head packet plus one queued packet per other stream.
-		head := s.Queue.Head()
-		group := make([]*Packet, streams)
-		group[head.Stream] = head
-		size := len(head.Payload)
-		for j := 0; j < streams; j++ {
-			if j == head.Stream {
-				continue
-			}
-			if p := s.Queue.NextForStream(j); p != nil && len(p.Payload) == size {
-				group[j] = p
-			}
-		}
-		payloads := make([][]byte, streams)
-		nPkts := 0
-		for j, p := range group {
-			if p != nil {
-				payloads[j] = p.Payload
-				nPkts++
-			}
-		}
-		// §9: the head packet's designated AP is nominated lead for this
-		// transmission (every AP holds sync state toward every potential
-		// lead from the measurement phase).
-		s.Net.SetLead(head.DesignatedAP)
-		st.AirtimeSamples += s.Cont.BackoffSamples(nPkts)
-		res, err := s.Net.JointTransmit(payloads, s.adapted)
+		res, err := s.Step()
 		if err != nil {
 			return nil, err
 		}
 		st.Transmissions++
 		st.AirtimeSamples += res.AirtimeSamples
-
-		// Asynchronous acknowledgments (§9, after MRD/ZipTx): each client
-		// that decoded its frame posts an ACK on the backbone; the lead
-		// reads them after the backbone latency and updates the shared
-		// queue. Frames without an ACK stay queued for future joint
-		// transmissions.
-		ackAt := s.Net.Now()
-		for j, okj := range res.OK {
-			if okj && group[j] != nil {
-				s.Net.Bus.Send(1000+j/s.Net.Cfg.AntennasPerClient, s.Net.Lead().Index, ackAt, ack{Stream: j})
-			}
+		for _, p := range res.Delivered {
+			st.DeliveredPackets++
+			bits := float64(8 * len(p.Payload))
+			st.DeliveredBits += bits
+			st.PerStreamBits[p.Stream] += bits
 		}
-		s.Net.AdvanceTime(s.Net.Bus.LatencySamples + 1)
-		acked := make(map[int]bool)
-		for _, m := range s.Net.Bus.Receive(s.Net.Lead().Index, s.Net.Now()) {
-			if a, ok := m.Payload.(ack); ok {
-				acked[a.Stream] = true
-			}
-		}
-		for j, p := range group {
-			if p == nil {
-				continue
-			}
-			p.Attempts++
-			if acked[j] {
-				p.Delivered = true
-				st.DeliveredPackets++
-				bits := float64(8 * len(p.Payload))
-				st.DeliveredBits += bits
-				st.PerStreamBits[j] += bits
-				s.Queue.Remove(p)
-			} else if p.Attempts >= s.MaxAttempts {
-				st.FailedPackets++
-				s.Queue.Remove(p)
-			} else {
-				s.Queue.Requeue(p)
-			}
-		}
+		st.FailedPackets += len(res.Failed)
 	}
 	return st, nil
 }
@@ -264,6 +344,7 @@ func (s *Scheduler) FillQueue(count, size int, seed int64) {
 				Stream:       j,
 				Payload:      src.Bytes(make([]byte, size)),
 				DesignatedAP: s.Net.StrongestAP(j),
+				EnqueuedAt:   s.Net.Now(),
 			})
 		}
 	}

@@ -1,0 +1,265 @@
+// Package metrics is the simulator's runtime telemetry layer: counters,
+// gauges and fixed-bucket histograms instrumented at the mac/phy/core
+// boundaries (retransmissions, sync-header overhead, decode failures,
+// queue depth) and exported as deterministic JSON.
+//
+// The design constraints mirror the signal path's:
+//
+//   - Allocation-free on the hot path. Recording is a field increment or a
+//     binary search over a fixed bucket table; instruments are resolved by
+//     name once at wiring time and held as pointers, never looked up per
+//     event. A joint transmission's allocation budget
+//     (TestJointTransmitAllocBudget) covers the instrumented path.
+//   - Deterministic output. Export walks instruments in sorted-name order,
+//     so two runs that perform the same work emit byte-identical JSON —
+//     the same replayability contract the experiment engine obeys.
+//   - Single-threaded, like the Network that owns each registry. Parallel
+//     experiment cells each own their network and therefore their
+//     registry; nothing here is shared across goroutines.
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Counter is a monotonically increasing event count.
+type Counter struct {
+	v int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v++ }
+
+// Add adds n (negative deltas are ignored: counters only go up).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v += n
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v }
+
+// Gauge is a point-in-time level (queue depth, current MCS index).
+type Gauge struct {
+	v   float64
+	set bool
+}
+
+// Set records the current level.
+func (g *Gauge) Set(v float64) { g.v, g.set = v, true }
+
+// Value returns the last recorded level (0 before any Set).
+func (g *Gauge) Value() float64 { return g.v }
+
+// Histogram counts observations into fixed buckets: counts[i] holds
+// observations with v <= bounds[i]; the final implicit bucket catches
+// everything above the last bound. Bounds are fixed at creation, so
+// Observe never allocates.
+type Histogram struct {
+	bounds []float64
+	counts []int64
+	n      int64
+	sum    float64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i]++
+	h.n++
+	h.sum += v
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 { return h.n }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return h.sum }
+
+// Mean returns the average observation (0 before any Observe).
+func (h *Histogram) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return h.sum / float64(h.n)
+}
+
+// Quantile returns an upper bound on the q-quantile (0–1): the smallest
+// bucket bound holding at least a q fraction of observations. Values in
+// the overflow bucket report the last finite bound (the histogram cannot
+// resolve beyond its table). Returns 0 before any Observe.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.n == 0 || len(h.bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := int64(q * float64(h.n))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= target {
+			if i < len(h.bounds) {
+				return h.bounds[i]
+			}
+			break
+		}
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// Registry holds a simulation run's instruments, keyed by name.
+// Get-or-create accessors make wiring order-independent; recording through
+// the returned pointers is allocation-free.
+type Registry struct {
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given
+// ascending bucket bounds on first use; later calls reuse the existing
+// instrument and ignore bounds (first registration wins).
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	h := r.hists[name]
+	if h == nil {
+		b := append([]float64(nil), bounds...)
+		sort.Float64s(b)
+		h = &Histogram{bounds: b, counts: make([]int64, len(b)+1)}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// bucketJSON is one exported histogram bucket; LE is the inclusive upper
+// bound ("+Inf" for the overflow bucket, which JSON numbers cannot carry).
+type bucketJSON struct {
+	LE string `json:"le"`
+	N  int64  `json:"n"`
+}
+
+// histJSON is one exported histogram.
+type histJSON struct {
+	Count   int64        `json:"count"`
+	Sum     float64      `json:"sum"`
+	Buckets []bucketJSON `json:"buckets"`
+}
+
+// namedValue / namedHist keep export arrays explicitly ordered, so the
+// byte stream is a pure function of the recorded values.
+type namedValue struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+type namedCount struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+type namedHist struct {
+	Name string   `json:"name"`
+	Hist histJSON `json:"histogram"`
+}
+
+type registryJSON struct {
+	Counters   []namedCount `json:"counters"`
+	Gauges     []namedValue `json:"gauges"`
+	Histograms []namedHist  `json:"histograms"`
+}
+
+// snapshot assembles the sorted export view.
+func (r *Registry) snapshot() registryJSON {
+	out := registryJSON{
+		Counters:   []namedCount{},
+		Gauges:     []namedValue{},
+		Histograms: []namedHist{},
+	}
+	names := make([]string, 0, len(r.counters))
+	for name := range r.counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		out.Counters = append(out.Counters, namedCount{Name: name, Value: r.counters[name].v})
+	}
+	names = names[:0]
+	for name := range r.gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		out.Gauges = append(out.Gauges, namedValue{Name: name, Value: r.gauges[name].v})
+	}
+	names = names[:0]
+	for name := range r.hists {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h := r.hists[name]
+		hj := histJSON{Count: h.n, Sum: h.sum, Buckets: make([]bucketJSON, len(h.counts))}
+		for i, c := range h.counts {
+			le := "+Inf"
+			if i < len(h.bounds) {
+				le = fmt.Sprintf("%g", h.bounds[i])
+			}
+			hj.Buckets[i] = bucketJSON{LE: le, N: c}
+		}
+		out.Histograms = append(out.Histograms, namedHist{Name: name, Hist: hj})
+	}
+	return out
+}
+
+// WriteJSON writes the registry as indented JSON with instruments in
+// sorted-name order — byte-identical for identical recorded state.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.snapshot())
+}
+
+// MarshalJSON implements json.Marshaler with the same deterministic view.
+func (r *Registry) MarshalJSON() ([]byte, error) {
+	return json.Marshal(r.snapshot())
+}

@@ -90,6 +90,51 @@ func (s *Source) Rayleigh(sigma float64) float64 {
 // PhaseUniform returns a uniform phase in [-π, π).
 func (s *Source) PhaseUniform() float64 { return s.Uniform(-math.Pi, math.Pi) }
 
+// Exp returns an exponential draw with the given mean (0 when mean <= 0),
+// the interarrival law of Poisson traffic.
+func (s *Source) Exp(mean float64) float64 {
+	if mean <= 0 {
+		return 0
+	}
+	u := s.r.Float64()
+	for u == 0 {
+		u = s.r.Float64()
+	}
+	return -mean * math.Log(u)
+}
+
+// Pareto returns a bounded Pareto draw with shape alpha on [xm, hi] by
+// inverse-CDF sampling — the heavy-tailed file-size law of web and video
+// workloads. Degenerate parameters collapse to xm.
+func (s *Source) Pareto(alpha, xm, hi float64) float64 {
+	if alpha <= 0 || xm <= 0 || hi <= xm {
+		return xm
+	}
+	u := s.r.Float64()
+	// F(x) = (1 - (xm/x)^α) / (1 - (xm/hi)^α) on [xm, hi].
+	r := math.Pow(xm/hi, alpha)
+	x := xm / math.Pow(1-u*(1-r), 1/alpha)
+	if x > hi {
+		x = hi
+	}
+	return x
+}
+
+// BoundedParetoMean returns the expectation of the Pareto(alpha, xm, hi)
+// law above, used to convert a target bit rate into a mean interarrival
+// time for heavy-tailed file workloads.
+func BoundedParetoMean(alpha, xm, hi float64) float64 {
+	if alpha <= 0 || xm <= 0 || hi <= xm {
+		return xm
+	}
+	r := math.Pow(xm/hi, alpha)
+	if math.Abs(alpha-1) < 1e-9 {
+		return xm * math.Log(hi/xm) / (1 - r)
+	}
+	return math.Pow(xm, alpha) / (1 - r) * alpha / (alpha - 1) *
+		(math.Pow(xm, 1-alpha) - math.Pow(hi, 1-alpha))
+}
+
 // Bool returns true with probability p.
 func (s *Source) Bool(p float64) bool { return s.r.Float64() < p }
 

@@ -155,3 +155,56 @@ func TestPerm(t *testing.T) {
 		seen[v] = true
 	}
 }
+
+func TestExpMean(t *testing.T) {
+	s := New(11)
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		v := s.Exp(3.5)
+		if v < 0 {
+			t.Fatalf("Exp drew negative %v", v)
+		}
+		sum += v
+	}
+	if got := sum / n; math.Abs(got-3.5) > 0.05 {
+		t.Fatalf("Exp mean = %v, want 3.5", got)
+	}
+	if s.Exp(0) != 0 || s.Exp(-1) != 0 {
+		t.Fatal("degenerate Exp mean must return 0")
+	}
+}
+
+func TestParetoBoundsAndMean(t *testing.T) {
+	s := New(12)
+	const (
+		alpha = 1.2
+		xm    = 1000.0
+		hi    = 100000.0
+		n     = 200000
+	)
+	var sum float64
+	for i := 0; i < n; i++ {
+		v := s.Pareto(alpha, xm, hi)
+		if v < xm || v > hi {
+			t.Fatalf("Pareto draw %v outside [%v, %v]", v, xm, hi)
+		}
+		sum += v
+	}
+	want := BoundedParetoMean(alpha, xm, hi)
+	if got := sum / n; math.Abs(got-want)/want > 0.05 {
+		t.Fatalf("Pareto mean = %v, want %v (±5%%)", got, want)
+	}
+	if s.Pareto(0, xm, hi) != xm || s.Pareto(alpha, xm, xm) != xm {
+		t.Fatal("degenerate Pareto must collapse to xm")
+	}
+}
+
+func TestBoundedParetoMeanAlphaOne(t *testing.T) {
+	// The α→1 closed form must join continuously with the general branch.
+	general := BoundedParetoMean(1.001, 10, 1000)
+	atOne := BoundedParetoMean(1, 10, 1000)
+	if math.Abs(general-atOne)/atOne > 0.02 {
+		t.Fatalf("α=1 branch discontinuous: %v vs %v", atOne, general)
+	}
+}

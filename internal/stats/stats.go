@@ -45,6 +45,34 @@ func Percentile(xs []float64, p float64) float64 {
 	}
 	s := append([]float64(nil), xs...)
 	sort.Float64s(s)
+	return percentileSorted(s, p)
+}
+
+// Median returns the 50th percentile.
+func Median(xs []float64) float64 { return Percentile(xs, 50) }
+
+// Percentiles returns the requested percentiles of xs with a single sort —
+// the per-client reporting path asks for several quantiles of the same
+// latency series, and re-sorting per call is quadratic across clients.
+// Empty input yields NaN for every requested percentile.
+func Percentiles(xs []float64, ps ...float64) []float64 {
+	out := make([]float64, len(ps))
+	if len(xs) == 0 {
+		for i := range out {
+			out[i] = math.NaN()
+		}
+		return out
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	for i, p := range ps {
+		out[i] = percentileSorted(s, p)
+	}
+	return out
+}
+
+// percentileSorted is Percentile over an already sorted slice.
+func percentileSorted(s []float64, p float64) float64 {
 	if p <= 0 {
 		return s[0]
 	}
@@ -60,8 +88,24 @@ func Percentile(xs []float64, p float64) float64 {
 	return s[lo]*(1-frac) + s[lo+1]*frac
 }
 
-// Median returns the 50th percentile.
-func Median(xs []float64) float64 { return Percentile(xs, 50) }
+// JainFairness returns Jain's fairness index (Σx)² / (n·Σx²) over
+// non-negative allocations: 1 when every client gets the same share,
+// 1/n when one client gets everything. Empty or all-zero input returns 0
+// (no allocation to be fair about).
+func JainFairness(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum, sumSq float64
+	for _, x := range xs {
+		sum += x
+		sumSq += x * x
+	}
+	if sumSq == 0 {
+		return 0
+	}
+	return sum * sum / (float64(len(xs)) * sumSq)
+}
 
 // CDF is an empirical cumulative distribution function.
 type CDF struct {

@@ -36,6 +36,56 @@ func TestPercentile(t *testing.T) {
 	}
 }
 
+func TestPercentiles(t *testing.T) {
+	xs := []float64{5, 1, 4, 2, 3}
+	got := Percentiles(xs, 0, 50, 100, 25)
+	want := []float64{1, 3, 5, 2}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Errorf("Percentiles[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	// Must agree with the one-shot Percentile on every requested point.
+	for _, p := range []float64{0, 10, 33, 50, 90, 100} {
+		if one, many := Percentile(xs, p), Percentiles(xs, p)[0]; math.Abs(one-many) > 1e-12 {
+			t.Errorf("P%v: Percentile=%v Percentiles=%v", p, one, many)
+		}
+	}
+	for _, v := range Percentiles(nil, 50, 95) {
+		if !math.IsNaN(v) {
+			t.Fatalf("empty input percentile = %v, want NaN", v)
+		}
+	}
+	// Input must stay unmodified.
+	if xs[0] != 5 || xs[4] != 3 {
+		t.Fatal("Percentiles sorted its input in place")
+	}
+}
+
+func TestJainFairness(t *testing.T) {
+	cases := []struct {
+		xs   []float64
+		want float64
+	}{
+		{[]float64{10, 10, 10, 10}, 1},                // perfect fairness
+		{[]float64{1, 0, 0, 0}, 0.25},                 // one client hogs: 1/n
+		{[]float64{4, 2}, (6 * 6) / (2.0 * (16 + 4))}, // hand-computed
+		{nil, 0},
+		{[]float64{0, 0}, 0},
+	}
+	for _, c := range cases {
+		if got := JainFairness(c.xs); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("JainFairness(%v) = %v, want %v", c.xs, got, c.want)
+		}
+	}
+	// Index is scale invariant.
+	a := JainFairness([]float64{1, 2, 3})
+	b := JainFairness([]float64{10, 20, 30})
+	if math.Abs(a-b) > 1e-12 {
+		t.Fatalf("not scale invariant: %v vs %v", a, b)
+	}
+}
+
 func TestPercentileUnsortedInputUnmodified(t *testing.T) {
 	xs := []float64{3, 1, 2}
 	if got := Percentile(xs, 50); got != 2 {

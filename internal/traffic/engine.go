@@ -1,0 +1,385 @@
+package traffic
+
+import (
+	"fmt"
+	"strings"
+
+	"megamimo/internal/baseline"
+	"megamimo/internal/core"
+	"megamimo/internal/mac"
+	"megamimo/internal/metrics"
+	"megamimo/internal/phy"
+	"megamimo/internal/rng"
+	"megamimo/internal/stats"
+)
+
+// System selects which MAC serves the demand.
+type System int
+
+const (
+	// SystemMegaMIMO serves the shared queue with joint transmissions.
+	SystemMegaMIMO System = iota
+	// SystemTDMA models the 802.11 baseline: one AP at a time, clients
+	// served round-robin for an equal medium share (§11's accounting).
+	SystemTDMA
+)
+
+// String names the system.
+func (s System) String() string {
+	if s == SystemTDMA {
+		return "802.11"
+	}
+	return "megamimo"
+}
+
+// Config parameterizes an Engine.
+type Config struct {
+	// System picks the MAC under test.
+	System System
+	// Profiles holds one demand profile per stream (client antenna);
+	// its length must equal the network's stream count.
+	Profiles []Profile
+	// Seed drives every random draw (arrival processes, payloads) via
+	// internal/rng splits — same seed, same byte-identical run.
+	Seed int64
+	// QueueCap drop-tails the shared queue when > 0.
+	QueueCap int
+	// MaxAttempts bounds retransmissions per packet (0 = mac default).
+	MaxAttempts int
+}
+
+// ClientReport is one stream's closed-loop accounting.
+type ClientReport struct {
+	Stream                                                          int
+	OfferedPackets, DeliveredPackets, FailedPackets, DroppedPackets int
+	OfferedBps, DeliveredBps                                        float64
+	// P50/P95 latency in milliseconds from enqueue to ACK; NaN when
+	// nothing was delivered.
+	P50LatencyMs, P95LatencyMs float64
+	// JitterMs is the mean absolute difference of successive latencies.
+	JitterMs float64
+}
+
+// Report is the outcome of one Engine.Run window.
+type Report struct {
+	System  System
+	Seconds float64
+	Clients []ClientReport
+	// Aggregate offered and delivered load across all streams.
+	AggregateOfferedBps, AggregateDeliveredBps float64
+	// Fairness is Jain's index over per-stream delivered throughput.
+	Fairness float64
+	// Rounds counts MAC service rounds; Backlog is what remained queued
+	// at the horizon.
+	Rounds, Backlog int
+}
+
+// String renders the report as an aligned table.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s  %.3fs window  offered %.2f Mb/s  delivered %.2f Mb/s  fairness %.3f\n",
+		r.System, r.Seconds, r.AggregateOfferedBps/1e6, r.AggregateDeliveredBps/1e6, r.Fairness)
+	fmt.Fprintf(&b, "%-6s  %-9s  %-9s  %-7s  %-7s  %-9s  %-9s  %-9s\n",
+		"stream", "off Mb/s", "del Mb/s", "drops", "fails", "p50 ms", "p95 ms", "jitter ms")
+	for _, c := range r.Clients {
+		fmt.Fprintf(&b, "%-6d  %-9.2f  %-9.2f  %-7d  %-7d  %-9.3f  %-9.3f  %-9.3f\n",
+			c.Stream, c.OfferedBps/1e6, c.DeliveredBps/1e6,
+			c.DroppedPackets, c.FailedPackets,
+			c.P50LatencyMs, c.P95LatencyMs, c.JitterMs)
+	}
+	return b.String()
+}
+
+// LatencyBuckets returns the delivery-latency histogram bounds in
+// milliseconds.
+func LatencyBuckets() []float64 {
+	return []float64{0.5, 1, 2, 5, 10, 20, 50, 100, 200, 500, 1000}
+}
+
+// tdmaLink caches the 802.11 baseline's per-stream unicast rate decision.
+type tdmaLink struct {
+	mcs phy.MCS
+	ap  int
+	ok  bool
+}
+
+// Engine drives one system closed-loop: generate arrivals on the ether
+// clock, feed the MAC queue, serve rounds, consume ACKs, and account
+// per-client outcomes. One engine owns one network — run the comparison
+// by building two identically seeded networks, one engine each.
+type Engine struct {
+	net  *core.Network
+	cfg  Config
+	gens []*gen
+
+	queue *mac.Queue     // shared downlink queue being served
+	sched *mac.Scheduler // MegaMIMO service
+	uni   *baseline.Unicast
+	cont  *mac.Contention
+	links []tdmaLink // TDMA rate cache, filled by prepare
+	tq    mac.Queue  // TDMA-owned queue storage
+	rr    int        // TDMA round-robin cursor
+
+	payloads [][]byte // per-stream payload template (content is irrelevant)
+
+	// Per-stream accounting.
+	offered, delivered, failed, dropped []int
+	latencies                           [][]float64 // ms, in delivery order
+
+	rounds   int
+	mArrive  *metrics.Counter
+	mDrops   *metrics.Counter
+	hLatency *metrics.Histogram
+}
+
+// New builds an engine over an already measured network.
+func New(net *core.Network, cfg Config) (*Engine, error) {
+	streams := net.NumStreams()
+	if len(cfg.Profiles) != streams {
+		return nil, fmt.Errorf("traffic: %d profiles for %d streams", len(cfg.Profiles), streams)
+	}
+	e := &Engine{
+		net:       net,
+		cfg:       cfg,
+		gens:      make([]*gen, streams),
+		payloads:  make([][]byte, streams),
+		offered:   make([]int, streams),
+		delivered: make([]int, streams),
+		failed:    make([]int, streams),
+		dropped:   make([]int, streams),
+		latencies: make([][]float64, streams),
+		links:     make([]tdmaLink, streams),
+	}
+	root := rng.New(cfg.Seed)
+	start := net.Now()
+	for i := 0; i < streams; i++ {
+		src := root.Split(uint64(i))
+		e.gens[i] = newGen(cfg.Profiles[i], src, net.Cfg.SampleRate, start)
+		size := cfg.Profiles[i].PacketBytes
+		if size <= 0 {
+			size = DefaultPacketBytes
+		}
+		e.payloads[i] = src.Bytes(make([]byte, size))
+	}
+	switch cfg.System {
+	case SystemTDMA:
+		e.uni = baseline.New(net)
+		e.cont = mac.NewContention(net.Cfg.SampleRate, cfg.Seed^0x7dfa)
+		e.queue = &e.tq
+	default:
+		e.sched = mac.NewScheduler(net, cfg.Seed^0x51ed)
+		if cfg.MaxAttempts > 0 {
+			e.sched.MaxAttempts = cfg.MaxAttempts
+		}
+		e.queue = &e.sched.Queue
+	}
+	m := net.Metrics()
+	e.mArrive = m.Counter("traffic_arrivals_total")
+	e.mDrops = m.Counter("traffic_drops_total")
+	e.hLatency = m.Histogram("traffic_latency_ms", LatencyBuckets())
+	return e, nil
+}
+
+// maxAttempts returns the retransmission bound for TDMA service.
+func (e *Engine) maxAttempts() int {
+	if e.cfg.MaxAttempts > 0 {
+		return e.cfg.MaxAttempts
+	}
+	return 4
+}
+
+// prepare resolves rates before the measurement window opens so neither
+// system pays setup airtime inside it: MegaMIMO runs its probe
+// transmission, TDMA computes per-stream unicast rates from the
+// measurement (no airtime).
+func (e *Engine) prepare() error {
+	if e.cfg.System == SystemTDMA {
+		for i := range e.links {
+			mcs, ap, ok, err := e.uni.SelectRate(i)
+			if err != nil {
+				return err
+			}
+			e.links[i] = tdmaLink{mcs: mcs, ap: ap, ok: ok}
+		}
+		return nil
+	}
+	return e.sched.EnsureRate()
+}
+
+// pump admits every arrival due at or before now into the queue,
+// drop-tailing at QueueCap.
+func (e *Engine) pump(now int64) {
+	for i, g := range e.gens {
+		for g.peek() <= now {
+			at := g.peek()
+			n := g.pop()
+			for k := 0; k < n; k++ {
+				e.offered[i]++
+				e.mArrive.Inc()
+				if e.cfg.QueueCap > 0 && e.queue.Len() >= e.cfg.QueueCap {
+					e.dropped[i]++
+					e.mDrops.Inc()
+					continue
+				}
+				e.queue.Push(&mac.Packet{
+					Stream:       i,
+					Payload:      e.payloads[i],
+					DesignatedAP: e.net.StrongestAP(i),
+					EnqueuedAt:   at,
+				})
+			}
+		}
+	}
+}
+
+// recordDelivery accounts one ACKed packet.
+func (e *Engine) recordDelivery(p *mac.Packet, deliveredAt int64) {
+	e.delivered[p.Stream]++
+	ms := float64(deliveredAt-p.EnqueuedAt) / e.net.Cfg.SampleRate * 1e3
+	e.latencies[p.Stream] = append(e.latencies[p.Stream], ms)
+	e.hLatency.Observe(ms)
+}
+
+// serveMegaMIMO runs one joint-transmission round.
+func (e *Engine) serveMegaMIMO() error {
+	res, err := e.sched.Step()
+	if err != nil {
+		return err
+	}
+	for _, p := range res.Delivered {
+		e.recordDelivery(p, res.DeliveredAt)
+	}
+	for _, p := range res.Failed {
+		e.failed[p.Stream]++
+	}
+	return nil
+}
+
+// serveTDMA gives the next backlogged stream (round-robin) one unicast
+// attempt from its strongest AP — the equal-share 802.11 baseline.
+func (e *Engine) serveTDMA() error {
+	streams := len(e.gens)
+	var p *mac.Packet
+	for k := 0; k < streams; k++ {
+		s := (e.rr + k) % streams
+		if q := e.queue.NextForStream(s); q != nil {
+			p, e.rr = q, s+1
+			break
+		}
+	}
+	if p == nil {
+		return nil
+	}
+	link := e.links[p.Stream]
+	if !link.ok {
+		// Dead spot: the baseline cannot deliver this stream at any
+		// rate; the packet burns its attempts without airtime.
+		e.queue.Remove(p)
+		e.failed[p.Stream]++
+		e.net.AdvanceTime(1)
+		return nil
+	}
+	e.net.AdvanceTime(e.cont.BackoffSamples(1))
+	frame, _, err := e.uni.Transmit(p.Stream, link.ap, p.Payload, link.mcs)
+	if err != nil {
+		return err
+	}
+	if frame != nil && frame.FCSOK {
+		p.Delivered = true
+		e.queue.Remove(p)
+		e.recordDelivery(p, e.net.Now())
+		return nil
+	}
+	p.Attempts++
+	if p.Attempts >= e.maxAttempts() {
+		e.queue.Remove(p)
+		e.failed[p.Stream]++
+	}
+	return nil
+}
+
+// Run drives the closed loop for a simulated window of the given length
+// and reports per-client outcomes. Arrivals beyond the horizon never
+// enter; packets still queued at the horizon count as backlog, not
+// delivered — that is what bends the saturation curve.
+func (e *Engine) Run(seconds float64) (*Report, error) {
+	if err := e.prepare(); err != nil {
+		return nil, err
+	}
+	start := e.net.Now()
+	horizon := start + int64(seconds*e.net.Cfg.SampleRate)
+	e.net.Trace().Emit(start, core.KindTraffic, "workload start: %s, %d streams, %.3fs window",
+		e.cfg.System, len(e.gens), seconds)
+	for e.net.Now() < horizon {
+		now := e.net.Now()
+		e.pump(now)
+		if e.queue.Len() == 0 {
+			next := never
+			for _, g := range e.gens {
+				if g.peek() < next {
+					next = g.peek()
+				}
+			}
+			if next >= horizon {
+				break
+			}
+			e.net.AdvanceTime(next - now)
+			continue
+		}
+		e.rounds++
+		var err error
+		if e.cfg.System == SystemTDMA {
+			err = e.serveTDMA()
+		} else {
+			err = e.serveMegaMIMO()
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	e.net.Trace().Emit(e.net.Now(), core.KindTraffic, "workload end: %d rounds, %d backlog",
+		e.rounds, e.queue.Len())
+	return e.report(seconds), nil
+}
+
+// report folds the accounting into a Report.
+func (e *Engine) report(seconds float64) *Report {
+	r := &Report{
+		System:  e.cfg.System,
+		Seconds: seconds,
+		Clients: make([]ClientReport, len(e.gens)),
+		Rounds:  e.rounds,
+		Backlog: e.queue.Len(),
+	}
+	perStream := make([]float64, len(e.gens))
+	for i := range e.gens {
+		bits := float64(8 * len(e.payloads[i]))
+		c := &r.Clients[i]
+		c.Stream = i
+		c.OfferedPackets = e.offered[i]
+		c.DeliveredPackets = e.delivered[i]
+		c.FailedPackets = e.failed[i]
+		c.DroppedPackets = e.dropped[i]
+		c.OfferedBps = float64(e.offered[i]) * bits / seconds
+		c.DeliveredBps = float64(e.delivered[i]) * bits / seconds
+		lats := e.latencies[i]
+		pcts := stats.Percentiles(lats, 50, 95)
+		c.P50LatencyMs, c.P95LatencyMs = pcts[0], pcts[1]
+		var jitter float64
+		for k := 1; k < len(lats); k++ {
+			d := lats[k] - lats[k-1]
+			if d < 0 {
+				d = -d
+			}
+			jitter += d
+		}
+		if len(lats) > 1 {
+			c.JitterMs = jitter / float64(len(lats)-1)
+		}
+		perStream[i] = c.DeliveredBps
+		r.AggregateOfferedBps += c.OfferedBps
+		r.AggregateDeliveredBps += c.DeliveredBps
+	}
+	r.Fairness = stats.JainFairness(perStream)
+	return r
+}

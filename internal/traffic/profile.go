@@ -1,0 +1,246 @@
+// Package traffic closes the loop the paper is named after: it drives the
+// simulated network with per-client *user demands* instead of a pre-filled
+// queue, so offered load — not a packet count — is the independent
+// variable. A deterministic event-driven engine generates arrivals from
+// per-client demand profiles on the shared ether sample clock, feeds the
+// MAC's shared downlink queue, consumes acknowledgments closed-loop, and
+// accounts per-client throughput, latency, jitter and drops. Sweeping the
+// offered load produces the saturation curve (delivered throughput vs
+// demand) for MegaMIMO against the 802.11 equal-share baseline.
+package traffic
+
+import (
+	"fmt"
+	"math"
+
+	"megamimo/internal/rng"
+)
+
+// Kind selects the arrival process of a demand profile.
+type Kind int
+
+const (
+	// CBR emits packets at a constant bit rate with deterministic
+	// spacing (a uniformly random phase de-synchronizes clients).
+	CBR Kind = iota
+	// Poisson emits packets with exponentially distributed
+	// interarrivals at the profile's mean rate.
+	Poisson
+	// OnOff alternates exponentially distributed bursts and idle
+	// periods; during a burst packets arrive at the peak rate chosen so
+	// the long-run average matches RateBps.
+	OnOff
+	// HeavyTailed emits whole files with bounded-Pareto sizes at
+	// Poisson arrival instants; each file is segmented into MTU-sized
+	// packets that enter the queue together.
+	HeavyTailed
+)
+
+// String names the arrival process.
+func (k Kind) String() string {
+	switch k {
+	case CBR:
+		return "cbr"
+	case Poisson:
+		return "poisson"
+	case OnOff:
+		return "onoff"
+	case HeavyTailed:
+		return "heavy"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// ParseKind maps a -workload flag value to a Kind.
+func ParseKind(s string) (Kind, error) {
+	switch s {
+	case "cbr":
+		return CBR, nil
+	case "poisson":
+		return Poisson, nil
+	case "onoff":
+		return OnOff, nil
+	case "heavy":
+		return HeavyTailed, nil
+	}
+	return 0, fmt.Errorf("traffic: unknown workload kind %q (want cbr|poisson|onoff|heavy)", s)
+}
+
+// Profile is one client's demand: how fast it wants data and in what
+// pattern. The zero value offers no load.
+type Profile struct {
+	// Kind selects the arrival process.
+	Kind Kind
+	// RateBps is the long-run offered load in bits per second.
+	RateBps float64
+	// PacketBytes is the MSDU size (the paper's 1500-byte packets).
+	PacketBytes int
+	// BurstSeconds / IdleSeconds are the mean burst and idle durations
+	// for OnOff profiles.
+	BurstSeconds, IdleSeconds float64
+	// ParetoAlpha and Min/MaxFileBytes shape HeavyTailed file sizes
+	// (bounded Pareto).
+	ParetoAlpha                float64
+	MinFileBytes, MaxFileBytes int
+}
+
+// NewCBR builds a constant-bit-rate profile.
+func NewCBR(rateBps float64, packetBytes int) Profile {
+	return Profile{Kind: CBR, RateBps: rateBps, PacketBytes: packetBytes}
+}
+
+// NewPoisson builds a Poisson-arrival profile.
+func NewPoisson(rateBps float64, packetBytes int) Profile {
+	return Profile{Kind: Poisson, RateBps: rateBps, PacketBytes: packetBytes}
+}
+
+// NewOnOff builds a bursty on-off profile with the given mean burst and
+// idle durations; the long-run average rate is rateBps.
+func NewOnOff(rateBps float64, packetBytes int, burstSeconds, idleSeconds float64) Profile {
+	return Profile{
+		Kind: OnOff, RateBps: rateBps, PacketBytes: packetBytes,
+		BurstSeconds: burstSeconds, IdleSeconds: idleSeconds,
+	}
+}
+
+// NewHeavyTailed builds a file-transfer profile: Poisson file arrivals
+// with bounded-Pareto sizes in [minFile, maxFile] bytes, segmented into
+// packetBytes MTUs.
+func NewHeavyTailed(rateBps float64, packetBytes int, alpha float64, minFile, maxFile int) Profile {
+	return Profile{
+		Kind: HeavyTailed, RateBps: rateBps, PacketBytes: packetBytes,
+		ParetoAlpha: alpha, MinFileBytes: minFile, MaxFileBytes: maxFile,
+	}
+}
+
+// Default shapes the sweep uses.
+const (
+	// DefaultPacketBytes matches §10's 1500-byte packets.
+	DefaultPacketBytes = 1500
+	// DefaultParetoAlpha is the classic heavy-tail web-flow exponent.
+	DefaultParetoAlpha = 1.2
+)
+
+// ProfileFor builds a profile of the given kind at rateBps with
+// sweep-default shape parameters.
+func ProfileFor(kind Kind, rateBps float64, packetBytes int) Profile {
+	switch kind {
+	case CBR:
+		return NewCBR(rateBps, packetBytes)
+	case OnOff:
+		return NewOnOff(rateBps, packetBytes, 5e-3, 5e-3)
+	case HeavyTailed:
+		return NewHeavyTailed(rateBps, packetBytes, DefaultParetoAlpha,
+			packetBytes, 16*packetBytes)
+	default:
+		return NewPoisson(rateBps, packetBytes)
+	}
+}
+
+// never is an arrival time beyond any horizon (zero-rate profiles park
+// here so the engine skips them).
+const never = int64(math.MaxInt64)
+
+// gen produces one client's arrival process on the ether sample clock.
+// peek returns the next arrival instant; pop consumes it, returning how
+// many packets arrive at that instant, and schedules the subsequent one.
+type gen struct {
+	p          Profile
+	src        *rng.Source
+	sampleRate float64
+	nextAt     int64
+	onUntil    int64 // OnOff: end of the current burst
+}
+
+// newGen builds the generator starting at the given ether time. Each
+// client's process gets a random initial phase so profiles with identical
+// rates don't arrive in lockstep.
+func newGen(p Profile, src *rng.Source, sampleRate float64, start int64) *gen {
+	g := &gen{p: p, src: src, sampleRate: sampleRate}
+	if p.RateBps <= 0 || p.PacketBytes <= 0 {
+		g.nextAt = never
+		return g
+	}
+	switch p.Kind {
+	case CBR:
+		g.nextAt = start + g.samples(src.Float64()*g.cbrGapSeconds())
+	case OnOff:
+		g.onUntil = start + g.samples(src.Exp(p.BurstSeconds))
+		g.nextAt = start + g.samples(src.Float64()*g.onOffGapSeconds())
+	case HeavyTailed:
+		g.nextAt = start + g.samples(src.Exp(g.fileGapSeconds()))
+	default: // Poisson
+		g.nextAt = start + g.samples(src.Exp(g.packetGapSeconds()))
+	}
+	return g
+}
+
+func (g *gen) samples(seconds float64) int64 {
+	s := int64(seconds * g.sampleRate)
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+func (g *gen) packetBits() float64 { return float64(8 * g.p.PacketBytes) }
+
+// cbrGapSeconds is the deterministic CBR spacing.
+func (g *gen) cbrGapSeconds() float64 { return g.packetBits() / g.p.RateBps }
+
+// packetGapSeconds is the mean Poisson interarrival.
+func (g *gen) packetGapSeconds() float64 { return g.packetBits() / g.p.RateBps }
+
+// onOffGapSeconds is the in-burst spacing at the peak rate that keeps the
+// long-run average at RateBps.
+func (g *gen) onOffGapSeconds() float64 {
+	duty := g.p.BurstSeconds / (g.p.BurstSeconds + g.p.IdleSeconds)
+	peak := g.p.RateBps / duty
+	return g.packetBits() / peak
+}
+
+// fileGapSeconds is the mean file interarrival that offers RateBps given
+// the mean bounded-Pareto file size.
+func (g *gen) fileGapSeconds() float64 {
+	meanBytes := rng.BoundedParetoMean(g.p.ParetoAlpha,
+		float64(g.p.MinFileBytes), float64(g.p.MaxFileBytes))
+	return 8 * meanBytes / g.p.RateBps
+}
+
+// peek returns the ether time of the next arrival (never for idle
+// profiles).
+func (g *gen) peek() int64 { return g.nextAt }
+
+// pop consumes the pending arrival, returning the number of packets it
+// carries, and schedules the next one.
+func (g *gen) pop() int {
+	if g.nextAt == never {
+		return 0
+	}
+	n := 1
+	at := g.nextAt
+	switch g.p.Kind {
+	case CBR:
+		g.nextAt = at + g.samples(g.cbrGapSeconds())
+	case OnOff:
+		next := at + g.samples(g.onOffGapSeconds())
+		if next > g.onUntil {
+			// Burst over: idle, then start the next burst.
+			next = g.onUntil + g.samples(g.src.Exp(g.p.IdleSeconds))
+			g.onUntil = next + g.samples(g.src.Exp(g.p.BurstSeconds))
+		}
+		g.nextAt = next
+	case HeavyTailed:
+		fileBytes := g.src.Pareto(g.p.ParetoAlpha,
+			float64(g.p.MinFileBytes), float64(g.p.MaxFileBytes))
+		n = int(math.Ceil(fileBytes / float64(g.p.PacketBytes)))
+		if n < 1 {
+			n = 1
+		}
+		g.nextAt = at + g.samples(g.src.Exp(g.fileGapSeconds()))
+	default: // Poisson
+		g.nextAt = at + g.samples(g.src.Exp(g.packetGapSeconds()))
+	}
+	return n
+}

@@ -1,0 +1,192 @@
+package traffic
+
+import (
+	"math"
+	"testing"
+
+	"megamimo/internal/core"
+	"megamimo/internal/rng"
+)
+
+// testNetwork builds a small measured high-SNR network.
+func testNetwork(t *testing.T, seed int64) *core.Network {
+	t.Helper()
+	cfg := core.DefaultConfig(2, 2, 18, 24)
+	cfg.Seed = seed
+	n, err := core.New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if _, err := n.MeasureAndPrecode(); err != nil {
+		t.Fatalf("MeasureAndPrecode: %v", err)
+	}
+	return n
+}
+
+// drainGen counts packets a generator emits inside a window.
+func drainGen(g *gen, horizon int64) int {
+	n := 0
+	for g.peek() < horizon {
+		n += g.pop()
+	}
+	return n
+}
+
+func TestGenOfferedRates(t *testing.T) {
+	const (
+		sampleRate = 10e6
+		seconds    = 2.0
+		rateBps    = 6e6
+		pktBytes   = 1500
+	)
+	horizon := int64(seconds * sampleRate)
+	want := rateBps * seconds / float64(8*pktBytes)
+	for _, kind := range []Kind{CBR, Poisson, OnOff, HeavyTailed} {
+		p := ProfileFor(kind, rateBps, pktBytes)
+		var got float64
+		const reps = 8
+		for r := 0; r < reps; r++ {
+			g := newGen(p, rng.New(int64(100+r)), sampleRate, 0)
+			got += float64(drainGen(g, horizon))
+		}
+		got /= reps
+		if got < 0.7*want || got > 1.3*want {
+			t.Errorf("%v: offered %.0f packets, want ≈%.0f", kind, got, want)
+		}
+	}
+}
+
+func TestGenZeroRateNeverFires(t *testing.T) {
+	g := newGen(Profile{Kind: Poisson}, rng.New(1), 10e6, 0)
+	if g.peek() != never {
+		t.Fatalf("zero-rate gen scheduled an arrival at %d", g.peek())
+	}
+}
+
+func TestParseKindRoundTrip(t *testing.T) {
+	for _, k := range []Kind{CBR, Poisson, OnOff, HeavyTailed} {
+		got, err := ParseKind(k.String())
+		if err != nil || got != k {
+			t.Errorf("ParseKind(%q) = %v, %v", k.String(), got, err)
+		}
+	}
+	if _, err := ParseKind("bogus"); err == nil {
+		t.Error("ParseKind accepted bogus kind")
+	}
+}
+
+func TestProfileCountMismatch(t *testing.T) {
+	n := testNetwork(t, 11)
+	_, err := New(n, Config{Profiles: []Profile{NewCBR(1e6, 256)}})
+	if err == nil {
+		t.Fatal("New accepted wrong profile count")
+	}
+}
+
+// engineReport runs one closed-loop window and returns the report.
+func engineReport(t *testing.T, sys System, netSeed, engSeed int64, rateBps, seconds float64) *Report {
+	t.Helper()
+	n := testNetwork(t, netSeed)
+	streams := n.NumStreams()
+	profiles := make([]Profile, streams)
+	for i := range profiles {
+		profiles[i] = NewPoisson(rateBps, 256)
+	}
+	e, err := New(n, Config{System: sys, Profiles: profiles, Seed: engSeed})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	rep, err := e.Run(seconds)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return rep
+}
+
+func TestEngineClosedLoopDelivers(t *testing.T) {
+	rep := engineReport(t, SystemMegaMIMO, 21, 5, 2e6, 0.02)
+	if rep.AggregateOfferedBps <= 0 {
+		t.Fatal("no load offered")
+	}
+	if rep.AggregateDeliveredBps <= 0 {
+		t.Fatal("closed loop delivered nothing")
+	}
+	if rep.AggregateDeliveredBps > rep.AggregateOfferedBps+1 {
+		t.Fatalf("delivered %.0f bps exceeds offered %.0f bps",
+			rep.AggregateDeliveredBps, rep.AggregateOfferedBps)
+	}
+	for _, c := range rep.Clients {
+		if c.DeliveredPackets > 0 && (math.IsNaN(c.P50LatencyMs) || c.P50LatencyMs <= 0) {
+			t.Errorf("stream %d: delivered %d packets but p50 latency %.3f ms",
+				c.Stream, c.DeliveredPackets, c.P50LatencyMs)
+		}
+	}
+	if rep.Fairness <= 0 || rep.Fairness > 1.0000001 {
+		t.Fatalf("fairness %.3f out of range", rep.Fairness)
+	}
+}
+
+func TestEngineDeterministicRepeat(t *testing.T) {
+	a := engineReport(t, SystemMegaMIMO, 33, 9, 4e6, 0.01)
+	b := engineReport(t, SystemMegaMIMO, 33, 9, 4e6, 0.01)
+	if a.String() != b.String() {
+		t.Fatalf("same seeds diverged:\n%s\nvs\n%s", a, b)
+	}
+}
+
+func TestEngineTDMABaselineRuns(t *testing.T) {
+	rep := engineReport(t, SystemTDMA, 21, 5, 2e6, 0.02)
+	if rep.AggregateDeliveredBps <= 0 {
+		t.Fatal("TDMA baseline delivered nothing")
+	}
+}
+
+func TestQueueCapDropTails(t *testing.T) {
+	n := testNetwork(t, 44)
+	streams := n.NumStreams()
+	profiles := make([]Profile, streams)
+	for i := range profiles {
+		profiles[i] = NewCBR(40e6, 1500) // far beyond capacity
+	}
+	e, err := New(n, Config{System: SystemMegaMIMO, Profiles: profiles, Seed: 3, QueueCap: 4})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	rep, err := e.Run(0.01)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	drops := 0
+	for _, c := range rep.Clients {
+		drops += c.DroppedPackets
+	}
+	if drops == 0 {
+		t.Fatal("overloaded engine with QueueCap=4 dropped nothing")
+	}
+}
+
+func TestTrafficEmitsTraceEvents(t *testing.T) {
+	n := testNetwork(t, 55)
+	n.Trace().Enable(0)
+	streams := n.NumStreams()
+	profiles := make([]Profile, streams)
+	for i := range profiles {
+		profiles[i] = NewPoisson(2e6, 256)
+	}
+	e, err := New(n, Config{Profiles: profiles, Seed: 1})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if _, err := e.Run(0.005); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	found := 0
+	for _, ev := range n.Trace().Events() {
+		if ev.Kind == core.KindTraffic {
+			found++
+		}
+	}
+	if found < 2 {
+		t.Fatalf("want ≥2 %q trace events, got %d", core.KindTraffic, found)
+	}
+}
