@@ -22,7 +22,9 @@ import (
 	"runtime/pprof"
 	"time"
 
+	"megamimo/internal/core"
 	"megamimo/internal/experiment"
+	"megamimo/internal/tracefmt"
 	"megamimo/internal/traffic"
 )
 
@@ -45,8 +47,15 @@ func main() {
 		jsonOut    = flag.Bool("json", false, "emit per-figure metrics as JSON instead of tables")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		traceOut   = flag.String("trace-out", "", "workload only: write the merged flight-recorder trace to this file")
+		traceFmt   = flag.String("trace-format", "jsonl", "trace file format: jsonl|chrome")
 	)
 	flag.Parse()
+	format, err := tracefmt.ParseFormat(*traceFmt)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "trace-format: %v\n", err)
+		os.Exit(2)
+	}
 	if *quick {
 		*topos, *rounds, *maxAPs = 2, 2, 6
 	}
@@ -163,9 +172,20 @@ func main() {
 		if *quick {
 			loads, nAPs, seconds = []float64{2, 8}, 2, 0.005
 		}
-		r, err := experiment.RunWorkload(loads, nAPs, maxInt(2, *topos/5), traffic.Poisson, seconds, *seed)
+		traceLimit := 0
+		if *traceOut != "" {
+			traceLimit = 1 << 18 // per-cell ring; merged below
+		}
+		r, events, err := experiment.RunWorkloadTrace(loads, nAPs, maxInt(2, *topos/5), traffic.Poisson, seconds, *seed, traceLimit)
 		if err != nil {
 			return "", err
+		}
+		if *traceOut != "" {
+			cfg := core.DefaultConfig(nAPs, nAPs, experiment.HighSNR.Lo, experiment.HighSNR.Hi)
+			meta := tracefmt.Meta{SampleRate: cfg.SampleRate, CarrierHz: cfg.CarrierHz, APs: nAPs, Clients: nAPs}
+			if err := tracefmt.WriteFile(*traceOut, format, meta, events); err != nil {
+				return "", err
+			}
 		}
 		return fmt.Sprintln(r), nil
 	})

@@ -16,6 +16,7 @@ import (
 	"megamimo/internal/baseline"
 	"megamimo/internal/core"
 	"megamimo/internal/mac"
+	"megamimo/internal/tracefmt"
 	"megamimo/internal/traffic"
 )
 
@@ -34,8 +35,16 @@ func main() {
 		load     = flag.Float64("load", 8, "workload offered load per client (Mb/s)")
 		duration = flag.Float64("duration", 0.05, "workload window (simulated seconds)")
 		metrics  = flag.Bool("metrics", false, "dump the runtime metrics registry as JSON on exit")
+		traceOut = flag.String("trace-out", "", "write the flight-recorder trace to this file")
+		traceFmt = flag.String("trace-format", "jsonl", "trace file format: jsonl|chrome")
+		driftPPM = flag.Float64("drift-ppm", 0, "inject ±ppm oscillator drift: lead −ppm, slave APs +ppm (2×ppm relative)")
 	)
 	flag.Parse()
+
+	format, err := tracefmt.ParseFormat(*traceFmt)
+	if err != nil {
+		fatal(err)
+	}
 
 	cfg := core.DefaultConfig(*nAPs, *nCli, *snrLo, *snrHi)
 	cfg.Seed = *seed
@@ -46,8 +55,22 @@ func main() {
 	}
 	fmt.Printf("network: %d APs, %d clients, %.0f-%.0f dB, %.0f MHz\n",
 		*nAPs, *nCli, *snrLo, *snrHi, cfg.SampleRate/1e6)
-	if *trace {
-		net.Trace().Enable(0)
+	if *trace || *traceOut != "" {
+		net.Trace().Enable(1 << 20)
+	}
+	if *driftPPM != 0 {
+		// Pull the lead and the slave APs apart by 2×ppm relative: the
+		// drift the anomaly detector's cfo-mandate check measures. Client
+		// oscillators keep their configured draws.
+		for _, ap := range net.APs {
+			if ap.Index == net.Lead().Index {
+				ap.Node.Osc.PPM = -*driftPPM
+			} else {
+				ap.Node.Osc.PPM = *driftPPM
+			}
+		}
+		fmt.Printf("oscillator drift injected: lead %+.1f ppm, slaves %+.1f ppm (%.1f ppm relative)\n",
+			-*driftPPM, *driftPPM, 2*math.Abs(*driftPPM))
 	}
 
 	if err := net.Measure(); err != nil {
@@ -66,6 +89,7 @@ func main() {
 
 	if *workload != "" {
 		runWorkload(net, cfg, *workload, *load, *duration, *seed, *size, *trace, *metrics)
+		writeTrace(net, cfg, *nAPs, *nCli, *traceOut, format)
 		return
 	}
 
@@ -116,6 +140,26 @@ func main() {
 		}
 		fmt.Println()
 	}
+	writeTrace(net, cfg, *nAPs, *nCli, *traceOut, format)
+}
+
+// writeTrace exports the flight recorder to -trace-out, stamping the run
+// parameters the analyzers need (sample rate, carrier, network size).
+func writeTrace(net *core.Network, cfg core.Config, nAPs, nCli int, path string, format tracefmt.Format) {
+	if path == "" {
+		return
+	}
+	meta := tracefmt.Meta{
+		SampleRate: cfg.SampleRate,
+		CarrierHz:  cfg.CarrierHz,
+		APs:        nAPs,
+		Clients:    nCli,
+	}
+	events := net.Trace().Events()
+	if err := tracefmt.WriteFile(path, format, meta, events); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("\ntrace: %d events -> %s (%s)\n", len(events), path, format)
 }
 
 // runWorkload drives the measured network closed-loop from per-client

@@ -1,0 +1,123 @@
+// Command megamimo-trace analyzes flight-recorder traces written by
+// megamimo-sim and megamimo-bench (-trace-out), in either JSONL or Chrome
+// trace-event format.
+//
+// Usage:
+//
+//	megamimo-trace [flags] summary|phases|spans|anomalies <trace-file>
+//
+// Subcommands:
+//
+//	summary    per-kind event counts, span totals and the covered window
+//	phases     per-slave-AP phase-synchronization statistics: residual
+//	           phase error vs the π/18 nulling budget, CFO in ppm
+//	spans      duration distributions of the protocol spans (measure,
+//	           round, joint-tx, traffic)
+//	anomalies  check the trace against the paper's budgets; exits 1 if
+//	           any violation is found, 0 on a clean trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"megamimo/internal/tracefmt"
+)
+
+func main() {
+	var (
+		budgetRad = flag.Float64("budget-rad", math.Pi/18, "phase-error budget per slave AP (rad, median)")
+		maxPPM    = flag.Float64("max-ppm", 40, "relative CFO mandate between lead and slave (ppm)")
+		nullDB    = flag.Float64("null-degrade-db", 3, "flag null depths this far below the run median (dB)")
+		evmDB     = flag.Float64("evm-degrade-db", 6, "flag decodes this far below their stream median EVM SNR (dB)")
+	)
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: megamimo-trace [flags] summary|phases|spans|anomalies <trace-file>")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	cmd, path := flag.Arg(0), flag.Arg(1)
+
+	meta, events, err := tracefmt.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+
+	switch cmd {
+	case "summary":
+		s := tracefmt.Summarize(meta, events)
+		fmt.Printf("trace: %d events, %d spans", s.Events, s.Spans)
+		if s.OpenSpans > 0 {
+			fmt.Printf(" (%d left open — ring overflow?)", s.OpenSpans)
+		}
+		fmt.Printf("\nwindow: t=%d..%d samples", s.AtMin, s.AtMax)
+		if s.DurationMs > 0 {
+			fmt.Printf(" (%.3f ms at %.0f MHz)", s.DurationMs, meta.SampleRate/1e6)
+		}
+		fmt.Printf("\nnetwork: %d APs, %d clients\n\nevents by kind:\n", meta.APs, meta.Clients)
+		for _, kc := range s.ByKind {
+			fmt.Printf("  %-12s %6d\n", kc.Kind, kc.Count)
+		}
+
+	case "phases":
+		stats := tracefmt.PhaseStats(meta, events)
+		if len(stats) == 0 {
+			fmt.Println("no slave-ratio events in trace")
+			return
+		}
+		fmt.Printf("phase synchronization per slave AP (budget π/18 = %.4f rad):\n", math.Pi/18)
+		fmt.Printf("  %-4s %6s %12s %12s %12s %14s %10s\n",
+			"AP", "N", "median|e|", "p95|e|", "max|e|", "CFO rad/smp", "rel ppm")
+		for _, st := range stats {
+			fmt.Printf("  %-4d %6d %12.5f %12.5f %12.5f %14.3e %10.2f\n",
+				st.AP, st.N, st.MedianAbsRad, st.P95AbsRad, st.MaxAbsRad,
+				st.CFORadPerSample, st.RelPPM)
+		}
+
+	case "spans":
+		stats := tracefmt.SpanStats(meta, events)
+		if len(stats) == 0 {
+			fmt.Println("no completed spans in trace")
+			return
+		}
+		fmt.Println("span durations (ms):")
+		fmt.Printf("  %-12s %6s %10s %10s %10s\n", "kind", "N", "median", "p95", "max")
+		for _, st := range stats {
+			fmt.Printf("  %-12s %6d %10.4f %10.4f %10.4f\n",
+				st.Kind, st.N, st.MedianMs, st.P95Ms, st.MaxMs)
+		}
+
+	case "anomalies":
+		b := tracefmt.Budget{
+			PhaseBudgetRad: *budgetRad,
+			MaxRelPPM:      *maxPPM,
+			NullDegradeDB:  *nullDB,
+			EVMDegradeDB:   *evmDB,
+		}
+		found := tracefmt.FindAnomalies(meta, events, b)
+		if len(found) == 0 {
+			fmt.Println("no anomalies: every slave AP within the phase and CFO budgets, no degraded nulls or decodes")
+			return
+		}
+		fmt.Printf("%d anomalies:\n", len(found))
+		for _, a := range found {
+			fmt.Println("  " + a.String())
+		}
+		os.Exit(1)
+
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "megamimo-trace:", err)
+	os.Exit(1)
+}

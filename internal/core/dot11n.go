@@ -80,7 +80,7 @@ func (n *Network) MeasureDot11n() error {
 				}
 				slaveDelta[ap.Index] = unitVector()
 			} else {
-				ratio, _, err := n.slaveMeasureRatio(ap, tH)
+				ratio, _, _, err := n.slaveMeasureRatio(ap, tH)
 				if err != nil {
 					return fmt.Errorf("slave %d slot %d: %w", ap.Index, slot, err)
 				}

@@ -63,6 +63,9 @@ func (n *Network) uplinkDeliver(rep *csi.Report, fromAnt int, asm *csi.Assembler
 		if !delivered {
 			return nil, fmt.Errorf("core: uplink CSI chunk lost after retries (client %d)", rep.Client)
 		}
+		n.trace(n.now, KindFeedback,
+			TraceAttrs{Client: rep.Client, AP: lead.Index, Bits: int64(8 * len(chunk)), OK: true},
+			"CSI chunk from client %d", rep.Client)
 	}
 	return done, nil
 }

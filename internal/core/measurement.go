@@ -137,10 +137,13 @@ func (n *Network) MeasureDecoupled(groups [][]int, gapSamples int64) error {
 	}
 	var pendingUplink []uplinkJob
 	var mid0 int64
+	span := n.tracer.BeginSpan(n.now, KindMeasure, TraceAttrs{AP: lead.Index},
+		"%d measurement packets, lead AP %d", len(groups), lead.Index)
 	for gi, group := range groups {
 		t0 := n.now + 256
 		sched := n.measurementSchedule(t0)
-		n.tracef(t0, KindMeasure, "packet %d: header by AP %d, %d CFO blocks, %d rounds x %d antennas, clients %v",
+		n.trace(t0, KindMeasure, TraceAttrs{AP: lead.Index, Pkt: int64(gi)},
+			"packet %d: header by AP %d, %d CFO blocks, %d rounds x %d antennas, clients %v",
 			gi, lead.Index, sched.nAPs, sched.rounds, sched.nAPs*sched.antsPer, group)
 
 		// (a) Collecting measurements: post every transmission.
@@ -175,11 +178,14 @@ func (n *Network) MeasureDecoupled(groups [][]int, gapSamples int64) error {
 			}
 		} else {
 			for _, ap := range n.Slaves() {
-				ratio, curAt, err := n.slaveMeasureRatio(ap, t0)
+				ratio, curAt, resid, err := n.slaveMeasureRatio(ap, t0)
 				if err != nil {
 					return fmt.Errorf("slave %d decoupled reference: %w", ap.Index, err)
 				}
 				ps := ap.syncTo(lead.Index)
+				n.trace(curAt, KindSlaveRatio,
+					TraceAttrs{AP: ap.Index, PhaseErrRad: resid, CFORadPerSample: ps.cfo},
+					"AP %d: decoupled re-reference", ap.Index)
 				// The ratio is the phase the slave's oscillator gained on
 				// the lead between the two reference points; extending it
 				// from that gap to the reference-midpoint gap gives the
@@ -260,7 +266,8 @@ func (n *Network) MeasureDecoupled(groups [][]int, gapSamples int64) error {
 	}
 	msmt.RefMid = mid0
 	n.Msmt = msmt
-	n.tracef(n.now, KindMeasure, "H assembled: %dx%d on %d bins, reference t=%d, %d reports",
+	n.tracer.EndSpanAttrs(span, n.now, TraceAttrs{AP: lead.Index, OK: true},
+		"H assembled: %dx%d on %d bins, reference t=%d, %d reports",
 		msmt.H[0].Rows, msmt.H[0].Cols, len(msmt.Bins), msmt.RefMid, len(reports))
 	return nil
 }

@@ -44,10 +44,13 @@ func (n *Network) MeasureMisalignment(rounds int, gapSamples int64) ([]float64, 
 		// would for a data transmission.
 		t1 := n.now + 64
 		n.Air.Transmit(n.APAntennaID(lead.Index, 0), lead.Node.Osc, t1, ofdm.Preamble())
-		ratio, curAt, err := n.slaveMeasureRatio(slave, t1)
+		ratio, curAt, resid, err := n.slaveMeasureRatio(slave, t1)
 		if err != nil {
 			return nil, fmt.Errorf("round %d: %w", r, err)
 		}
+		n.trace(curAt, KindSlaveRatio,
+			TraceAttrs{AP: slave.Index, PhaseErrRad: resid, CFORadPerSample: slave.syncTo(lead.Index).cfo},
+			"misalignment round %d", r)
 
 		// Alternating symbol pairs (§11.1b: "each transmitter's
 		// transmission consists of pairs of an OFDM symbol followed by an

@@ -290,6 +290,7 @@ func New(cfg Config) (*Network, error) {
 		dem: ofdm.NewDemodulator(),
 	}
 	n.initMetrics()
+	n.initTracer()
 	busIDs := make([]int, 0, cfg.NumAPs)
 	for a := 0; a < cfg.NumAPs; a++ {
 		ants := make([]int, cfg.AntennasPerAP)

@@ -2,12 +2,13 @@ package core
 
 import (
 	"strings"
+	"sync"
 	"testing"
 )
 
 func TestTracerRecordsProtocolTimeline(t *testing.T) {
 	n := buildNet(t, 2, 2, 20, 25, 140)
-	n.Trace().Enable(100)
+	n.Trace().Enable(200)
 	if _, err := n.MeasureAndPrecode(); err != nil {
 		t.Fatal(err)
 	}
@@ -21,6 +22,7 @@ func TestTracerRecordsProtocolTimeline(t *testing.T) {
 	}
 	kinds := map[string]bool{}
 	var prev int64 = -1
+	open := map[int64]string{} // span id → kind
 	for _, e := range evs {
 		kinds[e.Kind] = true
 		if e.At < prev {
@@ -30,11 +32,68 @@ func TestTracerRecordsProtocolTimeline(t *testing.T) {
 		if !strings.Contains(e.String(), e.Kind) {
 			t.Fatalf("String missing kind: %q", e.String())
 		}
+		switch e.Ph {
+		case PhBegin:
+			if e.Span == 0 {
+				t.Fatalf("begin event without span id: %+v", e)
+			}
+			open[e.Span] = e.Kind
+		case PhEnd:
+			if open[e.Span] != e.Kind {
+				t.Fatalf("end event %+v closes span of kind %q", e, open[e.Span])
+			}
+			delete(open, e.Span)
+		case PhInstant:
+		default:
+			t.Fatalf("unknown phase %q in %+v", string(e.Ph), e)
+		}
 	}
-	for _, want := range []string{"measure", "sync-header", "slave-ratio", "joint-tx"} {
+	if len(open) != 0 {
+		t.Fatalf("unbalanced spans left open: %v", open)
+	}
+	for _, want := range []string{"measure", "sync-header", "slave-ratio", "joint-tx", "decode"} {
 		if !kinds[want] {
 			t.Fatalf("missing %q events (got %v)", want, kinds)
 		}
+	}
+}
+
+// TestTracerSlaveRatioTelemetry checks the phase-sync telemetry rides on
+// the slave-ratio events: a finite residual and a CFO estimate close to
+// the true inter-oscillator offset.
+func TestTracerSlaveRatioTelemetry(t *testing.T) {
+	n := buildNet(t, 2, 2, 20, 25, 143)
+	n.Trace().Enable(500)
+	if _, err := n.MeasureAndPrecode(); err != nil {
+		t.Fatal(err)
+	}
+	payloads := [][]byte{make([]byte, 200), make([]byte, 200)}
+	for i := 0; i < 3; i++ {
+		if _, err := n.JointTransmit(payloads, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lead, slave := n.Lead(), n.Slaves()[0]
+	// peerSync.cfo estimates ω_peer − ω_self = ω_lead − ω_slave.
+	trueCFO := lead.Node.Osc.CFORadPerSample() - slave.Node.Osc.CFORadPerSample()
+	seen := 0
+	for _, e := range n.Trace().Events() {
+		if e.Kind != KindSlaveRatio {
+			continue
+		}
+		seen++
+		if e.Attrs.AP != slave.Index {
+			t.Fatalf("slave-ratio event for AP %d, want %d", e.Attrs.AP, slave.Index)
+		}
+		if d := e.Attrs.CFORadPerSample - trueCFO; d > 1e-4 || d < -1e-4 {
+			t.Errorf("CFO attr %.3e, true %.3e", e.Attrs.CFORadPerSample, trueCFO)
+		}
+		if e.Attrs.PhaseErrRad > 1 || e.Attrs.PhaseErrRad < -1 {
+			t.Errorf("implausible phase residual %.3f rad", e.Attrs.PhaseErrRad)
+		}
+	}
+	if seen == 0 {
+		t.Fatal("no slave-ratio events")
 	}
 }
 
@@ -48,25 +107,62 @@ func TestTracerDisabledIsFree(t *testing.T) {
 	}
 }
 
-func TestTracerLimit(t *testing.T) {
+// TestTracerRing checks the satellite fix: at the limit the tracer keeps
+// the most recent events (the interesting tail), not the oldest, and
+// counts the overflow.
+func TestTracerRing(t *testing.T) {
+	tr := &Tracer{}
+	tr.Enable(8)
+	for i := 0; i < 20; i++ {
+		tr.Emit(int64(i), KindTraffic, TraceAttrs{Pkt: int64(i)}, "")
+	}
+	evs := tr.Events()
+	if len(evs) != 8 {
+		t.Fatalf("ring holds %d events, want 8", len(evs))
+	}
+	for i, e := range evs {
+		if want := int64(12 + i); e.At != want || e.Attrs.Pkt != want || e.Seq != want {
+			t.Fatalf("ring slot %d = %+v, want the tail event t=%d", i, e, want)
+		}
+	}
+	if got := tr.Overflowed(); got != 12 {
+		t.Fatalf("Overflowed() = %d, want 12", got)
+	}
+	if got := tr.Dropped(); got != 0 {
+		t.Fatalf("Dropped() = %d, want 0", got)
+	}
+}
+
+// TestTracerLimitDuringProtocol keeps the end-to-end flavor of the old
+// limit test: a tiny ring over a real measurement keeps only `limit`
+// events and reports the displaced count.
+func TestTracerLimitDuringProtocol(t *testing.T) {
 	n := buildNet(t, 2, 2, 20, 25, 142)
 	n.Trace().Enable(2)
 	if _, err := n.MeasureAndPrecode(); err != nil {
 		t.Fatal(err)
 	}
-	if got := len(n.Trace().Events()); got > 2 {
-		t.Fatalf("limit ignored: %d events", got)
+	evs := n.Trace().Events()
+	if len(evs) != 2 {
+		t.Fatalf("limit ignored: %d events", len(evs))
+	}
+	// The retained tail must be the *latest* events.
+	if n.Trace().Overflowed() == 0 {
+		t.Fatal("expected overflow on a 2-event ring")
+	}
+	if evs[0].Seq+1 != evs[1].Seq {
+		t.Fatalf("tail not contiguous: %+v", evs)
 	}
 }
 
 func TestTraceKindConstantsAreValid(t *testing.T) {
-	for _, k := range []string{
-		KindMeasure, KindSyncHeader, KindSlaveRatio, KindJointTx,
-		KindDecode, KindFeedback, KindTraffic, KindMetrics,
-	} {
+	for _, k := range Kinds() {
 		if !ValidKind(k) {
 			t.Errorf("exported kind constant %q not in the valid set", k)
 		}
+	}
+	if len(Kinds()) != 12 {
+		t.Errorf("Kinds() lists %d kinds, want 12", len(Kinds()))
 	}
 	if ValidKind("") || ValidKind("Joint-Tx") || ValidKind("joint_tx") {
 		t.Error("ValidKind accepted a kind outside the vocabulary")
@@ -76,14 +172,132 @@ func TestTraceKindConstantsAreValid(t *testing.T) {
 func TestTracerRejectsUnknownKinds(t *testing.T) {
 	tr := &Tracer{}
 	tr.Enable(16)
-	tr.Emit(1, "bogus-kind", "must be dropped")
-	tr.Emit(2, "JOINT-TX", "case matters; must be dropped")
-	tr.Emit(3, KindTraffic, "legit workload event %d", 7)
+	tr.Emit(1, "bogus-kind", TraceAttrs{}, "must be dropped")
+	tr.Emit(2, "JOINT-TX", TraceAttrs{}, "case matters; must be dropped")
+	if id := tr.BeginSpan(3, "bogus-span", TraceAttrs{}, ""); id != 0 {
+		t.Fatalf("BeginSpan accepted an unknown kind (id %d)", id)
+	}
+	tr.Emit(4, KindTraffic, TraceAttrs{}, "legit workload event %d", 7)
 	evs := tr.Events()
 	if len(evs) != 1 {
 		t.Fatalf("recorded %d events, want only the valid one: %v", len(evs), evs)
 	}
 	if evs[0].Kind != KindTraffic || !strings.Contains(evs[0].Msg, "legit workload event 7") {
 		t.Fatalf("surviving event wrong: %+v", evs[0])
+	}
+	if got := tr.Dropped(); got != 3 {
+		t.Fatalf("Dropped() = %d, want 3", got)
+	}
+}
+
+// TestTraceDroppedMetric checks the observer's own error counter reaches
+// the network metrics registry (trace_dropped_total).
+func TestTraceDroppedMetric(t *testing.T) {
+	n := buildNet(t, 2, 2, 20, 25, 144)
+	n.Trace().Enable(16)
+	n.Trace().Emit(1, "not-a-kind", TraceAttrs{}, "")
+	if got := n.Metrics().Counter("trace_dropped_total").Value(); got != 1 {
+		t.Fatalf("trace_dropped_total = %d, want 1", got)
+	}
+	for i := 0; i < 20; i++ {
+		n.Trace().Emit(int64(i), KindMetrics, TraceAttrs{}, "")
+	}
+	if got := n.Metrics().Counter("trace_overflow_total").Value(); got != 4 {
+		t.Fatalf("trace_overflow_total = %d, want 4", got)
+	}
+}
+
+// TestTracerSpansAttachInstants checks instants inherit the innermost
+// open span and EndSpan pops the right frame even out of order.
+func TestTracerSpansAttachInstants(t *testing.T) {
+	tr := &Tracer{}
+	tr.Enable(32)
+	outer := tr.BeginSpan(0, KindRound, TraceAttrs{}, "")
+	inner := tr.BeginSpan(1, KindJointTx, TraceAttrs{}, "")
+	tr.Emit(2, KindDecode, TraceAttrs{}, "")
+	tr.EndSpan(inner, 3)
+	tr.Emit(4, KindRetransmit, TraceAttrs{}, "")
+	tr.EndSpan(outer, 5)
+	tr.Emit(6, KindTraffic, TraceAttrs{}, "")
+	evs := tr.Events()
+	byAt := map[int64]TraceEvent{}
+	for _, e := range evs {
+		byAt[e.At] = e
+	}
+	if got := byAt[2].Span; got != int64(inner) {
+		t.Errorf("instant inside inner span has span %d, want %d", got, inner)
+	}
+	if got := byAt[4].Span; got != int64(outer) {
+		t.Errorf("instant after inner end has span %d, want %d", got, outer)
+	}
+	if got := byAt[6].Span; got != 0 {
+		t.Errorf("instant outside spans has span %d, want 0", got)
+	}
+	if byAt[3].Kind != KindJointTx || byAt[3].Ph != PhEnd {
+		t.Errorf("inner end event wrong: %+v", byAt[3])
+	}
+	// Ending an unknown / already-closed span is a no-op.
+	tr.EndSpan(inner, 7)
+	tr.EndSpan(0, 8)
+	if got := len(tr.Events()); got != len(evs) {
+		t.Errorf("no-op EndSpan recorded events: %d -> %d", len(evs), got)
+	}
+}
+
+// TestTracerConcurrentSpans exercises concurrent begin/emit/end from
+// parallel workers under -race (experiment workers may share a tracer).
+func TestTracerConcurrentSpans(t *testing.T) {
+	tr := &Tracer{}
+	tr.Enable(4096)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				id := tr.BeginSpan(int64(i), KindRound, TraceAttrs{AP: w}, "")
+				tr.Emit(int64(i), KindDecode, TraceAttrs{AP: w}, "")
+				tr.EndSpan(id, int64(i)+1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	evs := tr.Events()
+	if len(evs) != 8*50*3 {
+		t.Fatalf("recorded %d events, want %d", len(evs), 8*50*3)
+	}
+	seen := map[int64]bool{}
+	for _, e := range evs {
+		if seen[e.Seq] {
+			t.Fatalf("duplicate seq %d", e.Seq)
+		}
+		seen[e.Seq] = true
+	}
+}
+
+func TestMergeTraces(t *testing.T) {
+	a := &Tracer{}
+	a.Enable(16)
+	sa := a.BeginSpan(0, KindRound, TraceAttrs{}, "cell a")
+	a.EndSpan(sa, 1)
+	b := &Tracer{}
+	b.Enable(16)
+	sb := b.BeginSpan(0, KindRound, TraceAttrs{}, "cell b")
+	b.Emit(1, KindDecode, TraceAttrs{}, "")
+	b.EndSpan(sb, 2)
+	merged := MergeTraces(a.Events(), b.Events())
+	if len(merged) != 5 {
+		t.Fatalf("merged %d events, want 5", len(merged))
+	}
+	for i, e := range merged {
+		if e.Seq != int64(i) {
+			t.Fatalf("merged seq not renumbered: %+v at %d", e, i)
+		}
+	}
+	if merged[0].Span == merged[2].Span {
+		t.Fatal("span ids collide across cells")
+	}
+	if merged[3].Span != merged[2].Span {
+		t.Fatal("cell b instant lost its span after offsetting")
 	}
 }

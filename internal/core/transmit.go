@@ -111,8 +111,11 @@ func (n *Network) JointTransmit(payloads [][]byte, mcs phy.MCS) (*TxResult, erro
 		return nil, fmt.Errorf("core: all streams silent")
 	}
 
+	span := n.tracer.BeginSpan(n.now, KindJointTx, TraceAttrs{Bits: int64(8 * payloadLen(payloads))},
+		"%d streams at %v", streams, mcs)
 	_, tD, err := n.postJointFrames(tx, frames)
 	if err != nil {
+		n.tracer.EndSpanAttrs(span, n.now, TraceAttrs{Cause: "post"}, "%v", err)
 		return nil, err
 	}
 
@@ -140,6 +143,8 @@ func (n *Network) JointTransmit(payloads [][]byte, mcs phy.MCS) (*TxResult, erro
 			f, err := cl.rx.Decode(win)
 			if err != nil {
 				n.mDecodeFailures.Inc()
+				n.trace(tD, KindDecode, TraceAttrs{Client: cl.Index, Stream: j, Cause: "decode"},
+					"stream %d: %v", j, err)
 				continue
 			}
 			res.Frames[j] = f
@@ -147,6 +152,7 @@ func (n *Network) JointTransmit(payloads [][]byte, mcs phy.MCS) (*TxResult, erro
 			if !f.FCSOK {
 				n.mFCSFailures.Inc()
 			}
+			n.traceDecode(tD, cl.Index, j, f)
 		}
 	}
 	okCount := 0
@@ -157,11 +163,39 @@ func (n *Network) JointTransmit(payloads [][]byte, mcs phy.MCS) (*TxResult, erro
 	}
 	n.mJointTx.Inc()
 	n.mStreamsDelivered.Add(int64(okCount))
-	n.tracef(tD, KindJointTx, "%d streams at %v, %d delivered, airtime %d samples",
-		streams, mcs, okCount, res.AirtimeSamples)
 	n.now = tD + int64(frameLen) + 256
 	n.Air.ClearBefore(n.now)
+	n.tracer.EndSpanAttrs(span, n.now, TraceAttrs{Bits: int64(res.GoodputBits()), OK: okCount == streams},
+		"%d/%d streams delivered, airtime %d samples", okCount, streams, res.AirtimeSamples)
 	return res, nil
+}
+
+// traceDecode emits one client antenna's decode-quality telemetry.
+func (n *Network) traceDecode(at int64, client, stream int, f *phy.RxFrame) {
+	if !n.tracer.Enabled() {
+		return
+	}
+	minSub := math.Inf(1)
+	for _, s := range f.SubcarrierSNR {
+		if s < minSub {
+			minSub = s
+		}
+	}
+	minDB := 60.0
+	if minSub > 0 && !math.IsInf(minSub, 1) {
+		minDB = 10 * math.Log10(minSub)
+		if minDB > 60 {
+			minDB = 60
+		}
+	}
+	n.trace(at, KindDecode, TraceAttrs{
+		Client:          client,
+		Stream:          stream,
+		EVMSNRdB:        f.SNRdB,
+		MinSubSNRdB:     minDB,
+		CFORadPerSample: f.ResidualCFO,
+		OK:              f.FCSOK,
+	}, "")
 }
 
 // postJointFrames runs the transmission side of a joint frame: lead sync
@@ -176,7 +210,7 @@ func (n *Network) postJointFrames(tx *phy.TX, frames []*phy.FrameSymbols) (t1, t
 	n.Air.Transmit(n.APAntennaID(lead.Index, 0), lead.Node.Osc, t1, ofdm.Preamble())
 	n.mSyncHeaders.Inc()
 	n.mSyncHeaderSmpls.Add(int64(ofdm.PreambleLen))
-	n.tracef(t1, KindSyncHeader, "lead AP %d", lead.Index)
+	n.trace(t1, KindSyncHeader, TraceAttrs{AP: lead.Index}, "lead AP %d", lead.Index)
 
 	// 2. Slaves measure the lead's current channel and derive their phase
 	//    correction (§5.2b).
@@ -188,14 +222,18 @@ func (n *Network) postJointFrames(tx *phy.TX, frames []*phy.FrameSymbols) (t1, t
 	}
 	corr := make(map[int]*correction, len(n.APs))
 	for _, ap := range n.Slaves() {
-		ratio, curAt, err := n.slaveMeasureRatio(ap, t1)
+		ratio, curAt, resid, err := n.slaveMeasureRatio(ap, t1)
 		if err != nil {
 			return 0, 0, fmt.Errorf("slave %d ratio: %w", ap.Index, err)
 		}
 		ps := ap.syncTo(n.Lead().Index)
 		corr[ap.Index] = &correction{ratio: ratio, curAt: curAt, refAt: ps.refAt, cfo: ps.cfo}
-		n.tracef(curAt, KindSlaveRatio, "AP %d: Δφ measured over %d samples, cfo %.3e rad/sample",
-			ap.Index, curAt-ps.refAt, ps.cfo)
+		// The flight recorder's phase-sync telemetry: the innovation of this
+		// packet's measured phase against the long-term CFO prediction is the
+		// residual phase error the π/18 nulling budget (§11.1b) bounds.
+		n.trace(curAt, KindSlaveRatio,
+			TraceAttrs{AP: ap.Index, PhaseErrRad: resid, CFORadPerSample: ps.cfo},
+			"AP %d: Δφ measured over %d samples", ap.Index, curAt-ps.refAt)
 	}
 
 	// 3. Joint data transmission after the fixed turnaround t∆ (§10).
@@ -282,8 +320,11 @@ func (n *Network) DiversityTransmit(stream int, payload []byte, mcs phy.MCS) (*T
 		return nil, err
 	}
 	frames := []*phy.FrameSymbols{f}
+	span := n.tracer.BeginSpan(n.now, KindJointTx, TraceAttrs{Stream: stream, Bits: int64(8 * len(payload))},
+		"diversity to stream %d at %v", stream, mcs)
 	_, tD, err := n.postJointFrames(tx, frames)
 	if err != nil {
+		n.tracer.EndSpanAttrs(span, n.now, TraceAttrs{Cause: "post"}, "%v", err)
 		return nil, err
 	}
 	frameLen := f.SampleLen()
@@ -303,21 +344,29 @@ func (n *Network) DiversityTransmit(stream int, payload []byte, mcs phy.MCS) (*T
 		if !fr.FCSOK {
 			n.mFCSFailures.Inc()
 		}
+		n.traceDecode(tD, cl.Index, stream, fr)
 	} else {
 		n.mDecodeFailures.Inc()
+		n.trace(tD, KindDecode, TraceAttrs{Client: cl.Index, Stream: stream, Cause: "decode"},
+			"stream %d: %v", stream, err)
 	}
 	n.now = tD + int64(frameLen) + 256
 	n.Air.ClearBefore(n.now)
+	n.tracer.EndSpanAttrs(span, n.now, TraceAttrs{Bits: int64(res.GoodputBits()), OK: res.OK[0]},
+		"delivered=%v, airtime %d samples", res.OK[0], res.AirtimeSamples)
 	return res, nil
 }
 
 // slaveMeasureRatio observes the lead's sync header at t1 and returns the
 // per-bin ratio ĥ(t1)/ĥ(0) — the direct phase-offset measurement that
-// avoids accumulating error (§5.2b) — plus the window reference time.
-func (n *Network) slaveMeasureRatio(ap *AP, t1 int64) ([]complex128, int64, error) {
+// avoids accumulating error (§5.2b) — plus the window reference time and
+// the residual phase error (the innovation against the long-term CFO
+// prediction, the flight recorder's phase-sync statistic; 0 on the
+// extrapolation ablation, which measures nothing).
+func (n *Network) slaveMeasureRatio(ap *AP, t1 int64) ([]complex128, int64, float64, error) {
 	ps := ap.syncTo(n.Lead().Index)
 	if ps.ref == nil {
-		return nil, 0, fmt.Errorf("no reference channel toward AP %d (run Measure first)", n.Lead().Index)
+		return nil, 0, 0, fmt.Errorf("no reference channel toward AP %d (run Measure first)", n.Lead().Index)
 	}
 	winStart := t1 - winLead
 	curAt := winStart + ltfPhaseOffset
@@ -330,12 +379,12 @@ func (n *Network) slaveMeasureRatio(ap *AP, t1 int64) ([]complex128, int64, erro
 		for _, b := range occupiedBins() {
 			ratio[b] = cmplxs.Expi(phase)
 		}
-		return ratio, curAt, nil
+		return ratio, curAt, 0, nil
 	}
 	win := n.Air.Observe(n.APAntennaID(ap.Index, 0), ap.Node.Osc, winStart, ofdm.PreambleLen+winLead+192)
 	sync, err := ofdm.Detect(win, 0.5)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, 0, err
 	}
 	// The schedule is trigger-synchronized (SourceSync-grade timing), so
 	// pin the LTF position; correlation peaks a sample off between the two
@@ -344,13 +393,13 @@ func (n *Network) slaveMeasureRatio(ap *AP, t1 int64) ([]complex128, int64, erro
 	sync.PayloadStart = winLead + ofdm.PreambleLen
 	cur, err := ofdm.EstimateChannelLTF(win, sync)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, 0, err
 	}
 	slopeMeas, q := ratioComponents(cur, ps.ref)
 	slope := ps.trackSlope(slopeMeas, float64(curAt-ps.refAt))
 	ratio := composeRatio(q, slope)
-	ps.trackCFO(ratio, curAt)
-	return ratio, curAt, nil
+	resid := ps.trackCFO(ratio, curAt)
+	return ratio, curAt, resid, nil
 }
 
 // trackSlope fuses a per-packet slope measurement into the long-term
@@ -458,8 +507,10 @@ func fitRatio(cur, ref []complex128) []complex128 {
 // resolves the 2π ambiguity; measurements fuse precision-weighted
 // (variance ∝ 1/Δt²), and the total weight is capped so slow oscillator
 // wander is still tracked. Very long idle gaps (where ambiguity
-// resolution would be unsafe) only reset the phase snapshot.
-func (ps *peerSync) trackCFO(ratio []complex128, at int64) {
+// resolution would be unsafe) only reset the phase snapshot. It returns the
+// measured innovation (the phase the prediction missed by, rad) as the
+// residual-phase-error telemetry; 0 when no fusion happened.
+func (ps *peerSync) trackCFO(ratio []complex128, at int64) float64 {
 	var sum complex128
 	for _, v := range ratio {
 		sum += v
@@ -471,11 +522,11 @@ func (ps *peerSync) trackCFO(ratio []complex128, at int64) {
 		ps.hasPhase = true
 	}()
 	if !ps.hasPhase {
-		return
+		return 0
 	}
 	dt := float64(at - ps.lastAt)
 	if dt <= 0 || dt > 2e5 {
-		return
+		return 0
 	}
 	predicted := ps.cfo * dt
 	resid := cmplxs.WrapPhase(phase - ps.lastPhase - predicted)
@@ -485,6 +536,7 @@ func (ps *peerSync) trackCFO(ratio []complex128, at int64) {
 	total := ps.cfoWeight + wMeas
 	ps.cfo = (ps.cfoWeight*ps.cfo + wMeas*meas) / total
 	ps.cfoWeight = math.Min(total, weightCap)
+	return resid
 }
 
 func payloadLen(payloads [][]byte) int {
@@ -635,5 +687,10 @@ func (n *Network) NullingINR(victim int, payloadBytes int, mcs phy.MCS) (float64
 	// the per-sample noise variance, so this is interference-per-bin over
 	// noise-per-bin — the receiver's own SNR-reduction view.
 	inr := acc / float64(cnt) / n.Cfg.NoiseVar
+	if inr > 0 {
+		n.trace(tD, KindNullDepth,
+			TraceAttrs{Client: victim / n.Cfg.AntennasPerClient, Stream: victim, NullDepthDB: -10 * math.Log10(inr)},
+			"victim stream %d", victim)
+	}
 	return inr, nil
 }

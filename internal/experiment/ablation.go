@@ -27,7 +27,7 @@ func RunAblations(draws int, seed int64) (*AblationResult, error) {
 
 	// Each draw is one engine cell; a NaN marks a singular draw to skip.
 	inrRun := func(mod func(*core.Config), wait int64) (float64, error) {
-		cells, err := Map(draws, func(d int) (float64, error) {
+		cells, err := MapNamed("ablation-inr", draws, func(d int) (float64, error) {
 			cfg := core.DefaultConfig(3, 3, 18, 24)
 			cfg.Seed = seed + int64(d)*211
 			cfg.WellConditioned = true
@@ -91,7 +91,7 @@ func RunAblations(draws int, seed int64) (*AblationResult, error) {
 	// ZF vs MMSE on iid Rayleigh (WellConditioned off): adapted-rate joint
 	// throughput.
 	tput := func(lambdaTimesNv float64) (float64, error) {
-		cells, err := Map(draws, func(d int) (float64, error) {
+		cells, err := MapNamed("ablation-precoder", draws, func(d int) (float64, error) {
 			cfg := core.DefaultConfig(5, 5, 18, 24)
 			cfg.Seed = seed + int64(d)*431
 			n, err := core.New(cfg)

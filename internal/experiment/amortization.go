@@ -40,7 +40,7 @@ type amortCell struct {
 // runs one (period, draw) pair; the seed repeats across periods so every
 // cadence is timed on the same channel draws.
 func RunAmortization(periods []int, draws int, seed int64) (*AmortizationResult, error) {
-	cells, err := Map(len(periods)*draws, func(i int) (amortCell, error) {
+	cells, err := MapNamed("amortization", len(periods)*draws, func(i int) (amortCell, error) {
 		period := periods[i/draws]
 		d := i % draws
 		cfg := core.DefaultConfig(4, 4, 18, 24)

@@ -1,7 +1,10 @@
 package experiment
 
 import (
+	"context"
 	"runtime"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 	"sync/atomic"
 )
@@ -44,6 +47,15 @@ func Workers() int {
 // fails with the same error a one-worker run does. On error the results are
 // discarded.
 func Map[T any](n int, f func(i int) (T, error)) ([]T, error) {
+	return MapNamed("experiment", n, f)
+}
+
+// MapNamed is Map with a profiling name: each cell runs under
+// runtime/pprof labels (experiment=name, cell=index), so CPU profiles of
+// the engine break down by figure runner and by cell instead of showing
+// one anonymous worker pool. The labels cost nothing when no profile is
+// being collected.
+func MapNamed[T any](name string, n int, f func(i int) (T, error)) ([]T, error) {
 	if n <= 0 {
 		return nil, nil
 	}
@@ -51,10 +63,16 @@ func Map[T any](n int, f func(i int) (T, error)) ([]T, error) {
 	if w > n {
 		w = n
 	}
+	labeled := func(i int) (v T, err error) {
+		pprof.Do(context.Background(), pprof.Labels("experiment", name, "cell", strconv.Itoa(i)), func(context.Context) {
+			v, err = f(i)
+		})
+		return v, err
+	}
 	out := make([]T, n)
 	if w <= 1 {
 		for i := 0; i < n; i++ {
-			v, err := f(i)
+			v, err := labeled(i)
 			if err != nil {
 				return nil, err
 			}
@@ -83,7 +101,7 @@ func Map[T any](n int, f func(i int) (T, error)) ([]T, error) {
 				if i >= n || int64(i) > errIdx.Load() {
 					return
 				}
-				v, err := f(i)
+				v, err := labeled(i)
 				if err != nil {
 					errOnce.Lock()
 					if int64(i) < errIdx.Load() {

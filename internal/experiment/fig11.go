@@ -34,7 +34,7 @@ func RunFig11(apCounts []int, draws int, seed int64) (*Fig11Result, error) {
 		snrGrid = append(snrGrid, snr)
 	}
 	type cell struct{ mm, bl float64 }
-	cells, err := Map(len(apCounts)*len(snrGrid)*draws, func(i int) (cell, error) {
+	cells, err := MapNamed("fig11-dot11n", len(apCounts)*len(snrGrid)*draws, func(i int) (cell, error) {
 		nAPs := apCounts[i/(len(snrGrid)*draws)]
 		snr := snrGrid[(i/draws)%len(snrGrid)]
 		d := i % draws

@@ -37,7 +37,7 @@ type fig12Cell struct {
 // 802.11n configuration. Each placement is one engine cell seeded from its
 // (bin, topology) coordinates.
 func RunFig12(topologies, txRounds int, seed int64) (*Fig12Result, error) {
-	cells, err := Map(len(AllBins)*topologies, func(i int) (fig12Cell, error) {
+	cells, err := MapNamed("fig12-diversity", len(AllBins)*topologies, func(i int) (fig12Cell, error) {
 		binIdx := i / topologies
 		topo := i % topologies
 		bin := AllBins[binIdx]

@@ -44,7 +44,7 @@ func RunFig6(matrices int, seed int64) *Fig6Result {
 	for mis := 0.0; mis <= 0.501; mis += 0.05 {
 		misGrid = append(misGrid, mis)
 	}
-	points, _ := Map(len(snrs)*len(misGrid), func(i int) (Fig6Point, error) {
+	points, _ := MapNamed("fig6-misalignment", len(snrs)*len(misGrid), func(i int) (Fig6Point, error) {
 		snrDB := snrs[i/len(misGrid)]
 		mis := misGrid[i%len(misGrid)]
 		var reductions []float64

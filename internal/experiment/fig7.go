@@ -21,7 +21,7 @@ type Fig7Result struct {
 // lead/slave placements; each placement is one engine cell with its own
 // seeded network.
 func RunFig7(placements, roundsPerPlacement int, seed int64) (*Fig7Result, error) {
-	cells, err := Map(placements, func(p int) ([]float64, error) {
+	cells, err := MapNamed("fig7-coherence", placements, func(p int) ([]float64, error) {
 		cfg := core.DefaultConfig(2, 1, 24, 30)
 		cfg.Seed = seed + int64(p)*97
 		// Real oscillators wander: a modest Wiener phase-noise process

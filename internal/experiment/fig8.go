@@ -34,7 +34,7 @@ func RunFig8(maxN, topologies int, seed int64) (*Fig8Result, error) {
 		return &Fig8Result{}, nil
 	}
 	nCounts := maxN - 1 // AP counts 2..maxN
-	cells, err := Map(len(AllBins)*nCounts*topologies, func(i int) ([]float64, error) {
+	cells, err := MapNamed("fig8-sumrate", len(AllBins)*nCounts*topologies, func(i int) ([]float64, error) {
 		binIdx := i / (nCounts * topologies)
 		nAPs := 2 + (i/topologies)%nCounts
 		topo := i % topologies

@@ -109,7 +109,7 @@ type fig9Cell struct {
 // topology. Each topology is one engine cell; the per-cell seed depends
 // only on the (AP count, topology) coordinates.
 func RunFig9(apCounts []int, topologies, txRounds int, seed int64) (*Fig9Result, error) {
-	cells, err := Map(len(AllBins)*len(apCounts)*topologies, func(i int) (fig9Cell, error) {
+	cells, err := MapNamed("fig9-scaling", len(AllBins)*len(apCounts)*topologies, func(i int) (fig9Cell, error) {
 		bin := AllBins[i/(len(apCounts)*topologies)]
 		nAPs := apCounts[(i/topologies)%len(apCounts)]
 		topo := i % topologies

@@ -41,7 +41,7 @@ type robustnessCell struct {
 // seed intentionally repeats across budgets so the sweep is a paired
 // comparison over the same channel draws.
 func RunRobustness(budgets []float64, draws int, seed int64) (*RobustnessResult, error) {
-	cells, err := Map(len(budgets)*draws, func(i int) (robustnessCell, error) {
+	cells, err := MapNamed("robustness", len(budgets)*draws, func(i int) (robustnessCell, error) {
 		ppm := budgets[i/draws]
 		d := i % draws
 		var out robustnessCell

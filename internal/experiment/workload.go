@@ -32,24 +32,33 @@ type WorkloadResult struct {
 	Points  []WorkloadPoint
 }
 
-// workloadCell is one (load, topology) run of both systems.
+// workloadCell is one (load, topology) run of both systems. trace holds
+// the MegaMIMO network's flight-recorder events when tracing is on.
 type workloadCell struct {
 	mm, bl *traffic.Report
+	trace  []core.TraceEvent
 }
 
 // runWorkloadCell builds two identically seeded networks over the same
 // topology and drives each system's engine closed-loop for the window.
-func runWorkloadCell(nAPs int, kind traffic.Kind, loadBps float64, seconds float64, topoSeed, engSeed int64) (workloadCell, error) {
-	run := func(sys traffic.System) (*traffic.Report, error) {
+// traceLimit > 0 enables the MegaMIMO network's flight recorder with that
+// ring size and returns its events; the baseline run is never traced (it
+// has no joint rounds to record, and tracing it would double the volume
+// without adding protocol telemetry).
+func runWorkloadCell(nAPs int, kind traffic.Kind, loadBps float64, seconds float64, topoSeed, engSeed int64, traceLimit int) (workloadCell, error) {
+	run := func(sys traffic.System) (*traffic.Report, []core.TraceEvent, error) {
 		cfg := core.DefaultConfig(nAPs, nAPs, HighSNR.Lo, HighSNR.Hi)
 		cfg.Seed = topoSeed
 		cfg.WellConditioned = true
 		n, err := core.New(cfg)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
+		}
+		if traceLimit > 0 && sys == traffic.SystemMegaMIMO {
+			n.Trace().Enable(traceLimit)
 		}
 		if _, err := n.MeasureAndPrecode(); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		profiles := make([]traffic.Profile, n.NumStreams())
 		for i := range profiles {
@@ -61,19 +70,23 @@ func runWorkloadCell(nAPs int, kind traffic.Kind, loadBps float64, seconds float
 			Seed:     engSeed,
 		})
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		return eng.Run(seconds)
+		rep, err := eng.Run(seconds)
+		if err != nil {
+			return nil, nil, err
+		}
+		return rep, n.Trace().Events(), nil
 	}
-	mm, err := run(traffic.SystemMegaMIMO)
+	mm, trace, err := run(traffic.SystemMegaMIMO)
 	if err != nil {
 		return workloadCell{}, err
 	}
-	bl, err := run(traffic.SystemTDMA)
+	bl, _, err := run(traffic.SystemTDMA)
 	if err != nil {
 		return workloadCell{}, err
 	}
-	return workloadCell{mm: mm, bl: bl}, nil
+	return workloadCell{mm: mm, bl: bl, trace: trace}, nil
 }
 
 // RunWorkload sweeps per-client offered load and reports delivered
@@ -82,15 +95,34 @@ func runWorkloadCell(nAPs int, kind traffic.Kind, loadBps float64, seconds float
 // seeds depend only on its (load, topology) coordinates, so the result is
 // byte-identical at any worker count.
 func RunWorkload(loadsMbps []float64, nAPs, topologies int, kind traffic.Kind, seconds float64, seed int64) (*WorkloadResult, error) {
-	cells, err := Map(len(loadsMbps)*topologies, func(i int) (workloadCell, error) {
+	res, _, err := RunWorkloadTrace(loadsMbps, nAPs, topologies, kind, seconds, seed, 0)
+	return res, err
+}
+
+// RunWorkloadTrace is RunWorkload with the flight recorder on:
+// traceLimit > 0 enables each cell's MegaMIMO tracer with that ring size
+// and returns the merged trace. Cells record independently and the merge
+// walks them in cell-index order (core.MergeTraces renumbers sequence
+// numbers and offsets span IDs), so the returned trace — like the result —
+// is byte-identical at any worker count.
+func RunWorkloadTrace(loadsMbps []float64, nAPs, topologies int, kind traffic.Kind, seconds float64, seed int64, traceLimit int) (*WorkloadResult, []core.TraceEvent, error) {
+	cells, err := MapNamed("workload", len(loadsMbps)*topologies, func(i int) (workloadCell, error) {
 		loadIdx := i / topologies
 		topo := i % topologies
 		topoSeed := seed + int64(topo)*7919
 		engSeed := seed + int64(loadIdx)*104729 + int64(topo)*7919
-		return runWorkloadCell(nAPs, kind, loadsMbps[loadIdx]*1e6, seconds, topoSeed, engSeed)
+		return runWorkloadCell(nAPs, kind, loadsMbps[loadIdx]*1e6, seconds, topoSeed, engSeed, traceLimit)
 	})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
+	}
+	var trace []core.TraceEvent
+	if traceLimit > 0 {
+		cellTraces := make([][]core.TraceEvent, len(cells))
+		for i, c := range cells {
+			cellTraces[i] = c.trace
+		}
+		trace = core.MergeTraces(cellTraces...)
 	}
 	res := &WorkloadResult{NAPs: nAPs, Kind: kind, Seconds: seconds}
 	for li, load := range loadsMbps {
@@ -114,7 +146,7 @@ func RunWorkload(loadsMbps []float64, nAPs, topologies int, kind traffic.Kind, s
 			BaselineP95Ms:        stats.Median(blL),
 		})
 	}
-	return res, nil
+	return res, trace, nil
 }
 
 // maxP95 returns the worst per-client p95 latency of a run (0 when no

@@ -1,8 +1,10 @@
 package experiment
 
 import (
+	"bytes"
 	"testing"
 
+	"megamimo/internal/tracefmt"
 	"megamimo/internal/traffic"
 )
 
@@ -21,6 +23,36 @@ func TestWorkloadDeterministicAcrossWorkers(t *testing.T) {
 	parallel := run(4)
 	if serial != parallel {
 		t.Fatalf("workload sweep diverges across worker counts:\n-- workers=1 --\n%s\n-- workers=4 --\n%s", serial, parallel)
+	}
+}
+
+// TestWorkloadTraceDeterministicAcrossWorkers checks the flight recorder
+// inherits the engine's determinism guarantee: the serialized JSONL trace
+// of a parallel run is byte-identical to a serial run's.
+func TestWorkloadTraceDeterministicAcrossWorkers(t *testing.T) {
+	run := func(workers int) []byte {
+		old := Workers()
+		SetWorkers(workers)
+		defer SetWorkers(old)
+		_, trace, err := RunWorkloadTrace([]float64{2, 8}, 2, 2, traffic.Poisson, 0.005, 7, 1<<16)
+		if err != nil {
+			t.Fatalf("RunWorkloadTrace(workers=%d): %v", workers, err)
+		}
+		if len(trace) == 0 {
+			t.Fatalf("RunWorkloadTrace(workers=%d) recorded no events", workers)
+		}
+		var buf bytes.Buffer
+		meta := tracefmt.Meta{SampleRate: 20e6, CarrierHz: 2.462e9, APs: 2, Clients: 2}
+		if err := tracefmt.WriteJSONL(&buf, meta, trace); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	serial := run(1)
+	parallel := run(4)
+	if !bytes.Equal(serial, parallel) {
+		t.Fatalf("serialized trace diverges across worker counts: %d vs %d bytes",
+			len(serial), len(parallel))
 	}
 }
 

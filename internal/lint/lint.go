@@ -1,8 +1,10 @@
-// Package lint is megamimo's project-specific static-analysis suite: six
+// Package lint is megamimo's project-specific static-analysis suite: seven
 // analyzers tuned to the failure modes that corrupt or slow a
 // distributed-MIMO signal path — buffer aliasing in DSP kernels,
 // nondeterministic inputs, exact float comparison, per-iteration hot-path
-// allocation, panicking APIs, and dropped errors. It is built
+// allocation, panicking APIs, dropped errors, and flight-recorder schema
+// drift (kinds outside the closed vocabulary, TraceAttrs writes outside
+// the frozen versioned field set). It is built
 // entirely on the standard library (go/ast, go/parser, go/types) so the
 // module stays dependency-free.
 //
@@ -73,6 +75,7 @@ func All() []*Analyzer {
 		FloatEqAnalyzer,
 		HotAllocAnalyzer,
 		PanicPolicyAnalyzer,
+		TraceFieldsAnalyzer,
 		UncheckedErrorAnalyzer,
 	}
 }

@@ -104,6 +104,10 @@ func TestPanicPolicyGolden(t *testing.T) { runGolden(t, PanicPolicyAnalyzer, "pa
 func TestUncheckedErrorGolden(t *testing.T) {
 	runGolden(t, UncheckedErrorAnalyzer, "uncheckederr")
 }
+func TestTraceFieldsGolden(t *testing.T) { runGolden(t, TraceFieldsAnalyzer, "tracefields") }
+func TestTraceFieldsSchemaGolden(t *testing.T) {
+	runGolden(t, TraceFieldsAnalyzer, "tracefieldsv2")
+}
 
 // TestMalformedDirective checks that a reasonless //lint:ignore is reported
 // and does not suppress the finding beneath it.

@@ -1,0 +1,36 @@
+package tracefields
+
+// notAKind is a constant, but not from the Kind* vocabulary.
+const notAKind = "phase-slip"
+
+// emitLiteralKind mints a new kind with a string literal.
+func emitLiteralKind(tr *Tracer) {
+	tr.Emit(0, "phase-slip", TraceAttrs{}, "") // want "closed"
+}
+
+// emitWrongConst uses a constant outside the Kind* set.
+func emitWrongConst(tr *Tracer) {
+	tr.Emit(0, notAKind, TraceAttrs{}, "") // want "closed"
+}
+
+// beginVariableKind computes the kind at runtime.
+func beginVariableKind(tr *Tracer, which bool) int64 {
+	kind := KindMeasure
+	if which {
+		kind = KindJointTx
+	}
+	return tr.BeginSpan(0, kind, TraceAttrs{}, "") // want "closed"
+}
+
+// traceConcatKind builds a kind by concatenation through Network.trace.
+func traceConcatKind(n *Network) {
+	n.trace(0, "joint"+"-tx", TraceAttrs{}, "") // want "closed"
+}
+
+// positionalAttrs writes the schema positionally; adding a field would
+// silently shift every value.
+func positionalAttrs(tr *Tracer) {
+	tr.Emit(0, KindDecode,
+		TraceAttrs{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, true, "x"}, // want "keyed"
+		"")
+}

@@ -1,0 +1,26 @@
+package tracefields
+
+// emitVocabulary records events with vocabulary constants and keyed
+// schema fields — the blessed pattern; no diagnostics.
+func emitVocabulary(tr *Tracer, n *Network) {
+	tr.Emit(0, KindMeasure, TraceAttrs{AP: 1}, "measurement %d", 1)
+	tr.Emit(1, KindDecode, TraceAttrs{Client: 0, Stream: 1, EVMSNRdB: 31.5, OK: true}, "")
+	span := tr.BeginSpan(2, KindJointTx, TraceAttrs{Bits: 3200}, "2 streams")
+	_ = span
+	n.trace(3, KindDecode, TraceAttrs{Cause: "decode"}, "FCS failed")
+}
+
+// emptyAttrs is fine: the zero value carries no fields.
+func emptyAttrs(tr *Tracer) {
+	tr.Emit(4, KindMeasure, TraceAttrs{}, "")
+}
+
+// unrelatedEmit is a different Emit on an unrelated type; the analyzer
+// only recognizes the trace-definition packages' Tracer.
+type logger struct{}
+
+func (l *logger) Emit(at int64, kind string, a TraceAttrs, format string, args ...any) {}
+
+func otherEmitter(l *logger) {
+	l.Emit(0, "free-form", TraceAttrs{}, "not a trace event")
+}

@@ -1,0 +1,49 @@
+// Package tracefields seeds vocabulary and schema violations for the
+// tracefields analyzer's golden test. The definitions mirror the real
+// flight recorder in internal/core: a frozen TraceAttrs schema, Kind*
+// constants, and the recording methods the analyzer recognizes.
+package tracefields
+
+// TraceAttrs matches the frozen v1 schema exactly (the analyzer checks
+// this declaration too).
+type TraceAttrs struct {
+	AP              int
+	Client          int
+	Stream          int
+	Pkt             int64
+	QueueDepth      int
+	Bits            int64
+	PhaseErrRad     float64
+	CFORadPerSample float64
+	EVMSNRdB        float64
+	MinSubSNRdB     float64
+	NullDepthDB     float64
+	OK              bool
+	Cause           string
+}
+
+// The closed kind vocabulary (a subset suffices for the fixture).
+const (
+	KindMeasure = "measure"
+	KindJointTx = "joint-tx"
+	KindDecode  = "decode"
+)
+
+// Tracer mirrors core.Tracer's recording surface.
+type Tracer struct{}
+
+// Emit mirrors core's (*Tracer).Emit.
+func (t *Tracer) Emit(at int64, kind string, a TraceAttrs, format string, args ...any) {}
+
+// BeginSpan mirrors core's (*Tracer).BeginSpan.
+func (t *Tracer) BeginSpan(at int64, kind string, a TraceAttrs, format string, args ...any) int64 {
+	return 0
+}
+
+// Network mirrors core.Network's unexported trace helper.
+type Network struct{ tr Tracer }
+
+func (n *Network) trace(at int64, kind string, a TraceAttrs, format string, args ...any) {
+	//lint:ignore tracefields forwarding wrapper, mirrors core.Network.trace
+	n.tr.Emit(at, kind, a, format, args...)
+}

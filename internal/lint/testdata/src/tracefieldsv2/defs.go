@@ -1,0 +1,24 @@
+// Package tracefieldsv2 seeds a schema-drift violation: a TraceAttrs
+// declaration that silently diverged from the frozen v1 field table
+// without a schema-version bump.
+package tracefieldsv2
+
+// TraceAttrs drifted from v1: Bits narrowed to int and two fields were
+// appended without bumping tracefmt.SchemaVersion.
+type TraceAttrs struct {
+	AP              int
+	Client          int
+	Stream          int
+	Pkt             int64
+	QueueDepth      int
+	Bits            int // want "frozen v1 trace schema has Bits int64"
+	PhaseErrRad     float64
+	CFORadPerSample float64
+	EVMSNRdB        float64
+	MinSubSNRdB     float64
+	NullDepthDB     float64
+	OK              bool
+	Cause           string
+	TempC           float64 // want "not in the frozen v1 trace schema"
+	RSSI            float64 // want "not in the frozen v1 trace schema"
+}

@@ -1,0 +1,228 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// TraceFieldsAnalyzer enforces the flight recorder's closed vocabulary and
+// frozen attribute schema. Trace consumers (the JSONL/Chrome exporters,
+// megamimo-trace, downstream tooling) rely on two invariants that the type
+// system alone cannot hold:
+//
+//  1. Event kinds form a closed set. Every kind argument to Tracer.Emit,
+//     Tracer.BeginSpan or Network.trace must be one of the exported Kind*
+//     constants — a string literal or computed value would mint a new kind
+//     the vocabulary check drops at runtime and readers reject on load.
+//  2. The TraceAttrs field set is schema-versioned. The struct must match
+//     the frozen v1 field table exactly, and composite literals must use
+//     keyed fields from it; growing the struct without bumping
+//     tracefmt.SchemaVersion would silently change the wire format.
+var TraceFieldsAnalyzer = &Analyzer{
+	Name: "tracefields",
+	Doc:  "trace kinds outside the Kind* constants, and TraceAttrs writes outside the frozen v1 schema",
+	Run:  runTraceFields,
+}
+
+// traceDefPkgs are the packages whose Tracer/TraceAttrs definitions the
+// analyzer recognizes: the real one plus the golden-test fixtures.
+var traceDefPkgs = map[string]bool{
+	"megamimo/internal/core":                            true,
+	"megamimo/internal/lint/testdata/src/tracefields":   true,
+	"megamimo/internal/lint/testdata/src/tracefieldsv2": true,
+}
+
+// traceSchemaV1 is the frozen field table of TraceAttrs, version 1 of the
+// serialized trace schema. Changing it is a wire-format change: bump
+// tracefmt.SchemaVersion, update both exporters and this table together.
+var traceSchemaV1 = []struct{ name, typ string }{
+	{"AP", "int"},
+	{"Client", "int"},
+	{"Stream", "int"},
+	{"Pkt", "int64"},
+	{"QueueDepth", "int"},
+	{"Bits", "int64"},
+	{"PhaseErrRad", "float64"},
+	{"CFORadPerSample", "float64"},
+	{"EVMSNRdB", "float64"},
+	{"MinSubSNRdB", "float64"},
+	{"NullDepthDB", "float64"},
+	{"OK", "bool"},
+	{"Cause", "string"},
+}
+
+// traceSchemaFields is the frozen field-name set, for composite-literal
+// checks.
+var traceSchemaFields = func() map[string]bool {
+	m := make(map[string]bool, len(traceSchemaV1))
+	for _, f := range traceSchemaV1 {
+		m[f.name] = true
+	}
+	return m
+}()
+
+// traceEmitters maps recognized recording methods to the index of their
+// kind argument. EndSpan/EndSpanAttrs close an already-validated span and
+// carry no kind.
+var traceEmitters = map[string]int{
+	"Emit":      1, // (at, kind, attrs, format, ...)
+	"BeginSpan": 1,
+	"trace":     1, // Network.trace forwards to Tracer.Emit
+}
+
+func runTraceFields(p *Pass) {
+	info := p.Pkg.Info
+	eachFile(p, func(f *ast.File, isTest bool) {
+		// Test files exercise the tracer's runtime rejection of bogus
+		// kinds on purpose; the lint contract covers production emitters.
+		if isTest {
+			return
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.TypeSpec:
+				checkTraceAttrsDef(p, n)
+			case *ast.CompositeLit:
+				checkTraceAttrsLit(p, info, n)
+			case *ast.CallExpr:
+				checkTraceKindArg(p, info, n)
+			}
+			return true
+		})
+	})
+}
+
+// checkTraceAttrsDef compares a TraceAttrs declaration in a recognized
+// package against the frozen v1 schema.
+func checkTraceAttrsDef(p *Pass, spec *ast.TypeSpec) {
+	if spec.Name.Name != "TraceAttrs" || !traceDefPkgs[p.Pkg.Path] {
+		return
+	}
+	st, ok := spec.Type.(*ast.StructType)
+	if !ok {
+		return
+	}
+	idx := 0
+	for _, field := range st.Fields.List {
+		typ := types.ExprString(field.Type)
+		names := field.Names
+		if len(names) == 0 {
+			p.Reportf(field.Pos(), "TraceAttrs embeds %s; the frozen v1 schema has named fields only", typ)
+			continue
+		}
+		for _, name := range names {
+			if idx >= len(traceSchemaV1) {
+				p.Reportf(name.Pos(),
+					"TraceAttrs field %s is not in the frozen v1 trace schema; bump tracefmt.SchemaVersion and update both exporters and the tracefields schema table",
+					name.Name)
+				continue
+			}
+			want := traceSchemaV1[idx]
+			if name.Name != want.name || typ != want.typ {
+				p.Reportf(name.Pos(),
+					"TraceAttrs field %d is %s %s; the frozen v1 trace schema has %s %s — bump tracefmt.SchemaVersion to change the wire format",
+					idx, name.Name, typ, want.name, want.typ)
+			}
+			idx++
+		}
+	}
+	if idx < len(traceSchemaV1) && idx > 0 {
+		p.Reportf(spec.Pos(),
+			"TraceAttrs has %d fields; the frozen v1 trace schema has %d — bump tracefmt.SchemaVersion to change the wire format",
+			idx, len(traceSchemaV1))
+	}
+}
+
+// checkTraceAttrsLit requires TraceAttrs composite literals to use keyed
+// fields from the frozen schema.
+func checkTraceAttrsLit(p *Pass, info *types.Info, lit *ast.CompositeLit) {
+	if !isTraceDefType(info.TypeOf(lit), "TraceAttrs") {
+		return
+	}
+	for _, el := range lit.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			// One report per literal; every element of an unkeyed literal
+			// is positional.
+			p.Reportf(el.Pos(), "TraceAttrs literal must use keyed fields; positional values break when the schema version changes")
+			return
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		if !traceSchemaFields[key.Name] {
+			p.Reportf(kv.Pos(),
+				"TraceAttrs field %s is not in the frozen v1 trace schema; bump tracefmt.SchemaVersion and update both exporters and the tracefields schema table",
+				key.Name)
+		}
+	}
+}
+
+// checkTraceKindArg requires the kind argument of a recording call to be a
+// Kind* constant from a recognized package.
+func checkTraceKindArg(p *Pass, info *types.Info, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	argIdx, ok := traceEmitters[sel.Sel.Name]
+	if !ok || len(call.Args) <= argIdx {
+		return
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return
+	}
+	recvName := ""
+	switch fn.Name() {
+	case "trace":
+		recvName = "Network"
+	default:
+		recvName = "Tracer"
+	}
+	if !isTraceDefType(sig.Recv().Type(), recvName) {
+		return
+	}
+	arg := call.Args[argIdx]
+	var ident *ast.Ident
+	switch a := arg.(type) {
+	case *ast.Ident:
+		ident = a
+	case *ast.SelectorExpr:
+		ident = a.Sel
+	default:
+		p.Reportf(arg.Pos(),
+			"trace kind must be one of the Kind* constants, not %s; the vocabulary is closed (readers reject unknown kinds)",
+			types.ExprString(arg))
+		return
+	}
+	c, ok := info.Uses[ident].(*types.Const)
+	if !ok || !strings.HasPrefix(c.Name(), "Kind") || c.Pkg() == nil || !traceDefPkgs[c.Pkg().Path()] {
+		p.Reportf(arg.Pos(),
+			"trace kind must be one of the Kind* constants, not %s; the vocabulary is closed (readers reject unknown kinds)",
+			types.ExprString(arg))
+	}
+}
+
+// isTraceDefType reports whether t (possibly behind a pointer) is the
+// named type `name` declared in a recognized trace-definition package.
+func isTraceDefType(t types.Type, name string) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && traceDefPkgs[obj.Pkg().Path()]
+}

@@ -31,16 +31,27 @@ type Packet struct {
 	// EnqueuedAt is the ether sample time the packet entered the shared
 	// queue; the traffic layer derives per-packet latency from it.
 	EnqueuedAt int64
+	// Seq is the queue-assigned packet sequence number (1-based, assigned
+	// on first Push and stable across requeues) — the flight recorder's
+	// packet identity.
+	Seq int64
 }
 
 // Queue is the shared downlink queue. Every AP sees the same queue because
 // every payload rides the Ethernet backbone to every AP.
 type Queue struct {
 	packets []*Packet
+	nextSeq int64
 }
 
-// Push appends a packet.
-func (q *Queue) Push(p *Packet) { q.packets = append(q.packets, p) }
+// Push appends a packet, assigning its sequence number on first entry.
+func (q *Queue) Push(p *Packet) {
+	if p.Seq == 0 {
+		q.nextSeq++
+		p.Seq = q.nextSeq
+	}
+	q.packets = append(q.packets, p)
+}
 
 // Len returns the queue length.
 func (q *Queue) Len() int { return len(q.packets) }
@@ -255,8 +266,13 @@ func (s *Scheduler) Step() (*StepResult, error) {
 	// lead from the measurement phase).
 	s.Net.SetLead(head.DesignatedAP)
 	res.AirtimeSamples += s.Cont.BackoffSamples(nPkts)
+	tr := s.Net.Trace()
+	span := tr.BeginSpan(s.Net.Now(), core.KindRound,
+		core.TraceAttrs{AP: head.DesignatedAP, Pkt: head.Seq, QueueDepth: s.Queue.Len()},
+		"%d packets grouped", nPkts)
 	txr, err := s.Net.JointTransmit(payloads, s.adapted)
 	if err != nil {
+		tr.EndSpanAttrs(span, s.Net.Now(), core.TraceAttrs{Cause: "joint-tx"}, "%v", err)
 		return nil, err
 	}
 	res.AirtimeSamples += txr.AirtimeSamples
@@ -280,6 +296,7 @@ func (s *Scheduler) Step() (*StepResult, error) {
 		}
 	}
 	res.DeliveredAt = s.Net.Now()
+	var deliveredBits int64
 	for j, p := range group {
 		if p == nil {
 			continue
@@ -290,17 +307,27 @@ func (s *Scheduler) Step() (*StepResult, error) {
 			s.Queue.Remove(p)
 			res.Delivered = append(res.Delivered, p)
 			s.mDelivered.Inc()
+			deliveredBits += int64(8 * len(p.Payload))
 		} else if p.Attempts >= s.MaxAttempts {
 			s.Queue.Remove(p)
 			res.Failed = append(res.Failed, p)
 			s.mFailed.Inc()
+			tr.Emit(res.DeliveredAt, core.KindRetransmit,
+				core.TraceAttrs{Stream: j, Pkt: p.Seq, Cause: "max-attempts"},
+				"stream %d packet dropped after %d attempts", j, p.Attempts)
 		} else {
 			s.Queue.Requeue(p)
 			res.Requeued = append(res.Requeued, p)
 			s.mRetx.Inc()
+			tr.Emit(res.DeliveredAt, core.KindRetransmit,
+				core.TraceAttrs{Stream: j, Pkt: p.Seq, Cause: "no-ack"},
+				"stream %d attempt %d not ACKed", j, p.Attempts)
 		}
 	}
 	s.qDepth.Observe(float64(s.Queue.Len()))
+	tr.EndSpanAttrs(span, s.Net.Now(),
+		core.TraceAttrs{QueueDepth: s.Queue.Len(), Bits: deliveredBits, OK: len(res.Failed) == 0},
+		"%d delivered, %d requeued, %d failed", len(res.Delivered), len(res.Requeued), len(res.Failed))
 	return res, nil
 }
 

@@ -30,6 +30,14 @@ type RxFrame struct {
 	// SNRdB is the post-equalization error-vector SNR averaged over the
 	// data field — the "effective channel" quality the client reports.
 	SNRdB float64
+	// EVM is the rms error-vector magnitude over the data field (linear,
+	// relative to the unit constellation) — the flight recorder's decode
+	// quality telemetry in its raw form (SNRdB is its log view).
+	EVM float64
+	// ResidualCFO is the carrier offset left after the preamble-based
+	// correction, measured from the pilot-tracked common-phase drift
+	// across data symbols (rad/sample).
+	ResidualCFO float64
 	// SubcarrierSNR holds the per-data-subcarrier linear SNR estimate
 	// (48 entries) for effective-SNR rate selection feedback.
 	SubcarrierSNR []float64
@@ -194,8 +202,17 @@ func (r *RX) DecodeAt(rx []complex128, sync *ofdm.Sync) (*RxFrame, error) {
 
 	if evmN > 0 && evmAcc > 0 {
 		out.SNRdB = 10 * math.Log10(float64(evmN)/evmAcc)
+		out.EVM = math.Sqrt(evmAcc / float64(evmN))
 	} else {
 		out.SNRdB = 60
+		out.EVM = 1e-3
+	}
+	if len(out.CommonPhases) >= 2 {
+		var drift float64
+		for i := 1; i < len(out.CommonPhases); i++ {
+			drift += cmplxs.WrapPhase(out.CommonPhases[i] - out.CommonPhases[i-1])
+		}
+		out.ResidualCFO = drift / float64(len(out.CommonPhases)-1) / ofdm.SymbolLen
 	}
 	out.SubcarrierSNR = make([]float64, ofdm.NData)
 	for i := range out.SubcarrierSNR {

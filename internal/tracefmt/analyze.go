@@ -1,0 +1,371 @@
+package tracefmt
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"megamimo/internal/core"
+)
+
+// Analysis primitives behind cmd/megamimo-trace. Everything here is a
+// pure, deterministic function of (meta, events): results come back in
+// sorted order, never map order.
+
+// KindCount is one vocabulary entry's population.
+type KindCount struct {
+	Kind  string
+	Count int
+}
+
+// Summary is the whole-trace overview.
+type Summary struct {
+	Events     int
+	Spans      int // completed spans (matched begin/end pairs)
+	OpenSpans  int // begins without a matching end (truncated recording)
+	ByKind     []KindCount
+	AtMin      int64
+	AtMax      int64
+	DurationMs float64 // (AtMax−AtMin)/SampleRate, 0 when no rate known
+}
+
+// Summarize computes the overview.
+func Summarize(meta Meta, events []core.TraceEvent) *Summary {
+	s := &Summary{Events: len(events)}
+	counts := map[string]int{}
+	open := map[int64]bool{}
+	first := true
+	for _, e := range events {
+		counts[e.Kind]++
+		switch e.Ph {
+		case core.PhBegin:
+			open[e.Span] = true
+		case core.PhEnd:
+			if open[e.Span] {
+				delete(open, e.Span)
+				s.Spans++
+			}
+		}
+		if first || e.At < s.AtMin {
+			s.AtMin = e.At
+		}
+		if first || e.At > s.AtMax {
+			s.AtMax = e.At
+		}
+		first = false
+	}
+	s.OpenSpans = len(open)
+	for _, k := range core.Kinds() {
+		if counts[k] > 0 {
+			s.ByKind = append(s.ByKind, KindCount{Kind: k, Count: counts[k]})
+		}
+	}
+	if meta.SampleRate > 0 && !first {
+		s.DurationMs = float64(s.AtMax-s.AtMin) / meta.SampleRate * 1e3
+	}
+	return s
+}
+
+// PhaseStat aggregates one slave AP's phase-synchronization telemetry
+// from its slave-ratio events.
+type PhaseStat struct {
+	AP int
+	N  int
+	// Absolute residual phase error (innovation vs. the long-term CFO
+	// prediction), radians.
+	MedianAbsRad, P95AbsRad, MaxAbsRad float64
+	// CFORadPerSample is the mean CFO estimate toward the lead.
+	CFORadPerSample float64
+	// RelPPM expresses that CFO as a relative carrier offset in parts per
+	// million (needs meta.SampleRate and meta.CarrierHz; 0 otherwise).
+	RelPPM float64
+}
+
+// PhaseStats folds slave-ratio events per AP, sorted by AP index.
+func PhaseStats(meta Meta, events []core.TraceEvent) []PhaseStat {
+	resid := map[int][]float64{}
+	cfoSum := map[int]float64{}
+	for _, e := range events {
+		if e.Kind != core.KindSlaveRatio {
+			continue
+		}
+		ap := e.Attrs.AP
+		resid[ap] = append(resid[ap], math.Abs(e.Attrs.PhaseErrRad))
+		cfoSum[ap] += e.Attrs.CFORadPerSample
+	}
+	aps := make([]int, 0, len(resid))
+	for ap := range resid {
+		aps = append(aps, ap)
+	}
+	sort.Ints(aps)
+	out := make([]PhaseStat, 0, len(aps))
+	for _, ap := range aps {
+		rs := resid[ap]
+		st := PhaseStat{
+			AP:              ap,
+			N:               len(rs),
+			MedianAbsRad:    quantile(rs, 0.5),
+			P95AbsRad:       quantile(rs, 0.95),
+			MaxAbsRad:       quantile(rs, 1),
+			CFORadPerSample: cfoSum[ap] / float64(len(rs)),
+		}
+		if meta.SampleRate > 0 && meta.CarrierHz > 0 {
+			// cfo rad/sample → Δf = cfo·rate/2π; ppm = Δf/carrier·1e6.
+			st.RelPPM = st.CFORadPerSample * meta.SampleRate / (2 * math.Pi) / meta.CarrierHz * 1e6
+		}
+		out = append(out, st)
+	}
+	return out
+}
+
+// SpanStat aggregates completed spans of one kind.
+type SpanStat struct {
+	Kind                   string
+	N                      int
+	MedianMs, P95Ms, MaxMs float64
+}
+
+// SpanStats matches begin/end pairs by span ID and reports duration
+// distributions per kind, ordered by the vocabulary.
+func SpanStats(meta Meta, events []core.TraceEvent) []SpanStat {
+	type openSpan struct {
+		kind string
+		at   int64
+	}
+	open := map[int64]openSpan{}
+	durs := map[string][]float64{}
+	toMs := func(samples int64) float64 {
+		if meta.SampleRate > 0 {
+			return float64(samples) / meta.SampleRate * 1e3
+		}
+		return float64(samples)
+	}
+	for _, e := range events {
+		switch e.Ph {
+		case core.PhBegin:
+			open[e.Span] = openSpan{kind: e.Kind, at: e.At}
+		case core.PhEnd:
+			if b, ok := open[e.Span]; ok && b.kind == e.Kind {
+				delete(open, e.Span)
+				durs[e.Kind] = append(durs[e.Kind], toMs(e.At-b.at))
+			}
+		}
+	}
+	var out []SpanStat
+	for _, k := range core.Kinds() {
+		ds := durs[k]
+		if len(ds) == 0 {
+			continue
+		}
+		out = append(out, SpanStat{
+			Kind:     k,
+			N:        len(ds),
+			MedianMs: quantile(ds, 0.5),
+			P95Ms:    quantile(ds, 0.95),
+			MaxMs:    quantile(ds, 1),
+		})
+	}
+	return out
+}
+
+// Budget holds the anomaly thresholds; zero fields take the defaults.
+type Budget struct {
+	// PhaseBudgetRad is the paper's nulling budget on residual phase
+	// error: π/18 rad keeps the null within ~1 dB of ideal (§11.1b).
+	PhaseBudgetRad float64
+	// MaxRelPPM bounds the slave↔lead relative carrier offset. 802.11
+	// mandates ±20 ppm per oscillator, so a compliant pair stays within
+	// 40 ppm relative.
+	MaxRelPPM float64
+	// NullDegradeDB flags null-depth events this far below the run median.
+	NullDegradeDB float64
+	// EVMDegradeDB flags decode events this far below their stream's
+	// median error-vector SNR.
+	EVMDegradeDB float64
+}
+
+// DefaultBudget returns the paper-derived thresholds.
+func DefaultBudget() Budget {
+	return Budget{
+		PhaseBudgetRad: math.Pi / 18,
+		MaxRelPPM:      40,
+		NullDegradeDB:  3,
+		EVMDegradeDB:   6,
+	}
+}
+
+// withDefaults fills zero fields.
+func (b Budget) withDefaults() Budget {
+	d := DefaultBudget()
+	if b.PhaseBudgetRad <= 0 {
+		b.PhaseBudgetRad = d.PhaseBudgetRad
+	}
+	if b.MaxRelPPM <= 0 {
+		b.MaxRelPPM = d.MaxRelPPM
+	}
+	if b.NullDegradeDB <= 0 {
+		b.NullDegradeDB = d.NullDegradeDB
+	}
+	if b.EVMDegradeDB <= 0 {
+		b.EVMDegradeDB = d.EVMDegradeDB
+	}
+	return b
+}
+
+// Anomaly is one budget violation.
+type Anomaly struct {
+	// Check names the rule: phase-budget, cfo-mandate, null-degradation,
+	// evm-degradation, decode-failure, packet-failure.
+	Check string
+	// AP / Stream locate the offender (−1 when not applicable).
+	AP, Stream int
+	// Seq is the offending event (−1 for per-AP aggregates).
+	Seq int64
+	// Value and Threshold quantify the violation.
+	Value, Threshold float64
+	// Msg is the human-readable description.
+	Msg string
+}
+
+// String renders one anomaly.
+func (a Anomaly) String() string { return a.Msg }
+
+// FindAnomalies checks the trace against the budgets:
+//
+//   - phase-budget: a slave AP whose median |residual phase error| exceeds
+//     the π/18 nulling budget — the sync loop is not holding alignment.
+//   - cfo-mandate: a slave AP whose mean CFO toward the lead exceeds the
+//     802.11 ±20 ppm oscillator mandate (40 ppm relative).
+//   - null-degradation: a null-depth measurement more than NullDegradeDB
+//     below the run median.
+//   - evm-degradation: a decode more than EVMDegradeDB below its stream's
+//     median error-vector SNR.
+//   - decode-failure / packet-failure: failed decodes and packets dropped
+//     at max attempts.
+//
+// Results are ordered: per-AP checks by AP, then per-event checks by
+// sequence number.
+func FindAnomalies(meta Meta, events []core.TraceEvent, b Budget) []Anomaly {
+	b = b.withDefaults()
+	var out []Anomaly
+
+	for _, ps := range PhaseStats(meta, events) {
+		// Gate on the median, not the p95: the innovation after a lead
+		// handoff extrapolates phase over a many-millisecond gap, so a
+		// single re-acquisition legitimately produces an O(1) rad
+		// transient that the sync header corrects before any joint
+		// transmission. A slave whose *median* innovation exceeds the
+		// budget is misaligned on every header — that is the real defect.
+		if ps.MedianAbsRad > b.PhaseBudgetRad {
+			out = append(out, Anomaly{
+				Check: "phase-budget", AP: ps.AP, Stream: -1, Seq: -1,
+				Value: ps.MedianAbsRad, Threshold: b.PhaseBudgetRad,
+				Msg: fmt.Sprintf("phase-budget: slave AP %d median |phase err| %.4f rad exceeds the π/18 budget (%.4f rad) over %d headers",
+					ps.AP, ps.MedianAbsRad, b.PhaseBudgetRad, ps.N),
+			})
+		}
+		if meta.CarrierHz > 0 && math.Abs(ps.RelPPM) > b.MaxRelPPM {
+			out = append(out, Anomaly{
+				Check: "cfo-mandate", AP: ps.AP, Stream: -1, Seq: -1,
+				Value: math.Abs(ps.RelPPM), Threshold: b.MaxRelPPM,
+				Msg: fmt.Sprintf("cfo-mandate: slave AP %d is %.1f ppm off the lead carrier — outside the 802.11 ±20 ppm mandate (|rel| ≤ %.0f ppm)",
+					ps.AP, ps.RelPPM, b.MaxRelPPM),
+			})
+		}
+	}
+
+	// Null-depth degradation vs. the run median.
+	var depths []float64
+	for _, e := range events {
+		if e.Kind == core.KindNullDepth {
+			depths = append(depths, e.Attrs.NullDepthDB)
+		}
+	}
+	if len(depths) > 0 {
+		med := quantile(depths, 0.5)
+		for _, e := range events {
+			if e.Kind != core.KindNullDepth {
+				continue
+			}
+			if e.Attrs.NullDepthDB < med-b.NullDegradeDB {
+				out = append(out, Anomaly{
+					Check: "null-degradation", AP: -1, Stream: e.Attrs.Stream, Seq: e.Seq,
+					Value: e.Attrs.NullDepthDB, Threshold: med - b.NullDegradeDB,
+					Msg: fmt.Sprintf("null-degradation: stream %d null depth %.1f dB is >%.0f dB below the run median (%.1f dB) at t=%d",
+						e.Attrs.Stream, e.Attrs.NullDepthDB, b.NullDegradeDB, med, e.At),
+				})
+			}
+		}
+	}
+
+	// Per-stream EVM degradation and decode failures.
+	evms := map[int][]float64{}
+	for _, e := range events {
+		if e.Kind == core.KindDecode && e.Attrs.Cause == "" {
+			evms[e.Attrs.Stream] = append(evms[e.Attrs.Stream], e.Attrs.EVMSNRdB)
+		}
+	}
+	medEVM := map[int]float64{}
+	streams := make([]int, 0, len(evms))
+	for s := range evms {
+		streams = append(streams, s)
+	}
+	sort.Ints(streams)
+	for _, s := range streams {
+		medEVM[s] = quantile(evms[s], 0.5)
+	}
+	for _, e := range events {
+		if e.Kind != core.KindDecode {
+			continue
+		}
+		if e.Attrs.Cause != "" {
+			out = append(out, Anomaly{
+				Check: "decode-failure", AP: -1, Stream: e.Attrs.Stream, Seq: e.Seq,
+				Value: 0, Threshold: 0,
+				Msg: fmt.Sprintf("decode-failure: stream %d frame undecodable at t=%d (%s)",
+					e.Attrs.Stream, e.At, e.Msg),
+			})
+			continue
+		}
+		if med, ok := medEVM[e.Attrs.Stream]; ok && e.Attrs.EVMSNRdB < med-b.EVMDegradeDB {
+			out = append(out, Anomaly{
+				Check: "evm-degradation", AP: -1, Stream: e.Attrs.Stream, Seq: e.Seq,
+				Value: e.Attrs.EVMSNRdB, Threshold: med - b.EVMDegradeDB,
+				Msg: fmt.Sprintf("evm-degradation: stream %d EVM SNR %.1f dB is >%.0f dB below its median (%.1f dB) at t=%d",
+					e.Attrs.Stream, e.Attrs.EVMSNRdB, b.EVMDegradeDB, med, e.At),
+			})
+		}
+	}
+
+	// Packets dropped after exhausting retransmissions.
+	for _, e := range events {
+		if e.Kind == core.KindRetransmit && e.Attrs.Cause == "max-attempts" {
+			out = append(out, Anomaly{
+				Check: "packet-failure", AP: -1, Stream: e.Attrs.Stream, Seq: e.Seq,
+				Value: 0, Threshold: 0,
+				Msg: fmt.Sprintf("packet-failure: stream %d packet %d dropped after max attempts at t=%d",
+					e.Attrs.Stream, e.Attrs.Pkt, e.At),
+			})
+		}
+	}
+	return out
+}
+
+// quantile returns the q-quantile (0..1) of xs by nearest-rank on a
+// sorted copy; 0 for empty input.
+func quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	idx := int(math.Ceil(q*float64(len(s)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
+	return s[idx]
+}

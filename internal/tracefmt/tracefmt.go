@@ -1,0 +1,296 @@
+// Package tracefmt serializes the core flight recorder's structured trace
+// (core.TraceEvent) to its two on-disk formats — deterministic JSONL and
+// Chrome trace-event JSON (loadable in Perfetto / chrome://tracing) — and
+// provides the trace-analysis primitives behind cmd/megamimo-trace:
+// per-kind summaries, per-slave phase-synchronization statistics, span
+// durations, and anomaly detection against the paper's budgets.
+//
+// The serialized schema is versioned (SchemaVersion); the field set is
+// frozen by the tracefields lint analyzer, so a reader of version-1 files
+// never meets surprise attributes.
+package tracefmt
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"megamimo/internal/core"
+)
+
+// SchemaVersion is the trace-format version both exporters stamp and both
+// readers require. Bump it together with core.TraceAttrs and the
+// tracefields analyzer's schema table.
+const SchemaVersion = 1
+
+// schemaName identifies the format in headers.
+const schemaName = "megamimo-trace"
+
+// Meta describes the run a trace came from — everything the analyzers
+// need to convert sample times and CFO estimates into physical units.
+type Meta struct {
+	// SampleRate is the ether sample rate (Hz); ether timestamps divide by
+	// it to give seconds.
+	SampleRate float64
+	// CarrierHz is the RF carrier, used to express CFO estimates in ppm.
+	CarrierHz float64
+	// APs and Clients size the network (used for track naming).
+	APs, Clients int
+}
+
+// jsonEvent is the wire form of one event: flat, fixed field order
+// (declaration order drives encoding/json), zero-valued attributes
+// omitted. One marshaled jsonEvent per JSONL line; the same struct rides
+// in the Chrome events' args, which is what makes the Chrome file
+// losslessly re-readable.
+type jsonEvent struct {
+	Seq             int64   `json:"seq"`
+	At              int64   `json:"at"`
+	Kind            string  `json:"kind"`
+	Ph              string  `json:"ph"`
+	Span            int64   `json:"span,omitempty"`
+	AP              int     `json:"ap,omitempty"`
+	Client          int     `json:"client,omitempty"`
+	Stream          int     `json:"stream,omitempty"`
+	Pkt             int64   `json:"pkt,omitempty"`
+	QueueDepth      int     `json:"queue_depth,omitempty"`
+	Bits            int64   `json:"bits,omitempty"`
+	PhaseErrRad     float64 `json:"phase_err_rad,omitempty"`
+	CFORadPerSample float64 `json:"cfo_rad_per_sample,omitempty"`
+	EVMSNRdB        float64 `json:"evm_snr_db,omitempty"`
+	MinSubSNRdB     float64 `json:"min_sub_snr_db,omitempty"`
+	NullDepthDB     float64 `json:"null_depth_db,omitempty"`
+	OK              bool    `json:"ok,omitempty"`
+	Cause           string  `json:"cause,omitempty"`
+	Msg             string  `json:"msg,omitempty"`
+}
+
+// header is the first JSONL line (and the Chrome file's otherData).
+type header struct {
+	Schema     string  `json:"schema"`
+	Version    int     `json:"version"`
+	SampleRate float64 `json:"sample_rate"`
+	CarrierHz  float64 `json:"carrier_hz"`
+	APs        int     `json:"aps"`
+	Clients    int     `json:"clients"`
+}
+
+// phString maps the event phase byte to its wire form.
+func phString(ph byte) string {
+	switch ph {
+	case core.PhBegin:
+		return "B"
+	case core.PhEnd:
+		return "E"
+	default:
+		return "i"
+	}
+}
+
+// phByte is the inverse of phString.
+func phByte(s string) (byte, error) {
+	switch s {
+	case "B":
+		return core.PhBegin, nil
+	case "E":
+		return core.PhEnd, nil
+	case "i", "":
+		return core.PhInstant, nil
+	}
+	return 0, fmt.Errorf("tracefmt: unknown event phase %q", s)
+}
+
+// toJSON flattens one event to its wire form.
+func toJSON(e core.TraceEvent) jsonEvent {
+	return jsonEvent{
+		Seq:             e.Seq,
+		At:              e.At,
+		Kind:            e.Kind,
+		Ph:              phString(e.Ph),
+		Span:            e.Span,
+		AP:              e.Attrs.AP,
+		Client:          e.Attrs.Client,
+		Stream:          e.Attrs.Stream,
+		Pkt:             e.Attrs.Pkt,
+		QueueDepth:      e.Attrs.QueueDepth,
+		Bits:            e.Attrs.Bits,
+		PhaseErrRad:     e.Attrs.PhaseErrRad,
+		CFORadPerSample: e.Attrs.CFORadPerSample,
+		EVMSNRdB:        e.Attrs.EVMSNRdB,
+		MinSubSNRdB:     e.Attrs.MinSubSNRdB,
+		NullDepthDB:     e.Attrs.NullDepthDB,
+		OK:              e.Attrs.OK,
+		Cause:           e.Attrs.Cause,
+		Msg:             e.Msg,
+	}
+}
+
+// fromJSON rebuilds the core event, validating its kind against the
+// closed vocabulary.
+func fromJSON(j jsonEvent) (core.TraceEvent, error) {
+	if !core.ValidKind(j.Kind) {
+		return core.TraceEvent{}, fmt.Errorf("tracefmt: kind %q outside the trace vocabulary", j.Kind)
+	}
+	ph, err := phByte(j.Ph)
+	if err != nil {
+		return core.TraceEvent{}, err
+	}
+	return core.TraceEvent{
+		Seq:  j.Seq,
+		At:   j.At,
+		Kind: j.Kind,
+		Ph:   ph,
+		Span: j.Span,
+		Attrs: core.TraceAttrs{
+			AP:              j.AP,
+			Client:          j.Client,
+			Stream:          j.Stream,
+			Pkt:             j.Pkt,
+			QueueDepth:      j.QueueDepth,
+			Bits:            j.Bits,
+			PhaseErrRad:     j.PhaseErrRad,
+			CFORadPerSample: j.CFORadPerSample,
+			EVMSNRdB:        j.EVMSNRdB,
+			MinSubSNRdB:     j.MinSubSNRdB,
+			NullDepthDB:     j.NullDepthDB,
+			OK:              j.OK,
+			Cause:           j.Cause,
+		},
+		Msg: j.Msg,
+	}, nil
+}
+
+// WriteJSONL writes the versioned header line followed by one event per
+// line. The output is a pure function of (meta, events): field order is
+// fixed, floats use Go's shortest representation, nothing depends on map
+// iteration — so identical traces serialize byte-identically.
+func WriteJSONL(w io.Writer, meta Meta, events []core.TraceEvent) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(header{
+		Schema:     schemaName,
+		Version:    SchemaVersion,
+		SampleRate: meta.SampleRate,
+		CarrierHz:  meta.CarrierHz,
+		APs:        meta.APs,
+		Clients:    meta.Clients,
+	}); err != nil {
+		return err
+	}
+	for i := range events {
+		if !core.ValidKind(events[i].Kind) {
+			return fmt.Errorf("tracefmt: event %d has kind %q outside the vocabulary", i, events[i].Kind)
+		}
+		if err := enc.Encode(toJSON(events[i])); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL parses a JSONL trace, checking the header's schema/version
+// and every event's kind.
+func ReadJSONL(r io.Reader) (Meta, []core.TraceEvent, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return Meta{}, nil, err
+		}
+		return Meta{}, nil, fmt.Errorf("tracefmt: empty trace file")
+	}
+	var h header
+	if err := json.Unmarshal(sc.Bytes(), &h); err != nil {
+		return Meta{}, nil, fmt.Errorf("tracefmt: bad header line: %w", err)
+	}
+	if h.Schema != schemaName {
+		return Meta{}, nil, fmt.Errorf("tracefmt: schema %q, want %q", h.Schema, schemaName)
+	}
+	if h.Version != SchemaVersion {
+		return Meta{}, nil, fmt.Errorf("tracefmt: schema version %d, reader supports %d", h.Version, SchemaVersion)
+	}
+	meta := Meta{SampleRate: h.SampleRate, CarrierHz: h.CarrierHz, APs: h.APs, Clients: h.Clients}
+	var events []core.TraceEvent
+	line := 1
+	for sc.Scan() {
+		line++
+		if len(bytes.TrimSpace(sc.Bytes())) == 0 {
+			continue
+		}
+		var j jsonEvent
+		if err := json.Unmarshal(sc.Bytes(), &j); err != nil {
+			return Meta{}, nil, fmt.Errorf("tracefmt: line %d: %w", line, err)
+		}
+		e, err := fromJSON(j)
+		if err != nil {
+			return Meta{}, nil, fmt.Errorf("tracefmt: line %d: %w", line, err)
+		}
+		events = append(events, e)
+	}
+	if err := sc.Err(); err != nil {
+		return Meta{}, nil, err
+	}
+	return meta, events, nil
+}
+
+// Format names a trace serialization.
+type Format string
+
+// The supported trace formats.
+const (
+	FormatJSONL  Format = "jsonl"
+	FormatChrome Format = "chrome"
+)
+
+// ParseFormat validates a -trace-format flag value.
+func ParseFormat(s string) (Format, error) {
+	switch Format(s) {
+	case FormatJSONL, FormatChrome:
+		return Format(s), nil
+	}
+	return "", fmt.Errorf("tracefmt: unknown format %q (want jsonl or chrome)", s)
+}
+
+// Write serializes in the given format.
+func Write(w io.Writer, format Format, meta Meta, events []core.TraceEvent) error {
+	switch format {
+	case FormatChrome:
+		return WriteChrome(w, meta, events)
+	default:
+		return WriteJSONL(w, meta, events)
+	}
+}
+
+// WriteFile serializes a trace to path.
+func WriteFile(path string, format Format, meta Meta, events []core.TraceEvent) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Write(f, format, meta, events); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFile loads a trace in either format, sniffing which one it is: a
+// Chrome file is one JSON object containing "traceEvents"; a JSONL file
+// begins with the schema header line.
+func ReadFile(path string) (Meta, []core.TraceEvent, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Meta{}, nil, err
+	}
+	head := data
+	if len(head) > 256 {
+		head = head[:256]
+	}
+	if bytes.Contains(head, []byte(`"traceEvents"`)) {
+		return ReadChrome(bytes.NewReader(data))
+	}
+	return ReadJSONL(bytes.NewReader(data))
+}

@@ -216,17 +216,26 @@ func (e *Engine) pump(now int64) {
 			for k := 0; k < n; k++ {
 				e.offered[i]++
 				e.mArrive.Inc()
+				bits := int64(8 * len(e.payloads[i]))
+				client := i / e.net.Cfg.AntennasPerClient
 				if e.cfg.QueueCap > 0 && e.queue.Len() >= e.cfg.QueueCap {
 					e.dropped[i]++
 					e.mDrops.Inc()
+					e.net.Trace().Emit(at, core.KindDemand,
+						core.TraceAttrs{Client: client, Stream: i, QueueDepth: e.queue.Len(), Bits: bits, Cause: "queue-cap"},
+						"stream %d arrival dropped", i)
 					continue
 				}
-				e.queue.Push(&mac.Packet{
+				p := &mac.Packet{
 					Stream:       i,
 					Payload:      e.payloads[i],
 					DesignatedAP: e.net.StrongestAP(i),
 					EnqueuedAt:   at,
-				})
+				}
+				e.queue.Push(p)
+				e.net.Trace().Emit(at, core.KindDemand,
+					core.TraceAttrs{Client: client, Stream: i, Pkt: p.Seq, QueueDepth: e.queue.Len(), Bits: bits, OK: true},
+					"")
 			}
 		}
 	}
@@ -308,8 +317,8 @@ func (e *Engine) Run(seconds float64) (*Report, error) {
 	}
 	start := e.net.Now()
 	horizon := start + int64(seconds*e.net.Cfg.SampleRate)
-	e.net.Trace().Emit(start, core.KindTraffic, "workload start: %s, %d streams, %.3fs window",
-		e.cfg.System, len(e.gens), seconds)
+	e.net.Trace().Emit(start, core.KindTraffic, core.TraceAttrs{},
+		"workload start: %s, %d streams, %.3fs window", e.cfg.System, len(e.gens), seconds)
 	for e.net.Now() < horizon {
 		now := e.net.Now()
 		e.pump(now)
@@ -337,8 +346,9 @@ func (e *Engine) Run(seconds float64) (*Report, error) {
 			return nil, err
 		}
 	}
-	e.net.Trace().Emit(e.net.Now(), core.KindTraffic, "workload end: %d rounds, %d backlog",
-		e.rounds, e.queue.Len())
+	e.net.Trace().Emit(e.net.Now(), core.KindTraffic,
+		core.TraceAttrs{QueueDepth: e.queue.Len(), OK: e.queue.Len() == 0},
+		"workload end: %d rounds, %d backlog", e.rounds, e.queue.Len())
 	return e.report(seconds), nil
 }
 
