@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	megamimo-bench [flags] fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|ablations|robustness|amortization|workload|all
+//	megamimo-bench [flags] fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|ablations|robustness|amortization|workload|chaos|all
 //
 // Flags scale the experiment size; the defaults approximate the paper's
 // methodology (20 topologies per point, 10 APs max) and take minutes.
@@ -47,8 +47,9 @@ func main() {
 		jsonOut    = flag.Bool("json", false, "emit per-figure metrics as JSON instead of tables")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
-		traceOut   = flag.String("trace-out", "", "workload only: write the merged flight-recorder trace to this file")
+		traceOut   = flag.String("trace-out", "", "workload/chaos only: write the merged flight-recorder trace to this file")
 		traceFmt   = flag.String("trace-format", "jsonl", "trace file format: jsonl|chrome")
+		chaosJSON  = flag.String("chaos-json", "", "chaos only: write the sweep result as deterministic JSON to this file")
 	)
 	flag.Parse()
 	format, err := tracefmt.ParseFormat(*traceFmt)
@@ -61,7 +62,7 @@ func main() {
 	}
 	experiment.SetWorkers(*workers)
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: megamimo-bench [flags] fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|ablations|robustness|amortization|workload|all")
+		fmt.Fprintln(os.Stderr, "usage: megamimo-bench [flags] fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|ablations|robustness|amortization|workload|chaos|all")
 		os.Exit(2)
 	}
 	which := flag.Arg(0)
@@ -184,6 +185,38 @@ func main() {
 			cfg := core.DefaultConfig(nAPs, nAPs, experiment.HighSNR.Lo, experiment.HighSNR.Hi)
 			meta := tracefmt.Meta{SampleRate: cfg.SampleRate, CarrierHz: cfg.CarrierHz, APs: nAPs, Clients: nAPs}
 			if err := tracefmt.WriteFile(*traceOut, format, meta, events); err != nil {
+				return "", err
+			}
+		}
+		return fmt.Sprintln(r), nil
+	})
+	run("chaos", func() (string, error) {
+		intensities := []float64{0, 100, 300, 600}
+		nAPs, seconds := 4, 0.02
+		if *quick {
+			intensities, seconds = []float64{0, 600}, 0.005
+		}
+		traceLimit := 0
+		if *traceOut != "" {
+			traceLimit = 1 << 18 // per-cell ring; merged below
+		}
+		r, events, err := experiment.RunChaosTrace(intensities, nAPs, maxInt(2, *topos/5), seconds, *seed, traceLimit)
+		if err != nil {
+			return "", err
+		}
+		if *traceOut != "" {
+			cfg := core.DefaultConfig(nAPs, nAPs, experiment.HighSNR.Lo, experiment.HighSNR.Hi)
+			meta := tracefmt.Meta{SampleRate: cfg.SampleRate, CarrierHz: cfg.CarrierHz, APs: nAPs, Clients: nAPs}
+			if err := tracefmt.WriteFile(*traceOut, format, meta, events); err != nil {
+				return "", err
+			}
+		}
+		if *chaosJSON != "" {
+			b, err := r.JSON()
+			if err != nil {
+				return "", err
+			}
+			if err := os.WriteFile(*chaosJSON, append(b, '\n'), 0o644); err != nil {
 				return "", err
 			}
 		}

@@ -4,7 +4,9 @@
 // throughput against the 802.11 baseline. With -workload it instead
 // drives the network closed-loop from per-client demand profiles and
 // reports throughput, latency and fairness for MegaMIMO vs the 802.11
-// baseline; -metrics dumps the runtime telemetry registry as JSON.
+// baseline; -chaos replays a named fault-injection scenario against the
+// closed loop and reports the degradation and recovery counters; -metrics
+// dumps the runtime telemetry registry as JSON.
 package main
 
 import (
@@ -15,6 +17,7 @@ import (
 
 	"megamimo/internal/baseline"
 	"megamimo/internal/core"
+	"megamimo/internal/fault"
 	"megamimo/internal/mac"
 	"megamimo/internal/tracefmt"
 	"megamimo/internal/traffic"
@@ -32,6 +35,7 @@ func main() {
 		wellCnd  = flag.Bool("well-conditioned", true, "use the conditioning-controlled channel ensemble")
 		trace    = flag.Bool("trace", false, "print the protocol event timeline")
 		workload = flag.String("workload", "", "drive a demand workload instead of a fixed batch: cbr|poisson|onoff|heavy")
+		chaos    = flag.String("chaos", "", "replay a fault scenario against the closed loop: slave-crash|lead-crash|lossy|churn|mixed")
 		load     = flag.Float64("load", 8, "workload offered load per client (Mb/s)")
 		duration = flag.Float64("duration", 0.05, "workload window (simulated seconds)")
 		metrics  = flag.Bool("metrics", false, "dump the runtime metrics registry as JSON on exit")
@@ -86,6 +90,12 @@ func main() {
 	net.SetPrecoder(p)
 	fmt.Printf("precoder: zero-forcing, power scale k=%.3f (per-client signal %.1f dB over noise)\n",
 		p.PowerScale, dB(p.PowerScale*p.PowerScale/cfg.NoiseVar))
+
+	if *chaos != "" {
+		runChaos(net, *chaos, *load, *duration, *seed, *size, *metrics)
+		writeTrace(net, cfg, *nAPs, *nCli, *traceOut, format)
+		return
+	}
 
 	if *workload != "" {
 		runWorkload(net, cfg, *workload, *load, *duration, *seed, *size, *trace, *metrics)
@@ -214,6 +224,117 @@ func runWorkload(net *core.Network, cfg core.Config, kindName string, loadMbps, 
 			fmt.Println("  " + e.String())
 		}
 	}
+	if metrics {
+		fmt.Println()
+		if err := net.Metrics().WriteJSON(os.Stdout); err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+	}
+}
+
+// chaosPlan builds the named fault scenario's schedule: the fault lands 20%
+// into the window and every effect ends by 60%, so the run always closes in
+// a recovered steady state.
+func chaosPlan(net *core.Network, scenario string, seconds float64, seed int64) (*fault.Plan, error) {
+	start := net.Now()
+	window := int64(seconds * net.Cfg.SampleRate)
+	at := start + window/5
+	until := start + (window*3)/5
+	switch scenario {
+	case "slave-crash":
+		return &fault.Plan{Seed: seed, Events: []fault.Event{
+			{At: at, Kind: fault.KindAPCrash, AP: len(net.APs) - 1, Until: until},
+		}}, nil
+	case "lead-crash":
+		return &fault.Plan{Seed: seed, Events: []fault.Event{
+			{At: at, Kind: fault.KindLeadFail, Until: until},
+		}}, nil
+	case "lossy":
+		return &fault.Plan{Seed: seed, Events: []fault.Event{
+			{At: at, Kind: fault.KindBackendDrop, Param: 0.3, Until: until},
+			{At: at, Kind: fault.KindBackendJitter, Param: 50e-6 * net.Cfg.SampleRate, Until: until},
+		}}, nil
+	case "churn":
+		return &fault.Plan{Seed: seed, Events: []fault.Event{
+			{At: at, Kind: fault.KindClientLeave, Stream: net.NumStreams() - 1, Until: until},
+		}}, nil
+	case "mixed":
+		return fault.Scenario{
+			Seed:       seed,
+			Start:      start,
+			Horizon:    start + window,
+			SampleRate: net.Cfg.SampleRate,
+			NumAPs:     len(net.APs),
+			NumStreams: net.NumStreams(),
+			Intensity:  400,
+		}.Plan(), nil
+	}
+	return nil, fmt.Errorf("unknown chaos scenario %q (slave-crash|lead-crash|lossy|churn|mixed)", scenario)
+}
+
+// runChaos replays a fault scenario against the MegaMIMO closed loop: the
+// fault window runs first, then the flight recorder is restarted and a
+// steady tail runs so -trace-out captures only the recovered state (the
+// anomaly gate must pass on it). The delivery rate covers both windows —
+// packets lost to the faults stay lost.
+func runChaos(net *core.Network, scenario string, loadMbps, seconds float64, seed int64, size int, metrics bool) {
+	plan, err := chaosPlan(net, scenario, seconds, seed)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("\nchaos scenario %q: %d fault events over %.3fs\n", scenario, len(plan.Events), seconds)
+	for i, ev := range plan.Events {
+		if i == 12 {
+			fmt.Printf("  ... and %d more\n", len(plan.Events)-i)
+			break
+		}
+		fmt.Println("  " + ev.String())
+	}
+	profiles := make([]traffic.Profile, net.NumStreams())
+	for i := range profiles {
+		profiles[i] = traffic.NewCBR(loadMbps*1e6, size)
+	}
+	eng, err := traffic.New(net, traffic.Config{
+		System:   traffic.SystemMegaMIMO,
+		Profiles: profiles,
+		Seed:     seed + 1,
+		Faults:   plan,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	rep, err := eng.Run(seconds)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println()
+	fmt.Print(rep)
+	// Recovered steady tail: restart the trace ring so the exported trace
+	// holds only post-recovery events, then keep the same closed loop going.
+	if net.Trace().Enabled() {
+		net.Trace().Enable(1 << 20)
+	}
+	tail, err := eng.Run(seconds / 2)
+	if err != nil {
+		fatal(err)
+	}
+	m := net.Metrics()
+	counter := func(name string) int64 { return m.Counter(name).Value() }
+	fmt.Printf("\nchaos counters: faults=%d failovers=%d sync_abstains=%d degraded_rounds=%d backend_dropped=%d\n",
+		counter("fault_injected_total"), counter("lead_failovers_total"),
+		counter("sync_abstain_total"), counter("degraded_rounds_total"),
+		counter("backend_dropped_total"))
+	var off, del int
+	for _, c := range tail.Clients {
+		off += c.OfferedPackets
+		del += c.DeliveredPackets
+	}
+	rate := 1.0
+	if off > 0 {
+		rate = float64(del) / float64(off)
+	}
+	fmt.Printf("chaos delivery rate: %.3f (delivered %d / offered %d packets)\n", rate, del, off)
 	if metrics {
 		fmt.Println()
 		if err := net.Metrics().WriteJSON(os.Stdout); err != nil {

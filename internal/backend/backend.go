@@ -6,7 +6,11 @@
 // ether samples, so backend latency and air time share one clock.
 package backend
 
-import "sort"
+import (
+	"sort"
+
+	"megamimo/internal/metrics"
+)
 
 // Broadcast is the destination for messages to every node.
 const Broadcast = -1
@@ -21,6 +25,18 @@ type Message struct {
 	// on the same ether sample).
 	Seq     uint64
 	Payload any
+	// Delay is extra per-message delivery latency in ether samples on top
+	// of the bus latency, imposed by an installed FaultPolicy.
+	Delay int64
+}
+
+// FaultPolicy decides the fate of each directed message at send time: drop
+// it outright, or delay its delivery by extra ether samples beyond the bus
+// latency. Implementations must be deterministic functions of the message
+// (keyed by Seq), never of wall-clock or iteration order, so that a faulty
+// bus replays byte-identically at any worker count.
+type FaultPolicy interface {
+	Deliver(m Message) (drop bool, extraDelaySamples int64)
 }
 
 // Bus is the shared backbone. Not safe for concurrent use — the simulator
@@ -33,6 +49,8 @@ type Bus struct {
 	nodes          map[int]bool
 	pending        []Message
 	seq            uint64
+	policy         FaultPolicy
+	dropped        *metrics.Counter
 }
 
 // New returns a bus with the given node IDs attached.
@@ -47,11 +65,50 @@ func New(latencySamples int64, nodeIDs ...int) *Bus {
 // Attach registers an additional node.
 func (b *Bus) Attach(id int) { b.nodes[id] = true }
 
+// Detach removes a node from the bus (the AP crashed or was isolated) and
+// purges its pending inbound messages: a crashed node never drains its
+// queue, so leaving them would grow the bus forever and resurrect stale
+// control traffic on restart. Purged and future messages to the node count
+// against the drop counter.
+func (b *Bus) Detach(id int) {
+	if !b.nodes[id] {
+		return
+	}
+	delete(b.nodes, id)
+	kept := b.pending[:0]
+	for _, m := range b.pending {
+		if m.To == id {
+			b.countDrop()
+			continue
+		}
+		kept = append(kept, m)
+	}
+	b.pending = kept
+}
+
+// Attached reports whether the node is currently on the bus.
+func (b *Bus) Attached(id int) bool { return b.nodes[id] }
+
+// SetFaultPolicy installs (or, with nil, removes) the per-message fault
+// policy consulted on every directed send.
+func (b *Bus) SetFaultPolicy(p FaultPolicy) { b.policy = p }
+
+// SetDropCounter wires the counter incremented for every message the bus
+// drops — sends to detached nodes, purges on Detach, and FaultPolicy
+// drops (exported as backend_dropped_total).
+func (b *Bus) SetDropCounter(c *metrics.Counter) { b.dropped = c }
+
+func (b *Bus) countDrop() {
+	if b.dropped != nil {
+		b.dropped.Inc()
+	}
+}
+
 // Send queues a message; To may be Broadcast, which fans out one directed
 // copy to every other attached node at send time.
 func (b *Bus) Send(from, to int, at int64, payload any) {
 	if to != Broadcast {
-		b.pending = append(b.pending, Message{From: from, To: to, SentAt: at, Seq: b.nextSeq(), Payload: payload})
+		b.deliver(Message{From: from, To: to, SentAt: at, Seq: b.nextSeq(), Payload: payload})
 		return
 	}
 	ids := make([]int, 0, len(b.nodes))
@@ -62,8 +119,27 @@ func (b *Bus) Send(from, to int, at int64, payload any) {
 	}
 	sort.Ints(ids) // deterministic fan-out order
 	for _, id := range ids {
-		b.pending = append(b.pending, Message{From: from, To: id, SentAt: at, Seq: b.nextSeq(), Payload: payload})
+		b.deliver(Message{From: from, To: id, SentAt: at, Seq: b.nextSeq(), Payload: payload})
 	}
+}
+
+// deliver applies crash semantics and the fault policy to one directed
+// message. A message to a detached node is counted and dropped rather than
+// queued forever; the policy may drop it or add delivery delay.
+func (b *Bus) deliver(m Message) {
+	if !b.nodes[m.To] {
+		b.countDrop()
+		return
+	}
+	if b.policy != nil {
+		drop, extra := b.policy.Deliver(m)
+		if drop {
+			b.countDrop()
+			return
+		}
+		m.Delay = extra
+	}
+	b.pending = append(b.pending, m)
 }
 
 func (b *Bus) nextSeq() uint64 {
@@ -84,7 +160,7 @@ func (b *Bus) Receive(node int, now int64) []Message {
 	var out []Message
 	kept := b.pending[:0]
 	for _, m := range b.pending {
-		if m.To == node && m.SentAt+b.LatencySamples <= now {
+		if m.To == node && m.SentAt+b.LatencySamples+m.Delay <= now {
 			out = append(out, m)
 			continue
 		}

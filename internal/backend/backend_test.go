@@ -1,6 +1,10 @@
 package backend
 
-import "testing"
+import (
+	"testing"
+
+	"megamimo/internal/metrics"
+)
 
 func TestDirectedDelivery(t *testing.T) {
 	b := New(100, 1, 2, 3)
@@ -59,12 +63,23 @@ func TestDeliveryOrder(t *testing.T) {
 
 func TestUnattachedNode(t *testing.T) {
 	b := New(0, 1)
+	var dropped metrics.Counter
+	b.SetDropCounter(&dropped)
+	// A send to a node that is not on the bus is dropped and counted, not
+	// queued forever waiting for someone to attach.
 	b.Send(1, 9, 0, "x")
-	if b.Receive(9, 10) != nil {
-		t.Fatal("unattached node received")
+	if b.Pending() != 0 {
+		t.Fatalf("send to unattached node queued (%d pending)", b.Pending())
+	}
+	if dropped.Value() != 1 {
+		t.Fatalf("drop counter = %d, want 1", dropped.Value())
 	}
 	b.Attach(9)
-	if len(b.Receive(9, 10)) != 1 {
+	if got := b.Receive(9, 10); got != nil {
+		t.Fatalf("late attach resurrected a dropped message: %+v", got)
+	}
+	b.Send(1, 9, 10, "y")
+	if len(b.Receive(9, 20)) != 1 {
 		t.Fatal("attached node did not receive")
 	}
 }
@@ -145,5 +160,96 @@ func TestBroadcastSeqPerCopy(t *testing.T) {
 	}
 	if m2[0].Seq >= m3[0].Seq {
 		t.Fatalf("fan-out seq order: node2=%d node3=%d", m2[0].Seq, m3[0].Seq)
+	}
+}
+
+func TestDetachPurgesInbound(t *testing.T) {
+	b := New(0, 1, 2, 3)
+	var dropped metrics.Counter
+	b.SetDropCounter(&dropped)
+	b.Send(1, 2, 0, "doomed-a")
+	b.Send(1, 2, 0, "doomed-b")
+	b.Send(1, 3, 0, "survivor")
+	b.Detach(2)
+	if b.Attached(2) {
+		t.Fatal("node still attached after Detach")
+	}
+	if dropped.Value() != 2 {
+		t.Fatalf("purge counted %d drops, want 2", dropped.Value())
+	}
+	if b.Pending() != 1 {
+		t.Fatalf("%d pending after purge, want 1", b.Pending())
+	}
+	// Sends to the detached node drop and count; other traffic flows.
+	b.Send(1, 2, 5, "doomed-c")
+	if dropped.Value() != 3 {
+		t.Fatalf("send to detached counted %d drops, want 3", dropped.Value())
+	}
+	if got := b.Receive(3, 100); len(got) != 1 || got[0].Payload != "survivor" {
+		t.Fatalf("survivor traffic: %+v", got)
+	}
+	// Re-attach: the purge is permanent but new traffic delivers.
+	b.Attach(2)
+	b.Send(1, 2, 10, "fresh")
+	if got := b.Receive(2, 100); len(got) != 1 || got[0].Payload != "fresh" {
+		t.Fatalf("post-restart traffic: %+v", got)
+	}
+}
+
+func TestDetachDuringBroadcast(t *testing.T) {
+	b := New(0, 1, 2, 3)
+	b.Detach(3)
+	b.Send(1, Broadcast, 0, "b")
+	if len(b.Receive(2, 10)) != 1 {
+		t.Fatal("live node missed broadcast")
+	}
+	b.Attach(3)
+	if got := b.Receive(3, 10); got != nil {
+		t.Fatalf("detached node got broadcast: %+v", got)
+	}
+}
+
+// testPolicy drops messages whose payload equals "drop" and delays ones
+// whose payload equals "slow".
+type testPolicy struct{ delay int64 }
+
+func (p testPolicy) Deliver(m Message) (bool, int64) {
+	switch m.Payload {
+	case "drop":
+		return true, 0
+	case "slow":
+		return false, p.delay
+	}
+	return false, 0
+}
+
+func TestFaultPolicyDropAndDelay(t *testing.T) {
+	b := New(100, 1, 2)
+	var dropped metrics.Counter
+	b.SetDropCounter(&dropped)
+	b.SetFaultPolicy(testPolicy{delay: 50})
+	b.Send(1, 2, 0, "drop")
+	b.Send(1, 2, 0, "slow")
+	b.Send(1, 2, 0, "ok")
+	if dropped.Value() != 1 {
+		t.Fatalf("policy drop count = %d, want 1", dropped.Value())
+	}
+	got := b.Receive(2, 100)
+	if len(got) != 1 || got[0].Payload != "ok" {
+		t.Fatalf("at latency: %+v", got)
+	}
+	got = b.Receive(2, 149)
+	if len(got) != 0 {
+		t.Fatalf("delayed message arrived early: %+v", got)
+	}
+	got = b.Receive(2, 150)
+	if len(got) != 1 || got[0].Payload != "slow" {
+		t.Fatalf("delayed message missing at latency+delay: %+v", got)
+	}
+	// Removing the policy restores normal delivery.
+	b.SetFaultPolicy(nil)
+	b.Send(1, 2, 200, "drop")
+	if got := b.Receive(2, 300); len(got) != 1 {
+		t.Fatalf("policy removal: %+v", got)
 	}
 }

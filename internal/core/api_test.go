@@ -102,13 +102,20 @@ func TestComputeZFValidation(t *testing.T) {
 	}
 }
 
-func TestSetLeadOutOfRangeIgnored(t *testing.T) {
+func TestSetLeadOutOfRangeErrors(t *testing.T) {
 	n := buildNet(t, 2, 2, 18, 24, 156)
-	n.SetLead(99) // no AP matches: nobody is lead, Lead() falls back
-	if n.Lead() == nil {
-		t.Fatal("Lead() returned nil")
+	if err := n.SetLead(99); err == nil {
+		t.Fatal("SetLead(99) accepted an out-of-range index")
 	}
-	n.SetLead(1)
+	if err := n.SetLead(-1); err == nil {
+		t.Fatal("SetLead(-1) accepted a negative index")
+	}
+	if n.Lead().Index != 0 {
+		t.Fatalf("failed SetLead moved the lead to %d", n.Lead().Index)
+	}
+	if err := n.SetLead(1); err != nil {
+		t.Fatalf("SetLead(1): %v", err)
+	}
 	if n.Lead().Index != 1 {
 		t.Fatal("SetLead(1) failed")
 	}

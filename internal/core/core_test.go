@@ -52,7 +52,9 @@ func TestLeadElection(t *testing.T) {
 	if n.Lead().Index != 0 || len(n.Slaves()) != 2 {
 		t.Fatal("default lead wrong")
 	}
-	n.SetLead(2)
+	if err := n.SetLead(2); err != nil {
+		t.Fatalf("SetLead(2): %v", err)
+	}
 	if n.Lead().Index != 2 {
 		t.Fatal("SetLead failed")
 	}

@@ -1,0 +1,245 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"megamimo/internal/phy"
+	"megamimo/internal/rng"
+)
+
+// buildFaultNet builds a well-conditioned N×N network with measurement and
+// precoder installed, ready for joint transmission.
+func buildFaultNet(t *testing.T, n int, seed int64) *Network {
+	t.Helper()
+	cfg := DefaultConfig(n, n, 18, 24)
+	cfg.Seed = seed
+	cfg.WellConditioned = true
+	net, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.MeasureAndPrecode(); err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func TestCrashAPIEdges(t *testing.T) {
+	n := buildNet(t, 2, 2, 18, 24, 160)
+	if err := n.CrashAP(9); err == nil {
+		t.Fatal("out-of-range crash accepted")
+	}
+	if err := n.RestartAP(0); err == nil {
+		t.Fatal("restart of a live AP accepted")
+	}
+	if err := n.CrashAP(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.CrashAP(1); err == nil {
+		t.Fatal("double crash accepted")
+	}
+	if err := n.CrashAP(0); err == nil {
+		t.Fatal("crashed the last live AP")
+	}
+	if err := n.Measure(); err == nil {
+		t.Fatal("Measure ran with a crashed AP")
+	}
+	if err := n.RestartAP(1); err != nil {
+		t.Fatal(err)
+	}
+	if !n.APLive(1) || n.LiveAPs() != 2 {
+		t.Fatal("restart did not restore liveness")
+	}
+	if err := n.CorruptSync(9, 100); err == nil {
+		t.Fatal("out-of-range CorruptSync accepted")
+	}
+}
+
+func TestElectLeadOrder(t *testing.T) {
+	n := buildNet(t, 4, 4, 18, 24, 161)
+	if got := n.ElectLead(2); got != 2 {
+		t.Fatalf("live preferred AP not elected: %d", got)
+	}
+	if err := n.CrashAP(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.CrashAP(1); err != nil {
+		t.Fatal(err)
+	}
+	if got := n.ElectLead(1); got != 2 {
+		t.Fatalf("elected %d, want lowest live index 2", got)
+	}
+	if err := n.SetLead(1); err == nil {
+		t.Fatal("SetLead accepted a crashed AP")
+	}
+}
+
+// TestCrashedSlaveDegradedRound: with one slave down, the lead re-zero-forces
+// over the survivors. The three surviving antennas can serve three streams;
+// the highest stream index is shed for the round, and everyone else keeps
+// their nulls and their data.
+func TestCrashedSlaveDegradedRound(t *testing.T) {
+	n := buildFaultNet(t, 4, 170)
+	if err := n.CrashAP(3); err != nil {
+		t.Fatal(err)
+	}
+	if n.Lead().Index != 0 {
+		t.Fatal("slave crash moved the lead")
+	}
+	src := rng.New(9)
+	payloads := make([][]byte, 4)
+	for j := range payloads {
+		payloads[j] = src.Bytes(make([]byte, 300))
+	}
+	res, err := n.JointTransmit(payloads, phy.MCS0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OK[3] {
+		t.Fatal("shed stream 3 delivered with no antenna budget for it")
+	}
+	for j := 0; j < 3; j++ {
+		if !res.OK[j] {
+			t.Fatalf("surviving stream %d failed in the degraded round", j)
+		}
+	}
+	if got := n.Metrics().Counter("degraded_rounds_total").Value(); got < 1 {
+		t.Fatalf("degraded_rounds_total = %d, want >= 1", got)
+	}
+}
+
+// TestLeadCrashFailover: crashing the lead re-elects the lowest live index
+// within the same round, and joint transmission keeps working over the
+// survivors.
+func TestLeadCrashFailover(t *testing.T) {
+	n := buildFaultNet(t, 4, 171)
+	if err := n.CrashAP(0); err != nil {
+		t.Fatal(err)
+	}
+	if n.Lead().Index != 1 {
+		t.Fatalf("lead after failover = %d, want 1", n.Lead().Index)
+	}
+	if got := n.Metrics().Counter("lead_failovers_total").Value(); got != 1 {
+		t.Fatalf("lead_failovers_total = %d, want 1", got)
+	}
+	src := rng.New(10)
+	payloads := make([][]byte, 4)
+	for j := range payloads {
+		payloads[j] = src.Bytes(make([]byte, 300))
+	}
+	res, err := n.JointTransmit(payloads, phy.MCS0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delivered := 0
+	for _, ok := range res.OK {
+		if ok {
+			delivered++
+		}
+	}
+	if delivered < 3 {
+		t.Fatalf("only %d/4 streams delivered under the failover lead", delivered)
+	}
+}
+
+// TestRestartRecoversFullStrength: after a crash, restart and a fresh
+// measurement bring the network back to full-rank transmission (and the
+// degraded-weights cache must not leak stale rebuilds into it).
+func TestRestartRecoversFullStrength(t *testing.T) {
+	n := buildFaultNet(t, 3, 172)
+	if err := n.CrashAP(2); err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(11)
+	payloads := make([][]byte, 3)
+	for j := range payloads {
+		payloads[j] = src.Bytes(make([]byte, 300))
+	}
+	if _, err := n.JointTransmit(payloads, phy.MCS0); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.RestartAP(2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.MeasureAndPrecode(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := n.JointTransmit(payloads, phy.MCS0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range payloads {
+		if !res.OK[j] {
+			t.Fatalf("stream %d failed after restart + remeasure", j)
+		}
+	}
+	if got := n.Metrics().Counter("degraded_rounds_total").Value(); got != 1 {
+		t.Fatalf("degraded_rounds_total = %d after recovery, want exactly the one degraded round", got)
+	}
+}
+
+// TestSyncAbstainKeepsNulls: a slave with corrupted sync and no staleness
+// budget withholds its antennas, and the re-zero-forced survivors keep the
+// victim's null deep instead of spraying misphased energy into it.
+func TestSyncAbstainKeepsNulls(t *testing.T) {
+	cfg := DefaultConfig(3, 3, 18, 24)
+	cfg.Seed = 173
+	cfg.WellConditioned = true
+	cfg.SyncStalenessSamples = 1 // no extrapolation budget: fail → abstain
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.MeasureAndPrecode(); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.CorruptSync(2, n.Now()+100_000_000); err != nil {
+		t.Fatal(err)
+	}
+	inr, err := n.NullingINR(0, 400, phy.MCS0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inrDB := 10 * math.Log10(inr); inrDB > 3 {
+		t.Fatalf("INR %.1f dB with an abstaining slave — nulls not holding", inrDB)
+	}
+	if got := n.Metrics().Counter("sync_abstain_total").Value(); got < 1 {
+		t.Fatalf("sync_abstain_total = %d, want >= 1", got)
+	}
+	if got := n.Metrics().Counter("degraded_rounds_total").Value(); got < 1 {
+		t.Fatalf("degraded_rounds_total = %d, want >= 1", got)
+	}
+}
+
+// TestSyncExtrapolateWithinBudget: with a recent good measurement inside the
+// staleness budget, a slave that loses the sync header extrapolates from its
+// long-term CFO instead of abstaining, and delivery continues at full rank.
+func TestSyncExtrapolateWithinBudget(t *testing.T) {
+	n := buildFaultNet(t, 2, 174) // default SyncStalenessSamples budget
+	src := rng.New(12)
+	payloads := [][]byte{src.Bytes(make([]byte, 300)), src.Bytes(make([]byte, 300))}
+	// One good round records the phase snapshot the fallback extrapolates
+	// from.
+	if _, err := n.JointTransmit(payloads, phy.MCS0); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.CorruptSync(1, n.Now()+100_000_000); err != nil {
+		t.Fatal(err)
+	}
+	res, err := n.JointTransmit(payloads, phy.MCS0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range payloads {
+		if !res.OK[j] {
+			t.Fatalf("stream %d failed under sync extrapolation", j)
+		}
+	}
+	if got := n.Metrics().Counter("sync_abstain_total").Value(); got != 0 {
+		t.Fatalf("sync_abstain_total = %d inside the budget, want 0", got)
+	}
+	if got := n.Metrics().Counter("degraded_rounds_total").Value(); got != 0 {
+		t.Fatalf("degraded_rounds_total = %d inside the budget, want 0", got)
+	}
+}

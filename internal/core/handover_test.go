@@ -34,7 +34,9 @@ func TestLeadHandoverKeepsBeamforming(t *testing.T) {
 	}
 	src := rng.New(5)
 	for _, leadIdx := range []int{0, 1, 2, 0, 2} {
-		n.SetLead(leadIdx)
+		if err := n.SetLead(leadIdx); err != nil {
+			t.Fatalf("SetLead(%d): %v", leadIdx, err)
+		}
 		payloads := make([][]byte, 3)
 		for j := range payloads {
 			payloads[j] = src.Bytes(make([]byte, 400))
@@ -77,7 +79,9 @@ func TestLeadHandoverNullsHold(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	n.SetLead(2)
+	if err := n.SetLead(2); err != nil {
+		t.Fatalf("SetLead(2): %v", err)
+	}
 	inr2, err := n.NullingINR(0, 400, phy.MCS0)
 	if err != nil {
 		t.Fatal(err)

@@ -128,6 +128,11 @@ func (n *Network) MeasureDecoupled(groups [][]int, gapSamples int64) error {
 	if len(groups) == 0 {
 		return fmt.Errorf("core: no measurement groups")
 	}
+	for i, down := range n.crashed {
+		if down {
+			return fmt.Errorf("core: Measure with AP %d crashed (restart it first)", i)
+		}
+	}
 	lead := n.Lead()
 	train := symbolWave()
 	var reports []*csi.Report

@@ -99,6 +99,13 @@ type Config struct {
 	ModelSFO bool
 	// WanderStd adds Wiener oscillator phase noise (rad/√sample).
 	WanderStd float64
+	// SyncStalenessSamples is the sync-abstain staleness budget: when a
+	// slave's per-packet sync-header measurement fails, it may fall back
+	// to CFO extrapolation only while its last good measurement is at most
+	// this many ether samples old; beyond the budget (or when 0) the slave
+	// withholds its antennas from the joint transmission rather than fire
+	// with a garbage phase ratio.
+	SyncStalenessSamples int64
 	// Seed drives all randomness.
 	Seed int64
 }
@@ -122,7 +129,10 @@ func DefaultConfig(nAPs, nClients int, snrLo, snrHi float64) Config {
 		TriggerDelaySamples: 1500, // 150 µs at 10 MHz
 		MeasurementRounds:   4,
 		RateMarginDB:        3.0,
-		Seed:                1,
+		// 10 ms at 10 MHz: a handful of rounds of CFO extrapolation before
+		// a sync-starved slave must abstain.
+		SyncStalenessSamples: 100_000,
+		Seed:                 1,
 	}
 }
 
@@ -221,6 +231,22 @@ type Network struct {
 	mFCSFailures      *metrics.Counter
 	mStreamsDelivered *metrics.Counter
 	mMeasurements     *metrics.Counter
+	mLeadFailovers    *metrics.Counter
+	mSyncAbstain      *metrics.Counter
+	mDegradedRounds   *metrics.Counter
+
+	// Fault state (internal/fault drives it through CrashAP/RestartAP/
+	// CorruptSync). crashed marks APs that are off the air and off the
+	// bus; syncLossUntil makes an AP's sync-header measurements fail until
+	// the given ether time; abstain is per-round scratch marking slaves
+	// that withheld their antennas from the current joint transmission.
+	crashed       []bool
+	syncLossUntil []int64
+	abstain       []bool
+	// degradedFor/degraded cache the N−1 zero-forcing rebuilds per
+	// participation mask for the current measurement.
+	degradedFor *Measurement
+	degraded    map[uint64]*maskedWeights
 
 	// tx and dem are the network's reusable PHY pipelines, and arena the
 	// per-network scratch for hot-path buffers. A Network is single-threaded,
@@ -313,6 +339,10 @@ func New(cfg Config) (*Network, error) {
 		busIDs = append(busIDs, 1000+c)
 	}
 	n.Bus = backend.New(int64(cfg.SampleRate*50e-6), busIDs...) // 50 µs backbone hop
+	n.Bus.SetDropCounter(n.metrics.Counter("backend_dropped_total"))
+	n.crashed = make([]bool, cfg.NumAPs)
+	n.syncLossUntil = make([]int64, cfg.NumAPs)
+	n.abstain = make([]bool, cfg.NumAPs)
 	n.buildLinks(src.Split(0xC4A))
 	return n, nil
 }
@@ -453,6 +483,9 @@ func (n *Network) initMetrics() {
 	n.mFCSFailures = n.metrics.Counter("phy_fcs_failures_total")
 	n.mStreamsDelivered = n.metrics.Counter("core_streams_delivered_total")
 	n.mMeasurements = n.metrics.Counter("core_measurements_total")
+	n.mLeadFailovers = n.metrics.Counter("lead_failovers_total")
+	n.mSyncAbstain = n.metrics.Counter("sync_abstain_total")
+	n.mDegradedRounds = n.metrics.Counter("degraded_rounds_total")
 }
 
 // Metrics returns the network's telemetry registry (always non-nil).
@@ -463,21 +496,27 @@ func (n *Network) Metrics() *metrics.Registry {
 	return n.metrics
 }
 
-// Lead returns the lead AP.
+// Lead returns the lead AP. A crashed AP never leads: if none is marked
+// (or the marked lead crashed) the lowest live index stands in.
 func (n *Network) Lead() *AP {
 	for _, ap := range n.APs {
-		if ap.IsLead {
+		if ap.IsLead && !n.crashed[ap.Index] {
+			return ap
+		}
+	}
+	for _, ap := range n.APs {
+		if !n.crashed[ap.Index] {
 			return ap
 		}
 	}
 	return n.APs[0]
 }
 
-// Slaves returns all non-lead APs.
+// Slaves returns all live non-lead APs.
 func (n *Network) Slaves() []*AP {
 	out := make([]*AP, 0, len(n.APs)-1)
 	for _, ap := range n.APs {
-		if !ap.IsLead {
+		if !ap.IsLead && !n.crashed[ap.Index] {
 			out = append(out, ap)
 		}
 	}
@@ -485,11 +524,21 @@ func (n *Network) Slaves() []*AP {
 }
 
 // SetLead re-elects the lead AP (§9: the designated AP of the head-of-queue
-// packet leads each transmission).
-func (n *Network) SetLead(index int) {
+// packet leads each transmission). It returns an error — leaving the
+// current lead in place — when the index is out of range or names a
+// crashed AP; callers that merely prefer an AP use ElectLead to fall back
+// deterministically instead.
+func (n *Network) SetLead(index int) error {
+	if index < 0 || index >= len(n.APs) {
+		return fmt.Errorf("core: SetLead(%d): no such AP (have %d)", index, len(n.APs))
+	}
+	if n.crashed[index] {
+		return fmt.Errorf("core: SetLead(%d): AP is crashed", index)
+	}
 	for _, ap := range n.APs {
 		ap.IsLead = ap.Index == index
 	}
+	return nil
 }
 
 // EvolveClientLinks ages every AP→client link of one client with the
@@ -509,15 +558,19 @@ func (n *Network) EvolveClientLinks(client int, rho float64) {
 	}
 }
 
-// StrongestAP returns the AP with the highest measured wideband gain to
-// the given stream (the packet's "designated AP", §9). It falls back to
-// AP 0 when no measurement exists.
+// StrongestAP returns the live AP with the highest measured wideband gain
+// to the given stream (the packet's "designated AP", §9). It falls back to
+// the lowest live AP when no measurement exists, and never nominates a
+// crashed AP.
 func (n *Network) StrongestAP(stream int) int {
 	if n.Msmt == nil {
-		return 0
+		return n.ElectLead(0)
 	}
-	best, bestPow := 0, -1.0
+	best, bestPow := n.ElectLead(0), -1.0
 	for a := 0; a < n.Cfg.NumAPs; a++ {
+		if n.crashed[a] {
+			continue
+		}
 		var pow float64
 		for m := 0; m < n.Cfg.AntennasPerAP; m++ {
 			g := a*n.Cfg.AntennasPerAP + m

@@ -47,6 +47,13 @@ const (
 	// KindDemand marks workload arrivals entering (or drop-tailing at) the
 	// shared queue (internal/traffic).
 	KindDemand = "demand"
+	// KindFault marks an injected or detected fault: AP crash, backend
+	// loss/delay window, sync-header corruption, a slave abstaining from a
+	// joint transmission, a degraded (N−1) round, client departure.
+	KindFault = "fault"
+	// KindRecovery marks the matching recovery: AP restart, lead
+	// failover completing, client rejoin.
+	KindRecovery = "recovery"
 )
 
 // validKinds is the closed set ValidKind and emit check against.
@@ -63,6 +70,8 @@ var validKinds = map[string]bool{
 	KindNullDepth:  true,
 	KindRetransmit: true,
 	KindDemand:     true,
+	KindFault:      true,
+	KindRecovery:   true,
 }
 
 // ValidKind reports whether kind belongs to the trace vocabulary.
@@ -72,9 +81,10 @@ func ValidKind(kind string) bool { return validKinds[kind] }
 func Kinds() []string {
 	out := make([]string, 0, len(validKinds))
 	for _, k := range []string{
-		KindDecode, KindDemand, KindFeedback, KindJointTx, KindMeasure,
-		KindMetrics, KindNullDepth, KindRetransmit, KindRound,
-		KindSlaveRatio, KindSyncHeader, KindTraffic,
+		KindDecode, KindDemand, KindFault, KindFeedback, KindJointTx,
+		KindMeasure, KindMetrics, KindNullDepth, KindRecovery,
+		KindRetransmit, KindRound, KindSlaveRatio, KindSyncHeader,
+		KindTraffic,
 	} {
 		out = append(out, k)
 	}

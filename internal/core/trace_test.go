@@ -161,8 +161,8 @@ func TestTraceKindConstantsAreValid(t *testing.T) {
 			t.Errorf("exported kind constant %q not in the valid set", k)
 		}
 	}
-	if len(Kinds()) != 12 {
-		t.Errorf("Kinds() lists %d kinds, want 12", len(Kinds()))
+	if len(Kinds()) != 14 {
+		t.Errorf("Kinds() lists %d kinds, want 14", len(Kinds()))
 	}
 	if ValidKind("") || ValidKind("Joint-Tx") || ValidKind("joint_tx") {
 		t.Error("ValidKind accepted a kind outside the vocabulary")

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"math/cmplx"
 
 	"megamimo/internal/cmplxs"
@@ -84,6 +85,9 @@ func (n *Network) JointTransmit(payloads [][]byte, mcs phy.MCS) (*TxResult, erro
 		return nil, fmt.Errorf("core: JointTransmit before Measure")
 	}
 	for _, ap := range n.APs {
+		if n.crashed[ap.Index] {
+			continue
+		}
 		if ap.weights == nil {
 			return nil, fmt.Errorf("core: AP %d has no precoder rows", ap.Index)
 		}
@@ -221,19 +225,64 @@ func (n *Network) postJointFrames(tx *phy.TX, frames []*phy.FrameSymbols) (t1, t
 		cfo   float64      // averaged ω_lead − ω_self
 	}
 	corr := make(map[int]*correction, len(n.APs))
+	for i := range n.abstain {
+		n.abstain[i] = false
+	}
 	for _, ap := range n.Slaves() {
-		ratio, curAt, resid, err := n.slaveMeasureRatio(ap, t1)
-		if err != nil {
-			return 0, 0, fmt.Errorf("slave %d ratio: %w", ap.Index, err)
+		ratio, curAt, resid, mErr := n.slaveMeasureRatio(ap, t1)
+		ps := ap.syncTo(lead.Index)
+		if mErr != nil {
+			// A slave that cannot measure its phase correction falls back
+			// to CFO extrapolation while its last good measurement is
+			// inside the staleness budget; beyond it the slave abstains —
+			// withholding its antennas beats firing with a garbage phase
+			// ratio, which would fill every client's null (§5.2b).
+			budget := n.Cfg.SyncStalenessSamples
+			if ps.hasPhase && budget > 0 && t1-ps.lastAt <= budget {
+				curAt = t1 - winLead + ltfPhaseOffset
+				ratio = extrapolateRatio(ps, curAt)
+				resid = 0
+				n.trace(t1, KindFault, TraceAttrs{AP: ap.Index, Cause: "sync-extrapolate"},
+					"slave %d lost the sync header (last good measurement %d samples ago): %v",
+					ap.Index, t1-ps.lastAt, mErr)
+			} else {
+				n.abstain[ap.Index] = true
+				n.mSyncAbstain.Inc()
+				n.trace(t1, KindFault, TraceAttrs{AP: ap.Index, Cause: "sync-abstain"},
+					"slave %d withholds its antennas: %v", ap.Index, mErr)
+				continue
+			}
 		}
-		ps := ap.syncTo(n.Lead().Index)
 		corr[ap.Index] = &correction{ratio: ratio, curAt: curAt, refAt: ps.refAt, cfo: ps.cfo}
+		if mErr != nil {
+			continue
+		}
 		// The flight recorder's phase-sync telemetry: the innovation of this
 		// packet's measured phase against the long-term CFO prediction is the
 		// residual phase error the π/18 nulling budget (§11.1b) bounds.
 		n.trace(curAt, KindSlaveRatio,
 			TraceAttrs{AP: ap.Index, PhaseErrRad: resid, CFORadPerSample: ps.cfo},
 			"AP %d: Δφ measured over %d samples", ap.Index, curAt-ps.refAt)
+	}
+
+	// Participation: crashed and abstaining APs sit this round out. At
+	// full strength the pre-distributed precoder applies untouched; a
+	// degraded round re-zero-forces over the survivors (nil weight columns
+	// mark shed streams) and is counted and traced.
+	mask, full := n.participationMask()
+	var mw *maskedWeights
+	if mask != full {
+		if len(frames) == n.NumStreams() {
+			mw, err = n.weightsForMask(mask)
+			if err != nil {
+				return 0, 0, err
+			}
+		}
+		// Diversity/per-stream precoders need no rebuild: each antenna's
+		// weight is independent, so missing antennas just go dark.
+		n.mDegradedRounds.Inc()
+		n.trace(t1, KindFault, TraceAttrs{Cause: "degraded-round"},
+			"degraded transmission: %d/%d APs participating", bits.OnesCount64(mask), len(n.APs))
 	}
 
 	// 3. Joint data transmission after the fixed turnaround t∆ (§10).
@@ -253,6 +302,9 @@ func (n *Network) postJointFrames(tx *phy.TX, frames []*phy.FrameSymbols) (t1, t
 	synth := n.arena.Complex(frameLen)
 	wave := n.arena.Complex(frameLen)
 	for _, ap := range n.APs {
+		if n.crashed[ap.Index] || n.abstain[ap.Index] {
+			continue
+		}
 		c := corr[ap.Index]
 		for m := 0; m < n.Cfg.AntennasPerAP; m++ {
 			if len(ap.weights) <= m {
@@ -266,7 +318,14 @@ func (n *Network) postJointFrames(tx *phy.TX, frames []*phy.FrameSymbols) (t1, t
 				if frames[j] == nil {
 					continue
 				}
-				copy(gain, ap.weights[m][j])
+				w := ap.weights[m][j]
+				if mw != nil {
+					w = mw.gain[ap.Index*n.Cfg.AntennasPerAP+m][j]
+					if w == nil {
+						continue // stream shed in this degraded round
+					}
+				}
+				copy(gain, w)
 				if c != nil {
 					for i := range gain {
 						gain[i] *= c.ratio[i]
@@ -374,12 +433,10 @@ func (n *Network) slaveMeasureRatio(ap *AP, t1 int64) ([]complex128, int64, floa
 		// Ablation: predict Δφ = Δω̂·Δt instead of measuring it. Any error
 		// in Δω̂ accumulates linearly with time since the measurement
 		// phase (§5.2's "large accumulated errors over time").
-		ratio := make([]complex128, ofdm.NFFT)
-		phase := ps.cfo * float64(curAt-ps.refAt)
-		for _, b := range occupiedBins() {
-			ratio[b] = cmplxs.Expi(phase)
-		}
-		return ratio, curAt, 0, nil
+		return extrapolateRatio(ps, curAt), curAt, 0, nil
+	}
+	if n.syncLossUntil[ap.Index] > t1 {
+		return nil, 0, 0, fmt.Errorf("sync header corrupted (injected, until t=%d)", n.syncLossUntil[ap.Index])
 	}
 	win := n.Air.Observe(n.APAntennaID(ap.Index, 0), ap.Node.Osc, winStart, ofdm.PreambleLen+winLead+192)
 	sync, err := ofdm.Detect(win, 0.5)
@@ -400,6 +457,19 @@ func (n *Network) slaveMeasureRatio(ap *AP, t1 int64) ([]complex128, int64, floa
 	ratio := composeRatio(q, slope)
 	resid := ps.trackCFO(ratio, curAt)
 	return ratio, curAt, resid, nil
+}
+
+// extrapolateRatio predicts a slave's phase correction from the long-term
+// CFO estimate alone: Δφ = Δω̂·Δt on every occupied bin. It is the
+// ExtrapolatePhase ablation's correction and the bounded-staleness
+// fallback when a sync-header measurement fails.
+func extrapolateRatio(ps *peerSync, curAt int64) []complex128 {
+	ratio := make([]complex128, ofdm.NFFT)
+	phase := ps.cfo * float64(curAt-ps.refAt)
+	for _, b := range occupiedBins() {
+		ratio[b] = cmplxs.Expi(phase)
+	}
+	return ratio
 }
 
 // trackSlope fuses a per-packet slope measurement into the long-term

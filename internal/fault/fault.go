@@ -1,0 +1,153 @@
+// Package fault is the deterministic fault-injection layer: a seeded,
+// ether-clock-driven schedule of failures (AP crashes, lead failure,
+// lossy/slow backhaul, sync-header corruption, client churn) that the
+// simulator replays byte-identically at any worker count. A Plan is pure
+// data — typed events pinned to ether sample times — and every random
+// decision downstream (per-message drop rolls, jitter draws) is a hash of
+// the plan seed and the message sequence number, never of iteration order,
+// so the same seed always produces the same faults, the same degraded
+// rounds and the same recovery trace. Fault-handling code must never
+// panic: injection runs inside long experiment sweeps, and a fault that
+// cannot apply (crashing the last live AP, restarting an AP that never
+// crashed) is skipped or reported, not fatal. The faultpath lint analyzer
+// enforces both properties.
+package fault
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Kind enumerates the fault event types. Switches over Kind must be
+// exhaustive (faultpath analyzer): adding a kind here forces every handler
+// to decide what it means for them.
+type Kind int
+
+const (
+	// KindAPCrash takes AP (field AP) off the air and off the bus until a
+	// KindAPRestart (auto-scheduled when Until > 0). If the crashed AP was
+	// the lead, the network re-elects deterministically.
+	KindAPCrash Kind = iota
+	// KindAPRestart re-attaches a crashed AP.
+	KindAPRestart
+	// KindLeadFail crashes whichever AP is the lead at apply time.
+	KindLeadFail
+	// KindBackendDrop makes the bus drop each message with probability
+	// Param while the window [At, Until) is active.
+	KindBackendDrop
+	// KindBackendDelay adds Param ether samples of delivery latency to
+	// every message in the window.
+	KindBackendDelay
+	// KindBackendJitter adds a per-message uniform delay in [0, Param]
+	// ether samples in the window.
+	KindBackendJitter
+	// KindBackendPartition isolates one bus node (field AP holds the bus
+	// node ID): all its traffic, both directions, is dropped until Until.
+	KindBackendPartition
+	// KindSyncCorrupt makes AP's sync-header measurements fail until
+	// Until, exercising the extrapolate-then-abstain path.
+	KindSyncCorrupt
+	// KindClientLeave removes a client stream (field Stream) from the
+	// workload: queued packets are purged, arrivals discarded.
+	KindClientLeave
+	// KindClientJoin re-activates a departed client stream.
+	KindClientJoin
+)
+
+// numKinds is intentionally an untyped int, not a Kind: it is a count,
+// never a case.
+const numKinds = int(KindClientJoin) + 1
+
+// Valid reports whether k names a defined fault kind.
+func (k Kind) Valid() bool { return k >= 0 && int(k) < numKinds }
+
+// String returns the stable wire/trace name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindAPCrash:
+		return "ap-crash"
+	case KindAPRestart:
+		return "ap-restart"
+	case KindLeadFail:
+		return "lead-fail"
+	case KindBackendDrop:
+		return "backend-drop"
+	case KindBackendDelay:
+		return "backend-delay"
+	case KindBackendJitter:
+		return "backend-jitter"
+	case KindBackendPartition:
+		return "backend-partition"
+	case KindSyncCorrupt:
+		return "sync-corrupt"
+	case KindClientLeave:
+		return "client-leave"
+	case KindClientJoin:
+		return "client-join"
+	}
+	return fmt.Sprintf("fault.Kind(%d)", int(k))
+}
+
+// Event is one scheduled fault.
+type Event struct {
+	At   int64 // ether sample time the fault fires
+	Kind Kind
+	// AP is the target AP index (crash/restart/sync kinds) or bus node ID
+	// (partition); unused otherwise.
+	AP int
+	// Stream is the target client stream for churn kinds.
+	Stream int
+	// Param is the kind-specific magnitude: drop probability, delay or
+	// jitter bound in ether samples.
+	Param float64
+	// Until ends windowed effects (backend faults, sync corruption) and,
+	// for crash/leave kinds, auto-schedules the matching recovery event.
+	// Zero means no scheduled end.
+	Until int64
+}
+
+func (e Event) String() string {
+	s := fmt.Sprintf("%s at=%d", e.Kind, e.At)
+	switch e.Kind {
+	case KindAPCrash, KindAPRestart, KindSyncCorrupt, KindBackendPartition:
+		s += fmt.Sprintf(" ap=%d", e.AP)
+	case KindClientLeave, KindClientJoin:
+		s += fmt.Sprintf(" stream=%d", e.Stream)
+	case KindBackendDrop, KindBackendDelay, KindBackendJitter:
+		s += fmt.Sprintf(" param=%g", e.Param)
+	case KindLeadFail:
+		// target resolved at apply time
+	}
+	if e.Until > 0 {
+		s += fmt.Sprintf(" until=%d", e.Until)
+	}
+	return s
+}
+
+// Plan is a complete fault schedule: the seed that keys every downstream
+// random decision, and the events in firing order. A Plan is inert data;
+// an Injector applies it to a live network.
+type Plan struct {
+	Seed   int64
+	Events []Event
+}
+
+// Sort orders the events by firing time, preserving the relative order of
+// events that share an instant (stable, so plan construction order is the
+// tie-break and replay is exact).
+func (p *Plan) Sort() {
+	sort.SliceStable(p.Events, func(i, j int) bool { return p.Events[i].At < p.Events[j].At })
+}
+
+// Validate reports the first malformed event, or nil.
+func (p *Plan) Validate() error {
+	for i, e := range p.Events {
+		if !e.Kind.Valid() {
+			return fmt.Errorf("fault: event %d: invalid kind %d", i, int(e.Kind))
+		}
+		if e.Until != 0 && e.Until < e.At {
+			return fmt.Errorf("fault: event %d (%s): until %d before at %d", i, e.Kind, e.Until, e.At)
+		}
+	}
+	return nil
+}

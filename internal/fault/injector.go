@@ -1,0 +1,157 @@
+package fault
+
+import (
+	"megamimo/internal/core"
+	"megamimo/internal/metrics"
+)
+
+// Injector applies a Plan to a live network as the ether clock advances.
+// It owns the bus fault policy, fires each plan event when its time comes,
+// and auto-schedules recoveries (restart after a crash with Until set,
+// rejoin after a leave). Network-level events (crash, restart, sync
+// corruption) apply through core, which emits the fault/recovery trace
+// events and failover metrics; backend and churn events are traced here.
+// Churn events are also returned from Apply so the traffic engine can
+// update its per-stream state.
+type Injector struct {
+	net    *core.Network
+	policy *Policy
+	events []Event // plan events, sorted by At
+	next   int
+	queued []Event // runtime-scheduled recoveries, sorted by At
+	mInj   *metrics.Counter
+}
+
+// NewInjector wires a plan onto the network: the bus gets the plan's fault
+// policy, and the injector is ready to Apply events as time advances.
+func NewInjector(n *core.Network, plan *Plan) *Injector {
+	evs := append([]Event(nil), plan.Events...)
+	in := &Injector{
+		net:    n,
+		policy: NewPolicy(plan.Seed),
+		events: evs,
+		mInj:   n.Metrics().Counter("fault_injected_total"),
+	}
+	p := &Plan{Seed: plan.Seed, Events: in.events}
+	p.Sort()
+	n.Bus.SetFaultPolicy(in.policy)
+	return in
+}
+
+// NextAt returns the firing time of the next pending event, if any. The
+// traffic engine uses it to bound idle time-skips so faults and
+// recoveries never fire late.
+func (in *Injector) NextAt() (int64, bool) {
+	at := int64(0)
+	ok := false
+	if in.next < len(in.events) {
+		at, ok = in.events[in.next].At, true
+	}
+	if len(in.queued) > 0 && (!ok || in.queued[0].At < at) {
+		at, ok = in.queued[0].At, true
+	}
+	return at, ok
+}
+
+// Apply fires every event due at or before now, in time order (plan events
+// win ties against scheduled recoveries), and returns the events that took
+// effect. Events that cannot apply — crashing the last live AP, restarting
+// a live AP — are skipped, never fatal.
+func (in *Injector) Apply(now int64) []Event {
+	var fired []Event
+	for {
+		ev, ok := in.pop(now)
+		if !ok {
+			return fired
+		}
+		if in.apply(ev) {
+			in.mInj.Inc()
+			fired = append(fired, ev)
+		}
+	}
+}
+
+// pop removes and returns the earliest event due by now.
+func (in *Injector) pop(now int64) (Event, bool) {
+	havePlan := in.next < len(in.events) && in.events[in.next].At <= now
+	haveQ := len(in.queued) > 0 && in.queued[0].At <= now
+	switch {
+	case havePlan && (!haveQ || in.events[in.next].At <= in.queued[0].At):
+		ev := in.events[in.next]
+		in.next++
+		return ev, true
+	case haveQ:
+		ev := in.queued[0]
+		in.queued = in.queued[1:]
+		return ev, true
+	}
+	return Event{}, false
+}
+
+// schedule inserts a runtime recovery event, keeping queued sorted by At
+// with insertion order as the tie-break.
+func (in *Injector) schedule(ev Event) {
+	i := len(in.queued)
+	for i > 0 && in.queued[i-1].At > ev.At {
+		i--
+	}
+	in.queued = append(in.queued, Event{})
+	copy(in.queued[i+1:], in.queued[i:])
+	in.queued[i] = ev
+}
+
+// apply executes one event, reporting whether it took effect.
+func (in *Injector) apply(ev Event) bool {
+	n := in.net
+	switch ev.Kind {
+	case KindAPCrash:
+		return in.crash(ev.AP, ev.Until)
+	case KindLeadFail:
+		return in.crash(n.Lead().Index, ev.Until)
+	case KindAPRestart:
+		return n.RestartAP(ev.AP) == nil
+	case KindBackendDrop:
+		in.policy.SetDrop(ev.Param, ev.Until)
+		in.traceFault(ev)
+	case KindBackendDelay:
+		in.policy.SetDelay(int64(ev.Param), ev.Until)
+		in.traceFault(ev)
+	case KindBackendJitter:
+		in.policy.SetJitter(int64(ev.Param), ev.Until)
+		in.traceFault(ev)
+	case KindBackendPartition:
+		in.policy.Isolate(ev.AP, ev.Until)
+		in.traceFault(ev)
+	case KindSyncCorrupt:
+		return n.CorruptSync(ev.AP, ev.Until) == nil
+	case KindClientLeave:
+		if ev.Until > 0 {
+			in.schedule(Event{At: ev.Until, Kind: KindClientJoin, Stream: ev.Stream})
+		}
+		in.traceFault(ev)
+	case KindClientJoin:
+		n.Trace().Emit(ev.At, core.KindRecovery, core.TraceAttrs{Stream: ev.Stream, Cause: ev.Kind.String()},
+			"client stream %d rejoined", ev.Stream)
+	}
+	return true
+}
+
+// crash takes an AP down and schedules its restart when the event carries
+// an outage window. Crashing the last live AP is refused by core and
+// skipped here.
+func (in *Injector) crash(ap int, until int64) bool {
+	if err := in.net.CrashAP(ap); err != nil {
+		return false
+	}
+	if until > 0 {
+		in.schedule(Event{At: until, Kind: KindAPRestart, AP: ap})
+	}
+	return true
+}
+
+// traceFault records a backend/churn fault event (network-level faults are
+// traced inside core where the state change happens).
+func (in *Injector) traceFault(ev Event) {
+	in.net.Trace().Emit(ev.At, core.KindFault, core.TraceAttrs{AP: ev.AP, Stream: ev.Stream, Cause: ev.Kind.String()},
+		"injected %s", ev)
+}

@@ -1,0 +1,91 @@
+package fault
+
+import "megamimo/internal/backend"
+
+// Policy is the backend.FaultPolicy the injector installs on the bus. All
+// state is windowed — a drop probability, a fixed extra delay, a jitter
+// bound and a set of isolated nodes, each active while the message's
+// SentAt is inside the window — and every per-message random decision is a
+// splitmix64 hash of (plan seed, message Seq, decision tag). Hashing
+// instead of drawing from a stream makes the decision a pure function of
+// the message: the bus can deliver to nodes in any order, experiment
+// workers can run any interleaving, and the same message always meets the
+// same fate.
+type Policy struct {
+	seed    uint64
+	dropP   float64
+	dropTil int64
+	delayN  int64
+	delTil  int64
+	jitterN int64
+	jitTil  int64
+	// isolated maps bus node ID -> isolation end time. Lookups only;
+	// never ranged (map order must not matter anywhere in the fault path).
+	isolated map[int]int64
+}
+
+// NewPolicy returns an inert policy keyed by the plan seed.
+func NewPolicy(seed int64) *Policy {
+	return &Policy{seed: uint64(seed), isolated: make(map[int]int64)}
+}
+
+// SetDrop makes the bus drop each message with probability p while
+// SentAt < until.
+func (p *Policy) SetDrop(prob float64, until int64) { p.dropP, p.dropTil = prob, until }
+
+// SetDelay adds a fixed extra delivery delay while SentAt < until.
+func (p *Policy) SetDelay(samples, until int64) { p.delayN, p.delTil = samples, until }
+
+// SetJitter adds a per-message uniform delay in [0, samples] while
+// SentAt < until.
+func (p *Policy) SetJitter(samples, until int64) { p.jitterN, p.jitTil = samples, until }
+
+// Isolate partitions a bus node: every message to or from it sent before
+// until is dropped.
+func (p *Policy) Isolate(node int, until int64) {
+	if until > p.isolated[node] {
+		p.isolated[node] = until
+	}
+}
+
+// Deliver implements backend.FaultPolicy.
+func (p *Policy) Deliver(m backend.Message) (bool, int64) {
+	if u, ok := p.isolated[m.From]; ok && m.SentAt < u {
+		return true, 0
+	}
+	if u, ok := p.isolated[m.To]; ok && m.SentAt < u {
+		return true, 0
+	}
+	if p.dropP > 0 && m.SentAt < p.dropTil && p.u01(m.Seq, tagDrop) < p.dropP {
+		return true, 0
+	}
+	var extra int64
+	if m.SentAt < p.delTil {
+		extra += p.delayN
+	}
+	if p.jitterN > 0 && m.SentAt < p.jitTil {
+		extra += int64(p.u01(m.Seq, tagJitter) * float64(p.jitterN+1))
+	}
+	return false, extra
+}
+
+// Decision tags separate the drop roll from the jitter draw for the same
+// message.
+const (
+	tagDrop   = 0x9e3779b97f4a7c15
+	tagJitter = 0xd1342543de82ef95
+)
+
+// u01 hashes (seed, seq, tag) to a uniform float64 in [0, 1).
+func (p *Policy) u01(seq uint64, tag uint64) float64 {
+	x := splitmix64(p.seed ^ splitmix64(seq^tag))
+	return float64(x>>11) / (1 << 53)
+}
+
+// splitmix64 is the standard 64-bit finalizer-quality mixer.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

@@ -1,10 +1,11 @@
-// Package lint is megamimo's project-specific static-analysis suite: seven
+// Package lint is megamimo's project-specific static-analysis suite: eight
 // analyzers tuned to the failure modes that corrupt or slow a
 // distributed-MIMO signal path — buffer aliasing in DSP kernels,
 // nondeterministic inputs, exact float comparison, per-iteration hot-path
-// allocation, panicking APIs, dropped errors, and flight-recorder schema
+// allocation, panicking APIs, dropped errors, flight-recorder schema
 // drift (kinds outside the closed vocabulary, TraceAttrs writes outside
-// the frozen versioned field set). It is built
+// the frozen versioned field set), and fault-path hygiene (non-exhaustive
+// fault.Kind switches, panics in fault-handling code). It is built
 // entirely on the standard library (go/ast, go/parser, go/types) so the
 // module stays dependency-free.
 //
@@ -72,6 +73,7 @@ func All() []*Analyzer {
 	return []*Analyzer{
 		AliasingAnalyzer,
 		DeterminismAnalyzer,
+		FaultPathAnalyzer,
 		FloatEqAnalyzer,
 		HotAllocAnalyzer,
 		PanicPolicyAnalyzer,

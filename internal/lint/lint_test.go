@@ -99,6 +99,7 @@ func TestAliasingGolden(t *testing.T)    { runGolden(t, AliasingAnalyzer, "alias
 func TestDeterminismGolden(t *testing.T) { runGolden(t, DeterminismAnalyzer, "determinism") }
 func TestFloatEqGolden(t *testing.T)     { runGolden(t, FloatEqAnalyzer, "floateq") }
 func TestStrictMapGolden(t *testing.T)   { runGolden(t, DeterminismAnalyzer, "strictmap") }
+func TestFaultPathGolden(t *testing.T)   { runGolden(t, FaultPathAnalyzer, "faultpath") }
 func TestHotAllocGolden(t *testing.T)    { runGolden(t, HotAllocAnalyzer, "hotalloc") }
 func TestPanicPolicyGolden(t *testing.T) { runGolden(t, PanicPolicyAnalyzer, "panicpolicy") }
 func TestUncheckedErrorGolden(t *testing.T) {

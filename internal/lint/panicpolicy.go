@@ -8,12 +8,14 @@ import (
 // panicPolicyPkgs are the packages whose exported API must return errors
 // instead of panicking: they sit on user-reachable input paths (rate
 // selection from measured SNRs, modulation of frame bits, statistics over
-// experiment output, the PHY encode/decode pipeline).
+// experiment output, the PHY encode/decode pipeline, the fault-injection
+// schedule that chaos experiments replay).
 var panicPolicyPkgs = map[string]bool{
 	"megamimo/internal/rate":       true,
 	"megamimo/internal/modulation": true,
 	"megamimo/internal/stats":      true,
 	"megamimo/internal/phy":        true,
+	"megamimo/internal/fault":      true,
 }
 
 // PanicPolicyAnalyzer flags panic calls lexically inside exported functions
@@ -22,7 +24,7 @@ var panicPolicyPkgs = map[string]bool{
 // panics in exported bodies carry a //lint:ignore with the justification.
 var PanicPolicyAnalyzer = &Analyzer{
 	Name: "panic-policy",
-	Doc:  "panic in exported API of internal/{rate,modulation,stats,phy}",
+	Doc:  "panic in exported API of internal/{rate,modulation,stats,phy,fault}",
 	Run:  runPanicPolicy,
 }
 

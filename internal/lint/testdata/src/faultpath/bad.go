@@ -1,0 +1,30 @@
+package faultpath
+
+// Handle leans on a default clause, which must not count as covering the
+// two missing kinds.
+func Handle(k Kind) string {
+	switch k { // want "missing cases KindB, KindC"
+	case KindA:
+		return "a"
+	default:
+		return "other"
+	}
+}
+
+// Partial has no default at all and still misses one kind.
+func Partial(k Kind) bool {
+	switch k { // want "missing cases KindC"
+	case KindA, KindB:
+		return true
+	}
+	return false
+}
+
+// Crash panics on the fault-handling path.
+func Crash(k Kind) {
+	if !valid(k) {
+		panic("faultpath: bad kind") // want "panic on the fault-handling path"
+	}
+}
+
+func valid(k Kind) bool { return k >= KindA && k <= KindC }

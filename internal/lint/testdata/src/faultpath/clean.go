@@ -1,0 +1,36 @@
+package faultpath
+
+// Name dispatches every kind explicitly; a trailing default for invalid
+// values is fine once the vocabulary is covered.
+func Name(k Kind) string {
+	switch k {
+	case KindA:
+		return "a"
+	case (KindB): // parenthesized case expressions still count
+		return "b"
+	case KindC:
+		return "c"
+	default:
+		return "invalid"
+	}
+}
+
+// Classify switches over a plain int, which the analyzer must leave alone.
+func Classify(n int) string {
+	switch n {
+	case 0:
+		return "zero"
+	default:
+		return "nonzero"
+	}
+}
+
+// Describe uses a tagless switch, which carries no vocabulary to check.
+func Describe(k Kind) string {
+	switch {
+	case k == KindA:
+		return "first"
+	default:
+		return "rest"
+	}
+}

@@ -1,0 +1,14 @@
+// Package faultpath seeds fault-path violations for the faultpath
+// analyzer's golden test.
+package faultpath
+
+// Kind enumerates the fixture's fault kinds — a closed vocabulary, like the
+// real fault package's.
+type Kind int
+
+// The full fixture vocabulary.
+const (
+	KindA Kind = iota
+	KindB
+	KindC
+)

@@ -1,0 +1,17 @@
+package faultpath
+
+// Legacy predates KindC; the directive records why the gap is deliberate.
+func Legacy(k Kind) bool {
+	//lint:ignore faultpath fixture: legacy dispatcher predates KindC
+	switch k {
+	case KindA, KindB:
+		return true
+	}
+	return false
+}
+
+// Abort documents its deliberate invariant panic.
+func Abort() {
+	//lint:ignore faultpath fixture: unreachable invariant
+	panic("faultpath: unreachable")
+}

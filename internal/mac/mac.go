@@ -94,6 +94,34 @@ func (q *Queue) Requeue(p *Packet) {
 	q.packets = append(q.packets, p)
 }
 
+// BySeq returns the queued packet with the given sequence number, or nil.
+// The late-ACK path uses it to resolve an acknowledgment that drained
+// after its round's ACK timeout.
+func (q *Queue) BySeq(seq int64) *Packet {
+	for _, p := range q.packets {
+		if p.Seq == seq {
+			return p
+		}
+	}
+	return nil
+}
+
+// DropStream removes and returns every queued packet for a stream (a
+// departed client: its demand leaves the shared queue with it).
+func (q *Queue) DropStream(stream int) []*Packet {
+	var dropped []*Packet
+	kept := q.packets[:0]
+	for _, p := range q.packets {
+		if p.Stream == stream {
+			dropped = append(dropped, p)
+			continue
+		}
+		kept = append(kept, p)
+	}
+	q.packets = kept
+	return dropped
+}
+
 // Contention models the lead AP's CSMA access: the lead contends on behalf
 // of all slaves with its contention window weighted by the number of
 // packets in the joint transmission (§9, following [29]).
@@ -118,12 +146,33 @@ func NewContention(sampleRate float64, seed int64) *Contention {
 // carrying nPackets frames: the window shrinks ∝ 1/nPackets so a joint
 // transmission delivering N packets contends like N queued stations.
 func (c *Contention) BackoffSamples(nPackets int) int64 {
+	return c.BackoffSamplesAttempt(nPackets, 0)
+}
+
+// maxBackoffExp caps the exponential backoff at CW × 2⁶ (802.11's
+// CWmax/CWmin ratio for CWmin 15, CWmax 1023).
+const maxBackoffExp = 6
+
+// BackoffSamplesAttempt draws the backoff airtime for a retry round: the
+// window starts at CWMinSlots/nPackets and doubles for every prior failed
+// attempt of the head packet, capped at 2^maxBackoffExp — binary
+// exponential backoff carried over to the joint queue, so a lossy ACK
+// path (faulty backend) spaces retries out instead of hammering the
+// medium. Attempt 0 is identical to BackoffSamples.
+func (c *Contention) BackoffSamplesAttempt(nPackets, attempt int) int64 {
 	if nPackets < 1 {
 		nPackets = 1
 	}
 	w := c.CWMinSlots / nPackets
 	if w < 1 {
 		w = 1
+	}
+	if attempt > 0 {
+		e := attempt
+		if e > maxBackoffExp {
+			e = maxBackoffExp
+		}
+		w <<= uint(e)
 	}
 	return int64(c.src.Intn(w+1) * c.SlotSamples)
 }
@@ -137,6 +186,12 @@ type Scheduler struct {
 	MaxAttempts int
 	// MCS overrides rate adaptation when ≥ 0.
 	MCS phy.MCS
+	// AckTimeoutSamples is how long the lead waits for backbone ACKs
+	// after a joint transmission before judging the round. 0 uses the
+	// default of one bus latency plus a sample — exactly enough on a
+	// healthy backend; an ACK the fault layer delays beyond it surfaces
+	// as a late ACK in a later round's drain.
+	AckTimeoutSamples int64
 
 	adapted   phy.MCS
 	adaptedOK bool
@@ -263,12 +318,16 @@ func (s *Scheduler) Step() (*StepResult, error) {
 	}
 	// §9: the head packet's designated AP is nominated lead for this
 	// transmission (every AP holds sync state toward every potential
-	// lead from the measurement phase).
-	s.Net.SetLead(head.DesignatedAP)
-	res.AirtimeSamples += s.Cont.BackoffSamples(nPkts)
+	// lead from the measurement phase); a crashed nominee falls back to
+	// the deterministic re-election order.
+	lead := s.Net.ElectLead(head.DesignatedAP)
+	if err := s.Net.SetLead(lead); err != nil {
+		return nil, fmt.Errorf("mac: set lead %d: %w", lead, err)
+	}
+	res.AirtimeSamples += s.Cont.BackoffSamplesAttempt(nPkts, head.Attempts)
 	tr := s.Net.Trace()
 	span := tr.BeginSpan(s.Net.Now(), core.KindRound,
-		core.TraceAttrs{AP: head.DesignatedAP, Pkt: head.Seq, QueueDepth: s.Queue.Len()},
+		core.TraceAttrs{AP: lead, Pkt: head.Seq, QueueDepth: s.Queue.Len()},
 		"%d packets grouped", nPkts)
 	txr, err := s.Net.JointTransmit(payloads, s.adapted)
 	if err != nil {
@@ -285,24 +344,32 @@ func (s *Scheduler) Step() (*StepResult, error) {
 	ackAt := s.Net.Now()
 	for j, okj := range txr.OK {
 		if okj && group[j] != nil {
-			s.Net.Bus.Send(1000+j/s.Net.Cfg.AntennasPerClient, s.Net.Lead().Index, ackAt, ack{Stream: j})
+			s.Net.Bus.Send(1000+j/s.Net.Cfg.AntennasPerClient, lead, ackAt, ack{Stream: j, Pkt: group[j].Seq})
 		}
 	}
-	s.Net.AdvanceTime(s.Net.Bus.LatencySamples + 1)
-	acked := make(map[int]bool)
-	for _, m := range s.Net.Bus.Receive(s.Net.Lead().Index, s.Net.Now()) {
-		if a, ok := m.Payload.(ack); ok {
-			acked[a.Stream] = true
+	wait := s.AckTimeoutSamples
+	if wait <= 0 {
+		wait = s.Net.Bus.LatencySamples + 1
+	}
+	s.Net.AdvanceTime(wait)
+	acked := make(map[int64]bool)
+	var ackSeqs []int64 // arrival order, for the deterministic late-ACK pass
+	for _, m := range s.Net.Bus.Receive(lead, s.Net.Now()) {
+		if a, ok := m.Payload.(ack); ok && !acked[a.Pkt] {
+			acked[a.Pkt] = true
+			ackSeqs = append(ackSeqs, a.Pkt)
 		}
 	}
 	res.DeliveredAt = s.Net.Now()
 	var deliveredBits int64
+	inGroup := make(map[int64]bool, nPkts)
 	for j, p := range group {
 		if p == nil {
 			continue
 		}
+		inGroup[p.Seq] = true
 		p.Attempts++
-		if acked[j] {
+		if acked[p.Seq] {
 			p.Delivered = true
 			s.Queue.Remove(p)
 			res.Delivered = append(res.Delivered, p)
@@ -323,6 +390,23 @@ func (s *Scheduler) Step() (*StepResult, error) {
 				core.TraceAttrs{Stream: j, Pkt: p.Seq, Cause: "no-ack"},
 				"stream %d attempt %d not ACKed", j, p.Attempts)
 		}
+	}
+	// Late ACKs: an acknowledgment the backend delayed beyond the ACK
+	// timeout drains in a later round. The packet it names was requeued
+	// back then; deliver it now instead of burning another transmission.
+	for _, seq := range ackSeqs {
+		if inGroup[seq] {
+			continue
+		}
+		p := s.Queue.BySeq(seq)
+		if p == nil || p.Delivered {
+			continue
+		}
+		p.Delivered = true
+		s.Queue.Remove(p)
+		res.Delivered = append(res.Delivered, p)
+		s.mDelivered.Inc()
+		deliveredBits += int64(8 * len(p.Payload))
 	}
 	s.qDepth.Observe(float64(s.Queue.Len()))
 	tr.EndSpanAttrs(span, s.Net.Now(),
@@ -357,8 +441,12 @@ func (s *Scheduler) Run() (*Stats, error) {
 	return st, nil
 }
 
-// ack is the backbone acknowledgment datagram.
-type ack struct{ Stream int }
+// ack is the backbone acknowledgment datagram; Pkt names the acknowledged
+// packet so a delayed ACK still resolves after the stream has moved on.
+type ack struct {
+	Stream int
+	Pkt    int64
+}
 
 // FillQueue enqueues count packets of size bytes per stream, round-robin,
 // with designated APs assigned (the strongest measured link).

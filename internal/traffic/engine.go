@@ -6,6 +6,7 @@ import (
 
 	"megamimo/internal/baseline"
 	"megamimo/internal/core"
+	"megamimo/internal/fault"
 	"megamimo/internal/mac"
 	"megamimo/internal/metrics"
 	"megamimo/internal/phy"
@@ -46,6 +47,10 @@ type Config struct {
 	QueueCap int
 	// MaxAttempts bounds retransmissions per packet (0 = mac default).
 	MaxAttempts int
+	// Faults, when non-nil, is the seeded fault schedule replayed against
+	// the run: the engine applies due events every iteration and handles
+	// the client-churn ones itself.
+	Faults *fault.Plan
 }
 
 // ClientReport is one stream's closed-loop accounting.
@@ -130,6 +135,11 @@ type Engine struct {
 	mArrive  *metrics.Counter
 	mDrops   *metrics.Counter
 	hLatency *metrics.Histogram
+
+	// Fault machinery: inj replays cfg.Faults; inactive marks streams
+	// whose client has left (arrivals discarded until rejoin).
+	inj      *fault.Injector
+	inactive []bool
 }
 
 // New builds an engine over an already measured network.
@@ -177,6 +187,10 @@ func New(net *core.Network, cfg Config) (*Engine, error) {
 	e.mArrive = m.Counter("traffic_arrivals_total")
 	e.mDrops = m.Counter("traffic_drops_total")
 	e.hLatency = m.Histogram("traffic_latency_ms", LatencyBuckets())
+	e.inactive = make([]bool, streams)
+	if cfg.Faults != nil {
+		e.inj = fault.NewInjector(net, cfg.Faults)
+	}
 	return e, nil
 }
 
@@ -213,6 +227,9 @@ func (e *Engine) pump(now int64) {
 		for g.peek() <= now {
 			at := g.peek()
 			n := g.pop()
+			if e.inactive[i] {
+				continue // departed client: its demand left with it
+			}
 			for k := 0; k < n; k++ {
 				e.offered[i]++
 				e.mArrive.Inc()
@@ -280,6 +297,16 @@ func (e *Engine) serveTDMA() error {
 		return nil
 	}
 	link := e.links[p.Stream]
+	if !e.net.APLive(link.ap) {
+		// The serving AP crashed: re-associate with the strongest live AP
+		// (StrongestAP skips crashed APs) and cache the new rate.
+		mcs, ap, ok, err := e.uni.SelectRate(p.Stream)
+		if err != nil {
+			return err
+		}
+		link = tdmaLink{mcs: mcs, ap: ap, ok: ok}
+		e.links[p.Stream] = link
+	}
 	if !link.ok {
 		// Dead spot: the baseline cannot deliver this stream at any
 		// rate; the packet burns its attempts without airtime.
@@ -321,12 +348,20 @@ func (e *Engine) Run(seconds float64) (*Report, error) {
 		"workload start: %s, %d streams, %.3fs window", e.cfg.System, len(e.gens), seconds)
 	for e.net.Now() < horizon {
 		now := e.net.Now()
+		e.applyFaults(now)
 		e.pump(now)
 		if e.queue.Len() == 0 {
 			next := never
 			for _, g := range e.gens {
 				if g.peek() < next {
 					next = g.peek()
+				}
+			}
+			// Idle skips stop at the next scheduled fault/recovery so
+			// restarts and rejoins never fire late.
+			if e.inj != nil {
+				if at, ok := e.inj.NextAt(); ok && at > now && at < next {
+					next = at
 				}
 			}
 			if next >= horizon {
@@ -350,6 +385,38 @@ func (e *Engine) Run(seconds float64) (*Report, error) {
 		core.TraceAttrs{QueueDepth: e.queue.Len(), OK: e.queue.Len() == 0},
 		"workload end: %d rounds, %d backlog", e.rounds, e.queue.Len())
 	return e.report(seconds), nil
+}
+
+// applyFaults fires every fault-plan event due by now. Network and
+// backend faults apply inside the injector; client churn is engine state:
+// a departing client's queued packets are purged (counted as drops) and
+// its arrivals discarded until the matching rejoin.
+func (e *Engine) applyFaults(now int64) {
+	if e.inj == nil {
+		return
+	}
+	for _, ev := range e.inj.Apply(now) {
+		switch ev.Kind {
+		case fault.KindClientLeave:
+			if ev.Stream < 0 || ev.Stream >= len(e.inactive) {
+				continue
+			}
+			e.inactive[ev.Stream] = true
+			for range e.queue.DropStream(ev.Stream) {
+				e.dropped[ev.Stream]++
+				e.mDrops.Inc()
+			}
+		case fault.KindClientJoin:
+			if ev.Stream >= 0 && ev.Stream < len(e.inactive) {
+				e.inactive[ev.Stream] = false
+			}
+		case fault.KindAPCrash, fault.KindAPRestart, fault.KindLeadFail,
+			fault.KindBackendDrop, fault.KindBackendDelay, fault.KindBackendJitter,
+			fault.KindBackendPartition, fault.KindSyncCorrupt:
+			// Applied inside the injector (network/bus state); nothing to
+			// do at the workload layer.
+		}
+	}
 }
 
 // report folds the accounting into a Report.
