@@ -10,6 +10,7 @@ package megamimo
 
 import (
 	"math"
+	"megamimo/internal/units"
 	"testing"
 
 	"megamimo/internal/core"
@@ -62,7 +63,7 @@ func BenchmarkFig8INR(b *testing.B) {
 		}
 		for _, p := range r.Points {
 			if p.Bin == experiment.HighSNR.Name && p.Receivers == 6 {
-				inr10 = p.INRdB
+				inr10 = units.Ratio(p.INRdB, 1)
 			}
 		}
 		slope = r.SlopePerPair(experiment.HighSNR.Name)
@@ -240,7 +241,7 @@ func BenchmarkAblationZFRegularization(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		return res.GoodputBits() / (float64(res.AirtimeSamples) / cfg.SampleRate) / 1e6
+		return res.GoodputBits() / units.Duration(units.Ticks(res.AirtimeSamples), cfg.SampleRate) / 1e6
 	}
 	var pure, mmse float64
 	for i := 0; i < b.N; i++ {

@@ -26,14 +26,22 @@ import (
 	"megamimo/internal/experiment"
 	"megamimo/internal/tracefmt"
 	"megamimo/internal/traffic"
+	"megamimo/internal/units"
 )
 
-// figMetrics is one figure's machine-readable record for -json mode.
+// figMetrics is one figure's machine-readable record for -json mode. One
+// "op" is one full figure regeneration; NsPerOp and the allocation columns
+// feed the committed BENCH_PERF.json snapshot that cmd/megamimo-perfgate
+// diffs in CI. Allocation counts are deterministic at -workers=1; NsPerOp
+// is machine-dependent and the gate normalizes it before comparing.
 type figMetrics struct {
-	Figure  string  `json:"figure"`
-	Seconds float64 `json:"seconds"`
-	Workers int     `json:"workers"`
-	Output  string  `json:"output"`
+	Figure      string  `json:"figure"`
+	Seconds     float64 `json:"seconds"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	AllocsPerOp uint64  `json:"allocs_per_op"`
+	BytesPerOp  uint64  `json:"bytes_per_op"`
+	Workers     int     `json:"workers"`
+	Output      string  `json:"output"`
 }
 
 func main() {
@@ -87,6 +95,10 @@ func main() {
 			!(name == "fig12" && which == "fig13") {
 			return
 		}
+		var before runtime.MemStats
+		if *jsonOut {
+			runtime.ReadMemStats(&before)
+		}
 		start := time.Now()
 		out, err := f()
 		if err != nil {
@@ -94,11 +106,17 @@ func main() {
 			os.Exit(1)
 		}
 		if *jsonOut {
+			elapsed := time.Since(start)
+			var after runtime.MemStats
+			runtime.ReadMemStats(&after)
 			metrics = append(metrics, figMetrics{
-				Figure:  name,
-				Seconds: time.Since(start).Seconds(),
-				Workers: experiment.Workers(),
-				Output:  out,
+				Figure:      name,
+				Seconds:     elapsed.Seconds(),
+				NsPerOp:     elapsed.Nanoseconds(),
+				AllocsPerOp: after.Mallocs - before.Mallocs,
+				BytesPerOp:  after.TotalAlloc - before.TotalAlloc,
+				Workers:     experiment.Workers(),
+				Output:      out,
 			})
 			return
 		}
@@ -161,7 +179,7 @@ func main() {
 		return fmt.Sprintln(r), nil
 	})
 	run("robustness", func() (string, error) {
-		r, err := experiment.RunRobustness([]float64{0.5, 2, 5, 10, 20}, maxInt(2, *topos/5), *seed)
+		r, err := experiment.RunRobustness([]units.PPM{0.5, 2, 5, 10, 20}, maxInt(2, *topos/5), *seed)
 		if err != nil {
 			return "", err
 		}

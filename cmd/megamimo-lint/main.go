@@ -1,8 +1,9 @@
 // Command megamimo-lint runs the project's static-analysis suite
 // (internal/lint) over the module: aliasing of DSP buffers, determinism of
 // the signal path, exact float comparison, the panic policy of exported
-// APIs, and dropped errors. It prints file:line:col: analyzer: message
-// lines (or JSON with -json) and exits 1 when any diagnostic survives
+// APIs, dropped errors, and the dimensional discipline of internal/units.
+// It prints file:line:col: analyzer: message lines (or JSON with -json,
+// SARIF 2.1.0 with -sarif) and exits 1 when any diagnostic survives
 // //lint:ignore suppression, 2 on load errors.
 package main
 
@@ -11,16 +12,21 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"strings"
 
 	"megamimo/internal/lint"
 )
 
 func main() {
 	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array")
+	sarifOut := flag.Bool("sarif", false, "emit diagnostics as a SARIF 2.1.0 log")
 	list := flag.Bool("list", false, "list the analyzers and exit")
+	selection := flag.String("analyzer", "",
+		"comma-separated analyzer names to run (default: all)")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
-			"usage: megamimo-lint [-json] [-list] [packages]\n\nAnalyzers:\n")
+			"usage: megamimo-lint [-json|-sarif] [-analyzer a,b] [-list] [packages]\n\nAnalyzers:\n")
 		for _, a := range lint.All() {
 			fmt.Fprintf(flag.CommandLine.Output(), "  %-16s %s\n", a.Name, a.Doc)
 		}
@@ -33,6 +39,14 @@ func main() {
 			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
 		}
 		return
+	}
+	if *jsonOut && *sarifOut {
+		fatal(fmt.Errorf("-json and -sarif are mutually exclusive"))
+	}
+
+	analyzers, err := selectAnalyzers(*selection)
+	if err != nil {
+		fatal(err)
 	}
 
 	patterns := flag.Args()
@@ -57,8 +71,15 @@ func main() {
 		fatal(err)
 	}
 
-	diags := lint.Run(pkgs, lint.All())
-	if *jsonOut {
+	diags := lint.Run(pkgs, analyzers)
+	switch {
+	case *sarifOut:
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(sarifLog(analyzers, diags)); err != nil {
+			fatal(err)
+		}
+	case *jsonOut:
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if diags == nil {
@@ -67,16 +88,155 @@ func main() {
 		if err := enc.Encode(diags); err != nil {
 			fatal(err)
 		}
-	} else {
+	default:
 		for _, d := range diags {
 			fmt.Println(d)
 		}
 	}
 	if len(diags) > 0 {
-		if !*jsonOut {
+		if !*jsonOut && !*sarifOut {
 			fmt.Fprintf(os.Stderr, "megamimo-lint: %d finding(s)\n", len(diags))
 		}
 		os.Exit(1)
+	}
+}
+
+// selectAnalyzers resolves a comma-separated -analyzer list against the
+// registered suite, preserving registration order. An empty list means all.
+func selectAnalyzers(names string) ([]*lint.Analyzer, error) {
+	all := lint.All()
+	if names == "" {
+		return all, nil
+	}
+	want := map[string]bool{}
+	for _, n := range strings.Split(names, ",") {
+		n = strings.TrimSpace(n)
+		if n == "" {
+			continue
+		}
+		want[n] = true
+	}
+	var out []*lint.Analyzer
+	for _, a := range all {
+		if want[a.Name] {
+			out = append(out, a)
+			delete(want, a.Name)
+		}
+	}
+	if len(want) > 0 {
+		unknown := make([]string, 0, len(want))
+		for n := range want {
+			unknown = append(unknown, n)
+		}
+		sort.Strings(unknown)
+		return nil, fmt.Errorf("unknown analyzer(s) %s (see -list)",
+			strings.Join(unknown, ", "))
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty -analyzer selection")
+	}
+	return out, nil
+}
+
+// SARIF 2.1.0 — the minimal subset GitHub code scanning and editors ingest:
+// one run, one rule per analyzer, one result per diagnostic with a physical
+// location. Column numbers are byte-based like go/token's, which matches
+// SARIF's default unicodeCodePoints=false interpretation closely enough for
+// ASCII Go source.
+
+type sarifDoc struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn"`
+}
+
+func sarifLog(analyzers []*lint.Analyzer, diags []lint.Diagnostic) sarifDoc {
+	rules := make([]sarifRule, 0, len(analyzers)+1)
+	for _, a := range analyzers {
+		rules = append(rules, sarifRule{
+			ID:               a.Name,
+			ShortDescription: sarifMessage{Text: a.Doc},
+		})
+	}
+	// Malformed //lint:ignore directives surface under this pseudo-analyzer.
+	rules = append(rules, sarifRule{
+		ID:               "directive",
+		ShortDescription: sarifMessage{Text: "malformed or unused //lint:ignore directives"},
+	})
+	results := make([]sarifResult, 0, len(diags))
+	for _, d := range diags {
+		results = append(results, sarifResult{
+			RuleID:  d.Analyzer,
+			Level:   "warning",
+			Message: sarifMessage{Text: d.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysicalLocation{
+					ArtifactLocation: sarifArtifactLocation{URI: d.File},
+					Region:           sarifRegion{StartLine: d.Line, StartColumn: d.Col},
+				},
+			}},
+		})
+	}
+	return sarifDoc{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool: sarifTool{Driver: sarifDriver{
+				Name:           "megamimo-lint",
+				InformationURI: "https://github.com/megamimo/megamimo",
+				Rules:          rules,
+			}},
+			Results: results,
+		}},
 	}
 }
 

@@ -21,6 +21,7 @@ import (
 	"megamimo/internal/mac"
 	"megamimo/internal/tracefmt"
 	"megamimo/internal/traffic"
+	"megamimo/internal/units"
 )
 
 func main() {
@@ -50,7 +51,7 @@ func main() {
 		fatal(err)
 	}
 
-	cfg := core.DefaultConfig(*nAPs, *nCli, *snrLo, *snrHi)
+	cfg := core.DefaultConfig(*nAPs, *nCli, units.Decibels(*snrLo), units.Decibels(*snrHi))
 	cfg.Seed = *seed
 	cfg.WellConditioned = *wellCnd
 	net, err := core.New(cfg)
@@ -68,9 +69,9 @@ func main() {
 		// oscillators keep their configured draws.
 		for _, ap := range net.APs {
 			if ap.Index == net.Lead().Index {
-				ap.Node.Osc.PPM = -*driftPPM
+				ap.Node.Osc.PPM = units.PPM(-*driftPPM)
 			} else {
-				ap.Node.Osc.PPM = *driftPPM
+				ap.Node.Osc.PPM = units.PPM(*driftPPM)
 			}
 		}
 		fmt.Printf("oscillator drift injected: lead %+.1f ppm, slaves %+.1f ppm (%.1f ppm relative)\n",
@@ -120,7 +121,7 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("\njoint transmissions: %d (airtime %.2f ms)\n",
-		st.Transmissions, float64(st.AirtimeSamples)/cfg.SampleRate*1e3)
+		st.Transmissions, units.Duration(units.Ticks(st.AirtimeSamples), cfg.SampleRate)*1e3)
 	fmt.Printf("delivered %d packets (%.0f bits), %d failed after retries\n",
 		st.DeliveredPackets, st.DeliveredBits, st.FailedPackets)
 	fmt.Printf("MegaMIMO throughput: %.1f Mb/s\n", st.ThroughputBps(cfg.SampleRate)/1e6)
@@ -238,7 +239,7 @@ func runWorkload(net *core.Network, cfg core.Config, kindName string, loadMbps, 
 // a recovered steady state.
 func chaosPlan(net *core.Network, scenario string, seconds float64, seed int64) (*fault.Plan, error) {
 	start := net.Now()
-	window := int64(seconds * net.Cfg.SampleRate)
+	window := int64(units.TicksIn(seconds, net.Cfg.SampleRate))
 	at := start + window/5
 	until := start + (window*3)/5
 	switch scenario {
@@ -253,7 +254,7 @@ func chaosPlan(net *core.Network, scenario string, seconds float64, seed int64) 
 	case "lossy":
 		return &fault.Plan{Seed: seed, Events: []fault.Event{
 			{At: at, Kind: fault.KindBackendDrop, Param: 0.3, Until: until},
-			{At: at, Kind: fault.KindBackendJitter, Param: 50e-6 * net.Cfg.SampleRate, Until: until},
+			{At: at, Kind: fault.KindBackendJitter, Param: 50e-6 * units.Ratio(net.Cfg.SampleRate, 1), Until: until},
 		}}, nil
 	case "churn":
 		return &fault.Plan{Seed: seed, Events: []fault.Event{

@@ -24,6 +24,7 @@ import (
 	"os"
 
 	"megamimo/internal/tracefmt"
+	"megamimo/internal/units"
 )
 
 func main() {
@@ -95,10 +96,10 @@ func main() {
 
 	case "anomalies":
 		b := tracefmt.Budget{
-			PhaseBudgetRad: *budgetRad,
-			MaxRelPPM:      *maxPPM,
-			NullDegradeDB:  *nullDB,
-			EVMDegradeDB:   *evmDB,
+			PhaseBudgetRad: units.Radians(*budgetRad),
+			MaxRelPPM:      units.PPM(*maxPPM),
+			NullDegradeDB:  units.Decibels(*nullDB),
+			EVMDegradeDB:   units.Decibels(*evmDB),
 		}
 		found := tracefmt.FindAnomalies(meta, events, b)
 		if len(found) == 0 {

@@ -11,6 +11,7 @@ import (
 	"megamimo/internal/cmplxs"
 	"megamimo/internal/phy"
 	"megamimo/internal/rng"
+	"megamimo/internal/units"
 )
 
 func main() {
@@ -40,7 +41,7 @@ func main() {
 		p /= float64(len(wave) - 320)
 		fmt.Printf("%-12v", m)
 		for db := *snrLo; db <= *snrHi; db += *snrStep {
-			nv := p / cmplxs.FromDB(db)
+			nv := p / cmplxs.FromDB(units.Decibels(db))
 			ok := 0
 			for t := 0; t < *trials; t++ {
 				stream := make([]complex128, 100+len(wave)+20)

@@ -10,6 +10,7 @@ import (
 	"megamimo"
 	"megamimo/internal/baseline"
 	"megamimo/internal/core"
+	"megamimo/internal/units"
 )
 
 func main() {
@@ -59,5 +60,5 @@ func measureThroughput(net *core.Network, mcs megamimo.MCS, streams int) float64
 		bits += res.GoodputBits()
 		airtime += res.AirtimeSamples
 	}
-	return bits / (float64(airtime) / net.Cfg.SampleRate)
+	return bits / units.Duration(units.Ticks(airtime), net.Cfg.SampleRate)
 }

@@ -11,6 +11,7 @@ import (
 
 	"megamimo"
 	"megamimo/internal/rate"
+	"megamimo/internal/units"
 )
 
 func main() {
@@ -41,7 +42,7 @@ func main() {
 			log.Fatal(err)
 		}
 		status := "lost"
-		snr := 0.0
+		snr := units.Decibels(0)
 		if res.OK[0] {
 			status = "delivered"
 			snr = res.Frames[0].SNRdB

@@ -11,6 +11,7 @@ import (
 
 	"megamimo"
 	"megamimo/internal/baseline"
+	"megamimo/internal/units"
 )
 
 func main() {
@@ -54,7 +55,7 @@ func main() {
 			delivered++
 		}
 	}
-	mm := float64(delivered*8*1500) / (float64(res.AirtimeSamples) / cfg.SampleRate)
+	mm := float64(delivered*8*1500) / units.Duration(units.Ticks(res.AirtimeSamples), cfg.SampleRate)
 	bl, _, err := (&baseline.SingleAPMIMO{Net: net}).Throughput(1500)
 	if err != nil {
 		log.Fatal(err)

@@ -9,6 +9,7 @@ import (
 	"log"
 
 	"megamimo"
+	"megamimo/internal/units"
 )
 
 func main() {
@@ -49,5 +50,5 @@ func main() {
 		fmt.Println()
 	}
 	fmt.Printf("airtime for both packets together: %.0f µs\n",
-		float64(res.AirtimeSamples)/cfg.SampleRate*1e6)
+		units.Duration(units.Ticks(res.AirtimeSamples), cfg.SampleRate)*1e6)
 }

@@ -19,12 +19,13 @@ import (
 	"megamimo/internal/dsp"
 	"megamimo/internal/radio"
 	"megamimo/internal/rng"
+	"megamimo/internal/units"
 )
 
 // Config parameterizes the medium.
 type Config struct {
 	// SampleRate is the nominal ether rate, Hz.
-	SampleRate float64
+	SampleRate units.Hertz
 	// NoiseVar is the per-sample complex noise variance at every receive
 	// antenna (the noise floor in linear units; signal scales are relative
 	// to it).
@@ -189,7 +190,7 @@ func (a *Air) addEmission(dst []complex128, start int64, e emission, l *channel.
 	dPhase := e.osc.CFORadPerSample() - rxOsc.CFORadPerSample()
 	phase0 := e.osc.PhaseAt(lo) - rxOsc.PhaseAt(lo)
 	rot := cmplxs.Expi(phase0)
-	step := cmplxs.Expi(dPhase)
+	step := cmplxs.Expi(units.PhaseAdvance(dPhase, 1))
 	for t := lo; t < hi; t++ {
 		dst[t-start] += conv[t-arrive] * rot
 		rot *= step

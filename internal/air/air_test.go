@@ -9,9 +9,10 @@ import (
 	"megamimo/internal/cmplxs"
 	"megamimo/internal/radio"
 	"megamimo/internal/rng"
+	"megamimo/internal/units"
 )
 
-func testOsc(ppm float64) *radio.Oscillator {
+func testOsc(ppm units.PPM) *radio.Oscillator {
 	return &radio.Oscillator{PPM: ppm, CarrierHz: 2.4e9, SampleRate: 10e6}
 }
 
@@ -130,7 +131,7 @@ func TestCFORotatesReceivedSignal(t *testing.T) {
 	y := a.ObserveClean(1, rx, 0, n)
 	w := tx.CFORadPerSample()
 	for _, i := range []int{0, 100, 999} {
-		want := cmplxs.Expi(w * float64(i))
+		want := cmplxs.Expi(units.PhaseAdvance(w, units.Samples(i)))
 		if cmplx.Abs(y[i]-want) > 1e-6 {
 			t.Fatalf("CFO rotation at %d: %v, want %v", i, y[i], want)
 		}
@@ -284,7 +285,7 @@ func BenchmarkObserveJointTransmission(b *testing.B) {
 	oscs := make([]*radio.Oscillator, nAPs)
 	x := src.ComplexNormalVec(make([]complex128, 4000), 1)
 	for i := 0; i < nAPs; i++ {
-		oscs[i] = testOsc(float64(i) - 5)
+		oscs[i] = testOsc(units.PPM(i) - 5)
 		a.SetLink(i, 100, channel.NewLink(src.Split(uint64(i)), channel.DefaultIndoor, 0.01, 0))
 		a.Transmit(i, oscs[i], 0, x)
 	}

@@ -7,6 +7,7 @@ import (
 
 	"megamimo/internal/channel"
 	"megamimo/internal/rng"
+	"megamimo/internal/units"
 )
 
 // Property: the medium is linear — observing two emissions together equals
@@ -20,9 +21,9 @@ func TestQuickSuperpositionLinearity(t *testing.T) {
 			a.SetLink(1, 9, channel.NewLink(rng.New(seed).Split(2), channel.DefaultIndoor, 1, 1))
 			return a
 		}
-		o0 := testOsc(src.Uniform(-2, 2))
-		o1 := testOsc(src.Uniform(-2, 2))
-		or := testOsc(src.Uniform(-2, 2))
+		o0 := testOsc(units.PPM(src.Uniform(-2, 2)))
+		o1 := testOsc(units.PPM(src.Uniform(-2, 2)))
+		or := testOsc(units.PPM(src.Uniform(-2, 2)))
 		x0 := src.ComplexNormalVec(make([]complex128, 200), 1)
 		x1 := src.ComplexNormalVec(make([]complex128, 150), 1)
 
@@ -61,8 +62,8 @@ func TestQuickObservationHomogeneity(t *testing.T) {
 		for i := range x {
 			scaled[i] = k * x[i]
 		}
-		osc := testOsc(src.Uniform(-2, 2))
-		or := testOsc(src.Uniform(-2, 2))
+		osc := testOsc(units.PPM(src.Uniform(-2, 2)))
+		or := testOsc(units.PPM(src.Uniform(-2, 2)))
 
 		a := New(Config{SampleRate: 10e6, NoiseVar: 0, Seed: 1})
 		a.SetLink(0, 9, channel.NewLink(rng.New(seed).Split(7), channel.DefaultIndoor, 1, 0))

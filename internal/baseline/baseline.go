@@ -15,6 +15,7 @@ import (
 	"megamimo/internal/ofdm"
 	"megamimo/internal/phy"
 	"megamimo/internal/rate"
+	"megamimo/internal/units"
 )
 
 // Unicast models traditional 802.11: each client is served by its
@@ -65,7 +66,7 @@ func (u *Unicast) SelectRate(stream int) (mcs phy.MCS, ap int, ok bool, err erro
 	if err != nil {
 		return 0, 0, false, err
 	}
-	margin := math.Pow(10, -u.Net.Cfg.RateMarginDB/10)
+	margin := units.DBToLinear(-u.Net.Cfg.RateMarginDB)
 	for i := range sub {
 		sub[i] *= margin
 	}
@@ -260,7 +261,7 @@ func (s *SingleAPMIMO) Throughput(payloadBytes int) (float64, []float64, error) 
 			return 0, nil, err
 		}
 		var clientRate float64
-		margin := math.Pow(10, -s.Net.Cfg.RateMarginDB/10)
+		margin := units.DBToLinear(-s.Net.Cfg.RateMarginDB)
 		for _, sub := range snr {
 			scaled := make([]float64, len(sub))
 			for i := range sub {

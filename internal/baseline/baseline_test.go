@@ -6,9 +6,10 @@ import (
 
 	"megamimo/internal/core"
 	"megamimo/internal/rng"
+	"megamimo/internal/units"
 )
 
-func measuredNet(t *testing.T, nAPs, nClients int, seed int64, lo, hi float64) *core.Network {
+func measuredNet(t *testing.T, nAPs, nClients int, seed int64, lo, hi units.Decibels) *core.Network {
 	t.Helper()
 	cfg := core.DefaultConfig(nAPs, nClients, lo, hi)
 	cfg.Seed = seed

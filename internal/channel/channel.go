@@ -14,6 +14,7 @@ import (
 	"math/cmplx"
 
 	"megamimo/internal/rng"
+	"megamimo/internal/units"
 )
 
 // Link is the channel from one transmit antenna to one receive antenna.
@@ -33,7 +34,7 @@ type Params struct {
 	NTaps int
 	// DecaySamples is the exponential power-delay-profile constant in
 	// samples; tap m has mean power ∝ e^{−m/DecaySamples}.
-	DecaySamples float64
+	DecaySamples units.Samples
 	// RicianK is the K-factor (linear) of the first tap; 0 means pure
 	// Rayleigh, large K approaches a pure LOS channel.
 	RicianK float64
@@ -51,8 +52,12 @@ func NewLink(src *rng.Source, p Params, powerGain float64, delay int) *Link {
 	}
 	weights := make([]float64, p.NTaps)
 	var sum float64
+	decay := p.DecaySamples
+	if decay < 1e-9 {
+		decay = 1e-9
+	}
 	for m := range weights {
-		w := math.Exp(-float64(m) / math.Max(p.DecaySamples, 1e-9))
+		w := math.Exp(units.Ratio(units.Samples(-float64(m)), decay))
 		weights[m] = w
 		sum += w
 	}
@@ -126,9 +131,9 @@ func (l *Link) Evolve(src *rng.Source, rho float64) {
 
 // CoherenceRho converts a coherence time and elapsed time into the
 // Gauss-Markov ρ: ρ = e^{−Δt/T_c}.
-func CoherenceRho(elapsed, coherence float64) float64 {
+func CoherenceRho(elapsed, coherence units.Samples) float64 {
 	if coherence <= 0 {
 		return 0
 	}
-	return math.Exp(-elapsed / coherence)
+	return math.Exp(-units.Ratio(elapsed, coherence))
 }

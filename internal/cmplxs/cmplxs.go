@@ -10,6 +10,8 @@ package cmplxs
 import (
 	"math"
 	"math/cmplx"
+
+	"megamimo/internal/units"
 )
 
 // Add stores a[i]+b[i] into dst and returns dst. dst may alias a or b.
@@ -127,12 +129,14 @@ func Power(a []complex128) float64 {
 // Rotate stores a[i]*e^{j(phase0 + i*phaseStep)} into dst and returns dst.
 // It is the oscillator-offset kernel: phaseStep = 2π·Δf/Fs rotates a signal
 // the way a carrier frequency offset of Δf does at sample rate Fs.
-func Rotate(dst, a []complex128, phase0, phaseStep float64) []complex128 {
+func Rotate(dst, a []complex128, phase0 units.Radians, phaseStep units.RadPerSample) []complex128 {
 	checkLen(len(dst), len(a), len(a))
 	// Recurrence with periodic renormalization: cheap and accurate to
 	// well below the phase errors the system is designed to tolerate.
-	rot := cmplx.Exp(complex(0, phase0))
-	step := cmplx.Exp(complex(0, phaseStep))
+	//lint:ignore units complex exponentials take the bare scalar; the rotation kernel is a legal stripping boundary
+	rot := cmplx.Exp(complex(0, float64(phase0)))
+	//lint:ignore units complex exponentials take the bare scalar; the rotation kernel is a legal stripping boundary
+	step := cmplx.Exp(complex(0, float64(phaseStep)))
 	for i := range a {
 		dst[i] = a[i] * rot
 		rot *= step
@@ -144,33 +148,26 @@ func Rotate(dst, a []complex128, phase0, phaseStep float64) []complex128 {
 }
 
 // Phase returns the argument of v in (-π, π].
-func Phase(v complex128) float64 { return cmplx.Phase(v) }
+func Phase(v complex128) units.Radians { return units.Radians(cmplx.Phase(v)) }
 
-// WrapPhase wraps an angle in radians into (-π, π].
-func WrapPhase(p float64) float64 {
-	for p > math.Pi {
-		p -= 2 * math.Pi
-	}
-	for p <= -math.Pi {
-		p += 2 * math.Pi
-	}
-	return p
-}
+// WrapPhase wraps an angle into (-π, π].
+func WrapPhase(p units.Radians) units.Radians { return units.WrapRadians(p) }
 
 // PhaseDiff returns the wrapped phase difference arg(a)-arg(b) in (-π, π].
-func PhaseDiff(a, b complex128) float64 {
+func PhaseDiff(a, b complex128) units.Radians {
 	return Phase(a * cmplx.Conj(b))
 }
 
 // MeanPhase returns the circular mean of the phases of the elements of a,
 // weighting each element by its magnitude (a noise-robust phase estimate).
-func MeanPhase(a []complex128) float64 {
+func MeanPhase(a []complex128) units.Radians {
 	return Phase(Sum(a))
 }
 
 // Expi returns e^{jθ}.
-func Expi(theta float64) complex128 {
-	s, c := math.Sincos(theta)
+func Expi(theta units.Radians) complex128 {
+	//lint:ignore units math.Sincos takes the bare scalar; the rotation kernel is a legal stripping boundary
+	s, c := math.Sincos(float64(theta))
 	return complex(c, s)
 }
 
@@ -201,10 +198,10 @@ func MaxAbs(a []complex128) float64 {
 }
 
 // DB converts a linear power ratio to decibels.
-func DB(linear float64) float64 { return 10 * math.Log10(linear) }
+func DB(linear float64) units.Decibels { return units.Decibels(10 * math.Log10(linear)) }
 
 // FromDB converts decibels to a linear power ratio.
-func FromDB(db float64) float64 { return math.Pow(10, db/10) }
+func FromDB(db units.Decibels) float64 { return units.DBToLinear(db) }
 
 func checkLen(dst, a, b int) {
 	if a != b {

@@ -6,6 +6,8 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"megamimo/internal/units"
 )
 
 const eps = 1e-12
@@ -99,11 +101,11 @@ func TestRotateMatchesExplicitExponential(t *testing.T) {
 	for i := range a {
 		a[i] = complex(r.NormFloat64(), r.NormFloat64())
 	}
-	phase0, step := 0.3, 0.001
+	phase0, step := units.Radians(0.3), units.RadPerSample(0.001)
 	dst := make([]complex128, n)
 	Rotate(dst, a, phase0, step)
 	for i := 0; i < n; i += 257 {
-		want := a[i] * cmplx.Exp(complex(0, phase0+float64(i)*step))
+		want := a[i] * cmplx.Exp(complex(0, float64(phase0)+float64(i)*float64(step)))
 		if cmplx.Abs(dst[i]-want) > 1e-8 {
 			t.Fatalf("Rotate[%d] = %v, want %v", i, dst[i], want)
 		}
@@ -129,7 +131,7 @@ func TestWrapPhase(t *testing.T) {
 		{-2.5 * math.Pi, -0.5 * math.Pi},
 	}
 	for _, c := range cases {
-		if got := WrapPhase(c.in); math.Abs(got-c.want) > 1e-12 {
+		if got := WrapPhase(units.Radians(c.in)); math.Abs(float64(got)-c.want) > 1e-12 {
 			t.Errorf("WrapPhase(%v) = %v, want %v", c.in, got, c.want)
 		}
 	}
@@ -138,12 +140,12 @@ func TestWrapPhase(t *testing.T) {
 func TestPhaseDiff(t *testing.T) {
 	a := Expi(2.0)
 	b := Expi(1.5)
-	if got := PhaseDiff(a, b); math.Abs(got-0.5) > 1e-12 {
+	if got := PhaseDiff(a, b); units.Abs(got-0.5) > 1e-12 {
 		t.Fatalf("PhaseDiff = %v, want 0.5", got)
 	}
 	// Wraps across the branch cut.
 	a, b = Expi(3.0), Expi(-3.0)
-	if got := PhaseDiff(a, b); math.Abs(got-(6.0-2*math.Pi)) > 1e-12 {
+	if got := PhaseDiff(a, b); units.Abs(got-units.Radians(6.0-2*math.Pi)) > 1e-12 {
 		t.Fatalf("PhaseDiff wrap = %v", got)
 	}
 }
@@ -151,14 +153,14 @@ func TestPhaseDiff(t *testing.T) {
 func TestMeanPhaseWeightsByMagnitude(t *testing.T) {
 	// A huge element at phase 0 dominates a tiny one at phase π/2.
 	a := []complex128{100, 1e-6 * Expi(math.Pi/2)}
-	if got := MeanPhase(a); math.Abs(got) > 1e-6 {
+	if got := MeanPhase(a); units.Abs(got) > 1e-6 {
 		t.Fatalf("MeanPhase = %v, want ~0", got)
 	}
 }
 
 func TestDBRoundTrip(t *testing.T) {
 	for _, db := range []float64{-30, -3, 0, 10, 25.7} {
-		if got := DB(FromDB(db)); math.Abs(got-db) > 1e-9 {
+		if got := DB(FromDB(units.Decibels(db))); math.Abs(float64(got)-db) > 1e-9 {
 			t.Fatalf("DB(FromDB(%v)) = %v", db, got)
 		}
 	}
@@ -235,8 +237,8 @@ func TestQuickWrapPhase(t *testing.T) {
 		if math.IsNaN(p) || math.IsInf(p, 0) || math.Abs(p) > 1e6 {
 			return true
 		}
-		w := WrapPhase(p)
-		return w > -math.Pi-1e-12 && w <= math.Pi+1e-12 && math.Abs(WrapPhase(w)-w) < 1e-12
+		w := WrapPhase(units.Radians(p))
+		return w > -math.Pi-1e-12 && w <= math.Pi+1e-12 && units.Abs(WrapPhase(w)-w) < 1e-12
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)

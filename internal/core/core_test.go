@@ -8,10 +8,11 @@ import (
 
 	"megamimo/internal/phy"
 	"megamimo/internal/rng"
+	"megamimo/internal/units"
 )
 
 // buildNet is the shared test constructor.
-func buildNet(t *testing.T, nAPs, nClients int, snrLo, snrHi float64, seed int64) *Network {
+func buildNet(t *testing.T, nAPs, nClients int, snrLo, snrHi units.Decibels, seed int64) *Network {
 	t.Helper()
 	cfg := DefaultConfig(nAPs, nClients, snrLo, snrHi)
 	cfg.Seed = seed
@@ -109,7 +110,7 @@ func TestMeasuredCFOMatchesOscillators(t *testing.T) {
 	for _, s := range n.Slaves() {
 		want := lead.Node.Osc.CFORadPerSample() - s.Node.Osc.CFORadPerSample()
 		got := s.syncTo(lead.Index).cfo
-		if math.Abs(got-want) > 5e-5 {
+		if units.Abs(got-want) > 5e-5 {
 			t.Fatalf("slave %d CFO estimate %v, true %v", s.Index, got, want)
 		}
 	}
@@ -136,7 +137,7 @@ func TestJointTransmitTwoByTwo(t *testing.T) {
 	}
 	for j := 0; j < 2; j++ {
 		if !res.OK[j] {
-			snr := -1.0
+			snr := units.Decibels(-1)
 			if res.Frames[j] != nil {
 				snr = res.Frames[j].SNRdB
 			}

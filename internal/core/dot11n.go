@@ -7,6 +7,7 @@ import (
 	"megamimo/internal/cmplxs"
 	"megamimo/internal/csi"
 	"megamimo/internal/ofdm"
+	"megamimo/internal/units"
 )
 
 // MeasureDot11n runs the §6 channel-measurement procedure for
@@ -108,7 +109,7 @@ func (n *Network) MeasureDot11n() error {
 				winStart := tH - winLead
 				winLen := int(tS-winStart) + 2*ofdm.SymbolLen + 64
 				win := n.Air.Observe(n.ClientAntennaID(cl.Index, cm), cl.Node.Osc, winStart, winLen)
-				var cfo float64
+				var cfo units.RadPerSample
 				if sync, err := ofdm.Detect(win[:ofdm.PreambleLen+winLead+192], 0.5); err == nil {
 					cfo = sync.CFO
 				} else {
@@ -230,7 +231,7 @@ func (n *Network) slaveCaptureHeaderReference(ap *AP, t0 int64) error {
 
 // lag64CFO estimates the carrier offset from the two identical LTF
 // repetitions at a known position, without detection.
-func lag64CFO(win []complex128, ltf1 int) float64 {
+func lag64CFO(win []complex128, ltf1 int) units.RadPerSample {
 	if ltf1 < 0 || ltf1+2*ofdm.NFFT > len(win) {
 		return 0
 	}
@@ -238,7 +239,7 @@ func lag64CFO(win []complex128, ltf1 int) float64 {
 	for i := 0; i < ofdm.NFFT; i++ {
 		acc += win[ltf1+i] * cmplx.Conj(win[ltf1+ofdm.NFFT+i])
 	}
-	return -cmplx.Phase(acc) / float64(ofdm.NFFT)
+	return units.RadPerSample(-cmplx.Phase(acc) / float64(ofdm.NFFT))
 }
 
 // unitVector returns an all-ones per-bin vector on the occupied carriers.

@@ -8,11 +8,12 @@ import (
 	"megamimo/internal/csi"
 	"megamimo/internal/phy"
 	"megamimo/internal/rng"
+	"megamimo/internal/units"
 )
 
 // dot11nConfig mirrors the paper's second testbed: two 2-antenna APs, two
 // 2-antenna clients, 20 MHz.
-func dot11nConfig(seed int64, snrLo, snrHi float64) Config {
+func dot11nConfig(seed int64, snrLo, snrHi units.Decibels) Config {
 	cfg := DefaultConfig(2, 2, snrLo, snrHi)
 	cfg.AntennasPerAP = 2
 	cfg.AntennasPerClient = 2

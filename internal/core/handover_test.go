@@ -6,6 +6,7 @@ import (
 
 	"megamimo/internal/phy"
 	"megamimo/internal/rng"
+	"megamimo/internal/units"
 )
 
 // TestLeadHandoverKeepsBeamforming validates §9's per-transmission lead
@@ -112,7 +113,7 @@ func TestPeerSyncCFOAccuracyAllPairs(t *testing.T) {
 			}
 			want := peer.Node.Osc.CFORadPerSample() - ap.Node.Osc.CFORadPerSample()
 			got := ap.syncTo(peer.Index).cfo
-			if math.Abs(got-want) > 1e-4 {
+			if units.Abs(got-want) > 1e-4 {
 				t.Fatalf("AP %d → %d: cfo %v, true %v", ap.Index, peer.Index, got, want)
 			}
 		}

@@ -9,6 +9,7 @@ import (
 	"megamimo/internal/csi"
 	"megamimo/internal/matrix"
 	"megamimo/internal/ofdm"
+	"megamimo/internal/units"
 )
 
 // Measurement is one channel snapshot: the estimated H for every occupied
@@ -44,8 +45,9 @@ func (m *Measurement) Matrix(bin int) *matrix.M {
 
 // schedule pins every transmission of the measurement packet (Fig. 3).
 type schedule struct {
-	t0       int64 // sync header start
-	cfoStart int64 // first CFO block symbol
+	t0 int64 // sync header start
+	//lint:ignore units ether timestamp of the first CFO-block symbol, not a frequency
+	cfoStart int64
 	csStart  int64 // first interleaved channel symbol
 	nAPs     int
 	antsPer  int
@@ -197,7 +199,7 @@ func (n *Network) MeasureDecoupled(groups [][]int, gapSamples int64) error {
 				// factor that re-references the new rows' columns
 				// (X_i = e^{j(ω_lead−ω_i)Δ}; X_lead = 1).
 				lever := float64(sched.refMid()-mid0) - float64(curAt-ps.refAt)
-				factor := cmplxs.Expi(ps.cfo * lever)
+				factor := cmplxs.Expi(units.PhaseAdvance(ps.cfo, units.Samples(lever)))
 				//lint:ignore hotalloc the re-referenced column correction is retained in corr for the caller
 				c := make([]complex128, ofdm.NFFT)
 				for b, v := range ratio {
@@ -324,7 +326,7 @@ func (n *Network) slaveCaptureReference(ap *AP, sched schedule) error {
 		g := peer.Index * sched.antsPer // peer antenna 0's global index
 
 		// Coarse CFO: the header for the lead, the CFO block otherwise.
-		var cfo float64
+		var cfo units.RadPerSample
 		if peer.Index == lead.Index {
 			cfo = sync.CFO
 		} else {
@@ -359,7 +361,7 @@ func (n *Network) slaveCaptureReference(ap *AP, sched schedule) error {
 				}
 			}
 			if sched.rounds > 1 {
-				cfo += cmplx.Phase(racc) / float64(total*symLen)
+				cfo += units.RadiansOver(units.Radians(cmplx.Phase(racc)), units.Samples(total*symLen))
 			}
 		}
 
@@ -472,7 +474,7 @@ func (n *Network) clientEstimate(cl *Client, rxAnt int, sched schedule) (*csi.Re
 						}
 					}
 				}
-				cfo += cmplx.Phase(racc) / float64(total*symLen)
+				cfo += units.RadiansOver(units.Radians(cmplx.Phase(racc)), units.Samples(total*symLen))
 			}
 		}
 		// Average rounds; accumulate the cross-round spread as the noise
@@ -534,7 +536,7 @@ func ltfRef() []complex128 {
 // demodulates it and divides by the known training values. The returned
 // estimate is freshly allocated (callers retain it across rounds); the
 // rotate/demod scratch lives on the network.
-func (n *Network) estimateSymbolChannel(win []complex128, idx, refIdx int, cfo float64, ref []complex128, bins []int) ([]complex128, error) {
+func (n *Network) estimateSymbolChannel(win []complex128, idx, refIdx int, cfo units.RadPerSample, ref []complex128, bins []int) ([]complex128, error) {
 	if idx < 0 || idx+symLen > len(win) {
 		return nil, fmt.Errorf("core: symbol window [%d, %d) out of range", idx, idx+symLen)
 	}
@@ -542,7 +544,7 @@ func (n *Network) estimateSymbolChannel(win []complex128, idx, refIdx int, cfo f
 		n.estBuf = make([]complex128, symLen)
 		n.estFreq = make([]complex128, ofdm.NFFT)
 	}
-	cmplxs.Rotate(n.estBuf, win[idx:idx+symLen], -cfo*float64(idx-refIdx), -cfo)
+	cmplxs.Rotate(n.estBuf, win[idx:idx+symLen], units.PhaseAdvance(-cfo, units.Samples(idx-refIdx)), -cfo)
 	if err := n.dem.FreqInto(n.estFreq, n.estBuf); err != nil {
 		return nil, err
 	}
@@ -622,7 +624,7 @@ func acquisitionWave() []complex128 {
 // measurement-packet window whose t0 sits at index t0Idx: lag-16 over the
 // acquisition symbol gives the unambiguous coarse value; the training
 // pair's lag-80 phase refines it.
-func cfoFromBlock(dem *ofdm.Demodulator, win []complex128, t0Idx, a int, sched schedule, bins []int) (float64, error) {
+func cfoFromBlock(dem *ofdm.Demodulator, win []complex128, t0Idx, a int, sched schedule, bins []int) (units.RadPerSample, error) {
 	stfIdx := t0Idx + int(sched.cfoSymbolAt(a, 0)-sched.t0)
 	if stfIdx < 0 || stfIdx+symLen > len(win) {
 		return 0, fmt.Errorf("core: CFO block out of window")
@@ -631,7 +633,7 @@ func cfoFromBlock(dem *ofdm.Demodulator, win []complex128, t0Idx, a int, sched s
 	for i := 0; i < symLen-16; i++ {
 		acc += win[stfIdx+i] * cmplx.Conj(win[stfIdx+i+16])
 	}
-	coarse := -cmplx.Phase(acc) / 16
+	coarse := units.RadPerSample(-cmplx.Phase(acc) / 16)
 	f1, err := symbolFreq(dem, win, t0Idx+int(sched.cfoSymbolAt(a, 1)-sched.t0))
 	if err != nil {
 		return 0, err
@@ -644,6 +646,6 @@ func cfoFromBlock(dem *ofdm.Demodulator, win []complex128, t0Idx, a int, sched s
 	for _, b := range bins {
 		pacc += f2[b] * cmplx.Conj(f1[b])
 	}
-	resid := cmplxs.WrapPhase(cmplx.Phase(pacc) - coarse*float64(symLen))
-	return coarse + resid/float64(symLen), nil
+	resid := cmplxs.WrapPhase(units.Radians(cmplx.Phase(pacc)) - units.PhaseAdvance(coarse, symLen))
+	return coarse + units.RadiansOver(resid, symLen), nil
 }

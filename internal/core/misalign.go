@@ -6,6 +6,7 @@ import (
 
 	"megamimo/internal/cmplxs"
 	"megamimo/internal/ofdm"
+	"megamimo/internal/units"
 )
 
 // MeasureMisalignment reproduces the §11.1(b) experiment: the lead and the
@@ -72,7 +73,7 @@ func (n *Network) MeasureMisalignment(rounds int, gapSamples int64) ([]float64, 
 			tL := tA + int64(2*k*ofdm.SymbolLen)
 			tS := tL + int64(ofdm.SymbolLen)
 			n.Air.Transmit(n.APAntennaID(lead.Index, 0), lead.Node.Osc, tL, train)
-			phase0 := ps.cfo * float64((tS-curAt)+(ps.refAt-n.Msmt.RefMid))
+			phase0 := units.PhaseAdvance(ps.cfo, units.Samples((tS-curAt)+(ps.refAt-n.Msmt.RefMid)))
 			// Air.Transmit copies, so the rotated wave can reuse one buffer.
 			cmplxs.Rotate(slaveWave, sw, phase0, ps.cfo)
 			n.Air.Transmit(n.APAntennaID(slave.Index, 0), slave.Node.Osc, tS, slaveWave)

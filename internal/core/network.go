@@ -26,6 +26,7 @@ import (
 	"megamimo/internal/phy"
 	"megamimo/internal/radio"
 	"megamimo/internal/rng"
+	"megamimo/internal/units"
 )
 
 // Config assembles a MegaMIMO network.
@@ -37,24 +38,25 @@ type Config struct {
 	// 802.11n testbed.
 	AntennasPerAP, AntennasPerClient int
 	// SampleRate: 10 MHz (USRP testbed) or 20 MHz (802.11n testbed).
-	SampleRate float64
+	SampleRate units.Hertz
 	// CarrierHz is the RF carrier, default 2.437 GHz (channel 6).
-	CarrierHz float64
+	CarrierHz units.Hertz
 	// PPMBudget bounds each node's crystal error (uniform ±budget).
-	// Real deployed radios sit near ±2 ppm; 802.11 allows 20.
-	PPMBudget float64
+	// Real deployed radios sit near ±2 ppm; 802.11 allows
+	// units.Dot11MaxPPM (20).
+	PPMBudget units.PPM
 	// NoiseVar is the per-sample noise variance at every receiver.
 	NoiseVar float64
 	// SNRRangeDB is the target client SNR band [lo, hi] (the paper's
 	// low 6–12, medium 12–18, high 18–25); per-client mean SNR is drawn
 	// uniformly inside it and per-AP link gains vary ±LinkSpreadDB around
 	// that mean.
-	SNRRangeDB [2]float64
+	SNRRangeDB [2]units.Decibels
 	// LinkSpreadDB is the per-link gain variation around the client mean.
-	LinkSpreadDB float64
+	LinkSpreadDB units.Decibels
 	// APLinkSNRdB is the lead→slave link SNR (APs are infrastructure on
 	// ledges with strong mutual links).
-	APLinkSNRdB float64
+	APLinkSNRdB units.Decibels
 	// ChannelParams shapes the multipath profile.
 	ChannelParams channel.Params
 	// WellConditioned draws the AP→client matrix from a Haar-unitary
@@ -76,7 +78,7 @@ type Config struct {
 	// RateMarginDB backs the idealized zero-forcing SNR prediction (k²/N)
 	// off before the MCS table lookup, covering receiver implementation
 	// loss (channel-estimation noise, pilot jitter, residual CFO).
-	RateMarginDB float64
+	RateMarginDB units.Decibels
 	// ExtrapolatePhase is the ablation switch for the paper's central
 	// design decision (§1, §5.2): when set, slaves skip the per-packet
 	// direct phase measurement and predict their correction as Δω̂·t from
@@ -105,14 +107,14 @@ type Config struct {
 	// this many ether samples old; beyond the budget (or when 0) the slave
 	// withholds its antennas from the joint transmission rather than fire
 	// with a garbage phase ratio.
-	SyncStalenessSamples int64
+	SyncStalenessSamples units.Ticks
 	// Seed drives all randomness.
 	Seed int64
 }
 
 // DefaultConfig mirrors the paper's USRP testbed at a given size and SNR
 // band.
-func DefaultConfig(nAPs, nClients int, snrLo, snrHi float64) Config {
+func DefaultConfig(nAPs, nClients int, snrLo, snrHi units.Decibels) Config {
 	return Config{
 		NumAPs:              nAPs,
 		NumClients:          nClients,
@@ -122,7 +124,7 @@ func DefaultConfig(nAPs, nClients int, snrLo, snrHi float64) Config {
 		CarrierHz:           2.437e9,
 		PPMBudget:           2,
 		NoiseVar:            1e-3,
-		SNRRangeDB:          [2]float64{snrLo, snrHi},
+		SNRRangeDB:          [2]units.Decibels{snrLo, snrHi},
 		LinkSpreadDB:        3,
 		APLinkSNRdB:         32,
 		ChannelParams:       channel.DefaultIndoor,
@@ -168,12 +170,13 @@ type peerSync struct {
 	// cfo is the long-term estimate of ω_peer − ω_self in rad/sample
 	// (§5.3: averaged for intra-packet tracking), fused
 	// precision-weighted (cfoWeight ∝ baseline²).
-	cfo       float64
+	cfo units.RadPerSample
+	//lint:ignore units precision weight of the CFO fusion, samples² — not a frequency
 	cfoWeight float64
 	// lastPhase/lastAt snapshot the latest ratio phase for cross-packet
 	// CFO refinement: two phase snapshots a known (long) time apart give
 	// a far more precise frequency estimate than any single header.
-	lastPhase float64
+	lastPhase units.Radians
 	lastAt    int64
 	hasPhase  bool
 	// srate is the long-term sampling-offset slope rate in rad/bin/sample
@@ -338,7 +341,7 @@ func New(cfg Config) (*Network, error) {
 		n.Clients = append(n.Clients, &Client{Index: c, Node: node, rx: phy.NewRX()})
 		busIDs = append(busIDs, 1000+c)
 	}
-	n.Bus = backend.New(int64(cfg.SampleRate*50e-6), busIDs...) // 50 µs backbone hop
+	n.Bus = backend.New(int64(units.TicksIn(50e-6, cfg.SampleRate)), busIDs...) // 50 µs backbone hop
 	n.Bus.SetDropCounter(n.metrics.Counter("backend_dropped_total"))
 	n.crashed = make([]bool, cfg.NumAPs)
 	n.syncLossUntil = make([]int64, cfg.NumAPs)
@@ -356,7 +359,8 @@ func (n *Network) buildLinks(src *rng.Source) {
 		mix = haarMixing(src.Split(0x4AA2), n.NumStreams(), n.NumTxAntennas())
 	}
 	for c := 0; c < cfg.NumClients; c++ {
-		meanSNR := src.Uniform(cfg.SNRRangeDB[0], cfg.SNRRangeDB[1])
+		//lint:ignore units rng draws are dimensionless; the SNR band re-enters as the drawn mean in dB
+		meanSNR := src.Uniform(float64(cfg.SNRRangeDB[0]), float64(cfg.SNRRangeDB[1]))
 		for a := 0; a < cfg.NumAPs; a++ {
 			for am := 0; am < cfg.AntennasPerAP; am++ {
 				for cm := 0; cm < cfg.AntennasPerClient; cm++ {
@@ -367,7 +371,8 @@ func (n *Network) buildLinks(src *rng.Source) {
 						col := a*cfg.AntennasPerAP + am
 						l = mixedLink(src.Split(linkSeed(a, am, c, cm)), gain, mix.At(row, col), n.NumTxAntennas())
 					} else {
-						snr := meanSNR + src.Uniform(-cfg.LinkSpreadDB, cfg.LinkSpreadDB)
+						//lint:ignore units rng draws are dimensionless; the spread bound re-enters as dB around the mean
+						snr := meanSNR + src.Uniform(-float64(cfg.LinkSpreadDB), float64(cfg.LinkSpreadDB))
 						gain := cfg.NoiseVar * pow10(snr/10)
 						l = channel.NewLink(src.Split(linkSeed(a, am, c, cm)), cfg.ChannelParams, gain, 0)
 					}
@@ -383,7 +388,7 @@ func (n *Network) buildLinks(src *rng.Source) {
 			if a == b {
 				continue
 			}
-			gain := cfg.NoiseVar * pow10(cfg.APLinkSNRdB/10)
+			gain := cfg.NoiseVar * units.DBToLinear(cfg.APLinkSNRdB)
 			l := channel.NewLink(src.Split(0xAB0000+uint64(a*64+b)), cfg.ChannelParams, gain, 0)
 			n.Air.SetLink(n.APAntennaID(a, 0), n.APAntennaID(b, 0), l)
 		}

@@ -8,6 +8,7 @@ import (
 
 	"megamimo/internal/phy"
 	"megamimo/internal/rng"
+	"megamimo/internal/units"
 )
 
 func TestMisalignmentSmall(t *testing.T) {
@@ -86,7 +87,7 @@ func TestDiversitySNRScalesQuadratically(t *testing.T) {
 		if res.Frames[0] == nil {
 			t.Fatal("no frame")
 		}
-		return res.Frames[0].SNRdB
+		return units.Ratio(res.Frames[0].SNRdB, 1)
 	}
 	s2, s8 := snr(2), snr(8)
 	gain := s8 - s2

@@ -7,6 +7,7 @@ import (
 	"megamimo/internal/channel"
 	"megamimo/internal/geom"
 	"megamimo/internal/rng"
+	"megamimo/internal/units"
 )
 
 // TopologyConfig builds a network from physical geometry instead of target
@@ -22,7 +23,7 @@ type TopologyConfig struct {
 	// PathLoss is the propagation model; zero value uses geom.DefaultIndoor.
 	PathLoss geom.PathLoss
 	// TxPowerDBm and NoiseFloorDBm set the link budget ends.
-	TxPowerDBm, NoiseFloorDBm float64
+	TxPowerDBm, NoiseFloorDBm units.Decibels
 }
 
 // NewFromTopology samples a placement and builds the network with
@@ -49,7 +50,7 @@ func NewFromTopology(tc TopologyConfig) (*Network, *geom.Topology, error) {
 	}
 	// Build the network with a placeholder band; then overwrite every
 	// AP→client link with the geometry-derived one.
-	cfg.SNRRangeDB = [2]float64{15, 16}
+	cfg.SNRRangeDB = [2]units.Decibels{15, 16}
 	cfg.WellConditioned = false
 	n, err := New(cfg)
 	if err != nil {
@@ -60,8 +61,8 @@ func NewFromTopology(tc TopologyConfig) (*Network, *geom.Topology, error) {
 	for c := 0; c < n.Cfg.NumClients; c++ {
 		for a := 0; a < n.Cfg.NumAPs; a++ {
 			snr := top.SNRdB(pl, c, a, tc.TxPowerDBm, tc.NoiseFloorDBm)
-			gain := n.Cfg.NoiseVar * math.Pow(10, snr/10)
-			delay := int(math.Round(top.PropagationDelaySamples(c, a, n.Cfg.SampleRate)))
+			gain := n.Cfg.NoiseVar * units.DBToLinear(snr)
+			delay := int(math.Round(units.Ratio(top.PropagationDelaySamples(c, a, n.Cfg.SampleRate), 1)))
 			for am := 0; am < n.Cfg.AntennasPerAP; am++ {
 				for cm := 0; cm < n.Cfg.AntennasPerClient; cm++ {
 					l := channel.NewLink(src.Split(linkSeed(a, am, c, cm)^0xF00), n.Cfg.ChannelParams, gain, delay)

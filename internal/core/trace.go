@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"megamimo/internal/metrics"
+	"megamimo/internal/units"
 )
 
 // Trace event kinds: the closed vocabulary of the protocol timeline.
@@ -130,20 +131,20 @@ type TraceAttrs struct {
 	// events, the innovation of the measured inter-oscillator phase
 	// against the long-term CFO prediction — the quantity the paper's
 	// π/18 nulling budget bounds.
-	PhaseErrRad float64
+	PhaseErrRad units.Radians
 	// CFORadPerSample is a carrier-frequency-offset estimate in radians
 	// per ether sample (slave→lead on slave-ratio events, residual after
 	// correction on decode events).
-	CFORadPerSample float64
+	CFORadPerSample units.RadPerSample
 	// EVMSNRdB is the post-equalization error-vector SNR in dB.
-	EVMSNRdB float64
+	EVMSNRdB units.Decibels
 	// MinSubSNRdB is the worst per-subcarrier error-vector SNR in dB —
 	// the compact per-subcarrier EVM summary (a collapsed null shows up
 	// here first).
-	MinSubSNRdB float64
+	MinSubSNRdB units.Decibels
 	// NullDepthDB is the zero-forcing null depth in dB (−INR; larger is
 	// deeper).
-	NullDepthDB float64
+	NullDepthDB units.Decibels
 	// OK flags the event's outcome (decode FCS, span success).
 	OK bool
 	// Cause names a failure or retransmit reason ("no-ack",

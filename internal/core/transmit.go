@@ -10,6 +10,7 @@ import (
 	"megamimo/internal/ofdm"
 	"megamimo/internal/phy"
 	"megamimo/internal/rate"
+	"megamimo/internal/units"
 )
 
 // winLead is the observation-window lead-in used consistently by slaves and
@@ -185,9 +186,9 @@ func (n *Network) traceDecode(at int64, client, stream int, f *phy.RxFrame) {
 			minSub = s
 		}
 	}
-	minDB := 60.0
+	minDB := units.Decibels(60)
 	if minSub > 0 && !math.IsInf(minSub, 1) {
-		minDB = 10 * math.Log10(minSub)
+		minDB = units.LinearToDB(minSub)
 		if minDB > 60 {
 			minDB = 60
 		}
@@ -219,10 +220,10 @@ func (n *Network) postJointFrames(tx *phy.TX, frames []*phy.FrameSymbols) (t1, t
 	// 2. Slaves measure the lead's current channel and derive their phase
 	//    correction (§5.2b).
 	type correction struct {
-		ratio []complex128 // per-bin ĥ(t)/ĥ(0)
-		curAt int64        // phase-reference time of the new measurement
-		refAt int64        // phase-reference time of the stored reference
-		cfo   float64      // averaged ω_lead − ω_self
+		ratio []complex128       // per-bin ĥ(t)/ĥ(0)
+		curAt int64              // phase-reference time of the new measurement
+		refAt int64              // phase-reference time of the stored reference
+		cfo   units.RadPerSample // averaged ω_lead − ω_self
 	}
 	corr := make(map[int]*correction, len(n.APs))
 	for i := range n.abstain {
@@ -238,7 +239,7 @@ func (n *Network) postJointFrames(tx *phy.TX, frames []*phy.FrameSymbols) (t1, t
 			// withholding its antennas beats firing with a garbage phase
 			// ratio, which would fill every client's null (§5.2b).
 			budget := n.Cfg.SyncStalenessSamples
-			if ps.hasPhase && budget > 0 && t1-ps.lastAt <= budget {
+			if ps.hasPhase && budget > 0 && units.Ticks(t1-ps.lastAt) <= budget {
 				curAt = t1 - winLead + ltfPhaseOffset
 				ratio = extrapolateRatio(ps, curAt)
 				resid = 0
@@ -349,7 +350,7 @@ func (n *Network) postJointFrames(tx *phy.TX, frames []*phy.FrameSymbols) (t1, t
 				// constant offset between the slave's reference window and
 				// the H estimates' reference time (the interleaved-block
 				// center).
-				phase0 := c.cfo * float64((tD-c.curAt)+(c.refAt-n.Msmt.RefMid))
+				phase0 := units.PhaseAdvance(c.cfo, units.Samples((tD-c.curAt)+(c.refAt-n.Msmt.RefMid)))
 				cmplxs.Rotate(wave, wave, phase0, c.cfo)
 			}
 			n.Air.Transmit(n.APAntennaID(ap.Index, m), ap.Node.Osc, tD, wave)
@@ -422,7 +423,7 @@ func (n *Network) DiversityTransmit(stream int, payload []byte, mcs phy.MCS) (*T
 // the residual phase error (the innovation against the long-term CFO
 // prediction, the flight recorder's phase-sync statistic; 0 on the
 // extrapolation ablation, which measures nothing).
-func (n *Network) slaveMeasureRatio(ap *AP, t1 int64) ([]complex128, int64, float64, error) {
+func (n *Network) slaveMeasureRatio(ap *AP, t1 int64) ([]complex128, int64, units.Radians, error) {
 	ps := ap.syncTo(n.Lead().Index)
 	if ps.ref == nil {
 		return nil, 0, 0, fmt.Errorf("no reference channel toward AP %d (run Measure first)", n.Lead().Index)
@@ -465,7 +466,7 @@ func (n *Network) slaveMeasureRatio(ap *AP, t1 int64) ([]complex128, int64, floa
 // fallback when a sync-header measurement fails.
 func extrapolateRatio(ps *peerSync, curAt int64) []complex128 {
 	ratio := make([]complex128, ofdm.NFFT)
-	phase := ps.cfo * float64(curAt-ps.refAt)
+	phase := units.PhaseAdvance(ps.cfo, units.Samples(curAt-ps.refAt))
 	for _, b := range occupiedBins() {
 		ratio[b] = cmplxs.Expi(phase)
 	}
@@ -528,8 +529,8 @@ func ratioComponents(cur, ref []complex128) (float64, []complex128) {
 	}
 	slope := coarse
 	if lagAcc != 0 {
-		resid := cmplxs.WrapPhase(cmplx.Phase(lagAcc) - coarse*lag)
-		slope = (coarse*lag + resid) / lag
+		resid := cmplxs.WrapPhase(units.Radians(cmplx.Phase(lagAcc) - coarse*lag))
+		slope = (coarse*lag + units.Ratio(resid, 1)) / lag
 	}
 	return slope, q
 }
@@ -552,12 +553,12 @@ func composeRatio(q []complex128, slope float64) []complex128 {
 	ks := occCarriers
 	var acc complex128
 	for _, k := range ks {
-		acc += q[ofdm.Bin(k)] * cmplxs.Expi(-slope*float64(k))
+		acc += q[ofdm.Bin(k)] * cmplxs.Expi(units.Radians(-slope*float64(k)))
 	}
-	phase := cmplx.Phase(acc)
+	common := cmplxs.Phase(acc)
 	ratio := make([]complex128, ofdm.NFFT)
 	for _, k := range ks {
-		ratio[ofdm.Bin(k)] = cmplxs.Expi(phase + slope*float64(k))
+		ratio[ofdm.Bin(k)] = cmplxs.Expi(common + units.Radians(slope*float64(k)))
 	}
 	return ratio
 }
@@ -580,12 +581,12 @@ func fitRatio(cur, ref []complex128) []complex128 {
 // resolution would be unsafe) only reset the phase snapshot. It returns the
 // measured innovation (the phase the prediction missed by, rad) as the
 // residual-phase-error telemetry; 0 when no fusion happened.
-func (ps *peerSync) trackCFO(ratio []complex128, at int64) float64 {
+func (ps *peerSync) trackCFO(ratio []complex128, at int64) units.Radians {
 	var sum complex128
 	for _, v := range ratio {
 		sum += v
 	}
-	phase := cmplx.Phase(sum)
+	phase := cmplxs.Phase(sum)
 	defer func() {
 		ps.lastPhase = phase
 		ps.lastAt = at
@@ -598,13 +599,13 @@ func (ps *peerSync) trackCFO(ratio []complex128, at int64) float64 {
 	if dt <= 0 || dt > 2e5 {
 		return 0
 	}
-	predicted := ps.cfo * dt
+	predicted := units.PhaseAdvance(ps.cfo, units.Samples(dt))
 	resid := cmplxs.WrapPhase(phase - ps.lastPhase - predicted)
-	meas := (predicted + resid) / dt
+	meas := units.RadiansOver(predicted+resid, units.Samples(dt))
 	wMeas := dt * dt
 	const weightCap = 1e11 // forget beyond ~(300k samples)² so wander tracks
 	total := ps.cfoWeight + wMeas
-	ps.cfo = (ps.cfoWeight*ps.cfo + wMeas*meas) / total
+	ps.cfo = units.Div(units.Scale(ps.cfo, ps.cfoWeight)+units.Scale(meas, wMeas), total)
 	ps.cfoWeight = math.Min(total, weightCap)
 	return resid
 }
@@ -624,7 +625,7 @@ func payloadLen(payloads [][]byte) int {
 func (n *Network) SelectJointMCS(p *Precoder) (phy.MCS, bool) {
 	best := phy.MCS7
 	ok := true
-	margin := math.Pow(10, -n.Cfg.RateMarginDB/10)
+	margin := units.DBToLinear(-n.Cfg.RateMarginDB)
 	for s := 0; s < p.Streams; s++ {
 		nv := n.Cfg.NoiseVar
 		if n.Msmt != nil && s < len(n.Msmt.NoiseVar) && n.Msmt.NoiseVar[s] > 0 {
@@ -759,7 +760,7 @@ func (n *Network) NullingINR(victim int, payloadBytes int, mcs phy.MCS) (float64
 	inr := acc / float64(cnt) / n.Cfg.NoiseVar
 	if inr > 0 {
 		n.trace(tD, KindNullDepth,
-			TraceAttrs{Client: victim / n.Cfg.AntennasPerClient, Stream: victim, NullDepthDB: -10 * math.Log10(inr)},
+			TraceAttrs{Client: victim / n.Cfg.AntennasPerClient, Stream: victim, NullDepthDB: -units.LinearToDB(inr)},
 			"victim stream %d", victim)
 	}
 	return inr, nil

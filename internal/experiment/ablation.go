@@ -8,6 +8,7 @@ import (
 	"megamimo/internal/core"
 	"megamimo/internal/phy"
 	"megamimo/internal/stats"
+	"megamimo/internal/units"
 )
 
 // AblationResult compares design variants on the nulling INR after a
@@ -53,7 +54,7 @@ func RunAblations(draws int, seed int64) (*AblationResult, error) {
 			if err != nil {
 				return 0, err
 			}
-			return cmplxs.DB(inr), nil
+			return units.Ratio(cmplxs.DB(inr), 1), nil
 		})
 		if err != nil {
 			return 0, err
@@ -121,7 +122,7 @@ func RunAblations(draws int, seed int64) (*AblationResult, error) {
 			if err != nil {
 				return 0, err
 			}
-			return r.GoodputBits() / (float64(r.AirtimeSamples) / cfg.SampleRate) / 1e6, nil
+			return r.GoodputBits() / units.Duration(units.Ticks(r.AirtimeSamples), cfg.SampleRate) / 1e6, nil
 		})
 		if err != nil {
 			return 0, err

@@ -6,6 +6,7 @@ import (
 	"megamimo/internal/core"
 	"megamimo/internal/phy"
 	"megamimo/internal/stats"
+	"megamimo/internal/units"
 )
 
 // AmortizationPoint is one re-measurement cadence.
@@ -96,7 +97,7 @@ func RunAmortization(periods []int, draws int, seed int64) (*AmortizationResult,
 		}
 		return amortCell{
 			overhead: float64(msmtAir) / float64(total),
-			tput:     bits / (float64(total) / cfg.SampleRate),
+			tput:     bits / units.Duration(units.Ticks(total), cfg.SampleRate),
 			ok:       true,
 		}, nil
 	})

@@ -8,6 +8,7 @@ import (
 	"megamimo/internal/fault"
 	"megamimo/internal/stats"
 	"megamimo/internal/traffic"
+	"megamimo/internal/units"
 )
 
 // ChaosPoint is one fault-intensity step of the chaos sweep: delivery under
@@ -87,7 +88,7 @@ func runChaosCell(nAPs int, intensity, seconds float64, topoSeed, engSeed, planS
 		plan := fault.Scenario{
 			Seed:       planSeed,
 			Start:      start,
-			Horizon:    start + int64(seconds*n.Cfg.SampleRate),
+			Horizon:    start + int64(units.TicksIn(seconds, n.Cfg.SampleRate)),
 			SampleRate: n.Cfg.SampleRate,
 			NumAPs:     nAPs,
 			NumStreams: n.NumStreams(),

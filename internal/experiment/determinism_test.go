@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"megamimo/internal/units"
 	"reflect"
 	"testing"
 )
@@ -89,7 +90,7 @@ func TestRobustnessDeterministic(t *testing.T) {
 		t.Skip("full measurement pipeline")
 	}
 	runBoth(t, "robustness", func() (*RobustnessResult, error) {
-		return RunRobustness([]float64{2, 20}, 2, 1)
+		return RunRobustness([]units.PPM{2, 20}, 2, 1)
 	})
 }
 

@@ -11,12 +11,13 @@ import (
 	"strings"
 
 	"megamimo/internal/core"
+	"megamimo/internal/units"
 )
 
 // SNRBin is one of the paper's three evaluation bands.
 type SNRBin struct {
 	Name   string
-	Lo, Hi float64
+	Lo, Hi units.Decibels
 }
 
 // The paper's bands (§11.1c): low 6–12 dB, medium 12–18 dB, high >18 dB.

@@ -2,17 +2,17 @@ package experiment
 
 import (
 	"fmt"
-	"math"
 
 	"megamimo/internal/core"
 	"megamimo/internal/rate"
 	"megamimo/internal/stats"
+	"megamimo/internal/units"
 )
 
 // Fig11Point is one (#APs, link SNR) diversity-throughput sample.
 type Fig11Point struct {
 	APs       int
-	LinkSNRdB float64
+	LinkSNRdB units.Decibels
 	MegaMIMO  float64 // bit/s with coherent diversity
 	Dot11     float64 // bit/s single 802.11 transmitter
 }
@@ -29,8 +29,8 @@ type Fig11Result struct {
 // draw is one engine cell with a seed derived from its (AP count, SNR,
 // draw) coordinates.
 func RunFig11(apCounts []int, draws int, seed int64) (*Fig11Result, error) {
-	var snrGrid []float64
-	for snr := 0.0; snr <= 25.01; snr += 2.5 {
+	var snrGrid []units.Decibels
+	for snr := units.Decibels(0); snr <= 25.01; snr += 2.5 {
 		snrGrid = append(snrGrid, snr)
 	}
 	type cell struct{ mm, bl float64 }
@@ -80,8 +80,8 @@ func RunFig11(apCounts []int, draws int, seed int64) (*Fig11Result, error) {
 // diversityThroughput selects the diversity rate from the measured
 // channels, verifies it with real coherent transmissions, and returns the
 // delivered goodput plus the single-transmitter 802.11 reference.
-func diversityThroughput(n *core.Network, linkSNR float64) (mm, bl float64, err error) {
-	margin := math.Pow(10, -n.Cfg.RateMarginDB/10)
+func diversityThroughput(n *core.Network, linkSNR units.Decibels) (mm, bl float64, err error) {
+	margin := units.DBToLinear(-n.Cfg.RateMarginDB)
 	sub := core.DiversitySubcarrierSNR(n.Msmt, 0, n.Cfg.NoiseVar)
 	for i := range sub {
 		sub[i] *= margin
@@ -105,7 +105,7 @@ func diversityThroughput(n *core.Network, linkSNR float64) (mm, bl float64, err 
 				}
 			}
 			if airtime > 0 {
-				mm = float64(delivered*8*PayloadBytes) / (float64(airtime) / n.Cfg.SampleRate)
+				mm = float64(delivered*8*PayloadBytes) / units.Duration(units.Ticks(airtime), n.Cfg.SampleRate)
 			}
 			if delivered > 0 || mcs == 0 {
 				break
@@ -135,8 +135,8 @@ func (r *Fig11Result) String() string {
 		header = append(header, fmt.Sprintf("%d APs (Mb/s)", n))
 	}
 	header = append(header, "802.11 (Mb/s)")
-	bySNR := map[float64][]string{}
-	var snrs []float64
+	bySNR := map[units.Decibels][]string{}
+	var snrs []units.Decibels
 	for _, p := range r.Points {
 		if _, ok := bySNR[p.LinkSNRdB]; !ok {
 			snrs = append(snrs, p.LinkSNRdB)

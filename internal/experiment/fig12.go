@@ -6,6 +6,7 @@ import (
 	"megamimo/internal/baseline"
 	"megamimo/internal/core"
 	"megamimo/internal/stats"
+	"megamimo/internal/units"
 )
 
 // Fig12Point is one SNR bin's 802.11n-testbed comparison.
@@ -93,7 +94,7 @@ func RunFig12(topologies, txRounds int, seed int64) (*Fig12Result, error) {
 				bits += r.GoodputBits()
 			}
 			if airtime > 0 {
-				mm = bits / (float64(airtime) / cfg.SampleRate)
+				mm = bits / units.Duration(units.Ticks(airtime), cfg.SampleRate)
 			}
 		}
 		return fig12Cell{mm: mm, bl: bl}, nil

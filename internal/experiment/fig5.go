@@ -5,6 +5,7 @@ import (
 
 	"megamimo/internal/geom"
 	"megamimo/internal/rng"
+	"megamimo/internal/units"
 )
 
 // Fig5Result reproduces "Testbed Topology": the conference-room floor plan
@@ -31,8 +32,8 @@ func (r *Fig5Result) String() string {
 	header := []string{"client", "closest AP (m)", "farthest AP (m)", "best-link SNR (dB)"}
 	var rows [][]string
 	for c := range r.Topology.Clients {
-		minD, maxD := 1e9, 0.0
-		bestSNR := -1e9
+		minD, maxD := units.Meters(1e9), units.Meters(0)
+		bestSNR := units.Decibels(-1e9)
 		for a := range r.Topology.APs {
 			d := r.Topology.Clients[c].Distance(r.Topology.APs[a])
 			if d < minD {

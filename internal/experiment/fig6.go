@@ -8,6 +8,7 @@ import (
 	"megamimo/internal/matrix"
 	"megamimo/internal/rng"
 	"megamimo/internal/stats"
+	"megamimo/internal/units"
 )
 
 // Fig6Point is one (misalignment, SNR) cell of Fig. 6.
@@ -49,7 +50,7 @@ func RunFig6(matrices int, seed int64) *Fig6Result {
 		mis := misGrid[i%len(misGrid)]
 		var reductions []float64
 		for _, h := range hs {
-			r, ok := snrReduction(h, mis, snrDB)
+			r, ok := snrReduction(h, units.Radians(mis), units.Decibels(snrDB))
 			if ok {
 				reductions = append(reductions, r)
 			}
@@ -65,7 +66,7 @@ func RunFig6(matrices int, seed int64) *Fig6Result {
 
 // snrReduction computes the per-receiver SINR loss when transmitter 2's
 // phase is off by mis radians relative to the beamforming snapshot.
-func snrReduction(h *matrix.M, mis, avgSNRdB float64) (float64, bool) {
+func snrReduction(h *matrix.M, misRad units.Radians, avgSNRdB units.Decibels) (float64, bool) {
 	w, err := h.Inverse()
 	if err != nil {
 		return 0, false
@@ -91,7 +92,7 @@ func snrReduction(h *matrix.M, mis, avgSNRdB float64) (float64, bool) {
 	nv := k2 / cmplxs.FromDB(avgSNRdB)
 	// Misaligned effective channel: slave column rotated.
 	t := matrix.Identity(2)
-	t.Set(1, 1, cmplxs.Expi(mis))
+	t.Set(1, 1, cmplxs.Expi(misRad))
 	eff := h.Mul(t).Mul(w)
 	var totalLoss float64
 	for c := 0; c < 2; c++ {
@@ -107,7 +108,7 @@ func snrReduction(h *matrix.M, mis, avgSNRdB float64) (float64, bool) {
 		}
 		sinr := sig * k2 / (intf*k2 + nv)
 		snr0 := k2 / nv // aligned reference: |diag| = 1 exactly
-		totalLoss += cmplxs.DB(snr0 / sinr)
+		totalLoss += units.Ratio(cmplxs.DB(snr0/sinr), 1)
 	}
 	return totalLoss / 2, true
 }

@@ -7,13 +7,14 @@ import (
 	"megamimo/internal/core"
 	"megamimo/internal/phy"
 	"megamimo/internal/stats"
+	"megamimo/internal/units"
 )
 
 // Fig8Point is the average INR for one (#receivers, SNR bin) cell.
 type Fig8Point struct {
 	Receivers int
 	Bin       string
-	INRdB     float64
+	INRdB     units.Decibels
 }
 
 // Fig8Result reproduces "Accuracy of Phase Alignment": for each topology
@@ -127,5 +128,5 @@ func (r *Fig8Result) SlopePerPair(bin string) float64 {
 		return 0
 	}
 	first, last := xs[0], xs[len(xs)-1]
-	return (last.INRdB - first.INRdB) / float64(last.Receivers-first.Receivers)
+	return units.Ratio(last.INRdB-first.INRdB, 1) / float64(last.Receivers-first.Receivers)
 }

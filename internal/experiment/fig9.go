@@ -7,6 +7,7 @@ import (
 	"megamimo/internal/baseline"
 	"megamimo/internal/core"
 	"megamimo/internal/stats"
+	"megamimo/internal/units"
 )
 
 // Fig9Point is one (bin, #APs) cell: total network throughput for both
@@ -89,7 +90,7 @@ func topologyRun(nAPs int, bin SNRBin, seed int64, txRounds int) (mm float64, mm
 	const coherenceSamples = 0.25 * USRPSampleRate
 	msmtSamples := float64(nAPs*cfg.MeasurementRounds*80 + 2*80*nAPs + 800)
 	overhead := 1 + msmtSamples/coherenceSamples
-	seconds := float64(airtime) / cfg.SampleRate * overhead
+	seconds := units.Duration(units.Ticks(airtime), cfg.SampleRate) * overhead
 	for j := range perBits {
 		mmPer[j] = perBits[j] / seconds
 		mm += mmPer[j]

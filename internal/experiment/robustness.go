@@ -7,11 +7,12 @@ import (
 	"megamimo/internal/core"
 	"megamimo/internal/phy"
 	"megamimo/internal/stats"
+	"megamimo/internal/units"
 )
 
 // RobustnessPoint is one oscillator-quality cell.
 type RobustnessPoint struct {
-	PPMBudget      float64
+	PPMBudget      units.PPM
 	MisalignMedian float64
 	INRdB          float64
 	DeliveryRate   float64
@@ -40,7 +41,7 @@ type robustnessCell struct {
 // each ppm budget. One engine cell covers one (budget, draw) pair; the
 // seed intentionally repeats across budgets so the sweep is a paired
 // comparison over the same channel draws.
-func RunRobustness(budgets []float64, draws int, seed int64) (*RobustnessResult, error) {
+func RunRobustness(budgets []units.PPM, draws int, seed int64) (*RobustnessResult, error) {
 	cells, err := MapNamed("robustness", len(budgets)*draws, func(i int) (robustnessCell, error) {
 		ppm := budgets[i/draws]
 		d := i % draws
@@ -83,7 +84,7 @@ func RunRobustness(budgets []float64, draws int, seed int64) (*RobustnessResult,
 		if err != nil {
 			return out, err
 		}
-		out.inr, out.hasINR = cmplxs.DB(inr), true
+		out.inr, out.hasINR = units.Ratio(cmplxs.DB(inr), 1), true
 		mcs, ok, err := n.ProbeAndSelectRate(256)
 		if err != nil {
 			return out, err

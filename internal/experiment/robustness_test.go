@@ -1,12 +1,13 @@
 package experiment
 
 import (
+	"megamimo/internal/units"
 	"strings"
 	"testing"
 )
 
 func TestRobustnessSweepSmall(t *testing.T) {
-	r, err := RunRobustness([]float64{2, 20}, 2, 41)
+	r, err := RunRobustness([]units.PPM{2, 20}, 2, 41)
 	if err != nil {
 		t.Fatal(err)
 	}

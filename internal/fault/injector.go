@@ -3,6 +3,7 @@ package fault
 import (
 	"megamimo/internal/core"
 	"megamimo/internal/metrics"
+	"megamimo/internal/units"
 )
 
 // Injector applies a Plan to a live network as the ether clock advances.
@@ -114,10 +115,10 @@ func (in *Injector) apply(ev Event) bool {
 		in.policy.SetDrop(ev.Param, ev.Until)
 		in.traceFault(ev)
 	case KindBackendDelay:
-		in.policy.SetDelay(int64(ev.Param), ev.Until)
+		in.policy.SetDelay(units.Ticks(ev.Param), ev.Until)
 		in.traceFault(ev)
 	case KindBackendJitter:
-		in.policy.SetJitter(int64(ev.Param), ev.Until)
+		in.policy.SetJitter(units.Ticks(ev.Param), ev.Until)
 		in.traceFault(ev)
 	case KindBackendPartition:
 		in.policy.Isolate(ev.AP, ev.Until)

@@ -1,6 +1,9 @@
 package fault
 
-import "megamimo/internal/backend"
+import (
+	"megamimo/internal/backend"
+	"megamimo/internal/units"
+)
 
 // Policy is the backend.FaultPolicy the injector installs on the bus. All
 // state is windowed — a drop probability, a fixed extra delay, a jitter
@@ -15,9 +18,9 @@ type Policy struct {
 	seed    uint64
 	dropP   float64
 	dropTil int64
-	delayN  int64
+	delayN  units.Ticks
 	delTil  int64
-	jitterN int64
+	jitterN units.Ticks
 	jitTil  int64
 	// isolated maps bus node ID -> isolation end time. Lookups only;
 	// never ranged (map order must not matter anywhere in the fault path).
@@ -34,11 +37,11 @@ func NewPolicy(seed int64) *Policy {
 func (p *Policy) SetDrop(prob float64, until int64) { p.dropP, p.dropTil = prob, until }
 
 // SetDelay adds a fixed extra delivery delay while SentAt < until.
-func (p *Policy) SetDelay(samples, until int64) { p.delayN, p.delTil = samples, until }
+func (p *Policy) SetDelay(samples units.Ticks, until int64) { p.delayN, p.delTil = samples, until }
 
 // SetJitter adds a per-message uniform delay in [0, samples] while
 // SentAt < until.
-func (p *Policy) SetJitter(samples, until int64) { p.jitterN, p.jitTil = samples, until }
+func (p *Policy) SetJitter(samples units.Ticks, until int64) { p.jitterN, p.jitTil = samples, until }
 
 // Isolate partitions a bus node: every message to or from it sent before
 // until is dropped.
@@ -61,9 +64,10 @@ func (p *Policy) Deliver(m backend.Message) (bool, int64) {
 	}
 	var extra int64
 	if m.SentAt < p.delTil {
-		extra += p.delayN
+		extra += int64(p.delayN)
 	}
 	if p.jitterN > 0 && m.SentAt < p.jitTil {
+		//lint:ignore units the backend bus wire format carries bare sample counts
 		extra += int64(p.u01(m.Seq, tagJitter) * float64(p.jitterN+1))
 	}
 	return false, extra

@@ -1,6 +1,9 @@
 package fault
 
-import "megamimo/internal/rng"
+import (
+	"megamimo/internal/rng"
+	"megamimo/internal/units"
+)
 
 // Scenario generates a randomized-but-seeded Plan: Intensity faults per
 // simulated second drawn over [Start, Horizon), kinds weighted toward the
@@ -10,9 +13,9 @@ import "megamimo/internal/rng"
 // rng.Source in a fixed draw order.
 type Scenario struct {
 	Seed       int64
-	Start      int64   // first eligible ether sample
-	Horizon    int64   // end of the run window
-	SampleRate float64 // ether samples per second
+	Start      int64       // first eligible ether sample
+	Horizon    int64       // end of the run window
+	SampleRate units.Hertz // ether sample rate
 	NumAPs     int
 	NumStreams int
 	Intensity  float64 // expected fault events per simulated second
@@ -25,7 +28,7 @@ func (s Scenario) Plan() *Plan {
 	if window <= 0 || s.SampleRate <= 0 || s.Intensity <= 0 {
 		return p
 	}
-	n := int(s.Intensity*float64(window)/s.SampleRate + 0.5)
+	n := int(s.Intensity*float64(window)/units.Ratio(s.SampleRate, 1) + 0.5)
 	src := rng.New(s.Seed)
 	// Faults land in the first 60% of the window and every effect ends by
 	// 80%, leaving a tail of recovered steady state.
@@ -57,10 +60,10 @@ func (s Scenario) Plan() *Plan {
 			ev.Param = src.Uniform(0.05, 0.35)
 		case u < 0.70:
 			ev.Kind = KindBackendDelay
-			ev.Param = src.Uniform(20e-6, 100e-6) * s.SampleRate
+			ev.Param = src.Uniform(20e-6, 100e-6) * units.Ratio(s.SampleRate, 1)
 		case u < 0.80:
 			ev.Kind = KindBackendJitter
-			ev.Param = src.Uniform(20e-6, 150e-6) * s.SampleRate
+			ev.Param = src.Uniform(20e-6, 150e-6) * units.Ratio(s.SampleRate, 1)
 		case u < 0.90 && s.NumAPs > 1:
 			ev.Kind = KindBackendPartition
 			ev.AP = src.Intn(s.NumAPs)

@@ -8,27 +8,29 @@ import (
 	"math"
 
 	"megamimo/internal/rng"
+	"megamimo/internal/units"
 )
 
 // Point is a 3-D position in meters.
-type Point struct{ X, Y, Z float64 }
+type Point struct{ X, Y, Z units.Meters }
 
 // Distance returns the Euclidean distance between two points.
-func (p Point) Distance(q Point) float64 {
+func (p Point) Distance(q Point) units.Meters {
 	dx, dy, dz := p.X-q.X, p.Y-q.Y, p.Z-q.Z
-	return math.Sqrt(dx*dx + dy*dy + dz*dz)
+	//lint:ignore units the squared-distance intermediate has no dedicated dimension type
+	return units.Meters(math.Sqrt(float64(dx*dx + dy*dy + dz*dz)))
 }
 
 // PathLoss is a log-distance model with lognormal shadowing.
 type PathLoss struct {
 	// RefLossDB is the loss at the 1 m reference distance (≈40 dB at
 	// 2.4 GHz free space).
-	RefLossDB float64
+	RefLossDB units.Decibels
 	// Exponent is the path-loss exponent (2 free space, ~2.8 indoor mixed
 	// LOS/NLOS).
 	Exponent float64
 	// ShadowSigmaDB is the lognormal shadowing standard deviation.
-	ShadowSigmaDB float64
+	ShadowSigmaDB units.Decibels
 }
 
 // DefaultIndoor matches a dense indoor deployment at 2.4 GHz.
@@ -36,20 +38,20 @@ var DefaultIndoor = PathLoss{RefLossDB: 40.0, Exponent: 2.8, ShadowSigmaDB: 4.0}
 
 // LossDB returns the path loss over distance d (meters); shadow is the
 // per-link shadowing draw in dB (0 for the median link).
-func (p PathLoss) LossDB(d float64, shadowDB float64) float64 {
+func (p PathLoss) LossDB(d units.Meters, shadowDB units.Decibels) units.Decibels {
 	if d < 0.1 {
 		d = 0.1
 	}
-	return p.RefLossDB + 10*p.Exponent*math.Log10(d) + shadowDB
+	return p.RefLossDB + units.Decibels(10*p.Exponent*math.Log10(units.Ratio(d, 1))) + shadowDB
 }
 
 // Room is a rectangular deployment area.
 type Room struct {
-	Width, Length, Height float64
+	Width, Length, Height units.Meters
 	// LedgeHeight is the AP mounting height (paper: ledges near ceiling).
-	LedgeHeight float64
+	LedgeHeight units.Meters
 	// ClientHeight is the client/table height.
-	ClientHeight float64
+	ClientHeight units.Meters
 }
 
 // ConferenceRoom is a Fig.-5-scale space.
@@ -64,13 +66,13 @@ func (r Room) APLocations(n int) []Point {
 	out := make([]Point, n)
 	perim := 2 * (r.Width + r.Length)
 	for i := range out {
-		s := perim * (float64(i) + 0.5) / float64(n)
+		s := units.Div(units.Scale(perim, float64(i)+0.5), float64(n))
 		out[i] = r.perimeterPoint(s)
 	}
 	return out
 }
 
-func (r Room) perimeterPoint(s float64) Point {
+func (r Room) perimeterPoint(s units.Meters) Point {
 	switch {
 	case s < r.Width:
 		return Point{s, 0, r.LedgeHeight}
@@ -88,8 +90,10 @@ func (r Room) perimeterPoint(s float64) Point {
 func (r Room) RandomClientLocation(src *rng.Source) Point {
 	const margin = 1.0
 	return Point{
-		X: src.Uniform(margin, r.Width-margin),
-		Y: src.Uniform(margin, r.Length-margin),
+		//lint:ignore units rng draws are dimensionless; the bounds re-enter as meters
+		X: units.Meters(src.Uniform(margin, float64(r.Width)-margin)),
+		//lint:ignore units rng draws are dimensionless; the bounds re-enter as meters
+		Y: units.Meters(src.Uniform(margin, float64(r.Length)-margin)),
 		Z: r.ClientHeight,
 	}
 }
@@ -99,7 +103,7 @@ func (r Room) RandomClientLocation(src *rng.Source) Point {
 type Topology struct {
 	APs      []Point
 	Clients  []Point
-	ShadowDB [][]float64 // [client][ap]
+	ShadowDB [][]units.Decibels // [client][ap]
 }
 
 // SampleTopology places nAPs APs (random subset of perimeter candidates)
@@ -114,32 +118,32 @@ func SampleTopology(src *rng.Source, room Room, pl PathLoss, nAPs, nClients int)
 	for c := 0; c < nClients; c++ {
 		t.Clients = append(t.Clients, room.RandomClientLocation(src))
 	}
-	t.ShadowDB = make([][]float64, nClients)
+	t.ShadowDB = make([][]units.Decibels, nClients)
 	for c := range t.ShadowDB {
-		t.ShadowDB[c] = make([]float64, nAPs)
+		t.ShadowDB[c] = make([]units.Decibels, nAPs)
 		for a := range t.ShadowDB[c] {
-			t.ShadowDB[c][a] = src.Norm() * pl.ShadowSigmaDB
+			t.ShadowDB[c][a] = units.Scale(pl.ShadowSigmaDB, src.Norm())
 		}
 	}
 	return t
 }
 
 // LinkGainDB returns the client←AP channel gain in dB (negative).
-func (t *Topology) LinkGainDB(pl PathLoss, client, ap int) float64 {
+func (t *Topology) LinkGainDB(pl PathLoss, client, ap int) units.Decibels {
 	d := t.Clients[client].Distance(t.APs[ap])
 	return -pl.LossDB(d, t.ShadowDB[client][ap])
 }
 
 // SNRdB returns the link SNR given transmit power and noise floor in dBm.
-func (t *Topology) SNRdB(pl PathLoss, client, ap int, txPowerDBm, noiseFloorDBm float64) float64 {
+func (t *Topology) SNRdB(pl PathLoss, client, ap int, txPowerDBm, noiseFloorDBm units.Decibels) units.Decibels {
 	return txPowerDBm + t.LinkGainDB(pl, client, ap) - noiseFloorDBm
 }
 
 // PropagationDelaySamples converts the link distance to a sample delay at
 // the given rate (speed of light).
-func (t *Topology) PropagationDelaySamples(client, ap int, sampleRate float64) float64 {
-	const c = 299792458.0
-	return t.Clients[client].Distance(t.APs[ap]) / c * sampleRate
+func (t *Topology) PropagationDelaySamples(client, ap int, sampleRate units.Hertz) units.Samples {
+	const c = 299792458.0 // meters per second
+	return units.Samples(units.Ratio(t.Clients[client].Distance(t.APs[ap]), c) * units.Ratio(sampleRate, 1))
 }
 
 func max(a, b int) int {
@@ -166,8 +170,8 @@ func (t *Topology) Map(room Room, cols, rows int) string {
 		}
 	}
 	place := func(p Point, ch byte) {
-		c := int(p.X / room.Width * float64(cols-1))
-		r := int(p.Y / room.Length * float64(rows-1))
+		c := int(units.Ratio(p.X, room.Width) * float64(cols-1))
+		r := int(units.Ratio(p.Y, room.Length) * float64(rows-1))
 		if c < 0 {
 			c = 0
 		}

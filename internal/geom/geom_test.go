@@ -1,7 +1,7 @@
 package geom
 
 import (
-	"math"
+	"megamimo/internal/units"
 	"testing"
 
 	"megamimo/internal/rng"
@@ -10,7 +10,7 @@ import (
 func TestDistance(t *testing.T) {
 	a := Point{0, 0, 0}
 	b := Point{3, 4, 0}
-	if got := a.Distance(b); math.Abs(got-5) > 1e-12 {
+	if got := a.Distance(b); units.Abs(got-5) > 1e-12 {
 		t.Fatalf("Distance = %v", got)
 	}
 	c := Point{1, 1, 1}
@@ -21,8 +21,8 @@ func TestDistance(t *testing.T) {
 
 func TestLossDBMonotonicInDistance(t *testing.T) {
 	pl := DefaultIndoor
-	prev := -1.0
-	for d := 0.5; d < 30; d += 0.5 {
+	prev := units.Decibels(-1)
+	for d := units.Meters(0.5); d < 30; d += 0.5 {
 		l := pl.LossDB(d, 0)
 		if l <= prev {
 			t.Fatalf("loss not monotonic at %v m", d)
@@ -39,7 +39,7 @@ func TestLossDBFreeSpaceSlope(t *testing.T) {
 	pl := PathLoss{RefLossDB: 40, Exponent: 2}
 	// Doubling distance at exponent 2 adds ~6.02 dB.
 	d1 := pl.LossDB(4, 0) - pl.LossDB(2, 0)
-	if math.Abs(d1-6.0206) > 0.01 {
+	if units.Abs(d1-6.0206) > 0.01 {
 		t.Fatalf("slope %v dB per octave", d1)
 	}
 }
@@ -51,7 +51,7 @@ func TestAPLocationsOnPerimeter(t *testing.T) {
 		t.Fatalf("%d locations", len(pts))
 	}
 	for i, p := range pts {
-		onEdge := p.X == 0 || p.Y == 0 || math.Abs(p.X-r.Width) < 1e-9 || math.Abs(p.Y-r.Length) < 1e-9
+		onEdge := p.X == 0 || p.Y == 0 || units.Abs(p.X-r.Width) < 1e-9 || units.Abs(p.Y-r.Length) < 1e-9
 		if !onEdge {
 			t.Fatalf("AP %d at %+v not on perimeter", i, p)
 		}
@@ -117,7 +117,7 @@ func TestPropagationDelaySamples(t *testing.T) {
 		Clients: []Point{{29.9792458, 0, 0}}, // 100 ns of light travel
 	}
 	got := top.PropagationDelaySamples(0, 0, 10e6)
-	if math.Abs(got-1.0) > 1e-9 {
+	if units.Abs(got-1.0) > 1e-9 {
 		t.Fatalf("delay %v samples, want 1.0", got)
 	}
 }

@@ -1,11 +1,13 @@
-// Package lint is megamimo's project-specific static-analysis suite: eight
+// Package lint is megamimo's project-specific static-analysis suite: nine
 // analyzers tuned to the failure modes that corrupt or slow a
 // distributed-MIMO signal path — buffer aliasing in DSP kernels,
 // nondeterministic inputs, exact float comparison, per-iteration hot-path
 // allocation, panicking APIs, dropped errors, flight-recorder schema
 // drift (kinds outside the closed vocabulary, TraceAttrs writes outside
-// the frozen versioned field set), and fault-path hygiene (non-exhaustive
-// fault.Kind switches, panics in fault-handling code). It is built
+// the frozen versioned field set), fault-path hygiene (non-exhaustive
+// fault.Kind switches, panics in fault-handling code), and dimensional
+// analysis (unit-bearing quantities travel as internal/units defined
+// types; dimension changes go through conversion functions). It is built
 // entirely on the standard library (go/ast, go/parser, go/types) so the
 // module stays dependency-free.
 //
@@ -79,6 +81,7 @@ func All() []*Analyzer {
 		PanicPolicyAnalyzer,
 		TraceFieldsAnalyzer,
 		UncheckedErrorAnalyzer,
+		UnitsAnalyzer,
 	}
 }
 

@@ -106,6 +106,7 @@ func TestUncheckedErrorGolden(t *testing.T) {
 	runGolden(t, UncheckedErrorAnalyzer, "uncheckederr")
 }
 func TestTraceFieldsGolden(t *testing.T) { runGolden(t, TraceFieldsAnalyzer, "tracefields") }
+func TestUnitsGolden(t *testing.T)       { runGolden(t, UnitsAnalyzer, "units") }
 func TestTraceFieldsSchemaGolden(t *testing.T) {
 	runGolden(t, TraceFieldsAnalyzer, "tracefieldsv2")
 }

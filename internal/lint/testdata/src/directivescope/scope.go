@@ -1,0 +1,20 @@
+// Package directivescope exercises //lint:ignore scoping and reason
+// enforcement: a directive scoped to one analyzer must not silence
+// another on the same line, and a scoped directive still needs a reason.
+package directivescope
+
+import "megamimo/internal/units"
+
+// scopedKeepsOthers: the units-scoped suppression covers the float64
+// strip, but the exact float comparison on the same line must survive.
+func scopedKeepsOthers(phi units.Radians) bool {
+	//lint:ignore units reading the raw angle is this fixture's point
+	return float64(phi) == 0.25
+}
+
+// scopedNeedsReason: naming an analyzer does not excuse the reason; the
+// directive is malformed and the strip below it still fires.
+func scopedNeedsReason(phi units.Radians) float64 {
+	//lint:ignore units
+	return float64(phi)
+}

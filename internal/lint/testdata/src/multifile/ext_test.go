@@ -1,0 +1,16 @@
+// Package multifile_test is an external test package: the loader must
+// type-check it as a separate Package that imports the base package by its
+// module path.
+package multifile_test
+
+import (
+	"testing"
+
+	"megamimo/internal/lint/testdata/src/multifile"
+)
+
+func TestExported(t *testing.T) {
+	if multifile.Exported() != 0 {
+		t.Fatal("non-zero")
+	}
+}

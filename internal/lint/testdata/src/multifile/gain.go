@@ -1,0 +1,8 @@
+package multifile
+
+// stripThere violates in the second file, through the type declared in
+// osc.go — only a loader that type-checks the files together can resolve
+// o.phi to units.Radians here.
+func stripThere(o osc) float64 {
+	return float64(o.phi)
+}

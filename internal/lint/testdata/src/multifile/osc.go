@@ -1,0 +1,20 @@
+// Package multifile spreads one type across two files plus an external
+// test package, exercising the loader's whole-package view: analyzers must
+// see types declared in sibling files and the _test package must load as
+// its own Package.
+package multifile
+
+import "megamimo/internal/units"
+
+// osc is consumed from gain.go; its field type must be visible there.
+type osc struct {
+	phi units.Radians
+}
+
+// stripHere is the first file's violation.
+func stripHere(o osc) float64 {
+	return float64(o.phi)
+}
+
+// Exported gives the external test package something to call.
+func Exported() int { return 0 }

@@ -1,0 +1,12 @@
+// Package multipkg imports a sibling fixture package, exercising the
+// loader's source-based resolution of module-local imports: the violation
+// below is only visible if multipkglib's signature type-checked.
+package multipkg
+
+import "megamimo/internal/lint/testdata/src/multipkglib"
+
+// stripImported drops the dimension of a quantity produced one package
+// over.
+func stripImported() float64 {
+	return float64(multipkglib.Phase())
+}

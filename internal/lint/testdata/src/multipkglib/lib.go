@@ -1,0 +1,9 @@
+// Package multipkglib is imported by the multipkg fixture: the loader must
+// resolve this module-local import from source so the units.Radians return
+// type flows across the package boundary.
+package multipkglib
+
+import "megamimo/internal/units"
+
+// Phase returns a dimensioned quantity for the importer to mishandle.
+func Phase() units.Radians { return 0.5 }

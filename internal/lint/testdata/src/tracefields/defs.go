@@ -4,6 +4,8 @@
 // constants, and the recording methods the analyzer recognizes.
 package tracefields
 
+import "megamimo/internal/units"
+
 // TraceAttrs matches the frozen v1 schema exactly (the analyzer checks
 // this declaration too).
 type TraceAttrs struct {
@@ -13,11 +15,11 @@ type TraceAttrs struct {
 	Pkt             int64
 	QueueDepth      int
 	Bits            int64
-	PhaseErrRad     float64
-	CFORadPerSample float64
-	EVMSNRdB        float64
-	MinSubSNRdB     float64
-	NullDepthDB     float64
+	PhaseErrRad     units.Radians
+	CFORadPerSample units.RadPerSample
+	EVMSNRdB        units.Decibels
+	MinSubSNRdB     units.Decibels
+	NullDepthDB     units.Decibels
 	OK              bool
 	Cause           string
 }

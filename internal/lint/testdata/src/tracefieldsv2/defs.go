@@ -3,6 +3,8 @@
 // without a schema-version bump.
 package tracefieldsv2
 
+import "megamimo/internal/units"
+
 // TraceAttrs drifted from v1: Bits narrowed to int and two fields were
 // appended without bumping tracefmt.SchemaVersion.
 type TraceAttrs struct {
@@ -12,11 +14,11 @@ type TraceAttrs struct {
 	Pkt             int64
 	QueueDepth      int
 	Bits            int // want "frozen v1 trace schema has Bits int64"
-	PhaseErrRad     float64
-	CFORadPerSample float64
-	EVMSNRdB        float64
-	MinSubSNRdB     float64
-	NullDepthDB     float64
+	PhaseErrRad     units.Radians
+	CFORadPerSample units.RadPerSample
+	EVMSNRdB        units.Decibels
+	MinSubSNRdB     units.Decibels
+	NullDepthDB     units.Decibels
 	OK              bool
 	Cause           string
 	TempC           float64 // want "not in the frozen v1 trace schema"

@@ -1,0 +1,95 @@
+// Package unitsfixture seeds violations of all three units-analyzer rules
+// plus their sanctioned escapes, for the golden test. It imports the real
+// internal/units package so the fixture exercises exactly the types the
+// analyzer tracks in production.
+package unitsfixture
+
+import (
+	"math"
+
+	"megamimo/internal/units"
+)
+
+// --- Rule 1: cross-unit reinterpreting conversions ---------------------
+
+// badReinterpret converts one units type straight into another: the number
+// survives but the dimension silently changes.
+func badReinterpret(cfo units.RadPerSample) units.Radians {
+	return units.Radians(cfo) // want "reinterprets units.RadPerSample without converting the dimension"
+}
+
+// badHzFromPPM reinterprets in the frequency family too.
+func badHzFromPPM(budget units.PPM) units.Hertz {
+	return units.Hertz(budget) // want "reinterprets units.PPM without converting the dimension"
+}
+
+// goodConversion goes through the conversion layer, which owns the
+// carrier/rate arithmetic that actually changes the dimension.
+func goodConversion(cfo units.RadPerSample, dt units.Samples) units.Radians {
+	return units.PhaseAdvance(cfo, dt)
+}
+
+// goodConstruction builds a units value from a raw float64 — that is a
+// construction, not a cross-unit conversion, and is always allowed.
+func goodConstruction(x float64) units.Radians {
+	return units.Radians(x)
+}
+
+// --- Rule 2: float64 casts stripping a units type ----------------------
+
+// badStrip drops the dimension on the floor.
+func badStrip(phi units.Radians) float64 {
+	return float64(phi) // want "strips units.Radians"
+}
+
+// badStripTicks also fires for the int64-backed tick type.
+func badStripTicks(n units.Ticks) float64 {
+	return float64(n) // want "strips units.Ticks"
+}
+
+// suppressedStrip is a legal boundary: the directive names the analyzer
+// and gives a reason, so the diagnostic is silenced.
+func suppressedStrip(phi units.Radians) complex128 {
+	//lint:ignore units math/cmplx needs the raw angle
+	s, c := math.Sincos(float64(phi))
+	return complex(c, s)
+}
+
+// goodRead uses the sanctioned cast-free read.
+func goodRead(db units.Decibels) float64 {
+	return units.Ratio(db, 1)
+}
+
+// goodIntStrip: int64-of-Ticks is a width change, not a float strip, and
+// stays legal (the backend bus carries bare sample counts).
+func goodIntStrip(n units.Ticks) int64 {
+	return int64(n)
+}
+
+// --- Rule 3: dimension-named identifiers declared bare -----------------
+
+// oscillator mirrors the shape of a radio front-end struct.
+type oscillator struct {
+	cfo       float64 // want "declared as bare float64"
+	carrierHz float64 // want "declared as bare float64"
+	snrDB     float64 // want "declared as bare float64"
+	phaseStep float64 // want "declared as bare float64"
+	//lint:ignore units precision weight of the CFO fusion, not a frequency
+	cfoWeight float64
+	gain      float64 // dimensionless: no token, no finding
+}
+
+// badLocals checks locals and parameters, including int64 timestamps that
+// sound like frequencies.
+func badLocals(driftPPM float64) float64 { // want "declared as bare float64"
+	lastPhase := 0.0     // want "declared as bare float64"
+	var spreadDB float64 // want "declared as bare float64"
+	return driftPPM + lastPhase + spreadDB
+}
+
+// goodLocals carry their dimension in the type, or no dimension at all.
+func goodLocals(budget units.PPM) float64 {
+	phase0 := units.Radians(0.25)
+	weight := 3.0
+	return units.Ratio(phase0, 1) * weight * units.Ratio(budget, 1)
+}

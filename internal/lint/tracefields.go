@@ -43,11 +43,11 @@ var traceSchemaV1 = []struct{ name, typ string }{
 	{"Pkt", "int64"},
 	{"QueueDepth", "int"},
 	{"Bits", "int64"},
-	{"PhaseErrRad", "float64"},
-	{"CFORadPerSample", "float64"},
-	{"EVMSNRdB", "float64"},
-	{"MinSubSNRdB", "float64"},
-	{"NullDepthDB", "float64"},
+	{"PhaseErrRad", "units.Radians"},
+	{"CFORadPerSample", "units.RadPerSample"},
+	{"EVMSNRdB", "units.Decibels"},
+	{"MinSubSNRdB", "units.Decibels"},
+	{"NullDepthDB", "units.Decibels"},
 	{"OK", "bool"},
 	{"Cause", "string"},
 }

@@ -1,0 +1,168 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+	"unicode"
+)
+
+// UnitsAnalyzer enforces the dimension discipline of internal/units: every
+// quantity with a physical dimension (radians, rad/sample, hertz, ppm, dB,
+// meters, sample ticks) travels as its defined type, and dimension changes
+// go through the package's conversion functions, never through bare type
+// conversions. Three rules:
+//
+//  1. No direct conversion between two different units.* types
+//     (units.Radians(cfo) with cfo a units.RadPerSample reinterprets the
+//     number without converting the dimension — use units.PhaseAdvance,
+//     units.RadiansOver, units.HzToRadPerSample, …).
+//  2. No float64(x) cast that strips a units.* type outside internal/units
+//     itself. Legal stripping boundaries (trace serialization, math/cmplx
+//     calls, rng draws) carry a //lint:ignore units directive with a
+//     reason; units.Ratio(x, 1) is the sanctioned cast-free read.
+//  3. In the covered signal-path packages, an identifier whose name says it
+//     carries a dimension (cfo, phase, ppm, …Hz, …DB, …Rad, …) must not be
+//     declared as bare float64 or int64.
+//
+// Test files are exempt from rules 2 and 3: assertions legitimately compare
+// typed quantities against raw constants.
+var UnitsAnalyzer = &Analyzer{
+	Name: "units",
+	Doc:  "dimensional-analysis discipline for internal/units quantities",
+	Run:  runUnits,
+}
+
+// unitsPkgPath is the package whose defined types the analyzer tracks.
+const unitsPkgPath = "megamimo/internal/units"
+
+// unitsCoveredPkgs are the signal-path packages where rule 3's naming
+// heuristic applies: everywhere a bare float64 named like a frequency or a
+// phase is a latent unit bug, not a coincidence.
+var unitsCoveredPkgs = map[string]bool{
+	"megamimo/internal/air":      true,
+	"megamimo/internal/channel":  true,
+	"megamimo/internal/cmplxs":   true,
+	"megamimo/internal/core":     true,
+	"megamimo/internal/dsp":      true,
+	"megamimo/internal/fault":    true,
+	"megamimo/internal/geom":     true,
+	"megamimo/internal/ofdm":     true,
+	"megamimo/internal/phy":      true,
+	"megamimo/internal/radio":    true,
+	"megamimo/internal/tracefmt": true,
+
+	"megamimo/internal/lint/testdata/src/units": true,
+}
+
+// unitNameSuffixes are the dimension-bearing name endings rule 3 matches
+// after lowercasing and trimming trailing digits.
+var unitNameSuffixes = []string{
+	"cfo", "phase", "ppm", "hz", "hertz", "db", "dbm",
+	"rad", "radians", "deg", "degrees", "meters",
+}
+
+// unitNamePrefixes catch compound names that lead with the dimension
+// ("cfoWeight", "phaseStep", "ppmBudget").
+var unitNamePrefixes = []string{"cfo", "phase", "ppm"}
+
+// unitsType returns the *types.Named for a units.* defined type, or nil.
+func unitsType(t types.Type) *types.Named {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != unitsPkgPath {
+		return nil
+	}
+	return named
+}
+
+func runUnits(p *Pass) {
+	if p.Pkg.Types != nil && p.Pkg.Types.Path() == unitsPkgPath {
+		return // the conversion layer itself may reinterpret freely
+	}
+	info := p.Pkg.Info
+	eachFile(p, func(f *ast.File, isTest bool) {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 1 {
+				return true
+			}
+			tv, ok := info.Types[call.Fun]
+			if !ok || !tv.IsType() {
+				return true // ordinary call, not a conversion
+			}
+			src := info.Types[call.Args[0]].Type
+			if src == nil {
+				return true
+			}
+			srcUnit := unitsType(src)
+			// Rule 1: units.T1(x) with x already a different units type.
+			if dst := unitsType(tv.Type); dst != nil && srcUnit != nil && dst.Obj() != srcUnit.Obj() {
+				p.Reportf(call.Pos(),
+					"conversion units.%s(x) reinterprets units.%s without converting the dimension; use a units conversion function (PhaseAdvance, RadiansOver, HzToRadPerSample, …)",
+					dst.Obj().Name(), srcUnit.Obj().Name())
+				return true
+			}
+			// Rule 2: float64(x) strips a units type outside internal/units.
+			if isTest || srcUnit == nil {
+				return true
+			}
+			if b, ok := tv.Type.(*types.Basic); ok && b.Kind() == types.Float64 {
+				p.Reportf(call.Pos(),
+					"float64(%s) strips units.%s; use units.Ratio(x, 1) to read the value, or suppress a legal boundary with //lint:ignore units <reason>",
+					types.ExprString(call.Args[0]), srcUnit.Obj().Name())
+			}
+			return true
+		})
+	})
+
+	// Rule 3: dimension-named identifiers declared as bare float64/int64.
+	if !unitsCoveredPkgs[p.Pkg.Types.Path()] {
+		return
+	}
+	for ident, obj := range info.Defs {
+		v, ok := obj.(*types.Var)
+		if !ok || ident.Name == "_" {
+			continue
+		}
+		b, ok := v.Type().(*types.Basic)
+		if !ok || (b.Kind() != types.Float64 && b.Kind() != types.Int64) {
+			continue
+		}
+		if !unitBearingName(ident.Name) {
+			continue
+		}
+		pos := p.Pkg.Fset.Position(ident.Pos())
+		if strings.HasSuffix(pos.Filename, "_test.go") {
+			continue
+		}
+		p.Reportf(ident.Pos(),
+			"%s sounds like a dimensioned quantity but is declared as bare %s; give it its units.* type (or //lint:ignore units <reason> if it truly is dimensionless)",
+			ident.Name, b.Name())
+	}
+}
+
+// unitBearingName reports whether a declared name matches the dimension
+// heuristic: lowercase it, trim trailing digits, then test the suffix and
+// prefix token lists.
+func unitBearingName(name string) bool {
+	s := strings.ToLower(name)
+	s = strings.TrimRightFunc(s, unicode.IsDigit)
+	if s == "" {
+		return false
+	}
+	for _, suf := range unitNameSuffixes {
+		if strings.HasSuffix(s, suf) {
+			return true
+		}
+	}
+	for _, pre := range unitNamePrefixes {
+		if strings.HasPrefix(s, pre) && len(s) > len(pre) {
+			return true
+		}
+	}
+	return false
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"megamimo/internal/rng"
+	"megamimo/internal/units"
 )
 
 // CSMA is a slotted CSMA/CA medium simulator: stations with pending frames
@@ -27,10 +28,10 @@ type CSMA struct {
 }
 
 // NewCSMA returns the 802.11-flavored defaults at the given sample rate.
-func NewCSMA(sampleRate float64, seed int64) *CSMA {
+func NewCSMA(sampleRate units.Hertz, seed int64) *CSMA {
 	return &CSMA{
-		SlotSamples: int(9e-6 * sampleRate),
-		DIFSSamples: int(34e-6 * sampleRate),
+		SlotSamples: int(units.TicksIn(9e-6, sampleRate)),
+		DIFSSamples: int(units.TicksIn(34e-6, sampleRate)),
 		CWMin:       15,
 		CWMax:       1023,
 		src:         rng.New(seed),

@@ -13,6 +13,7 @@ import (
 	"megamimo/internal/metrics"
 	"megamimo/internal/phy"
 	"megamimo/internal/rng"
+	"megamimo/internal/units"
 )
 
 // Packet is one downlink MAC frame.
@@ -134,10 +135,10 @@ type Contention struct {
 }
 
 // NewContention builds the contention model for the given sample rate.
-func NewContention(sampleRate float64, seed int64) *Contention {
+func NewContention(sampleRate units.Hertz, seed int64) *Contention {
 	return &Contention{
 		CWMinSlots:  15,
-		SlotSamples: int(9e-6 * sampleRate),
+		SlotSamples: int(units.TicksIn(9e-6, sampleRate)),
 		src:         rng.New(seed),
 	}
 }
@@ -237,11 +238,11 @@ type Stats struct {
 }
 
 // ThroughputBps returns delivered goodput over total airtime.
-func (s *Stats) ThroughputBps(sampleRate float64) float64 {
+func (s *Stats) ThroughputBps(sampleRate units.Hertz) float64 {
 	if s.AirtimeSamples == 0 {
 		return 0
 	}
-	return s.DeliveredBits / (float64(s.AirtimeSamples) / sampleRate)
+	return s.DeliveredBits / units.Duration(units.Ticks(s.AirtimeSamples), sampleRate)
 }
 
 // EnsureRate resolves the MCS the scheduler transmits at: the pinned MCS

@@ -3,6 +3,8 @@ package ofdm
 import (
 	"fmt"
 	"math/cmplx"
+
+	"megamimo/internal/units"
 )
 
 // Equalizer applies a per-subcarrier channel inverse to received symbols
@@ -11,10 +13,10 @@ import (
 // paper relies on at the clients ("each client uses standard OFDM
 // techniques to track the phase of the lead AP symbol by symbol", §5.3).
 type Equalizer struct {
-	h      []complex128 // per-bin channel estimate
-	symIdx int          // pilot polarity counter
-	common float64      // common phase applied to the latest symbol, rad
-	raw    float64      // unsmoothed common phase of the latest symbol
+	h      []complex128  // per-bin channel estimate
+	symIdx int           // pilot polarity counter
+	common units.Radians // common phase applied to the latest symbol
+	raw    units.Radians // unsmoothed common phase of the latest symbol
 	// track smooths the per-symbol pilot phase: the real common phase
 	// drifts slowly (residual CFO), while a single symbol's 4-pilot
 	// estimate is noisy, so an EWMA with modest weight wins a couple of
@@ -79,7 +81,7 @@ func (e *Equalizer) SymbolInto(dst, freq []complex128) error {
 	}
 	cpe := cmplx.Phase(e.track)
 	rot := cmplx.Exp(complex(0, -cpe))
-	e.raw = cmplx.Phase(acc)
+	e.raw = units.Radians(cmplx.Phase(acc))
 
 	for i, k := range DataCarriers {
 		b := Bin(k)
@@ -90,19 +92,19 @@ func (e *Equalizer) SymbolInto(dst, freq []complex128) error {
 		}
 		dst[i] = freq[b] * rot / h
 	}
-	e.common = cpe
+	e.common = units.Radians(cpe)
 	e.symIdx++
 	return nil
 }
 
 // CommonPhase returns the smoothed common phase applied to the most recent
 // symbol, in radians.
-func (e *Equalizer) CommonPhase() float64 { return e.common }
+func (e *Equalizer) CommonPhase() units.Radians { return e.common }
 
 // RawCommonPhase returns the unsmoothed single-symbol pilot phase of the
 // most recent symbol — the quantity the phase-alignment experiments
 // histogram.
-func (e *Equalizer) RawCommonPhase() float64 { return e.raw }
+func (e *Equalizer) RawCommonPhase() units.Radians { return e.raw }
 
 // Channel returns the equalizer's channel estimate (shared slice; callers
 // must not modify it).

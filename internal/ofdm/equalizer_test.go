@@ -3,6 +3,7 @@ package ofdm
 import (
 	"math"
 	"math/rand"
+	"megamimo/internal/units"
 	"testing"
 
 	"megamimo/internal/cmplxs"
@@ -11,7 +12,7 @@ import (
 
 // buildRxSymbol passes known data through a flat channel with a common
 // phase offset and returns the received frequency bins.
-func buildRxSymbol(t *testing.T, data []complex128, symIdx int, h complex128, cpe float64, noise *rng.Source, nv float64) []complex128 {
+func buildRxSymbol(t *testing.T, data []complex128, symIdx int, h complex128, cpe units.Radians, noise *rng.Source, nv float64) []complex128 {
 	t.Helper()
 	mod := NewModulator()
 	sym, err := mod.Symbol(data, symIdx)
@@ -74,7 +75,7 @@ func TestEqualizerTracksPhaseRamp(t *testing.T) {
 	eq, _ := NewEqualizer(h)
 	for s := 0; s < 20; s++ {
 		data := randQPSK(r, NData)
-		cpe := 0.03 * float64(s)
+		cpe := units.Radians(0.03 * float64(s))
 		freq := buildRxSymbol(t, data, s, 1, cpe, noise, 1e-5)
 		out, err := eq.Symbol(freq)
 		if err != nil {
@@ -102,9 +103,9 @@ func TestEqualizerRawVsSmoothedPhase(t *testing.T) {
 	eq, _ := NewEqualizer(h)
 	// Alternate the true phase: raw should bounce, smoothed should sit
 	// between.
-	var raws, smooths []float64
+	var raws, smooths []units.Radians
 	for s := 0; s < 12; s++ {
-		cpe := 0.0
+		cpe := units.Radians(0)
 		if s%2 == 1 {
 			cpe = 0.2
 		}
@@ -122,10 +123,15 @@ func TestEqualizerRawVsSmoothedPhase(t *testing.T) {
 	}
 }
 
-func spread(xs []float64) float64 {
-	lo, hi := math.Inf(1), math.Inf(-1)
+func spread(xs []units.Radians) units.Radians {
+	lo, hi := units.Radians(math.Inf(1)), units.Radians(math.Inf(-1))
 	for _, x := range xs {
-		lo, hi = math.Min(lo, x), math.Max(hi, x)
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
 	}
 	return hi - lo
 }
@@ -191,7 +197,7 @@ func (f *fakeLink) freqResponse() []complex128 {
 	for k := 0; k < NFFT; k++ {
 		var acc complex128
 		for m, tap := range f.taps {
-			acc += tap * cmplxs.Expi(-2*math.Pi*float64(k*m)/NFFT)
+			acc += tap * cmplxs.Expi(units.Radians(-2*math.Pi*float64(k*m)/NFFT))
 		}
 		out[k] = acc
 	}

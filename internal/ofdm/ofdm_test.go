@@ -9,6 +9,7 @@ import (
 	"megamimo/internal/cmplxs"
 	"megamimo/internal/dsp"
 	"megamimo/internal/rng"
+	"megamimo/internal/units"
 )
 
 func randQPSK(r *rand.Rand, n int) []complex128 {
@@ -181,7 +182,7 @@ func TestDetectCleanPacketAtKnownOffset(t *testing.T) {
 	if sync.PayloadStart != pad+PreambleLen {
 		t.Fatalf("payload start %d, want %d", sync.PayloadStart, pad+PreambleLen)
 	}
-	if math.Abs(sync.CFO) > 1e-4 {
+	if units.Abs(sync.CFO) > 1e-4 {
 		t.Fatalf("phantom CFO %v", sync.CFO)
 	}
 }
@@ -196,7 +197,7 @@ func TestDetectRejectsNoise(t *testing.T) {
 
 func TestDetectEstimatesCFO(t *testing.T) {
 	r := rand.New(rand.NewSource(5))
-	for _, cfo := range []float64{0.002, -0.005, 0.02} { // rad/sample
+	for _, cfo := range []units.RadPerSample{0.002, -0.005, 0.02} {
 		frame, _ := buildFrame(r, 2)
 		pad := 123
 		rx := make([]complex128, pad+len(frame)+50)
@@ -211,7 +212,7 @@ func TestDetectEstimatesCFO(t *testing.T) {
 		if err != nil {
 			t.Fatalf("cfo %v: %v", cfo, err)
 		}
-		if math.Abs(sync.CFO-cfo) > 2e-4 {
+		if units.Abs(sync.CFO-cfo) > 2e-4 {
 			t.Fatalf("cfo estimate %v, want %v", sync.CFO, cfo)
 		}
 	}
@@ -296,7 +297,7 @@ func TestEqualizerRecoversDataThroughChannelAndCFO(t *testing.T) {
 	conv := dsp.Convolve(frame, taps)
 	rx := make([]complex128, 100+len(conv)+10)
 	copy(rx[100:], conv)
-	cfo := 0.001
+	cfo := units.RadPerSample(0.001)
 	cmplxs.Rotate(rx, rx, 0.1, cfo)
 	noise := rng.New(12)
 	for i := range rx {
@@ -319,7 +320,7 @@ func TestEqualizerRecoversDataThroughChannelAndCFO(t *testing.T) {
 	// Derotate payload using estimated CFO, referenced like the channel
 	// estimate (phase 0 at each symbol handled by pilot tracking).
 	payload := cmplxs.Clone(rx[sync.PayloadStart:])
-	cmplxs.Rotate(payload, payload, -sync.CFO*float64(sync.PayloadStart), -sync.CFO)
+	cmplxs.Rotate(payload, payload, units.PhaseAdvance(-sync.CFO, units.Samples(sync.PayloadStart)), -sync.CFO)
 	for sidx := 0; sidx < nsym; sidx++ {
 		freq, err := dem.Freq(payload[sidx*SymbolLen:])
 		if err != nil {

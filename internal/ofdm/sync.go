@@ -7,6 +7,7 @@ import (
 
 	"megamimo/internal/cmplxs"
 	"megamimo/internal/dsp"
+	"megamimo/internal/units"
 )
 
 // ErrNoPacket is returned when no preamble is detected in the sample
@@ -19,7 +20,7 @@ type Sync struct {
 	// (the first data-symbol cyclic prefix).
 	PayloadStart int
 	// CFO is the estimated carrier frequency offset in radians per sample.
-	CFO float64
+	CFO units.RadPerSample
 	// LTFStart is the index where the LTF guard interval begins.
 	LTFStart int
 	// Metric is the peak normalized detection metric in [0, 1].
@@ -80,7 +81,7 @@ func Detect(rx []complex128, threshold float64) (*Sync, error) {
 		return nil, ErrNoPacket
 	}
 	// Coarse CFO from the STF plateau: phase of lag-16 correlation.
-	coarseCFO := -cmplx.Phase(auto[coarse]) / float64(STFPeriod)
+	coarseCFO := units.RadPerSample(-cmplx.Phase(auto[coarse]) / float64(STFPeriod))
 
 	// Fine timing: cross-correlate a derotated window with the known LTF
 	// long symbol. Search around the expected LTF location.
@@ -120,11 +121,12 @@ func Detect(rx []complex128, threshold float64) (*Sync, error) {
 	for i := 0; i < NFFT; i++ {
 		acc += rx[ltf1+i] * cmplx.Conj(rx[ltf1+NFFT+i])
 	}
-	fineCFO := -cmplx.Phase(acc) / float64(NFFT)
+	fineCFO := units.RadPerSample(-cmplx.Phase(acc) / float64(NFFT))
 	// fineCFO is unambiguous only within ±π/64 rad/sample; fold the coarse
-	// estimate's integer part in.
-	k := math.Round((coarseCFO - fineCFO) * float64(NFFT) / (2 * math.Pi))
-	cfo := fineCFO + 2*math.Pi*k/float64(NFFT)
+	// estimate's integer part in: count how many full 2π turns the
+	// coarse/fine disagreement accumulates over one FFT length.
+	k := math.Round(units.Ratio(units.PhaseAdvance(coarseCFO-fineCFO, NFFT), 2*math.Pi))
+	cfo := fineCFO + units.RadiansOver(units.Radians(2*math.Pi*k), NFFT)
 
 	return &Sync{
 		PayloadStart: payload,
@@ -161,7 +163,7 @@ func EstimateChannelLTF(rx []complex128, sync *Sync) ([]complex128, error) {
 		// CFO estimation error is then ≤ one symbol, which is what lets
 		// repeated channel snapshots (MegaMIMO's slave ratio) compare
 		// phases to millirad accuracy.
-		cmplxs.Rotate(buf, buf, -sync.CFO*float64(start-ltf1), -sync.CFO)
+		cmplxs.Rotate(buf, buf, units.PhaseAdvance(-sync.CFO, units.Samples(start-ltf1)), -sync.CFO)
 		plan.Forward(freq, buf)
 		scale := complex(1/math.Sqrt(NFFT), 0)
 		for k := range freq {

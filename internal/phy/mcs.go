@@ -11,6 +11,7 @@ import (
 
 	"megamimo/internal/fec"
 	"megamimo/internal/modulation"
+	"megamimo/internal/units"
 )
 
 // MCS is a modulation-and-coding-scheme index, 0–7, in 802.11a rate order.
@@ -72,8 +73,8 @@ func (m MCS) CodedBitsPerSymbol() int { return m.info().ncbps }
 
 // BitRate returns the PHY data rate in bits/s at the given sample rate
 // (e.g. 54e6/80·216 at 20 Msample/s).
-func (m MCS) BitRate(sampleRate float64) float64 {
-	return float64(m.info().ndbps) * sampleRate / 80.0
+func (m MCS) BitRate(sampleRate units.Hertz) float64 {
+	return float64(m.info().ndbps) * units.Ratio(sampleRate, 1) / 80.0
 }
 
 // String names the MCS, e.g. "16-QAM 3/4".

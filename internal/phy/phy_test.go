@@ -3,6 +3,7 @@ package phy
 import (
 	"bytes"
 	"math"
+	"megamimo/internal/units"
 	"testing"
 
 	"megamimo/internal/cmplxs"
@@ -200,7 +201,7 @@ func TestSynthesizeWithFrequencySelectiveGainDecodes(t *testing.T) {
 	}
 	gain := make([]complex128, ofdm.NFFT)
 	for i := range gain {
-		gain[i] = cmplxs.Expi(0.1*float64(i)) * complex(0.8+0.2*math.Sin(float64(i)), 0)
+		gain[i] = cmplxs.Expi(units.Radians(0.1*float64(i))) * complex(0.8+0.2*math.Sin(float64(i)), 0)
 	}
 	wave := tx.SynthesizeWithGain(f, gain)
 	stream := make([]complex128, 150+len(wave)+50)

@@ -14,6 +14,7 @@ import (
 	"megamimo/internal/modulation"
 	"megamimo/internal/ofdm"
 	"megamimo/internal/scramble"
+	"megamimo/internal/units"
 )
 
 // Frame decode errors.
@@ -29,15 +30,15 @@ type RxFrame struct {
 	FCSOK   bool
 	// SNRdB is the post-equalization error-vector SNR averaged over the
 	// data field — the "effective channel" quality the client reports.
-	SNRdB float64
+	SNRdB units.Decibels
 	// EVM is the rms error-vector magnitude over the data field (linear,
 	// relative to the unit constellation) — the flight recorder's decode
 	// quality telemetry in its raw form (SNRdB is its log view).
 	EVM float64
 	// ResidualCFO is the carrier offset left after the preamble-based
 	// correction, measured from the pilot-tracked common-phase drift
-	// across data symbols (rad/sample).
-	ResidualCFO float64
+	// across data symbols.
+	ResidualCFO units.RadPerSample
 	// SubcarrierSNR holds the per-data-subcarrier linear SNR estimate
 	// (48 entries) for effective-SNR rate selection feedback.
 	SubcarrierSNR []float64
@@ -47,7 +48,7 @@ type RxFrame struct {
 	Sync *ofdm.Sync
 	// CommonPhases records the pilot-tracked common phase per data symbol,
 	// used by the phase-alignment experiments.
-	CommonPhases []float64
+	CommonPhases []units.Radians
 }
 
 // RX decodes PPDUs from sample streams. An RX owns reusable scratch
@@ -109,7 +110,7 @@ func (r *RX) DecodeAt(rx []complex128, sync *ofdm.Sync) (*RxFrame, error) {
 		r.payload = make([]complex128, len(rx)-sync.PayloadStart)
 	}
 	payload := r.payload[:len(rx)-sync.PayloadStart]
-	cmplxs.Rotate(payload, rx[sync.PayloadStart:], -sync.CFO*float64(sync.PayloadStart-ltf1), -sync.CFO)
+	cmplxs.Rotate(payload, rx[sync.PayloadStart:], units.PhaseAdvance(-sync.CFO, units.Samples(sync.PayloadStart-ltf1)), -sync.CFO)
 
 	// SIGNAL symbol.
 	if len(payload) < ofdm.SymbolLen {
@@ -201,18 +202,18 @@ func (r *RX) DecodeAt(rx []complex128, sync *ofdm.Sync) (*RxFrame, error) {
 	out.Payload = body
 
 	if evmN > 0 && evmAcc > 0 {
-		out.SNRdB = 10 * math.Log10(float64(evmN)/evmAcc)
+		out.SNRdB = units.LinearToDB(float64(evmN) / evmAcc)
 		out.EVM = math.Sqrt(evmAcc / float64(evmN))
 	} else {
 		out.SNRdB = 60
 		out.EVM = 1e-3
 	}
 	if len(out.CommonPhases) >= 2 {
-		var drift float64
+		var drift units.Radians
 		for i := 1; i < len(out.CommonPhases); i++ {
 			drift += cmplxs.WrapPhase(out.CommonPhases[i] - out.CommonPhases[i-1])
 		}
-		out.ResidualCFO = drift / float64(len(out.CommonPhases)-1) / ofdm.SymbolLen
+		out.ResidualCFO = units.RadiansOver(units.Div(drift, float64(len(out.CommonPhases)-1)), ofdm.SymbolLen)
 	}
 	out.SubcarrierSNR = make([]float64, ofdm.NData)
 	for i := range out.SubcarrierSNR {
@@ -275,7 +276,8 @@ func estimateNoiseFromLTF(rx []complex128, sync *ofdm.Sync) float64 {
 	var acc float64
 	for i := 0; i < ofdm.NFFT; i++ {
 		// Derotate the CFO between the repetitions before differencing.
-		d := rx[l1+i] - rx[l1+ofdm.NFFT+i]*cmplx.Exp(complex(0, -sync.CFO*float64(ofdm.NFFT)))
+		//lint:ignore units complex exponential takes the bare scalar at this derotation
+		d := rx[l1+i] - rx[l1+ofdm.NFFT+i]*cmplx.Exp(complex(0, float64(units.PhaseAdvance(-sync.CFO, ofdm.NFFT))))
 		acc += real(d)*real(d) + imag(d)*imag(d)
 	}
 	nv := acc / (2 * ofdm.NFFT)

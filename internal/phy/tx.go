@@ -13,6 +13,7 @@ import (
 	"megamimo/internal/modulation"
 	"megamimo/internal/ofdm"
 	"megamimo/internal/scramble"
+	"megamimo/internal/units"
 )
 
 // MaxPSDU is the largest payload (before FCS) a frame can carry; the
@@ -43,8 +44,8 @@ func (f *FrameSymbols) SampleLen() int {
 }
 
 // AirtimeSeconds returns the frame duration at the given sample rate.
-func (f *FrameSymbols) AirtimeSeconds(sampleRate float64) float64 {
-	return float64(f.SampleLen()) / sampleRate
+func (f *FrameSymbols) AirtimeSeconds(sampleRate units.Hertz) float64 {
+	return float64(f.SampleLen()) / units.Ratio(sampleRate, 1)
 }
 
 // TX encodes payloads into PPDUs. A TX owns reusable scratch buffers, so it

@@ -13,6 +13,7 @@ import (
 	"math"
 
 	"megamimo/internal/rng"
+	"megamimo/internal/units"
 )
 
 // Oscillator is one node's frequency reference. CFO and SFO both derive
@@ -20,55 +21,59 @@ import (
 type Oscillator struct {
 	// PPM is the crystal error in parts per million. 802.11 mandates
 	// ±20 ppm; the paper's USRP2s are well within that.
-	PPM float64
+	PPM units.PPM
 	// CarrierHz is the RF carrier (2.4 GHz class).
-	CarrierHz float64
+	CarrierHz units.Hertz
 	// SampleRate is the nominal baseband sample rate in Hz.
-	SampleRate float64
+	SampleRate units.Hertz
 	// Phase0 is the oscillator phase at ether time zero, radians.
-	Phase0 float64
+	Phase0 units.Radians
 	// WanderStd, when non-zero, adds a Wiener phase-noise walk with this
-	// per-sample standard deviation (radians/√sample).
+	// per-sample standard deviation (radians/√sample — a mixed dimension
+	// with no named type of its own).
 	WanderStd float64
 
 	wander     *rng.Source
-	wanderAcc  float64
+	wanderAcc  units.Radians
 	wanderTime int64
 }
 
 // NewOscillator draws an oscillator with ppm uniform in ±ppmBudget and a
 // random initial phase.
-func NewOscillator(src *rng.Source, ppmBudget, carrierHz, sampleRate float64) *Oscillator {
+func NewOscillator(src *rng.Source, ppmBudget units.PPM, carrierHz, sampleRate units.Hertz) *Oscillator {
 	return &Oscillator{
-		PPM:        src.Uniform(-ppmBudget, ppmBudget),
+		//lint:ignore units rng draws are dimensionless; the budget bounds re-enter as PPM
+		PPM:        units.PPM(src.Uniform(-float64(ppmBudget), float64(ppmBudget))),
 		CarrierHz:  carrierHz,
 		SampleRate: sampleRate,
-		Phase0:     src.PhaseUniform(),
+		Phase0:     units.Radians(src.PhaseUniform()),
 		wander:     src.Split(0x05C1),
 	}
 }
 
 // FreqOffsetHz returns the carrier frequency offset in Hz.
-func (o *Oscillator) FreqOffsetHz() float64 { return o.CarrierHz * o.PPM * 1e-6 }
+func (o *Oscillator) FreqOffsetHz() units.Hertz {
+	return units.FreqOffset(o.PPM, o.CarrierHz)
+}
 
 // CFORadPerSample returns the carrier offset in radians per ether sample.
-func (o *Oscillator) CFORadPerSample() float64 {
-	return 2 * math.Pi * o.FreqOffsetHz() / o.SampleRate
+func (o *Oscillator) CFORadPerSample() units.RadPerSample {
+	return units.HzToRadPerSample(o.FreqOffsetHz(), o.SampleRate)
 }
 
 // SFORatio returns the sample-clock ratio actual/nominal (1 + ppm·1e-6).
-func (o *Oscillator) SFORatio() float64 { return 1 + o.PPM*1e-6 }
+func (o *Oscillator) SFORatio() float64 { return units.SFORatio(o.PPM) }
 
 // PhaseAt returns the oscillator phase at ether sample t: ω·t + θ₀ plus
 // any accumulated wander. Wander is evaluated lazily and monotonically;
 // calling PhaseAt with decreasing t reuses the last wander value, which is
 // accurate to one packet length for the protocols simulated here.
-func (o *Oscillator) PhaseAt(t int64) float64 {
-	p := o.CFORadPerSample()*float64(t) + o.Phase0
+func (o *Oscillator) PhaseAt(t int64) units.Radians {
+	p := units.PhaseAdvance(o.CFORadPerSample(), units.Samples(t)) + o.Phase0
 	if o.WanderStd > 0 && o.wander != nil {
 		if t > o.wanderTime {
 			dt := float64(t - o.wanderTime)
-			o.wanderAcc += o.WanderStd * math.Sqrt(dt) * o.wander.Norm()
+			o.wanderAcc += units.Radians(o.WanderStd * math.Sqrt(dt) * o.wander.Norm())
 			o.wanderTime = t
 		}
 		p += o.wanderAcc
@@ -79,17 +84,17 @@ func (o *Oscillator) PhaseAt(t int64) float64 {
 // Frontend carries the power bookkeeping for one radio chain.
 type Frontend struct {
 	// TxPowerDBm is the transmit power delivered to the antenna.
-	TxPowerDBm float64
+	TxPowerDBm units.Decibels
 	// NoiseFigureDB inflates the thermal noise floor.
-	NoiseFigureDB float64
+	NoiseFigureDB units.Decibels
 	// BandwidthHz is the occupied bandwidth used for the noise floor.
-	BandwidthHz float64
+	BandwidthHz units.Hertz
 }
 
 // NoiseFloorDBm returns the receiver noise floor: −174 dBm/Hz + 10·log₁₀(B)
 // + NF.
-func (f *Frontend) NoiseFloorDBm() float64 {
-	return -174 + 10*math.Log10(f.BandwidthHz) + f.NoiseFigureDB
+func (f *Frontend) NoiseFloorDBm() units.Decibels {
+	return -174 + units.LinearToDB(units.Ratio(f.BandwidthHz, 1)) + f.NoiseFigureDB
 }
 
 // Node is one radio device: an oscillator shared by one or more antenna
@@ -104,7 +109,7 @@ type Node struct {
 
 // NewNode builds a node with the given antenna IDs and a freshly drawn
 // oscillator.
-func NewNode(id int, src *rng.Source, ppmBudget, carrierHz, sampleRate float64, antennas ...int) *Node {
+func NewNode(id int, src *rng.Source, ppmBudget units.PPM, carrierHz, sampleRate units.Hertz, antennas ...int) *Node {
 	return &Node{
 		ID:       id,
 		Osc:      NewOscillator(src.Split(uint64(id)+1), ppmBudget, carrierHz, sampleRate),

@@ -5,15 +5,16 @@ import (
 	"testing"
 
 	"megamimo/internal/rng"
+	"megamimo/internal/units"
 )
 
 func TestOscillatorOffsets(t *testing.T) {
 	o := &Oscillator{PPM: 2, CarrierHz: 2.4e9, SampleRate: 10e6}
-	if got := o.FreqOffsetHz(); math.Abs(got-4800) > 1e-6 {
+	if got := o.FreqOffsetHz(); units.Abs(got-4800) > 1e-6 {
 		t.Fatalf("FreqOffsetHz = %v, want 4800", got)
 	}
 	want := 2 * math.Pi * 4800 / 10e6
-	if got := o.CFORadPerSample(); math.Abs(got-want) > 1e-12 {
+	if got := o.CFORadPerSample(); math.Abs(units.Ratio(got, 1)-want) > 1e-12 {
 		t.Fatalf("CFORadPerSample = %v, want %v", got, want)
 	}
 	if got := o.SFORatio(); math.Abs(got-1.000002) > 1e-12 {
@@ -25,8 +26,8 @@ func TestPhaseAtLinearWithoutWander(t *testing.T) {
 	o := &Oscillator{PPM: -3, CarrierHz: 2.4e9, SampleRate: 10e6, Phase0: 0.5}
 	w := o.CFORadPerSample()
 	for _, n := range []int64{0, 1, 1000, 1 << 30} {
-		want := w*float64(n) + 0.5
-		if got := o.PhaseAt(n); math.Abs(got-want) > 1e-6 {
+		want := units.PhaseAdvance(w, units.Samples(n)) + 0.5
+		if got := o.PhaseAt(n); units.Abs(got-want) > 1e-6 {
 			t.Fatalf("PhaseAt(%d) = %v, want %v", n, got, want)
 		}
 	}
@@ -36,7 +37,7 @@ func TestPhaseWanderAccumulates(t *testing.T) {
 	src := rng.New(1)
 	o := NewOscillator(src, 2, 2.4e9, 10e6)
 	o.WanderStd = 1e-3
-	base := o.CFORadPerSample()*1e6 + o.Phase0
+	base := units.PhaseAdvance(o.CFORadPerSample(), 1e6) + o.Phase0
 	p1 := o.PhaseAt(1e6)
 	if p1 == base {
 		t.Fatal("wander had no effect")
@@ -47,9 +48,9 @@ func TestPhaseWanderAccumulates(t *testing.T) {
 	last := p1 - base
 	for i := int64(2); i < 50; i++ {
 		p := o.PhaseAt(i * 1e6)
-		lin := o.CFORadPerSample()*float64(i*1e6) + o.Phase0
+		lin := units.PhaseAdvance(o.CFORadPerSample(), units.Samples(i*1e6)) + o.Phase0
 		d := p - lin
-		drift += math.Abs(d - last)
+		drift += float64(units.Abs(d - last))
 		last = d
 	}
 	if drift == 0 {
@@ -61,7 +62,7 @@ func TestNewOscillatorWithinBudget(t *testing.T) {
 	src := rng.New(7)
 	for i := 0; i < 200; i++ {
 		o := NewOscillator(src.Split(uint64(i)), 5, 2.4e9, 20e6)
-		if math.Abs(o.PPM) > 5 {
+		if units.Abs(o.PPM) > 5 {
 			t.Fatalf("ppm %v outside ±5 budget", o.PPM)
 		}
 		if o.Phase0 < -math.Pi || o.Phase0 >= math.Pi {
@@ -81,8 +82,8 @@ func TestOscillatorsAreIndependent(t *testing.T) {
 
 func TestNoiseFloor(t *testing.T) {
 	f := Frontend{NoiseFigureDB: 6, BandwidthHz: 20e6}
-	want := -174 + 10*math.Log10(20e6) + 6
-	if got := f.NoiseFloorDBm(); math.Abs(got-want) > 1e-9 {
+	want := units.Decibels(-174 + 10*math.Log10(20e6) + 6)
+	if got := f.NoiseFloorDBm(); units.Abs(got-want) > 1e-9 {
 		t.Fatalf("NoiseFloorDBm = %v, want %v", got, want)
 	}
 }

@@ -13,6 +13,7 @@ import (
 
 	"megamimo/internal/modulation"
 	"megamimo/internal/phy"
+	"megamimo/internal/units"
 )
 
 // Q is the Gaussian tail function Q(x) = P(N(0,1) > x).
@@ -133,15 +134,15 @@ func Select(subSNR []float64) (mcs phy.MCS, ok bool) {
 }
 
 // SelectFlat is Select for a frequency-flat channel at the given SNR (dB).
-func SelectFlat(snrDB float64) (phy.MCS, bool) {
-	return Select([]float64{math.Pow(10, snrDB/10)})
+func SelectFlat(snrDB units.Decibels) (phy.MCS, bool) {
+	return Select([]float64{units.DBToLinear(snrDB)})
 }
 
 // Throughput returns the expected MAC-layer throughput (bit/s) of
 // transmitting payloadBytes frames at the selected MCS over a link with
 // the given per-subcarrier SNRs, accounting for preamble and header
 // airtime. It returns 0 when no MCS is deliverable.
-func Throughput(subSNR []float64, payloadBytes int, sampleRate float64) float64 {
+func Throughput(subSNR []float64, payloadBytes int, sampleRate units.Hertz) float64 {
 	mcs, ok := Select(subSNR)
 	if !ok {
 		return 0
@@ -151,11 +152,11 @@ func Throughput(subSNR []float64, payloadBytes int, sampleRate float64) float64 
 
 // ThroughputAtMCS returns goodput at a fixed MCS: payload bits divided by
 // the full frame airtime (preamble + SIGNAL + data symbols).
-func ThroughputAtMCS(mcs phy.MCS, payloadBytes int, sampleRate float64) float64 {
+func ThroughputAtMCS(mcs phy.MCS, payloadBytes int, sampleRate units.Hertz) float64 {
 	psduBits := 8 * (payloadBytes + 4) // + FCS
 	ndbps := mcs.DataBitsPerSymbol()
 	nsym := (16 + psduBits + 6 + ndbps - 1) / ndbps
 	samples := 320 + 80*(1+nsym) // preamble + SIGNAL + data
-	airtime := float64(samples) / sampleRate
+	airtime := float64(samples) / units.Ratio(sampleRate, 1)
 	return float64(8*payloadBytes) / airtime
 }

@@ -2,6 +2,7 @@ package rate
 
 import (
 	"math"
+	"megamimo/internal/units"
 	"testing"
 
 	"megamimo/internal/cmplxs"
@@ -40,7 +41,7 @@ func TestBERMonotonicity(t *testing.T) {
 	for _, s := range schemes {
 		prev := 1.0
 		for db := -5.0; db <= 35; db += 1 {
-			b := BER(s, cmplxs.FromDB(db))
+			b := BER(s, cmplxs.FromDB(units.Decibels(db)))
 			if b > prev+1e-15 {
 				t.Fatalf("%v BER not monotone at %v dB", s, db)
 			}
@@ -60,7 +61,7 @@ func TestInvBERRoundTrip(t *testing.T) {
 	schemes := []modulation.Scheme{modulation.BPSK, modulation.QPSK, modulation.QAM16, modulation.QAM64}
 	for _, s := range schemes {
 		for _, db := range []float64{3, 10, 20, 28} {
-			g := cmplxs.FromDB(db)
+			g := cmplxs.FromDB(units.Decibels(db))
 			b := BER(s, g)
 			if b <= 0 || b >= 0.5 {
 				continue
@@ -77,7 +78,7 @@ func TestEffectiveSNRFlatChannelIsIdentity(t *testing.T) {
 	for _, db := range []float64{5, 12, 20} {
 		sub := make([]float64, 48)
 		for i := range sub {
-			sub[i] = cmplxs.FromDB(db)
+			sub[i] = cmplxs.FromDB(units.Decibels(db))
 		}
 		got := EffectiveSNRdB(sub, modulation.QPSK)
 		if math.Abs(got-db) > 0.05 {
@@ -109,7 +110,7 @@ func TestSelectLadder(t *testing.T) {
 	last := phy.MCS0
 	sawNone := false
 	for db := -2.0; db <= 30; db += 0.5 {
-		mcs, ok := SelectFlat(db)
+		mcs, ok := SelectFlat(units.Decibels(db))
 		if !ok {
 			sawNone = true
 			continue
@@ -148,7 +149,7 @@ func TestThresholdsAgainstRealPHY(t *testing.T) {
 			p += real(v)*real(v) + imag(v)*imag(v)
 		}
 		p /= float64(len(wave) - 320)
-		nv := p / cmplxs.FromDB(snrDB)
+		nv := p / cmplxs.FromDB(units.Decibels(snrDB))
 		okCount := 0
 		for tr := 0; tr < trials; tr++ {
 			stream := make([]complex128, 100+len(wave)+20)
@@ -207,7 +208,7 @@ func TestSelectMatchesPaper80211Anchors(t *testing.T) {
 		mbps  float64
 	}{{22, 23.6}, {15.5, 14.9}, {9.5, 7.75}}
 	for _, a := range anchors {
-		mcs, ok := SelectFlat(a.snrDB)
+		mcs, ok := SelectFlat(units.Decibels(a.snrDB))
 		if !ok {
 			t.Fatalf("nothing selected at %v dB", a.snrDB)
 		}

@@ -3,9 +3,11 @@ package tracefmt
 import (
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 
 	"megamimo/internal/core"
+	"megamimo/internal/units"
 )
 
 // Analysis primitives behind cmd/megamimo-trace. Everything here is a
@@ -61,7 +63,7 @@ func Summarize(meta Meta, events []core.TraceEvent) *Summary {
 		}
 	}
 	if meta.SampleRate > 0 && !first {
-		s.DurationMs = float64(s.AtMax-s.AtMin) / meta.SampleRate * 1e3
+		s.DurationMs = units.Duration(units.Ticks(s.AtMax-s.AtMin), meta.SampleRate) * 1e3
 	}
 	return s
 }
@@ -73,24 +75,24 @@ type PhaseStat struct {
 	N  int
 	// Absolute residual phase error (innovation vs. the long-term CFO
 	// prediction), radians.
-	MedianAbsRad, P95AbsRad, MaxAbsRad float64
+	MedianAbsRad, P95AbsRad, MaxAbsRad units.Radians
 	// CFORadPerSample is the mean CFO estimate toward the lead.
-	CFORadPerSample float64
+	CFORadPerSample units.RadPerSample
 	// RelPPM expresses that CFO as a relative carrier offset in parts per
 	// million (needs meta.SampleRate and meta.CarrierHz; 0 otherwise).
-	RelPPM float64
+	RelPPM units.PPM
 }
 
 // PhaseStats folds slave-ratio events per AP, sorted by AP index.
 func PhaseStats(meta Meta, events []core.TraceEvent) []PhaseStat {
-	resid := map[int][]float64{}
-	cfoSum := map[int]float64{}
+	resid := map[int][]units.Radians{}
+	cfoSum := map[int]units.RadPerSample{}
 	for _, e := range events {
 		if e.Kind != core.KindSlaveRatio {
 			continue
 		}
 		ap := e.Attrs.AP
-		resid[ap] = append(resid[ap], math.Abs(e.Attrs.PhaseErrRad))
+		resid[ap] = append(resid[ap], units.Abs(e.Attrs.PhaseErrRad))
 		cfoSum[ap] += e.Attrs.CFORadPerSample
 	}
 	aps := make([]int, 0, len(resid))
@@ -107,11 +109,11 @@ func PhaseStats(meta Meta, events []core.TraceEvent) []PhaseStat {
 			MedianAbsRad:    quantile(rs, 0.5),
 			P95AbsRad:       quantile(rs, 0.95),
 			MaxAbsRad:       quantile(rs, 1),
-			CFORadPerSample: cfoSum[ap] / float64(len(rs)),
+			CFORadPerSample: units.Div(cfoSum[ap], float64(len(rs))),
 		}
 		if meta.SampleRate > 0 && meta.CarrierHz > 0 {
 			// cfo rad/sample → Δf = cfo·rate/2π; ppm = Δf/carrier·1e6.
-			st.RelPPM = st.CFORadPerSample * meta.SampleRate / (2 * math.Pi) / meta.CarrierHz * 1e6
+			st.RelPPM = units.RadPerSampleToPPM(st.CFORadPerSample, meta.CarrierHz, meta.SampleRate)
 		}
 		out = append(out, st)
 	}
@@ -136,7 +138,7 @@ func SpanStats(meta Meta, events []core.TraceEvent) []SpanStat {
 	durs := map[string][]float64{}
 	toMs := func(samples int64) float64 {
 		if meta.SampleRate > 0 {
-			return float64(samples) / meta.SampleRate * 1e3
+			return units.Duration(units.Ticks(samples), meta.SampleRate) * 1e3
 		}
 		return float64(samples)
 	}
@@ -171,24 +173,24 @@ func SpanStats(meta Meta, events []core.TraceEvent) []SpanStat {
 // Budget holds the anomaly thresholds; zero fields take the defaults.
 type Budget struct {
 	// PhaseBudgetRad is the paper's nulling budget on residual phase
-	// error: π/18 rad keeps the null within ~1 dB of ideal (§11.1b).
-	PhaseBudgetRad float64
+	// error: π/18 rad (10°) keeps the null within ~1 dB of ideal (§11.1b).
+	PhaseBudgetRad units.Radians
 	// MaxRelPPM bounds the slave↔lead relative carrier offset. 802.11
-	// mandates ±20 ppm per oscillator, so a compliant pair stays within
-	// 40 ppm relative.
-	MaxRelPPM float64
+	// mandates ±units.Dot11MaxPPM (20 ppm) per oscillator, so a compliant
+	// pair stays within twice that relative.
+	MaxRelPPM units.PPM
 	// NullDegradeDB flags null-depth events this far below the run median.
-	NullDegradeDB float64
+	NullDegradeDB units.Decibels
 	// EVMDegradeDB flags decode events this far below their stream's
 	// median error-vector SNR.
-	EVMDegradeDB float64
+	EVMDegradeDB units.Decibels
 }
 
 // DefaultBudget returns the paper-derived thresholds.
 func DefaultBudget() Budget {
 	return Budget{
 		PhaseBudgetRad: math.Pi / 18,
-		MaxRelPPM:      40,
+		MaxRelPPM:      2 * units.Dot11MaxPPM,
 		NullDegradeDB:  3,
 		EVMDegradeDB:   6,
 	}
@@ -259,15 +261,15 @@ func FindAnomalies(meta Meta, events []core.TraceEvent, b Budget) []Anomaly {
 		if ps.MedianAbsRad > b.PhaseBudgetRad {
 			out = append(out, Anomaly{
 				Check: "phase-budget", AP: ps.AP, Stream: -1, Seq: -1,
-				Value: ps.MedianAbsRad, Threshold: b.PhaseBudgetRad,
+				Value: units.Ratio(ps.MedianAbsRad, 1), Threshold: units.Ratio(b.PhaseBudgetRad, 1),
 				Msg: fmt.Sprintf("phase-budget: slave AP %d median |phase err| %.4f rad exceeds the π/18 budget (%.4f rad) over %d headers",
 					ps.AP, ps.MedianAbsRad, b.PhaseBudgetRad, ps.N),
 			})
 		}
-		if meta.CarrierHz > 0 && math.Abs(ps.RelPPM) > b.MaxRelPPM {
+		if meta.CarrierHz > 0 && units.Abs(ps.RelPPM) > b.MaxRelPPM {
 			out = append(out, Anomaly{
 				Check: "cfo-mandate", AP: ps.AP, Stream: -1, Seq: -1,
-				Value: math.Abs(ps.RelPPM), Threshold: b.MaxRelPPM,
+				Value: units.Ratio(units.Abs(ps.RelPPM), 1), Threshold: units.Ratio(b.MaxRelPPM, 1),
 				Msg: fmt.Sprintf("cfo-mandate: slave AP %d is %.1f ppm off the lead carrier — outside the 802.11 ±20 ppm mandate (|rel| ≤ %.0f ppm)",
 					ps.AP, ps.RelPPM, b.MaxRelPPM),
 			})
@@ -275,7 +277,7 @@ func FindAnomalies(meta Meta, events []core.TraceEvent, b Budget) []Anomaly {
 	}
 
 	// Null-depth degradation vs. the run median.
-	var depths []float64
+	var depths []units.Decibels
 	for _, e := range events {
 		if e.Kind == core.KindNullDepth {
 			depths = append(depths, e.Attrs.NullDepthDB)
@@ -290,7 +292,7 @@ func FindAnomalies(meta Meta, events []core.TraceEvent, b Budget) []Anomaly {
 			if e.Attrs.NullDepthDB < med-b.NullDegradeDB {
 				out = append(out, Anomaly{
 					Check: "null-degradation", AP: -1, Stream: e.Attrs.Stream, Seq: e.Seq,
-					Value: e.Attrs.NullDepthDB, Threshold: med - b.NullDegradeDB,
+					Value: units.Ratio(e.Attrs.NullDepthDB, 1), Threshold: units.Ratio(med-b.NullDegradeDB, 1),
 					Msg: fmt.Sprintf("null-degradation: stream %d null depth %.1f dB is >%.0f dB below the run median (%.1f dB) at t=%d",
 						e.Attrs.Stream, e.Attrs.NullDepthDB, b.NullDegradeDB, med, e.At),
 				})
@@ -299,13 +301,13 @@ func FindAnomalies(meta Meta, events []core.TraceEvent, b Budget) []Anomaly {
 	}
 
 	// Per-stream EVM degradation and decode failures.
-	evms := map[int][]float64{}
+	evms := map[int][]units.Decibels{}
 	for _, e := range events {
 		if e.Kind == core.KindDecode && e.Attrs.Cause == "" {
 			evms[e.Attrs.Stream] = append(evms[e.Attrs.Stream], e.Attrs.EVMSNRdB)
 		}
 	}
-	medEVM := map[int]float64{}
+	medEVM := map[int]units.Decibels{}
 	streams := make([]int, 0, len(evms))
 	for s := range evms {
 		streams = append(streams, s)
@@ -330,7 +332,7 @@ func FindAnomalies(meta Meta, events []core.TraceEvent, b Budget) []Anomaly {
 		if med, ok := medEVM[e.Attrs.Stream]; ok && e.Attrs.EVMSNRdB < med-b.EVMDegradeDB {
 			out = append(out, Anomaly{
 				Check: "evm-degradation", AP: -1, Stream: e.Attrs.Stream, Seq: e.Seq,
-				Value: e.Attrs.EVMSNRdB, Threshold: med - b.EVMDegradeDB,
+				Value: units.Ratio(e.Attrs.EVMSNRdB, 1), Threshold: units.Ratio(med-b.EVMDegradeDB, 1),
 				Msg: fmt.Sprintf("evm-degradation: stream %d EVM SNR %.1f dB is >%.0f dB below its median (%.1f dB) at t=%d",
 					e.Attrs.Stream, e.Attrs.EVMSNRdB, b.EVMDegradeDB, med, e.At),
 			})
@@ -352,14 +354,15 @@ func FindAnomalies(meta Meta, events []core.TraceEvent, b Budget) []Anomaly {
 }
 
 // quantile returns the q-quantile (0..1) of xs by nearest-rank on a
-// sorted copy; 0 for empty input.
-func quantile(xs []float64, q float64) float64 {
+// sorted copy; 0 for empty input. Generic over dimensioned float64
+// quantities so per-unit telemetry keeps its type through aggregation.
+func quantile[T ~float64](xs []T, q float64) T {
 	if len(xs) == 0 {
 		return 0
 	}
-	s := make([]float64, len(xs))
+	s := make([]T, len(xs))
 	copy(s, xs)
-	sort.Float64s(s)
+	slices.Sort(s)
 	idx := int(math.Ceil(q*float64(len(s)))) - 1
 	if idx < 0 {
 		idx = 0

@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"megamimo/internal/core"
+	"megamimo/internal/units"
 )
 
 // Chrome trace-event export: one process ("megamimo"), one thread track
@@ -77,7 +78,7 @@ type metaName struct {
 func WriteChrome(w io.Writer, meta Meta, events []core.TraceEvent) error {
 	ts := func(at int64) float64 {
 		if meta.SampleRate > 0 {
-			return float64(at) / meta.SampleRate * 1e6
+			return units.Duration(units.Ticks(at), meta.SampleRate) * 1e6
 		}
 		return float64(at)
 	}

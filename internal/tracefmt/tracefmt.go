@@ -19,6 +19,7 @@ import (
 	"os"
 
 	"megamimo/internal/core"
+	"megamimo/internal/units"
 )
 
 // SchemaVersion is the trace-format version both exporters stamp and both
@@ -34,9 +35,9 @@ const schemaName = "megamimo-trace"
 type Meta struct {
 	// SampleRate is the ether sample rate (Hz); ether timestamps divide by
 	// it to give seconds.
-	SampleRate float64
+	SampleRate units.Hertz
 	// CarrierHz is the RF carrier, used to express CFO estimates in ppm.
-	CarrierHz float64
+	CarrierHz units.Hertz
 	// APs and Clients size the network (used for track naming).
 	APs, Clients int
 }
@@ -47,35 +48,35 @@ type Meta struct {
 // in the Chrome events' args, which is what makes the Chrome file
 // losslessly re-readable.
 type jsonEvent struct {
-	Seq             int64   `json:"seq"`
-	At              int64   `json:"at"`
-	Kind            string  `json:"kind"`
-	Ph              string  `json:"ph"`
-	Span            int64   `json:"span,omitempty"`
-	AP              int     `json:"ap,omitempty"`
-	Client          int     `json:"client,omitempty"`
-	Stream          int     `json:"stream,omitempty"`
-	Pkt             int64   `json:"pkt,omitempty"`
-	QueueDepth      int     `json:"queue_depth,omitempty"`
-	Bits            int64   `json:"bits,omitempty"`
-	PhaseErrRad     float64 `json:"phase_err_rad,omitempty"`
-	CFORadPerSample float64 `json:"cfo_rad_per_sample,omitempty"`
-	EVMSNRdB        float64 `json:"evm_snr_db,omitempty"`
-	MinSubSNRdB     float64 `json:"min_sub_snr_db,omitempty"`
-	NullDepthDB     float64 `json:"null_depth_db,omitempty"`
-	OK              bool    `json:"ok,omitempty"`
-	Cause           string  `json:"cause,omitempty"`
-	Msg             string  `json:"msg,omitempty"`
+	Seq             int64              `json:"seq"`
+	At              int64              `json:"at"`
+	Kind            string             `json:"kind"`
+	Ph              string             `json:"ph"`
+	Span            int64              `json:"span,omitempty"`
+	AP              int                `json:"ap,omitempty"`
+	Client          int                `json:"client,omitempty"`
+	Stream          int                `json:"stream,omitempty"`
+	Pkt             int64              `json:"pkt,omitempty"`
+	QueueDepth      int                `json:"queue_depth,omitempty"`
+	Bits            int64              `json:"bits,omitempty"`
+	PhaseErrRad     units.Radians      `json:"phase_err_rad,omitempty"`
+	CFORadPerSample units.RadPerSample `json:"cfo_rad_per_sample,omitempty"`
+	EVMSNRdB        units.Decibels     `json:"evm_snr_db,omitempty"`
+	MinSubSNRdB     units.Decibels     `json:"min_sub_snr_db,omitempty"`
+	NullDepthDB     units.Decibels     `json:"null_depth_db,omitempty"`
+	OK              bool               `json:"ok,omitempty"`
+	Cause           string             `json:"cause,omitempty"`
+	Msg             string             `json:"msg,omitempty"`
 }
 
 // header is the first JSONL line (and the Chrome file's otherData).
 type header struct {
-	Schema     string  `json:"schema"`
-	Version    int     `json:"version"`
-	SampleRate float64 `json:"sample_rate"`
-	CarrierHz  float64 `json:"carrier_hz"`
-	APs        int     `json:"aps"`
-	Clients    int     `json:"clients"`
+	Schema     string      `json:"schema"`
+	Version    int         `json:"version"`
+	SampleRate units.Hertz `json:"sample_rate"`
+	CarrierHz  units.Hertz `json:"carrier_hz"`
+	APs        int         `json:"aps"`
+	Clients    int         `json:"clients"`
 }
 
 // phString maps the event phase byte to its wire form.

@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"megamimo/internal/core"
+	"megamimo/internal/units"
 )
 
 func sampleMeta() Meta {
@@ -230,16 +231,16 @@ func TestPhaseStats(t *testing.T) {
 	if st.AP != 1 || st.N != 2 {
 		t.Fatalf("stat = %+v", st)
 	}
-	if math.Abs(st.MaxAbsRad-0.021) > 1e-12 {
+	if units.Abs(st.MaxAbsRad-0.021) > 1e-12 {
 		t.Errorf("MaxAbsRad = %g, want 0.021", st.MaxAbsRad)
 	}
 	wantCFO := (3.1e-5 + 3.2e-5) / 2
-	if math.Abs(st.CFORadPerSample-wantCFO) > 1e-12 {
+	if math.Abs(units.Ratio(st.CFORadPerSample, 1)-wantCFO) > 1e-12 {
 		t.Errorf("CFO = %g, want %g", st.CFORadPerSample, wantCFO)
 	}
 	// ppm = cfo·rate/(2π·carrier)·1e6
 	wantPPM := wantCFO * 20e6 / (2 * math.Pi) / 2.462e9 * 1e6
-	if math.Abs(st.RelPPM-wantPPM) > 1e-9 {
+	if math.Abs(units.Ratio(st.RelPPM, 1)-wantPPM) > 1e-9 {
 		t.Errorf("RelPPM = %g, want %g", st.RelPPM, wantPPM)
 	}
 }
@@ -277,7 +278,7 @@ func TestFindAnomaliesFlagsViolations(t *testing.T) {
 	events := sampleEvents()
 	// Slave AP 1 drifts: blow the phase budget and the ppm mandate.
 	// 45 ppm relative at 2.462 GHz carrier, 20 MHz sampling.
-	badCFO := 45.0 / 1e6 * 2.462e9 * 2 * math.Pi / 20e6
+	badCFO := units.RadPerSample(45.0 / 1e6 * 2.462e9 * 2 * math.Pi / 20e6)
 	for i := range events {
 		if events[i].Kind == core.KindSlaveRatio {
 			events[i].Attrs.PhaseErrRad = 0.5 // ≫ π/18
@@ -338,5 +339,24 @@ func TestFindAnomaliesEVMAndNullDegradation(t *testing.T) {
 	}
 	if checks["null-degradation"] != 1 {
 		t.Errorf("null-degradation count %d, want 1 (%v)", checks["null-degradation"], got)
+	}
+}
+
+// TestDefaultBudgetMandateConstants pins the anomaly gate's default
+// thresholds to the paper-mandated identities: the π/18 (10°) residual
+// phase budget from §7's nulling analysis, and a relative CFO bound of
+// twice the 802.11 ±20 ppm oscillator tolerance (worst case: both
+// oscillators at opposite extremes). If either drifts, the drift must be
+// a deliberate, documented decision — update this test alongside it.
+func TestDefaultBudgetMandateConstants(t *testing.T) {
+	b := DefaultBudget()
+	if got, want := b.PhaseBudgetRad, units.Radians(math.Pi/18); got != want {
+		t.Errorf("DefaultBudget().PhaseBudgetRad = %v, want π/18 = %v", got, want)
+	}
+	if got, want := b.PhaseBudgetRad, units.DegreesToRadians(10); units.Abs(got-want) > 1e-15 {
+		t.Errorf("DefaultBudget().PhaseBudgetRad = %v, want DegreesToRadians(10) = %v", got, want)
+	}
+	if got, want := b.MaxRelPPM, 2*units.Dot11MaxPPM; got != want {
+		t.Errorf("DefaultBudget().MaxRelPPM = %v, want 2·Dot11MaxPPM = %v", got, want)
 	}
 }

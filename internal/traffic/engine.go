@@ -12,6 +12,7 @@ import (
 	"megamimo/internal/phy"
 	"megamimo/internal/rng"
 	"megamimo/internal/stats"
+	"megamimo/internal/units"
 )
 
 // System selects which MAC serves the demand.
@@ -261,7 +262,7 @@ func (e *Engine) pump(now int64) {
 // recordDelivery accounts one ACKed packet.
 func (e *Engine) recordDelivery(p *mac.Packet, deliveredAt int64) {
 	e.delivered[p.Stream]++
-	ms := float64(deliveredAt-p.EnqueuedAt) / e.net.Cfg.SampleRate * 1e3
+	ms := units.Duration(units.Ticks(deliveredAt-p.EnqueuedAt), e.net.Cfg.SampleRate) * 1e3
 	e.latencies[p.Stream] = append(e.latencies[p.Stream], ms)
 	e.hLatency.Observe(ms)
 }
@@ -343,7 +344,7 @@ func (e *Engine) Run(seconds float64) (*Report, error) {
 		return nil, err
 	}
 	start := e.net.Now()
-	horizon := start + int64(seconds*e.net.Cfg.SampleRate)
+	horizon := start + int64(units.TicksIn(seconds, e.net.Cfg.SampleRate))
 	e.net.Trace().Emit(start, core.KindTraffic, core.TraceAttrs{},
 		"workload start: %s, %d streams, %.3fs window", e.cfg.System, len(e.gens), seconds)
 	for e.net.Now() < horizon {

@@ -14,6 +14,7 @@ import (
 	"math"
 
 	"megamimo/internal/rng"
+	"megamimo/internal/units"
 )
 
 // Kind selects the arrival process of a demand profile.
@@ -148,7 +149,7 @@ const never = int64(math.MaxInt64)
 type gen struct {
 	p          Profile
 	src        *rng.Source
-	sampleRate float64
+	sampleRate units.Hertz
 	nextAt     int64
 	onUntil    int64 // OnOff: end of the current burst
 }
@@ -156,7 +157,7 @@ type gen struct {
 // newGen builds the generator starting at the given ether time. Each
 // client's process gets a random initial phase so profiles with identical
 // rates don't arrive in lockstep.
-func newGen(p Profile, src *rng.Source, sampleRate float64, start int64) *gen {
+func newGen(p Profile, src *rng.Source, sampleRate units.Hertz, start int64) *gen {
 	g := &gen{p: p, src: src, sampleRate: sampleRate}
 	if p.RateBps <= 0 || p.PacketBytes <= 0 {
 		g.nextAt = never
@@ -177,7 +178,7 @@ func newGen(p Profile, src *rng.Source, sampleRate float64, start int64) *gen {
 }
 
 func (g *gen) samples(seconds float64) int64 {
-	s := int64(seconds * g.sampleRate)
+	s := int64(units.TicksIn(seconds, g.sampleRate))
 	if s < 1 {
 		s = 1
 	}

@@ -28,6 +28,7 @@ import (
 	"megamimo/internal/core"
 	"megamimo/internal/experiment"
 	"megamimo/internal/phy"
+	"megamimo/internal/units"
 )
 
 // Config assembles a MegaMIMO network; see core.Config for field docs.
@@ -63,7 +64,7 @@ const (
 // DefaultConfig mirrors the paper's USRP testbed with nAPs access points
 // and nClients single-antenna clients whose links fall in [snrLo, snrHi]
 // dB.
-func DefaultConfig(nAPs, nClients int, snrLo, snrHi float64) Config {
+func DefaultConfig(nAPs, nClients int, snrLo, snrHi units.Decibels) Config {
 	return core.DefaultConfig(nAPs, nClients, snrLo, snrHi)
 }
 
