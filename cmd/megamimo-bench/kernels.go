@@ -1,0 +1,123 @@
+package main
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"megamimo/internal/cmplxs"
+	"megamimo/internal/dsp"
+	"megamimo/internal/ofdm"
+)
+
+// The kernels subcommand micro-benchmarks the hot cmplxs/dsp primitives in
+// both layouts — AoS ([]complex128) against the SoA / batched / fused
+// twins — so a kernel regression is attributable from a seconds-long run
+// instead of a full figure regeneration.
+
+// benchNs times one call of f in ns/op, growing the iteration count until
+// the sample is long enough to trust.
+func benchNs(f func()) float64 {
+	f() // warm caches and any lazy init
+	for iters := 1; ; iters *= 4 {
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			f()
+		}
+		if el := time.Since(start); el >= 10*time.Millisecond {
+			return float64(el.Nanoseconds()) / float64(iters)
+		}
+	}
+}
+
+// runKernels renders the kernel comparison table.
+func runKernels() string {
+	const n = 1024
+	mk := func(seed int) []complex128 {
+		out := make([]complex128, n)
+		for i := range out {
+			// Deterministic pseudo-data; values are irrelevant to timing.
+			out[i] = complex(float64((i*seed+7)%13)-6, float64((i+seed)%11)-5)
+		}
+		return out
+	}
+	a, b, dst := mk(1), mk(2), mk(3)
+	sa, sb, sd := cmplxs.NewSplit(n), cmplxs.NewSplit(n), cmplxs.NewSplit(n)
+	cmplxs.Unpack(sa, a)
+	cmplxs.Unpack(sb, b)
+
+	type row struct {
+		name      string
+		base, opt float64
+	}
+	var rows []row
+	add := func(name string, base, opt func()) {
+		rows = append(rows, row{name, benchNs(base), benchNs(opt)})
+	}
+
+	add(fmt.Sprintf("mul %d", n),
+		func() { cmplxs.Mul(dst, a, b) },
+		func() { cmplxs.MulSplit(sd, sa, sb) })
+	add(fmt.Sprintf("mulconj %d", n),
+		func() { cmplxs.MulConj(dst, a, b) },
+		func() { cmplxs.MulConjSplit(sd, sa, sb) })
+	add(fmt.Sprintf("axpy %d", n),
+		func() { cmplxs.AXPY(dst, complex(0.6, -0.2), a) },
+		func() { cmplxs.AXPYSplit(sd, complex(0.6, -0.2), sa) })
+	add(fmt.Sprintf("dot %d", n),
+		func() { cmplxs.Dot(a, b) },
+		func() { cmplxs.DotSplit(sa, sb) })
+	add(fmt.Sprintf("rotate %d", n),
+		func() { cmplxs.Rotate(dst, a, 0.4, 1e-3) },
+		func() { cmplxs.RotateSplit(sd, sa, 0.4, 1e-3) })
+
+	// Convolution: AoS accumulate vs SoA destination, 4-tap indoor model.
+	taps := []complex128{0.9, complex(0.2, 0.1), 0.05, complex(0, 0.02)}
+	conv := make([]complex128, n+len(taps)-1)
+	convS := cmplxs.NewSplit(n + len(taps) - 1)
+	add(fmt.Sprintf("conv4 %d", n),
+		func() { dsp.ConvolveInto(conv, a, taps) },
+		func() { dsp.ConvolveSplitInto(convS, a, taps) })
+
+	// The air medium's emission kernel: separate convolve + rotate-add
+	// passes vs the fused windowed one.
+	scratch := make([]complex128, n+len(taps)-1)
+	ether := make([]complex128, n)
+	rot0 := cmplxs.Expi(0.3)
+	step := cmplxs.Expi(1e-4)
+	add(fmt.Sprintf("conv4+rot+add %d", n),
+		func() {
+			for i := range scratch {
+				scratch[i] = 0
+			}
+			dsp.ConvolveInto(scratch, a, taps)
+			rot := rot0
+			for i := range ether {
+				ether[i] += scratch[i] * rot
+				rot *= step
+			}
+		},
+		func() { dsp.ConvolveRotateAdd(ether, a, taps, 0, rot0, step) })
+
+	// FFT: per-symbol calls vs one batched call over a whole data field.
+	plan := dsp.MustFFTPlan(ofdm.NFFT)
+	nsym := n / ofdm.NFFT
+	add(fmt.Sprintf("fft %dx%d", nsym, ofdm.NFFT),
+		func() {
+			for s := 0; s < nsym; s++ {
+				plan.Forward(dst[s*ofdm.NFFT:(s+1)*ofdm.NFFT], a[s*ofdm.NFFT:(s+1)*ofdm.NFFT])
+			}
+		},
+		func() { plan.ForwardBatch(dst, a) })
+	add(fmt.Sprintf("fft-split %d", ofdm.NFFT),
+		func() { plan.Forward(dst[:ofdm.NFFT], a[:ofdm.NFFT]) },
+		func() { plan.ForwardSplit(sd.Slice(0, ofdm.NFFT), sa.Slice(0, ofdm.NFFT)) })
+
+	var sb2 strings.Builder
+	sb2.WriteString("Kernel micro-benchmarks — AoS/baseline vs SoA/batched/fused (ns/op)\n")
+	fmt.Fprintf(&sb2, "%-20s  %12s  %12s  %8s\n", "kernel", "baseline", "optimized", "ratio")
+	for _, r := range rows {
+		fmt.Fprintf(&sb2, "%-20s  %12.1f  %12.1f  %7.2fx\n", r.name, r.base, r.opt, r.base/r.opt)
+	}
+	return sb2.String()
+}

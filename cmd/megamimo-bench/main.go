@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	megamimo-bench [flags] fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|ablations|robustness|amortization|workload|chaos|all
+//	megamimo-bench [flags] fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|ablations|robustness|amortization|workload|chaos|kernels|all
 //
 // Flags scale the experiment size; the defaults approximate the paper's
 // methodology (20 topologies per point, 10 APs max) and take minutes.
@@ -22,6 +22,7 @@ import (
 	"runtime/pprof"
 	"time"
 
+	"megamimo/internal/air"
 	"megamimo/internal/core"
 	"megamimo/internal/experiment"
 	"megamimo/internal/tracefmt"
@@ -69,11 +70,16 @@ func main() {
 		*topos, *rounds, *maxAPs = 2, 2, 6
 	}
 	experiment.SetWorkers(*workers)
+	air.SetWorkers(*workers)
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: megamimo-bench [flags] fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|ablations|robustness|amortization|workload|chaos|all")
+		fmt.Fprintln(os.Stderr, "usage: megamimo-bench [flags] fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|ablations|robustness|amortization|workload|chaos|kernels|all")
 		os.Exit(2)
 	}
 	which := flag.Arg(0)
+	if which == "kernels" {
+		fmt.Print(runKernels())
+		return
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)

@@ -13,6 +13,10 @@ package air
 
 import (
 	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
 
 	"megamimo/internal/channel"
 	"megamimo/internal/cmplxs"
@@ -21,6 +25,31 @@ import (
 	"megamimo/internal/rng"
 	"megamimo/internal/units"
 )
+
+// workerCount bounds the goroutines observe fans emission shards across;
+// 0 means "use GOMAXPROCS". Package-level because every simulated network
+// owns its own Air but the machine's parallelism budget is shared.
+var workerCount atomic.Int32
+
+// SetWorkers bounds the worker pool observe shards emission summation
+// across. n <= 0 restores the default (GOMAXPROCS at call time); 1 keeps
+// observation strictly serial. Observed samples are byte-identical at every
+// worker count: the shard partition and the reduction order depend only on
+// the emission list, never on how many goroutines computed the shards.
+func SetWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	workerCount.Store(int32(n))
+}
+
+// Workers reports the effective shard fan-out observe will use.
+func Workers() int {
+	if n := workerCount.Load(); n > 0 {
+		return int(n)
+	}
+	return runtime.GOMAXPROCS(0)
+}
 
 // Config parameterizes the medium.
 type Config struct {
@@ -47,18 +76,36 @@ type emission struct {
 }
 
 // Air is the medium. It is not safe for concurrent use; the simulator is
-// single-threaded per medium by design (time is global).
+// single-threaded per medium by design (time is global). (observe may fan
+// emission shards across a bounded worker pool internally, but that
+// parallelism never escapes the call.)
 type Air struct {
 	cfg       Config
 	links     map[linkKey]*channel.Link
 	emissions []emission
 	noise     *rng.Source
 	// pool recycles emission sample buffers (Transmit copies the caller's
-	// waveform, so callers may reuse their buffers immediately); conv is the
-	// grow-only per-observation convolution scratch.
+	// waveform, so callers may reuse their buffers immediately). It is
+	// capped at poolCap buffers; excess returns to the GC so a burst of
+	// traffic cannot pin its high-water mark forever.
 	pool [][]complex128
-	conv []complex128
+	// unsorted marks that an out-of-order Transmit broke the by-start
+	// ordering observe's time index relies on; the next observe re-sorts.
+	unsorted bool
+	// shardBufs slices the grow-only shardBacking block into per-shard
+	// accumulation buffers.
+	shardBufs    [][]complex128
+	shardBacking []complex128
 }
+
+// poolCap bounds the emission-buffer pool; see Air.pool.
+const poolCap = 64
+
+// shardSize is the number of consecutive emissions each observation shard
+// accumulates. The partition is a pure function of the emission list, so
+// the floating-point summation tree — per-shard accumulation in emission
+// order, then reduction in shard order — is fixed before any worker runs.
+const shardSize = 4
 
 // New returns an empty medium.
 func New(cfg Config) *Air {
@@ -98,6 +145,9 @@ func (a *Air) Transmit(tx int, osc *radio.Oscillator, start int64, samples []com
 	}
 	buf := a.emissionBuf(len(samples))
 	copy(buf, samples)
+	if k := len(a.emissions); k > 0 && start < a.emissions[k-1].start {
+		a.unsorted = true
+	}
 	a.emissions = append(a.emissions, emission{tx: tx, osc: osc, start: start, samples: buf})
 }
 
@@ -145,12 +195,58 @@ func (a *Air) observe(rx int, osc *radio.Oscillator, start int64, n int) []compl
 	// material to interpolate into.
 	tail := 2
 	ether := make([]complex128, n+tail)
-	for _, e := range a.emissions {
-		l := a.links[linkKey{e.tx, rx}]
-		if l == nil {
-			continue
+	if a.unsorted {
+		es := a.emissions
+		sort.SliceStable(es, func(i, j int) bool { return es[i].start < es[j].start })
+		a.unsorted = false
+	}
+	// Time index: emissions are kept sorted by start, so everything from
+	// the first emission starting at or beyond the window end is invisible
+	// (link delays only push arrivals later). Emissions that ended before
+	// the window skip per-emission on the overlap clamp, before any
+	// convolution work.
+	cut := sort.Search(len(a.emissions), func(i int) bool {
+		return a.emissions[i].start >= start+int64(n+tail)
+	})
+	shards := (cut + shardSize - 1) / shardSize
+	switch {
+	case shards <= 1:
+		a.fillShard(ether, start, rx, osc, 0, cut)
+	default:
+		// Deterministic sharded summation: shard s accumulates emissions
+		// [s·shardSize, (s+1)·shardSize) in index order into its own
+		// buffer, and the buffers reduce in shard order. Workers only
+		// decide who computes a shard, never what is summed in which
+		// order, so one worker and sixteen produce identical bytes.
+		bufs := a.shardBuffers(shards, n+tail)
+		if w := min(Workers(), shards); w <= 1 {
+			for s := 0; s < shards; s++ {
+				a.fillShard(bufs[s], start, rx, osc, s*shardSize, min(cut, (s+1)*shardSize))
+			}
+		} else {
+			var next atomic.Int32
+			var wg sync.WaitGroup
+			for g := 0; g < w; g++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for {
+						s := int(next.Add(1) - 1)
+						if s >= shards {
+							return
+						}
+						a.fillShard(bufs[s], start, rx, osc, s*shardSize, min(cut, (s+1)*shardSize))
+					}
+				}()
+			}
+			wg.Wait()
 		}
-		a.addEmission(ether, start, e, l, osc)
+		for s := 0; s < shards; s++ {
+			b := bufs[s]
+			for i := range ether {
+				ether[i] += b[i]
+			}
+		}
 	}
 	if a.cfg.ModelSFO {
 		r := dsp.Resample(ether, 1/osc.SFORatio())
@@ -164,25 +260,55 @@ func (a *Air) observe(rx int, osc *radio.Oscillator, start int64, n int) []compl
 	return ether[:n]
 }
 
+// fillShard accumulates emissions [lo, hi) into dst in index order. dst is
+// either the ether buffer itself (single-shard observations) or one shard's
+// private buffer; shard workers touch disjoint buffers only.
+func (a *Air) fillShard(dst []complex128, start int64, rx int, osc *radio.Oscillator, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		e := a.emissions[i]
+		l := a.links[linkKey{e.tx, rx}]
+		if l == nil {
+			continue
+		}
+		a.addEmission(dst, start, e, l, osc)
+	}
+}
+
+// shardBuffers returns count zeroed buffers of length n, sliced out of one
+// grow-only backing block (disjoint regions, so shard workers never share
+// a buffer).
+func (a *Air) shardBuffers(count, n int) [][]complex128 {
+	if cap(a.shardBacking) < count*n {
+		a.shardBacking = make([]complex128, count*n)
+	}
+	backing := a.shardBacking[:count*n]
+	for i := range backing {
+		backing[i] = 0
+	}
+	for len(a.shardBufs) < count {
+		a.shardBufs = append(a.shardBufs, nil)
+	}
+	bufs := a.shardBufs[:count]
+	for s := range bufs {
+		bufs[s] = backing[s*n : (s+1)*n : (s+1)*n]
+	}
+	return bufs
+}
+
 // addEmission accumulates one emission into the ether window [start,
-// start+len(dst)).
+// start+len(dst)). The convolution window is clamped to the overlap first,
+// so a non-overlapping emission costs a few comparisons and an emission
+// mostly outside the window only convolves the samples the receiver hears;
+// convolution, carrier rotation and summation run fused in one pass.
 func (a *Air) addEmission(dst []complex128, start int64, e emission, l *channel.Link, rxOsc *radio.Oscillator) {
 	samples := e.samples
 	if a.cfg.ModelSFO {
 		samples = dsp.Resample(samples, e.osc.SFORatio())
 	}
 	need := len(samples) + len(l.Taps) - 1
-	if cap(a.conv) < need {
-		a.conv = make([]complex128, need)
-	}
-	conv := a.conv[:need]
-	for i := range conv {
-		conv[i] = 0
-	}
-	dsp.ConvolveInto(conv, samples, l.Taps)
 	arrive := e.start + int64(l.Delay)
 	lo := max64(arrive, start)
-	hi := min64(arrive+int64(len(conv)), start+int64(len(dst)))
+	hi := min64(arrive+int64(need), start+int64(len(dst)))
 	if lo >= hi {
 		return
 	}
@@ -191,10 +317,7 @@ func (a *Air) addEmission(dst []complex128, start int64, e emission, l *channel.
 	phase0 := e.osc.PhaseAt(lo) - rxOsc.PhaseAt(lo)
 	rot := cmplxs.Expi(phase0)
 	step := cmplxs.Expi(units.PhaseAdvance(dPhase, 1))
-	for t := lo; t < hi; t++ {
-		dst[t-start] += conv[t-arrive] * rot
-		rot *= step
-	}
+	dsp.ConvolveRotateAdd(dst[lo-start:hi-start], samples, l.Taps, int(lo-arrive), rot, step)
 }
 
 // ClearBefore drops emissions that end before ether sample t, bounding
@@ -207,7 +330,7 @@ func (a *Air) ClearBefore(t int64) {
 		if e.start+int64(len(e.samples))+margin >= t {
 			kept = append(kept, e)
 		} else {
-			a.pool = append(a.pool, e.samples)
+			a.recycle(e.samples)
 		}
 	}
 	for i := len(kept); i < len(a.emissions); i++ {
@@ -219,11 +342,26 @@ func (a *Air) ClearBefore(t int64) {
 // Reset drops all emissions, returning their buffers to the pool.
 func (a *Air) Reset() {
 	for i := range a.emissions {
-		a.pool = append(a.pool, a.emissions[i].samples)
+		a.recycle(a.emissions[i].samples)
 		a.emissions[i] = emission{}
 	}
 	a.emissions = a.emissions[:0]
+	a.unsorted = false
 }
+
+// recycle returns an emission buffer to the pool, trimming at poolCap:
+// beyond the cap the buffer is dropped for the GC, so the pool's footprint
+// is bounded by poolCap × the largest frame instead of the busiest burst
+// the medium ever carried.
+func (a *Air) recycle(buf []complex128) {
+	if len(a.pool) >= poolCap {
+		return
+	}
+	a.pool = append(a.pool, buf)
+}
+
+// PoolSize reports the pooled emission-buffer count (tests, diagnostics).
+func (a *Air) PoolSize() int { return len(a.pool) }
 
 // NumEmissions reports the pending emission count (diagnostics).
 func (a *Air) NumEmissions() int { return len(a.emissions) }

@@ -295,3 +295,64 @@ func BenchmarkObserveJointTransmission(b *testing.B) {
 		a.Observe(100, rx, 0, 4100)
 	}
 }
+
+func TestEmissionPoolCapTrim(t *testing.T) {
+	a := newTestAir(0)
+	osc := testOsc(0)
+	// One burst far beyond the pool cap; Reset recycles what fits and drops
+	// the rest, so a single busy round cannot pin its high-water mark.
+	for i := 0; i < 3*poolCap; i++ {
+		a.Transmit(0, osc, int64(i*10), ramp(32))
+	}
+	a.Reset()
+	if got := a.PoolSize(); got != poolCap {
+		t.Fatalf("pool holds %d buffers after burst reset, want cap %d", got, poolCap)
+	}
+	// Recycling into a full pool stays capped.
+	a.Transmit(0, osc, 0, ramp(32))
+	a.Reset()
+	if got := a.PoolSize(); got != poolCap {
+		t.Fatalf("pool grew past cap: %d > %d", a.PoolSize(), poolCap)
+	}
+	// ClearBefore trims through the same path.
+	for i := 0; i < 2*poolCap; i++ {
+		a.Transmit(0, osc, int64(i*10), ramp(32))
+	}
+	a.ClearBefore(1 << 40)
+	if got := a.PoolSize(); got != poolCap {
+		t.Fatalf("pool holds %d buffers after ClearBefore, want cap %d", got, poolCap)
+	}
+}
+
+func TestShardedObservationWorkerInvariance(t *testing.T) {
+	defer SetWorkers(0)
+	build := func() *Air {
+		a := newTestAir(0)
+		r := rng.New(42)
+		for tx := 0; tx < 6; tx++ {
+			a.SetLink(tx, 99, &channel.Link{
+				Taps:  []complex128{complex(r.Uniform(0.2, 1), r.Uniform(-0.5, 0.5)), complex(r.Uniform(-0.3, 0.3), 0), 0, complex(r.Uniform(-0.1, 0.1), 0)},
+				Delay: tx * 3,
+			})
+		}
+		// Enough emissions to span many shards, deliberately posted out of
+		// start order to exercise the re-sort.
+		for i := 0; i < 10*shardSize; i++ {
+			tx := i % 6
+			start := int64(((i * 37) % 40) * 25)
+			a.Transmit(tx, testOsc(units.PPM(float64(tx)-2.5)), start, ramp(64))
+		}
+		return a
+	}
+	SetWorkers(1)
+	serial := build().ObserveClean(99, testOsc(1.5), 0, 1200)
+	for _, w := range []int{2, 4, 16} {
+		SetWorkers(w)
+		got := build().ObserveClean(99, testOsc(1.5), 0, 1200)
+		for i := range serial {
+			if got[i] != serial[i] {
+				t.Fatalf("workers=%d: sample %d differs from serial: %v != %v", w, i, got[i], serial[i])
+			}
+		}
+	}
+}

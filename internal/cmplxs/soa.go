@@ -1,0 +1,197 @@
+package cmplxs
+
+import (
+	"math"
+	"math/cmplx"
+
+	"megamimo/internal/units"
+)
+
+// Split is the SoA (structure-of-arrays) view of a complex vector: the
+// real and imaginary parts live in two parallel []float64 slices. The
+// split layout is the internal representation of the hot DSP kernels —
+// convolution scratch, FFT batch workspaces — because the inner loops
+// become straight-line float adds and multiplies over contiguous
+// float64 data, with no per-element complex construction. The
+// []complex128 world remains the public API; Pack/Unpack are the only
+// sanctioned conversion points, so a Split never leaks past the kernel
+// that owns it.
+type Split struct {
+	Re, Im []float64
+}
+
+// NewSplit returns a zeroed Split of length n.
+func NewSplit(n int) Split {
+	buf := make([]float64, 2*n)
+	return Split{Re: buf[:n:n], Im: buf[n:]}
+}
+
+// Len returns the vector length (both parts always match).
+func (s Split) Len() int { return len(s.Re) }
+
+// Slice returns the sub-vector [lo, hi) sharing the same storage.
+func (s Split) Slice(lo, hi int) Split {
+	return Split{Re: s.Re[lo:hi], Im: s.Im[lo:hi]}
+}
+
+// Zero clears the vector in place.
+func (s Split) Zero() {
+	for i := range s.Re {
+		s.Re[i] = 0
+		s.Im[i] = 0
+	}
+}
+
+// Unpack converts AoS to SoA: dst must be at least as long as a. This is
+// the inbound half of the []complex128 API boundary.
+func Unpack(dst Split, a []complex128) {
+	checkLen(dst.Len(), len(a), len(a))
+	re, im := dst.Re[:len(a)], dst.Im[:len(a)]
+	for i, v := range a {
+		re[i] = real(v)
+		im[i] = imag(v)
+	}
+}
+
+// Pack converts SoA back to AoS: the outbound half of the API boundary.
+func Pack(dst []complex128, s Split) {
+	checkLen(len(dst), s.Len(), s.Len())
+	re, im := s.Re, s.Im
+	for i := range re {
+		dst[i] = complex(re[i], im[i])
+	}
+}
+
+// PackAdd accumulates the split vector onto dst: dst[i] += s[i]. Fusing
+// the conversion with the accumulation keeps medium summation at one
+// pass over the destination.
+func PackAdd(dst []complex128, s Split) {
+	checkLen(len(dst), s.Len(), s.Len())
+	re, im := s.Re, s.Im
+	for i := range re {
+		dst[i] += complex(re[i], im[i])
+	}
+}
+
+// MulSplit stores a[i]*b[i] into dst, element-wise over split vectors.
+func MulSplit(dst, a, b Split) {
+	checkLen(dst.Len(), a.Len(), b.Len())
+	ar, ai, br, bi := a.Re, a.Im, b.Re, b.Im
+	dr, di := dst.Re[:len(ar)], dst.Im[:len(ar)]
+	for i := range ar {
+		re := ar[i]*br[i] - ai[i]*bi[i]
+		im := ar[i]*bi[i] + ai[i]*br[i]
+		dr[i], di[i] = re, im
+	}
+}
+
+// MulConjSplit stores a[i]*conj(b[i]) into dst over split vectors.
+func MulConjSplit(dst, a, b Split) {
+	checkLen(dst.Len(), a.Len(), b.Len())
+	ar, ai, br, bi := a.Re, a.Im, b.Re, b.Im
+	dr, di := dst.Re[:len(ar)], dst.Im[:len(ar)]
+	for i := range ar {
+		re := ar[i]*br[i] + ai[i]*bi[i]
+		im := ai[i]*br[i] - ar[i]*bi[i]
+		dr[i], di[i] = re, im
+	}
+}
+
+// AXPYSplit accumulates dst[i] += s*a[i] over split vectors.
+func AXPYSplit(dst Split, s complex128, a Split) {
+	checkLen(dst.Len(), a.Len(), a.Len())
+	sr, si := real(s), imag(s)
+	ar, ai := a.Re, a.Im
+	dr, di := dst.Re[:len(ar)], dst.Im[:len(ar)]
+	for i := range ar {
+		dr[i] += sr*ar[i] - si*ai[i]
+		di[i] += sr*ai[i] + si*ar[i]
+	}
+}
+
+// AddSplit stores a[i]+b[i] into dst over split vectors.
+func AddSplit(dst, a, b Split) {
+	checkLen(dst.Len(), a.Len(), b.Len())
+	ar, ai, br, bi := a.Re, a.Im, b.Re, b.Im
+	dr, di := dst.Re[:len(ar)], dst.Im[:len(ar)]
+	for i := range ar {
+		dr[i] = ar[i] + br[i]
+		di[i] = ai[i] + bi[i]
+	}
+}
+
+// ScaleSplit stores s*a[i] into dst over split vectors.
+func ScaleSplit(dst, a Split, s complex128) {
+	checkLen(dst.Len(), a.Len(), a.Len())
+	sr, si := real(s), imag(s)
+	ar, ai := a.Re, a.Im
+	dr, di := dst.Re[:len(ar)], dst.Im[:len(ar)]
+	for i := range ar {
+		dr[i] = sr*ar[i] - si*ai[i]
+		di[i] = sr*ai[i] + si*ar[i]
+	}
+}
+
+// DotSplit returns the inner product sum a[i]*conj(b[i]) over split
+// vectors.
+func DotSplit(a, b Split) complex128 {
+	checkLen(a.Len(), a.Len(), b.Len())
+	ar, ai, br, bi := a.Re, a.Im, b.Re, b.Im
+	var accR, accI float64
+	for i := range ar {
+		accR += ar[i]*br[i] + ai[i]*bi[i]
+		accI += ai[i]*br[i] - ar[i]*bi[i]
+	}
+	return complex(accR, accI)
+}
+
+// EnergySplit returns sum |a[i]|² over a split vector.
+func EnergySplit(a Split) float64 {
+	var acc float64
+	ar, ai := a.Re, a.Im
+	for i := range ar {
+		acc += ar[i]*ar[i] + ai[i]*ai[i]
+	}
+	return acc
+}
+
+// RotateSplit stores a[i]*e^{j(phase0 + i*phaseStep)} into dst over split
+// vectors — the SoA twin of Rotate, with the same recurrence and the same
+// 1024-sample renormalization cadence so both layouts rotate identically.
+func RotateSplit(dst, a Split, phase0 units.Radians, phaseStep units.RadPerSample) {
+	checkLen(dst.Len(), a.Len(), a.Len())
+	//lint:ignore units complex exponentials take the bare scalar; the rotation kernel is a legal stripping boundary
+	rotR, rotI := math.Cos(float64(phase0)), math.Sin(float64(phase0))
+	//lint:ignore units complex exponentials take the bare scalar; the rotation kernel is a legal stripping boundary
+	stepR, stepI := math.Cos(float64(phaseStep)), math.Sin(float64(phaseStep))
+	ar, ai := a.Re, a.Im
+	dr, di := dst.Re[:len(ar)], dst.Im[:len(ar)]
+	for i := range ar {
+		dr[i] = ar[i]*rotR - ai[i]*rotI
+		di[i] = ar[i]*rotI + ai[i]*rotR
+		rotR, rotI = rotR*stepR-rotI*stepI, rotR*stepI+rotI*stepR
+		if i&1023 == 1023 {
+			m := math.Hypot(rotR, rotI)
+			rotR /= m
+			rotI /= m
+		}
+	}
+}
+
+// RotateAXPY accumulates dst[i] += a[i]*e^{j(phase0 + i*phaseStep)} onto
+// an AoS destination from a split source: the fused oscillator-offset +
+// medium-summation kernel. Semantics (recurrence, renormalization) match
+// Rotate followed by Add, in one pass.
+func RotateAXPY(dst []complex128, a Split, phase0 units.Radians, phaseStep units.RadPerSample) {
+	checkLen(len(dst), a.Len(), a.Len())
+	rot := cmplx.Exp(complex(0, units.Ratio(phase0, 1)))
+	step := cmplx.Exp(complex(0, units.Ratio(phaseStep, 1)))
+	ar, ai := a.Re, a.Im
+	for i := range ar {
+		dst[i] += complex(ar[i], ai[i]) * rot
+		rot *= step
+		if i&1023 == 1023 {
+			rot /= complex(cmplx.Abs(rot), 0)
+		}
+	}
+}

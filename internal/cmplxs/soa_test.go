@@ -1,0 +1,182 @@
+package cmplxs
+
+import (
+	"math/cmplx"
+	"testing"
+
+	"megamimo/internal/rng"
+	"megamimo/internal/units"
+)
+
+func randVec(r *rng.Source, n int) []complex128 {
+	out := make([]complex128, n)
+	for i := range out {
+		out[i] = complex(r.Uniform(-1, 1), r.Uniform(-1, 1))
+	}
+	return out
+}
+
+func toSplit(a []complex128) Split {
+	s := NewSplit(len(a))
+	Unpack(s, a)
+	return s
+}
+
+func fromSplit(s Split) []complex128 {
+	out := make([]complex128, s.Len())
+	Pack(out, s)
+	return out
+}
+
+func TestPackUnpackRoundTrip(t *testing.T) {
+	a := randVec(rng.New(1), 257)
+	got := fromSplit(toSplit(a))
+	for i := range a {
+		if got[i] != a[i] {
+			t.Fatalf("round trip changed element %d: %v != %v", i, got[i], a[i])
+		}
+	}
+}
+
+func TestPackAddAccumulates(t *testing.T) {
+	r := rng.New(2)
+	a, b := randVec(r, 100), randVec(r, 100)
+	dst := append([]complex128(nil), a...)
+	PackAdd(dst, toSplit(b))
+	for i := range dst {
+		if dst[i] != a[i]+b[i] {
+			t.Fatalf("element %d: %v != %v", i, dst[i], a[i]+b[i])
+		}
+	}
+}
+
+// TestSplitKernelsMatchAoS checks each SoA kernel against the naive
+// complex128 expression, element-exactly: the split layout reorders no
+// arithmetic, so results must be bit-identical.
+func TestSplitKernelsMatchAoS(t *testing.T) {
+	r := rng.New(3)
+	const n = 129
+	a, b := randVec(r, n), randVec(r, n)
+	s := complex(0.7, -0.3)
+	sa, sb := toSplit(a), toSplit(b)
+
+	dst := NewSplit(n)
+	MulSplit(dst, sa, sb)
+	for i, v := range fromSplit(dst) {
+		want := complex(real(a[i])*real(b[i])-imag(a[i])*imag(b[i]),
+			real(a[i])*imag(b[i])+imag(a[i])*real(b[i]))
+		if v != want {
+			t.Fatalf("MulSplit[%d]: %v != %v", i, v, want)
+		}
+	}
+
+	MulConjSplit(dst, sa, sb)
+	for i, v := range fromSplit(dst) {
+		want := complex(real(a[i])*real(b[i])+imag(a[i])*imag(b[i]),
+			imag(a[i])*real(b[i])-real(a[i])*imag(b[i]))
+		if v != want {
+			t.Fatalf("MulConjSplit[%d]: %v != %v", i, v, want)
+		}
+	}
+
+	AddSplit(dst, sa, sb)
+	for i, v := range fromSplit(dst) {
+		if want := a[i] + b[i]; v != want {
+			t.Fatalf("AddSplit[%d]: %v != %v", i, v, want)
+		}
+	}
+
+	ScaleSplit(dst, sa, s)
+	for i, v := range fromSplit(dst) {
+		want := complex(real(s)*real(a[i])-imag(s)*imag(a[i]),
+			real(s)*imag(a[i])+imag(s)*real(a[i]))
+		if v != want {
+			t.Fatalf("ScaleSplit[%d]: %v != %v", i, v, want)
+		}
+	}
+
+	Unpack(dst, b)
+	AXPYSplit(dst, s, sa)
+	for i, v := range fromSplit(dst) {
+		// Grouped exactly like the kernel: dst += (s·a) in one expression.
+		want := complex(real(b[i])+(real(s)*real(a[i])-imag(s)*imag(a[i])),
+			imag(b[i])+(real(s)*imag(a[i])+imag(s)*real(a[i])))
+		if v != want {
+			t.Fatalf("AXPYSplit[%d]: %v != %v", i, v, want)
+		}
+	}
+
+	var wantDot complex128
+	var accR, accI float64
+	for i := range a {
+		accR += real(a[i])*real(b[i]) + imag(a[i])*imag(b[i])
+		accI += imag(a[i])*real(b[i]) - real(a[i])*imag(b[i])
+	}
+	wantDot = complex(accR, accI)
+	if got := DotSplit(sa, sb); got != wantDot {
+		t.Fatalf("DotSplit: %v != %v", got, wantDot)
+	}
+
+	var wantE float64
+	for _, v := range a {
+		wantE += real(v)*real(v) + imag(v)*imag(v)
+	}
+	if got := EnergySplit(sa); got != wantE {
+		t.Fatalf("EnergySplit: %v != %v", got, wantE)
+	}
+}
+
+// TestRotateSplitMatchesRotate pins the SoA rotation to the AoS kernel:
+// same recurrence, same renormalization cadence, so a long vector must
+// come out close to identical (the recurrences multiply in different
+// representations, so allow a few ULPs).
+func TestRotateSplitMatchesRotate(t *testing.T) {
+	a := randVec(rng.New(4), 3000) // crosses the 1024-sample renorm twice
+	const phase0, step = units.Radians(0.37), units.RadPerSample(0.0021)
+	want := make([]complex128, len(a))
+	Rotate(want, a, phase0, step)
+	dst := NewSplit(len(a))
+	RotateSplit(dst, toSplit(a), phase0, step)
+	for i, v := range fromSplit(dst) {
+		if cmplx.Abs(v-want[i]) > 1e-12 {
+			t.Fatalf("RotateSplit[%d]: %v != %v", i, v, want[i])
+		}
+	}
+}
+
+// TestRotateAXPYMatchesRotateThenAdd pins the fused kernel to its
+// two-pass equivalent.
+func TestRotateAXPYMatchesRotateThenAdd(t *testing.T) {
+	r := rng.New(5)
+	a, base := randVec(r, 2000), randVec(r, 2000)
+	const phase0, step = units.Radians(-1.1), units.RadPerSample(0.00037)
+	rotated := make([]complex128, len(a))
+	Rotate(rotated, a, phase0, step)
+	want := make([]complex128, len(a))
+	for i := range want {
+		want[i] = base[i] + rotated[i]
+	}
+	got := append([]complex128(nil), base...)
+	RotateAXPY(got, toSplit(a), phase0, step)
+	for i := range got {
+		if cmplx.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("RotateAXPY[%d]: %v != %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSplitSliceSharesStorage(t *testing.T) {
+	s := NewSplit(10)
+	sub := s.Slice(2, 5)
+	sub.Re[0], sub.Im[0] = 7, -7
+	if s.Re[2] != 7 || s.Im[2] != -7 {
+		t.Fatal("Slice copied instead of sharing storage")
+	}
+	if sub.Len() != 3 {
+		t.Fatalf("Slice length %d, want 3", sub.Len())
+	}
+	s.Zero()
+	if sub.Re[0] != 0 || sub.Im[0] != 0 {
+		t.Fatal("Zero missed shared storage")
+	}
+}

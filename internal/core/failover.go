@@ -132,18 +132,19 @@ func (n *Network) participationMask() (mask, full uint64) {
 // surviving AP antennas only. When the survivors have fewer antennas than
 // streams, the highest stream indices are shed — those clients miss this
 // round and the MAC retransmits — so the remaining clients keep their
-// nulls instead of every client losing them. The cache empties whenever a
-// fresh measurement lands.
+// nulls instead of every client losing them. The rebuilds live in the
+// network's ZFCache keyed by mask, so when the same degradation recurs
+// after a re-measurement the per-bin inverses update incrementally
+// (Sherman–Morrison) instead of re-inverting from scratch.
 func (n *Network) weightsForMask(mask uint64) (*maskedWeights, error) {
-	if n.degradedFor != n.Msmt {
-		n.degraded = nil
-		n.degradedFor = n.Msmt
-	}
-	if mw, ok := n.degraded[mask]; ok {
-		return mw, nil
-	}
 	if n.Msmt == nil {
 		return nil, fmt.Errorf("core: no measurement to rebuild a degraded precoder from")
+	}
+	if n.zf == nil {
+		n.zf = NewZFCache()
+	}
+	if e := n.zf.entries[mask]; e != nil && e.src == n.Msmt && e.mw != nil {
+		return e.mw, nil
 	}
 	aa := n.Cfg.AntennasPerAP
 	ants := make([]int, 0, n.NumTxAntennas())
@@ -179,10 +180,11 @@ func (n *Network) weightsForMask(mask uint64) (*maskedWeights, error) {
 		}
 		sub.H[b] = h
 	}
-	p, err := ComputeZF(sub, 0)
+	e, err := n.zf.entry(mask, sub, 0)
 	if err != nil {
 		return nil, fmt.Errorf("core: degraded precoder for mask %#x: %w", mask, err)
 	}
+	p := e.pre
 	mw := &maskedWeights{served: served, gain: make([][][]complex128, n.NumTxAntennas())}
 	for c, g := range ants {
 		mw.gain[g] = make([][]complex128, streams)
@@ -190,9 +192,7 @@ func (n *Network) weightsForMask(mask uint64) (*maskedWeights, error) {
 			mw.gain[g][j] = p.GainColumn(c, j)
 		}
 	}
-	if n.degraded == nil {
-		n.degraded = make(map[uint64]*maskedWeights)
-	}
-	n.degraded[mask] = mw
+	e.mw = mw
+	e.src = n.Msmt
 	return mw, nil
 }

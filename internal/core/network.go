@@ -246,10 +246,10 @@ type Network struct {
 	crashed       []bool
 	syncLossUntil []int64
 	abstain       []bool
-	// degradedFor/degraded cache the N−1 zero-forcing rebuilds per
-	// participation mask for the current measurement.
-	degradedFor *Measurement
-	degraded    map[uint64]*maskedWeights
+	// zf caches per-bin Gram inverses for the full array and for every
+	// degraded participation mask, updated incrementally across
+	// measurements (Sherman–Morrison) instead of re-inverted per round.
+	zf *ZFCache
 
 	// tx and dem are the network's reusable PHY pipelines, and arena the
 	// per-network scratch for hot-path buffers. A Network is single-threaded,

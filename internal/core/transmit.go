@@ -65,12 +65,7 @@ func (n *Network) MeasureAndPrecode() (*Precoder, error) {
 	if err := n.Measure(); err != nil {
 		return nil, err
 	}
-	p, err := ComputeZF(n.Msmt, 0)
-	if err != nil {
-		return nil, err
-	}
-	n.SetPrecoder(p)
-	return p, nil
+	return n.Precode(0)
 }
 
 // JointTransmit delivers one payload per stream concurrently from all APs
@@ -296,12 +291,15 @@ func (n *Network) postJointFrames(tx *phy.TX, frames []*phy.FrameSymbols) (t1, t
 		}
 	}
 	// Arena-backed waveform buffers: Air.Transmit copies its input, so one
-	// synthesis buffer and one accumulation buffer serve every antenna, and
-	// the whole block is recycled on the next cycle's Reset.
+	// waveform buffer and one per-stream gain block serve every antenna, and
+	// the whole block is recycled on the next cycle's Reset. Each antenna's
+	// waveform is synthesized jointly — the streams sum in the frequency
+	// domain and one batched IFFT covers the whole frame — so the synthesis
+	// cost scales with symbols, not streams × symbols.
 	n.arena.Reset()
-	gain := n.arena.Complex(ofdm.NFFT)
-	synth := n.arena.Complex(frameLen)
 	wave := n.arena.Complex(frameLen)
+	gainArena := n.arena.Complex(len(frames) * ofdm.NFFT)
+	gains := make([][]complex128, len(frames))
 	for _, ap := range n.APs {
 		if n.crashed[ap.Index] || n.abstain[ap.Index] {
 			continue
@@ -314,8 +312,8 @@ func (n *Network) postJointFrames(tx *phy.TX, frames []*phy.FrameSymbols) (t1, t
 			if len(ap.weights[m]) != len(frames) {
 				return 0, 0, fmt.Errorf("core: AP %d has %d weight columns for %d frames", ap.Index, len(ap.weights[m]), len(frames))
 			}
-			active := false
 			for j := range frames {
+				gains[j] = nil
 				if frames[j] == nil {
 					continue
 				}
@@ -326,21 +324,19 @@ func (n *Network) postJointFrames(tx *phy.TX, frames []*phy.FrameSymbols) (t1, t
 						continue // stream shed in this degraded round
 					}
 				}
-				copy(gain, w)
-				if c != nil {
-					for i := range gain {
-						gain[i] *= c.ratio[i]
-					}
+				if c == nil {
+					// The lead needs no phase correction: its precoder row
+					// applies untouched, no copy.
+					gains[j] = w
+					continue
 				}
-				tx.SynthesizeWithGainInto(synth, frames[j], gain)
-				if !active {
-					copy(wave, synth)
-					active = true
-				} else {
-					cmplxs.Add(wave, wave, synth)
+				g := gainArena[j*ofdm.NFFT : (j+1)*ofdm.NFFT]
+				for i := range g {
+					g[i] = w[i] * c.ratio[i]
 				}
+				gains[j] = g
 			}
-			if !active {
+			if !tx.SynthesizeJointInto(wave, frames, gains) {
 				continue
 			}
 			if c != nil {

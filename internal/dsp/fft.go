@@ -7,16 +7,28 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
+
+	"megamimo/internal/cmplxs"
 )
 
 // FFTPlan caches twiddle factors and the bit-reversal permutation for a
 // fixed power-of-two transform size, so per-symbol transforms allocate
 // nothing.
+//
+// Twiddles are stored per stage, contiguously, in both forward and
+// conjugated (inverse) form: stage size 2h reads its h factors from
+// tw[h-1 : 2h-1]. The butterfly loops therefore run stride-1 with no
+// direction branch, and the k = 0 butterfly (w = 1) is peeled so the
+// common term costs two adds instead of a complex multiply.
 type FFTPlan struct {
-	n       int
-	logn    int
-	rev     []int        // bit-reversal permutation
-	twiddle []complex128 // e^{-j2πk/n} for k < n/2
+	n    int
+	logn int
+	rev  []int32 // bit-reversal permutation
+	twF  []complex128
+	twI  []complex128
+	// Split (SoA) twin of the twiddle tables for the kernels that keep
+	// their data in split layout.
+	twFS, twIS cmplxs.Split
 }
 
 // NewFFTPlan returns a plan for size n, which must be a power of two ≥ 2.
@@ -25,15 +37,24 @@ func NewFFTPlan(n int) (*FFTPlan, error) {
 		return nil, fmt.Errorf("dsp: FFT size %d is not a power of two ≥ 2", n)
 	}
 	p := &FFTPlan{n: n, logn: bits.TrailingZeros(uint(n))}
-	p.rev = make([]int, n)
+	p.rev = make([]int32, n)
 	for i := 0; i < n; i++ {
-		p.rev[i] = int(bits.Reverse(uint(i)) >> (bits.UintSize - p.logn))
+		p.rev[i] = int32(bits.Reverse(uint(i)) >> (bits.UintSize - p.logn))
 	}
-	p.twiddle = make([]complex128, n/2)
-	for k := 0; k < n/2; k++ {
-		s, c := math.Sincos(-2 * math.Pi * float64(k) / float64(n))
-		p.twiddle[k] = complex(c, s)
+	p.twF = make([]complex128, n-1)
+	p.twI = make([]complex128, n-1)
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		for k := 0; k < half; k++ {
+			s, c := math.Sincos(-2 * math.Pi * float64(k) / float64(size))
+			p.twF[half-1+k] = complex(c, s)
+			p.twI[half-1+k] = complex(c, -s)
+		}
 	}
+	p.twFS = cmplxs.NewSplit(n - 1)
+	p.twIS = cmplxs.NewSplit(n - 1)
+	cmplxs.Unpack(p.twFS, p.twF)
+	cmplxs.Unpack(p.twIS, p.twI)
 	return p, nil
 }
 
@@ -54,28 +75,92 @@ func (p *FFTPlan) Size() int { return p.n }
 // alias. The transform is unnormalized: Forward∘Inverse = identity because
 // Inverse divides by n.
 func (p *FFTPlan) Forward(dst, src []complex128) {
-	p.transform(dst, src, false)
+	p.check(dst, src)
+	p.reorder(dst, src)
+	p.butterflies(dst[:p.n], p.twF)
 }
 
-// Inverse computes the inverse DFT of src into dst, scaled by 1/n.
+// Inverse computes the inverse DFT of src into dst, scaled by 1/n. The
+// scaling rides along with the bit-reversal copy, so the whole inverse is
+// the same number of passes as the forward transform.
 func (p *FFTPlan) Inverse(dst, src []complex128) {
-	p.transform(dst, src, true)
+	p.check(dst, src)
 	scale := complex(1/float64(p.n), 0)
-	for i := range dst {
-		dst[i] *= scale
-	}
-}
-
-func (p *FFTPlan) transform(dst, src []complex128, inverse bool) {
-	n := p.n
-	if len(src) != n || len(dst) < n {
-		panic("dsp: FFT buffer length mismatch")
-	}
-	// Bit-reversed copy (handles aliasing because rev is an involution set
-	// of swaps when dst == src; when distinct we copy directly).
 	if &dst[0] == &src[0] {
 		for i, j := range p.rev {
-			if i < j {
+			if i < int(j) {
+				dst[i], dst[j] = dst[j], dst[i]
+			}
+		}
+		for i := range dst[:p.n] {
+			dst[i] *= scale
+		}
+	} else {
+		for i, j := range p.rev {
+			dst[i] = src[j] * scale
+		}
+	}
+	p.butterflies(dst[:p.n], p.twI)
+}
+
+// ForwardBatch computes independent DFTs of every n-length frame packed
+// contiguously in src into dst (len(src) must be a multiple of n; dst and
+// src may alias). Batching all symbols of a round into one call over a
+// single scratch arena keeps the plan's tables hot instead of re-entering
+// the transform once per symbol.
+func (p *FFTPlan) ForwardBatch(dst, src []complex128) {
+	p.checkBatch(dst, src)
+	for off := 0; off < len(src); off += p.n {
+		p.Forward(dst[off:off+p.n], src[off:off+p.n])
+	}
+}
+
+// InverseBatch is ForwardBatch for the scaled inverse transform.
+func (p *FFTPlan) InverseBatch(dst, src []complex128) {
+	p.checkBatch(dst, src)
+	for off := 0; off < len(src); off += p.n {
+		p.Inverse(dst[off:off+p.n], src[off:off+p.n])
+	}
+}
+
+// ForwardSplit computes the DFT over a split (SoA) vector in place after a
+// bit-reversed copy from src. It is the split-layout twin of Forward for
+// callers whose data already lives in split form.
+func (p *FFTPlan) ForwardSplit(dst, src cmplxs.Split) {
+	p.reorderSplit(dst, src)
+	p.butterfliesSplit(dst, p.twFS)
+}
+
+// InverseSplit is ForwardSplit for the scaled inverse transform.
+func (p *FFTPlan) InverseSplit(dst, src cmplxs.Split) {
+	p.reorderSplit(dst, src)
+	scale := 1 / float64(p.n)
+	dr, di := dst.Re[:p.n], dst.Im[:p.n]
+	for i := range dr {
+		dr[i] *= scale
+		di[i] *= scale
+	}
+	p.butterfliesSplit(dst, p.twIS)
+}
+
+func (p *FFTPlan) check(dst, src []complex128) {
+	if len(src) != p.n || len(dst) < p.n {
+		panic("dsp: FFT buffer length mismatch")
+	}
+}
+
+func (p *FFTPlan) checkBatch(dst, src []complex128) {
+	if len(src)%p.n != 0 || len(dst) < len(src) {
+		panic("dsp: FFT batch length mismatch")
+	}
+}
+
+// reorder performs the bit-reversed copy (or in-place swap set when dst
+// and src alias).
+func (p *FFTPlan) reorder(dst, src []complex128) {
+	if &dst[0] == &src[0] {
+		for i, j := range p.rev {
+			if i < int(j) {
 				dst[i], dst[j] = dst[j], dst[i]
 			}
 		}
@@ -84,20 +169,83 @@ func (p *FFTPlan) transform(dst, src []complex128, inverse bool) {
 			dst[i] = src[j]
 		}
 	}
-	// Iterative Cooley-Tukey.
-	for size := 2; size <= n; size <<= 1 {
+}
+
+func (p *FFTPlan) reorderSplit(dst, src cmplxs.Split) {
+	n := p.n
+	if src.Len() != n || dst.Len() < n {
+		panic("dsp: FFT buffer length mismatch")
+	}
+	sr, si := src.Re, src.Im
+	dr, di := dst.Re, dst.Im
+	if &dr[0] == &sr[0] {
+		for i, j := range p.rev {
+			if i < int(j) {
+				dr[i], dr[j] = dr[j], dr[i]
+				di[i], di[j] = di[j], di[i]
+			}
+		}
+	} else {
+		for i, j := range p.rev {
+			dr[i] = sr[j]
+			di[i] = si[j]
+		}
+	}
+}
+
+// butterflies runs the iterative Cooley-Tukey stages over bit-reversed
+// data with the given direction's per-stage twiddle table.
+func (p *FFTPlan) butterflies(dst []complex128, tw []complex128) {
+	n := p.n
+	// Stage size 2: every twiddle is 1.
+	for i := 0; i < n; i += 2 {
+		a, b := dst[i], dst[i+1]
+		dst[i], dst[i+1] = a+b, a-b
+	}
+	for size := 4; size <= n; size <<= 1 {
 		half := size >> 1
-		step := n / size
+		stw := tw[half-1 : 2*half-1]
 		for start := 0; start < n; start += size {
-			for k := 0; k < half; k++ {
-				w := p.twiddle[k*step]
-				if inverse {
-					w = complex(real(w), -imag(w))
-				}
-				a := dst[start+k]
-				b := dst[start+k+half] * w
-				dst[start+k] = a + b
-				dst[start+k+half] = a - b
+			// k = 0: w = 1, no multiply.
+			a, b := dst[start], dst[start+half]
+			dst[start], dst[start+half] = a+b, a-b
+			lo := dst[start+1 : start+half]
+			hi := dst[start+half+1 : start+size]
+			for k := range lo {
+				a := lo[k]
+				b := hi[k] * stw[k+1]
+				lo[k] = a + b
+				hi[k] = a - b
+			}
+		}
+	}
+}
+
+func (p *FFTPlan) butterfliesSplit(dst cmplxs.Split, tw cmplxs.Split) {
+	n := p.n
+	dr, di := dst.Re[:n], dst.Im[:n]
+	for i := 0; i < n; i += 2 {
+		ar, ai, br, bi := dr[i], di[i], dr[i+1], di[i+1]
+		dr[i], di[i] = ar+br, ai+bi
+		dr[i+1], di[i+1] = ar-br, ai-bi
+	}
+	for size := 4; size <= n; size <<= 1 {
+		half := size >> 1
+		twr := tw.Re[half-1 : 2*half-1]
+		twi := tw.Im[half-1 : 2*half-1]
+		for start := 0; start < n; start += size {
+			ar, ai, br, bi := dr[start], di[start], dr[start+half], di[start+half]
+			dr[start], di[start] = ar+br, ai+bi
+			dr[start+half], di[start+half] = ar-br, ai-bi
+			for k := 1; k < half; k++ {
+				i, j := start+k, start+k+half
+				wr, wi := twr[k], twi[k]
+				xr, xi := dr[j], di[j]
+				br := xr*wr - xi*wi
+				bi := xr*wi + xi*wr
+				ar, ai := dr[i], di[i]
+				dr[i], di[i] = ar+br, ai+bi
+				dr[j], di[j] = ar-br, ai-bi
 			}
 		}
 	}

@@ -214,3 +214,53 @@ func BenchmarkAutoCorrelateLag(b *testing.B) {
 		AutoCorrelateLag(x, 16, 64)
 	}
 }
+
+// TestConvolveRotateAddMatchesTwoPass pins the fused medium kernel to its
+// unfused reference — convolve into scratch, rotate, accumulate —
+// bit-exactly: acc·rot associates identically to conv[i]·rot, so the
+// fusion must not change a single bit, for the unrolled 4-tap path and
+// the general-tap path, across every window placement.
+func TestConvolveRotateAddMatchesTwoPass(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	randv := func(n int) []complex128 {
+		out := make([]complex128, n)
+		for i := range out {
+			out[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		return out
+	}
+	for _, nh := range []int{1, 3, 4, 7} {
+		x := randv(50)
+		h := randv(nh)
+		full := Convolve(x, h)
+		rot0 := cmplx.Exp(complex(0, 0.3))
+		step := cmplx.Exp(complex(0, 0.01))
+		for _, win := range [][2]int{{0, len(full)}, {0, 10}, {5, 20}, {len(full) - 7, len(full)}, {13, 13}} {
+			lo, hi := win[0], win[1]
+			want := randv(hi - lo)
+			got := append([]complex128(nil), want...)
+			// Reference: two-pass on the same window.
+			rot := rot0
+			for k := lo; k < hi; k++ {
+				want[k-lo] += full[k] * rot
+				rot *= step
+			}
+			ConvolveRotateAdd(got, x, h, lo, rot0, step)
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("nh=%d window [%d,%d) sample %d: fused %v != two-pass %v", nh, lo, hi, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestConvolveRotateAddWindowBounds(t *testing.T) {
+	x, h := make([]complex128, 10), make([]complex128, 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range window did not panic")
+		}
+	}()
+	ConvolveRotateAdd(make([]complex128, 5), x, h, 9, 1, 1) // 9+5 > 13
+}

@@ -42,11 +42,9 @@ func RunAblations(draws int, seed int64) (*AblationResult, error) {
 			if err := n.Measure(); err != nil {
 				return 0, err
 			}
-			p, err := core.ComputeZF(n.Msmt, cfg.NoiseVar)
-			if err != nil {
+			if _, err := n.Precode(cfg.NoiseVar); err != nil {
 				return math.NaN(), nil
 			}
-			n.SetPrecoder(p)
 			if wait > 0 {
 				n.AdvanceTime(wait)
 			}
@@ -102,11 +100,9 @@ func RunAblations(draws int, seed int64) (*AblationResult, error) {
 			if err := n.Measure(); err != nil {
 				return 0, err
 			}
-			p, err := core.ComputeZF(n.Msmt, lambdaTimesNv*cfg.NoiseVar)
-			if err != nil {
+			if _, err := n.Precode(lambdaTimesNv * cfg.NoiseVar); err != nil {
 				return math.NaN(), nil
 			}
-			n.SetPrecoder(p)
 			mcs, ok, err := n.ProbeAndSelectRate(256)
 			if err != nil {
 				return 0, err

@@ -61,11 +61,12 @@ func RunAmortization(periods []int, draws int, seed int64) (*AmortizationResult,
 			if err := n.Measure(); err != nil {
 				return amortCell{}, err
 			}
-			p, err := core.ComputeZF(n.Msmt, cfg.NoiseVar)
-			if err != nil {
+			// The cached precode path pays full inversions only on the
+			// first pass; later re-measurements of this static channel are
+			// rank-1 Sherman–Morrison updates.
+			if _, err := n.Precode(cfg.NoiseVar); err != nil {
 				return amortCell{}, err
 			}
-			n.SetPrecoder(p)
 			msmtAir += n.Now() - before
 			if mcs < 0 {
 				m, ok, err := n.ProbeAndSelectRate(256)

@@ -59,11 +59,9 @@ func RunFig12(topologies, txRounds int, seed int64) (*Fig12Result, error) {
 		if err := n.MeasureDot11n(); err != nil {
 			return fig12Cell{}, err
 		}
-		p, err := core.ComputeZF(n.Msmt, cfg.NoiseVar)
-		if err != nil {
+		if _, err := n.Precode(cfg.NoiseVar); err != nil {
 			return fig12Cell{skipped: true}, nil
 		}
-		n.SetPrecoder(p)
 
 		// Baseline: each 2-antenna client served in turn by its
 		// strongest AP with single-AP 2-stream beamforming.

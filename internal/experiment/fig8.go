@@ -50,11 +50,9 @@ func RunFig8(maxN, topologies int, seed int64) (*Fig8Result, error) {
 		if err := n.Measure(); err != nil {
 			return nil, err
 		}
-		p, err := core.ComputeZF(n.Msmt, cfg.NoiseVar)
-		if err != nil {
+		if _, err := n.Precode(cfg.NoiseVar); err != nil {
 			return nil, nil // singular draw
 		}
-		n.SetPrecoder(p)
 		inrs := make([]float64, 0, nAPs)
 		for victim := 0; victim < nAPs; victim++ {
 			inr, err := n.NullingINR(victim, 700, phy.MCS0)

@@ -42,11 +42,9 @@ func topologyRun(nAPs int, bin SNRBin, seed int64, txRounds int) (mm float64, mm
 	if err := n.Measure(); err != nil {
 		return 0, nil, 0, nil, err
 	}
-	p, err := core.ComputeZF(n.Msmt, cfg.NoiseVar)
-	if err != nil {
+	if _, err := n.Precode(cfg.NoiseVar); err != nil {
 		return 0, nil, 0, nil, err
 	}
-	n.SetPrecoder(p)
 
 	// 802.11 baseline: equal medium share at each client's unicast rate.
 	u := baseline.New(n)

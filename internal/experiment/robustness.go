@@ -75,11 +75,9 @@ func RunRobustness(budgets []units.PPM, draws int, seed int64) (*RobustnessResul
 		if err := n.Measure(); err != nil {
 			return out, err
 		}
-		p, err := core.ComputeZF(n.Msmt, cfg.NoiseVar)
-		if err != nil {
+		if _, err := n.Precode(cfg.NoiseVar); err != nil {
 			return out, nil // singular draw
 		}
-		n.SetPrecoder(p)
 		inr, err := n.NullingINR(0, 700, phy.MCS0)
 		if err != nil {
 			return out, err

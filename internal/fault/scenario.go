@@ -34,15 +34,35 @@ func (s Scenario) Plan() *Plan {
 	// 80%, leaving a tail of recovered steady state.
 	lastAt := s.Start + (window*6)/10
 	lastEnd := s.Start + (window*8)/10
+	// An effect shorter than a couple of traffic rounds is invisible: the
+	// injector applies the fault and its recovery in the same between-rounds
+	// call, so nothing ever degrades. Floor every outage at ~2 ms of samples
+	// — window-proportional durations collapse below that on quick runs —
+	// shrunk only when even the 80% confinement cannot fit it.
+	minOutage := int64(2e-3 * units.Ratio(s.SampleRate, 1))
+	if fit := lastEnd - s.Start; minOutage > fit {
+		minOutage = fit
+	}
 	for i := 0; i < n; i++ {
 		at := s.Start + int64(src.Uniform(0.05, 0.6)*float64(window))
 		outage := int64(src.Uniform(0.05, 0.2) * float64(window))
-		until := at + outage
-		if until > lastEnd {
-			until = lastEnd
+		if outage < minOutage {
+			outage = minOutage
 		}
 		if at > lastAt {
 			at = lastAt
+		}
+		// Slide the fault earlier rather than truncating the outage, so the
+		// effect keeps its full duration inside the confinement window.
+		if at+outage > lastEnd {
+			at = lastEnd - outage
+			if at < s.Start {
+				at = s.Start
+			}
+		}
+		until := at + outage
+		if until > lastEnd {
+			until = lastEnd
 		}
 		u := src.Float64()
 		ev := Event{At: at, Until: until}

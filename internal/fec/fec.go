@@ -70,6 +70,14 @@ const (
 // outputs[state][input] packs the two mother-code output bits (A<<1 | B).
 var outputs [numStates][2]byte
 
+// Butterfly branch tables: the two predecessors of next state ns are
+// p0 = (ns<<1)&63 and p1 = p0|1, both consumed with input bit ns>>5.
+// Because both generators tap the oldest register bit and the input bit,
+// outputs[p][1] = outputs[p][0]^3 and outputs[p0|1][in] = outputs[p0][in]^3,
+// so one table of outputs[2j][0] per butterfly pair j covers all four
+// branches by sign flips of the branch metric.
+var branchIdx [numStates / 2]byte // outputs[2j][0] for butterfly pair j
+
 func init() {
 	for s := 0; s < numStates; s++ {
 		for in := 0; in < 2; in++ {
@@ -78,6 +86,9 @@ func init() {
 			b := parity(reg & genB)
 			outputs[s][in] = a<<1 | b
 		}
+	}
+	for j := 0; j < numStates/2; j++ {
+		branchIdx[j] = outputs[2*j][0]
 	}
 }
 
@@ -150,74 +161,126 @@ func DecodeHard(coded []byte, n int, rate Rate) ([]byte, error) {
 
 // DecodeSoft runs Viterbi over per-bit LLRs (positive = bit 0) and returns
 // the n decoded data bits. Punctured positions are reinserted as zero-LLR
-// erasures before trellis traversal.
+// erasures before trellis traversal. The returned slice is freshly
+// allocated; hot paths should hold a Decoder and call its method instead.
 func DecodeSoft(llr []float64, n int, rate Rate) ([]byte, error) {
+	var d Decoder
+	bits, err := d.DecodeSoft(llr, n, rate)
+	if err != nil {
+		return nil, err
+	}
+	return append([]byte(nil), bits...), nil
+}
+
+// Decoder is a reusable Viterbi decoder. The zero value is ready to use;
+// scratch buffers (depunctured LLRs, the traceback matrix, the decoded
+// bits) grow to the largest frame seen and are reused across calls, so a
+// long-lived Decoder takes the per-packet trellis allocations off the
+// signal path. A Decoder is not safe for concurrent use, and the slice
+// returned by DecodeSoft is overwritten by the next call.
+type Decoder struct {
+	full    []float64 // depunctured (A, B) LLR pairs, 2*total
+	backptr []uint8   // chosen predecessor per step per state, total*numStates
+	bits    []byte    // decoded bits incl. tail, total
+}
+
+// DecodeSoft is the allocating-free variant of the package-level
+// DecodeSoft: the returned slice aliases the decoder's scratch and is
+// valid until the next call.
+//
+// The trellis update runs as a butterfly over next-state pairs: states j
+// and j+32 share the predecessors 2j and 2j+1, and because generators
+// 133/171 both tap the newest and oldest register bits, all four branch
+// metrics of a butterfly are ±bm[branchIdx[j]]. That turns the inner loop
+// into 32 iterations of pure adds and compares — no reachability guard,
+// no per-branch sign decisions — which is what makes soft decoding of
+// full frames affordable on the hot path.
+func (d *Decoder) DecodeSoft(llr []float64, n int, rate Rate) ([]byte, error) {
 	if want := EncodedLen(n, rate); len(llr) != want {
 		return nil, fmt.Errorf("fec: got %d coded LLRs, want %d for %d bits at rate %s", len(llr), want, n, rate)
 	}
 	total := n + constraintLen - 1 // trellis steps including tail
 	// Depuncture into per-step (A, B) LLRs.
 	pat := rate.pattern()
-	full := make([]float64, 2*total)
+	full := d.grow(total)
 	src := 0
 	for i := range full {
 		if pat[i%len(pat)] {
 			full[i] = llr[src]
 			src++
+		} else {
+			full[i] = 0
 		}
 	}
 	// Viterbi with full traceback (packet-scale trellises are small).
+	// Unreachable states carry inf/4; adding a branch metric to one leaves
+	// it far above any real path metric, so no explicit guard is needed.
 	const inf = math.MaxFloat64 / 4
-	metric := make([]float64, numStates)
-	next := make([]float64, numStates)
+	var metricBuf [2][numStates]float64
+	mp, np := &metricBuf[0], &metricBuf[1]
 	for s := 1; s < numStates; s++ {
-		metric[s] = inf
+		mp[s] = inf
 	}
-	backptr := make([][numStates]uint8, total) // input bit chosen per state per step... need predecessor too
-	// We store, for each step and each *next state*, the input bit and
-	// implicit predecessor: nextState = (prev >> 1) | (bit << 5) means the
-	// predecessors of state t are (t<<1)&63 | 0 and |1 with input bit t>>5.
+	backptr := d.backptr
 	for step := 0; step < total; step++ {
 		la, lb := full[2*step], full[2*step+1]
-		for s := range next {
-			next[s] = inf
+		// bm[out] for out = A<<1|B; LLR>0 favors bit 0, cost is minimized.
+		var bm [4]float64
+		bm[0] = -la - lb
+		bm[1] = -la + lb
+		bm[2] = la - lb
+		bm[3] = la + lb
+		bp := backptr[step*numStates : step*numStates+numStates : step*numStates+numStates]
+		for j := 0; j < numStates/2; j++ {
+			a := mp[2*j]
+			b := mp[2*j+1]
+			v := bm[branchIdx[j]]
+			// in = 0 lands in state j: branch metrics +v from 2j, -v from
+			// 2j+1. The select is branchless — these comparisons are
+			// data-dependent coin flips, and a branchy select mispredicts
+			// its way to ~3× the latency. sign(m1-m0) is an exact stand-in
+			// for m1 < m0 (IEEE subtraction is zero iff the operands are
+			// equal, and ties must pick the even predecessor 2j).
+			m0, m1 := a+v, b-v
+			sel := uint64(int64(math.Float64bits(m1-m0)) >> 63)
+			mb := (math.Float64bits(m0) &^ sel) | (math.Float64bits(m1) & sel)
+			np[j] = math.Float64frombits(mb)
+			bp[j] = uint8(2*j) + uint8(sel&1)
+			// in = 1 lands in state j+32 with both signs flipped.
+			m0, m1 = a-v, b+v
+			sel = uint64(int64(math.Float64bits(m1-m0)) >> 63)
+			mb = (math.Float64bits(m0) &^ sel) | (math.Float64bits(m1) & sel)
+			np[j+numStates/2] = math.Float64frombits(mb)
+			bp[j+numStates/2] = uint8(2*j) + uint8(sel&1)
 		}
-		for prev := 0; prev < numStates; prev++ {
-			pm := metric[prev]
-			if pm >= inf {
-				continue
-			}
-			for in := 0; in < 2; in++ {
-				out := outputs[prev][in]
-				// Branch metric: negative log-likelihood; LLR>0 favors 0.
-				var bm float64
-				if out>>1 == 1 {
-					bm += la
-				} else {
-					bm -= la
-				}
-				if out&1 == 1 {
-					bm += lb
-				} else {
-					bm -= lb
-				}
-				ns := (prev >> 1) | (in << (constraintLen - 2))
-				if m := pm + bm; m < next[ns] {
-					next[ns] = m
-					backptr[step][ns] = uint8(prev)
-				}
-			}
-		}
-		metric, next = next, metric
+		mp, np = np, mp
 	}
 	// Trellis is terminated: trace back from state 0.
 	state := 0
-	bits := make([]byte, total)
+	bits := d.bits[:total]
 	for step := total - 1; step >= 0; step-- {
-		prev := int(backptr[step][state])
+		prev := int(backptr[step*numStates+state])
 		// Input bit that moved prev→state is the MSB of state.
 		bits[step] = byte(state >> (constraintLen - 2))
 		state = prev
 	}
 	return bits[:n], nil
+}
+
+// grow sizes the scratch buffers for a trellis of total steps and returns
+// the depuncture buffer.
+func (d *Decoder) grow(total int) []float64 {
+	if cap(d.full) < 2*total {
+		d.full = make([]float64, 2*total)
+		d.backptr = make([]uint8, total*numStates)
+		d.bits = make([]byte, total)
+	}
+	d.full = d.full[:2*total]
+	if len(d.backptr) < total*numStates {
+		d.backptr = make([]uint8, total*numStates)
+	}
+	if len(d.bits) < total {
+		d.bits = make([]byte, total)
+	}
+	return d.full
 }

@@ -200,6 +200,33 @@ func (d *Demodulator) FreqInto(dst, samples []complex128) error {
 	return nil
 }
 
+// FreqBatchInto demodulates count consecutive symbols starting at samples
+// into dst (count×NFFT bins, symbol s at dst[s*NFFT:]): the CP-stripped
+// symbol bodies are packed contiguously into dst and transformed with a
+// single batched FFT, so a whole frame's data field demodulates in one
+// call. Per-bin results are bit-identical to count FreqInto calls. dst must
+// not alias samples.
+func (d *Demodulator) FreqBatchInto(dst, samples []complex128, count int) error {
+	if count <= 0 {
+		return fmt.Errorf("ofdm: batch of %d symbols", count)
+	}
+	if len(samples) < count*SymbolLen {
+		return fmt.Errorf("ofdm: %d samples, want ≥ %d", len(samples), count*SymbolLen)
+	}
+	if len(dst) < count*NFFT {
+		return fmt.Errorf("ofdm: destination holds %d bins, want ≥ %d", len(dst), count*NFFT)
+	}
+	for s := 0; s < count; s++ {
+		copy(dst[s*NFFT:(s+1)*NFFT], samples[s*SymbolLen+CPLen:(s+1)*SymbolLen])
+	}
+	d.plan.ForwardBatch(dst[:count*NFFT], dst[:count*NFFT])
+	scale := complex(1/math.Sqrt(NFFT), 0)
+	for i := range dst[:count*NFFT] {
+		dst[i] *= scale
+	}
+	return nil
+}
+
 // DataAndPilots splits a 64-bin frequency vector into the 48 data values
 // and 4 pilot values (in PilotCarriers order).
 func DataAndPilots(freq []complex128) (data [NData]complex128, pilots [NPilot]complex128) {

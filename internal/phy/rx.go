@@ -62,11 +62,13 @@ type RX struct {
 	freqBuf []complex128 // one demodulated symbol, 64 bins
 	eqdBuf  []complex128 // one equalized symbol, 48 values
 	payload []complex128 // CFO-derotated payload window
+	freqAll []complex128 // batch-demodulated data-field bins, nsym×64
 	symLLR  []float64    // per-symbol LLRs before deinterleaving
 	deilBuf []float64    // per-symbol LLRs after deinterleaving
 	llrBuf  []float64    // whole-frame LLR stream
 	scNum   []float64    // per-subcarrier EVM accumulator
 	scCnt   []float64
+	dec     fec.Decoder // reusable Viterbi trellis scratch
 }
 
 // NewRX returns a receiver pipeline.
@@ -152,11 +154,17 @@ func (r *RX) DecodeAt(rx []complex128, sync *ofdm.Sync) (*RxFrame, error) {
 	for i := range scSNRNum {
 		scSNRNum[i], scSNRCnt[i] = 0, 0
 	}
+	// The whole data field demodulates in one batched FFT call; the
+	// per-symbol loop below then works over slices of the bin block.
+	if cap(r.freqAll) < nsym*ofdm.NFFT {
+		r.freqAll = make([]complex128, nsym*ofdm.NFFT)
+	}
+	freqAll := r.freqAll[:nsym*ofdm.NFFT]
+	if err := r.dem.FreqBatchInto(freqAll, payload[ofdm.SymbolLen:], nsym); err != nil {
+		return nil, err
+	}
 	for s := 0; s < nsym; s++ {
-		if err := r.dem.FreqInto(r.freqBuf, payload[(1+s)*ofdm.SymbolLen:]); err != nil {
-			return nil, err
-		}
-		if err := eq.SymbolInto(r.eqdBuf, r.freqBuf); err != nil {
+		if err := eq.SymbolInto(r.eqdBuf, freqAll[s*ofdm.NFFT:(s+1)*ofdm.NFFT]); err != nil {
 			return nil, err
 		}
 		out.CommonPhases = append(out.CommonPhases, eq.CommonPhase())
@@ -187,7 +195,7 @@ func (r *RX) DecodeAt(rx []complex128, sync *ofdm.Sync) (*RxFrame, error) {
 	r.llrBuf = llr
 
 	padded := nsym*info.ndbps - 6
-	bits, err := fec.DecodeSoft(llr, padded, info.rate)
+	bits, err := r.dec.DecodeSoft(llr, padded, info.rate)
 	if err != nil {
 		return nil, err
 	}

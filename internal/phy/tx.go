@@ -60,6 +60,9 @@ type TX struct {
 	ltfT     []complex128 // one LTF period, time domain
 	mapBuf   []complex128 // 48 mapped data values per symbol
 	blockBuf []byte       // interleaved coded bits per symbol (grow-only)
+	// Joint-synthesis scratch: all accumulated symbol bins of one frame,
+	// transformed with a single batched IFFT (grow-only).
+	jointFreq []complex128
 }
 
 // NewTX returns a transmitter pipeline.
@@ -230,6 +233,90 @@ func (tx *TX) SynthesizeWithGainInto(dst []complex128, f *FrameSymbols, gain []c
 		off += ofdm.SymbolLen
 	}
 	return dst[:f.SampleLen()]
+}
+
+// SynthesizeJointInto builds one AP antenna's combined joint-transmission
+// waveform directly in the frequency domain: the per-stream precoder gains
+// multiply each stream's symbol bins, the gained bins of all streams sum
+// per symbol, and ONE batched IFFT converts the whole frame — instead of a
+// full per-stream synthesis followed by a time-domain sum. The preamble
+// comes from the summed gains (the transform is linear, so gaining the
+// preamble by Σ_j g_j equals summing per-stream gained preambles). gains[j]
+// must be nil (silent/shed stream) or an NFFT-length vector, one per frame;
+// a nil frames[j] is silent regardless of its gain. All participating
+// frames must agree on symbol count (JointTransmit pads payloads equal).
+// It reports whether any stream contributed; when false, dst is untouched
+// and the antenna stays dark.
+func (tx *TX) SynthesizeJointInto(dst []complex128, frames []*FrameSymbols, gains [][]complex128) bool {
+	if len(gains) != len(frames) {
+		//lint:ignore panic-policy documented precondition, a caller bug rather than bad input
+		panic("phy: SynthesizeJointInto wants one gain vector per frame")
+	}
+	nsym := 0
+	for j, f := range frames {
+		if f == nil || gains[j] == nil {
+			continue
+		}
+		if len(gains[j]) != ofdm.NFFT {
+			//lint:ignore panic-policy documented precondition, a caller bug rather than bad input; silent truncation would masquerade as an RF impairment
+			panic("phy: gain must have one entry per FFT bin")
+		}
+		if nsym != 0 && f.NumSymbols() != nsym {
+			//lint:ignore panic-policy documented precondition: JointTransmit already pads payloads to equal frame lengths
+			panic("phy: joint frames disagree on symbol count")
+		}
+		nsym = f.NumSymbols()
+	}
+	if nsym == 0 {
+		return false
+	}
+	frameLen := ofdm.PreambleLen + nsym*ofdm.SymbolLen
+	if len(dst) < frameLen {
+		//lint:ignore panic-policy documented precondition, a caller bug rather than bad input
+		panic(fmt.Sprintf("phy: destination holds %d samples, frame needs %d", len(dst), frameLen))
+	}
+	nf := nsym * ofdm.NFFT
+	if cap(tx.jointFreq) < nf {
+		tx.jointFreq = make([]complex128, nf)
+	}
+	comb := tx.jointFreq[:nf]
+	for i := range comb {
+		comb[i] = 0
+	}
+	gainSum := tx.gainFreq
+	for i := range gainSum {
+		gainSum[i] = 0
+	}
+	for j, f := range frames {
+		g := gains[j]
+		if f == nil || g == nil {
+			continue
+		}
+		for i := range gainSum {
+			gainSum[i] += g[i]
+		}
+		for s, freq := range f.Symbols {
+			acc := comb[s*ofdm.NFFT : (s+1)*ofdm.NFFT]
+			for i := range acc {
+				acc[i] += freq[i] * g[i]
+			}
+		}
+	}
+	tx.synthPreambleWithGainInto(dst[:ofdm.PreambleLen], gainSum)
+	plan := dsp.MustPlanFor(ofdm.NFFT)
+	plan.InverseBatch(comb, comb)
+	scale := complex(math.Sqrt(ofdm.NFFT), 0)
+	off := ofdm.PreambleLen
+	for s := 0; s < nsym; s++ {
+		body := comb[s*ofdm.NFFT : (s+1)*ofdm.NFFT]
+		out := dst[off : off+ofdm.SymbolLen]
+		for i, v := range body {
+			out[ofdm.CPLen+i] = v * scale
+		}
+		copy(out[:ofdm.CPLen], out[ofdm.SymbolLen-ofdm.CPLen:])
+		off += ofdm.SymbolLen
+	}
+	return true
 }
 
 // basePreambleFreq lazily computes the ungained STF/LTF frequency
