@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	megamimo-bench [flags] fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|ablations|robustness|amortization|workload|chaos|kernels|all
+//	megamimo-bench [flags] fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|ablations|robustness|amortization|workload|chaos|syncsweep|kernels|all
 //
 // Flags scale the experiment size; the defaults approximate the paper's
 // methodology (20 topologies per point, 10 APs max) and take minutes.
@@ -72,7 +72,7 @@ func main() {
 	experiment.SetWorkers(*workers)
 	air.SetWorkers(*workers)
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: megamimo-bench [flags] fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|ablations|robustness|amortization|workload|chaos|kernels|all")
+		fmt.Fprintln(os.Stderr, "usage: megamimo-bench [flags] fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|ablations|robustness|amortization|workload|chaos|syncsweep|kernels|all")
 		os.Exit(2)
 	}
 	which := flag.Arg(0)
@@ -243,6 +243,17 @@ func main() {
 			if err := os.WriteFile(*chaosJSON, append(b, '\n'), 0o644); err != nil {
 				return "", err
 			}
+		}
+		return fmt.Sprintln(r), nil
+	})
+	run("syncsweep", func() (string, error) {
+		nAPs, seconds := 4, 0.02
+		if *quick {
+			nAPs, seconds = 2, 0.005
+		}
+		r, err := experiment.RunSyncSweep(nil, nil, nAPs, maxInt(2, *topos/5), seconds, *seed)
+		if err != nil {
+			return "", err
 		}
 		return fmt.Sprintln(r), nil
 	})

@@ -19,6 +19,7 @@ import (
 	"megamimo/internal/core"
 	"megamimo/internal/fault"
 	"megamimo/internal/mac"
+	psync "megamimo/internal/sync"
 	"megamimo/internal/tracefmt"
 	"megamimo/internal/traffic"
 	"megamimo/internal/units"
@@ -43,6 +44,7 @@ func main() {
 		traceOut = flag.String("trace-out", "", "write the flight-recorder trace to this file")
 		traceFmt = flag.String("trace-format", "jsonl", "trace file format: jsonl|chrome")
 		driftPPM = flag.Float64("drift-ppm", 0, "inject ±ppm oscillator drift: lead −ppm, slave APs +ppm (2×ppm relative)")
+		syncName = flag.String("sync", "", "synchronization strategy: header|airsync|beamsync|beamsync-mistuned (default: the paper's header scheme)")
 	)
 	flag.Parse()
 
@@ -50,16 +52,21 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	strategy, err := psync.Parse(*syncName)
+	if err != nil {
+		fatal(err)
+	}
 
 	cfg := core.DefaultConfig(*nAPs, *nCli, units.Decibels(*snrLo), units.Decibels(*snrHi))
 	cfg.Seed = *seed
 	cfg.WellConditioned = *wellCnd
+	cfg.Sync = strategy
 	net, err := core.New(cfg)
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("network: %d APs, %d clients, %.0f-%.0f dB, %.0f MHz\n",
-		*nAPs, *nCli, *snrLo, *snrHi, cfg.SampleRate/1e6)
+	fmt.Printf("network: %d APs, %d clients, %.0f-%.0f dB, %.0f MHz, sync strategy %q\n",
+		*nAPs, *nCli, *snrLo, *snrHi, cfg.SampleRate/1e6, net.SyncName())
 	if *trace || *traceOut != "" {
 		net.Trace().Enable(1 << 20)
 	}
@@ -105,11 +112,16 @@ func main() {
 	}
 
 	mcs, ok, err := net.ProbeAndSelectRate(256)
-	if err != nil {
+	if err != nil || !ok {
+		// Export the flight recorder before dying: the rate probe's joint
+		// transmissions already traced the slave measurements, and a sync
+		// strategy broken enough to kill every MCS is precisely what the
+		// trace anomaly gate exists to diagnose.
+		writeTrace(net, cfg, *nAPs, *nCli, *traceOut, format)
+		if err == nil {
+			err = fmt.Errorf("no deliverable MCS at this SNR")
+		}
 		fatal(err)
-	}
-	if !ok {
-		fatal(fmt.Errorf("no deliverable MCS at this SNR"))
 	}
 	fmt.Printf("rate adaptation: %v\n", mcs)
 
@@ -165,6 +177,7 @@ func writeTrace(net *core.Network, cfg core.Config, nAPs, nCli int, path string,
 		CarrierHz:  cfg.CarrierHz,
 		APs:        nAPs,
 		Clients:    nCli,
+		Sync:       net.SyncName(),
 	}
 	events := net.Trace().Events()
 	if err := tracefmt.WriteFile(path, format, meta, events); err != nil {

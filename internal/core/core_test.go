@@ -95,7 +95,7 @@ func TestMeasureProducesConsistentChannelEstimates(t *testing.T) {
 	}
 	// Slaves must hold a reference channel.
 	for _, s := range n.Slaves() {
-		if s.syncTo(n.Lead().Index).ref == nil {
+		if s.syncTo(n.Lead().Index).Ref == nil {
 			t.Fatalf("slave %d missing reference state", s.Index)
 		}
 	}
@@ -109,7 +109,7 @@ func TestMeasuredCFOMatchesOscillators(t *testing.T) {
 	lead := n.Lead()
 	for _, s := range n.Slaves() {
 		want := lead.Node.Osc.CFORadPerSample() - s.Node.Osc.CFORadPerSample()
-		got := s.syncTo(lead.Index).cfo
+		got := s.syncTo(lead.Index).CFO
 		if units.Abs(got-want) > 5e-5 {
 			t.Fatalf("slave %d CFO estimate %v, true %v", s.Index, got, want)
 		}

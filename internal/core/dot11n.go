@@ -7,6 +7,7 @@ import (
 	"megamimo/internal/cmplxs"
 	"megamimo/internal/csi"
 	"megamimo/internal/ofdm"
+	psync "megamimo/internal/sync"
 	"megamimo/internal/units"
 )
 
@@ -81,11 +82,11 @@ func (n *Network) MeasureDot11n() error {
 				}
 				slaveDelta[ap.Index] = unitVector()
 			} else {
-				ratio, _, _, err := n.slaveMeasureRatio(ap, tH)
+				c, err := n.slaveMeasureRatio(ap, tH)
 				if err != nil {
 					return fmt.Errorf("slave %d slot %d: %w", ap.Index, slot, err)
 				}
-				slaveDelta[ap.Index] = ratio
+				slaveDelta[ap.Index] = c.Ratio
 			}
 		}
 
@@ -145,7 +146,7 @@ func (n *Network) MeasureDot11n() error {
 					continue
 				}
 				// Δφ(L1, R) between this slot and slot 0.
-				deltaL1R := fitRatio(hRef, st.hRef0)
+				deltaL1R := psync.FitRatio(hRef, st.hRef0)
 				// Rotate the new antenna's channel back:
 				// corrected = est · conj(ΔL1R) · ΔL1S (ΔL1S = 1 for lead
 				// antennas — same oscillator as the reference).
@@ -219,13 +220,14 @@ func (n *Network) slaveCaptureHeaderReference(ap *AP, t0 int64) error {
 		return err
 	}
 	ps := ap.syncTo(n.Lead().Index)
-	ps.ref = h
-	ps.refAt = winStart + ltfPhaseOffset
-	ps.cfo = sync.CFO
-	ps.cfoWeight = float64(ofdm.NFFT) * float64(ofdm.NFFT) // one-symbol baseline
-	ps.lastPhase = 0
-	ps.lastAt = ps.refAt
-	ps.hasPhase = true
+	// One-symbol baseline: the strategy seeds its precision weight as
+	// Baseline².
+	n.sync.Init(ps, psync.RefCapture{
+		Ref:      h,
+		RefAt:    winStart + ltfPhaseOffset,
+		CFO:      sync.CFO,
+		Baseline: float64(ofdm.NFFT),
+	})
 	return nil
 }
 
@@ -239,7 +241,7 @@ func lag64CFO(win []complex128, ltf1 int) units.RadPerSample {
 	for i := 0; i < ofdm.NFFT; i++ {
 		acc += win[ltf1+i] * cmplx.Conj(win[ltf1+ofdm.NFFT+i])
 	}
-	return units.RadPerSample(-cmplx.Phase(acc) / float64(ofdm.NFFT))
+	return units.RadiansOver(units.Radians(-cmplx.Phase(acc)), units.Samples(ofdm.NFFT))
 }
 
 // unitVector returns an all-ones per-bin vector on the occupied carriers.

@@ -112,7 +112,7 @@ func TestPeerSyncCFOAccuracyAllPairs(t *testing.T) {
 				continue
 			}
 			want := peer.Node.Osc.CFORadPerSample() - ap.Node.Osc.CFORadPerSample()
-			got := ap.syncTo(peer.Index).cfo
+			got := ap.syncTo(peer.Index).CFO
 			if units.Abs(got-want) > 1e-4 {
 				t.Fatalf("AP %d → %d: cfo %v, true %v", ap.Index, peer.Index, got, want)
 			}

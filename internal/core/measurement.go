@@ -9,6 +9,7 @@ import (
 	"megamimo/internal/csi"
 	"megamimo/internal/matrix"
 	"megamimo/internal/ofdm"
+	psync "megamimo/internal/sync"
 	"megamimo/internal/units"
 )
 
@@ -45,9 +46,8 @@ func (m *Measurement) Matrix(bin int) *matrix.M {
 
 // schedule pins every transmission of the measurement packet (Fig. 3).
 type schedule struct {
-	t0 int64 // sync header start
-	//lint:ignore units ether timestamp of the first CFO-block symbol, not a frequency
-	cfoStart int64
+	t0       int64 // sync header start
+	acqStart int64 // first CFO-block (acquisition) symbol
 	csStart  int64 // first interleaved channel symbol
 	nAPs     int
 	antsPer  int
@@ -72,8 +72,8 @@ func (n *Network) measurementSchedule(t0 int64) schedule {
 		antsPer: n.Cfg.AntennasPerAP,
 		rounds:  n.Cfg.MeasurementRounds,
 	}
-	s.cfoStart = t0 + ofdm.PreambleLen + headerGap
-	s.csStart = s.cfoStart + int64(cfoBlockSyms*symLen*s.nAPs) + headerGap
+	s.acqStart = t0 + ofdm.PreambleLen + headerGap
+	s.csStart = s.acqStart + int64(cfoBlockSyms*symLen*s.nAPs) + headerGap
 	return s
 }
 
@@ -93,7 +93,7 @@ func (s schedule) refMid() int64 {
 // cfoSymbolAt returns the start of CFO-block slot rep (0 = STF segment,
 // 1 and 2 = training symbols) of AP a.
 func (s schedule) cfoSymbolAt(a, rep int) int64 {
-	return s.cfoStart + int64((cfoBlockSyms*a+rep)*symLen)
+	return s.acqStart + int64((cfoBlockSyms*a+rep)*symLen)
 }
 
 // csSymbolAt returns the start of the interleaved symbol for global tx
@@ -185,24 +185,23 @@ func (n *Network) MeasureDecoupled(groups [][]int, gapSamples int64) error {
 			}
 		} else {
 			for _, ap := range n.Slaves() {
-				ratio, curAt, resid, err := n.slaveMeasureRatio(ap, t0)
+				mc, err := n.slaveMeasureRatio(ap, t0)
 				if err != nil {
 					return fmt.Errorf("slave %d decoupled reference: %w", ap.Index, err)
 				}
-				ps := ap.syncTo(lead.Index)
-				n.trace(curAt, KindSlaveRatio,
-					TraceAttrs{AP: ap.Index, PhaseErrRad: resid, CFORadPerSample: ps.cfo},
+				n.trace(mc.At, KindSlaveRatio,
+					TraceAttrs{AP: ap.Index, PhaseErrRad: mc.Residual, CFORadPerSample: mc.CFO},
 					"AP %d: decoupled re-reference", ap.Index)
 				// The ratio is the phase the slave's oscillator gained on
 				// the lead between the two reference points; extending it
 				// from that gap to the reference-midpoint gap gives the
 				// factor that re-references the new rows' columns
 				// (X_i = e^{j(ω_lead−ω_i)Δ}; X_lead = 1).
-				lever := float64(sched.refMid()-mid0) - float64(curAt-ps.refAt)
-				factor := cmplxs.Expi(units.PhaseAdvance(ps.cfo, units.Samples(lever)))
+				lever := float64(sched.refMid()-mid0) - float64(mc.At-mc.RefAt)
+				factor := cmplxs.Expi(units.PhaseAdvance(mc.CFO, units.Samples(lever)))
 				//lint:ignore hotalloc the re-referenced column correction is retained in corr for the caller
 				c := make([]complex128, ofdm.NFFT)
-				for b, v := range ratio {
+				for b, v := range mc.Ratio {
 					c[b] = v * factor
 				}
 				corr[ap.Index] = c
@@ -365,17 +364,19 @@ func (n *Network) slaveCaptureReference(ap *AP, sched schedule) error {
 			}
 		}
 
+		var refChan []complex128
+		var refAt int64
 		if peer.Index == lead.Index {
 			h, err := ofdm.EstimateChannelLTF(win, sync)
 			if err != nil {
 				return err
 			}
-			ps.ref = h
-			ps.refAt = winStart + ltfPhaseOffset
+			refChan = h
+			refAt = winStart + ltfPhaseOffset
 		} else {
 			// The per-round estimates share the common reference already;
 			// average and denoise.
-			//lint:ignore hotalloc the averaged estimate is retained as ps.ref across rounds
+			//lint:ignore hotalloc the averaged estimate is retained as the peer reference across rounds
 			avg := make([]complex128, ofdm.NFFT)
 			for _, e := range ests {
 				for _, b := range bins {
@@ -384,19 +385,15 @@ func (n *Network) slaveCaptureReference(ap *AP, sched schedule) error {
 			}
 			cmplxs.Scale(avg, avg, complex(1/float64(len(ests)), 0))
 			ofdm.SmoothChannel(avg)
-			ps.ref = avg
-			ps.refAt = winStart + int64(base)
+			refChan = avg
+			refAt = winStart + int64(base)
 		}
-		ps.cfo = cfo
 		// The fine estimate's effective baseline is the interleaved block
-		// span; seed the precision weight with it, and let the reference
-		// itself be the first phase snapshot (phase(ĥ/ĥ) = 0 at refAt) so
-		// the very next packet already fuses a long baseline.
+		// span; the strategy seeds its precision weight from it and lets
+		// the reference itself be the first phase snapshot (phase(ĥ/ĥ) = 0
+		// at refAt) so the very next packet already fuses a long baseline.
 		span := float64((sched.rounds - 1) * total * symLen)
-		ps.cfoWeight = span * span
-		ps.lastPhase = 0
-		ps.lastAt = ps.refAt
-		ps.hasPhase = true
+		n.sync.Init(ps, psync.RefCapture{Ref: refChan, RefAt: refAt, CFO: cfo, Baseline: span})
 	}
 	return nil
 }
@@ -633,7 +630,7 @@ func cfoFromBlock(dem *ofdm.Demodulator, win []complex128, t0Idx, a int, sched s
 	for i := 0; i < symLen-16; i++ {
 		acc += win[stfIdx+i] * cmplx.Conj(win[stfIdx+i+16])
 	}
-	coarse := units.RadPerSample(-cmplx.Phase(acc) / 16)
+	coarse := units.RadiansOver(units.Radians(-cmplx.Phase(acc)), 16)
 	f1, err := symbolFreq(dem, win, t0Idx+int(sched.cfoSymbolAt(a, 1)-sched.t0))
 	if err != nil {
 		return 0, err

@@ -23,7 +23,7 @@ func (n *Network) MeasureMisalignment(rounds int, gapSamples int64) ([]float64, 
 		return nil, fmt.Errorf("core: misalignment needs 2 APs and a client")
 	}
 	slave := n.Slaves()[0]
-	if slave.syncTo(n.Lead().Index).ref == nil {
+	if slave.syncTo(n.Lead().Index).Ref == nil {
 		return nil, fmt.Errorf("core: run Measure first")
 	}
 	lead := n.Lead()
@@ -45,12 +45,12 @@ func (n *Network) MeasureMisalignment(rounds int, gapSamples int64) ([]float64, 
 		// would for a data transmission.
 		t1 := n.now + 64
 		n.Air.Transmit(n.APAntennaID(lead.Index, 0), lead.Node.Osc, t1, ofdm.Preamble())
-		ratio, curAt, resid, err := n.slaveMeasureRatio(slave, t1)
+		c, err := n.slaveMeasureRatio(slave, t1)
 		if err != nil {
 			return nil, fmt.Errorf("round %d: %w", r, err)
 		}
-		n.trace(curAt, KindSlaveRatio,
-			TraceAttrs{AP: slave.Index, PhaseErrRad: resid, CFORadPerSample: slave.syncTo(lead.Index).cfo},
+		n.trace(c.At, KindSlaveRatio,
+			TraceAttrs{AP: slave.Index, PhaseErrRad: c.Residual, CFORadPerSample: c.CFO},
 			"misalignment round %d", r)
 
 		// Alternating symbol pairs (§11.1b: "each transmitter's
@@ -63,19 +63,18 @@ func (n *Network) MeasureMisalignment(rounds int, gapSamples int64) ([]float64, 
 		// Slave symbol with the per-bin ratio applied in frequency domain.
 		freq := ltfRef()
 		for i := range g {
-			g[i] = freq[i] * ratio[i]
+			g[i] = freq[i] * c.Ratio[i]
 		}
 		if err := mod.RawSymbolInto(sw, g); err != nil {
 			return nil, err
 		}
-		ps := slave.syncTo(lead.Index)
 		for k := 0; k < pairs; k++ {
 			tL := tA + int64(2*k*ofdm.SymbolLen)
 			tS := tL + int64(ofdm.SymbolLen)
 			n.Air.Transmit(n.APAntennaID(lead.Index, 0), lead.Node.Osc, tL, train)
-			phase0 := units.PhaseAdvance(ps.cfo, units.Samples((tS-curAt)+(ps.refAt-n.Msmt.RefMid)))
+			phase0 := units.PhaseAdvance(c.CFO, units.Samples((tS-c.At)+(c.RefAt-n.Msmt.RefMid)))
 			// Air.Transmit copies, so the rotated wave can reuse one buffer.
-			cmplxs.Rotate(slaveWave, sw, phase0, ps.cfo)
+			cmplxs.Rotate(slaveWave, sw, phase0, c.CFO)
 			n.Air.Transmit(n.APAntennaID(slave.Index, 0), slave.Node.Osc, tS, slaveWave)
 		}
 

@@ -26,6 +26,7 @@ import (
 	"megamimo/internal/phy"
 	"megamimo/internal/radio"
 	"megamimo/internal/rng"
+	psync "megamimo/internal/sync"
 	"megamimo/internal/units"
 )
 
@@ -108,6 +109,10 @@ type Config struct {
 	// withholds its antennas from the joint transmission rather than fire
 	// with a garbage phase ratio.
 	SyncStalenessSamples units.Ticks
+	// Sync selects the distributed phase-synchronization strategy (the
+	// measure→predict→correct loop of internal/sync). nil selects the
+	// paper's sync-header scheme.
+	Sync psync.Strategy
 	// Seed drives all randomness.
 	Seed int64
 }
@@ -150,53 +155,23 @@ type AP struct {
 	// other AP that might lead a transmission (§9 nominates the
 	// head-of-queue packet's designated AP as lead, so every AP keeps a
 	// reference to every potential lead, captured from the same
-	// measurement packet).
-	syncs map[int]*peerSync
+	// measurement packet). The state machine lives in the network's
+	// sync.Strategy; the AP only owns the per-peer state.
+	syncs map[int]*psync.Peer
 
 	// weights hold this AP's precoder rows after the lead distributes the
 	// beamforming matrix: weights[ownAnt][stream][bin].
 	weights [][][]complex128
 }
 
-// peerSync is one AP's synchronization state toward one potential lead.
-type peerSync struct {
-	// ref is the reference channel ĥᵢ^peer(0), one complex gain per FFT
-	// bin (§5.1c).
-	ref []complex128
-	// refAt is the ether time of the reference estimate's phase-reference
-	// sample: phase ratios against ref measure the oscillator advance
-	// since exactly this instant.
-	refAt int64
-	// cfo is the long-term estimate of ω_peer − ω_self in rad/sample
-	// (§5.3: averaged for intra-packet tracking), fused
-	// precision-weighted (cfoWeight ∝ baseline²).
-	cfo units.RadPerSample
-	//lint:ignore units precision weight of the CFO fusion, samples² — not a frequency
-	cfoWeight float64
-	// lastPhase/lastAt snapshot the latest ratio phase for cross-packet
-	// CFO refinement: two phase snapshots a known (long) time apart give
-	// a far more precise frequency estimate than any single header.
-	lastPhase units.Radians
-	lastAt    int64
-	hasPhase  bool
-	// srate is the long-term sampling-offset slope rate in rad/bin/sample
-	// (§5.2: "the MegaMIMO slave APs correct for the effect of sampling
-	// frequency offset during the packet by using a long-term averaged
-	// estimate, similar to the carrier frequency offset"). A single
-	// packet's slope estimate is noisy enough to swing the correction by
-	// ~0.1 rad on asymmetric fading; the averaged rate is not.
-	srate       float64
-	srateWeight float64
-}
-
 // syncTo returns (allocating if needed) the AP's sync state toward peer.
-func (ap *AP) syncTo(peer int) *peerSync {
+func (ap *AP) syncTo(peer int) *psync.Peer {
 	if ap.syncs == nil {
-		ap.syncs = make(map[int]*peerSync)
+		ap.syncs = make(map[int]*psync.Peer)
 	}
 	s := ap.syncs[peer]
 	if s == nil {
-		s = &peerSync{}
+		s = &psync.Peer{}
 		ap.syncs[peer] = s
 	}
 	return s
@@ -222,6 +197,9 @@ type Network struct {
 	now    int64
 	rng    *rng.Source
 	tracer *Tracer
+	// sync is the phase-synchronization strategy every slave runs toward
+	// its lead (Cfg.Sync, defaulted to the paper's header scheme).
+	sync psync.Strategy
 
 	// metrics is the network's telemetry registry; the m* fields cache the
 	// boundary instruments so hot-path recording is a field increment, not
@@ -287,6 +265,9 @@ func (n *Network) NumTxAntennas() int { return n.Cfg.NumAPs * n.Cfg.AntennasPerA
 // Now returns the current ether time in samples.
 func (n *Network) Now() int64 { return n.now }
 
+// SyncName reports the active synchronization strategy's registry name.
+func (n *Network) SyncName() string { return n.sync.Name() }
+
 // AdvanceTime moves the clock forward (test hook / idle periods).
 func (n *Network) AdvanceTime(samples int64) { n.now += samples }
 
@@ -317,6 +298,10 @@ func New(cfg Config) (*Network, error) {
 		rng: src,
 		tx:  phy.NewTX(),
 		dem: ofdm.NewDemodulator(),
+	}
+	n.sync = cfg.Sync
+	if n.sync == nil {
+		n.sync = psync.Header()
 	}
 	n.initMetrics()
 	n.initTracer()

@@ -74,7 +74,7 @@ func TestTracerSlaveRatioTelemetry(t *testing.T) {
 		}
 	}
 	lead, slave := n.Lead(), n.Slaves()[0]
-	// peerSync.cfo estimates ω_peer − ω_self = ω_lead − ω_slave.
+	// The sync peer states CFO estimates ω_peer − ω_self = ω_lead − ω_slave.
 	trueCFO := lead.Node.Osc.CFORadPerSample() - slave.Node.Osc.CFORadPerSample()
 	seen := 0
 	for _, e := range n.Trace().Events() {

@@ -4,12 +4,12 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
-	"math/cmplx"
 
 	"megamimo/internal/cmplxs"
 	"megamimo/internal/ofdm"
 	"megamimo/internal/phy"
 	"megamimo/internal/rate"
+	psync "megamimo/internal/sync"
 	"megamimo/internal/units"
 )
 
@@ -213,34 +213,26 @@ func (n *Network) postJointFrames(tx *phy.TX, frames []*phy.FrameSymbols) (t1, t
 	n.trace(t1, KindSyncHeader, TraceAttrs{AP: lead.Index}, "lead AP %d", lead.Index)
 
 	// 2. Slaves measure the lead's current channel and derive their phase
-	//    correction (§5.2b).
-	type correction struct {
-		ratio []complex128       // per-bin ĥ(t)/ĥ(0)
-		curAt int64              // phase-reference time of the new measurement
-		refAt int64              // phase-reference time of the stored reference
-		cfo   units.RadPerSample // averaged ω_lead − ω_self
-	}
-	corr := make(map[int]*correction, len(n.APs))
+	//    correction (§5.2b) through the configured sync.Strategy.
+	corr := make(map[int]*psync.Correction, len(n.APs))
 	for i := range n.abstain {
 		n.abstain[i] = false
 	}
 	for _, ap := range n.Slaves() {
-		ratio, curAt, resid, mErr := n.slaveMeasureRatio(ap, t1)
+		mc, mErr := n.slaveMeasureRatio(ap, t1)
 		ps := ap.syncTo(lead.Index)
 		if mErr != nil {
 			// A slave that cannot measure its phase correction falls back
-			// to CFO extrapolation while its last good measurement is
-			// inside the staleness budget; beyond it the slave abstains —
-			// withholding its antennas beats firing with a garbage phase
-			// ratio, which would fill every client's null (§5.2b).
-			budget := n.Cfg.SyncStalenessSamples
-			if ps.hasPhase && budget > 0 && units.Ticks(t1-ps.lastAt) <= budget {
-				curAt = t1 - winLead + ltfPhaseOffset
-				ratio = extrapolateRatio(ps, curAt)
-				resid = 0
+			// to the strategy's prediction while the strategy still trusts
+			// it (inside the staleness budget); beyond that the slave
+			// abstains — withholding its antennas beats firing with a
+			// garbage phase ratio, which would fill every client's null
+			// (§5.2b).
+			if n.sync.Confidence(ps, t1, n.Cfg.SyncStalenessSamples) > 0 {
+				mc = n.sync.Predict(ps, t1-winLead+ltfPhaseOffset)
 				n.trace(t1, KindFault, TraceAttrs{AP: ap.Index, Cause: "sync-extrapolate"},
 					"slave %d lost the sync header (last good measurement %d samples ago): %v",
-					ap.Index, t1-ps.lastAt, mErr)
+					ap.Index, t1-ps.LastAt, mErr)
 			} else {
 				n.abstain[ap.Index] = true
 				n.mSyncAbstain.Inc()
@@ -249,16 +241,17 @@ func (n *Network) postJointFrames(tx *phy.TX, frames []*phy.FrameSymbols) (t1, t
 				continue
 			}
 		}
-		corr[ap.Index] = &correction{ratio: ratio, curAt: curAt, refAt: ps.refAt, cfo: ps.cfo}
+		c := mc
+		corr[ap.Index] = &c
 		if mErr != nil {
 			continue
 		}
 		// The flight recorder's phase-sync telemetry: the innovation of this
-		// packet's measured phase against the long-term CFO prediction is the
+		// packet's measured phase against the strategy's prediction is the
 		// residual phase error the π/18 nulling budget (§11.1b) bounds.
-		n.trace(curAt, KindSlaveRatio,
-			TraceAttrs{AP: ap.Index, PhaseErrRad: resid, CFORadPerSample: ps.cfo},
-			"AP %d: Δφ measured over %d samples", ap.Index, curAt-ps.refAt)
+		n.trace(c.At, KindSlaveRatio,
+			TraceAttrs{AP: ap.Index, PhaseErrRad: c.Residual, CFORadPerSample: c.CFO},
+			"AP %d: Δφ measured over %d samples", ap.Index, c.At-c.RefAt)
 	}
 
 	// Participation: crashed and abstaining APs sit this round out. At
@@ -332,7 +325,7 @@ func (n *Network) postJointFrames(tx *phy.TX, frames []*phy.FrameSymbols) (t1, t
 				}
 				g := gainArena[j*ofdm.NFFT : (j+1)*ofdm.NFFT]
 				for i := range g {
-					g[i] = w[i] * c.ratio[i]
+					g[i] = w[i] * c.Ratio[i]
 				}
 				gains[j] = g
 			}
@@ -346,8 +339,8 @@ func (n *Network) postJointFrames(tx *phy.TX, frames []*phy.FrameSymbols) (t1, t
 				// constant offset between the slave's reference window and
 				// the H estimates' reference time (the interleaved-block
 				// center).
-				phase0 := units.PhaseAdvance(c.cfo, units.Samples((tD-c.curAt)+(c.refAt-n.Msmt.RefMid)))
-				cmplxs.Rotate(wave, wave, phase0, c.cfo)
+				phase0 := units.PhaseAdvance(c.CFO, units.Samples((tD-c.At)+(c.RefAt-n.Msmt.RefMid)))
+				cmplxs.Rotate(wave, wave, phase0, c.CFO)
 			}
 			n.Air.Transmit(n.APAntennaID(ap.Index, m), ap.Node.Osc, tD, wave)
 		}
@@ -413,16 +406,16 @@ func (n *Network) DiversityTransmit(stream int, payload []byte, mcs phy.MCS) (*T
 	return res, nil
 }
 
-// slaveMeasureRatio observes the lead's sync header at t1 and returns the
-// per-bin ratio ĥ(t1)/ĥ(0) — the direct phase-offset measurement that
-// avoids accumulating error (§5.2b) — plus the window reference time and
-// the residual phase error (the innovation against the long-term CFO
-// prediction, the flight recorder's phase-sync statistic; 0 on the
-// extrapolation ablation, which measures nothing).
-func (n *Network) slaveMeasureRatio(ap *AP, t1 int64) ([]complex128, int64, units.Radians, error) {
+// slaveMeasureRatio observes the lead's sync header at t1 and runs the
+// configured sync.Strategy's Measure on it: the per-bin ratio ĥ(t1)/ĥ(0)
+// is the direct phase-offset measurement that avoids accumulating error
+// (§5.2b); the correction's Residual is the innovation against the
+// strategy's prediction, the flight recorder's phase-sync statistic (0 on
+// the extrapolation ablation, which measures nothing).
+func (n *Network) slaveMeasureRatio(ap *AP, t1 int64) (psync.Correction, error) {
 	ps := ap.syncTo(n.Lead().Index)
-	if ps.ref == nil {
-		return nil, 0, 0, fmt.Errorf("no reference channel toward AP %d (run Measure first)", n.Lead().Index)
+	if ps.Ref == nil {
+		return psync.Correction{}, fmt.Errorf("no reference channel toward AP %d (run Measure first)", n.Lead().Index)
 	}
 	winStart := t1 - winLead
 	curAt := winStart + ltfPhaseOffset
@@ -430,15 +423,15 @@ func (n *Network) slaveMeasureRatio(ap *AP, t1 int64) ([]complex128, int64, unit
 		// Ablation: predict Δφ = Δω̂·Δt instead of measuring it. Any error
 		// in Δω̂ accumulates linearly with time since the measurement
 		// phase (§5.2's "large accumulated errors over time").
-		return extrapolateRatio(ps, curAt), curAt, 0, nil
+		return n.sync.Predict(ps, curAt), nil
 	}
 	if n.syncLossUntil[ap.Index] > t1 {
-		return nil, 0, 0, fmt.Errorf("sync header corrupted (injected, until t=%d)", n.syncLossUntil[ap.Index])
+		return psync.Correction{}, fmt.Errorf("sync header corrupted (injected, until t=%d)", n.syncLossUntil[ap.Index])
 	}
 	win := n.Air.Observe(n.APAntennaID(ap.Index, 0), ap.Node.Osc, winStart, ofdm.PreambleLen+winLead+192)
 	sync, err := ofdm.Detect(win, 0.5)
 	if err != nil {
-		return nil, 0, 0, err
+		return psync.Correction{}, err
 	}
 	// The schedule is trigger-synchronized (SourceSync-grade timing), so
 	// pin the LTF position; correlation peaks a sample off between the two
@@ -447,163 +440,9 @@ func (n *Network) slaveMeasureRatio(ap *AP, t1 int64) ([]complex128, int64, unit
 	sync.PayloadStart = winLead + ofdm.PreambleLen
 	cur, err := ofdm.EstimateChannelLTF(win, sync)
 	if err != nil {
-		return nil, 0, 0, err
+		return psync.Correction{}, err
 	}
-	slopeMeas, q := ratioComponents(cur, ps.ref)
-	slope := ps.trackSlope(slopeMeas, float64(curAt-ps.refAt))
-	ratio := composeRatio(q, slope)
-	resid := ps.trackCFO(ratio, curAt)
-	return ratio, curAt, resid, nil
-}
-
-// extrapolateRatio predicts a slave's phase correction from the long-term
-// CFO estimate alone: Δφ = Δω̂·Δt on every occupied bin. It is the
-// ExtrapolatePhase ablation's correction and the bounded-staleness
-// fallback when a sync-header measurement fails.
-func extrapolateRatio(ps *peerSync, curAt int64) []complex128 {
-	ratio := make([]complex128, ofdm.NFFT)
-	phase := units.PhaseAdvance(ps.cfo, units.Samples(curAt-ps.refAt))
-	for _, b := range occupiedBins() {
-		ratio[b] = cmplxs.Expi(phase)
-	}
-	return ratio
-}
-
-// trackSlope fuses a per-packet slope measurement into the long-term
-// sampling-offset rate (precision weighted by baseline, like trackCFO) and
-// returns the slope to apply for this packet.
-func (ps *peerSync) trackSlope(meas, dt float64) float64 {
-	if dt <= 0 {
-		return meas
-	}
-	rateMeas := meas / dt
-	w := dt * dt
-	const weightCap = 1e11
-	total := ps.srateWeight + w
-	ps.srate = (ps.srateWeight*ps.srate + w*rateMeas) / total
-	ps.srateWeight = math.Min(total, weightCap)
-	return ps.srate * dt
-}
-
-// ratioComponents extracts the slave correction's parts from two channel
-// snapshots. The true ratio ĥ(t)/ĥ(0) is the same pure phase on every
-// subcarrier (§5.2 — the lead→slave channel is static; only the
-// oscillators moved) plus a linear phase slope across subcarriers
-// contributed by the sampling offset (§5.2: "any offset in the sampling
-// frequency just adds to the phase error in each OFDM subcarrier").
-// Fitting scalar-plus-slope instead of taking per-bin ratios averages the
-// estimation noise across all 52 occupied bins and keeps faded bins from
-// poisoning the correction. It returns the measured slope and the per-bin
-// product vector for composeRatio.
-func ratioComponents(cur, ref []complex128) (float64, []complex128) {
-	bins := occupiedBins()
-	q := make([]complex128, ofdm.NFFT)
-	for _, b := range bins {
-		q[b] = cur[b] * cmplx.Conj(ref[b])
-	}
-	// Slope across subcarriers: a coarse lag-1 estimate resolves the 2π
-	// ambiguity of a much lower-noise lag-13 estimate (averaging over many
-	// well-separated pairs instead of effectively differencing the band
-	// edges).
-	ks := occCarriers
-	inBand := occCarrierSet
-	var lag1 complex128
-	for i := 0; i+1 < len(ks); i++ {
-		if ks[i+1] != ks[i]+1 {
-			continue // skip the DC gap
-		}
-		lag1 += q[ofdm.Bin(ks[i+1])] * cmplx.Conj(q[ofdm.Bin(ks[i])])
-	}
-	coarse := cmplx.Phase(lag1)
-	const lag = 13
-	var lagAcc complex128
-	for _, k := range ks {
-		if !inBand[k+lag] {
-			continue
-		}
-		lagAcc += q[ofdm.Bin(k+lag)] * cmplx.Conj(q[ofdm.Bin(k)])
-	}
-	slope := coarse
-	if lagAcc != 0 {
-		resid := cmplxs.WrapPhase(units.Radians(cmplx.Phase(lagAcc) - coarse*lag))
-		slope = (coarse*lag + units.Ratio(resid, 1)) / lag
-	}
-	return slope, q
-}
-
-// occCarriers and occCarrierSet cache the static occupied-carrier layout so
-// per-packet ratio fits don't rebuild it. Both are read-only after init.
-var occCarriers = ofdm.OccupiedCarriers()
-var occCarrierSet = func() map[int]bool {
-	m := make(map[int]bool, len(occCarriers))
-	for _, k := range occCarriers {
-		m[k] = true
-	}
-	return m
-}()
-
-// composeRatio builds the per-bin unit-magnitude correction from the
-// product vector and a slope: the common phase is fit after removing the
-// slope, then re-applied per carrier.
-func composeRatio(q []complex128, slope float64) []complex128 {
-	ks := occCarriers
-	var acc complex128
-	for _, k := range ks {
-		acc += q[ofdm.Bin(k)] * cmplxs.Expi(units.Radians(-slope*float64(k)))
-	}
-	common := cmplxs.Phase(acc)
-	ratio := make([]complex128, ofdm.NFFT)
-	for _, k := range ks {
-		ratio[ofdm.Bin(k)] = cmplxs.Expi(common + units.Radians(slope*float64(k)))
-	}
-	return ratio
-}
-
-// fitRatio is the single-shot form: per-packet slope, no tracking (used
-// where no long-term state exists, e.g. the client side of the §6.2
-// reference-antenna trick).
-func fitRatio(cur, ref []complex128) []complex128 {
-	slope, q := ratioComponents(cur, ref)
-	return composeRatio(q, slope)
-}
-
-// trackCFO refines the slave's long-term CFO with the phase advance of the
-// ratio between consecutive packets: Δφ/Δt over a baseline of thousands of
-// samples, which is how "a simple long term average for the frequency
-// offset" (§1) reaches intra-packet accuracy. The current estimate
-// resolves the 2π ambiguity; measurements fuse precision-weighted
-// (variance ∝ 1/Δt²), and the total weight is capped so slow oscillator
-// wander is still tracked. Very long idle gaps (where ambiguity
-// resolution would be unsafe) only reset the phase snapshot. It returns the
-// measured innovation (the phase the prediction missed by, rad) as the
-// residual-phase-error telemetry; 0 when no fusion happened.
-func (ps *peerSync) trackCFO(ratio []complex128, at int64) units.Radians {
-	var sum complex128
-	for _, v := range ratio {
-		sum += v
-	}
-	phase := cmplxs.Phase(sum)
-	defer func() {
-		ps.lastPhase = phase
-		ps.lastAt = at
-		ps.hasPhase = true
-	}()
-	if !ps.hasPhase {
-		return 0
-	}
-	dt := float64(at - ps.lastAt)
-	if dt <= 0 || dt > 2e5 {
-		return 0
-	}
-	predicted := units.PhaseAdvance(ps.cfo, units.Samples(dt))
-	resid := cmplxs.WrapPhase(phase - ps.lastPhase - predicted)
-	meas := units.RadiansOver(predicted+resid, units.Samples(dt))
-	wMeas := dt * dt
-	const weightCap = 1e11 // forget beyond ~(300k samples)² so wander tracks
-	total := ps.cfoWeight + wMeas
-	ps.cfo = units.Div(units.Scale(ps.cfo, ps.cfoWeight)+units.Scale(meas, wMeas), total)
-	ps.cfoWeight = math.Min(total, weightCap)
-	return resid
+	return n.sync.Measure(ps, cur, curAt)
 }
 
 func payloadLen(payloads [][]byte) int {

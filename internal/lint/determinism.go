@@ -33,13 +33,15 @@ const rngPkg = "megamimo/internal/rng"
 
 // strictMapPkgs lists packages whose outputs must be byte-identical under
 // map-iteration reshuffling with no reduction-shape analysis: workload
-// reports and metrics exports are diffed verbatim across worker counts in
-// CI, so every map range there is suspect unless it is the
-// collect-keys-then-sort idiom.
+// reports, metrics exports and the sync-strategy sweep are diffed verbatim
+// across worker counts in CI, so every map range there is suspect unless
+// it is the collect-keys-then-sort idiom.
 var strictMapPkgs = map[string]bool{
 	"megamimo/internal/traffic":                     true,
 	"megamimo/internal/metrics":                     true,
+	"megamimo/internal/sync":                        true,
 	"megamimo/internal/lint/testdata/src/strictmap": true,
+	"megamimo/internal/lint/testdata/src/syncmap":   true,
 }
 
 func runDeterminism(p *Pass) {

@@ -34,9 +34,17 @@ var faultDefPkgs = map[string]bool{
 	"megamimo/internal/lint/testdata/src/faultpath": true,
 }
 
+// faultPanicBanPkgs are the packages rule 2's panic ban covers beyond the
+// Kind-defining ones: the sync strategies run exactly when the loop is
+// degraded (header lost, lead failed over), so they share the fault
+// package's degrade-gracefully contract.
+var faultPanicBanPkgs = map[string]bool{
+	"megamimo/internal/sync": true,
+}
+
 func runFaultPath(p *Pass) {
 	info := p.Pkg.Info
-	banPanics := faultDefPkgs[p.Pkg.Path] ||
+	banPanics := faultDefPkgs[p.Pkg.Path] || faultPanicBanPkgs[p.Pkg.Path] ||
 		strings.HasSuffix(p.Pkg.Path, "testdata/src/faultpath")
 	eachFile(p, func(f *ast.File, isTest bool) {
 		// Test files probe invalid kinds and may panic in helpers on

@@ -102,6 +102,8 @@ func TestStrictMapGolden(t *testing.T)   { runGolden(t, DeterminismAnalyzer, "st
 func TestFaultPathGolden(t *testing.T)   { runGolden(t, FaultPathAnalyzer, "faultpath") }
 func TestHotAllocGolden(t *testing.T)    { runGolden(t, HotAllocAnalyzer, "hotalloc") }
 func TestPanicPolicyGolden(t *testing.T) { runGolden(t, PanicPolicyAnalyzer, "panicpolicy") }
+func TestSyncPanicGolden(t *testing.T)   { runGolden(t, PanicPolicyAnalyzer, "syncpanic") }
+func TestSyncMapGolden(t *testing.T)     { runGolden(t, DeterminismAnalyzer, "syncmap") }
 func TestUncheckedErrorGolden(t *testing.T) {
 	runGolden(t, UncheckedErrorAnalyzer, "uncheckederr")
 }

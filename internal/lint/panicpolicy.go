@@ -9,13 +9,15 @@ import (
 // instead of panicking: they sit on user-reachable input paths (rate
 // selection from measured SNRs, modulation of frame bits, statistics over
 // experiment output, the PHY encode/decode pipeline, the fault-injection
-// schedule that chaos experiments replay).
+// schedule that chaos experiments replay, and the pluggable sync
+// strategies the closed loop calls on every joint transmission).
 var panicPolicyPkgs = map[string]bool{
 	"megamimo/internal/rate":       true,
 	"megamimo/internal/modulation": true,
 	"megamimo/internal/stats":      true,
 	"megamimo/internal/phy":        true,
 	"megamimo/internal/fault":      true,
+	"megamimo/internal/sync":       true,
 }
 
 // PanicPolicyAnalyzer flags panic calls lexically inside exported functions
@@ -24,13 +26,14 @@ var panicPolicyPkgs = map[string]bool{
 // panics in exported bodies carry a //lint:ignore with the justification.
 var PanicPolicyAnalyzer = &Analyzer{
 	Name: "panic-policy",
-	Doc:  "panic in exported API of internal/{rate,modulation,stats,phy,fault}",
+	Doc:  "panic in exported API of internal/{rate,modulation,stats,phy,fault,sync}",
 	Run:  runPanicPolicy,
 }
 
 func runPanicPolicy(p *Pass) {
 	path := p.Pkg.Path
-	if !panicPolicyPkgs[path] && !strings.HasSuffix(path, "testdata/src/panicpolicy") {
+	if !panicPolicyPkgs[path] && !strings.HasSuffix(path, "testdata/src/panicpolicy") &&
+		!strings.HasSuffix(path, "testdata/src/syncpanic") {
 		return
 	}
 	info := p.Pkg.Info

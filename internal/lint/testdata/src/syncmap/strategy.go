@@ -1,0 +1,52 @@
+// Package syncmap seeds a synchronization strategy that folds per-peer
+// state out of a map range, for the strict-determinism golden test: the
+// sync sweep's comparison table is diffed byte-for-byte across worker
+// counts in CI, so any map-iteration order leaking into a correction or a
+// summary is a replayability bug.
+package syncmap
+
+import "sort"
+
+// Correction is a per-peer phase correction.
+type Correction struct {
+	Phase float64
+	CFO   float64
+}
+
+// fuseAll averages the tracked CFO straight out of a map range; float
+// addition does not commute, so the fused value depends on iteration
+// order.
+func fuseAll(peers map[int]*Correction) float64 {
+	var acc float64
+	for _, c := range peers { // want "strict-determinism package"
+		acc += c.CFO
+	}
+	return acc / float64(len(peers))
+}
+
+// worstPeer scans for the largest phase error in map order: ties resolve
+// to whichever key the runtime happened to visit first.
+func worstPeer(peers map[int]*Correction) int {
+	worst, at := -1.0, -1
+	for idx, c := range peers { // want "strict-determinism package"
+		if c.Phase > worst {
+			worst, at = c.Phase, idx
+		}
+	}
+	return at
+}
+
+// fuseSorted is the sanctioned shape: collect the keys, sort, then fold in
+// deterministic order.
+func fuseSorted(peers map[int]*Correction) float64 {
+	keys := make([]int, 0, len(peers))
+	for idx := range peers {
+		keys = append(keys, idx)
+	}
+	sort.Ints(keys)
+	var acc float64
+	for _, idx := range keys {
+		acc += peers[idx].CFO
+	}
+	return acc / float64(len(peers))
+}

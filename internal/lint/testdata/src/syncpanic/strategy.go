@@ -1,0 +1,63 @@
+// Package syncpanic seeds a synchronization strategy whose exported
+// methods panic, for the panic-policy and faultpath golden tests: strategy
+// code runs inside the joint-transmission loop exactly when the system is
+// degraded, so it must report errors instead of tearing the process down.
+package syncpanic
+
+import "fmt"
+
+// Peer is the per-slave tracking state a strategy mutates.
+type Peer struct {
+	Ref   []complex128
+	RefAt int64
+	CFO   float64
+}
+
+// Correction is the per-measurement output.
+type Correction struct {
+	At  int64
+	CFO float64
+}
+
+// PanickyStrategy measures by assertion instead of by error return.
+type PanickyStrategy struct{}
+
+// Measure panics on a missing reference instead of returning an error —
+// the exact shape both analyzers must flag.
+func (PanickyStrategy) Measure(ps *Peer, cur []complex128, at int64) (Correction, error) {
+	if ps.Ref == nil {
+		panic("syncpanic: Measure before Init") // want "exported Measure panics"
+	}
+	if len(cur) != len(ps.Ref) {
+		panic(fmt.Sprintf("syncpanic: %d bins, want %d", len(cur), len(ps.Ref))) // want "exported Measure panics"
+	}
+	return Correction{At: at, CFO: ps.CFO}, nil
+}
+
+// Predict panics on a clock running backwards.
+func (PanickyStrategy) Predict(ps *Peer, at int64) Correction {
+	if at < ps.RefAt {
+		panic("syncpanic: time ran backwards") // want "exported Predict panics"
+	}
+	return Correction{At: at, CFO: ps.CFO}
+}
+
+// quietReset is unexported: internal invariant panics are allowed there.
+func quietReset(ps *Peer) {
+	if ps == nil {
+		panic("syncpanic: nil peer")
+	}
+	ps.Ref = nil
+}
+
+// CleanStrategy shows the conforming shape: errors out, never panics.
+type CleanStrategy struct{}
+
+// Measure returns an error for every failure mode.
+func (CleanStrategy) Measure(ps *Peer, cur []complex128, at int64) (Correction, error) {
+	if ps.Ref == nil {
+		return Correction{}, fmt.Errorf("syncpanic: measure before init")
+	}
+	quietReset(ps)
+	return Correction{At: at, CFO: ps.CFO}, nil
+}

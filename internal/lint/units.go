@@ -50,6 +50,7 @@ var unitsCoveredPkgs = map[string]bool{
 	"megamimo/internal/ofdm":     true,
 	"megamimo/internal/phy":      true,
 	"megamimo/internal/radio":    true,
+	"megamimo/internal/sync":     true,
 	"megamimo/internal/tracefmt": true,
 
 	"megamimo/internal/lint/testdata/src/units": true,

@@ -1,0 +1,177 @@
+package sync
+
+import (
+	"math"
+
+	"megamimo/internal/cmplxs"
+	"megamimo/internal/units"
+)
+
+// AirSync is the out-of-band reference scheme of "AirSync: Enabling
+// Distributed Multiuser MIMO with Full Spatial Multiplexing" (arXiv
+// 1205.6862): slaves continuously track the lead's reference with a
+// Kalman-style two-state predictor over [phase, CFO] and apply the
+// *predicted* phase rather than each packet's raw measurement. Against
+// the header scheme the trade is variance for lag: the filter smooths
+// measurement noise (AirSync reports ~2.5° residual error), but under a
+// fast drift step the filtered phase chases the truth instead of
+// snapping to it.
+//
+// In this simulation the tracked reference rides the same observations
+// the header scheme uses — the lead's headers stand in for AirSync's
+// dedicated out-of-band tone — so the head-to-head isolates the
+// estimator, not the airtime budget.
+type AirSync struct {
+	// ProcessNoise is the assumed phase random-walk intensity
+	// (rad²/sample): how fast the filter lets the true phase wander off
+	// its CFO-driven track. Zero selects the default.
+	ProcessNoise float64
+	// MeasNoise is the assumed per-measurement phase variance (rad²).
+	// Zero selects the default.
+	MeasNoise float64
+	// CFOWalk is the assumed CFO random-walk intensity
+	// ((rad/sample)²/sample). Zero selects the default.
+	//lint:ignore units a second-moment intensity, (rad/sample)² per sample — no first-order units type carries it
+	CFOWalk float64
+}
+
+// NewAirSync returns AirSync with its default filter tuning. The defaults
+// assume laboratory-grade oscillators between headers (tiny phase wander,
+// slow CFO drift) and header-grade phase measurements (~0.01 rad std).
+func NewAirSync() Strategy {
+	return AirSync{ProcessNoise: 1e-9, MeasNoise: 1e-4, CFOWalk: 1e-16}
+}
+
+func (s AirSync) processNoise() float64 {
+	if s.ProcessNoise > 0 {
+		return s.ProcessNoise
+	}
+	return 1e-9
+}
+
+func (s AirSync) measNoise() float64 {
+	if s.MeasNoise > 0 {
+		return s.MeasNoise
+	}
+	return 1e-4
+}
+
+func (s AirSync) cfoWalk() float64 {
+	if s.CFOWalk > 0 {
+		return s.CFOWalk
+	}
+	return 1e-16
+}
+
+// Name implements Strategy.
+func (AirSync) Name() string { return "airsync" }
+
+// Init implements Strategy: seed the filter mean from the capture (phase 0
+// at RefAt by construction, CFO from the packet-wide estimate) and the
+// covariance from the capture baseline.
+func (s AirSync) Init(ps *Peer, ref RefCapture) {
+	ps.Ref = ref.Ref
+	ps.RefAt = ref.RefAt
+	ps.CFO = ref.CFO
+	ps.FuseWeight = ref.Baseline * ref.Baseline
+	ps.LastPhase = 0
+	ps.LastAt = ref.RefAt
+	ps.HasPhase = true
+	ps.KPhase = 0
+	ps.KCFO = ref.CFO
+	r := s.measNoise()
+	ps.P00 = r
+	ps.P01 = 0
+	//lint:ignore units the CFO estimate's variance, (rad/sample)² — covariance entries stay bare float64
+	cfoVar := r
+	if ref.Baseline > 0 {
+		cfoVar = r / (ref.Baseline * ref.Baseline)
+	}
+	ps.P11 = cfoVar
+	ps.KInit = true
+}
+
+// Measure implements Strategy: extract this observation's scalar phase,
+// run one Kalman predict/update cycle, and return the *posterior filtered*
+// phase — not the raw measurement — as the applied correction. The
+// residual is the filter innovation.
+func (s AirSync) Measure(ps *Peer, cur []complex128, at int64) (Correction, error) {
+	slopeMeas, q := ratioComponents(cur, ps.Ref)
+	slope := ps.trackSlope(slopeMeas, float64(at-ps.RefAt))
+	z := commonPhase(q, slope) // wrapped measured phase advance since RefAt
+
+	dt := float64(at - ps.LastAt)
+	var innovation units.Radians
+	if !ps.KInit || dt < 0 {
+		// Cold start (or a clock discontinuity): trust the measurement.
+		ps.KPhase = z
+		ps.P00, ps.P01, ps.P11 = s.measNoise(), 0, s.measNoise()
+		ps.KInit = true
+	} else {
+		// Time update: x ← F·x with F = [[1, dt], [0, 1]],
+		// P ← F·P·Fᵀ + Q with Q = diag(qp·dt, qw·dt).
+		pred := ps.KPhase + units.PhaseAdvance(ps.KCFO, units.Samples(dt))
+		p00 := ps.P00 + dt*(2*ps.P01+dt*ps.P11) + s.processNoise()*dt
+		p01 := ps.P01 + dt*ps.P11
+		p11 := ps.P11 + s.cfoWalk()*dt
+		// Measurement update against the wrapped phase: the innovation is
+		// wrapped, which keeps the unwrapped state consistent as long as
+		// the prediction error between observations stays under π.
+		innovation = cmplxs.WrapPhase(z - pred)
+		s00 := p00 + s.measNoise()
+		k0 := p00 / s00
+		k1 := p01 / s00
+		ps.KPhase = pred + units.Scale(innovation, k0)
+		ps.KCFO += units.RadiansOver(units.Scale(innovation, k1), 1)
+		ps.P00 = (1 - k0) * p00
+		ps.P01 = (1 - k0) * p01
+		ps.P11 = p11 - k1*p01
+	}
+	ps.CFO = ps.KCFO
+	ps.LastPhase = z
+	ps.LastAt = at
+	ps.HasPhase = true
+	return Correction{
+		Ratio:    buildRatio(ps.KPhase, slope),
+		At:       at,
+		RefAt:    ps.RefAt,
+		CFO:      ps.KCFO,
+		Residual: innovation,
+	}, nil
+}
+
+// Predict implements Strategy: propagate the filter mean to at without
+// updating it.
+func (s AirSync) Predict(ps *Peer, at int64) Correction {
+	dt := float64(at - ps.LastAt)
+	phase := ps.KPhase + units.PhaseAdvance(ps.KCFO, units.Samples(dt))
+	slope := ps.SlopeRate * float64(at-ps.RefAt)
+	return Correction{
+		Ratio: buildRatio(phase, slope),
+		At:    at,
+		RefAt: ps.RefAt,
+		CFO:   ps.KCFO,
+	}
+}
+
+// Confidence implements Strategy: propagate the phase variance to at and
+// compare the predicted standard deviation against the π/18 nulling
+// budget — confidence reaches zero when the filter expects to miss by the
+// whole budget, or past the caller's hard staleness bound.
+func (s AirSync) Confidence(ps *Peer, at int64, budget units.Ticks) float64 {
+	if !ps.KInit || !ps.HasPhase || budget <= 0 {
+		return 0
+	}
+	if units.Ticks(at-ps.LastAt) > budget {
+		return 0
+	}
+	dt := float64(at - ps.LastAt)
+	if dt < 0 {
+		return 0
+	}
+	p00 := ps.P00 + dt*(2*ps.P01+dt*ps.P11) + s.processNoise()*dt
+	if p00 <= 0 {
+		return 1
+	}
+	return 1 - math.Sqrt(p00)/(math.Pi/18)
+}

@@ -104,6 +104,7 @@ func WriteChrome(w io.Writer, meta Meta, events []core.TraceEvent) error {
 			CarrierHz:  meta.CarrierHz,
 			APs:        meta.APs,
 			Clients:    meta.Clients,
+			Sync:       meta.Sync,
 		},
 	}
 	out.TraceEvents = append(out.TraceEvents, chromeEvent{
@@ -160,6 +161,7 @@ func ReadChrome(r io.Reader) (Meta, []core.TraceEvent, error) {
 		CarrierHz:  raw.OtherData.CarrierHz,
 		APs:        raw.OtherData.APs,
 		Clients:    raw.OtherData.Clients,
+		Sync:       raw.OtherData.Sync,
 	}
 	var events []core.TraceEvent
 	for i, ce := range raw.TraceEvents {

@@ -40,6 +40,10 @@ type Meta struct {
 	CarrierHz units.Hertz
 	// APs and Clients size the network (used for track naming).
 	APs, Clients int
+	// Sync names the synchronization strategy the run used ("" means the
+	// default header scheme). Additive in schema v1: old readers ignore it,
+	// old files simply omit it.
+	Sync string
 }
 
 // jsonEvent is the wire form of one event: flat, fixed field order
@@ -77,6 +81,7 @@ type header struct {
 	CarrierHz  units.Hertz `json:"carrier_hz"`
 	APs        int         `json:"aps"`
 	Clients    int         `json:"clients"`
+	Sync       string      `json:"sync,omitempty"`
 }
 
 // phString maps the event phase byte to its wire form.
@@ -178,6 +183,7 @@ func WriteJSONL(w io.Writer, meta Meta, events []core.TraceEvent) error {
 		CarrierHz:  meta.CarrierHz,
 		APs:        meta.APs,
 		Clients:    meta.Clients,
+		Sync:       meta.Sync,
 	}); err != nil {
 		return err
 	}
@@ -213,7 +219,7 @@ func ReadJSONL(r io.Reader) (Meta, []core.TraceEvent, error) {
 	if h.Version != SchemaVersion {
 		return Meta{}, nil, fmt.Errorf("tracefmt: schema version %d, reader supports %d", h.Version, SchemaVersion)
 	}
-	meta := Meta{SampleRate: h.SampleRate, CarrierHz: h.CarrierHz, APs: h.APs, Clients: h.Clients}
+	meta := Meta{SampleRate: h.SampleRate, CarrierHz: h.CarrierHz, APs: h.APs, Clients: h.Clients, Sync: h.Sync}
 	var events []core.TraceEvent
 	line := 1
 	for sc.Scan() {

@@ -145,5 +145,6 @@ func Scale[T ~float64](x T, k float64) T { return T(float64(x) * k) }
 func Div[T ~float64](x T, k float64) T { return T(float64(x) / k) }
 
 // Ratio returns the dimensionless ratio of two same-dimension
-// quantities.
-func Ratio[T ~float64](num, den T) float64 { return float64(num) / float64(den) }
+// quantities. It accepts the integer tick types too, so durations compare
+// without a bare float64 cast.
+func Ratio[T ~float64 | ~int64](num, den T) float64 { return float64(num) / float64(den) }
