@@ -58,6 +58,7 @@ func main() {
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		traceOut   = flag.String("trace-out", "", "workload/chaos only: write the merged flight-recorder trace to this file")
 		traceFmt   = flag.String("trace-format", "jsonl", "trace file format: jsonl|chrome")
+		streamOut  = flag.String("stream-out", "", "workload only: stream the merged flight-recorder trace live to this JSONL file")
 		chaosJSON  = flag.String("chaos-json", "", "chaos only: write the sweep result as deterministic JSON to this file")
 	)
 	flag.Parse()
@@ -197,6 +198,33 @@ func main() {
 		if *quick {
 			loads, nAPs, seconds = []float64{2, 8}, 2, 0.005
 		}
+		cfg := core.DefaultConfig(nAPs, nAPs, experiment.HighSNR.Lo, experiment.HighSNR.Hi)
+		meta := tracefmt.Meta{SampleRate: cfg.SampleRate, CarrierHz: cfg.CarrierHz, APs: nAPs, Clients: nAPs}
+		if *streamOut != "" {
+			// Streamed export: each cell's recorder feeds a live merge, and
+			// the file on disk is byte-identical to the -trace-out export at
+			// any -workers count (what CI diffs).
+			f, err := os.Create(*streamOut)
+			if err != nil {
+				return "", err
+			}
+			sink, err := tracefmt.NewStreamSink(f, meta, tracefmt.StreamOptions{})
+			if err != nil {
+				_ = f.Close()
+				return "", err
+			}
+			r, err := experiment.RunWorkloadStreamed(loads, nAPs, maxInt(2, *topos/5), traffic.Poisson, seconds, *seed, 1<<18, sink)
+			if cerr := sink.Close(); err == nil {
+				err = cerr
+			}
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				return "", err
+			}
+			return fmt.Sprintln(r), nil
+		}
 		traceLimit := 0
 		if *traceOut != "" {
 			traceLimit = 1 << 18 // per-cell ring; merged below
@@ -206,8 +234,6 @@ func main() {
 			return "", err
 		}
 		if *traceOut != "" {
-			cfg := core.DefaultConfig(nAPs, nAPs, experiment.HighSNR.Lo, experiment.HighSNR.Hi)
-			meta := tracefmt.Meta{SampleRate: cfg.SampleRate, CarrierHz: cfg.CarrierHz, APs: nAPs, Clients: nAPs}
 			if err := tracefmt.WriteFile(*traceOut, format, meta, events); err != nil {
 				return "", err
 			}

@@ -14,11 +14,14 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"time"
 
 	"megamimo/internal/baseline"
 	"megamimo/internal/core"
 	"megamimo/internal/fault"
 	"megamimo/internal/mac"
+	"megamimo/internal/metrics"
+	"megamimo/internal/obs"
 	psync "megamimo/internal/sync"
 	"megamimo/internal/tracefmt"
 	"megamimo/internal/traffic"
@@ -27,28 +30,39 @@ import (
 
 func main() {
 	var (
-		nAPs     = flag.Int("aps", 4, "number of access points")
-		nCli     = flag.Int("clients", 4, "number of clients")
-		snrLo    = flag.Float64("snr-lo", 18, "client SNR band low edge (dB)")
-		snrHi    = flag.Float64("snr-hi", 24, "client SNR band high edge (dB)")
-		packets  = flag.Int("packets", 8, "packets per client")
-		size     = flag.Int("size", 1500, "payload bytes")
-		seed     = flag.Int64("seed", 1, "random seed")
-		wellCnd  = flag.Bool("well-conditioned", true, "use the conditioning-controlled channel ensemble")
-		trace    = flag.Bool("trace", false, "print the protocol event timeline")
-		workload = flag.String("workload", "", "drive a demand workload instead of a fixed batch: cbr|poisson|onoff|heavy")
-		chaos    = flag.String("chaos", "", "replay a fault scenario against the closed loop: slave-crash|lead-crash|lossy|churn|mixed")
-		load     = flag.Float64("load", 8, "workload offered load per client (Mb/s)")
-		duration = flag.Float64("duration", 0.05, "workload window (simulated seconds)")
-		metrics  = flag.Bool("metrics", false, "dump the runtime metrics registry as JSON on exit")
-		traceOut = flag.String("trace-out", "", "write the flight-recorder trace to this file")
-		traceFmt = flag.String("trace-format", "jsonl", "trace file format: jsonl|chrome")
-		driftPPM = flag.Float64("drift-ppm", 0, "inject ±ppm oscillator drift: lead −ppm, slave APs +ppm (2×ppm relative)")
-		syncName = flag.String("sync", "", "synchronization strategy: header|airsync|beamsync|beamsync-mistuned (default: the paper's header scheme)")
+		nAPs        = flag.Int("aps", 4, "number of access points")
+		nCli        = flag.Int("clients", 4, "number of clients")
+		snrLo       = flag.Float64("snr-lo", 18, "client SNR band low edge (dB)")
+		snrHi       = flag.Float64("snr-hi", 24, "client SNR band high edge (dB)")
+		packets     = flag.Int("packets", 8, "packets per client")
+		size        = flag.Int("size", 1500, "payload bytes")
+		seed        = flag.Int64("seed", 1, "random seed")
+		wellCnd     = flag.Bool("well-conditioned", true, "use the conditioning-controlled channel ensemble")
+		trace       = flag.Bool("trace", false, "print the protocol event timeline")
+		workload    = flag.String("workload", "", "drive a demand workload instead of a fixed batch: cbr|poisson|onoff|heavy")
+		chaos       = flag.String("chaos", "", "replay a fault scenario against the closed loop: slave-crash|lead-crash|lossy|churn|mixed")
+		load        = flag.Float64("load", 8, "workload offered load per client (Mb/s)")
+		duration    = flag.Float64("duration", 0.05, "workload window (simulated seconds)")
+		dumpMetrics = flag.Bool("metrics", false, "dump the runtime metrics registry as JSON on exit")
+		traceOut    = flag.String("trace-out", "", "write the flight-recorder trace to this file")
+		traceFmt    = flag.String("trace-format", "jsonl", "trace file format: jsonl|chrome")
+		driftPPM    = flag.Float64("drift-ppm", 0, "inject ±ppm oscillator drift: lead −ppm, slave APs +ppm (2×ppm relative)")
+		syncName    = flag.String("sync", "", "synchronization strategy: header|airsync|beamsync|beamsync-mistuned (default: the paper's header scheme)")
+		serveAddr   = flag.String("serve", "", "serve /metrics /healthz /trace /debug/pprof on this address during the run")
+		serveWait   = flag.Duration("serve-wait", 0, "keep the observability server up this long after the run completes")
+		streamOut   = flag.String("stream-out", "", "stream the flight recorder live to this JSONL file as events are recorded")
+		sinkPolicy  = flag.String("sink-policy", "block", "full stream queue behavior: block|drop-oldest")
+		sampleEvery = flag.Int("sample-every", 0, "workload/chaos: snapshot the metrics registry every N service rounds (0 = 64)")
+		seriesOut   = flag.String("series-out", "", "write the sampled metrics time series as JSONL to this file")
+		promOut     = flag.String("prom-out", "", "write the final metrics registry as Prometheus text to this file")
 	)
 	flag.Parse()
 
 	format, err := tracefmt.ParseFormat(*traceFmt)
+	if err != nil {
+		fatal(err)
+	}
+	policy, err := tracefmt.ParseSinkPolicy(*sinkPolicy)
 	if err != nil {
 		fatal(err)
 	}
@@ -67,7 +81,12 @@ func main() {
 	}
 	fmt.Printf("network: %d APs, %d clients, %.0f-%.0f dB, %.0f MHz, sync strategy %q\n",
 		*nAPs, *nCli, *snrLo, *snrHi, cfg.SampleRate/1e6, net.SyncName())
-	if *trace || *traceOut != "" {
+	tel, err := newTelemetry(net, runMeta(net, cfg, *nAPs, *nCli), *streamOut, policy,
+		*serveAddr, *serveWait, *seriesOut, *promOut)
+	if err != nil {
+		fatal(err)
+	}
+	if *trace || *traceOut != "" || tel.active() {
 		net.Trace().Enable(1 << 20)
 	}
 	if *driftPPM != 0 {
@@ -100,14 +119,16 @@ func main() {
 		p.PowerScale, dB(p.PowerScale*p.PowerScale/cfg.NoiseVar))
 
 	if *chaos != "" {
-		runChaos(net, *chaos, *load, *duration, *seed, *size, *metrics)
+		runChaos(net, *chaos, *load, *duration, *seed, *size, *dumpMetrics, tel.sampler, *sampleEvery)
 		writeTrace(net, cfg, *nAPs, *nCli, *traceOut, format)
+		tel.finish()
 		return
 	}
 
 	if *workload != "" {
-		runWorkload(net, cfg, *workload, *load, *duration, *seed, *size, *trace, *metrics)
+		runWorkload(net, cfg, *workload, *load, *duration, *seed, *size, *trace, *dumpMetrics, tel.sampler, *sampleEvery)
 		writeTrace(net, cfg, *nAPs, *nCli, *traceOut, format)
+		tel.finish()
 		return
 	}
 
@@ -116,8 +137,10 @@ func main() {
 		// Export the flight recorder before dying: the rate probe's joint
 		// transmissions already traced the slave measurements, and a sync
 		// strategy broken enough to kill every MCS is precisely what the
-		// trace anomaly gate exists to diagnose.
+		// trace anomaly gate exists to diagnose. The streaming surfaces
+		// flush too, so a live follower sees how far the run got.
 		writeTrace(net, cfg, *nAPs, *nCli, *traceOut, format)
+		tel.finish()
 		if err == nil {
 			err = fmt.Errorf("no deliverable MCS at this SNR")
 		}
@@ -156,7 +179,7 @@ func main() {
 			fmt.Println("  " + e.String())
 		}
 	}
-	if *metrics {
+	if *dumpMetrics {
 		fmt.Println()
 		if err := net.Metrics().WriteJSON(os.Stdout); err != nil {
 			fatal(err)
@@ -164,33 +187,173 @@ func main() {
 		fmt.Println()
 	}
 	writeTrace(net, cfg, *nAPs, *nCli, *traceOut, format)
+	tel.finish()
 }
 
-// writeTrace exports the flight recorder to -trace-out, stamping the run
-// parameters the analyzers need (sample rate, carrier, network size).
-func writeTrace(net *core.Network, cfg core.Config, nAPs, nCli int, path string, format tracefmt.Format) {
-	if path == "" {
-		return
-	}
-	meta := tracefmt.Meta{
+// runMeta stamps the run parameters the analyzers need (sample rate,
+// carrier, network size, sync strategy) into trace metadata. The
+// streaming sinks reuse it so a streamed file and a buffered -trace-out
+// export of the same run carry identical headers — overflow counters are
+// the one buffered-only addition (the stream never truncates).
+func runMeta(net *core.Network, cfg core.Config, nAPs, nCli int) tracefmt.Meta {
+	return tracefmt.Meta{
 		SampleRate: cfg.SampleRate,
 		CarrierHz:  cfg.CarrierHz,
 		APs:        nAPs,
 		Clients:    nCli,
 		Sync:       net.SyncName(),
 	}
+}
+
+// writeTrace exports the flight recorder to -trace-out. When the ring
+// overflowed, the header records how many events were displaced and the
+// ether time of the first loss, so readers know the head is truncated.
+func writeTrace(net *core.Network, cfg core.Config, nAPs, nCli int, path string, format tracefmt.Format) {
+	if path == "" {
+		return
+	}
+	meta := runMeta(net, cfg, nAPs, nCli)
+	meta.Overflowed = net.Trace().Overflowed()
+	if at, ok := net.Trace().FirstOverflowAt(); ok {
+		meta.OverflowAt = at
+	}
 	events := net.Trace().Events()
 	if err := tracefmt.WriteFile(path, format, meta, events); err != nil {
 		fatal(err)
 	}
 	fmt.Printf("\ntrace: %d events -> %s (%s)\n", len(events), path, format)
+	if meta.Overflowed > 0 {
+		fmt.Printf("trace ring overflowed: %d events displaced (first at t=%d)\n",
+			meta.Overflowed, meta.OverflowAt)
+	}
+}
+
+// telemetry bundles the run's streaming observability surfaces: the live
+// JSONL stream, the HTTP server, and the metrics time-series sampler.
+// A zero surface set is valid — every method no-ops.
+type telemetry struct {
+	net        *core.Network
+	stream     *tracefmt.StreamSink
+	streamFile *os.File
+	streamPath string
+	server     *obs.Server
+	sampler    *metrics.Sampler
+	seriesOut  string
+	promOut    string
+	wait       time.Duration
+}
+
+// newTelemetry opens the requested surfaces and attaches them to the
+// network's tracer as a tee of sinks (the caller still enables the
+// recorder). The sampler publishes to the HTTP server on every sample,
+// so /metrics tracks the run live at the workload sampling cadence.
+func newTelemetry(net *core.Network, meta tracefmt.Meta, streamOut string, policy tracefmt.SinkPolicy,
+	serveAddr string, wait time.Duration, seriesOut, promOut string) (*telemetry, error) {
+	tel := &telemetry{net: net, streamPath: streamOut, seriesOut: seriesOut, promOut: promOut, wait: wait}
+	var sinks []core.TraceSink
+	if streamOut != "" {
+		f, err := os.Create(streamOut)
+		if err != nil {
+			return nil, err
+		}
+		s, err := tracefmt.NewStreamSink(f, meta, tracefmt.StreamOptions{
+			Policy:  policy,
+			Dropped: net.Metrics().Counter("trace_sink_dropped_total"),
+		})
+		if err != nil {
+			_ = f.Close()
+			return nil, err
+		}
+		tel.stream, tel.streamFile = s, f
+		sinks = append(sinks, s)
+	}
+	if serveAddr != "" {
+		srv, err := obs.New(obs.Config{Addr: serveAddr, Meta: meta})
+		if err != nil {
+			return nil, err
+		}
+		tel.server = srv
+		fmt.Println(srv)
+		sinks = append(sinks, srv)
+	}
+	if seriesOut != "" || tel.server != nil {
+		tel.sampler = metrics.NewSampler(net.Metrics())
+		if tel.server != nil {
+			srv := tel.server
+			tel.sampler.OnSample = func(metrics.Sample) { _ = srv.PublishMetrics(net.Metrics()) }
+		}
+	}
+	if s := core.TeeSinks(sinks...); s != nil {
+		net.Trace().SetSink(s)
+	}
+	return tel, nil
+}
+
+// active reports whether any surface needs the flight recorder enabled.
+func (tel *telemetry) active() bool { return tel.stream != nil || tel.server != nil }
+
+// finish flushes every surface at the end of the run: the series and
+// exposition files, the stream (fatal on a lost stream — a partial file
+// must not pass for a complete one), and finally the HTTP server, which
+// keeps serving the finished run's state for -serve-wait before closing.
+func (tel *telemetry) finish() {
+	if tel.sampler != nil && len(tel.sampler.Series()) == 0 {
+		// Batch runs have no service rounds to pace sampling on; take the
+		// one end-of-run point so the series is never empty.
+		tel.sampler.Sample(tel.net.Now())
+	}
+	if tel.seriesOut != "" {
+		f, err := os.Create(tel.seriesOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := tel.sampler.WriteJSONL(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("metrics series: %d samples -> %s\n", len(tel.sampler.Series()), tel.seriesOut)
+	}
+	if tel.promOut != "" {
+		f, err := os.Create(tel.promOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := tel.net.Metrics().WritePrometheus(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("prometheus exposition -> %s\n", tel.promOut)
+	}
+	if tel.stream != nil {
+		err := tel.stream.Close()
+		if cerr := tel.streamFile.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fatal(fmt.Errorf("stream-out: %w", err))
+		}
+		fmt.Printf("stream: %s (%d lines dropped)\n", tel.streamPath, tel.stream.Dropped())
+	}
+	if tel.server != nil {
+		_ = tel.server.PublishMetrics(tel.net.Metrics())
+		tel.server.MarkDone()
+		if tel.wait > 0 {
+			fmt.Printf("observability server up for another %s\n", tel.wait)
+			time.Sleep(tel.wait)
+		}
+		_ = tel.server.Close()
+	}
 }
 
 // runWorkload drives the measured network closed-loop from per-client
 // demand profiles: MegaMIMO on the primary network, the 802.11 baseline
 // on a second network built from the same seed (identical topology and
 // channels), so both systems face the same demand.
-func runWorkload(net *core.Network, cfg core.Config, kindName string, loadMbps, seconds float64, seed int64, size int, trace, metrics bool) {
+func runWorkload(net *core.Network, cfg core.Config, kindName string, loadMbps, seconds float64, seed int64, size int, trace, dumpMetrics bool, sampler *metrics.Sampler, sampleEvery int) {
 	kind, err := traffic.ParseKind(kindName)
 	if err != nil {
 		fatal(err)
@@ -199,7 +362,10 @@ func runWorkload(net *core.Network, cfg core.Config, kindName string, loadMbps, 
 	for i := range profiles {
 		profiles[i] = traffic.ProfileFor(kind, loadMbps*1e6, size)
 	}
-	tcfg := traffic.Config{System: traffic.SystemMegaMIMO, Profiles: profiles, Seed: seed + 1}
+	tcfg := traffic.Config{
+		System: traffic.SystemMegaMIMO, Profiles: profiles, Seed: seed + 1,
+		Sampler: sampler, SampleEvery: sampleEvery,
+	}
 	eng, err := traffic.New(net, tcfg)
 	if err != nil {
 		fatal(err)
@@ -219,6 +385,9 @@ func runWorkload(net *core.Network, cfg core.Config, kindName string, loadMbps, 
 		fatal(err)
 	}
 	tcfg.System = traffic.SystemTDMA
+	// The sampler reads the MegaMIMO network's registry; detach it before
+	// the baseline run so that run's rounds don't append foreign points.
+	tcfg.Sampler = nil
 	blEng, err := traffic.New(blNet, tcfg)
 	if err != nil {
 		fatal(err)
@@ -238,7 +407,7 @@ func runWorkload(net *core.Network, cfg core.Config, kindName string, loadMbps, 
 			fmt.Println("  " + e.String())
 		}
 	}
-	if metrics {
+	if dumpMetrics {
 		fmt.Println()
 		if err := net.Metrics().WriteJSON(os.Stdout); err != nil {
 			fatal(err)
@@ -292,7 +461,7 @@ func chaosPlan(net *core.Network, scenario string, seconds float64, seed int64) 
 // steady tail runs so -trace-out captures only the recovered state (the
 // anomaly gate must pass on it). The delivery rate covers both windows —
 // packets lost to the faults stay lost.
-func runChaos(net *core.Network, scenario string, loadMbps, seconds float64, seed int64, size int, metrics bool) {
+func runChaos(net *core.Network, scenario string, loadMbps, seconds float64, seed int64, size int, dumpMetrics bool, sampler *metrics.Sampler, sampleEvery int) {
 	plan, err := chaosPlan(net, scenario, seconds, seed)
 	if err != nil {
 		fatal(err)
@@ -310,10 +479,12 @@ func runChaos(net *core.Network, scenario string, loadMbps, seconds float64, see
 		profiles[i] = traffic.NewCBR(loadMbps*1e6, size)
 	}
 	eng, err := traffic.New(net, traffic.Config{
-		System:   traffic.SystemMegaMIMO,
-		Profiles: profiles,
-		Seed:     seed + 1,
-		Faults:   plan,
+		System:      traffic.SystemMegaMIMO,
+		Profiles:    profiles,
+		Seed:        seed + 1,
+		Faults:      plan,
+		Sampler:     sampler,
+		SampleEvery: sampleEvery,
 	})
 	if err != nil {
 		fatal(err)
@@ -349,7 +520,7 @@ func runChaos(net *core.Network, scenario string, loadMbps, seconds float64, see
 		rate = float64(del) / float64(off)
 	}
 	fmt.Printf("chaos delivery rate: %.3f (delivered %d / offered %d packets)\n", rate, del, off)
-	if metrics {
+	if dumpMetrics {
 		fmt.Println()
 		if err := net.Metrics().WriteJSON(os.Stdout); err != nil {
 			fatal(err)

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	megamimo-trace [flags] summary|phases|spans|anomalies <trace-file>
+//	megamimo-trace [flags] summary|phases|spans|anomalies|follow <trace-file>
 //
 // Subcommands:
 //
@@ -15,13 +15,20 @@
 //	           round, joint-tx, traffic)
 //	anomalies  check the trace against the paper's budgets; exits 1 if
 //	           any violation is found, 0 on a clean trace
+//	follow     tail a streaming JSONL trace (megamimo-sim -stream-out)
+//	           while it is written, printing each budget violation the
+//	           moment the online monitor trips it; exits 1 if any check
+//	           tripped once the stream has been idle for -idle-exit
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"os"
+	"time"
 
 	"megamimo/internal/tracefmt"
 	"megamimo/internal/units"
@@ -33,9 +40,12 @@ func main() {
 		maxPPM    = flag.Float64("max-ppm", 40, "relative CFO mandate between lead and slave (ppm)")
 		nullDB    = flag.Float64("null-degrade-db", 3, "flag null depths this far below the run median (dB)")
 		evmDB     = flag.Float64("evm-degrade-db", 6, "flag decodes this far below their stream median EVM SNR (dB)")
+		window    = flag.Int("window", 0, "follow: online monitor sliding-window length (0 = default)")
+		poll      = flag.Duration("poll", 200*time.Millisecond, "follow: poll interval while the stream is idle")
+		idleExit  = flag.Duration("idle-exit", 5*time.Second, "follow: exit after the stream has been idle this long")
 	)
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: megamimo-trace [flags] summary|phases|spans|anomalies <trace-file>")
+		fmt.Fprintln(os.Stderr, "usage: megamimo-trace [flags] summary|phases|spans|anomalies|follow <trace-file>")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -44,6 +54,16 @@ func main() {
 		os.Exit(2)
 	}
 	cmd, path := flag.Arg(0), flag.Arg(1)
+	budget := tracefmt.Budget{
+		PhaseBudgetRad: units.Radians(*budgetRad),
+		MaxRelPPM:      units.PPM(*maxPPM),
+		NullDegradeDB:  units.Decibels(*nullDB),
+		EVMDegradeDB:   units.Decibels(*evmDB),
+	}
+
+	if cmd == "follow" {
+		os.Exit(follow(path, budget, *window, *poll, *idleExit))
+	}
 
 	meta, events, err := tracefmt.ReadFile(path)
 	if err != nil {
@@ -60,6 +80,9 @@ func main() {
 		fmt.Printf("\nwindow: t=%d..%d samples", s.AtMin, s.AtMax)
 		if s.DurationMs > 0 {
 			fmt.Printf(" (%.3f ms at %.0f MHz)", s.DurationMs, meta.SampleRate/1e6)
+		}
+		if meta.Overflowed > 0 {
+			fmt.Printf("\nring overflow: %d events displaced before export (first lost at t=%d)", meta.Overflowed, meta.OverflowAt)
 		}
 		fmt.Printf("\nnetwork: %d APs, %d clients\n\nevents by kind:\n", meta.APs, meta.Clients)
 		for _, kc := range s.ByKind {
@@ -95,13 +118,7 @@ func main() {
 		}
 
 	case "anomalies":
-		b := tracefmt.Budget{
-			PhaseBudgetRad: units.Radians(*budgetRad),
-			MaxRelPPM:      units.PPM(*maxPPM),
-			NullDegradeDB:  units.Decibels(*nullDB),
-			EVMDegradeDB:   units.Decibels(*evmDB),
-		}
-		found := tracefmt.FindAnomalies(meta, events, b)
+		found := tracefmt.FindAnomalies(meta, events, budget)
 		if len(found) == 0 {
 			fmt.Println("no anomalies: every slave AP within the phase and CFO budgets, no degraded nulls or decodes")
 			return
@@ -116,6 +133,94 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// follow tails a streaming JSONL trace, feeding each completed line to
+// the online anomaly monitor and printing violations the moment they
+// trip. Partial lines (the writer mid-flush) stay buffered until their
+// newline arrives. Returns the process exit code: 0 healthy, 1 tripped.
+func follow(path string, b tracefmt.Budget, window int, poll, idleExit time.Duration) int {
+	if window <= 0 {
+		window = tracefmt.DefaultMonitorWindow
+	}
+	deadline := time.Now().Add(idleExit)
+	var f *os.File
+	for {
+		var err error
+		f, err = os.Open(path)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			fatal(fmt.Errorf("follow: %s did not appear within %s", path, idleExit))
+		}
+		time.Sleep(poll)
+	}
+	defer f.Close()
+
+	var (
+		buf     []byte
+		chunk   = make([]byte, 64<<10)
+		mon     *tracefmt.Monitor
+		printed int
+		lineNo  int
+	)
+	for {
+		n, err := f.Read(chunk)
+		if n > 0 {
+			deadline = time.Now().Add(idleExit)
+			buf = append(buf, chunk[:n]...)
+			for {
+				nl := bytes.IndexByte(buf, '\n')
+				if nl < 0 {
+					break
+				}
+				line := bytes.TrimSpace(buf[:nl])
+				buf = buf[nl+1:]
+				lineNo++
+				if len(line) == 0 {
+					continue
+				}
+				if mon == nil {
+					meta, err := tracefmt.UnmarshalHeader(line)
+					if err != nil {
+						fatal(err)
+					}
+					mon = tracefmt.NewMonitor(meta, b, window)
+					fmt.Printf("following %s: %d APs, %d clients, sync %q\n",
+						path, meta.APs, meta.Clients, meta.Sync)
+					continue
+				}
+				e, err := tracefmt.UnmarshalEvent(line)
+				if err != nil {
+					fatal(fmt.Errorf("line %d: %w", lineNo, err))
+				}
+				mon.Observe(e)
+				for _, v := range mon.Tripped()[printed:] {
+					fmt.Printf("VIOLATION t=%-10d %s\n", v.At, v.Anomaly.String())
+					printed++
+				}
+			}
+		}
+		if err != nil && err != io.EOF {
+			fatal(err)
+		}
+		if n == 0 {
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(poll)
+		}
+	}
+	if mon == nil {
+		fatal(fmt.Errorf("follow: no trace header within %s of idle", idleExit))
+	}
+	if mon.Healthy() {
+		fmt.Printf("stream idle: %d events, all checks healthy\n", mon.Events())
+		return 0
+	}
+	fmt.Printf("stream idle: %d events, %d checks tripped\n", mon.Events(), len(mon.Tripped()))
+	return 1
 }
 
 func fatal(err error) {

@@ -176,6 +176,48 @@ type TraceEvent struct {
 // SpanID identifies one span within a recording; 0 is the null span.
 type SpanID int64
 
+// TraceSink receives a live copy of every event the Tracer records, in
+// emission (seq) order, the moment it enters the ring. A sink turns the
+// flight recorder from a post-hoc ring into a streaming pipeline: the ring
+// keeps the bounded recent tail for end-of-run export while the sink sees
+// the unbounded full stream (including events the ring later displaces).
+//
+// ConsumeTrace is called with the tracer's mutex held, from whatever
+// goroutine emitted the event (a Network is single-threaded, so for one
+// network that is one goroutine). Implementations must be fast, must not
+// call back into the Tracer, and own their own synchronization if they
+// are shared across tracers.
+type TraceSink interface {
+	ConsumeTrace(e TraceEvent)
+}
+
+// teeSink fans events out to several sinks in order.
+type teeSink struct{ sinks []TraceSink }
+
+func (t teeSink) ConsumeTrace(e TraceEvent) {
+	for _, s := range t.sinks {
+		s.ConsumeTrace(e)
+	}
+}
+
+// TeeSinks combines sinks into one that forwards every event to each
+// non-nil sink in argument order. Nil (and no) sinks collapse to nil.
+func TeeSinks(sinks ...TraceSink) TraceSink {
+	out := make([]TraceSink, 0, len(sinks))
+	for _, s := range sinks {
+		if s != nil {
+			out = append(out, s)
+		}
+	}
+	switch len(out) {
+	case 0:
+		return nil
+	case 1:
+		return out[0]
+	}
+	return teeSink{sinks: out}
+}
+
 // spanFrame is one open span on the tracer's stack.
 type spanFrame struct {
 	id   SpanID
@@ -197,6 +239,17 @@ type Tracer struct {
 	active   []spanFrame
 	dropped  int64
 	overflow int64
+
+	// overflowAt is the ether time of the event whose arrival displaced
+	// the first ring entry; hasOverflowAt distinguishes it from t=0.
+	overflowAt    int64
+	hasOverflowAt bool
+
+	// sink, when set, receives every validated event as it is recorded.
+	// It deliberately survives Enable: a long-lived streaming pipeline
+	// keeps observing across recording resets (e.g. the chaos steady-tail
+	// re-Enable), while the ring starts over.
+	sink TraceSink
 
 	// Optional observability-of-the-observer hooks, wired by the owning
 	// Network to its metrics registry.
@@ -223,6 +276,21 @@ func (t *Tracer) Enable(limit int) {
 	t.active = t.active[:0]
 	t.dropped = 0
 	t.overflow = 0
+	t.overflowAt = 0
+	t.hasOverflowAt = false
+}
+
+// SetSink attaches (or with nil, detaches) a live event sink. The sink
+// receives every validated event in seq order, including events the ring
+// later displaces, and is invoked under the tracer's mutex — see the
+// TraceSink contract. Unlike the ring, the sink survives Enable.
+func (t *Tracer) SetSink(s TraceSink) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.sink = s
 }
 
 // Enabled reports whether the tracer is recording.
@@ -269,6 +337,19 @@ func (t *Tracer) Overflowed() int64 {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return t.overflow
+}
+
+// FirstOverflowAt returns the ether time of the event whose arrival first
+// displaced a ring entry, and whether an overflow has happened at all.
+// Exports embed it in the trace Meta so a truncated recording states when
+// its head was lost instead of failing silently.
+func (t *Tracer) FirstOverflowAt() (int64, bool) {
+	if t == nil {
+		return 0, false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.overflowAt, t.hasOverflowAt
 }
 
 // Emit records one instant event. Events with a kind outside the Kind*
@@ -368,13 +449,20 @@ func (t *Tracer) recordLocked(at int64, kind string, ph byte, span int64, a Trac
 	t.seq++
 	if len(t.buf) < t.limit {
 		t.buf = append(t.buf, e)
-		return
+	} else {
+		t.buf[t.head] = e
+		t.head = (t.head + 1) % t.limit
+		t.overflow++
+		if !t.hasOverflowAt {
+			t.overflowAt = e.At
+			t.hasOverflowAt = true
+		}
+		if t.overflowCtr != nil {
+			t.overflowCtr.Inc()
+		}
 	}
-	t.buf[t.head] = e
-	t.head = (t.head + 1) % t.limit
-	t.overflow++
-	if t.overflowCtr != nil {
-		t.overflowCtr.Inc()
+	if t.sink != nil {
+		t.sink.ConsumeTrace(e)
 	}
 }
 

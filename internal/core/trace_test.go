@@ -301,3 +301,98 @@ func TestMergeTraces(t *testing.T) {
 		t.Fatal("cell b instant lost its span after offsetting")
 	}
 }
+
+// collectSink is a test TraceSink that keeps every event it is handed.
+type collectSink struct{ evs []TraceEvent }
+
+func (c *collectSink) ConsumeTrace(e TraceEvent) { c.evs = append(c.evs, e) }
+
+// TestTracerSinkSeesFullStream checks the streaming contract: a sink
+// receives every validated event in seq order, including events the ring
+// later displaces, and skips rejected kinds.
+func TestTracerSinkSeesFullStream(t *testing.T) {
+	tr := &Tracer{}
+	sink := &collectSink{}
+	tr.SetSink(sink)
+	tr.Enable(4)
+	for i := 0; i < 10; i++ {
+		tr.Emit(int64(i), KindTraffic, TraceAttrs{Pkt: int64(i)}, "")
+	}
+	tr.Emit(10, "bogus-kind", TraceAttrs{}, "")
+	if len(tr.Events()) != 4 {
+		t.Fatalf("ring holds %d events, want 4", len(tr.Events()))
+	}
+	if len(sink.evs) != 10 {
+		t.Fatalf("sink saw %d events, want the full stream of 10", len(sink.evs))
+	}
+	for i, e := range sink.evs {
+		if e.Seq != int64(i) || e.At != int64(i) {
+			t.Fatalf("sink event %d = %+v, want seq/at %d", i, e, i)
+		}
+	}
+}
+
+// TestTracerSinkSurvivesEnable pins the pipeline semantics: Enable resets
+// the ring and seq but keeps the attached sink observing.
+func TestTracerSinkSurvivesEnable(t *testing.T) {
+	tr := &Tracer{}
+	sink := &collectSink{}
+	tr.SetSink(sink)
+	tr.Enable(8)
+	tr.Emit(1, KindTraffic, TraceAttrs{}, "first window")
+	tr.Enable(8)
+	tr.Emit(2, KindTraffic, TraceAttrs{}, "second window")
+	if len(sink.evs) != 2 {
+		t.Fatalf("sink saw %d events across Enable, want 2", len(sink.evs))
+	}
+	if sink.evs[1].Seq != 0 {
+		t.Fatalf("second window seq = %d, want a fresh 0 after Enable", sink.evs[1].Seq)
+	}
+	tr.SetSink(nil)
+	tr.Emit(3, KindTraffic, TraceAttrs{}, "after detach")
+	if len(sink.evs) != 2 {
+		t.Fatal("detached sink still receiving events")
+	}
+}
+
+func TestTeeSinks(t *testing.T) {
+	a, b := &collectSink{}, &collectSink{}
+	if TeeSinks() != nil || TeeSinks(nil, nil) != nil {
+		t.Fatal("empty tee should collapse to nil")
+	}
+	if got := TeeSinks(a); got != TraceSink(a) {
+		t.Fatal("single-sink tee should return the sink itself")
+	}
+	tee := TeeSinks(a, nil, b)
+	tee.ConsumeTrace(TraceEvent{Seq: 7, Kind: KindDecode})
+	if len(a.evs) != 1 || len(b.evs) != 1 || a.evs[0].Seq != 7 || b.evs[0].Seq != 7 {
+		t.Fatalf("tee fan-out wrong: a=%d b=%d", len(a.evs), len(b.evs))
+	}
+}
+
+// TestTracerFirstOverflowAt checks the truncation-visibility satellite:
+// the ether time of the event that displaced the first ring entry is
+// recorded once, and Enable clears it.
+func TestTracerFirstOverflowAt(t *testing.T) {
+	tr := &Tracer{}
+	tr.Enable(3)
+	if _, ok := tr.FirstOverflowAt(); ok {
+		t.Fatal("fresh tracer claims an overflow")
+	}
+	for i := 0; i < 3; i++ {
+		tr.Emit(int64(100+i), KindTraffic, TraceAttrs{}, "")
+	}
+	if _, ok := tr.FirstOverflowAt(); ok {
+		t.Fatal("exactly-full ring claims an overflow")
+	}
+	tr.Emit(500, KindTraffic, TraceAttrs{}, "")
+	tr.Emit(600, KindTraffic, TraceAttrs{}, "")
+	at, ok := tr.FirstOverflowAt()
+	if !ok || at != 500 {
+		t.Fatalf("FirstOverflowAt() = %d,%v; want 500,true (first displacing event)", at, ok)
+	}
+	tr.Enable(3)
+	if _, ok := tr.FirstOverflowAt(); ok {
+		t.Fatal("Enable did not clear the overflow timestamp")
+	}
+}

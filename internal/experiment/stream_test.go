@@ -1,0 +1,68 @@
+package experiment
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"megamimo/internal/tracefmt"
+	"megamimo/internal/traffic"
+)
+
+// TestWorkloadStreamedByteIdentical is the streaming pipeline's core
+// determinism property: the JSONL a live StreamSink receives through the
+// StreamMerge — at one worker and at four — is byte-for-byte the file the
+// buffered RunWorkloadTrace + WriteJSONL path would have written, and the
+// sweep results agree too. Ring size is large enough that nothing
+// overflows (overflow is the one legitimate divergence: the stream keeps
+// everything, the ring only the tail).
+func TestWorkloadStreamedByteIdentical(t *testing.T) {
+	defer SetWorkers(0)
+	loads := []float64{2, 6}
+	const (
+		nAPs, topos = 2, 2
+		seconds     = 0.01
+		seed        = 3
+		limit       = 1 << 16
+	)
+	meta := tracefmt.Meta{
+		SampleRate: 20e6, CarrierHz: 2.437e9,
+		APs: nAPs, Clients: nAPs,
+	}
+
+	SetWorkers(1)
+	wantRes, events, err := RunWorkloadTrace(loads, nAPs, topos, traffic.CBR, seconds, seed, limit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("buffered workload trace is empty; fixture records nothing")
+	}
+	var want bytes.Buffer
+	if err := tracefmt.WriteJSONL(&want, meta, events); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, workers := range []int{1, 4} {
+		SetWorkers(workers)
+		var got bytes.Buffer
+		sink, err := tracefmt.NewStreamSink(&got, meta, tracefmt.StreamOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := RunWorkloadStreamed(loads, nAPs, topos, traffic.CBR, seconds, seed, limit, sink)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if err := sink.Close(); err != nil {
+			t.Fatalf("workers=%d close: %v", workers, err)
+		}
+		if !bytes.Equal(got.Bytes(), want.Bytes()) {
+			t.Errorf("workers=%d: streamed JSONL differs from buffered export (%d vs %d bytes)",
+				workers, got.Len(), want.Len())
+		}
+		if !reflect.DeepEqual(res, wantRes) {
+			t.Errorf("workers=%d: streamed sweep result differs from buffered", workers)
+		}
+	}
+}

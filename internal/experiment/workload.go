@@ -5,6 +5,7 @@ import (
 
 	"megamimo/internal/core"
 	"megamimo/internal/stats"
+	"megamimo/internal/tracefmt"
 	"megamimo/internal/traffic"
 )
 
@@ -45,7 +46,7 @@ type workloadCell struct {
 // ring size and returns its events; the baseline run is never traced (it
 // has no joint rounds to record, and tracing it would double the volume
 // without adding protocol telemetry).
-func runWorkloadCell(nAPs int, kind traffic.Kind, loadBps float64, seconds float64, topoSeed, engSeed int64, traceLimit int) (workloadCell, error) {
+func runWorkloadCell(nAPs int, kind traffic.Kind, loadBps float64, seconds float64, topoSeed, engSeed int64, traceLimit int, sink core.TraceSink) (workloadCell, error) {
 	run := func(sys traffic.System) (*traffic.Report, []core.TraceEvent, error) {
 		cfg := core.DefaultConfig(nAPs, nAPs, HighSNR.Lo, HighSNR.Hi)
 		cfg.Seed = topoSeed
@@ -55,6 +56,9 @@ func runWorkloadCell(nAPs int, kind traffic.Kind, loadBps float64, seconds float
 			return nil, nil, err
 		}
 		if traceLimit > 0 && sys == traffic.SystemMegaMIMO {
+			if sink != nil {
+				n.Trace().SetSink(sink)
+			}
 			n.Trace().Enable(traceLimit)
 		}
 		if _, err := n.MeasureAndPrecode(); err != nil {
@@ -111,7 +115,7 @@ func RunWorkloadTrace(loadsMbps []float64, nAPs, topologies int, kind traffic.Ki
 		topo := i % topologies
 		topoSeed := seed + int64(topo)*7919
 		engSeed := seed + int64(loadIdx)*104729 + int64(topo)*7919
-		return runWorkloadCell(nAPs, kind, loadsMbps[loadIdx]*1e6, seconds, topoSeed, engSeed, traceLimit)
+		return runWorkloadCell(nAPs, kind, loadsMbps[loadIdx]*1e6, seconds, topoSeed, engSeed, traceLimit, nil)
 	})
 	if err != nil {
 		return nil, nil, err
@@ -124,6 +128,36 @@ func RunWorkloadTrace(loadsMbps []float64, nAPs, topologies int, kind traffic.Ki
 		}
 		trace = core.MergeTraces(cellTraces...)
 	}
+	return aggregateWorkload(cells, loadsMbps, topologies, nAPs, kind, seconds), trace, nil
+}
+
+// RunWorkloadStreamed is RunWorkloadTrace with the flight recorder
+// streaming live: each cell's tracer feeds its lane of a StreamMerge and
+// the merged, renumbered events reach `out` while cells are still
+// running. The merge replays core.MergeTraces' ordering online, so for
+// ring sizes that never overflow the streamed output is byte-identical
+// to the buffered RunWorkloadTrace export at any worker count. Cells
+// that finish out of order buffer inside the merge until the frontier
+// reaches them; `out` itself is always driven by one call at a time.
+func RunWorkloadStreamed(loadsMbps []float64, nAPs, topologies int, kind traffic.Kind, seconds float64, seed int64, traceLimit int, out core.TraceSink) (*WorkloadResult, error) {
+	merge := tracefmt.NewStreamMerge(out, len(loadsMbps)*topologies)
+	cells, err := MapNamed("workload", len(loadsMbps)*topologies, func(i int) (workloadCell, error) {
+		// Close the lane even on error so the merge still drains.
+		defer merge.CloseCell(i)
+		loadIdx := i / topologies
+		topo := i % topologies
+		topoSeed := seed + int64(topo)*7919
+		engSeed := seed + int64(loadIdx)*104729 + int64(topo)*7919
+		return runWorkloadCell(nAPs, kind, loadsMbps[loadIdx]*1e6, seconds, topoSeed, engSeed, traceLimit, merge.Cell(i))
+	})
+	if err != nil {
+		return nil, err
+	}
+	return aggregateWorkload(cells, loadsMbps, topologies, nAPs, kind, seconds), nil
+}
+
+// aggregateWorkload folds per-cell reports into the demand-sweep curve.
+func aggregateWorkload(cells []workloadCell, loadsMbps []float64, topologies, nAPs int, kind traffic.Kind, seconds float64) *WorkloadResult {
 	res := &WorkloadResult{NAPs: nAPs, Kind: kind, Seconds: seconds}
 	for li, load := range loadsMbps {
 		var mmT, blT, mmF, blF, mmL, blL []float64
@@ -146,7 +180,7 @@ func RunWorkloadTrace(loadsMbps []float64, nAPs, topologies int, kind traffic.Ki
 			BaselineP95Ms:        stats.Median(blL),
 		})
 	}
-	return res, trace, nil
+	return res
 }
 
 // maxP95 returns the worst per-client p95 latency of a run (0 when no

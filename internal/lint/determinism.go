@@ -33,15 +33,20 @@ const rngPkg = "megamimo/internal/rng"
 
 // strictMapPkgs lists packages whose outputs must be byte-identical under
 // map-iteration reshuffling with no reduction-shape analysis: workload
-// reports, metrics exports and the sync-strategy sweep are diffed verbatim
-// across worker counts in CI, so every map range there is suspect unless
-// it is the collect-keys-then-sort idiom.
+// reports, metrics exports, the sync-strategy sweep, and the streaming
+// telemetry pipeline (trace serialization, the online monitor, the
+// observability endpoints) are diffed verbatim across worker counts in
+// CI, so every map range there is suspect unless it is the
+// collect-keys-then-sort idiom.
 var strictMapPkgs = map[string]bool{
 	"megamimo/internal/traffic":                     true,
 	"megamimo/internal/metrics":                     true,
 	"megamimo/internal/sync":                        true,
+	"megamimo/internal/tracefmt":                    true,
+	"megamimo/internal/obs":                         true,
 	"megamimo/internal/lint/testdata/src/strictmap": true,
 	"megamimo/internal/lint/testdata/src/syncmap":   true,
+	"megamimo/internal/lint/testdata/src/obsmap":    true,
 }
 
 func runDeterminism(p *Pass) {

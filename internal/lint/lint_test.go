@@ -104,6 +104,8 @@ func TestHotAllocGolden(t *testing.T)    { runGolden(t, HotAllocAnalyzer, "hotal
 func TestPanicPolicyGolden(t *testing.T) { runGolden(t, PanicPolicyAnalyzer, "panicpolicy") }
 func TestSyncPanicGolden(t *testing.T)   { runGolden(t, PanicPolicyAnalyzer, "syncpanic") }
 func TestSyncMapGolden(t *testing.T)     { runGolden(t, DeterminismAnalyzer, "syncmap") }
+func TestObsMapGolden(t *testing.T)      { runGolden(t, DeterminismAnalyzer, "obsmap") }
+func TestObsPanicGolden(t *testing.T)    { runGolden(t, PanicPolicyAnalyzer, "obspanic") }
 func TestUncheckedErrorGolden(t *testing.T) {
 	runGolden(t, UncheckedErrorAnalyzer, "uncheckederr")
 }

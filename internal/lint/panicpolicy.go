@@ -9,8 +9,10 @@ import (
 // instead of panicking: they sit on user-reachable input paths (rate
 // selection from measured SNRs, modulation of frame bits, statistics over
 // experiment output, the PHY encode/decode pipeline, the fault-injection
-// schedule that chaos experiments replay, and the pluggable sync
-// strategies the closed loop calls on every joint transmission).
+// schedule that chaos experiments replay, the pluggable sync strategies
+// the closed loop calls on every joint transmission, and the streaming
+// telemetry surfaces — sinks and monitors run inside the tracer's record
+// path on every event, so a panic there kills the simulation mid-run).
 var panicPolicyPkgs = map[string]bool{
 	"megamimo/internal/rate":       true,
 	"megamimo/internal/modulation": true,
@@ -18,6 +20,9 @@ var panicPolicyPkgs = map[string]bool{
 	"megamimo/internal/phy":        true,
 	"megamimo/internal/fault":      true,
 	"megamimo/internal/sync":       true,
+	"megamimo/internal/tracefmt":   true,
+	"megamimo/internal/metrics":    true,
+	"megamimo/internal/obs":        true,
 }
 
 // PanicPolicyAnalyzer flags panic calls lexically inside exported functions
@@ -26,14 +31,15 @@ var panicPolicyPkgs = map[string]bool{
 // panics in exported bodies carry a //lint:ignore with the justification.
 var PanicPolicyAnalyzer = &Analyzer{
 	Name: "panic-policy",
-	Doc:  "panic in exported API of internal/{rate,modulation,stats,phy,fault,sync}",
+	Doc:  "panic in exported API of internal/{rate,modulation,stats,phy,fault,sync,tracefmt,metrics,obs}",
 	Run:  runPanicPolicy,
 }
 
 func runPanicPolicy(p *Pass) {
 	path := p.Pkg.Path
 	if !panicPolicyPkgs[path] && !strings.HasSuffix(path, "testdata/src/panicpolicy") &&
-		!strings.HasSuffix(path, "testdata/src/syncpanic") {
+		!strings.HasSuffix(path, "testdata/src/syncpanic") &&
+		!strings.HasSuffix(path, "testdata/src/obspanic") {
 		return
 	}
 	info := p.Pkg.Info

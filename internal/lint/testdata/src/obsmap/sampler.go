@@ -1,0 +1,52 @@
+// Package obsmap seeds streaming-telemetry code shapes for the
+// strict-determinism golden test: the sampler and the stream sinks export
+// bytes that CI diffs verbatim across worker counts, so any map iteration
+// feeding a sample line, an exposition row, or a merge decision is a
+// replayability bug, whatever its body computes.
+package obsmap
+
+import "sort"
+
+// counterSample is one exported counter reading.
+type counterSample struct {
+	name  string
+	delta int64
+}
+
+// sampleUnsorted snapshots a registry map in iteration order: two runs of
+// the same simulation serialize the same counters in different byte
+// order, and the streamed JSONL no longer diffs clean.
+func sampleUnsorted(counters, prev map[string]int64) []counterSample {
+	var out []counterSample
+	for name, v := range counters { // want "strict-determinism package"
+		out = append(out, counterSample{name: name, delta: v - prev[name]})
+	}
+	return out
+}
+
+// worstLane picks the deepest queue straight out of a map range: ties
+// resolve to whichever lane the runtime visited first.
+func worstLane(depths map[int]int) int {
+	worst, at := -1, -1
+	for lane, d := range depths { // want "strict-determinism package"
+		if d > worst {
+			worst, at = d, lane
+		}
+	}
+	return at
+}
+
+// sampleSorted is the sanctioned shape: collect the names, sort, then
+// index the map in deterministic order.
+func sampleSorted(counters, prev map[string]int64) []counterSample {
+	names := make([]string, 0, len(counters))
+	for name := range counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]counterSample, 0, len(names))
+	for _, name := range names {
+		out = append(out, counterSample{name: name, delta: counters[name] - prev[name]})
+	}
+	return out
+}

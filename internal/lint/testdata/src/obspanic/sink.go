@@ -1,0 +1,59 @@
+// Package obspanic seeds streaming-monitor code whose exported API
+// panics, for the panic-policy golden test: sinks and monitors run inside
+// the tracer's record path on every event, so a panic there tears the
+// whole simulation down mid-run instead of reporting a degraded stream.
+package obspanic
+
+import "fmt"
+
+// Event is the minimal traced event a sink consumes.
+type Event struct {
+	Seq  int64
+	Kind string
+}
+
+// PanickySink validates by assertion.
+type PanickySink struct {
+	closed bool
+}
+
+// ConsumeTrace panics on bad input instead of recording an error.
+func (s *PanickySink) ConsumeTrace(e Event) {
+	if s.closed {
+		panic("obspanic: consume after close") // want "exported ConsumeTrace panics"
+	}
+	if e.Kind == "" {
+		panic(fmt.Sprintf("obspanic: event %d has no kind", e.Seq)) // want "exported ConsumeTrace panics"
+	}
+}
+
+// Observe panics on a sequence number running backwards.
+func (s *PanickySink) Observe(e Event) {
+	if e.Seq < 0 {
+		panic("obspanic: negative seq") // want "exported Observe panics"
+	}
+}
+
+// reset is unexported: internal invariant panics are allowed there.
+func reset(s *PanickySink) {
+	if s == nil {
+		panic("obspanic: nil sink")
+	}
+	s.closed = false
+}
+
+// CleanSink is the conforming shape: records the first failure and
+// discards later events, never panics.
+type CleanSink struct {
+	err error
+}
+
+// ConsumeTrace keeps the stream alive past a bad event.
+func (s *CleanSink) ConsumeTrace(e Event) {
+	if e.Kind == "" && s.err == nil {
+		s.err = fmt.Errorf("obspanic: event %d has no kind", e.Seq)
+	}
+}
+
+// Err returns the first failure the stream hit.
+func (s *CleanSink) Err() error { return s.err }

@@ -1,0 +1,27 @@
+package tracefields
+
+// streamSink mirrors the streaming-sink shape: a consumer that re-emits
+// forwarded events through a tracer it owns. The vocabulary and schema
+// rules apply to it like any other emitter — a sink that mints kinds or
+// writes attrs positionally corrupts the stream it relays.
+type streamSink struct {
+	tr *Tracer
+}
+
+// forwardPositional re-records a forwarded event writing the schema
+// positionally; a v2 field would silently shift every value on the wire.
+func (s *streamSink) forwardPositional() {
+	s.tr.Emit(0, KindDecode,
+		TraceAttrs{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, true, "x"}, // want "keyed"
+		"")
+}
+
+// forwardMintedKind re-tags the forwarded event with a computed kind.
+func (s *streamSink) forwardMintedKind(kind string) {
+	s.tr.Emit(0, "sink-"+kind, TraceAttrs{}, "") // want "closed"
+}
+
+// forwardClean is the conforming sink: vocabulary kind, keyed attrs.
+func (s *streamSink) forwardClean() {
+	s.tr.Emit(0, KindDecode, TraceAttrs{Stream: 1, OK: true}, "")
+}

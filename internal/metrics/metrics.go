@@ -22,6 +22,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 )
 
@@ -49,8 +50,15 @@ type Gauge struct {
 	set bool
 }
 
-// Set records the current level.
-func (g *Gauge) Set(v float64) { g.v, g.set = v, true }
+// Set records the current level. NaN is ignored: every export format
+// (JSON, JSONL series, Prometheus exposition) requires finite numbers,
+// so a NaN must never enter an instrument.
+func (g *Gauge) Set(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	g.v, g.set = v, true
+}
 
 // Value returns the last recorded level (0 before any Set).
 func (g *Gauge) Value() float64 { return g.v }
@@ -66,8 +74,12 @@ type Histogram struct {
 	sum    float64
 }
 
-// Observe records one value.
+// Observe records one value. NaN is ignored (see Gauge.Set): a single
+// NaN observation would poison Sum and Mean for every later export.
 func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
 	i := sort.SearchFloat64s(h.bounds, v)
 	h.counts[i]++
 	h.n++

@@ -1,7 +1,6 @@
 package tracefmt
 
 import (
-	"fmt"
 	"math"
 	"slices"
 	"sort"
@@ -102,22 +101,27 @@ func PhaseStats(meta Meta, events []core.TraceEvent) []PhaseStat {
 	sort.Ints(aps)
 	out := make([]PhaseStat, 0, len(aps))
 	for _, ap := range aps {
-		rs := resid[ap]
-		st := PhaseStat{
-			AP:              ap,
-			N:               len(rs),
-			MedianAbsRad:    quantile(rs, 0.5),
-			P95AbsRad:       quantile(rs, 0.95),
-			MaxAbsRad:       quantile(rs, 1),
-			CFORadPerSample: units.Div(cfoSum[ap], float64(len(rs))),
-		}
-		if meta.SampleRate > 0 && meta.CarrierHz > 0 {
-			// cfo rad/sample → Δf = cfo·rate/2π; ppm = Δf/carrier·1e6.
-			st.RelPPM = units.RadPerSampleToPPM(st.CFORadPerSample, meta.CarrierHz, meta.SampleRate)
-		}
-		out = append(out, st)
+		out = append(out, phaseStatFor(meta, ap, resid[ap], cfoSum[ap]))
 	}
 	return out
+}
+
+// phaseStatFor folds one AP's accumulated telemetry into its PhaseStat;
+// shared between the batch PhaseStats pass and the incremental Monitor.
+func phaseStatFor(meta Meta, ap int, rs []units.Radians, cfoSum units.RadPerSample) PhaseStat {
+	st := PhaseStat{
+		AP:              ap,
+		N:               len(rs),
+		MedianAbsRad:    quantile(rs, 0.5),
+		P95AbsRad:       quantile(rs, 0.95),
+		MaxAbsRad:       quantile(rs, 1),
+		CFORadPerSample: units.Div(cfoSum, float64(len(rs))),
+	}
+	if meta.SampleRate > 0 && meta.CarrierHz > 0 {
+		// cfo rad/sample → Δf = cfo·rate/2π; ppm = Δf/carrier·1e6.
+		st.RelPPM = units.RadPerSampleToPPM(st.CFORadPerSample, meta.CarrierHz, meta.SampleRate)
+	}
+	return st
 }
 
 // SpanStat aggregates completed spans of one kind.
@@ -247,110 +251,16 @@ func (a Anomaly) String() string { return a.Msg }
 //
 // Results are ordered: per-AP checks by AP, then per-event checks by
 // sequence number.
+//
+// FindAnomalies is the batch face of the incremental Monitor: it feeds
+// the events through a monitor (live evaluation off) and returns its
+// Anomalies, so the streaming and post-hoc paths cannot drift apart.
 func FindAnomalies(meta Meta, events []core.TraceEvent, b Budget) []Anomaly {
-	b = b.withDefaults()
-	var out []Anomaly
-
-	for _, ps := range PhaseStats(meta, events) {
-		// Gate on the median, not the p95: the innovation after a lead
-		// handoff extrapolates phase over a many-millisecond gap, so a
-		// single re-acquisition legitimately produces an O(1) rad
-		// transient that the sync header corrects before any joint
-		// transmission. A slave whose *median* innovation exceeds the
-		// budget is misaligned on every header — that is the real defect.
-		if ps.MedianAbsRad > b.PhaseBudgetRad {
-			out = append(out, Anomaly{
-				Check: "phase-budget", AP: ps.AP, Stream: -1, Seq: -1,
-				Value: units.Ratio(ps.MedianAbsRad, 1), Threshold: units.Ratio(b.PhaseBudgetRad, 1),
-				Msg: fmt.Sprintf("phase-budget: slave AP %d median |phase err| %.4f rad exceeds the π/18 budget (%.4f rad) over %d headers",
-					ps.AP, ps.MedianAbsRad, b.PhaseBudgetRad, ps.N),
-			})
-		}
-		if meta.CarrierHz > 0 && units.Abs(ps.RelPPM) > b.MaxRelPPM {
-			out = append(out, Anomaly{
-				Check: "cfo-mandate", AP: ps.AP, Stream: -1, Seq: -1,
-				Value: units.Ratio(units.Abs(ps.RelPPM), 1), Threshold: units.Ratio(b.MaxRelPPM, 1),
-				Msg: fmt.Sprintf("cfo-mandate: slave AP %d is %.1f ppm off the lead carrier — outside the 802.11 ±20 ppm mandate (|rel| ≤ %.0f ppm)",
-					ps.AP, ps.RelPPM, b.MaxRelPPM),
-			})
-		}
-	}
-
-	// Null-depth degradation vs. the run median.
-	var depths []units.Decibels
+	m := NewMonitor(meta, b, 0)
 	for _, e := range events {
-		if e.Kind == core.KindNullDepth {
-			depths = append(depths, e.Attrs.NullDepthDB)
-		}
+		m.Observe(e)
 	}
-	if len(depths) > 0 {
-		med := quantile(depths, 0.5)
-		for _, e := range events {
-			if e.Kind != core.KindNullDepth {
-				continue
-			}
-			if e.Attrs.NullDepthDB < med-b.NullDegradeDB {
-				out = append(out, Anomaly{
-					Check: "null-degradation", AP: -1, Stream: e.Attrs.Stream, Seq: e.Seq,
-					Value: units.Ratio(e.Attrs.NullDepthDB, 1), Threshold: units.Ratio(med-b.NullDegradeDB, 1),
-					Msg: fmt.Sprintf("null-degradation: stream %d null depth %.1f dB is >%.0f dB below the run median (%.1f dB) at t=%d",
-						e.Attrs.Stream, e.Attrs.NullDepthDB, b.NullDegradeDB, med, e.At),
-				})
-			}
-		}
-	}
-
-	// Per-stream EVM degradation and decode failures.
-	evms := map[int][]units.Decibels{}
-	for _, e := range events {
-		if e.Kind == core.KindDecode && e.Attrs.Cause == "" {
-			evms[e.Attrs.Stream] = append(evms[e.Attrs.Stream], e.Attrs.EVMSNRdB)
-		}
-	}
-	medEVM := map[int]units.Decibels{}
-	streams := make([]int, 0, len(evms))
-	for s := range evms {
-		streams = append(streams, s)
-	}
-	sort.Ints(streams)
-	for _, s := range streams {
-		medEVM[s] = quantile(evms[s], 0.5)
-	}
-	for _, e := range events {
-		if e.Kind != core.KindDecode {
-			continue
-		}
-		if e.Attrs.Cause != "" {
-			out = append(out, Anomaly{
-				Check: "decode-failure", AP: -1, Stream: e.Attrs.Stream, Seq: e.Seq,
-				Value: 0, Threshold: 0,
-				Msg: fmt.Sprintf("decode-failure: stream %d frame undecodable at t=%d (%s)",
-					e.Attrs.Stream, e.At, e.Msg),
-			})
-			continue
-		}
-		if med, ok := medEVM[e.Attrs.Stream]; ok && e.Attrs.EVMSNRdB < med-b.EVMDegradeDB {
-			out = append(out, Anomaly{
-				Check: "evm-degradation", AP: -1, Stream: e.Attrs.Stream, Seq: e.Seq,
-				Value: units.Ratio(e.Attrs.EVMSNRdB, 1), Threshold: units.Ratio(med-b.EVMDegradeDB, 1),
-				Msg: fmt.Sprintf("evm-degradation: stream %d EVM SNR %.1f dB is >%.0f dB below its median (%.1f dB) at t=%d",
-					e.Attrs.Stream, e.Attrs.EVMSNRdB, b.EVMDegradeDB, med, e.At),
-			})
-		}
-	}
-
-	// Packets dropped after exhausting retransmissions.
-	for _, e := range events {
-		if e.Kind == core.KindRetransmit && e.Attrs.Cause == "max-attempts" {
-			out = append(out, Anomaly{
-				Check: "packet-failure", AP: -1, Stream: e.Attrs.Stream, Seq: e.Seq,
-				Value: 0, Threshold: 0,
-				Msg: fmt.Sprintf("packet-failure: stream %d packet %d dropped after max attempts at t=%d",
-					e.Attrs.Stream, e.Attrs.Pkt, e.At),
-			})
-		}
-	}
-	return out
+	return m.Anomalies()
 }
 
 // quantile returns the q-quantile (0..1) of xs by nearest-rank on a

@@ -97,15 +97,7 @@ func WriteChrome(w io.Writer, meta Meta, events []core.TraceEvent) error {
 
 	out := chromeTrace{
 		DisplayTimeUnit: "ms",
-		OtherData: header{
-			Schema:     schemaName,
-			Version:    SchemaVersion,
-			SampleRate: meta.SampleRate,
-			CarrierHz:  meta.CarrierHz,
-			APs:        meta.APs,
-			Clients:    meta.Clients,
-			Sync:       meta.Sync,
-		},
+		OtherData:       headerFor(meta),
 	}
 	out.TraceEvents = append(out.TraceEvents, chromeEvent{
 		Name: "process_name", Ph: "M", Pid: 0, Args: metaName{Name: "megamimo"},
@@ -156,13 +148,7 @@ func ReadChrome(r io.Reader) (Meta, []core.TraceEvent, error) {
 	if raw.OtherData.Version != SchemaVersion {
 		return Meta{}, nil, fmt.Errorf("tracefmt: schema version %d, reader supports %d", raw.OtherData.Version, SchemaVersion)
 	}
-	meta := Meta{
-		SampleRate: raw.OtherData.SampleRate,
-		CarrierHz:  raw.OtherData.CarrierHz,
-		APs:        raw.OtherData.APs,
-		Clients:    raw.OtherData.Clients,
-		Sync:       raw.OtherData.Sync,
-	}
+	meta := metaFrom(raw.OtherData)
 	var events []core.TraceEvent
 	for i, ce := range raw.TraceEvents {
 		if ce.Ph == "M" {

@@ -44,6 +44,13 @@ type Meta struct {
 	// default header scheme). Additive in schema v1: old readers ignore it,
 	// old files simply omit it.
 	Sync string
+	// Overflowed counts events the recorder's ring displaced before export;
+	// when non-zero the trace is truncated at the head. Additive in v1.
+	Overflowed int64
+	// OverflowAt is the ether time of the event whose arrival caused the
+	// first displacement (meaningful only when Overflowed > 0), so a
+	// truncated trace states when its head was lost. Additive in v1.
+	OverflowAt int64
 }
 
 // jsonEvent is the wire form of one event: flat, fixed field order
@@ -82,6 +89,60 @@ type header struct {
 	APs        int         `json:"aps"`
 	Clients    int         `json:"clients"`
 	Sync       string      `json:"sync,omitempty"`
+	Overflowed int64       `json:"overflowed,omitempty"`
+	OverflowAt int64       `json:"overflow_at,omitempty"`
+}
+
+// headerFor builds the wire header for a run's Meta.
+func headerFor(meta Meta) header {
+	return header{
+		Schema:     schemaName,
+		Version:    SchemaVersion,
+		SampleRate: meta.SampleRate,
+		CarrierHz:  meta.CarrierHz,
+		APs:        meta.APs,
+		Clients:    meta.Clients,
+		Sync:       meta.Sync,
+		Overflowed: meta.Overflowed,
+		OverflowAt: meta.OverflowAt,
+	}
+}
+
+// metaFrom recovers the Meta from a validated wire header.
+func metaFrom(h header) Meta {
+	return Meta{
+		SampleRate: h.SampleRate,
+		CarrierHz:  h.CarrierHz,
+		APs:        h.APs,
+		Clients:    h.Clients,
+		Sync:       h.Sync,
+		Overflowed: h.Overflowed,
+		OverflowAt: h.OverflowAt,
+	}
+}
+
+// MarshalHeader renders the Meta as the one-line JSONL header, trailing
+// newline included — byte-identical to the first line WriteJSONL emits.
+func MarshalHeader(meta Meta) ([]byte, error) {
+	b, err := json.Marshal(headerFor(meta))
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// MarshalEvent renders one event as its JSONL line, trailing newline
+// included — byte-identical to the corresponding WriteJSONL line. The
+// kind is validated against the closed vocabulary.
+func MarshalEvent(e core.TraceEvent) ([]byte, error) {
+	if !core.ValidKind(e.Kind) {
+		return nil, fmt.Errorf("tracefmt: event kind %q outside the vocabulary", e.Kind)
+	}
+	b, err := json.Marshal(toJSON(e))
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
 }
 
 // phString maps the event phase byte to its wire form.
@@ -176,15 +237,7 @@ func fromJSON(j jsonEvent) (core.TraceEvent, error) {
 func WriteJSONL(w io.Writer, meta Meta, events []core.TraceEvent) error {
 	bw := bufio.NewWriter(w)
 	enc := json.NewEncoder(bw)
-	if err := enc.Encode(header{
-		Schema:     schemaName,
-		Version:    SchemaVersion,
-		SampleRate: meta.SampleRate,
-		CarrierHz:  meta.CarrierHz,
-		APs:        meta.APs,
-		Clients:    meta.Clients,
-		Sync:       meta.Sync,
-	}); err != nil {
+	if err := enc.Encode(headerFor(meta)); err != nil {
 		return err
 	}
 	for i := range events {
@@ -209,17 +262,10 @@ func ReadJSONL(r io.Reader) (Meta, []core.TraceEvent, error) {
 		}
 		return Meta{}, nil, fmt.Errorf("tracefmt: empty trace file")
 	}
-	var h header
-	if err := json.Unmarshal(sc.Bytes(), &h); err != nil {
-		return Meta{}, nil, fmt.Errorf("tracefmt: bad header line: %w", err)
+	meta, err := UnmarshalHeader(sc.Bytes())
+	if err != nil {
+		return Meta{}, nil, err
 	}
-	if h.Schema != schemaName {
-		return Meta{}, nil, fmt.Errorf("tracefmt: schema %q, want %q", h.Schema, schemaName)
-	}
-	if h.Version != SchemaVersion {
-		return Meta{}, nil, fmt.Errorf("tracefmt: schema version %d, reader supports %d", h.Version, SchemaVersion)
-	}
-	meta := Meta{SampleRate: h.SampleRate, CarrierHz: h.CarrierHz, APs: h.APs, Clients: h.Clients, Sync: h.Sync}
 	var events []core.TraceEvent
 	line := 1
 	for sc.Scan() {
@@ -227,11 +273,7 @@ func ReadJSONL(r io.Reader) (Meta, []core.TraceEvent, error) {
 		if len(bytes.TrimSpace(sc.Bytes())) == 0 {
 			continue
 		}
-		var j jsonEvent
-		if err := json.Unmarshal(sc.Bytes(), &j); err != nil {
-			return Meta{}, nil, fmt.Errorf("tracefmt: line %d: %w", line, err)
-		}
-		e, err := fromJSON(j)
+		e, err := UnmarshalEvent(sc.Bytes())
 		if err != nil {
 			return Meta{}, nil, fmt.Errorf("tracefmt: line %d: %w", line, err)
 		}
@@ -241,6 +283,33 @@ func ReadJSONL(r io.Reader) (Meta, []core.TraceEvent, error) {
 		return Meta{}, nil, err
 	}
 	return meta, events, nil
+}
+
+// UnmarshalHeader parses one JSONL header line, validating the schema
+// name and version — the inverse of MarshalHeader. Line-level parsing is
+// what lets a follower consume a trace that is still being written.
+func UnmarshalHeader(line []byte) (Meta, error) {
+	var h header
+	if err := json.Unmarshal(line, &h); err != nil {
+		return Meta{}, fmt.Errorf("tracefmt: bad header line: %w", err)
+	}
+	if h.Schema != schemaName {
+		return Meta{}, fmt.Errorf("tracefmt: schema %q, want %q", h.Schema, schemaName)
+	}
+	if h.Version != SchemaVersion {
+		return Meta{}, fmt.Errorf("tracefmt: schema version %d, reader supports %d", h.Version, SchemaVersion)
+	}
+	return metaFrom(h), nil
+}
+
+// UnmarshalEvent parses one JSONL event line, validating its kind — the
+// inverse of MarshalEvent.
+func UnmarshalEvent(line []byte) (core.TraceEvent, error) {
+	var j jsonEvent
+	if err := json.Unmarshal(line, &j); err != nil {
+		return core.TraceEvent{}, err
+	}
+	return fromJSON(j)
 }
 
 // Format names a trace serialization.

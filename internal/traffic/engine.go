@@ -52,7 +52,18 @@ type Config struct {
 	// the run: the engine applies due events every iteration and handles
 	// the client-churn ones itself.
 	Faults *fault.Plan
+	// Sampler, when non-nil, snapshots the network's metrics registry on
+	// the ether clock every SampleEvery service rounds (and once at the
+	// end of the run), building the streaming time series.
+	Sampler *metrics.Sampler
+	// SampleEvery is the sampling cadence in service rounds
+	// (0 = DefaultSampleEvery). Only meaningful with Sampler set.
+	SampleEvery int
 }
+
+// DefaultSampleEvery is the metrics-sampling cadence when a Sampler is
+// attached without an explicit round interval.
+const DefaultSampleEvery = 64
 
 // ClientReport is one stream's closed-loop accounting.
 type ClientReport struct {
@@ -381,11 +392,35 @@ func (e *Engine) Run(seconds float64) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
+		e.maybeSample(false)
 	}
+	e.maybeSample(true)
 	e.net.Trace().Emit(e.net.Now(), core.KindTraffic,
 		core.TraceAttrs{QueueDepth: e.queue.Len(), OK: e.queue.Len() == 0},
 		"workload end: %d rounds, %d backlog", e.rounds, e.queue.Len())
 	return e.report(seconds), nil
+}
+
+// maybeSample takes a metrics time-series point when a sampler is wired:
+// every SampleEvery service rounds, plus a final point at the horizon so
+// the series always closes on the run's end state. Each point is also
+// marked on the trace timeline as a metrics instant.
+func (e *Engine) maybeSample(final bool) {
+	if e.cfg.Sampler == nil {
+		return
+	}
+	every := e.cfg.SampleEvery
+	if every <= 0 {
+		every = DefaultSampleEvery
+	}
+	if !final && e.rounds%every != 0 {
+		return
+	}
+	now := e.net.Now()
+	e.cfg.Sampler.Sample(now)
+	e.net.Trace().Emit(now, core.KindMetrics,
+		core.TraceAttrs{QueueDepth: e.queue.Len()},
+		"metrics sample: round %d", e.rounds)
 }
 
 // applyFaults fires every fault-plan event due by now. Network and

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"megamimo/internal/core"
+	"megamimo/internal/metrics"
 	"megamimo/internal/rng"
 )
 
@@ -188,5 +189,51 @@ func TestTrafficEmitsTraceEvents(t *testing.T) {
 	}
 	if found < 2 {
 		t.Fatalf("want ≥2 %q trace events, got %d", core.KindTraffic, found)
+	}
+}
+
+// TestEngineSamplerCadence checks the streaming-metrics hook: a wired
+// sampler snapshots every SampleEvery rounds plus once at the horizon,
+// with monotone ether timestamps and matching metrics trace instants.
+func TestEngineSamplerCadence(t *testing.T) {
+	n := testNetwork(t, 31)
+	n.Trace().Enable(1 << 16)
+	s := metrics.NewSampler(n.Metrics())
+	profiles := []Profile{NewCBR(4e6, 1200), NewCBR(4e6, 1200)}
+	eng, err := New(n, Config{
+		System: SystemMegaMIMO, Profiles: profiles, Seed: 5,
+		Sampler: s, SampleEvery: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := eng.Run(0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	series := s.Series()
+	wantLen := rep.Rounds/4 + 1 // cadence points + the final horizon point
+	if len(series) != wantLen {
+		t.Fatalf("sampler took %d points over %d rounds (every 4), want %d",
+			len(series), rep.Rounds, wantLen)
+	}
+	for i := 1; i < len(series); i++ {
+		if series[i].At < series[i-1].At {
+			t.Fatalf("series timestamps not monotone: %d then %d", series[i-1].At, series[i].At)
+		}
+	}
+	var traced int
+	for _, e := range n.Trace().Events() {
+		if e.Kind == core.KindMetrics {
+			traced++
+		}
+	}
+	if traced != len(series) {
+		t.Fatalf("%d metrics trace instants for %d samples", traced, len(series))
+	}
+	// Counters must be present and the final point cumulative.
+	last := series[len(series)-1]
+	if len(last.Counters) == 0 {
+		t.Fatal("final sample has no counters")
 	}
 }
