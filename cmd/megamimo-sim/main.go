@@ -16,8 +16,11 @@ import (
 	"os"
 	"time"
 
+	"megamimo/internal/air"
 	"megamimo/internal/baseline"
+	"megamimo/internal/checkpoint"
 	"megamimo/internal/core"
+	"megamimo/internal/experiment"
 	"megamimo/internal/fault"
 	"megamimo/internal/mac"
 	"megamimo/internal/metrics"
@@ -55,8 +58,30 @@ func main() {
 		sampleEvery = flag.Int("sample-every", 0, "workload/chaos: snapshot the metrics registry every N service rounds (0 = 64)")
 		seriesOut   = flag.String("series-out", "", "write the sampled metrics time series as JSONL to this file")
 		promOut     = flag.String("prom-out", "", "write the final metrics registry as Prometheus text to this file")
+		soak        = flag.Bool("soak", false, "run the resumable game-day soak harness (heavy load + fault storm + periodic checkpoints)")
+		ckptEvery   = flag.Int("checkpoint-every", 0, "soak: write a checkpoint every N service rounds (0 = no checkpoints)")
+		ckptDir     = flag.String("checkpoint-dir", "", "soak: directory for checkpoint files")
+		resume      = flag.String("resume", "", "soak: restore from this checkpoint and serve out the remaining window")
+		workers     = flag.Int("workers", 0, "soak: air-medium worker count (0 = GOMAXPROCS); output is byte-identical at any count")
+		faultsSec   = flag.Float64("faults-per-sec", 0, "soak: fault-storm intensity (expected events per simulated second)")
+		soakDrift   = flag.Float64("soak-drift-ppm", 0, "soak: inject ±ppm oscillator drift at -soak-drift-at (lead −ppm, slaves +ppm)")
+		soakDriftAt = flag.Float64("soak-drift-at", 0, "soak: simulated seconds into the run to apply -soak-drift-ppm")
 	)
 	flag.Parse()
+
+	if *soak {
+		runSoak(soakFlags{
+			aps: *nAPs, clients: *nCli, snrLo: *snrLo, snrHi: *snrHi,
+			seed: *seed, sync: *syncName, load: *load, size: *size,
+			duration: *duration, faultsPerSec: *faultsSec,
+			sampleEvery: *sampleEvery, ckptEvery: *ckptEvery, ckptDir: *ckptDir,
+			resume: *resume, workers: *workers,
+			driftPPM: *soakDrift, driftAt: *soakDriftAt,
+			traceOut: *streamOut, seriesOut: *seriesOut,
+			serveAddr: *serveAddr, serveWait: *serveWait,
+		})
+		return
+	}
 
 	format, err := tracefmt.ParseFormat(*traceFmt)
 	if err != nil {
@@ -188,6 +213,92 @@ func main() {
 	}
 	writeTrace(net, cfg, *nAPs, *nCli, *traceOut, format)
 	tel.finish()
+}
+
+// soakFlags carries the flag subset the soak harness consumes.
+type soakFlags struct {
+	aps, clients           int
+	snrLo, snrHi           float64
+	seed                   int64
+	sync                   string
+	load                   float64
+	size                   int
+	duration, faultsPerSec float64
+	sampleEvery, ckptEvery int
+	ckptDir, resume        string
+	workers                int
+	driftPPM, driftAt      float64
+	traceOut, seriesOut    string
+	serveAddr              string
+	serveWait              time.Duration
+}
+
+// runSoak drives experiment.RunSoak from the CLI: the long-horizon
+// game-day run with periodic checkpoints, or — with -resume — the
+// restored tail of one. On resume it prints the checkpoint's logical
+// stream offsets, so a caller can splice the tail files onto an
+// uninterrupted run's output at exactly the right byte.
+func runSoak(f soakFlags) {
+	air.SetWorkers(f.workers)
+	cfg := experiment.SoakConfig{
+		APs: f.aps, Clients: f.clients,
+		SNRLoDB: f.snrLo, SNRHiDB: f.snrHi,
+		Seed: f.seed, Sync: f.sync,
+		LoadMbps: f.load, PacketBytes: f.size, Seconds: f.duration,
+		FaultsPerSec: f.faultsPerSec, SampleEvery: f.sampleEvery,
+		CheckpointEvery: f.ckptEvery, CheckpointDir: f.ckptDir,
+		Resume:    f.resume,
+		TracePath: f.traceOut, SeriesPath: f.seriesOut,
+		DriftPPM: f.driftPPM, DriftAtSeconds: f.driftAt,
+	}
+	if f.serveAddr != "" {
+		strategy, err := psync.Parse(f.sync)
+		if err != nil {
+			fatal(err)
+		}
+		ccfg := core.DefaultConfig(f.aps, f.clients, units.Decibels(f.snrLo), units.Decibels(f.snrHi))
+		srv, err := obs.New(obs.Config{Addr: f.serveAddr, Meta: tracefmt.Meta{
+			SampleRate: ccfg.SampleRate, CarrierHz: ccfg.CarrierHz,
+			APs: f.aps, Clients: f.clients, Sync: strategy.Name(),
+		}})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(srv)
+		cfg.Server = srv
+	}
+	if f.resume != "" {
+		st, _, err := checkpoint.ReadAny(f.resume)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("soak: resuming %s from round %d (t=%d, trace offset %d, series offset %d)\n",
+			f.resume, st.Rounds, st.Now, st.TraceBytes, st.SeriesBytes)
+	} else {
+		fmt.Printf("soak: %d APs, %d clients, %.1f Mb/s per client, %.3fs window, %.0f faults/s, checkpoint every %d rounds\n",
+			f.aps, f.clients, f.load, f.duration, f.faultsPerSec, f.ckptEvery)
+	}
+	res, err := experiment.RunSoak(cfg)
+	if res != nil {
+		for _, p := range res.Checkpoints {
+			fmt.Printf("checkpoint: %s\n", p)
+		}
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println()
+	fmt.Print(res.Report)
+	fmt.Printf("\nsoak complete: %d rounds, %d checkpoints, trace %d bytes, series %d bytes\n",
+		res.Rounds, len(res.Checkpoints), res.TraceBytes, res.SeriesBytes)
+	if cfg.Server != nil {
+		cfg.Server.MarkDone()
+		if f.serveWait > 0 {
+			fmt.Printf("observability server up for another %s\n", f.serveWait)
+			time.Sleep(f.serveWait)
+		}
+		_ = cfg.Server.Close()
+	}
 }
 
 // runMeta stamps the run parameters the analyzers need (sample rate,

@@ -19,6 +19,10 @@
 //	           while it is written, printing each budget violation the
 //	           moment the online monitor trips it; exits 1 if any check
 //	           tripped once the stream has been idle for -idle-exit
+//	bisect     walk a soak run's checkpoint directory and run the anomaly
+//	           gate on each inter-checkpoint window of the trace, naming
+//	           the first window that violates a budget; exits 1 on a
+//	           violation (usage: bisect <checkpoint-dir> <trace-file>)
 package main
 
 import (
@@ -28,8 +32,11 @@ import (
 	"io"
 	"math"
 	"os"
+	"path/filepath"
+	"sort"
 	"time"
 
+	"megamimo/internal/checkpoint"
 	"megamimo/internal/tracefmt"
 	"megamimo/internal/units"
 )
@@ -46,14 +53,20 @@ func main() {
 	)
 	flag.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: megamimo-trace [flags] summary|phases|spans|anomalies|follow <trace-file>")
+		fmt.Fprintln(os.Stderr, "       megamimo-trace [flags] bisect <checkpoint-dir> <trace-file>")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
-	if flag.NArg() != 2 {
+	cmd := flag.Arg(0)
+	wantArgs := 2
+	if cmd == "bisect" {
+		wantArgs = 3
+	}
+	if flag.NArg() != wantArgs {
 		flag.Usage()
 		os.Exit(2)
 	}
-	cmd, path := flag.Arg(0), flag.Arg(1)
+	path := flag.Arg(1)
 	budget := tracefmt.Budget{
 		PhaseBudgetRad: units.Radians(*budgetRad),
 		MaxRelPPM:      units.PPM(*maxPPM),
@@ -63,6 +76,9 @@ func main() {
 
 	if cmd == "follow" {
 		os.Exit(follow(path, budget, *window, *poll, *idleExit))
+	}
+	if cmd == "bisect" {
+		os.Exit(bisect(path, flag.Arg(2), budget))
 	}
 
 	meta, events, err := tracefmt.ReadFile(path)
@@ -133,6 +149,79 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// bisect localizes the first anomaly-gate violation of a checkpointed
+// soak run to one inter-checkpoint window. It loads every checkpoint in
+// dir for its ether-time boundary, slices the trace's events into the
+// windows those boundaries delimit, and runs the batch anomaly gate on
+// each window in order: the first violating window names the two
+// checkpoints the regression landed between — the pair to diff or to
+// resume from when reproducing. Returns the process exit code: 0 when
+// every window is clean, 1 on a violation.
+func bisect(dir, tracePath string, b tracefmt.Budget) int {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.ckpt"))
+	if err != nil {
+		fatal(err)
+	}
+	if len(paths) == 0 {
+		fatal(fmt.Errorf("bisect: no *.ckpt files in %s", dir))
+	}
+	type boundary struct {
+		path   string
+		at     int64
+		rounds int
+	}
+	bounds := make([]boundary, 0, len(paths))
+	for _, p := range paths {
+		st, _, err := checkpoint.ReadAny(p)
+		if err != nil {
+			fatal(fmt.Errorf("bisect: %w", err))
+		}
+		bounds = append(bounds, boundary{path: p, at: st.Now, rounds: st.Rounds})
+	}
+	sort.Slice(bounds, func(i, j int) bool { return bounds[i].at < bounds[j].at })
+
+	meta, events, err := tracefmt.ReadFile(tracePath)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("bisect: %d checkpoints over %d events\n", len(bounds), len(events))
+
+	// Window k holds the events up to and including checkpoint k's capture
+	// time; the final window is the tail past the last checkpoint. Events
+	// arrive time-ordered, so each window is one contiguous slice.
+	clean := 0
+	lo := 0
+	for k := 0; k <= len(bounds); k++ {
+		hi := len(events)
+		if k < len(bounds) {
+			for hi = lo; hi < len(events) && events[hi].At <= bounds[k].at; hi++ {
+			}
+		}
+		from, to := "start", "end"
+		if k > 0 {
+			from = fmt.Sprintf("%s (round %d, t=%d)", filepath.Base(bounds[k-1].path), bounds[k-1].rounds, bounds[k-1].at)
+		}
+		if k < len(bounds) {
+			to = fmt.Sprintf("%s (round %d, t=%d)", filepath.Base(bounds[k].path), bounds[k].rounds, bounds[k].at)
+		}
+		found := tracefmt.FindAnomalies(meta, events[lo:hi], b)
+		if len(found) == 0 {
+			fmt.Printf("window %d: %s -> %s: clean (%d events)\n", k, from, to, hi-lo)
+			clean++
+			lo = hi
+			continue
+		}
+		fmt.Printf("window %d: %s -> %s: %d anomalies (%d events)\n", k, from, to, len(found), hi-lo)
+		for _, a := range found {
+			fmt.Println("  " + a.String())
+		}
+		fmt.Printf("first violation localized to window %d after %d clean windows\n", k, clean)
+		return 1
+	}
+	fmt.Printf("all %d windows clean\n", clean)
+	return 0
 }
 
 // follow tails a streaming JSONL trace, feeding each completed line to

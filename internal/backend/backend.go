@@ -178,3 +178,18 @@ func (b *Bus) Receive(node int, now int64) []Message {
 
 // Pending reports the undelivered message count (diagnostics).
 func (b *Bus) Pending() int { return len(b.pending) }
+
+// Snapshot returns the bus sequence counter and a copy of the in-flight
+// messages, in queue order. Payloads are returned as-is; encoding them is
+// the checkpoint layer's job, since the bus is payload-agnostic.
+func (b *Bus) Snapshot() (seq uint64, pending []Message) {
+	return b.seq, append([]Message(nil), b.pending...)
+}
+
+// RestoreSnapshot overwrites the sequence counter and in-flight queue.
+// Node attachment is not part of the snapshot: the restore path replays
+// crash state first (Detach/Attach), then reinstates the queue.
+func (b *Bus) RestoreSnapshot(seq uint64, pending []Message) {
+	b.seq = seq
+	b.pending = append(b.pending[:0], pending...)
+}

@@ -293,6 +293,58 @@ func (t *Tracer) SetSink(s TraceSink) {
 	t.sink = s
 }
 
+// TracerState is the serializable part of the flight recorder: the event
+// and span counters a resumed run must continue from so a streamed trace
+// stays byte-identical across the checkpoint boundary. The ring buffer
+// itself is deliberately not captured — the resumed ring restarts empty
+// and only holds post-resume events; the streaming sink is the
+// byte-identical surface.
+type TracerState struct {
+	Seq           int64 `json:"seq"`
+	NextSpan      int64 `json:"next_span"`
+	Dropped       int64 `json:"dropped,omitempty"`
+	Overflow      int64 `json:"overflow,omitempty"`
+	OverflowAt    int64 `json:"overflow_at,omitempty"`
+	HasOverflowAt bool  `json:"has_overflow_at,omitempty"`
+}
+
+// Snapshot captures the tracer counters. It fails when any span is open:
+// checkpoints are only taken at quiescent round boundaries, and a snapshot
+// with a live span could never restore its matching End.
+func (t *Tracer) Snapshot() (TracerState, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.active) > 0 {
+		return TracerState{}, fmt.Errorf("core: tracer snapshot with %d open span(s); checkpoint only at round boundaries", len(t.active))
+	}
+	return TracerState{
+		Seq:           t.seq,
+		NextSpan:      int64(t.next),
+		Dropped:       t.dropped,
+		Overflow:      t.overflow,
+		OverflowAt:    t.overflowAt,
+		HasOverflowAt: t.hasOverflowAt,
+	}, nil
+}
+
+// RestoreSnapshot overwrites the tracer counters and empties the ring, so
+// the next recorded event continues the interrupted run's seq/span
+// numbering exactly. The sink attachment is untouched (attach it after
+// restoring, or the rebuild's events would leak into the stream).
+func (t *Tracer) RestoreSnapshot(st TracerState) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.buf = t.buf[:0]
+	t.head = 0
+	t.active = t.active[:0]
+	t.seq = st.Seq
+	t.next = SpanID(st.NextSpan)
+	t.dropped = st.Dropped
+	t.overflow = st.Overflow
+	t.overflowAt = st.OverflowAt
+	t.hasOverflowAt = st.HasOverflowAt
+}
+
 // Enabled reports whether the tracer is recording.
 func (t *Tracer) Enabled() bool {
 	if t == nil {

@@ -1,0 +1,409 @@
+package experiment
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"megamimo/internal/checkpoint"
+	"megamimo/internal/core"
+	"megamimo/internal/fault"
+	"megamimo/internal/metrics"
+	"megamimo/internal/obs"
+	psync "megamimo/internal/sync"
+	"megamimo/internal/tracefmt"
+	"megamimo/internal/traffic"
+	"megamimo/internal/units"
+)
+
+// The game-day soak harness: one MegaMIMO cell under sustained heavy load
+// and a seeded fault storm, run for a long horizon with periodic
+// checkpoints. A killed run resumes from its latest checkpoint and the
+// resumed trace/metrics tail is byte-identical to the uninterrupted run —
+// at any -workers count, with the storm active across the boundary. The
+// streaming sinks here are deliberately synchronous: every event is
+// encoded and counted on the sim goroutine, so the logical stream
+// position recorded in each checkpoint is exact.
+
+// ErrInterrupted is the sentinel a StopAfterRounds soak run returns: the
+// in-process stand-in for kill -9 that the resume tests use.
+var ErrInterrupted = errors.New("experiment: soak interrupted")
+
+// SoakConfig parameterizes RunSoak. The identity fields (everything that
+// shapes the simulation itself, not where its artifacts land) are hashed
+// into each checkpoint's config digest; a resume under a different
+// identity is rejected.
+type SoakConfig struct {
+	APs, Clients     int
+	SNRLoDB, SNRHiDB float64
+	Seed             int64
+	// Sync names the synchronization strategy (psync.Parse spelling;
+	// empty = the paper's header scheme).
+	Sync string
+	// LoadMbps is the sustained per-client offered load.
+	LoadMbps    float64
+	PacketBytes int
+	// Seconds is the simulated horizon.
+	Seconds float64
+	// FaultsPerSec, when > 0, schedules a fault.Scenario storm at that
+	// expected event rate over the window.
+	FaultsPerSec float64
+	// SampleEvery is the metrics time-series cadence in service rounds.
+	SampleEvery int
+	// CheckpointEvery writes a checkpoint every N service rounds into
+	// CheckpointDir (0 = no checkpointing).
+	CheckpointEvery int
+	CheckpointDir   string
+	// Resume, when set, restores from this checkpoint file and runs the
+	// remaining window instead of starting fresh.
+	Resume string
+	// TracePath/SeriesPath stream the flight recorder and the sampled
+	// metrics series as JSONL. A resumed run writes only the tail (no
+	// trace header): splicing it onto the uninterrupted file at the
+	// checkpoint's recorded offset reproduces it byte-for-byte.
+	TracePath  string
+	SeriesPath string
+	// DriftPPM, when nonzero, injects oscillator drift at DriftAtSeconds
+	// into the run: lead −ppm, slave APs +ppm (2×ppm relative) — the
+	// bisect drill's anomaly source.
+	DriftPPM       float64
+	DriftAtSeconds float64
+	// Server, when set, receives trace events, sampled metrics, and
+	// checkpoint publications for /healthz.
+	Server *obs.Server
+	// StopAfterRounds, when > 0, aborts the run with ErrInterrupted at
+	// the first OnRound at or past that round (after any checkpoint due
+	// there) — the resume tests' in-process interrupt.
+	StopAfterRounds int
+}
+
+// withDefaults fills the zero-value identity fields so a CLI run and a
+// test run with the same intent hash to the same digest.
+func (c SoakConfig) withDefaults() SoakConfig {
+	if c.APs <= 0 {
+		c.APs = 4
+	}
+	if c.Clients <= 0 {
+		c.Clients = 4
+	}
+	if c.SNRLoDB == 0 && c.SNRHiDB == 0 {
+		c.SNRLoDB, c.SNRHiDB = 18, 24
+	}
+	if c.LoadMbps <= 0 {
+		c.LoadMbps = 8
+	}
+	if c.PacketBytes <= 0 {
+		c.PacketBytes = 1500
+	}
+	if c.Seconds <= 0 {
+		c.Seconds = 0.25
+	}
+	return c
+}
+
+// soakIdentity is the digest-relevant subset of SoakConfig, marshaled
+// canonically (fixed field order) for hashing and embedded in every
+// checkpoint for mismatch diagnostics.
+type soakIdentity struct {
+	APs             int     `json:"aps"`
+	Clients         int     `json:"clients"`
+	SNRLoDB         float64 `json:"snr_lo_db"`
+	SNRHiDB         float64 `json:"snr_hi_db"`
+	Seed            int64   `json:"seed"`
+	Sync            string  `json:"sync"`
+	LoadMbps        float64 `json:"load_mbps"`
+	PacketBytes     int     `json:"packet_bytes"`
+	Seconds         float64 `json:"seconds"`
+	FaultsPerSec    float64 `json:"faults_per_sec"`
+	SampleEvery     int     `json:"sample_every"`
+	CheckpointEvery int     `json:"checkpoint_every"`
+	DriftPPM        float64 `json:"drift_ppm"`
+	DriftAtSeconds  float64 `json:"drift_at_seconds"`
+}
+
+// IdentityJSON renders the canonical config JSON whose SHA-256 guards
+// every checkpoint of this run.
+func (c SoakConfig) IdentityJSON() ([]byte, error) {
+	c = c.withDefaults()
+	return json.Marshal(soakIdentity{
+		APs: c.APs, Clients: c.Clients,
+		SNRLoDB: c.SNRLoDB, SNRHiDB: c.SNRHiDB,
+		Seed: c.Seed, Sync: c.Sync,
+		LoadMbps: c.LoadMbps, PacketBytes: c.PacketBytes,
+		Seconds: c.Seconds, FaultsPerSec: c.FaultsPerSec,
+		SampleEvery: c.SampleEvery, CheckpointEvery: c.CheckpointEvery,
+		DriftPPM: c.DriftPPM, DriftAtSeconds: c.DriftAtSeconds,
+	})
+}
+
+// SoakResult reports one soak run.
+type SoakResult struct {
+	// Report is the closed-loop outcome (nil when interrupted).
+	Report *traffic.Report
+	// Checkpoints lists the checkpoint files this run wrote, in order.
+	Checkpoints []string
+	// TraceBytes/SeriesBytes are the final logical stream positions.
+	TraceBytes, SeriesBytes uint64
+	// Rounds is the service-round count at exit.
+	Rounds int
+	// Resumed reports whether the run restored from a checkpoint.
+	Resumed bool
+}
+
+// countingTraceSink encodes and writes trace events synchronously,
+// tracking the logical byte position of the stream. The position advances
+// even if the disk write fails, so checkpoint contents stay a pure
+// function of the simulation.
+type countingTraceSink struct {
+	bw  *bufio.Writer // nil = count only
+	n   *uint64
+	err error
+}
+
+func (s *countingTraceSink) ConsumeTrace(e core.TraceEvent) {
+	line, err := tracefmt.MarshalEvent(e)
+	if err != nil {
+		if s.err == nil {
+			s.err = err
+		}
+		return
+	}
+	*s.n += uint64(len(line))
+	if s.bw != nil && s.err == nil {
+		if _, werr := s.bw.Write(line); werr != nil {
+			s.err = werr
+		}
+	}
+}
+
+// RunSoak drives the game-day soak: build the cell, apply the load and
+// the storm, checkpoint every CheckpointEvery rounds — or, with Resume
+// set, rebuild identically, overwrite with the checkpointed state, and
+// serve out the remaining window. Returns ErrInterrupted (with partial
+// results) when StopAfterRounds fires.
+func RunSoak(cfg SoakConfig) (*SoakResult, error) {
+	cfg = cfg.withDefaults()
+	cfgJSON, err := cfg.IdentityJSON()
+	if err != nil {
+		return nil, err
+	}
+	var resumeSt *checkpoint.State
+	if cfg.Resume != "" {
+		if resumeSt, err = checkpoint.Read(cfg.Resume, cfgJSON); err != nil {
+			return nil, err
+		}
+	}
+
+	// Rebuild path — identical for fresh and resumed runs: everything a
+	// checkpoint does not capture must come out of this path bit-for-bit.
+	ccfg := core.DefaultConfig(cfg.APs, cfg.Clients, units.Decibels(cfg.SNRLoDB), units.Decibels(cfg.SNRHiDB))
+	ccfg.Seed = cfg.Seed
+	if ccfg.Sync, err = psync.Parse(cfg.Sync); err != nil {
+		return nil, err
+	}
+	net, err := core.New(ccfg)
+	if err != nil {
+		return nil, err
+	}
+	net.Trace().Enable(1 << 20)
+	if _, err := net.MeasureAndPrecode(); err != nil {
+		return nil, err
+	}
+	start := net.Now()
+	window := int64(units.TicksIn(cfg.Seconds, ccfg.SampleRate))
+	var plan *fault.Plan
+	if cfg.FaultsPerSec > 0 {
+		plan = fault.Scenario{
+			Seed: cfg.Seed, Start: start, Horizon: start + window,
+			SampleRate: ccfg.SampleRate, NumAPs: cfg.APs,
+			NumStreams: net.NumStreams(), Intensity: cfg.FaultsPerSec,
+		}.Plan()
+	}
+	profiles := make([]traffic.Profile, net.NumStreams())
+	for i := range profiles {
+		profiles[i] = traffic.NewCBR(cfg.LoadMbps*1e6, cfg.PacketBytes)
+	}
+	sampler := metrics.NewSampler(net.Metrics())
+	// Register the checkpoint counters before any sampling so both runs'
+	// series carry them from the first point.
+	mWrites := net.Metrics().Counter("checkpoint_writes_total")
+	mBytes := net.Metrics().Counter("checkpoint_bytes_total")
+
+	driftAt := start + int64(units.TicksIn(cfg.DriftAtSeconds, ccfg.SampleRate))
+	applyDrift := func() {
+		// Idempotent SET, replayed every round past the trigger: the
+		// restored clock alone decides whether drift is in effect, so a
+		// resume needs no extra "was it applied" flag.
+		if cfg.DriftPPM == 0 || net.Now() < driftAt {
+			return
+		}
+		lead := net.Lead().Index
+		for _, ap := range net.APs {
+			if ap.Index == lead {
+				ap.Node.Osc.PPM = units.PPM(-cfg.DriftPPM)
+			} else {
+				ap.Node.Osc.PPM = units.PPM(cfg.DriftPPM)
+			}
+		}
+	}
+
+	res := &SoakResult{Resumed: resumeSt != nil}
+	var traceN, seriesN uint64
+	if resumeSt != nil {
+		traceN, seriesN = resumeSt.TraceBytes, resumeSt.SeriesBytes
+	}
+
+	var eng *traffic.Engine
+	tcfg := traffic.Config{
+		System: traffic.SystemMegaMIMO, Profiles: profiles, Seed: cfg.Seed + 1,
+		Faults: plan, Sampler: sampler, SampleEvery: cfg.SampleEvery,
+		OnRound: func(rounds int) error {
+			applyDrift()
+			if cfg.CheckpointEvery > 0 && rounds%cfg.CheckpointEvery == 0 {
+				st, err := checkpoint.Capture(net, eng, traceN, seriesN)
+				if err != nil {
+					return err
+				}
+				path := filepath.Join(cfg.CheckpointDir, fmt.Sprintf("soak-%08d.ckpt", rounds))
+				nb, err := checkpoint.Write(path, cfgJSON, st)
+				if err != nil {
+					return err
+				}
+				mWrites.Inc()
+				mBytes.Add(nb)
+				res.Checkpoints = append(res.Checkpoints, path)
+				if cfg.Server != nil {
+					cfg.Server.PublishCheckpoint(path, net.Now())
+				}
+			}
+			if cfg.StopAfterRounds > 0 && rounds >= cfg.StopAfterRounds {
+				return ErrInterrupted
+			}
+			return nil
+		},
+	}
+	if eng, err = traffic.New(net, tcfg); err != nil {
+		return nil, err
+	}
+
+	if resumeSt != nil {
+		// The probe inside Prepare replays deterministically; everything
+		// it mutated is then overwritten from the checkpoint.
+		if err := eng.Prepare(); err != nil {
+			return nil, err
+		}
+		if err := resumeSt.Restore(net, eng); err != nil {
+			return nil, err
+		}
+		// The restored registry predates the very write that produced the
+		// checkpoint being resumed (captures happen before their own
+		// write); account for it so the counters match the uninterrupted
+		// run from the first resumed sample.
+		fi, err := os.Stat(cfg.Resume)
+		if err != nil {
+			return nil, err
+		}
+		mWrites.Inc()
+		mBytes.Add(fi.Size())
+		if cfg.Server != nil {
+			cfg.Server.PublishCheckpoint(cfg.Resume, resumeSt.Now)
+		}
+	}
+
+	// Streaming surfaces attach only now, after any restore, so rebuild
+	// events never leak into the resumed stream. A fresh run's trace file
+	// opens with the format header; a resumed tail file carries none.
+	meta := tracefmt.Meta{
+		SampleRate: ccfg.SampleRate, CarrierHz: ccfg.CarrierHz,
+		APs: cfg.APs, Clients: cfg.Clients, Sync: net.SyncName(),
+	}
+	ts := &countingTraceSink{n: &traceN}
+	var traceFile, seriesFile *os.File
+	var traceBW, seriesBW *bufio.Writer
+	if cfg.TracePath != "" {
+		if traceFile, err = os.Create(cfg.TracePath); err != nil {
+			return nil, err
+		}
+		traceBW = bufio.NewWriter(traceFile)
+		ts.bw = traceBW
+	}
+	if resumeSt == nil {
+		line, err := tracefmt.MarshalHeader(meta)
+		if err != nil {
+			return nil, err
+		}
+		traceN += uint64(len(line))
+		if traceBW != nil {
+			if _, err := traceBW.Write(line); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if cfg.SeriesPath != "" {
+		if seriesFile, err = os.Create(cfg.SeriesPath); err != nil {
+			return nil, err
+		}
+		seriesBW = bufio.NewWriter(seriesFile)
+	}
+	sampler.OnSample = func(sm metrics.Sample) {
+		line, err := metrics.MarshalSample(sm)
+		if err != nil {
+			return
+		}
+		seriesN += uint64(len(line))
+		if seriesBW != nil {
+			_, _ = seriesBW.Write(line)
+		}
+		if cfg.Server != nil {
+			_ = cfg.Server.PublishMetrics(net.Metrics())
+		}
+	}
+	sinks := []core.TraceSink{core.TraceSink(ts)}
+	if cfg.Server != nil {
+		sinks = append(sinks, cfg.Server)
+	}
+	net.Trace().SetSink(core.TeeSinks(sinks...))
+
+	var rep *traffic.Report
+	var runErr error
+	if resumeSt != nil {
+		rep, runErr = eng.ResumeRun()
+	} else {
+		rep, runErr = eng.Run(cfg.Seconds)
+	}
+
+	var closeErr error
+	for _, bw := range []*bufio.Writer{traceBW, seriesBW} {
+		if bw != nil {
+			if err := bw.Flush(); err != nil && closeErr == nil {
+				closeErr = err
+			}
+		}
+	}
+	for _, f := range []*os.File{traceFile, seriesFile} {
+		if f != nil {
+			if err := f.Close(); err != nil && closeErr == nil {
+				closeErr = err
+			}
+		}
+	}
+	res.Report = rep
+	res.TraceBytes, res.SeriesBytes = traceN, seriesN
+	if rep != nil {
+		res.Rounds = rep.Rounds
+	}
+	if runErr != nil {
+		res.Report = nil
+		return res, runErr
+	}
+	if ts.err != nil {
+		return res, fmt.Errorf("soak: trace stream: %w", ts.err)
+	}
+	if closeErr != nil {
+		return res, fmt.Errorf("soak: close streams: %w", closeErr)
+	}
+	return res, nil
+}

@@ -1,0 +1,194 @@
+package experiment
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"megamimo/internal/air"
+	"megamimo/internal/checkpoint"
+)
+
+// soakTestConfig is a small but non-trivial game-day cell: sustained
+// load, a fault storm dense enough to be active across any checkpoint
+// boundary, and frequent checkpoints/samples.
+func soakTestConfig(t *testing.T) SoakConfig {
+	t.Helper()
+	return SoakConfig{
+		APs: 3, Clients: 3,
+		Seed:            7,
+		LoadMbps:        12,
+		PacketBytes:     200,
+		Seconds:         0.03,
+		FaultsPerSec:    400,
+		SampleEvery:     4,
+		CheckpointEvery: 8,
+	}
+}
+
+// runSoakTo runs a soak writing its artifacts under dir, returning the
+// result.
+func runSoakTo(t *testing.T, cfg SoakConfig, dir string) *SoakResult {
+	t.Helper()
+	cfg.CheckpointDir = dir
+	cfg.TracePath = filepath.Join(dir, "trace.jsonl")
+	cfg.SeriesPath = filepath.Join(dir, "series.jsonl")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunSoak(cfg)
+	if cfg.StopAfterRounds > 0 {
+		if !errors.Is(err, ErrInterrupted) {
+			t.Fatalf("interrupted soak: got error %v, want ErrInterrupted", err)
+		}
+	} else if err != nil {
+		t.Fatalf("RunSoak: %v", err)
+	}
+	return res
+}
+
+// TestSoakResumeByteIdentity is the harness's core guarantee: interrupt a
+// soak mid-run (with the fault storm live), resume from its last
+// checkpoint, and the resumed trace/metrics tail must be byte-identical
+// to the uninterrupted run — including when the interrupted and resumed
+// halves run at different medium worker counts.
+func TestSoakResumeByteIdentity(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		t.Run(map[int]string{1: "workers-1", 4: "workers-4"}[workers], func(t *testing.T) {
+			base := soakTestConfig(t)
+			root := t.TempDir()
+
+			air.SetWorkers(1)
+			defer air.SetWorkers(0)
+			full := runSoakTo(t, base, filepath.Join(root, "full"))
+			if full.Report == nil || full.Report.Rounds < 24 {
+				t.Fatalf("soak too short to interrupt: %+v", full.Report)
+			}
+			if len(full.Checkpoints) < 2 {
+				t.Fatalf("uninterrupted run wrote %d checkpoints, want >= 2", len(full.Checkpoints))
+			}
+
+			interrupted := base
+			interrupted.StopAfterRounds = 2*base.CheckpointEvery + base.CheckpointEvery/2
+			cut := runSoakTo(t, interrupted, filepath.Join(root, "cut"))
+			if len(cut.Checkpoints) < 2 {
+				t.Fatalf("interrupted run wrote %d checkpoints, want >= 2", len(cut.Checkpoints))
+			}
+			last := cut.Checkpoints[len(cut.Checkpoints)-1]
+			st, _, err := checkpoint.ReadAny(last)
+			if err != nil {
+				t.Fatalf("ReadAny(%s): %v", last, err)
+			}
+
+			// The storm must still have events to replay after the cut,
+			// or the "fault storm active across the boundary" claim is
+			// vacuous for this seed.
+			if st.Engine == nil || st.Engine.Injector == nil {
+				t.Fatalf("checkpoint carries no injector state")
+			}
+
+			air.SetWorkers(workers)
+			resumed := base
+			resumed.Resume = last
+			tail := runSoakTo(t, resumed, filepath.Join(root, "tail"))
+			if tail.Report == nil {
+				t.Fatalf("resumed run returned no report")
+			}
+
+			fullTrace := readFile(t, filepath.Join(root, "full", "trace.jsonl"))
+			tailTrace := readFile(t, filepath.Join(root, "tail", "trace.jsonl"))
+			if uint64(len(fullTrace)) != full.TraceBytes {
+				t.Fatalf("uninterrupted trace is %d bytes on disk, counter says %d", len(fullTrace), full.TraceBytes)
+			}
+			if st.TraceBytes > uint64(len(fullTrace)) {
+				t.Fatalf("checkpoint trace offset %d beyond uninterrupted trace (%d bytes)", st.TraceBytes, len(fullTrace))
+			}
+			if want := string(fullTrace[st.TraceBytes:]); want != string(tailTrace) {
+				t.Fatalf("resumed trace tail diverges from uninterrupted run (want %d bytes, got %d)\nfirst diff near: %q",
+					len(want), len(tailTrace), firstDiff(want, string(tailTrace)))
+			}
+
+			fullSeries := readFile(t, filepath.Join(root, "full", "series.jsonl"))
+			tailSeries := readFile(t, filepath.Join(root, "tail", "series.jsonl"))
+			if want := string(fullSeries[st.SeriesBytes:]); want != string(tailSeries) {
+				t.Fatalf("resumed metrics series tail diverges (want %d bytes, got %d)\nfirst diff near: %q",
+					len(want), len(tailSeries), firstDiff(want, string(tailSeries)))
+			}
+
+			// Latency/jitter accounting must also carry across the
+			// boundary: the resumed run's final report is the
+			// uninterrupted run's, percentile for percentile.
+			if got, want := tail.Report.String(), full.Report.String(); got != want {
+				t.Fatalf("resumed report diverges:\n--- uninterrupted\n%s\n--- resumed\n%s", want, got)
+			}
+		})
+	}
+}
+
+// TestSoakResumeRejectsMismatchedConfig locks satellite #1: a checkpoint
+// from one run identity must not restore into another.
+func TestSoakResumeRejectsMismatchedConfig(t *testing.T) {
+	base := soakTestConfig(t)
+	root := t.TempDir()
+	base.StopAfterRounds = base.CheckpointEvery
+	cut := runSoakTo(t, base, filepath.Join(root, "cut"))
+	if len(cut.Checkpoints) == 0 {
+		t.Fatalf("no checkpoint written")
+	}
+
+	for _, mut := range []struct {
+		name  string
+		apply func(*SoakConfig)
+	}{
+		{"seed", func(c *SoakConfig) { c.Seed++ }},
+		{"topology", func(c *SoakConfig) { c.APs++ }},
+		{"sync", func(c *SoakConfig) { c.Sync = "airsync" }},
+	} {
+		t.Run(mut.name, func(t *testing.T) {
+			bad := base
+			bad.StopAfterRounds = 0
+			bad.Resume = cut.Checkpoints[len(cut.Checkpoints)-1]
+			mut.apply(&bad)
+			_, err := RunSoak(bad)
+			if err == nil {
+				t.Fatalf("resume under mutated %s config succeeded, want rejection", mut.name)
+			}
+			if !strings.Contains(err.Error(), "config mismatch") {
+				t.Fatalf("rejection error %q does not name the config mismatch", err)
+			}
+		})
+	}
+}
+
+func readFile(t *testing.T, path string) []byte {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// firstDiff returns a short window around the first differing byte.
+func firstDiff(a, b string) string {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			lo := i - 40
+			if lo < 0 {
+				lo = 0
+			}
+			hi := i + 40
+			if hi > n {
+				hi = n
+			}
+			return a[lo:hi] + " != " + b[lo:hi]
+		}
+	}
+	return "length mismatch"
+}

@@ -1,0 +1,88 @@
+package fault
+
+import (
+	"fmt"
+	"sort"
+
+	"megamimo/internal/units"
+)
+
+// IsolationState is one partitioned bus node and its isolation end time.
+type IsolationState struct {
+	Node  int   `json:"node"`
+	Until int64 `json:"until"`
+}
+
+// PolicyState is the serializable windowed state of a bus fault Policy.
+// The seed is not included: it is part of the plan the restore path
+// rebuilds the injector from, and the per-message decisions are pure
+// hashes of it.
+type PolicyState struct {
+	DropP   float64          `json:"drop_p,omitempty"`
+	DropTil int64            `json:"drop_til,omitempty"`
+	DelayN  int64            `json:"delay_n,omitempty"`
+	DelTil  int64            `json:"del_til,omitempty"`
+	JitterN int64            `json:"jitter_n,omitempty"`
+	JitTil  int64            `json:"jit_til,omitempty"`
+	Iso     []IsolationState `json:"iso,omitempty"`
+}
+
+// Snapshot captures the policy's windowed state, isolations sorted by node
+// for a stable encoding.
+func (p *Policy) Snapshot() PolicyState {
+	st := PolicyState{
+		DropP:   p.dropP,
+		DropTil: p.dropTil,
+		DelayN:  int64(p.delayN),
+		DelTil:  p.delTil,
+		JitterN: int64(p.jitterN),
+		JitTil:  p.jitTil,
+	}
+	for node, until := range p.isolated {
+		st.Iso = append(st.Iso, IsolationState{Node: node, Until: until})
+	}
+	sort.Slice(st.Iso, func(i, j int) bool { return st.Iso[i].Node < st.Iso[j].Node })
+	return st
+}
+
+// RestoreSnapshot overwrites the policy's windowed state.
+func (p *Policy) RestoreSnapshot(st PolicyState) {
+	p.dropP, p.dropTil = st.DropP, st.DropTil
+	p.delayN, p.delTil = units.Ticks(st.DelayN), st.DelTil
+	p.jitterN, p.jitTil = units.Ticks(st.JitterN), st.JitTil
+	p.isolated = make(map[int]int64, len(st.Iso))
+	for _, iso := range st.Iso {
+		p.isolated[iso.Node] = iso.Until
+	}
+}
+
+// InjectorState is the serializable runtime state of an Injector built
+// from a given plan: the cursor into the sorted plan events, the
+// runtime-scheduled recoveries still pending, and the bus policy windows.
+type InjectorState struct {
+	Next   int         `json:"next"`
+	Queued []Event     `json:"queued,omitempty"`
+	Policy PolicyState `json:"policy"`
+}
+
+// Snapshot captures the injector's runtime state.
+func (in *Injector) Snapshot() InjectorState {
+	return InjectorState{
+		Next:   in.next,
+		Queued: append([]Event(nil), in.queued...),
+		Policy: in.policy.Snapshot(),
+	}
+}
+
+// RestoreSnapshot overwrites the injector's runtime state. The injector
+// must have been rebuilt from the same plan the snapshot was taken under;
+// the cursor is validated against the plan length.
+func (in *Injector) RestoreSnapshot(st InjectorState) error {
+	if st.Next < 0 || st.Next > len(in.events) {
+		return fmt.Errorf("fault: restore injector: cursor %d out of range for a %d-event plan", st.Next, len(in.events))
+	}
+	in.next = st.Next
+	in.queued = append([]Event(nil), st.Queued...)
+	in.policy.RestoreSnapshot(st.Policy)
+	return nil
+}

@@ -40,6 +40,10 @@ var faultDefPkgs = map[string]bool{
 // package's degrade-gracefully contract.
 var faultPanicBanPkgs = map[string]bool{
 	"megamimo/internal/sync": true,
+	// The checkpoint loader parses untrusted bytes (truncated, bit-rotted
+	// or foreign files) and must always fail with an offset-bearing
+	// error, never a panic.
+	"megamimo/internal/checkpoint": true,
 }
 
 func runFaultPath(p *Pass) {

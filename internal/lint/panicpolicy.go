@@ -23,6 +23,7 @@ var panicPolicyPkgs = map[string]bool{
 	"megamimo/internal/tracefmt":   true,
 	"megamimo/internal/metrics":    true,
 	"megamimo/internal/obs":        true,
+	"megamimo/internal/checkpoint": true,
 }
 
 // PanicPolicyAnalyzer flags panic calls lexically inside exported functions

@@ -345,7 +345,7 @@ func (s *Scheduler) Step() (*StepResult, error) {
 	ackAt := s.Net.Now()
 	for j, okj := range txr.OK {
 		if okj && group[j] != nil {
-			s.Net.Bus.Send(1000+j/s.Net.Cfg.AntennasPerClient, lead, ackAt, ack{Stream: j, Pkt: group[j].Seq})
+			s.Net.Bus.Send(1000+j/s.Net.Cfg.AntennasPerClient, lead, ackAt, Ack{Stream: j, Pkt: group[j].Seq})
 		}
 	}
 	wait := s.AckTimeoutSamples
@@ -356,7 +356,7 @@ func (s *Scheduler) Step() (*StepResult, error) {
 	acked := make(map[int64]bool)
 	var ackSeqs []int64 // arrival order, for the deterministic late-ACK pass
 	for _, m := range s.Net.Bus.Receive(lead, s.Net.Now()) {
-		if a, ok := m.Payload.(ack); ok && !acked[a.Pkt] {
+		if a, ok := m.Payload.(Ack); ok && !acked[a.Pkt] {
 			acked[a.Pkt] = true
 			ackSeqs = append(ackSeqs, a.Pkt)
 		}
@@ -442,9 +442,11 @@ func (s *Scheduler) Run() (*Stats, error) {
 	return st, nil
 }
 
-// ack is the backbone acknowledgment datagram; Pkt names the acknowledged
+// Ack is the backbone acknowledgment datagram; Pkt names the acknowledged
 // packet so a delayed ACK still resolves after the stream has moved on.
-type ack struct {
+// Exported so the checkpoint layer can serialize ACKs still in flight on
+// the bus when a snapshot is taken.
+type Ack struct {
 	Stream int
 	Pkt    int64
 }

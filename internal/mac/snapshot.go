@@ -1,0 +1,99 @@
+package mac
+
+import (
+	"fmt"
+
+	"megamimo/internal/phy"
+	"megamimo/internal/rng"
+)
+
+// PacketState is the serializable form of one queued packet. Payload bytes
+// are not stored: under the traffic engine every packet carries its
+// stream's template payload, so the restore path re-binds it by stream and
+// validates the length.
+type PacketState struct {
+	Stream       int   `json:"stream"`
+	PayloadLen   int   `json:"payload_len"`
+	DesignatedAP int   `json:"designated_ap"`
+	Attempts     int   `json:"attempts,omitempty"`
+	Delivered    bool  `json:"delivered,omitempty"`
+	EnqueuedAt   int64 `json:"enqueued_at"`
+	Seq          int64 `json:"seq"`
+}
+
+// QueueState is the serializable shared-queue state: the packets in queue
+// order plus the sequence counter retransmission identity rides on.
+type QueueState struct {
+	NextSeq int64         `json:"next_seq"`
+	Packets []PacketState `json:"packets"`
+}
+
+// Snapshot captures the queue.
+func (q *Queue) Snapshot() QueueState {
+	st := QueueState{NextSeq: q.nextSeq, Packets: make([]PacketState, len(q.packets))}
+	for i, p := range q.packets {
+		st.Packets[i] = PacketState{
+			Stream:       p.Stream,
+			PayloadLen:   len(p.Payload),
+			DesignatedAP: p.DesignatedAP,
+			Attempts:     p.Attempts,
+			Delivered:    p.Delivered,
+			EnqueuedAt:   p.EnqueuedAt,
+			Seq:          p.Seq,
+		}
+	}
+	return st
+}
+
+// RestoreSnapshot overwrites the queue from st. payloadFor returns the
+// payload template for a stream; the restored packet aliases it, exactly
+// as the traffic engine's enqueue path does.
+func (q *Queue) RestoreSnapshot(st QueueState, payloadFor func(stream int) []byte) error {
+	packets := make([]*Packet, len(st.Packets))
+	for i, ps := range st.Packets {
+		payload := payloadFor(ps.Stream)
+		if payload == nil {
+			return fmt.Errorf("mac: restore queue: no payload template for stream %d", ps.Stream)
+		}
+		if len(payload) != ps.PayloadLen {
+			return fmt.Errorf("mac: restore queue: stream %d payload template is %d bytes, packet %d had %d",
+				ps.Stream, len(payload), ps.Seq, ps.PayloadLen)
+		}
+		packets[i] = &Packet{
+			Stream:       ps.Stream,
+			Payload:      payload,
+			DesignatedAP: ps.DesignatedAP,
+			Attempts:     ps.Attempts,
+			Delivered:    ps.Delivered,
+			EnqueuedAt:   ps.EnqueuedAt,
+			Seq:          ps.Seq,
+		}
+	}
+	q.packets = packets
+	q.nextSeq = st.NextSeq
+	return nil
+}
+
+// SrcState snapshots the contention backoff rng.
+func (c *Contention) SrcState() rng.State { return c.src.State() }
+
+// RestoreSrc overwrites the contention backoff rng.
+func (c *Contention) RestoreSrc(st rng.State) error { return c.src.Restore(st) }
+
+// RateState is the scheduler's resolved-rate cache: restoring it skips the
+// re-probe divergence window so a resumed scheduler transmits at exactly
+// the MCS the interrupted run had adapted to.
+type RateState struct {
+	Adapted   int  `json:"adapted"`
+	AdaptedOK bool `json:"adapted_ok"`
+}
+
+// RateSnapshot captures the adapted-rate cache.
+func (s *Scheduler) RateSnapshot() RateState {
+	return RateState{Adapted: int(s.adapted), AdaptedOK: s.adaptedOK}
+}
+
+// RestoreRate overwrites the adapted-rate cache.
+func (s *Scheduler) RestoreRate(st RateState) {
+	s.adapted, s.adaptedOK = phy.MCS(st.Adapted), st.AdaptedOK
+}

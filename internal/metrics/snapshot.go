@@ -1,0 +1,164 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// HistState is one histogram's serializable state: the bucket table it was
+// created with plus every accumulated count.
+type HistState struct {
+	Bounds []float64 `json:"bounds"`
+	Counts []int64   `json:"counts"`
+	N      int64     `json:"n"`
+	Sum    float64   `json:"sum"`
+}
+
+// GaugeState carries a gauge's level plus whether it was ever set (an
+// unset gauge stays out of the Prometheus exposition).
+type GaugeState struct {
+	Value float64 `json:"value"`
+	Set   bool    `json:"set,omitempty"`
+}
+
+// RegistryState is the full serializable registry: every instrument by
+// name. Maps are fine on the wire — encoding/json sorts map keys, so the
+// encoding is deterministic.
+type RegistryState struct {
+	Counters   map[string]int64      `json:"counters,omitempty"`
+	Gauges     map[string]GaugeState `json:"gauges,omitempty"`
+	Histograms map[string]HistState  `json:"histograms,omitempty"`
+}
+
+// sortedKeys returns a map's keys in sorted order — the determinism
+// lint's required iteration pattern, even where the surrounding writes
+// are order-insensitive.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for name := range m {
+		keys = append(keys, name)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Snapshot captures every instrument's current value.
+func (r *Registry) Snapshot() RegistryState {
+	st := RegistryState{
+		Counters:   make(map[string]int64, len(r.counters)),
+		Gauges:     make(map[string]GaugeState, len(r.gauges)),
+		Histograms: make(map[string]HistState, len(r.hists)),
+	}
+	for _, name := range sortedKeys(r.counters) {
+		st.Counters[name] = r.counters[name].v
+	}
+	for _, name := range sortedKeys(r.gauges) {
+		g := r.gauges[name]
+		st.Gauges[name] = GaugeState{Value: g.v, Set: g.set}
+	}
+	for _, name := range sortedKeys(r.hists) {
+		h := r.hists[name]
+		st.Histograms[name] = HistState{
+			Bounds: append([]float64(nil), h.bounds...),
+			Counts: append([]int64(nil), h.counts...),
+			N:      h.n,
+			Sum:    h.sum,
+		}
+	}
+	return st
+}
+
+// RestoreSnapshot overwrites the registry from st. Instruments already
+// resolved by name keep their pointers — values are written in place, so
+// every component holding a *Counter keeps recording into the restored
+// instrument. Instruments in st but not yet resolved are created;
+// instruments resolved but absent from st are zeroed (they did not exist
+// when the snapshot was taken).
+func (r *Registry) RestoreSnapshot(st RegistryState) error {
+	for _, name := range sortedKeys(r.counters) {
+		r.counters[name].v = st.Counters[name]
+	}
+	for _, name := range sortedKeys(st.Counters) {
+		r.Counter(name).v = st.Counters[name]
+	}
+	for _, name := range sortedKeys(r.gauges) {
+		gs := st.Gauges[name]
+		g := r.gauges[name]
+		g.v, g.set = gs.Value, gs.Set
+	}
+	for _, name := range sortedKeys(st.Gauges) {
+		gs := st.Gauges[name]
+		g := r.Gauge(name)
+		g.v, g.set = gs.Value, gs.Set
+	}
+	for _, name := range sortedKeys(r.hists) {
+		h := r.hists[name]
+		hs, ok := st.Histograms[name]
+		if !ok {
+			for i := range h.counts {
+				h.counts[i] = 0
+			}
+			h.n, h.sum = 0, 0
+			continue
+		}
+		if err := h.restore(name, hs); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(st.Histograms) {
+		if _, ok := r.hists[name]; ok {
+			continue
+		}
+		hs := st.Histograms[name]
+		h := r.Histogram(name, hs.Bounds)
+		if err := h.restore(name, hs); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// restore overwrites one histogram, validating the bucket table matches.
+// Bounds are configuration constants, so the match is exact bit identity,
+// not a tolerance.
+func (h *Histogram) restore(name string, hs HistState) error {
+	if len(hs.Counts) != len(h.counts) || len(hs.Bounds) != len(h.bounds) {
+		return fmt.Errorf("metrics: restore histogram %q: %d bounds / %d counts, have %d / %d",
+			name, len(hs.Bounds), len(hs.Counts), len(h.bounds), len(h.counts))
+	}
+	for i, b := range h.bounds {
+		if math.Float64bits(hs.Bounds[i]) != math.Float64bits(b) {
+			return fmt.Errorf("metrics: restore histogram %q: bound %d is %g, have %g", name, i, hs.Bounds[i], b)
+		}
+	}
+	copy(h.counts, hs.Counts)
+	h.n, h.sum = hs.N, hs.Sum
+	return nil
+}
+
+// SamplerState is the sampler's carry between samples: the previous
+// counter totals its deltas are computed against. The accumulated series
+// is not part of the state — a resumed run streams its samples through
+// OnSample and regenerates only the tail.
+type SamplerState struct {
+	Prev map[string]int64 `json:"prev,omitempty"`
+}
+
+// Snapshot captures the delta baseline.
+func (s *Sampler) Snapshot() SamplerState {
+	prev := make(map[string]int64, len(s.prev))
+	for _, name := range sortedKeys(s.prev) {
+		prev[name] = s.prev[name]
+	}
+	return SamplerState{Prev: prev}
+}
+
+// RestoreSnapshot overwrites the delta baseline, so the first sample after
+// a resume reports the same deltas the uninterrupted run would have.
+func (s *Sampler) RestoreSnapshot(st SamplerState) {
+	s.prev = make(map[string]int64, len(st.Prev))
+	for _, name := range sortedKeys(st.Prev) {
+		s.prev[name] = st.Prev[name]
+	}
+}

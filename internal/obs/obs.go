@@ -51,6 +51,8 @@ type Server struct {
 	head    int
 	prom    []byte
 	done    bool
+	ckPath  string
+	ckAt    int64
 
 	ln  net.Listener
 	srv *http.Server
@@ -139,6 +141,16 @@ func (w *appendWriter) Write(p []byte) (int, error) {
 	return len(p), nil
 }
 
+// PublishCheckpoint records the run's latest durable checkpoint (path
+// and the ether time it captured). /healthz reports both, plus the
+// checkpoint's age against the last observed event — the bound on how
+// much simulated time a resume would replay.
+func (s *Server) PublishCheckpoint(path string, at int64) {
+	s.mu.Lock()
+	s.ckPath, s.ckAt = path, at
+	s.mu.Unlock()
+}
+
 // MarkDone records that the run completed; /healthz reports it so
 // pollers can distinguish "still going" from "finished".
 func (s *Server) MarkDone() {
@@ -179,6 +191,12 @@ type healthJSON struct {
 	LastAt         int64           `json:"last_at"`
 	FirstViolation *violationJSON  `json:"first_violation,omitempty"`
 	Tripped        []violationJSON `json:"tripped,omitempty"`
+	// LastCheckpoint is the newest durable checkpoint's path;
+	// CheckpointAt its capture time and CheckpointAge how far the run has
+	// advanced past it (ether samples).
+	LastCheckpoint string `json:"last_checkpoint,omitempty"`
+	CheckpointAt   int64  `json:"checkpoint_at,omitempty"`
+	CheckpointAge  int64  `json:"checkpoint_age_samples,omitempty"`
 }
 
 func violationWire(v tracefmt.Violation) violationJSON {
@@ -202,6 +220,13 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if v, ok := s.monitor.FirstViolation(); ok {
 		vw := violationWire(v)
 		resp.FirstViolation = &vw
+	}
+	if s.ckPath != "" {
+		resp.LastCheckpoint = s.ckPath
+		resp.CheckpointAt = s.ckAt
+		if last := s.monitor.LastAt(); last > s.ckAt {
+			resp.CheckpointAge = last - s.ckAt
+		}
 	}
 	for _, v := range s.monitor.Tripped() {
 		resp.Tripped = append(resp.Tripped, violationWire(v))

@@ -1,0 +1,61 @@
+package radio
+
+import (
+	"fmt"
+
+	"megamimo/internal/rng"
+	"megamimo/internal/units"
+)
+
+// OscState is the serializable mutable state of one Oscillator. Carrier
+// and sample rate are construction parameters rebuilt from config; PPM and
+// Phase0 are included because fault drills mutate them mid-run (injected
+// drift), and the wander walk carries both its accumulator and its rng
+// position. The units types marshal as their underlying float64s.
+type OscState struct {
+	PPM    units.PPM     `json:"ppm"`
+	Phase0 units.Radians `json:"phase0"`
+	// WanderStd is radians/√sample — a mixed dimension with no named
+	// units type (same as the Oscillator field it mirrors).
+	WanderStd  float64       `json:"wander_std,omitempty"`
+	WanderAcc  units.Radians `json:"wander_acc,omitempty"`
+	WanderTime int64         `json:"wander_time,omitempty"`
+	Wander     *rng.State    `json:"wander,omitempty"`
+}
+
+// Snapshot captures the oscillator's mutable state.
+func (o *Oscillator) Snapshot() OscState {
+	st := OscState{
+		PPM:        o.PPM,
+		Phase0:     o.Phase0,
+		WanderStd:  o.WanderStd,
+		WanderAcc:  o.wanderAcc,
+		WanderTime: o.wanderTime,
+	}
+	if o.wander != nil {
+		ws := o.wander.State()
+		st.Wander = &ws
+	}
+	return st
+}
+
+// RestoreSnapshot overwrites the oscillator's mutable state from st. The
+// wander source is restored only when both sides have one: a snapshot from
+// a wander-equipped oscillator cannot restore into one built without.
+func (o *Oscillator) RestoreSnapshot(st OscState) error {
+	if (st.Wander != nil) != (o.wander != nil) {
+		return fmt.Errorf("radio: oscillator wander source mismatch (snapshot has one: %v, target has one: %v)",
+			st.Wander != nil, o.wander != nil)
+	}
+	if st.Wander != nil {
+		if err := o.wander.Restore(*st.Wander); err != nil {
+			return fmt.Errorf("radio: oscillator wander rng: %w", err)
+		}
+	}
+	o.PPM = st.PPM
+	o.Phase0 = st.Phase0
+	o.WanderStd = st.WanderStd
+	o.wanderAcc = st.WanderAcc
+	o.wanderTime = st.WanderTime
+	return nil
+}

@@ -2,22 +2,89 @@
 // complex Gaussians for channels and noise, Rayleigh-faded taps, and a
 // deterministic sub-stream splitter so that independent components (each
 // oscillator, each link) draw from independent but replayable sequences.
+//
+// Every Source is explicitly snapshotable: State captures the complete
+// generator state (feedback register, byte-read carry, split base) and
+// Restore resumes the exact draw position, so a checkpointed simulation
+// replays the same stream it would have produced uninterrupted. The
+// underlying generator is bit-identical to math/rand's, keeping all
+// golden streams unchanged.
 package rng
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 )
 
 // Source is a deterministic random source for one simulation component.
 type Source struct {
-	r         *rand.Rand
+	src *lfsr
+	// r provides the distribution layer (ziggurat normals, unbiased Intn,
+	// Perm) over src. *rand.Rand keeps no state of its own between calls
+	// apart from the Read carry, which Bytes reimplements below, so
+	// snapshotting src (+ the carry) captures the full stream position.
+	r *rand.Rand
+	// readVal / readPos carry the unconsumed remainder of the last Int63
+	// drawn by Bytes, mirroring math/rand's Read so the byte stream stays
+	// identical to the pre-snapshot implementation.
+	readVal   int64
+	readPos   int8
 	splitBase uint64 // lazy hidden draw backing Split; see base()
 }
 
 // New returns a Source seeded with seed.
 func New(seed int64) *Source {
-	return &Source{r: rand.New(rand.NewSource(seed))}
+	src := &lfsr{}
+	src.Seed(seed)
+	return &Source{src: src, r: rand.New(src)}
+}
+
+// State is the serializable snapshot of a Source: the full feedback
+// register with its cursors, the Bytes carry, and the split base. A
+// restored Source produces the identical continuation of every draw
+// sequence (Float64, Norm, Bytes, Split, ...).
+type State struct {
+	Tap       int     `json:"tap"`
+	Feed      int     `json:"feed"`
+	Vec       []int64 `json:"vec"`
+	ReadVal   int64   `json:"read_val,omitempty"`
+	ReadPos   int8    `json:"read_pos,omitempty"`
+	SplitBase uint64  `json:"split_base,omitempty"`
+}
+
+// State snapshots the complete generator state.
+func (s *Source) State() State {
+	vec := make([]int64, lfsrLen)
+	copy(vec, s.src.vec[:])
+	return State{
+		Tap:       s.src.tap,
+		Feed:      s.src.feed,
+		Vec:       vec,
+		ReadVal:   s.readVal,
+		ReadPos:   s.readPos,
+		SplitBase: s.splitBase,
+	}
+}
+
+// Restore overwrites the Source with a previously captured State.
+func (s *Source) Restore(st State) error {
+	if len(st.Vec) != lfsrLen {
+		return fmt.Errorf("rng: restore: register has %d words, want %d", len(st.Vec), lfsrLen)
+	}
+	if st.Tap < 0 || st.Tap >= lfsrLen || st.Feed < 0 || st.Feed >= lfsrLen {
+		return fmt.Errorf("rng: restore: cursors (tap=%d, feed=%d) out of range [0, %d)", st.Tap, st.Feed, lfsrLen)
+	}
+	if st.ReadPos < 0 || st.ReadPos > 7 {
+		return fmt.Errorf("rng: restore: read carry position %d out of range [0, 7]", st.ReadPos)
+	}
+	s.src.tap = st.Tap
+	s.src.feed = st.Feed
+	copy(s.src.vec[:], st.Vec)
+	s.readVal = st.ReadVal
+	s.readPos = st.ReadPos
+	s.splitBase = st.SplitBase
+	return nil
 }
 
 // Split derives an independent child Source labeled by id. Children with
@@ -35,7 +102,7 @@ func (s *Source) Split(id uint64) *Source {
 // base returns a stable per-source value used by Split without consuming
 // the main stream.
 func (s *Source) base() uint64 {
-	// A fresh rand.Rand from the same seed yields the same first value, so
+	// A fresh generator from the same seed yields the same first value, so
 	// peeking by cloning would be wasteful; instead we keep a hidden draw.
 	// We derive it once, lazily.
 	if s.splitBase == 0 {
@@ -138,9 +205,22 @@ func BoundedParetoMean(alpha, xm, hi float64) float64 {
 // Bool returns true with probability p.
 func (s *Source) Bool(p float64) bool { return s.r.Float64() < p }
 
-// Bytes fills b with random bytes and returns it.
+// Bytes fills b with random bytes and returns it. Each Int63 draw yields
+// seven bytes, little-end first, with the remainder carried to the next
+// call — the exact byte stream of math/rand's Read, but with the carry in
+// snapshotable Source state.
 func (s *Source) Bytes(b []byte) []byte {
-	s.r.Read(b)
+	pos, val := s.readPos, s.readVal
+	for i := range b {
+		if pos == 0 {
+			val = s.src.Int63()
+			pos = 7
+		}
+		b[i] = byte(val)
+		val >>= 8
+		pos--
+	}
+	s.readPos, s.readVal = pos, val
 	return b
 }
 

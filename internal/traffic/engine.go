@@ -59,6 +59,12 @@ type Config struct {
 	// SampleEvery is the sampling cadence in service rounds
 	// (0 = DefaultSampleEvery). Only meaningful with Sampler set.
 	SampleEvery int
+	// OnRound, when non-nil, runs after every served round (after its
+	// metrics sample). Returning an error stops the run and propagates it
+	// to the caller — the soak harness hooks checkpointing here and uses a
+	// sentinel error to interrupt a run at an exact round for kill/resume
+	// testing.
+	OnRound func(rounds int) error
 }
 
 // DefaultSampleEvery is the metrics-sampling cadence when a Sampler is
@@ -143,7 +149,13 @@ type Engine struct {
 	offered, delivered, failed, dropped []int
 	latencies                           [][]float64 // ms, in delivery order
 
-	rounds   int
+	rounds int
+	// Run window, set by Run and carried through checkpoints so a resumed
+	// run serves to the exact same horizon and normalizes its report over
+	// the exact same float seconds.
+	runStart, horizon int64
+	runSeconds        float64
+
 	mArrive  *metrics.Counter
 	mDrops   *metrics.Counter
 	hLatency *metrics.Histogram
@@ -214,11 +226,12 @@ func (e *Engine) maxAttempts() int {
 	return 4
 }
 
-// prepare resolves rates before the measurement window opens so neither
+// Prepare resolves rates before the measurement window opens so neither
 // system pays setup airtime inside it: MegaMIMO runs its probe
 // transmission, TDMA computes per-stream unicast rates from the
-// measurement (no airtime).
-func (e *Engine) prepare() error {
+// measurement (no airtime). Run calls it; the checkpoint restore path
+// calls it explicitly while rebuilding, before overwriting state.
+func (e *Engine) Prepare() error {
 	if e.cfg.System == SystemTDMA {
 		for i := range e.links {
 			mcs, ap, ok, err := e.uni.SelectRate(i)
@@ -351,14 +364,34 @@ func (e *Engine) serveTDMA() error {
 // enter; packets still queued at the horizon count as backlog, not
 // delivered — that is what bends the saturation curve.
 func (e *Engine) Run(seconds float64) (*Report, error) {
-	if err := e.prepare(); err != nil {
+	if err := e.Prepare(); err != nil {
 		return nil, err
 	}
 	start := e.net.Now()
-	horizon := start + int64(units.TicksIn(seconds, e.net.Cfg.SampleRate))
+	e.runStart = start
+	e.horizon = start + int64(units.TicksIn(seconds, e.net.Cfg.SampleRate))
+	e.runSeconds = seconds
 	e.net.Trace().Emit(start, core.KindTraffic, core.TraceAttrs{},
 		"workload start: %s, %d streams, %.3fs window", e.cfg.System, len(e.gens), seconds)
-	for e.net.Now() < horizon {
+	return e.loop()
+}
+
+// ResumeRun continues a run restored from a checkpoint to its original
+// horizon. The engine must have been restored first (RestoreSnapshot
+// carries the run window); the "workload start" trace event is not
+// re-emitted — the interrupted run already streamed it, so a resumed
+// trace tail stays byte-identical to the uninterrupted run's.
+func (e *Engine) ResumeRun() (*Report, error) {
+	if e.horizon == 0 {
+		return nil, fmt.Errorf("traffic: ResumeRun without a restored run window")
+	}
+	return e.loop()
+}
+
+// loop is the shared service loop: pump arrivals, serve rounds, sample,
+// until the horizon.
+func (e *Engine) loop() (*Report, error) {
+	for e.net.Now() < e.horizon {
 		now := e.net.Now()
 		e.applyFaults(now)
 		e.pump(now)
@@ -376,7 +409,7 @@ func (e *Engine) Run(seconds float64) (*Report, error) {
 					next = at
 				}
 			}
-			if next >= horizon {
+			if next >= e.horizon {
 				break
 			}
 			e.net.AdvanceTime(next - now)
@@ -393,12 +426,17 @@ func (e *Engine) Run(seconds float64) (*Report, error) {
 			return nil, err
 		}
 		e.maybeSample(false)
+		if e.cfg.OnRound != nil {
+			if err := e.cfg.OnRound(e.rounds); err != nil {
+				return nil, err
+			}
+		}
 	}
 	e.maybeSample(true)
 	e.net.Trace().Emit(e.net.Now(), core.KindTraffic,
 		core.TraceAttrs{QueueDepth: e.queue.Len(), OK: e.queue.Len() == 0},
 		"workload end: %d rounds, %d backlog", e.rounds, e.queue.Len())
-	return e.report(seconds), nil
+	return e.report(e.runSeconds), nil
 }
 
 // maybeSample takes a metrics time-series point when a sampler is wired:

@@ -1,0 +1,174 @@
+package traffic
+
+import (
+	"fmt"
+
+	"megamimo/internal/fault"
+	"megamimo/internal/mac"
+	"megamimo/internal/metrics"
+	"megamimo/internal/phy"
+	"megamimo/internal/rng"
+)
+
+// GenState is one arrival process's serializable state: its rng stream
+// plus the schedule cursors. The profile itself is config, rebuilt by the
+// restore path.
+type GenState struct {
+	Src     rng.State `json:"src"`
+	NextAt  int64     `json:"next_at"`
+	OnUntil int64     `json:"on_until,omitempty"`
+}
+
+// LinkState is one TDMA stream's cached unicast rate decision, mutable at
+// runtime because an AP crash forces re-association.
+type LinkState struct {
+	MCS int  `json:"mcs"`
+	AP  int  `json:"ap"`
+	OK  bool `json:"ok,omitempty"`
+}
+
+// EngineState is the engine's complete mutable state: everything that
+// evolves once Run starts. Payload templates, the probe result path, and
+// the profiles are NOT here — they are deterministic from Config and come
+// back identical when the restore path rebuilds the engine with New +
+// Prepare before calling RestoreSnapshot.
+type EngineState struct {
+	RunStart   int64   `json:"run_start"`
+	Horizon    int64   `json:"horizon"`
+	RunSeconds float64 `json:"run_seconds"`
+	Rounds     int     `json:"rounds"`
+	RR         int     `json:"rr,omitempty"`
+
+	Gens      []GenState  `json:"gens"`
+	Offered   []int       `json:"offered"`
+	Delivered []int       `json:"delivered"`
+	Failed    []int       `json:"failed"`
+	Dropped   []int       `json:"dropped"`
+	Latencies [][]float64 `json:"latencies"`
+	Inactive  []bool      `json:"inactive"`
+
+	Queue mac.QueueState `json:"queue"`
+	// Cont is the backoff rng — the scheduler's under MegaMIMO, the
+	// engine's own under TDMA.
+	Cont rng.State `json:"cont"`
+	// Rate is the MegaMIMO scheduler's adapted-rate cache; Links is the
+	// TDMA per-stream cache. Exactly one is populated per system.
+	Rate  *mac.RateState `json:"rate,omitempty"`
+	Links []LinkState    `json:"links,omitempty"`
+
+	Injector *fault.InjectorState  `json:"injector,omitempty"`
+	Sampler  *metrics.SamplerState `json:"sampler,omitempty"`
+}
+
+// Snapshot captures the engine's mutable state. Call it only between
+// rounds (the OnRound hook is the supported site).
+func (e *Engine) Snapshot() *EngineState {
+	streams := len(e.gens)
+	st := &EngineState{
+		RunStart:   e.runStart,
+		Horizon:    e.horizon,
+		RunSeconds: e.runSeconds,
+		Rounds:     e.rounds,
+		RR:         e.rr,
+		Gens:       make([]GenState, streams),
+		Offered:    append([]int(nil), e.offered...),
+		Delivered:  append([]int(nil), e.delivered...),
+		Failed:     append([]int(nil), e.failed...),
+		Dropped:    append([]int(nil), e.dropped...),
+		Latencies:  make([][]float64, streams),
+		Inactive:   append([]bool(nil), e.inactive...),
+		Queue:      e.queue.Snapshot(),
+	}
+	for i, g := range e.gens {
+		st.Gens[i] = GenState{Src: g.src.State(), NextAt: g.nextAt, OnUntil: g.onUntil}
+		st.Latencies[i] = append([]float64(nil), e.latencies[i]...)
+	}
+	if e.cfg.System == SystemTDMA {
+		st.Cont = e.cont.SrcState()
+		st.Links = make([]LinkState, streams)
+		for i, l := range e.links {
+			st.Links[i] = LinkState{MCS: int(l.mcs), AP: l.ap, OK: l.ok}
+		}
+	} else {
+		st.Cont = e.sched.Cont.SrcState()
+		rs := e.sched.RateSnapshot()
+		st.Rate = &rs
+	}
+	if e.inj != nil {
+		inj := e.inj.Snapshot()
+		st.Injector = &inj
+	}
+	if e.cfg.Sampler != nil {
+		ss := e.cfg.Sampler.Snapshot()
+		st.Sampler = &ss
+	}
+	return st
+}
+
+// RestoreSnapshot overwrites a freshly built (New + Prepare) engine with
+// st. The engine must share the checkpointed run's Config — the
+// checkpoint layer enforces that with its config digest.
+func (e *Engine) RestoreSnapshot(st *EngineState) error {
+	streams := len(e.gens)
+	if len(st.Gens) != streams || len(st.Offered) != streams ||
+		len(st.Delivered) != streams || len(st.Failed) != streams ||
+		len(st.Dropped) != streams || len(st.Latencies) != streams ||
+		len(st.Inactive) != streams {
+		return fmt.Errorf("traffic: restore: snapshot has %d streams, engine has %d", len(st.Gens), streams)
+	}
+	if (st.Injector != nil) != (e.inj != nil) {
+		return fmt.Errorf("traffic: restore: snapshot and engine disagree on a fault plan")
+	}
+	for i, gs := range st.Gens {
+		if err := e.gens[i].src.Restore(gs.Src); err != nil {
+			return fmt.Errorf("traffic: restore stream %d rng: %w", i, err)
+		}
+		e.gens[i].nextAt, e.gens[i].onUntil = gs.NextAt, gs.OnUntil
+	}
+	copy(e.offered, st.Offered)
+	copy(e.delivered, st.Delivered)
+	copy(e.failed, st.Failed)
+	copy(e.dropped, st.Dropped)
+	copy(e.inactive, st.Inactive)
+	for i := range e.latencies {
+		e.latencies[i] = append([]float64(nil), st.Latencies[i]...)
+	}
+	e.runStart, e.horizon, e.runSeconds = st.RunStart, st.Horizon, st.RunSeconds
+	e.rounds, e.rr = st.Rounds, st.RR
+	if err := e.queue.RestoreSnapshot(st.Queue, func(stream int) []byte {
+		if stream < 0 || stream >= streams {
+			return nil
+		}
+		return e.payloads[stream]
+	}); err != nil {
+		return err
+	}
+	if e.cfg.System == SystemTDMA {
+		if len(st.Links) != streams {
+			return fmt.Errorf("traffic: restore: snapshot has %d links, engine has %d streams", len(st.Links), streams)
+		}
+		if err := e.cont.RestoreSrc(st.Cont); err != nil {
+			return fmt.Errorf("traffic: restore backoff rng: %w", err)
+		}
+		for i, ls := range st.Links {
+			e.links[i] = tdmaLink{mcs: phy.MCS(ls.MCS), ap: ls.AP, ok: ls.OK}
+		}
+	} else {
+		if st.Rate == nil {
+			return fmt.Errorf("traffic: restore: snapshot is missing the adapted-rate cache")
+		}
+		if err := e.sched.Cont.RestoreSrc(st.Cont); err != nil {
+			return fmt.Errorf("traffic: restore backoff rng: %w", err)
+		}
+		e.sched.RestoreRate(*st.Rate)
+	}
+	if st.Injector != nil {
+		if err := e.inj.RestoreSnapshot(*st.Injector); err != nil {
+			return err
+		}
+	}
+	if st.Sampler != nil && e.cfg.Sampler != nil {
+		e.cfg.Sampler.RestoreSnapshot(*st.Sampler)
+	}
+	return nil
+}
